@@ -1,0 +1,47 @@
+//! Data-preparation cost per scheme (§2.1 vs §3.2): unaligned loads
+//! (multiload), per-vector shuffles (reorg) and per-set assembles
+//! (transpose layout) on an L1-resident 1D3P row.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::kernels::{orig, tl};
+use stencil_core::layout::tl_grid1;
+use stencil_core::S1d3p;
+use stencil_simd::{dispatch, Isa};
+
+fn bench(c: &mut Criterion) {
+    let n = 4096usize;
+    let s = S1d3p::heat();
+    let isa = Isa::detect_best();
+    let mut group = c.benchmark_group("data_preparation");
+    group.throughput(Throughput::Elements(n as u64));
+
+    let src = grid1(n, 1);
+    let mut dst = grid1(n, 2);
+    let (sp, dp) = (src.ptr(), dst.ptr_mut());
+    group.bench_function("multiload_unaligned", |b| {
+        b.iter(|| dispatch!(isa, V => orig::star1_orig::<V, _, false>(sp, dp, 0, n, &s)))
+    });
+    group.bench_function("reorg_per_vector_shuffles", |b| {
+        b.iter(|| dispatch!(isa, V => orig::star1_orig::<V, _, true>(sp, dp, 0, n, &s)))
+    });
+    let mut tsrc = grid1(n, 1);
+    let mut tdst = grid1(n, 2);
+    tl_grid1(&mut tsrc, isa);
+    tl_grid1(&mut tdst, isa);
+    let (tsp, tdp) = (tsrc.ptr(), tdst.ptr_mut());
+    group.bench_function("translayout_per_set_assembles", |b| {
+        b.iter(|| dispatch!(isa, V => tl::star1_tl::<V, _>(tsp, tdp, n, 0, n, &s)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

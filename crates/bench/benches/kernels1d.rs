@@ -1,0 +1,55 @@
+//! 1D kernel comparison (all methods, L1/L2/L3-resident sizes) and the
+//! §3.3 unroll-and-jam ablation (k = 1 vs k = 2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::{run1_star1, Method, S1d3p, S1d5p};
+use stencil_simd::Isa;
+
+fn bench(c: &mut Criterion) {
+    let isa = Isa::detect_best();
+    for (label, n, steps) in [("L1", 1_500usize, 64usize), ("L2", 40_000, 16), ("L3", 500_000, 4)] {
+        let mut group = c.benchmark_group(format!("kernels1d_1d3p_{label}"));
+        group.throughput(Throughput::Elements((n * steps) as u64));
+        group.sample_size(10);
+        let s = S1d3p::heat();
+        let init = grid1(n, 3);
+        for m in Method::ALL {
+            group.bench_function(m.name(), |b| {
+                b.iter(|| {
+                    let mut g = init.clone();
+                    run1_star1(m, isa, &mut g, &s, steps);
+                    g
+                })
+            });
+        }
+        group.finish();
+    }
+    // higher-order stencil
+    let mut group = c.benchmark_group("kernels1d_1d5p_L2");
+    let (n, steps) = (40_000usize, 16usize);
+    group.throughput(Throughput::Elements((n * steps) as u64));
+    group.sample_size(10);
+    let s = S1d5p::heat();
+    let init = grid1(n, 4);
+    for m in Method::ALL {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut g = init.clone();
+                run1_star1(m, isa, &mut g, &s, steps);
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! 2D and 3D kernel comparison across all methods.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::{grid2, grid3};
+use stencil_core::{run2_box, run2_star, run3_box, run3_star, Method, S2d5p, S2d9p, S3d27p, S3d7p};
+use stencil_simd::Isa;
+
+fn bench(c: &mut Criterion) {
+    let isa = Isa::detect_best();
+    let steps = 4usize;
+
+    let (nx, ny) = (512usize, 128usize);
+    let init2 = grid2(nx, ny, 3);
+    let mut group = c.benchmark_group("kernels2d_2d5p");
+    group.throughput(Throughput::Elements((nx * ny * steps) as u64));
+    group.sample_size(10);
+    let s = S2d5p::heat();
+    for m in Method::ALL {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut g = init2.clone();
+                run2_star(m, isa, &mut g, &s, steps);
+                g
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels2d_2d9p");
+    group.throughput(Throughput::Elements((nx * ny * steps) as u64));
+    group.sample_size(10);
+    let s = S2d9p::blur();
+    for m in Method::ALL {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut g = init2.clone();
+                run2_box(m, isa, &mut g, &s, steps);
+                g
+            })
+        });
+    }
+    group.finish();
+
+    let (nx, ny, nz) = (128usize, 64usize, 32usize);
+    let init3 = grid3(nx, ny, nz, 5);
+    let mut group = c.benchmark_group("kernels3d_3d7p");
+    group.throughput(Throughput::Elements((nx * ny * nz * steps) as u64));
+    group.sample_size(10);
+    let s = S3d7p::heat();
+    for m in Method::ALL {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut g = init3.clone();
+                run3_star(m, isa, &mut g, &s, steps);
+                g
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels3d_3d27p");
+    group.throughput(Throughput::Elements((nx * ny * nz * steps) as u64));
+    group.sample_size(10);
+    let s = S3d27p::blur();
+    for m in Method::ALL {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| {
+                let mut g = init3.clone();
+                run3_box(m, isa, &mut g, &s, steps);
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Layout-transform cost ablation: the paper's in-place per-set transpose
+//! vs. DLT's out-of-place global transpose (both directions), per cell.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::layout::{dlt_grid1, tl_grid1};
+use stencil_simd::Isa;
+
+fn bench(c: &mut Criterion) {
+    let isa = Isa::detect_best();
+    for (label, n) in [("L1", 2_000usize), ("L3", 1_000_000usize)] {
+        let mut group = c.benchmark_group(format!("layout_transform_{label}"));
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        let mut g = grid1(n, 1);
+        group.bench_function("translayout_inplace_roundtrip", |b| {
+            b.iter(|| {
+                tl_grid1(&mut g, isa);
+                tl_grid1(&mut g, isa);
+            })
+        });
+        let src = grid1(n, 2);
+        let mut dst = src.clone();
+        let mut back = src.clone();
+        group.bench_function("dlt_outofplace_roundtrip", |b| {
+            b.iter(|| {
+                dlt_grid1(&src, &mut dst, isa, false);
+                dlt_grid1(&dst, &mut back, isa, true);
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The §3.2 block-length spectrum: the local transpose block length `m`
+//! interpolates between the original layout (m = 1, per-vector shuffles),
+//! the paper's choice (m = vl, per-set shuffles, in-register transpose)
+//! and DLT (m = N/vl, no steady-state shuffles, global transpose + no
+//! locality). One benchmark per point on the spectrum, L1- and
+//! memory-resident.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::{run1_star1, Method, S1d3p};
+use stencil_simd::Isa;
+
+fn bench(c: &mut Criterion) {
+    let isa = Isa::detect_best();
+    for (label, n, steps) in [("L1", 1_500usize, 64usize), ("Mem", 4_000_000, 2)] {
+        let mut group = c.benchmark_group(format!("mblock_spectrum_{label}"));
+        group.throughput(Throughput::Elements((n * steps) as u64));
+        group.sample_size(10);
+        let s = S1d3p::heat();
+        let init = grid1(n, 9);
+        for (m, label) in [
+            (Method::Reorg, "m=1_reorg"),
+            (Method::TransLayout, "m=vl_translayout"),
+            (Method::Dlt, "m=N_over_vl_dlt"),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut g = init.clone();
+                    run1_star1(m, isa, &mut g, &s, steps);
+                    g
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Tiling-framework comparison (tessellate vs split) and tile-size
+//! ablation for the tessellate driver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::{Method, S1d3p};
+use stencil_simd::Isa;
+use stencil_tiling::{split1_star1, tessellate1_star1};
+
+fn bench(c: &mut Criterion) {
+    let isa = Isa::detect_best();
+    let s = S1d3p::heat();
+    let (n, t) = (2_000_000usize, 64usize);
+    let threads = stencil_bench::max_threads();
+    let init = grid1(n, 11);
+
+    let mut group = c.benchmark_group("tiling_frameworks");
+    group.throughput(Throughput::Elements((n * t) as u64));
+    group.sample_size(10);
+    group.bench_function("tessellate_translayout2", |b| {
+        b.iter(|| {
+            let mut g = init.clone();
+            tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, t, 2000, 1000, threads);
+            g
+        })
+    });
+    group.bench_function("tessellate_multiload", |b| {
+        b.iter(|| {
+            let mut g = init.clone();
+            tessellate1_star1(Method::MultiLoad, isa, &mut g, &s, t, 2000, 1000, threads);
+            g
+        })
+    });
+    group.bench_function("split_dlt_sdsl", |b| {
+        b.iter(|| {
+            let mut g = init.clone();
+            split1_star1(isa, &mut g, &s, t, 1000, 500, threads);
+            g
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("tile_width_ablation");
+    group.throughput(Throughput::Elements((n * t) as u64));
+    group.sample_size(10);
+    for w in [500usize, 2_000, 8_000, 32_000] {
+        group.bench_function(format!("w{w}"), |b| {
+            b.iter(|| {
+                let mut g = init.clone();
+                tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, t, w, w / 2, threads);
+                g
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

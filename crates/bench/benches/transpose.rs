@@ -1,0 +1,38 @@
+//! Ablation for §3.5: the paper's lane-crossing-first transpose schedule
+//! vs. the conventional in-lane-first schedule, AVX2 (4×4) and AVX-512
+//! (8×8), measured as in-place layout transforms of an L1-resident row.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stencil_bench::grid1;
+use stencil_core::layout::{tl_transform_row, tl_transform_row_baseline};
+use stencil_simd::{dispatch, Isa};
+
+fn bench(c: &mut Criterion) {
+    let n = 2048usize;
+    let mut group = c.benchmark_group("transpose_schedule");
+    group.throughput(Throughput::Elements(n as u64));
+    for isa in [Isa::Avx2, Isa::Avx512] {
+        if !isa.is_available() {
+            continue;
+        }
+        let mut g = grid1(n, 1);
+        let p = g.ptr_mut();
+        group.bench_function(format!("{isa}/paper_lane_crossing_first"), |b| {
+            b.iter(|| dispatch!(isa, V => tl_transform_row::<V>(p, n)))
+        });
+        group.bench_function(format!("{isa}/baseline_in_lane_first"), |b| {
+            b.iter(|| dispatch!(isa, V => tl_transform_row_baseline::<V>(p, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

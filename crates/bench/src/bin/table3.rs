@@ -1,0 +1,30 @@
+//! Table 3: speedup over SDSL per storage level × blocking level,
+//! multicore cache-blocking (derived from the Fig. 8 sweep).
+
+use stencil_bench::fig8::{sweep, table3};
+use stencil_simd::Isa;
+
+fn main() {
+    stencil_bench::banner("Table 3: speedup over SDSL, multicore cache-blocking (1D3P)");
+    let rows = sweep(Isa::detect_best(), 400, stencil_bench::full_mode());
+    println!("{:<8} {:<6} {:>14} {:>8} {:>8}", "Level", "Block", "Tessellation", "Our", "Our2");
+    let mut acc: Vec<(String, Vec<f64>)> = vec![("L1".into(), vec![]), ("L2".into(), vec![])];
+    for (level, blocking, cols) in table3(&rows) {
+        print!("{:<8} {:<6}", level, blocking);
+        for m in ["Tessellation", "Our", "Our2"] {
+            let v = cols.iter().find(|(mm, _)| mm == m).map(|(_, v)| *v).unwrap_or(f64::NAN);
+            print!(" {:>7.2}x", v);
+            if m == "Our2" {
+                let slot = if blocking == "L1" { 0 } else { 1 };
+                acc[slot].1.push(v);
+            }
+        }
+        println!();
+    }
+    for (b, vals) in acc {
+        if !vals.is_empty() {
+            let gm = vals.iter().product::<f64>().powf(1.0 / vals.len() as f64);
+            println!("Mean Our2 speedup with {b} blocking: {gm:.2}x (paper: 3.29x L1 / 3.48x L2)");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Table 4: average performance improvement per stencil/ISA (speedup over
+//! SDSL on AVX2, over Tessellation on AVX-512 — the paper's comparison
+//! bases) and strong-scaling speedup over a single core at full core
+//! count. Derived from the Fig. 9 sweep.
+//!
+//! Pass stencil names as arguments to restrict the sweep.
+
+use stencil_bench::fig9::{sweep, table4, STENCILS};
+
+fn main() {
+    stencil_bench::banner("Table 4: average improvement and strong scaling (full cores)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stencils: Vec<&'static str> = if args.is_empty() {
+        STENCILS.to_vec()
+    } else {
+        STENCILS.iter().copied().filter(|s| args.iter().any(|a| a == s)).collect()
+    };
+    let rows = sweep(stencil_bench::full_mode(), &stencils);
+    println!("{:<16} {:<14} {:>14} {:>16}", "Stencil(ISA)", "Method", "Speedup/base", "Scaling vs 1core");
+    for (label, cols) in table4(&rows) {
+        for (method, speedup, scaling) in cols {
+            println!("{:<16} {:<14} {:>13.2}x {:>15.1}x", label, method, speedup, scaling);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Sweep driver for Fig. 7 (sequential block-free experiments) and
+//! Table 2 (speedups per storage level), 1D3P.
+
+use stencil_core::{run1_star1, Star1};
+use stencil_simd::Isa;
+
+use crate::{best_of, gflops, grid1, heat1d, storage_level, SEQ_METHODS};
+
+/// One measured cell of the Fig. 7 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Grid cells.
+    pub n: usize,
+    /// Working-set label (two arrays).
+    pub level: &'static str,
+    /// Time steps.
+    pub steps: usize,
+    /// Method label.
+    pub method: &'static str,
+    /// Measured GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Problem sizes sweeping the hierarchy from L1 to memory (cells; working
+/// set is 2 arrays × 8 B × n).
+pub fn sizes(full: bool) -> Vec<usize> {
+    if full {
+        vec![1_000, 4_000, 16_000, 64_000, 250_000, 1_000_000, 4_000_000, 10_240_000]
+    } else {
+        vec![1_000, 4_000, 32_000, 250_000, 2_000_000, 8_000_000]
+    }
+}
+
+/// Run the sequential block-free sweep at a given base step count
+/// (the paper uses T = 1000 and T = 10000; we keep the 10× ratio).
+pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig7Row> {
+    let s = heat1d();
+    let mut rows = Vec::new();
+    for n in sizes(full) {
+        // Keep per-cell work roughly constant across sizes: larger grids
+        // get fewer steps, with a floor that preserves layout-transform
+        // amortization effects (DLT's weakness at small T).
+        let steps = (base_steps * 1_000_000 / n).clamp(base_steps / 10 + 2, base_steps) / 2 * 2;
+        let level = storage_level(2 * 8 * n);
+        for (m, label) in SEQ_METHODS {
+            let init = grid1(n, 7);
+            let reps = if n <= 64_000 { 3 } else { 2 };
+            let secs = best_of(reps, || {
+                let mut g = init.clone();
+                run1_star1(m, isa, &mut g, &s, steps);
+                std::hint::black_box(&g);
+            });
+            rows.push(Fig7Row {
+                n,
+                level,
+                steps,
+                method: label,
+                gflops: gflops(n, steps, stencil_core::S1d3p::flops_per_point(), secs),
+            });
+        }
+    }
+    rows
+}
+
+/// Table 2 view: geometric-mean speedup over MultiLoad per storage level.
+pub fn table2(rows: &[Fig7Row]) -> Vec<(String, Vec<(String, f64)>)> {
+    let levels = ["L1", "L2", "L3", "Mem"];
+    let methods: Vec<&str> = SEQ_METHODS.iter().map(|(_, l)| *l).collect();
+    let mut out = Vec::new();
+    for level in levels {
+        let mut cols = Vec::new();
+        for &m in &methods[1..] {
+            // speedup vs MultiLoad at identical (n, steps)
+            let mut prod = 1.0f64;
+            let mut cnt = 0usize;
+            for r in rows.iter().filter(|r| r.level == level && r.method == m) {
+                if let Some(base) = rows
+                    .iter()
+                    .find(|b| b.level == level && b.n == r.n && b.method == "MultiLoad")
+                {
+                    prod *= r.gflops / base.gflops;
+                    cnt += 1;
+                }
+            }
+            if cnt > 0 {
+                cols.push((m.to_string(), prod.powf(1.0 / cnt as f64)));
+            }
+        }
+        if !cols.is_empty() {
+            out.push((level.to_string(), cols));
+        }
+    }
+    // overall geometric mean row
+    let mut mean_cols = Vec::new();
+    let methods_present: Vec<String> = out
+        .first()
+        .map(|(_, c)| c.iter().map(|(m, _)| m.clone()).collect())
+        .unwrap_or_default();
+    for m in methods_present {
+        let vals: Vec<f64> = out
+            .iter()
+            .filter_map(|(_, cols)| cols.iter().find(|(mm, _)| *mm == m).map(|(_, v)| *v))
+            .collect();
+        if !vals.is_empty() {
+            let gm = vals.iter().product::<f64>().powf(1.0 / vals.len() as f64);
+            mean_cols.push((m, gm));
+        }
+    }
+    out.push(("Mean".to_string(), mean_cols));
+    out
+}

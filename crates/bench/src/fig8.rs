@@ -1,0 +1,136 @@
+//! Sweep driver for Fig. 8 (multicore cache-blocking experiments) and
+//! Table 3 (speedups over SDSL per storage level × blocking level), 1D3P.
+
+use stencil_core::{Method, Star1};
+use stencil_simd::Isa;
+use stencil_tiling::{split1_star1, tessellate1_star1};
+
+use crate::{best_of, gflops, grid1, heat1d, max_threads, storage_level};
+
+/// One measured cell of the Fig. 8 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Grid cells.
+    pub n: usize,
+    /// Working-set label.
+    pub level: &'static str,
+    /// Blocking level label ("L1"/"L2") — the tile working set.
+    pub blocking: &'static str,
+    /// Method label.
+    pub method: &'static str,
+    /// Time steps.
+    pub steps: usize,
+    /// Measured GFLOP/s (all cores).
+    pub gflops: f64,
+}
+
+/// The four tiled schemes of Fig. 8.
+pub const TILED_METHODS: [&str; 4] = ["SDSL", "Tessellation", "Our", "Our2"];
+
+/// Tile base width for a blocking level (tile working set ≈ 2·8·w bytes;
+/// L1 ≈ 24 KiB, L2 ≈ 640 KiB).
+pub fn block_width(blocking: &str) -> usize {
+    match blocking {
+        "L1" => 1_500,
+        "L2" => 40_000,
+        _ => panic!("unknown blocking level"),
+    }
+}
+
+/// Problem sizes from L3 into memory.
+pub fn sizes(full: bool) -> Vec<usize> {
+    if full {
+        vec![1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000]
+    } else {
+        vec![1_000_000, 4_000_000, 16_000_000]
+    }
+}
+
+fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, thr: usize) -> f64 {
+    let s = heat1d();
+    let init = grid1(n, 13);
+    best_of(2, || {
+        let mut g = init.clone();
+        match method {
+            "SDSL" => {
+                // split tiling works in DLT column space; same tile
+                // working set ⇒ same column count w (cells per column
+                // tile = w·vl ⇒ divide to keep the byte budget).
+                let wj = (w / 2).max(32);
+                let hj = (h).min(stencil_tiling::DimTiling::new(n / isa.lanes().max(1), wj, 1, false).max_height());
+                split1_star1(isa, &mut g, &s, steps, wj, hj, thr);
+            }
+            "Tessellation" => {
+                tessellate1_star1(Method::MultiLoad, isa, &mut g, &s, steps, w, h, thr)
+            }
+            "Our" => tessellate1_star1(Method::TransLayout, isa, &mut g, &s, steps, w, h, thr),
+            "Our2" => tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, steps, w, h, thr),
+            _ => unreachable!(),
+        }
+        std::hint::black_box(&g);
+    })
+}
+
+/// Run the multicore cache-blocking sweep.
+pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig8Row> {
+    let thr = max_threads();
+    let mut rows = Vec::new();
+    for n in sizes(full) {
+        let steps = (base_steps * 4_000_000 / n).clamp(64, base_steps) / 2 * 2;
+        let level = storage_level(2 * 8 * n);
+        for blocking in ["L1", "L2"] {
+            let w = block_width(blocking);
+            let h = (w / 2).min(steps).max(1);
+            for method in TILED_METHODS {
+                let secs = run_one(method, isa, n, steps, w, h, thr);
+                rows.push(Fig8Row {
+                    n,
+                    level,
+                    blocking,
+                    method,
+                    steps,
+                    gflops: gflops(n, steps, stencil_core::S1d3p::flops_per_point(), secs),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Table 3 view: geometric-mean speedup over SDSL per (storage level,
+/// blocking level).
+pub fn table3(rows: &[Fig8Row]) -> Vec<(String, String, Vec<(String, f64)>)> {
+    let mut out = Vec::new();
+    let levels: Vec<&str> = {
+        let mut v: Vec<&str> = rows.iter().map(|r| r.level).collect();
+        v.dedup();
+        v
+    };
+    for level in levels {
+        for blocking in ["L1", "L2"] {
+            let mut cols = Vec::new();
+            for method in &TILED_METHODS[1..] {
+                let mut prod = 1.0;
+                let mut cnt = 0;
+                for r in rows
+                    .iter()
+                    .filter(|r| r.level == level && r.blocking == blocking && r.method == *method)
+                {
+                    if let Some(base) = rows.iter().find(|b| {
+                        b.level == level && b.blocking == blocking && b.n == r.n && b.method == "SDSL"
+                    }) {
+                        prod *= r.gflops / base.gflops;
+                        cnt += 1;
+                    }
+                }
+                if cnt > 0 {
+                    cols.push((method.to_string(), prod.powf(1.0 / cnt as f64)));
+                }
+            }
+            if !cols.is_empty() {
+                out.push((level.to_string(), blocking.to_string(), cols));
+            }
+        }
+    }
+    out
+}

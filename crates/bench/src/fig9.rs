@@ -1,0 +1,230 @@
+//! Sweep driver for Fig. 9 (scalability, 6 stencils × AVX2/AVX-512 ×
+//! 4 tiled schemes × core counts) and Table 4 (mean speedups + strong
+//! scaling at full core count).
+
+use stencil_core::{
+    Box2, Box3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,
+};
+use stencil_simd::Isa;
+use stencil_tiling::{
+    split1_star1, split2_box, split2_star, split3_box, split3_star, tessellate1_star1,
+    tessellate2_box, tessellate2_star, tessellate3_box, tessellate3_star,
+};
+
+use crate::{best_of, gflops, grid1, grid2, grid3, max_threads};
+
+/// One measured cell of the Fig. 9 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Stencil label ("1d3p", ...).
+    pub stencil: &'static str,
+    /// ISA.
+    pub isa: Isa,
+    /// Method label.
+    pub method: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Methods of the scalability experiment.
+pub const METHODS: [&str; 4] = ["SDSL", "Tessellation", "Our", "Our2"];
+
+/// The six paper stencils.
+pub const STENCILS: [&str; 6] = ["1d3p", "1d5p", "2d5p", "2d9p", "3d7p", "3d27p"];
+
+fn tess_method(label: &str) -> Method {
+    match label {
+        "Tessellation" => Method::MultiLoad,
+        "Our" => Method::TransLayout,
+        "Our2" => Method::TransLayout2,
+        _ => unreachable!(),
+    }
+}
+
+/// Thread counts for the scalability axis.
+pub fn thread_axis() -> Vec<usize> {
+    let m = max_threads();
+    let mut v: Vec<usize> = [1usize, 2, 4, 8, 12, 16, 24, 32]
+        .into_iter()
+        .filter(|&t| t <= m)
+        .collect();
+    if v.last() != Some(&m) {
+        v.push(m);
+    }
+    v
+}
+
+/// Measure one (stencil, isa, method, threads) cell. Problem sizes are the
+/// paper's Table 1 scaled to minutes; all exceed L3 as in §4.4.
+pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: bool) -> f64 {
+    let scale = if full { 2 } else { 1 };
+    match stencil {
+        "1d3p" => {
+            let (n, t, w) = (2_560_000 * scale, 240, 2_000);
+            let s = S1d3p::heat();
+            let init = grid1(n, 3);
+            let h = w / 2;
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split1_star1(isa, &mut g, &s, t, w / 2, h / 2, threads),
+                    m => tessellate1_star1(tess_method(m), isa, &mut g, &s, t, w, h, threads),
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(n, t, S1d3p::flops_per_point(), secs)
+        }
+        "1d5p" => {
+            let (n, t, w) = (2_560_000 * scale, 240, 2_000);
+            let s = S1d5p::heat();
+            let init = grid1(n, 4);
+            let h = w / 4;
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split1_star1(isa, &mut g, &s, t, w / 2, h / 2, threads),
+                    m => tessellate1_star1(tess_method(m), isa, &mut g, &s, t, w, h, threads),
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(n, t, S1d5p::flops_per_point(), secs)
+        }
+        "2d5p" => {
+            let (nx, ny, t) = (1_504 * scale, 1_500, 50);
+            let s = S2d5p::heat();
+            let init = grid2(nx, ny, 5);
+            let (wx, wy, h) = (200, 200, 50);
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split2_star(isa, &mut g, &s, t, wy, wy / 2, threads),
+                    m => tessellate2_star(tess_method(m), isa, &mut g, &s, t, wx, wy, h, threads),
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(nx * ny, t, S2d5p::flops_per_point(), secs)
+        }
+        "2d9p" => {
+            let (nx, ny, t) = (1_504 * scale, 1_500, 40);
+            let s = S2d9p::blur();
+            let init = grid2(nx, ny, 6);
+            let (wx, wy, h) = (128, 120, 60.min(59));
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split2_box(isa, &mut g, &s, t, wy, wy / 2, threads),
+                    m => tessellate2_box(tess_method(m), isa, &mut g, &s, t, wx, wy, h, threads),
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(nx * ny, t, S2d9p::flops_per_point(), secs)
+        }
+        "3d7p" => {
+            let (nx, ny, nz, t) = (128 * scale, 128, 128, 20);
+            let s = S3d7p::heat();
+            let init = grid3(nx, ny, nz, 7);
+            let (wx, wy, wz, h) = (64, 24, 24, 10);
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split3_star(isa, &mut g, &s, t, wz, wz / 2, threads),
+                    m => {
+                        tessellate3_star(tess_method(m), isa, &mut g, &s, t, wx, wy, wz, h, threads)
+                    }
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(nx * ny * nz, t, S3d7p::flops_per_point(), secs)
+        }
+        "3d27p" => {
+            let (nx, ny, nz, t) = (128 * scale, 128, 128, 16);
+            let s = S3d27p::blur();
+            let init = grid3(nx, ny, nz, 8);
+            let (wx, wy, wz, h) = (64, 24, 24, 10);
+            let secs = best_of(2, || {
+                let mut g = init.clone();
+                match method {
+                    "SDSL" => split3_box(isa, &mut g, &s, t, wz, wz / 2, threads),
+                    m => {
+                        tessellate3_box(tess_method(m), isa, &mut g, &s, t, wx, wy, wz, h, threads)
+                    }
+                }
+                std::hint::black_box(&g);
+            });
+            gflops(nx * ny * nz, t, S3d27p::flops_per_point(), secs)
+        }
+        _ => panic!("unknown stencil {stencil}"),
+    }
+}
+
+/// Full scalability sweep (Fig. 9).
+pub fn sweep(full: bool, stencils: &[&'static str]) -> Vec<Fig9Row> {
+    let isas: Vec<Isa> = [Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|i| i.is_available())
+        .collect();
+    let mut rows = Vec::new();
+    for &stencil in stencils {
+        for &isa in &isas {
+            for method in METHODS {
+                for &threads in &thread_axis() {
+                    let g = run_cell(stencil, isa, method, threads, full);
+                    rows.push(Fig9Row {
+                        stencil,
+                        isa,
+                        method,
+                        threads,
+                        gflops: g,
+                    });
+                    eprintln!(
+                        "  measured {stencil}/{isa}/{method}/t{threads}: {g:.2} GF/s"
+                    );
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Table 4 view from the Fig. 9 rows: speedup over SDSL (AVX2) or over
+/// Tessellation (AVX-512, where the paper has no SDSL numbers), plus
+/// strong-scaling speedup at full core count.
+pub fn table4(rows: &[Fig9Row]) -> Vec<(String, Vec<(String, f64, f64)>)> {
+    let maxt = rows.iter().map(|r| r.threads).max().unwrap_or(1);
+    let mut out = Vec::new();
+    for stencil in STENCILS {
+        for isa in [Isa::Avx2, Isa::Avx512] {
+            let cells: Vec<&Fig9Row> = rows
+                .iter()
+                .filter(|r| r.stencil == stencil && r.isa == isa && r.threads == maxt)
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let base_label = if isa == Isa::Avx2 { "SDSL" } else { "Tessellation" };
+            let base = cells
+                .iter()
+                .find(|r| r.method == base_label)
+                .map(|r| r.gflops)
+                .unwrap_or(f64::NAN);
+            let mut cols = Vec::new();
+            for method in METHODS {
+                let Some(cell) = cells.iter().find(|r| r.method == method) else {
+                    continue;
+                };
+                let single = rows
+                    .iter()
+                    .find(|r| {
+                        r.stencil == stencil && r.isa == isa && r.method == method && r.threads == 1
+                    })
+                    .map(|r| r.gflops)
+                    .unwrap_or(f64::NAN);
+                cols.push((method.to_string(), cell.gflops / base, cell.gflops / single));
+            }
+            out.push((format!("{stencil}({isa})"), cols));
+        }
+    }
+    out
+}

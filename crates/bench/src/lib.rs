@@ -1,0 +1,119 @@
+//! Shared infrastructure for the benchmark harness: timing, GFLOP/s
+//! accounting, workload construction, storage-level classification, and
+//! the sweep drivers behind each table/figure binary.
+//!
+//! Scaling note: the paper's runs use up to 10⁷ cells × 10⁴ steps on a
+//! 36-core Xeon 6140; we keep the *same sweep structure* (cache levels,
+//! method sets, thread counts, AVX2-vs-AVX-512) with step counts sized
+//! for minutes, not hours. Set `STENCIL_BENCH_FULL=1` for longer runs.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stencil_core::{Grid1, Grid2, Grid3, Method, S1d3p};
+use stencil_simd::Isa;
+
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// True when the harness should run the longer (paper-closer) variants.
+pub fn full_mode() -> bool {
+    std::env::var("STENCIL_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Number of worker threads to use for multicore experiments.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Wall-time the closure, best of `reps` runs.
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// GFLOP/s for `points · steps` stencil updates of `flops` each.
+pub fn gflops(points: usize, steps: usize, flops: usize, secs: f64) -> f64 {
+    (points as f64) * (steps as f64) * (flops as f64) / secs / 1e9
+}
+
+/// Cache-level label for a working set of `bytes` (two grids), using this
+/// host's typical hierarchy (32 KiB L1d / 1 MiB L2 / shared L3).
+pub fn storage_level(bytes: usize) -> &'static str {
+    if bytes <= 28 * 1024 {
+        "L1"
+    } else if bytes <= 768 * 1024 {
+        "L2"
+    } else if bytes <= 16 * 1024 * 1024 {
+        "L3"
+    } else {
+        "Mem"
+    }
+}
+
+/// Deterministic random 1D grid.
+pub fn grid1(n: usize, seed: u64) -> Grid1 {
+    let mut r = StdRng::seed_from_u64(seed);
+    Grid1::from_fn(n, 0.0, |_| r.random_range(0.0..1.0))
+}
+
+/// Deterministic random 2D grid (halo width 1).
+pub fn grid2(nx: usize, ny: usize, seed: u64) -> Grid2 {
+    let mut r = StdRng::seed_from_u64(seed);
+    Grid2::from_fn(nx, ny, 1, 0.0, |_, _| r.random_range(0.0..1.0))
+}
+
+/// Deterministic random 3D grid (halo width 1).
+pub fn grid3(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3 {
+    let mut r = StdRng::seed_from_u64(seed);
+    Grid3::from_fn(nx, ny, nz, 1, 0.0, |_, _, _| r.random_range(0.0..1.0))
+}
+
+/// The paper's method labels for the sequential experiments (Fig. 7 /
+/// Table 2).
+pub const SEQ_METHODS: [(Method, &str); 5] = [
+    (Method::MultiLoad, "MultiLoad"),
+    (Method::Reorg, "Reorg"),
+    (Method::Dlt, "DLT"),
+    (Method::TransLayout, "Our"),
+    (Method::TransLayout2, "Our2"),
+];
+
+/// Default stencil for the 1D experiments (the paper's 1D-Heat / 1D3P).
+pub fn heat1d() -> S1d3p {
+    S1d3p::heat()
+}
+
+/// Print the host/ISA banner every binary emits first.
+pub fn banner(what: &str) {
+    println!("# {what}");
+    println!(
+        "# host: {} threads, best ISA: {}",
+        max_threads(),
+        Isa::detect_best()
+    );
+    println!(
+        "# available ISAs: {}",
+        Isa::ALL
+            .into_iter()
+            .filter(|i| i.is_available())
+            .map(|i| i.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "# mode: {}",
+        if full_mode() {
+            "FULL"
+        } else {
+            "quick (STENCIL_BENCH_FULL=1 for longer runs)"
+        }
+    );
+}

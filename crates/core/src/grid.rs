@@ -1,0 +1,389 @@
+//! Aligned grid containers with constant (Dirichlet) halos.
+//!
+//! Geometry conventions shared by every kernel in this workspace:
+//!
+//! * the **interior** of each row starts `HALO_PAD = 8` doubles into the
+//!   row, i.e. on a 64-byte boundary, and row strides are multiples of 8 —
+//!   so every vector-set load/store is aligned for both AVX2 and AVX-512;
+//! * halo cells of width `r` sit immediately left/right of the interior
+//!   (and as whole rows/planes above/below in 2D/3D); they are *never
+//!   updated* — they carry the boundary condition, which is what makes
+//!   temporal tiling and the k=2 in-register pipeline well defined;
+//! * kernels receive raw pointers to the interior origin and may index
+//!   negatively into the halo.
+
+use stencil_simd::AlignedBuf;
+
+/// Doubles of padding on each side of a row interior. Must be ≥ the widest
+/// vector (8) so the `reorg` method's aligned previous-vector load of the
+/// first interior vector stays in bounds, and ≥ [`crate::stencil::MAX_R`].
+pub const HALO_PAD: usize = 8;
+
+#[inline]
+fn round_up8(x: usize) -> usize {
+    (x + 7) / 8 * 8
+}
+
+/// 1D grid: `n` interior points plus constant halos.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid1 {
+    buf: AlignedBuf,
+    n: usize,
+}
+
+impl Grid1 {
+    /// Create a grid with every cell (halo included) set to `fill`.
+    pub fn filled(n: usize, fill: f64) -> Self {
+        assert!(n > 0, "empty interior");
+        let mut buf = AlignedBuf::zeroed(HALO_PAD + round_up8(n + HALO_PAD));
+        buf.fill(fill);
+        Grid1 { buf, n }
+    }
+
+    /// Create a grid whose interior is `f(i)` and whose halo is `halo`.
+    pub fn from_fn(n: usize, halo: f64, mut f: impl FnMut(usize) -> f64) -> Self {
+        let mut g = Self::filled(n, halo);
+        for i in 0..n {
+            g.buf[HALO_PAD + i] = f(i);
+        }
+        g
+    }
+
+    /// Interior length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pointer to interior cell 0; halo readable at negative offsets down
+    /// to `-HALO_PAD`.
+    #[inline]
+    pub fn ptr(&self) -> *const f64 {
+        // SAFETY: HALO_PAD < buf.len() by construction.
+        unsafe { self.buf.as_ptr().add(HALO_PAD) }
+    }
+
+    /// Mutable pointer to interior cell 0.
+    #[inline]
+    pub fn ptr_mut(&mut self) -> *mut f64 {
+        unsafe { self.buf.as_mut_ptr().add(HALO_PAD) }
+    }
+
+    /// Read cell `i`; `i` may range over `[-HALO_PAD, n + HALO_PAD)`.
+    #[inline]
+    pub fn get(&self, i: isize) -> f64 {
+        let idx = HALO_PAD as isize + i;
+        assert!(idx >= 0 && (idx as usize) < self.buf.len(), "index {i} out of range");
+        self.buf[idx as usize]
+    }
+
+    /// Write cell `i` (same range as [`Grid1::get`]).
+    #[inline]
+    pub fn set(&mut self, i: isize, v: f64) {
+        let idx = HALO_PAD as isize + i;
+        assert!(idx >= 0 && (idx as usize) < self.buf.len(), "index {i} out of range");
+        self.buf[idx as usize] = v;
+    }
+
+    /// Interior as a slice.
+    #[inline]
+    pub fn interior(&self) -> &[f64] {
+        &self.buf[HALO_PAD..HALO_PAD + self.n]
+    }
+
+    /// Interior as a mutable slice.
+    #[inline]
+    pub fn interior_mut(&mut self) -> &mut [f64] {
+        &mut self.buf[HALO_PAD..HALO_PAD + self.n]
+    }
+}
+
+/// 2D grid: `ny × nx` interior, row-major, with halo rows and columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid2 {
+    buf: AlignedBuf,
+    nx: usize,
+    ny: usize,
+    /// Halo row count above/below the interior (= max radius supported).
+    ry: usize,
+    /// Row stride in doubles (multiple of 8).
+    rs: usize,
+}
+
+impl Grid2 {
+    /// Create with all cells (halos included) set to `fill`. `ry` is the
+    /// number of halo rows kept above and below (pass the stencil radius).
+    pub fn filled(nx: usize, ny: usize, ry: usize, fill: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "empty interior");
+        let rs = HALO_PAD + round_up8(nx + HALO_PAD);
+        let rows = ny + 2 * ry;
+        let mut buf = AlignedBuf::zeroed(rs * rows);
+        buf.fill(fill);
+        Grid2 { buf, nx, ny, ry, rs }
+    }
+
+    /// Create with interior `f(y, x)` and halo value `halo`.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        ry: usize,
+        halo: f64,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
+        let mut g = Self::filled(nx, ny, ry, halo);
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = (g.ry + y) * g.rs + HALO_PAD + x;
+                g.buf[idx] = f(y, x);
+            }
+        }
+        g
+    }
+
+    /// Interior width.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Row stride in doubles.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.rs
+    }
+
+    /// Halo row count.
+    #[inline]
+    pub fn ry(&self) -> usize {
+        self.ry
+    }
+
+    /// Pointer to interior cell (0, 0).
+    #[inline]
+    pub fn ptr(&self) -> *const f64 {
+        unsafe { self.buf.as_ptr().add(self.ry * self.rs + HALO_PAD) }
+    }
+
+    /// Mutable pointer to interior cell (0, 0).
+    #[inline]
+    pub fn ptr_mut(&mut self) -> *mut f64 {
+        unsafe { self.buf.as_mut_ptr().add(self.ry * self.rs + HALO_PAD) }
+    }
+
+    #[inline]
+    fn idx(&self, y: isize, x: isize) -> usize {
+        let iy = self.ry as isize + y;
+        let ix = HALO_PAD as isize + x;
+        assert!(iy >= 0 && (iy as usize) < self.ny + 2 * self.ry, "y={y} out of range");
+        assert!(ix >= 0 && (ix as usize) < self.rs, "x={x} out of range");
+        iy as usize * self.rs + ix as usize
+    }
+
+    /// Read cell `(y, x)`; halo addressable with negative / overshooting
+    /// indices.
+    #[inline]
+    pub fn get(&self, y: isize, x: isize) -> f64 {
+        self.buf[self.idx(y, x)]
+    }
+
+    /// Write cell `(y, x)`.
+    #[inline]
+    pub fn set(&mut self, y: isize, x: isize, v: f64) {
+        let i = self.idx(y, x);
+        self.buf[i] = v;
+    }
+
+    /// Interior row `y` as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f64] {
+        let start = (self.ry + y) * self.rs + HALO_PAD;
+        &self.buf[start..start + self.nx]
+    }
+}
+
+/// 3D grid: `nz × ny × nx` interior with halo planes/rows/columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid3 {
+    buf: AlignedBuf,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Halo row/plane count (= max radius supported in y and z).
+    r: usize,
+    rs: usize,
+    /// Plane stride in doubles.
+    ps: usize,
+}
+
+impl Grid3 {
+    /// Create with all cells (halos included) set to `fill`.
+    pub fn filled(nx: usize, ny: usize, nz: usize, r: usize, fill: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "empty interior");
+        let rs = HALO_PAD + round_up8(nx + HALO_PAD);
+        let ps = rs * (ny + 2 * r);
+        let mut buf = AlignedBuf::zeroed(ps * (nz + 2 * r));
+        buf.fill(fill);
+        Grid3 { buf, nx, ny, nz, r, rs, ps }
+    }
+
+    /// Create with interior `f(z, y, x)` and halo value `halo`.
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        r: usize,
+        halo: f64,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut g = Self::filled(nx, ny, nz, r, halo);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let idx = (g.r + z) * g.ps + (g.r + y) * g.rs + HALO_PAD + x;
+                    g.buf[idx] = f(z, y, x);
+                }
+            }
+        }
+        g
+    }
+
+    /// Interior width.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Interior height.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Interior depth.
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Row stride in doubles.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.rs
+    }
+
+    /// Plane stride in doubles.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        self.ps
+    }
+
+    /// Halo width in rows/planes.
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Pointer to interior cell (0, 0, 0).
+    #[inline]
+    pub fn ptr(&self) -> *const f64 {
+        unsafe {
+            self.buf
+                .as_ptr()
+                .add(self.r * self.ps + self.r * self.rs + HALO_PAD)
+        }
+    }
+
+    /// Mutable pointer to interior cell (0, 0, 0).
+    #[inline]
+    pub fn ptr_mut(&mut self) -> *mut f64 {
+        unsafe {
+            self.buf
+                .as_mut_ptr()
+                .add(self.r * self.ps + self.r * self.rs + HALO_PAD)
+        }
+    }
+
+    #[inline]
+    fn idx(&self, z: isize, y: isize, x: isize) -> usize {
+        let iz = self.r as isize + z;
+        let iy = self.r as isize + y;
+        let ix = HALO_PAD as isize + x;
+        assert!(iz >= 0 && (iz as usize) < self.nz + 2 * self.r, "z={z} out of range");
+        assert!(iy >= 0 && (iy as usize) < self.ny + 2 * self.r, "y={y} out of range");
+        assert!(ix >= 0 && (ix as usize) < self.rs, "x={x} out of range");
+        iz as usize * self.ps + iy as usize * self.rs + ix as usize
+    }
+
+    /// Read cell `(z, y, x)`; halo addressable.
+    #[inline]
+    pub fn get(&self, z: isize, y: isize, x: isize) -> f64 {
+        self.buf[self.idx(z, y, x)]
+    }
+
+    /// Write cell `(z, y, x)`.
+    #[inline]
+    pub fn set(&mut self, z: isize, y: isize, x: isize, v: f64) {
+        let i = self.idx(z, y, x);
+        self.buf[i] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid1_geometry() {
+        let g = Grid1::from_fn(37, -1.0, |i| i as f64);
+        assert_eq!(g.n(), 37);
+        assert_eq!(g.get(0), 0.0);
+        assert_eq!(g.get(36), 36.0);
+        assert_eq!(g.get(-1), -1.0);
+        assert_eq!(g.get(37), -1.0);
+        assert_eq!(g.ptr() as usize % 64, 0);
+        assert_eq!(g.interior().len(), 37);
+    }
+
+    #[test]
+    fn grid2_geometry() {
+        let g = Grid2::from_fn(13, 5, 2, -3.0, |y, x| (y * 100 + x) as f64);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(4, 12), 412.0);
+        assert_eq!(g.get(-1, 0), -3.0);
+        assert_eq!(g.get(5, 3), -3.0);
+        assert_eq!(g.get(2, -2), -3.0);
+        assert_eq!(g.ptr() as usize % 64, 0);
+        assert_eq!(g.row_stride() % 8, 0);
+        assert_eq!(g.row(3)[7], 307.0);
+        // second row interior start also 64B-aligned
+        let p = unsafe { g.ptr().add(g.row_stride()) };
+        assert_eq!(p as usize % 64, 0);
+    }
+
+    #[test]
+    fn grid3_geometry() {
+        let g = Grid3::from_fn(9, 4, 3, 1, 9.5, |z, y, x| (z * 10000 + y * 100 + x) as f64);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+        assert_eq!(g.get(2, 3, 8), 20308.0);
+        assert_eq!(g.get(-1, 0, 0), 9.5);
+        assert_eq!(g.get(3, 0, 0), 9.5);
+        assert_eq!(g.get(1, -1, 2), 9.5);
+        assert_eq!(g.get(1, 1, 9), 9.5);
+        assert_eq!(g.ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut g = Grid1::filled(16, 0.0);
+        let h = g.clone();
+        g.set(3, 42.0);
+        assert_eq!(h.get(3), 0.0);
+        assert_eq!(g.get(3), 42.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Kernels on the **DLT layout** (dimension-lifting transpose, Henretty et
+//! al. — the paper's §2.2 baseline and the vectorization scheme inside the
+//! SDSL comparison).
+//!
+//! In DLT space, the x-neighbour of column `j` is column `j±1`, so *every*
+//! steady-state input is a contiguous aligned vector load — zero shuffles.
+//! The price is paid elsewhere: the `vl` lanes of one vector are `n/vl`
+//! cells apart, so a spatial tile touches `vl` distant memory regions
+//! (the locality loss the paper's §3.1 pins on DLT), and the 2r *seam*
+//! columns at the ends of the column range need cross-lane values, which
+//! we process scalar through the index map.
+
+use stencil_simd::SimdF64;
+
+use super::orig::splat_w;
+use crate::layout::{dlt_read, DltGeo};
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
+
+/// Scalar update of logical cells `[lo, hi)` of a DLT row (mapped access).
+///
+/// # Safety
+/// Row pointers valid with halos; `lo ≤ hi ≤ n`.
+#[inline(always)]
+pub unsafe fn star1_dlt_scalar<S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    lo: usize,
+    hi: usize,
+    geo: &DltGeo,
+    s: &S,
+) {
+    let w = s.w();
+    let r = S::R as isize;
+    for i in lo..hi {
+        let ii = i as isize;
+        let mut acc = w[0] * dlt_read(src, ii - r, geo);
+        for o in 1..=2 * S::R {
+            acc = dlt_read(src, ii - r + o as isize, geo).mul_add(w[o], acc);
+        }
+        *dst.add(geo.map(i)) = acc;
+    }
+}
+
+/// Vector core of a 1D star step over DLT columns `[j0, j1)`.
+///
+/// # Safety
+/// Caller must guarantee `R ≤ j0` and `j1 ≤ cols - R` (no seam columns)
+/// and the usual pointer/feature contracts.
+#[inline(always)]
+pub unsafe fn star1_dlt_cols<V: SimdF64, S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    j0: usize,
+    j1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
+    for j in j0..j1 {
+        let base = j * l;
+        let mut acc = V::load(src.add(base - r * l)).mul(wv[0]);
+        for o in 1..=2 * r {
+            let off = base as isize + (o as isize - r as isize) * l as isize;
+            acc = V::load(src.offset(off)).mul_add(wv[o], acc);
+        }
+        acc.store(dst.add(base));
+    }
+}
+
+/// Scalar update of the seam columns (`[0, R)` and `[cols-R, cols)`) of a
+/// DLT row — all `vl` lanes of each seam column, through the index map.
+///
+/// # Safety
+/// Row pointers valid with halos.
+#[inline(always)]
+unsafe fn star1_dlt_seams<S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    geo: &DltGeo,
+    s: &S,
+) {
+    let r = S::R;
+    let cols = geo.cols;
+    for lane in 0..geo.vl {
+        let base = lane * cols;
+        star1_dlt_scalar(src, dst, base, base + r, geo, s);
+        star1_dlt_scalar(src, dst, base + cols - r, base + cols, geo, s);
+    }
+}
+
+/// One Jacobi step of a 1D star stencil over a full DLT row.
+///
+/// # Safety
+/// Row pointers valid with halos; `src != dst`.
+#[inline(always)]
+pub unsafe fn star1_dlt<V: SimdF64, S: Star1>(src: *const f64, dst: *mut f64, n: usize, s: &S) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = DltGeo::new(n, l);
+    if geo.cols <= 2 * r {
+        star1_dlt_scalar(src, dst, 0, n, &geo, s);
+        return;
+    }
+    star1_dlt_seams(src, dst, &geo, s);
+    star1_dlt_cols::<V, S>(src, dst, r, geo.cols - r, s);
+    star1_dlt_scalar(src, dst, geo.region, n, &geo, s); // tail
+}
+
+/// One Jacobi step of a 2D star stencil over rows `[y0, y1)` (full x) in
+/// DLT layout; y-neighbours are aligned loads at identical offsets.
+///
+/// # Safety
+/// Rows `y0-R..y1+R` addressable; `src != dst`.
+#[inline(always)]
+pub unsafe fn star2_dlt<V: SimdF64, S: Star2>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    nx: usize,
+    y0: usize,
+    y1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = DltGeo::new(nx, l);
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    for y in y0..y1 {
+        let c = src.add(y * rs);
+        let d = dst.add(y * rs);
+        // scalar seams + tail (x- and y-terms through the map)
+        let scalar_cells = |lo: usize, hi: usize| {
+            let wx = s.wx();
+            let wy = s.wy();
+            let ri = r as isize;
+            for i in lo..hi {
+                let ii = i as isize;
+                let mut acc = wx[0] * dlt_read(c, ii - ri, &geo);
+                for o in 1..=2 * r {
+                    acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                }
+                for dd in 1..=r {
+                    acc = dlt_read(c.offset(-((dd * rs) as isize)), ii, &geo)
+                        .mul_add(wy[r - dd], acc);
+                    acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(wy[r + dd], acc);
+                }
+                *d.add(geo.map(i)) = acc;
+            }
+        };
+        if geo.cols <= 2 * r {
+            scalar_cells(0, nx);
+            continue;
+        }
+        for lane in 0..l {
+            let base = lane * geo.cols;
+            scalar_cells(base, base + r);
+            scalar_cells(base + geo.cols - r, base + geo.cols);
+        }
+        scalar_cells(geo.region, nx);
+        for j in r..geo.cols - r {
+            let base = j * l;
+            let mut acc = V::load(c.add(base - r * l)).mul(wxv[0]);
+            for o in 1..=2 * r {
+                let off = base as isize + (o as isize - r as isize) * l as isize;
+                acc = V::load(c.offset(off)).mul_add(wxv[o], acc);
+            }
+            for dd in 1..=r {
+                acc = V::load(c.offset(base as isize - (dd * rs) as isize))
+                    .mul_add(wyv[r - dd], acc);
+                acc = V::load(c.add(base + dd * rs)).mul_add(wyv[r + dd], acc);
+            }
+            acc.store(d.add(base));
+        }
+    }
+}
+
+/// One Jacobi step of a 2D box stencil over rows `[y0, y1)` in DLT layout
+/// — pure aligned loads in steady state (DLT's best case).
+///
+/// # Safety
+/// Rows `y0-R..y1+R` addressable; `src != dst`.
+#[inline(always)]
+pub unsafe fn box2_dlt<V: SimdF64, S: Box2>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    nx: usize,
+    y0: usize,
+    y1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = DltGeo::new(nx, l);
+    let wv: [V; 25] = splat_w(s.w());
+    for y in y0..y1 {
+        let c = src.add(y * rs);
+        let d = dst.add(y * rs);
+        let scalar_cells = |lo: usize, hi: usize| {
+            let w = s.w();
+            let ri = r as isize;
+            for i in lo..hi {
+                let ii = i as isize;
+                let mut acc = 0.0;
+                let mut k = 0usize;
+                for dy in -ri..=ri {
+                    let row = c.offset(dy * rs as isize);
+                    for dx in -ri..=ri {
+                        let val = dlt_read(row, ii + dx, &geo);
+                        if k == 0 {
+                            acc = w[0] * val;
+                        } else {
+                            acc = val.mul_add(w[k], acc);
+                        }
+                        k += 1;
+                    }
+                }
+                *d.add(geo.map(i)) = acc;
+            }
+        };
+        if geo.cols <= 2 * r {
+            scalar_cells(0, nx);
+            continue;
+        }
+        for lane in 0..l {
+            let base = lane * geo.cols;
+            scalar_cells(base, base + r);
+            scalar_cells(base + geo.cols - r, base + geo.cols);
+        }
+        scalar_cells(geo.region, nx);
+        for j in r..geo.cols - r {
+            let base = j * l;
+            let mut acc = V::splat(0.0);
+            let mut k = 0usize;
+            for dy in -(r as isize)..=r as isize {
+                let row = c.offset(dy * rs as isize);
+                for dx in -(r as isize)..=r as isize {
+                    let v = V::load(row.offset(base as isize + dx * l as isize));
+                    if k == 0 {
+                        acc = v.mul(wv[0]);
+                    } else {
+                        acc = v.mul_add(wv[k], acc);
+                    }
+                    k += 1;
+                }
+            }
+            acc.store(d.add(base));
+        }
+    }
+}
+
+/// One Jacobi step of a 3D star stencil over planes `[z0, z1)` (full x/y)
+/// in DLT layout.
+///
+/// # Safety
+/// Planes/rows within radius addressable; `src != dst`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_dlt<V: SimdF64, S: Star3>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    z0: usize,
+    z1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = DltGeo::new(nx, l);
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    let wzv: [V; 2 * MAX_R + 1] = splat_w(s.wz());
+    for z in z0..z1 {
+        for y in 0..ny {
+            let c = src.add(z * ps + y * rs);
+            let d = dst.add(z * ps + y * rs);
+            let scalar_cells = |lo: usize, hi: usize| {
+                let (wx, wy, wz) = (s.wx(), s.wy(), s.wz());
+                let ri = r as isize;
+                for i in lo..hi {
+                    let ii = i as isize;
+                    let mut acc = wx[0] * dlt_read(c, ii - ri, &geo);
+                    for o in 1..=2 * r {
+                        acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                    }
+                    for dd in 1..=r {
+                        acc = dlt_read(c.offset(-((dd * rs) as isize)), ii, &geo)
+                            .mul_add(wy[r - dd], acc);
+                        acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(wy[r + dd], acc);
+                    }
+                    for dd in 1..=r {
+                        acc = dlt_read(c.offset(-((dd * ps) as isize)), ii, &geo)
+                            .mul_add(wz[r - dd], acc);
+                        acc = dlt_read(c.add(dd * ps), ii, &geo).mul_add(wz[r + dd], acc);
+                    }
+                    *d.add(geo.map(i)) = acc;
+                }
+            };
+            if geo.cols <= 2 * r {
+                scalar_cells(0, nx);
+                continue;
+            }
+            for lane in 0..l {
+                let base = lane * geo.cols;
+                scalar_cells(base, base + r);
+                scalar_cells(base + geo.cols - r, base + geo.cols);
+            }
+            scalar_cells(geo.region, nx);
+            for j in r..geo.cols - r {
+                let base = j * l;
+                let mut acc = V::load(c.add(base - r * l)).mul(wxv[0]);
+                for o in 1..=2 * r {
+                    let off = base as isize + (o as isize - r as isize) * l as isize;
+                    acc = V::load(c.offset(off)).mul_add(wxv[o], acc);
+                }
+                for dd in 1..=r {
+                    acc = V::load(c.offset(base as isize - (dd * rs) as isize))
+                        .mul_add(wyv[r - dd], acc);
+                    acc = V::load(c.add(base + dd * rs)).mul_add(wyv[r + dd], acc);
+                    acc = V::load(c.offset(base as isize - (dd * ps) as isize))
+                        .mul_add(wzv[r - dd], acc);
+                    acc = V::load(c.add(base + dd * ps)).mul_add(wzv[r + dd], acc);
+                }
+                acc.store(d.add(base));
+            }
+        }
+    }
+}
+
+/// One Jacobi step of a 3D box stencil over planes `[z0, z1)` in DLT
+/// layout.
+///
+/// # Safety
+/// Planes/rows within radius addressable; `src != dst`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box3_dlt<V: SimdF64, S: Box3>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    z0: usize,
+    z1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = DltGeo::new(nx, l);
+    let wv: [V; 27] = splat_w(s.w());
+    for z in z0..z1 {
+        for y in 0..ny {
+            let c = src.add(z * ps + y * rs);
+            let d = dst.add(z * ps + y * rs);
+            let scalar_cells = |lo: usize, hi: usize| {
+                let w = s.w();
+                let ri = r as isize;
+                for i in lo..hi {
+                    let ii = i as isize;
+                    let mut acc = 0.0;
+                    let mut k = 0usize;
+                    for dz in -ri..=ri {
+                        for dy in -ri..=ri {
+                            let row = c.offset(dz * ps as isize + dy * rs as isize);
+                            for dx in -ri..=ri {
+                                let val = dlt_read(row, ii + dx, &geo);
+                                if k == 0 {
+                                    acc = w[0] * val;
+                                } else {
+                                    acc = val.mul_add(w[k], acc);
+                                }
+                                k += 1;
+                            }
+                        }
+                    }
+                    *d.add(geo.map(i)) = acc;
+                }
+            };
+            if geo.cols <= 2 * r {
+                scalar_cells(0, nx);
+                continue;
+            }
+            for lane in 0..l {
+                let base = lane * geo.cols;
+                scalar_cells(base, base + r);
+                scalar_cells(base + geo.cols - r, base + geo.cols);
+            }
+            scalar_cells(geo.region, nx);
+            for j in r..geo.cols - r {
+                let base = j * l;
+                let mut acc = V::splat(0.0);
+                let mut k = 0usize;
+                for dz in -(r as isize)..=r as isize {
+                    for dy in -(r as isize)..=r as isize {
+                        let row = c.offset(dz * ps as isize + dy * rs as isize);
+                        for dx in -(r as isize)..=r as isize {
+                            let v = V::load(row.offset(base as isize + dx * l as isize));
+                            if k == 0 {
+                                acc = v.mul(wv[0]);
+                            } else {
+                                acc = v.mul_add(wv[k], acc);
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                acc.store(d.add(base));
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Stencil kernels, one module per execution scheme.
+//!
+//! | module | layout | scheme (paper section) |
+//! |---|---|---|
+//! | [`scalar`] | natural | reference oracle |
+//! | [`orig`] | natural | multiple-loads & data-reorganization (§2.1) |
+//! | [`dlt`] | DLT | dimension-lifting transpose (§2.2) |
+//! | [`tl`] | local transpose | the paper's scheme, k = 1 (§3.2) |
+//! | [`tl2`] | local transpose | time unroll-and-jam, k = 2 (§3.3) |
+//!
+//! All kernels are `unsafe fn`, `#[inline(always)]`, generic over the
+//! vector type, and range-based so the tiling substrate can drive them on
+//! tile fragments. The safe entry points live in [`crate::api`].
+
+pub mod dlt;
+pub mod isa_entry;
+pub mod orig;
+pub mod scalar;
+pub mod tl;
+pub mod tl2;

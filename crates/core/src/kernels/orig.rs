@@ -1,0 +1,348 @@
+//! Vectorized kernels on the **natural (original) layout** — the two
+//! conventional schemes the paper describes in §2.1 and uses as baselines:
+//!
+//! * `REORG = false` — **multiple loads**: every x-neighbour is an
+//!   unaligned vector load (`2r` of the `2r+1` loads are unaligned). This
+//!   "represents a class of auto-vectorization in modern compilers"
+//!   (paper §4.2) and maximizes memory traffic.
+//! * `REORG = true` — **data reorganization**: only aligned loads
+//!   (previous / current / next vector), with every x-neighbour vector
+//!   assembled by inter-register `alignr` shuffles — `4r` shuffle ops per
+//!   *output vector* (the transpose layout needs that many per *vector
+//!   set*, a `vl×` reduction).
+//!
+//! Both share one code path per stencil family; the `REORG` const folds at
+//! monomorphization. Edges of the requested range that do not fill a whole
+//! vector fall back to the scalar reference, preserving bit-identical
+//! results.
+
+use stencil_simd::SimdF64;
+
+use super::scalar;
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
+
+/// Splat the first `w.len()` weights into vector registers.
+#[inline(always)]
+pub(crate) unsafe fn splat_w<V: SimdF64, const N: usize>(w: &[f64]) -> [V; N] {
+    let mut wv = [V::splat(0.0); N];
+    for o in 0..w.len() {
+        wv[o] = V::splat(w[o]);
+    }
+    wv
+}
+
+/// The x-neighbour vector at offset `d` from aligned position `i`.
+///
+/// # Safety
+/// Aligned loads at `i ± LANES` must be in bounds (grid halo pads
+/// guarantee this for `|d| ≤ R ≤ LANES`).
+#[inline(always)]
+unsafe fn xvec<V: SimdF64, const REORG: bool>(row: *const f64, i: usize, d: isize) -> V {
+    if REORG {
+        let l = V::LANES as isize;
+        if d == 0 {
+            V::load(row.add(i))
+        } else if d < 0 {
+            let prev = V::load(row.offset(i as isize - l));
+            let cur = V::load(row.add(i));
+            V::alignr(cur, prev, (l + d) as usize)
+        } else {
+            let cur = V::load(row.add(i));
+            let next = V::load(row.offset(i as isize + l));
+            V::alignr(next, cur, d as usize)
+        }
+    } else {
+        V::loadu(row.offset(i as isize + d))
+    }
+}
+
+/// Vector-aligned sub-range of `[lo, hi)`: `(vlo, vhi)` with both multiples
+/// of `lanes` and `lo ≤ vlo ≤ vhi ≤ hi`.
+#[inline(always)]
+fn vrange(lo: usize, hi: usize, lanes: usize) -> (usize, usize) {
+    let vlo = lo.div_ceil(lanes) * lanes;
+    if vlo >= hi {
+        return (vlo, vlo);
+    }
+    (vlo, vlo + (hi - vlo) / lanes * lanes)
+}
+
+/// One Jacobi step of a 1D star stencil over `[lo, hi)`, original layout.
+///
+/// # Safety
+/// Pointers valid over the range plus halo pads; `src != dst`.
+#[inline(always)]
+pub unsafe fn star1_orig<V: SimdF64, S: Star1, const REORG: bool>(
+    src: *const f64,
+    dst: *mut f64,
+    lo: usize,
+    hi: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= l);
+    let (vlo, vhi) = vrange(lo, hi, l);
+    scalar::star1_range(src, dst, lo, vlo.min(hi), s);
+    if vlo >= vhi {
+        scalar::star1_range(src, dst, vlo.max(lo).min(hi), hi, s);
+        return;
+    }
+    let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
+    let mut i = vlo;
+    while i < vhi {
+        let mut acc = xvec::<V, REORG>(src, i, -(r as isize)).mul(wv[0]);
+        for o in 1..=2 * r {
+            acc = xvec::<V, REORG>(src, i, o as isize - r as isize).mul_add(wv[o], acc);
+        }
+        acc.store(dst.add(i));
+        i += l;
+    }
+    scalar::star1_range(src, dst, vhi, hi, s);
+}
+
+/// One Jacobi step of a 2D star stencil over `[y0,y1) × [x0,x1)`, original
+/// layout.
+///
+/// # Safety
+/// Pointers valid over the range plus halo (rows `y ± R` addressable).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star2_orig<V: SimdF64, S: Star2, const REORG: bool>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let (vlo, vhi) = vrange(x0, x1, l);
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    for y in y0..y1 {
+        let row = src.add(y * rs);
+        let drow = dst.add(y * rs);
+        scalar::star2_range(src, dst, rs, y, y + 1, x0, vlo.min(x1), s);
+        if vlo < vhi {
+            let mut i = vlo;
+            while i < vhi {
+                let mut acc = xvec::<V, REORG>(row, i, -(r as isize)).mul(wxv[0]);
+                for o in 1..=2 * r {
+                    acc = xvec::<V, REORG>(row, i, o as isize - r as isize).mul_add(wxv[o], acc);
+                }
+                for d in 1..=r {
+                    let up = V::load(row.offset(i as isize - (d * rs) as isize));
+                    acc = up.mul_add(wyv[r - d], acc);
+                    let dn = V::load(row.add(i + d * rs));
+                    acc = dn.mul_add(wyv[r + d], acc);
+                }
+                acc.store(drow.add(i));
+                i += l;
+            }
+            scalar::star2_range(src, dst, rs, y, y + 1, vhi, x1, s);
+        } else {
+            scalar::star2_range(src, dst, rs, y, y + 1, vlo.max(x0).min(x1), x1, s);
+        }
+    }
+}
+
+/// One Jacobi step of a 2D box stencil over `[y0,y1) × [x0,x1)`, original
+/// layout.
+///
+/// # Safety
+/// Pointers valid over the range plus halo.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box2_orig<V: SimdF64, S: Box2, const REORG: bool>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= 2, "box kernels sized for R<=2");
+    let (vlo, vhi) = vrange(x0, x1, l);
+    let wv: [V; 25] = splat_w(s.w());
+    for y in y0..y1 {
+        let drow = dst.add(y * rs);
+        scalar::box2_range(src, dst, rs, y, y + 1, x0, vlo.min(x1), s);
+        if vlo < vhi {
+            let mut i = vlo;
+            while i < vhi {
+                let mut acc = V::splat(0.0);
+                let mut k = 0usize;
+                for dy in -(r as isize)..=r as isize {
+                    let row = src.offset((y as isize + dy) * rs as isize);
+                    for dx in -(r as isize)..=r as isize {
+                        let v = xvec::<V, REORG>(row, i, dx);
+                        if k == 0 {
+                            acc = v.mul(wv[0]);
+                        } else {
+                            acc = v.mul_add(wv[k], acc);
+                        }
+                        k += 1;
+                    }
+                }
+                acc.store(drow.add(i));
+                i += l;
+            }
+            scalar::box2_range(src, dst, rs, y, y + 1, vhi, x1, s);
+        } else {
+            scalar::box2_range(src, dst, rs, y, y + 1, vlo.max(x0).min(x1), x1, s);
+        }
+    }
+}
+
+/// One Jacobi step of a 3D star stencil over a box of cells, original
+/// layout.
+///
+/// # Safety
+/// Pointers valid over the range plus halo.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_orig<V: SimdF64, S: Star3, const REORG: bool>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    z0: usize,
+    z1: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let (vlo, vhi) = vrange(x0, x1, l);
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    let wzv: [V; 2 * MAX_R + 1] = splat_w(s.wz());
+    for z in z0..z1 {
+        for y in y0..y1 {
+            let row = src.add(z * ps + y * rs);
+            let drow = dst.add(z * ps + y * rs);
+            scalar::star3_range(src, dst, rs, ps, z, z + 1, y, y + 1, x0, vlo.min(x1), s);
+            if vlo < vhi {
+                let mut i = vlo;
+                while i < vhi {
+                    let mut acc = xvec::<V, REORG>(row, i, -(r as isize)).mul(wxv[0]);
+                    for o in 1..=2 * r {
+                        acc =
+                            xvec::<V, REORG>(row, i, o as isize - r as isize).mul_add(wxv[o], acc);
+                    }
+                    for d in 1..=r {
+                        acc = V::load(row.offset(i as isize - (d * rs) as isize))
+                            .mul_add(wyv[r - d], acc);
+                        acc = V::load(row.add(i + d * rs)).mul_add(wyv[r + d], acc);
+                    }
+                    for d in 1..=r {
+                        acc = V::load(row.offset(i as isize - (d * ps) as isize))
+                            .mul_add(wzv[r - d], acc);
+                        acc = V::load(row.add(i + d * ps)).mul_add(wzv[r + d], acc);
+                    }
+                    acc.store(drow.add(i));
+                    i += l;
+                }
+                scalar::star3_range(src, dst, rs, ps, z, z + 1, y, y + 1, vhi, x1, s);
+            } else {
+                scalar::star3_range(
+                    src,
+                    dst,
+                    rs,
+                    ps,
+                    z,
+                    z + 1,
+                    y,
+                    y + 1,
+                    vlo.max(x0).min(x1),
+                    x1,
+                    s,
+                );
+            }
+        }
+    }
+}
+
+/// One Jacobi step of a 3D box stencil over a box of cells, original
+/// layout.
+///
+/// # Safety
+/// Pointers valid over the range plus halo.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box3_orig<V: SimdF64, S: Box3, const REORG: bool>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    z0: usize,
+    z1: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= 1, "box3 kernels sized for R<=1");
+    let (vlo, vhi) = vrange(x0, x1, l);
+    let wv: [V; 27] = splat_w(s.w());
+    for z in z0..z1 {
+        for y in y0..y1 {
+            let drow = dst.add(z * ps + y * rs);
+            scalar::box3_range(src, dst, rs, ps, z, z + 1, y, y + 1, x0, vlo.min(x1), s);
+            if vlo < vhi {
+                let mut i = vlo;
+                while i < vhi {
+                    let mut acc = V::splat(0.0);
+                    let mut k = 0usize;
+                    for dz in -(r as isize)..=r as isize {
+                        for dy in -(r as isize)..=r as isize {
+                            let row = src.offset(
+                                (z as isize + dz) * ps as isize + (y as isize + dy) * rs as isize,
+                            );
+                            for dx in -(r as isize)..=r as isize {
+                                let v = xvec::<V, REORG>(row, i, dx);
+                                if k == 0 {
+                                    acc = v.mul(wv[0]);
+                                } else {
+                                    acc = v.mul_add(wv[k], acc);
+                                }
+                                k += 1;
+                            }
+                        }
+                    }
+                    acc.store(drow.add(i));
+                    i += l;
+                }
+                scalar::box3_range(src, dst, rs, ps, z, z + 1, y, y + 1, vhi, x1, s);
+            } else {
+                scalar::box3_range(
+                    src,
+                    dst,
+                    rs,
+                    ps,
+                    z,
+                    z + 1,
+                    y,
+                    y + 1,
+                    vlo.max(x0).min(x1),
+                    x1,
+                    s,
+                );
+            }
+        }
+    }
+}

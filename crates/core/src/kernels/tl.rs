@@ -1,0 +1,713 @@
+//! Kernels on the paper's **local transpose layout** (§3.2), k = 1.
+//!
+//! The unit of work is a *vector set*: `vl` vectors holding one transposed
+//! `vl²` block. Inside a set, the stencil's x-dependences of vector `j`
+//! are vectors `j±o` of the same set — plain aligned register reuse, no
+//! shuffles. Only the `2r` dependent vectors that overhang the set's ends
+//! are assembled, each with the two-instruction blend+rotate `Assemble`
+//! (`4r` data-reorganization ops per set, vs. per vector for the
+//! data-reorganization baseline — the `vl×` saving at the heart of the
+//! paper).
+//!
+//! y/z neighbours (2D/3D) live at the *same transposed offset* in
+//! neighbouring rows, so they are single aligned loads — the layout only
+//! affects the unit-stride dimension (§3.4).
+//!
+//! Cells outside full sets (a tile edge or the row tail) are updated by a
+//! scalar path through the [`crate::layout::SetGeo`] index map, the
+//! "simple data reorganization method" the paper prescribes for boundary
+//! sets (Fig. 5d).
+
+use stencil_simd::SimdF64;
+
+use super::orig::splat_w;
+use crate::layout::{tl_read, tl_write, SetGeo};
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
+
+/// x-part of a set update: given the set's vectors plus the neighbouring
+/// sets' overhanging vectors, produce the `vl` output vectors of a 1D star
+/// accumulation in canonical order.
+///
+/// `prev_last[q]` must be the previous set's vector `vl-r+q` (or, at the
+/// domain edge, a vector whose last lane is the halo cell `A[-(r-q)]`);
+/// `next_first[q]` the next set's vector `q` (or a vector whose first lane
+/// is the cell just past the set block).
+///
+/// # Safety
+/// Feature context for `V`; `r = S::R ≤ V::LANES`.
+#[inline(always)]
+pub(crate) unsafe fn xpart_set<V: SimdF64>(
+    v: &[V; 8],
+    prev_last: &[V; MAX_R],
+    next_first: &[V; MAX_R],
+    wv: &[V; 2 * MAX_R + 1],
+    r: usize,
+    out: &mut [V; 8],
+) {
+    let l = V::LANES;
+    // Extended window: [left_r .. left_1 | v_0 .. v_{l-1} | right_1 .. right_r]
+    // so position p of the stencil maps to ext[r + p] with no lane-select
+    // branches — the whole window stays in registers after unrolling.
+    let mut ext = [V::splat(0.0); 8 + 2 * MAX_R];
+    for o in 1..=r {
+        ext[r - o] = V::assemble_left(prev_last[r - o], v[l - o]);
+        ext[r + l + o - 1] = V::assemble_right(v[o - 1], next_first[o - 1]);
+    }
+    for (j, e) in ext.iter_mut().skip(r).take(l).enumerate() {
+        *e = v[j];
+    }
+    for j in 0..l {
+        let mut acc = ext[j].mul(wv[0]);
+        for o in 1..=2 * r {
+            acc = ext[j + o].mul_add(wv[o], acc);
+        }
+        out[j] = acc;
+    }
+}
+
+/// Load the `vl` vectors of set `set` from a transposed row.
+#[inline(always)]
+unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
+    let l = V::LANES;
+    let base = set * l * l;
+    let mut v = [V::splat(0.0); 8];
+    for j in 0..l {
+        v[j] = V::load(row.add(base + j * l));
+    }
+    v
+}
+
+/// The previous set's last `r` vectors for `set` (register-free variant:
+/// loaded from memory; at the domain edge, splats of halo cells).
+#[inline(always)]
+pub(crate) unsafe fn prev_last_of<V: SimdF64>(row: *const f64, set: usize, r: usize) -> [V; MAX_R] {
+    let l = V::LANES;
+    let bs = l * l;
+    let mut p = [V::splat(0.0); MAX_R];
+    if set == 0 {
+        for q in 0..r {
+            // lane l-1 must be the halo cell A[-(r-q)]; a splat suffices.
+            p[q] = V::splat(*row.offset(q as isize - r as isize));
+        }
+    } else {
+        for q in 0..r {
+            p[q] = V::load(row.add((set - 1) * bs + (l - r + q) * l));
+        }
+    }
+    p
+}
+
+/// The next set's first `r` vectors for `set` (at the last set, splats of
+/// the natural-layout cells just past the transposed region).
+#[inline(always)]
+pub(crate) unsafe fn next_first_of<V: SimdF64>(
+    row: *const f64,
+    set: usize,
+    nsets: usize,
+    r: usize,
+) -> [V; MAX_R] {
+    let l = V::LANES;
+    let bs = l * l;
+    let base = set * bs;
+    let mut nf = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        nf[q] = if set + 1 < nsets {
+            V::load(row.add(base + bs + q * l))
+        } else {
+            // lane 0 must be the cell at logical base+bs+q (tail or halo,
+            // both stored naturally).
+            V::splat(*row.add(base + bs + q))
+        };
+    }
+    nf
+}
+
+/// Split `[x0, x1)` into (scalar-left, full sets, scalar-right) pieces.
+#[inline(always)]
+fn set_split(geo: &SetGeo, x0: usize, x1: usize) -> (usize, usize) {
+    let s0 = x0.div_ceil(geo.bs);
+    let s1 = (x1 / geo.bs).min(geo.nsets);
+    (s0, s1)
+}
+
+// ---------------------------------------------------------------------------
+// 1D star
+// ---------------------------------------------------------------------------
+
+/// Scalar fallback over the transpose layout (mapped reads/writes).
+///
+/// # Safety
+/// Row pointers valid with halo; `lo ≤ hi ≤ n`.
+#[inline(always)]
+unsafe fn star1_tl_scalar<S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    lo: usize,
+    hi: usize,
+    geo: &SetGeo,
+    s: &S,
+) {
+    let w = s.w();
+    let r = S::R as isize;
+    for i in lo..hi {
+        let ii = i as isize;
+        let mut acc = w[0] * tl_read(src, ii - r, geo);
+        for o in 1..=2 * S::R {
+            acc = tl_read(src, ii - r + o as isize, geo).mul_add(w[o], acc);
+        }
+        tl_write(dst, i, acc, geo);
+    }
+}
+
+/// One Jacobi step of a 1D star stencil over logical cells `[x0, x1)` of a
+/// row of `n` cells in transpose layout.
+///
+/// # Safety
+/// `src`/`dst` point at interior origins of rows in transpose layout with
+/// halos addressable; `src != dst`; `S::R ≤ V::LANES`.
+#[inline(always)]
+pub unsafe fn star1_tl<V: SimdF64, S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    n: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= l);
+    let geo = SetGeo::new(n, l);
+    let (s0, s1) = set_split(&geo, x0, x1);
+    if s0 >= s1 {
+        star1_tl_scalar(src, dst, x0, x1, &geo, s);
+        return;
+    }
+    star1_tl_scalar(src, dst, x0, s0 * geo.bs, &geo, s);
+    star1_tl_scalar(src, dst, s1 * geo.bs, x1, &geo, s);
+
+    let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
+    // Carry the previous set's last r vectors in registers across the
+    // sweep (the vrl of Algorithm 1) instead of reloading them.
+    let mut carry = prev_last_of::<V>(src, s0, r);
+    let mut out = [V::splat(0.0); 8];
+    for set in s0..s1 {
+        let v = load_set::<V>(src, set);
+        let nf = next_first_of::<V>(src, set, geo.nsets, r);
+        xpart_set::<V>(&v, &carry, &nf, &wv, r, &mut out);
+        let base = set * geo.bs;
+        for j in 0..l {
+            out[j].store(dst.add(base + j * l));
+        }
+        for q in 0..r {
+            carry[q] = v[l - r + q];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2D star — row helper shared by k=1 and the k=2 ring pipeline
+// ---------------------------------------------------------------------------
+
+/// One row of a 2D star stencil in transpose layout: the x-part runs on
+/// the vector-set machinery; the y-part adds aligned loads from the
+/// `2r` neighbour-row pointers at identical transposed offsets.
+///
+/// `ym[d-1]` / `yp[d-1]` must point at the interior origin of row `y∓d`
+/// (halo rows included), all in the same layout/geometry.
+///
+/// # Safety
+/// All row pointers valid with halos; `dst` disjoint from every source row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star2_row_tl<V: SimdF64, S: Star2>(
+    c: *const f64,
+    ym: &[*const f64; MAX_R],
+    yp: &[*const f64; MAX_R],
+    dst: *mut f64,
+    n: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = SetGeo::new(n, l);
+    let (s0, s1) = set_split(&geo, x0, x1);
+
+    // scalar partials through the index map
+    let scalar_part = |lo: usize, hi: usize| {
+        let wx = s.wx();
+        let wy = s.wy();
+        let ri = r as isize;
+        for i in lo..hi {
+            let ii = i as isize;
+            let mut acc = wx[0] * tl_read(c, ii - ri, &geo);
+            for o in 1..=2 * r {
+                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+            }
+            for d in 1..=r {
+                acc = tl_read(ym[d - 1], ii, &geo).mul_add(wy[r - d], acc);
+                acc = tl_read(yp[d - 1], ii, &geo).mul_add(wy[r + d], acc);
+            }
+            tl_write(dst, i, acc, &geo);
+        }
+    };
+    if s0 >= s1 {
+        scalar_part(x0, x1);
+        return;
+    }
+    scalar_part(x0, s0 * geo.bs);
+    scalar_part(s1 * geo.bs, x1);
+
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    let mut carry = prev_last_of::<V>(c, s0, r);
+    let mut out = [V::splat(0.0); 8];
+    for set in s0..s1 {
+        let v = load_set::<V>(c, set);
+        let nf = next_first_of::<V>(c, set, geo.nsets, r);
+        xpart_set::<V>(&v, &carry, &nf, &wxv, r, &mut out);
+        let base = set * geo.bs;
+        for j in 0..l {
+            let mut acc = out[j];
+            for d in 1..=r {
+                acc = V::load(ym[d - 1].add(base + j * l)).mul_add(wyv[r - d], acc);
+                acc = V::load(yp[d - 1].add(base + j * l)).mul_add(wyv[r + d], acc);
+            }
+            acc.store(dst.add(base + j * l));
+        }
+        for q in 0..r {
+            carry[q] = v[l - r + q];
+        }
+    }
+}
+
+/// One Jacobi step of a 2D star stencil over `[y0,y1) × [x0,x1)`,
+/// transpose layout.
+///
+/// # Safety
+/// As [`star2_row_tl`], with rows `y0-R .. y1+R` addressable in `src`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star2_tl<V: SimdF64, S: Star2>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    nx: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    for y in y0..y1 {
+        let c = src.add(y * rs);
+        let (ym, yp) = row_nbrs::<MAX_R>(c, rs, S::R);
+        star2_row_tl::<V, S>(c, &ym, &yp, dst.add(y * rs), nx, x0, x1, s);
+    }
+}
+
+/// Neighbour-row pointer pairs `(y-d, y+d)` for `d = 1..=r`.
+#[inline(always)]
+pub(crate) unsafe fn row_nbrs<const N: usize>(
+    c: *const f64,
+    stride: usize,
+    r: usize,
+) -> ([*const f64; N], [*const f64; N]) {
+    let mut ym = [c; N];
+    let mut yp = [c; N];
+    for d in 1..=r {
+        ym[d - 1] = c.offset(-((d * stride) as isize));
+        yp[d - 1] = c.add(d * stride);
+    }
+    (ym, yp)
+}
+
+// ---------------------------------------------------------------------------
+// 2D box — row helper
+// ---------------------------------------------------------------------------
+
+/// One row of a 2D box stencil in transpose layout. `rows[R+dy]` points at
+/// the interior origin of row `y+dy`; every row contributes x-offsets
+/// `-R..=R`, with its own assembled overhang vectors at set boundaries.
+///
+/// # Safety
+/// All row pointers valid with halos; `dst` disjoint from sources.
+#[inline(always)]
+pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
+    rows: &[*const f64; 5],
+    dst: *mut f64,
+    n: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= 2);
+    let geo = SetGeo::new(n, l);
+    let (s0, s1) = set_split(&geo, x0, x1);
+    let nrows = 2 * r + 1;
+
+    let scalar_part = |lo: usize, hi: usize| {
+        let w = s.w();
+        let ri = r as isize;
+        for i in lo..hi {
+            let ii = i as isize;
+            let mut acc = 0.0f64;
+            let mut k = 0usize;
+            for row in rows.iter().take(nrows) {
+                for dx in -ri..=ri {
+                    let val = tl_read(*row, ii + dx, &geo);
+                    if k == 0 {
+                        acc = w[0] * val;
+                    } else {
+                        acc = val.mul_add(w[k], acc);
+                    }
+                    k += 1;
+                }
+            }
+            tl_write(dst, i, acc, &geo);
+        }
+    };
+    if s0 >= s1 {
+        scalar_part(x0, x1);
+        return;
+    }
+    scalar_part(x0, s0 * geo.bs);
+    scalar_part(s1 * geo.bs, x1);
+
+    let wv: [V; 25] = splat_w(s.w());
+    for set in s0..s1 {
+        let base = set * geo.bs;
+        // Per neighbour row: assembled overhangs (2r assembles per row per
+        // set — still vl× cheaper than per-vector reorganization).
+        let mut left = [[V::splat(0.0); MAX_R]; 5];
+        let mut right = [[V::splat(0.0); MAX_R]; 5];
+        for (k, row) in rows.iter().enumerate().take(nrows) {
+            let pl = prev_last_of::<V>(*row, set, r);
+            let nf = next_first_of::<V>(*row, set, geo.nsets, r);
+            for o in 1..=r {
+                left[k][o - 1] =
+                    V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
+                right[k][o - 1] =
+                    V::assemble_right(V::load(row.add(base + (o - 1) * l)), nf[o - 1]);
+            }
+        }
+        for j in 0..l {
+            let mut acc = V::splat(0.0);
+            let mut k = 0usize;
+            for (rowk, row) in rows.iter().enumerate().take(nrows) {
+                for dx in -(r as isize)..=r as isize {
+                    let p = j as isize + dx;
+                    let v = if p < 0 {
+                        left[rowk][(-p - 1) as usize]
+                    } else if (p as usize) < l {
+                        V::load(row.add(base + p as usize * l))
+                    } else {
+                        right[rowk][p as usize - l]
+                    };
+                    if k == 0 {
+                        acc = v.mul(wv[0]);
+                    } else {
+                        acc = v.mul_add(wv[k], acc);
+                    }
+                    k += 1;
+                }
+            }
+            acc.store(dst.add(base + j * l));
+        }
+    }
+}
+
+/// One Jacobi step of a 2D box stencil over `[y0,y1) × [x0,x1)`, transpose
+/// layout.
+///
+/// # Safety
+/// As [`box2_row_tl`] with rows `y0-R..y1+R` addressable.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box2_tl<V: SimdF64, S: Box2>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    nx: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let r = S::R;
+    for y in y0..y1 {
+        let mut rows = [src; 5];
+        for (k, row) in rows.iter_mut().enumerate().take(2 * r + 1) {
+            *row = src.offset((y as isize + k as isize - r as isize) * rs as isize);
+        }
+        box2_row_tl::<V, S>(&rows, dst.add(y * rs), nx, x0, x1, s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3D star — row helper
+// ---------------------------------------------------------------------------
+
+/// One row of a 3D star stencil in transpose layout: x-part on the set
+/// machinery, y- and z-parts as aligned neighbour-row loads.
+///
+/// # Safety
+/// All row pointers valid with halos; `dst` disjoint from sources.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_row_tl<V: SimdF64, S: Star3>(
+    c: *const f64,
+    ym: &[*const f64; MAX_R],
+    yp: &[*const f64; MAX_R],
+    zm: &[*const f64; MAX_R],
+    zp: &[*const f64; MAX_R],
+    dst: *mut f64,
+    n: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = SetGeo::new(n, l);
+    let (s0, s1) = set_split(&geo, x0, x1);
+
+    let scalar_part = |lo: usize, hi: usize| {
+        let wx = s.wx();
+        let wy = s.wy();
+        let wz = s.wz();
+        let ri = r as isize;
+        for i in lo..hi {
+            let ii = i as isize;
+            let mut acc = wx[0] * tl_read(c, ii - ri, &geo);
+            for o in 1..=2 * r {
+                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+            }
+            for d in 1..=r {
+                acc = tl_read(ym[d - 1], ii, &geo).mul_add(wy[r - d], acc);
+                acc = tl_read(yp[d - 1], ii, &geo).mul_add(wy[r + d], acc);
+            }
+            for d in 1..=r {
+                acc = tl_read(zm[d - 1], ii, &geo).mul_add(wz[r - d], acc);
+                acc = tl_read(zp[d - 1], ii, &geo).mul_add(wz[r + d], acc);
+            }
+            tl_write(dst, i, acc, &geo);
+        }
+    };
+    if s0 >= s1 {
+        scalar_part(x0, x1);
+        return;
+    }
+    scalar_part(x0, s0 * geo.bs);
+    scalar_part(s1 * geo.bs, x1);
+
+    let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
+    let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
+    let wzv: [V; 2 * MAX_R + 1] = splat_w(s.wz());
+    let mut carry = prev_last_of::<V>(c, s0, r);
+    let mut out = [V::splat(0.0); 8];
+    for set in s0..s1 {
+        let v = load_set::<V>(c, set);
+        let nf = next_first_of::<V>(c, set, geo.nsets, r);
+        xpart_set::<V>(&v, &carry, &nf, &wxv, r, &mut out);
+        let base = set * geo.bs;
+        for j in 0..l {
+            let mut acc = out[j];
+            for d in 1..=r {
+                acc = V::load(ym[d - 1].add(base + j * l)).mul_add(wyv[r - d], acc);
+                acc = V::load(yp[d - 1].add(base + j * l)).mul_add(wyv[r + d], acc);
+            }
+            for d in 1..=r {
+                acc = V::load(zm[d - 1].add(base + j * l)).mul_add(wzv[r - d], acc);
+                acc = V::load(zp[d - 1].add(base + j * l)).mul_add(wzv[r + d], acc);
+            }
+            acc.store(dst.add(base + j * l));
+        }
+        for q in 0..r {
+            carry[q] = v[l - r + q];
+        }
+    }
+}
+
+/// One Jacobi step of a 3D star stencil over a box of cells, transpose
+/// layout.
+///
+/// # Safety
+/// Rows/planes within radius addressable; `src != dst`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_tl<V: SimdF64, S: Star3>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    z0: usize,
+    z1: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    for z in z0..z1 {
+        for y in y0..y1 {
+            let c = src.add(z * ps + y * rs);
+            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, S::R);
+            let (zm, zp) = row_nbrs::<MAX_R>(c, ps, S::R);
+            star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, dst.add(z * ps + y * rs), nx, x0, x1, s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3D box — row helper
+// ---------------------------------------------------------------------------
+
+/// One row of a 3D box stencil (R ≤ 1) in transpose layout. `rows[k]` for
+/// `k = (R+dz)·(2R+1) + (R+dy)` points at the interior origin of row
+/// `(z+dz, y+dy)`.
+///
+/// # Safety
+/// All row pointers valid with halos; `dst` disjoint from sources.
+#[inline(always)]
+pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
+    rows: &[*const f64; 9],
+    dst: *mut f64,
+    n: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    debug_assert!(r <= 1, "box3 kernels sized for R<=1");
+    let geo = SetGeo::new(n, l);
+    let (s0, s1) = set_split(&geo, x0, x1);
+    let nrows = (2 * r + 1) * (2 * r + 1);
+
+    let scalar_part = |lo: usize, hi: usize| {
+        let w = s.w();
+        let ri = r as isize;
+        for i in lo..hi {
+            let ii = i as isize;
+            let mut acc = 0.0f64;
+            let mut k = 0usize;
+            for row in rows.iter().take(nrows) {
+                for dx in -ri..=ri {
+                    let val = tl_read(*row, ii + dx, &geo);
+                    if k == 0 {
+                        acc = w[0] * val;
+                    } else {
+                        acc = val.mul_add(w[k], acc);
+                    }
+                    k += 1;
+                }
+            }
+            tl_write(dst, i, acc, &geo);
+        }
+    };
+    if s0 >= s1 {
+        scalar_part(x0, x1);
+        return;
+    }
+    scalar_part(x0, s0 * geo.bs);
+    scalar_part(s1 * geo.bs, x1);
+
+    let wv: [V; 27] = splat_w(s.w());
+    for set in s0..s1 {
+        let base = set * geo.bs;
+        let mut left = [[V::splat(0.0); MAX_R]; 9];
+        let mut right = [[V::splat(0.0); MAX_R]; 9];
+        for (k, row) in rows.iter().enumerate().take(nrows) {
+            let pl = prev_last_of::<V>(*row, set, r);
+            let nf = next_first_of::<V>(*row, set, geo.nsets, r);
+            for o in 1..=r {
+                left[k][o - 1] =
+                    V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
+                right[k][o - 1] =
+                    V::assemble_right(V::load(row.add(base + (o - 1) * l)), nf[o - 1]);
+            }
+        }
+        for j in 0..l {
+            let mut acc = V::splat(0.0);
+            let mut k = 0usize;
+            for (rowk, row) in rows.iter().enumerate().take(nrows) {
+                for dx in -(r as isize)..=r as isize {
+                    let p = j as isize + dx;
+                    let v = if p < 0 {
+                        left[rowk][(-p - 1) as usize]
+                    } else if (p as usize) < l {
+                        V::load(row.add(base + p as usize * l))
+                    } else {
+                        right[rowk][p as usize - l]
+                    };
+                    if k == 0 {
+                        acc = v.mul(wv[0]);
+                    } else {
+                        acc = v.mul_add(wv[k], acc);
+                    }
+                    k += 1;
+                }
+            }
+            acc.store(dst.add(base + j * l));
+        }
+    }
+}
+
+/// Collect the 9 neighbour-row pointers of `(z, y)` for a 3D box stencil.
+#[inline(always)]
+pub(crate) unsafe fn box3_rows(
+    src: *const f64,
+    rs: usize,
+    ps: usize,
+    z: isize,
+    y: isize,
+    r: usize,
+) -> [*const f64; 9] {
+    let mut rows = [src; 9];
+    let w = 2 * r + 1;
+    for dz in 0..w {
+        for dy in 0..w {
+            rows[dz * w + dy] = src.offset(
+                (z + dz as isize - r as isize) * ps as isize
+                    + (y + dy as isize - r as isize) * rs as isize,
+            );
+        }
+    }
+    rows
+}
+
+/// One Jacobi step of a 3D box stencil over a box of cells, transpose
+/// layout.
+///
+/// # Safety
+/// Rows/planes within radius addressable; `src != dst`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box3_tl<V: SimdF64, S: Box3>(
+    src: *const f64,
+    dst: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    z0: usize,
+    z1: usize,
+    y0: usize,
+    y1: usize,
+    x0: usize,
+    x1: usize,
+    s: &S,
+) {
+    for z in z0..z1 {
+        for y in y0..y1 {
+            let rows = box3_rows(src, rs, ps, z as isize, y as isize, S::R);
+            box3_row_tl::<V, S>(&rows, dst.add(z * ps + y * rs), nx, x0, x1, s);
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Time-loop **unroll-and-jam** kernels (paper §3.3, Algorithm 1): advance
+//! the grid *two* time steps per memory round-trip.
+//!
+//! 1D is the paper's algorithm verbatim: a software pipeline of `k = 2`
+//! vector sets held in registers. Each iteration loads one set at time
+//! `t`, forwards the in-flight sets one step each (the younger one using
+//! the freshly updated right neighbour), and stores one set at `t+2` — so
+//! each `vl²` block is read once and written once per *two* steps,
+//! doubling the in-CPU flops/byte ratio. The `vrl` vectors preserve each
+//! set's left neighbour at the pre-update time level, exactly as in
+//! Algorithm 1. Because input and output live at even time levels, the
+//! update is legally **in place** (§3.3's space-saving observation).
+//!
+//! 2D/3D: Algorithm 1 is defined for one dimension; the register file
+//! cannot hold the `t+1` values of all neighbouring rows. We pipeline
+//! along the outermost dimension instead, keeping a ring of `2R+1` rows
+//! (2D) or planes (3D) of `t+1` values in an L1/L2-resident scratch
+//! buffer. Main-array traffic is still one read + one write per point per
+//! two steps — the property that produces the paper's Fig. 7/8 gains —
+//! while the ring stays cache-hot. This substitution is documented in
+//! DESIGN.md.
+
+use stencil_simd::SimdF64;
+
+use super::orig::splat_w;
+use super::tl::{box2_row_tl, box3_row_tl, box3_rows, row_nbrs, star2_row_tl, star3_row_tl, xpart_set};
+use crate::grid::HALO_PAD;
+use crate::layout::{tl_read, SetGeo};
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
+
+#[inline(always)]
+unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
+    let l = V::LANES;
+    let base = set * l * l;
+    let mut v = [V::splat(0.0); 8];
+    for j in 0..l {
+        v[j] = V::load(row.add(base + j * l));
+    }
+    v
+}
+
+#[inline(always)]
+unsafe fn store_set<V: SimdF64>(row: *mut f64, set: usize, v: &[V; 8]) {
+    let l = V::LANES;
+    let base = set * l * l;
+    for j in 0..l {
+        v[j].store(row.add(base + j * l));
+    }
+}
+
+#[inline(always)]
+fn first_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
+    let mut f = [v[0]; MAX_R];
+    for q in 0..r {
+        f[q] = v[q];
+    }
+    f
+}
+
+#[inline(always)]
+fn last_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
+    let l = V::LANES;
+    let mut f = [v[0]; MAX_R];
+    for q in 0..r {
+        f[q] = v[l - r + q];
+    }
+    f
+}
+
+/// Algorithm 1's `Compute`: update a set in place by one time step.
+#[inline(always)]
+unsafe fn update_set<V: SimdF64>(
+    v: &mut [V; 8],
+    prev_last: &[V; MAX_R],
+    next_first: &[V; MAX_R],
+    wv: &[V; 2 * MAX_R + 1],
+    r: usize,
+) {
+    let mut out = [V::splat(0.0); 8];
+    xpart_set::<V>(v, prev_last, next_first, wv, r, &mut out);
+    *v = out;
+}
+
+/// Advance a 1D star stencil **two** time steps, in place, on a transposed
+/// row of `n` cells with constant halos (paper Algorithm 1, k = 2).
+///
+/// # Safety
+/// `buf` points at the interior origin of a row in transpose layout with
+/// halos addressable; `SetGeo::new(n, V::LANES).nsets >= 2` (callers fall
+/// back to two k=1 steps below that); `S::R ≤ V::LANES`.
+#[inline(always)]
+pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = SetGeo::new(n, l);
+    let (nsets, bs) = (geo.nsets, geo.bs);
+    debug_assert!(nsets >= 2);
+    debug_assert!(r <= l);
+    let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
+    let cbuf = buf as *const f64;
+    let w = s.w();
+
+    // Virtual "set -1 last vectors": lane l-1 = halo cell A[-(r-q)];
+    // Dirichlet halos are time-invariant so these serve both levels.
+    let mut halo_virt = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        halo_virt[q] = V::splat(*cbuf.offset(q as isize - r as isize));
+    }
+
+    // Booting computation (Algorithm 1 line 30).
+    let mut vs1 = load_set::<V>(cbuf, 0);
+    let mut vs2 = load_set::<V>(cbuf, 1);
+    let mut vrl1 = last_r(&vs1, r); // set 0 @ t
+    update_set(&mut vs1, &halo_virt, &first_r(&vs2, r), &wv, r); // set 0 → t+1
+    let mut vrl0 = halo_virt; // "set -1" @ t+1
+
+    // Steady state (Algorithm 1 lines 15–26): load set m, forward the two
+    // in-flight sets, store the set that reached t+2.
+    for m in 2..nsets {
+        let vs3 = load_set::<V>(cbuf, m);
+        let vrl2 = last_r(&vs2, r); // set m-1 @ t
+        update_set(&mut vs2, &vrl1, &first_r(&vs3, r), &wv, r); // set m-1 → t+1
+        let vrl1_new = last_r(&vs1, r); // set m-2 @ t+1
+        update_set(&mut vs1, &vrl0, &first_r(&vs2, r), &wv, r); // set m-2 → t+2
+        store_set(buf, m - 2, &vs1);
+        vs1 = vs2;
+        vs2 = vs3;
+        vrl0 = vrl1_new;
+        vrl1 = vrl2;
+    }
+
+    // Epilogue: vs1 = set nsets-2 @ t+1, vs2 = set nsets-1 @ t; the memory
+    // of both sets and of the tail still holds time-t values.
+    let ts = geo.tail_start;
+    let tail_len = n - ts;
+    debug_assert!(tail_len + 2 * r < 80);
+
+    // Right-dependent cells of the last set @ t (tail or halo, natural).
+    let mut rt_t = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        rt_t[q] = V::splat(*cbuf.add(ts + q));
+    }
+    // Extended tail window @ t: [left r | tail | right halo r].
+    let mut ext_t = [0.0f64; 80];
+    for q in 0..r {
+        ext_t[q] = tl_read(cbuf, (ts + q) as isize - r as isize, &geo);
+    }
+    for i in 0..tail_len {
+        ext_t[r + i] = *cbuf.add(ts + i);
+    }
+    for q in 0..r {
+        ext_t[r + tail_len + q] = *cbuf.add(n + q);
+    }
+
+    // Last set → t+1.
+    update_set(&mut vs2, &vrl1, &rt_t, &wv, r);
+
+    // Tail's left neighbours @ t+1, extracted from the updated registers.
+    let mut left_t1 = [0.0f64; MAX_R];
+    for q in 1..=r {
+        let p = bs - q; // block position of logical cell ts - q
+        left_t1[r - q] = vs2[p % l].lane(p / l);
+    }
+
+    // Tail @ t+1 into scratch.
+    let mut tail_t1 = [0.0f64; 80];
+    for i in 0..tail_len {
+        let mut acc = w[0] * ext_t[i];
+        for o in 1..=2 * r {
+            acc = ext_t[i + o].mul_add(w[o], acc);
+        }
+        tail_t1[i] = acc;
+    }
+
+    // Set nsets-2 → t+2 and store.
+    let vrl1_new = last_r(&vs1, r);
+    update_set(&mut vs1, &vrl0, &first_r(&vs2, r), &wv, r);
+    store_set(buf, nsets - 2, &vs1);
+
+    // Set nsets-1 → t+2 (right deps @ t+1 from the tail scratch / halo).
+    let mut rt_t1 = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        rt_t1[q] = V::splat(if q < tail_len { tail_t1[q] } else { *cbuf.add(ts + q) });
+    }
+    update_set(&mut vs2, &vrl1_new, &rt_t1, &wv, r);
+    store_set(buf, nsets - 1, &vs2);
+
+    // Tail → t+2 written back.
+    if tail_len > 0 {
+        let mut ext_t1 = [0.0f64; 80];
+        ext_t1[..r].copy_from_slice(&left_t1[..r]);
+        for i in 0..tail_len {
+            ext_t1[r + i] = tail_t1[i];
+        }
+        for q in 0..r {
+            ext_t1[r + tail_len + q] = *cbuf.add(n + q); // halo, constant
+        }
+        for i in 0..tail_len {
+            let mut acc = w[0] * ext_t1[i];
+            for o in 1..=2 * r {
+                acc = ext_t1[i + o].mul_add(w[o], acc);
+            }
+            *buf.add(ts + i) = acc;
+        }
+    }
+}
+
+/// Fused two-step pipeline over the set-aligned sub-range `[sa, sb)` of a
+/// transposed row — the tiled variant of [`star1_tl2`] used inside
+/// tessellation tiles (paper §3.4: "multiple time steps computation in
+/// registers over the tiles").
+///
+/// Double-buffered tiling semantics instead of in-place halo semantics:
+///
+/// * `buf_a` holds time `t` at the covered cells and receives `t+2`;
+/// * `buf_b` provides the `t+1` values of the margin cells just outside
+///   `[sa·vl², sb·vl²)` (the tile driver computes those margins first) and
+///   receives the `t+1` values of the **first and last** pipeline sets,
+///   which the driver's trailing step-`s+1` margin pass needs.
+///
+/// # Safety
+/// Both rows transposed with halos addressable; `sb - sa ≥ 2`; margin
+/// cells `[a-r, a)` and `[b, b+r)` hold valid `t` / `t+1` values in
+/// `buf_a` / `buf_b` respectively.
+#[inline(always)]
+pub unsafe fn star1_tl2_range<V: SimdF64, S: Star1>(
+    buf_a: *mut f64,
+    buf_b: *mut f64,
+    n: usize,
+    sa: usize,
+    sb: usize,
+    s: &S,
+) {
+    let l = V::LANES;
+    let r = S::R;
+    let geo = SetGeo::new(n, l);
+    debug_assert!(sb - sa >= 2 && sb <= geo.nsets);
+    let bs = geo.bs;
+    let (a, b) = (sa * bs, sb * bs);
+    let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
+    let ca = buf_a as *const f64;
+    let cb = buf_b as *const f64;
+
+    // Left margin dependence vectors at both time levels (lane l-1 = cell
+    // a - (r-q); scalar reads through the index map).
+    let mut virt_t = [V::splat(0.0); MAX_R];
+    let mut virt_t1 = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        let i = a as isize + q as isize - r as isize;
+        virt_t[q] = V::splat(tl_read(ca, i, &geo));
+        virt_t1[q] = V::splat(tl_read(cb, i, &geo));
+    }
+
+    // Boot: first set to t+1 (exporting its t+1 values to buf_b).
+    let mut vs1 = load_set::<V>(ca, sa);
+    let mut vs2 = load_set::<V>(ca, sa + 1);
+    let mut vrl1 = last_r(&vs1, r); // set sa @ t
+    update_set(&mut vs1, &virt_t, &first_r(&vs2, r), &wv, r); // set sa → t+1
+    store_set(buf_b, sa, &vs1);
+    let mut vrl0 = virt_t1;
+
+    for m in sa + 2..sb {
+        let vs3 = load_set::<V>(ca, m);
+        let vrl2 = last_r(&vs2, r);
+        update_set(&mut vs2, &vrl1, &first_r(&vs3, r), &wv, r); // set m-1 → t+1
+        let vrl1_new = last_r(&vs1, r);
+        update_set(&mut vs1, &vrl0, &first_r(&vs2, r), &wv, r); // set m-2 → t+2
+        store_set(buf_a, m - 2, &vs1);
+        vs1 = vs2;
+        vs2 = vs3;
+        vrl0 = vrl1_new;
+        vrl1 = vrl2;
+    }
+
+    // Epilogue: right margin dependences from the two parities.
+    let mut rt_t = [V::splat(0.0); MAX_R];
+    let mut rt_t1 = [V::splat(0.0); MAX_R];
+    for q in 0..r {
+        rt_t[q] = V::splat(tl_read(ca, (b + q) as isize, &geo));
+        rt_t1[q] = V::splat(tl_read(cb, (b + q) as isize, &geo));
+    }
+    update_set(&mut vs2, &vrl1, &rt_t, &wv, r); // set sb-1 → t+1
+    store_set(buf_b, sb - 1, &vs2); // export last set's t+1
+    let vrl1_new = last_r(&vs1, r);
+    update_set(&mut vs1, &vrl0, &first_r(&vs2, r), &wv, r); // set sb-2 → t+2
+    store_set(buf_a, sb - 2, &vs1);
+    update_set(&mut vs2, &vrl1_new, &rt_t1, &wv, r); // set sb-1 → t+2
+    store_set(buf_a, sb - 1, &vs2);
+}
+
+/// Copy a row's left/right pad regions (halo cells and alignment padding).
+#[inline(always)]
+unsafe fn copy_pads(src_row: *const f64, dst_row: *mut f64, nx: usize) {
+    std::ptr::copy_nonoverlapping(
+        src_row.offset(-(HALO_PAD as isize)),
+        dst_row.offset(-(HALO_PAD as isize)),
+        HALO_PAD,
+    );
+    std::ptr::copy_nonoverlapping(src_row.add(nx), dst_row.add(nx), HALO_PAD);
+}
+
+/// Advance a 2D star stencil two steps in place via the row-ring pipeline.
+///
+/// `ring` points at the interior origin of row 0 of a `(2R+1)`-row scratch
+/// buffer with the grid's row stride and pad structure.
+///
+/// # Safety
+/// `buf` is a transposed 2D grid interior origin (halos addressable);
+/// `ring` valid for `2R+1` rows of `rs` doubles with pads.
+#[inline(always)]
+pub unsafe fn star2_tl2<V: SimdF64, S: Star2>(
+    buf: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    ring: *mut f64,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for y in 0..ny + r {
+        if y < ny {
+            // ring[y] = row y @ t+1 from main rows y-R..y+R @ t
+            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let dstrow = ring.add((y % nr) * rs);
+            copy_pads(c, dstrow, nx);
+            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            star2_row_tl::<V, S>(c, &ym, &yp, dstrow, nx, 0, nx, s);
+        }
+        if y >= r {
+            // main[ty] = row ty @ t+2 from t+1 rows (ring or constant halo)
+            let ty = y - r;
+            let c = ring.add((ty % nr) * rs) as *const f64;
+            let mut ym = [c; MAX_R];
+            let mut yp = [c; MAX_R];
+            for d in 1..=r {
+                let up = ty as isize - d as isize;
+                ym[d - 1] = if up < 0 {
+                    buf.offset(up * rs as isize) as *const f64
+                } else {
+                    ring.add((up as usize % nr) * rs) as *const f64
+                };
+                let dn = ty + d;
+                yp[d - 1] = if dn >= ny {
+                    buf.add(dn * rs) as *const f64
+                } else {
+                    ring.add((dn % nr) * rs) as *const f64
+                };
+            }
+            star2_row_tl::<V, S>(c, &ym, &yp, buf.add(ty * rs), nx, 0, nx, s);
+        }
+    }
+}
+
+/// Advance a 2D box stencil two steps in place via the row-ring pipeline.
+///
+/// # Safety
+/// As [`star2_tl2`].
+#[inline(always)]
+pub unsafe fn box2_tl2<V: SimdF64, S: Box2>(
+    buf: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    ring: *mut f64,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for y in 0..ny + r {
+        if y < ny {
+            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let dstrow = ring.add((y % nr) * rs);
+            copy_pads(c, dstrow, nx);
+            let mut rows = [c; 5];
+            for (k, row) in rows.iter_mut().enumerate().take(nr) {
+                *row = buf.offset((y as isize + k as isize - r as isize) * rs as isize);
+            }
+            box2_row_tl::<V, S>(&rows, dstrow, nx, 0, nx, s);
+        }
+        if y >= r {
+            let ty = y - r;
+            let mut rows = [ring as *const f64; 5];
+            for (k, row) in rows.iter_mut().enumerate().take(nr) {
+                let yy = ty as isize + k as isize - r as isize;
+                *row = if yy < 0 || yy >= ny as isize {
+                    buf.offset(yy * rs as isize) as *const f64 // constant halo row
+                } else {
+                    ring.add((yy as usize % nr) * rs) as *const f64
+                };
+            }
+            box2_row_tl::<V, S>(&rows, buf.add(ty * rs), nx, 0, nx, s);
+        }
+    }
+}
+
+/// Advance a 3D star stencil two steps in place via the plane-ring
+/// pipeline. `ring` points at the `(y=0, x=0)` origin of plane 0 of a
+/// `(2R+1)`-plane scratch with the grid's plane layout (halo rows
+/// included).
+///
+/// # Safety
+/// `buf` is a transposed 3D grid interior origin; `ring` valid for `2R+1`
+/// planes of `ps` doubles.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_tl2<V: SimdF64, S: Star3>(
+    buf: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ring: *mut f64,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for z in 0..nz + r {
+        if z < nz {
+            // ring[z] = plane z @ t+1
+            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let rp = ring.add((z % nr) * ps);
+            // constant halo rows of the plane (full stride rows)
+            for d in 1..=r as isize {
+                std::ptr::copy_nonoverlapping(
+                    cp.offset(-d * rs as isize - HALO_PAD as isize),
+                    rp.offset(-d * rs as isize - HALO_PAD as isize),
+                    rs,
+                );
+                let dn = (ny as isize + d - 1) * rs as isize;
+                std::ptr::copy_nonoverlapping(
+                    cp.offset(dn - (HALO_PAD as isize)),
+                    rp.offset(dn - (HALO_PAD as isize)),
+                    rs,
+                );
+            }
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                copy_pads(c, rp.add(y * rs), nx);
+                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, rp.add(y * rs), nx, 0, nx, s);
+            }
+        }
+        if z >= r {
+            let tz = z - r;
+            let cp = ring.add((tz % nr) * ps) as *const f64;
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let mut zm = [c; MAX_R];
+                let mut zp = [c; MAX_R];
+                for d in 1..=r {
+                    let up = tz as isize - d as isize;
+                    zm[d - 1] = if up < 0 {
+                        buf.offset(up * ps as isize).add(y * rs) as *const f64
+                    } else {
+                        ring.add((up as usize % nr) * ps + y * rs) as *const f64
+                    };
+                    let dn = tz + d;
+                    zp[d - 1] = if dn >= nz {
+                        buf.add(dn * ps + y * rs) as *const f64
+                    } else {
+                        ring.add((dn % nr) * ps + y * rs) as *const f64
+                    };
+                }
+                star3_row_tl::<V, S>(
+                    c,
+                    &ym,
+                    &yp,
+                    &zm,
+                    &zp,
+                    buf.add(tz * ps + y * rs),
+                    nx,
+                    0,
+                    nx,
+                    s,
+                );
+            }
+        }
+    }
+}
+
+/// Advance a 3D box stencil two steps in place via the plane-ring
+/// pipeline.
+///
+/// # Safety
+/// As [`star3_tl2`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box3_tl2<V: SimdF64, S: Box3>(
+    buf: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ring: *mut f64,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for z in 0..nz + r {
+        if z < nz {
+            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let rp = ring.add((z % nr) * ps);
+            for d in 1..=r as isize {
+                std::ptr::copy_nonoverlapping(
+                    cp.offset(-d * rs as isize - HALO_PAD as isize),
+                    rp.offset(-d * rs as isize - HALO_PAD as isize),
+                    rs,
+                );
+                let dn = (ny as isize + d - 1) * rs as isize;
+                std::ptr::copy_nonoverlapping(
+                    cp.offset(dn - (HALO_PAD as isize)),
+                    rp.offset(dn - (HALO_PAD as isize)),
+                    rs,
+                );
+            }
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                copy_pads(c, rp.add(y * rs), nx);
+                let rows = box3_rows(buf, rs, ps, z as isize, y as isize, r);
+                box3_row_tl::<V, S>(&rows, rp.add(y * rs), nx, 0, nx, s);
+            }
+        }
+        if z >= r {
+            let tz = z - r;
+            for y in 0..ny {
+                let mut rows = [ring as *const f64; 9];
+                let w = 2 * r + 1;
+                for dz in 0..w {
+                    let zz = tz as isize + dz as isize - r as isize;
+                    let plane = if zz < 0 || zz >= nz as isize {
+                        buf.offset(zz * ps as isize) as *const f64 // constant halo plane
+                    } else {
+                        ring.add((zz as usize % nr) * ps) as *const f64
+                    };
+                    for dy in 0..w {
+                        let yy = y as isize + dy as isize - r as isize;
+                        rows[dz * w + dy] = plane.offset(yy * rs as isize);
+                    }
+                }
+                box3_row_tl::<V, S>(&rows, buf.add(tz * ps + y * rs), nx, 0, nx, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # stencil-core
+//!
+//! A faithful reproduction of *An Efficient Vectorization Scheme for
+//! Stencil Computation* (Li, Yuan, Zhang, Yue, Cao, Lu — IPDPS 2022):
+//! the local transpose layout, its vector-set stencil kernels, the k = 2
+//! time unroll-and-jam, and every baseline the paper compares against
+//! (multiple-loads, data-reorganization, DLT), for the paper's six
+//! stencils (1D3P, 1D5P, 2D5P, 2D9P, 3D7P, 3D27P).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stencil_core::{run1_star1, Grid1, Method, S1d3p};
+//! use stencil_simd::Isa;
+//!
+//! let isa = Isa::detect_best();
+//! let mut grid = Grid1::from_fn(4096, 0.0, |i| if i == 2048 { 1.0 } else { 0.0 });
+//! run1_star1(Method::TransLayout2, isa, &mut grid, &S1d3p::heat(), 100);
+//! assert!(grid.get(2048) > 0.0);
+//! ```
+//!
+//! See [`api`] for the method matrix, [`layout`] for the data layouts, and
+//! [`kernels`] for the per-scheme implementations.
+
+#![warn(missing_docs)]
+// Index-based loops in the kernels are deliberate: the index arithmetic
+// (lane positions, set offsets) is the algorithm; iterator adapters would
+// obscure it and complicate the unroll-friendly shape LLVM needs.
+#![allow(clippy::needless_range_loop)]
+
+pub mod api;
+pub mod grid;
+pub mod kernels;
+pub mod layout;
+pub mod stencil;
+pub mod verify;
+
+pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, Method};
+pub use grid::{Grid1, Grid2, Grid3, HALO_PAD};
+pub use layout::{DltGeo, SetGeo};
+pub use stencil::{
+    Box2, Box3, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3, MAX_R,
+};

@@ -1,0 +1,92 @@
+//! Grid comparison utilities used by tests, examples, and the benchmark
+//! harness's self-checks.
+
+use crate::grid::{Grid1, Grid2, Grid3};
+
+/// Maximum absolute difference over the interiors of two 1D grids.
+pub fn max_abs_diff1(a: &Grid1, b: &Grid1) -> f64 {
+    assert_eq!(a.n(), b.n());
+    a.interior()
+        .iter()
+        .zip(b.interior())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum absolute difference over the interiors of two 2D grids.
+pub fn max_abs_diff2(a: &Grid2, b: &Grid2) -> f64 {
+    assert_eq!((a.nx(), a.ny()), (b.nx(), b.ny()));
+    let mut m = 0.0f64;
+    for y in 0..a.ny() {
+        for (x, y2) in a.row(y).iter().zip(b.row(y)) {
+            m = m.max((x - y2).abs());
+        }
+    }
+    m
+}
+
+/// Maximum absolute difference over the interiors of two 3D grids.
+pub fn max_abs_diff3(a: &Grid3, b: &Grid3) -> f64 {
+    assert_eq!(
+        (a.nx(), a.ny(), a.nz()),
+        (b.nx(), b.ny(), b.nz())
+    );
+    let mut m = 0.0f64;
+    for z in 0..a.nz() {
+        for y in 0..a.ny() {
+            for x in 0..a.nx() {
+                let (zi, yi, xi) = (z as isize, y as isize, x as isize);
+                m = m.max((a.get(zi, yi, xi) - b.get(zi, yi, xi)).abs());
+            }
+        }
+    }
+    m
+}
+
+/// Largest interior magnitude of a 1D grid (scale for relative tolerances).
+pub fn max_abs1(a: &Grid1) -> f64 {
+    a.interior().iter().fold(0.0f64, |m, x| m.max(x.abs()))
+}
+
+/// Panic with a helpful message unless two 1D grids agree within
+/// `tol` (absolute, relative to the larger grid's scale).
+pub fn assert_close1(a: &Grid1, b: &Grid1, tol: f64, ctx: &str) {
+    let scale = max_abs1(a).max(max_abs1(b)).max(1.0);
+    let d = max_abs_diff1(a, b);
+    assert!(
+        d <= tol * scale,
+        "{ctx}: grids differ by {d:.3e} (scale {scale:.3e}, tol {tol:.1e})"
+    );
+}
+
+/// Panic unless two 2D grids agree within `tol` (scaled).
+pub fn assert_close2(a: &Grid2, b: &Grid2, tol: f64, ctx: &str) {
+    let mut scale = 1.0f64;
+    for y in 0..a.ny() {
+        for x in a.row(y) {
+            scale = scale.max(x.abs());
+        }
+    }
+    let d = max_abs_diff2(a, b);
+    assert!(
+        d <= tol * scale,
+        "{ctx}: grids differ by {d:.3e} (scale {scale:.3e}, tol {tol:.1e})"
+    );
+}
+
+/// Panic unless two 3D grids agree within `tol` (scaled).
+pub fn assert_close3(a: &Grid3, b: &Grid3, tol: f64, ctx: &str) {
+    let d = max_abs_diff3(a, b);
+    let mut scale = 1.0f64;
+    for z in 0..a.nz() {
+        for y in 0..a.ny() {
+            for x in 0..a.nx() {
+                scale = scale.max(a.get(z as isize, y as isize, x as isize).abs());
+            }
+        }
+    }
+    assert!(
+        d <= tol * scale,
+        "{ctx}: grids differ by {d:.3e} (scale {scale:.3e}, tol {tol:.1e})"
+    );
+}

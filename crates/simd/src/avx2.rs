@@ -1,0 +1,142 @@
+//! AVX2 + FMA implementation of [`SimdF64`]: 4 × f64 in a `__m256d`.
+//!
+//! The `Assemble` operation (paper Fig. 3) is two instructions:
+//! `vblendpd` + `vpermpd`, exactly as in Algorithm 1 lines 1–5
+//! (`_mm256_blend_pd` followed by `_mm256_permute4x64_pd`).
+//!
+//! The 4×4 transpose (paper §3.5, Fig. 6) is `vl·log(vl) = 8` shuffles.
+//! The paper's schedule issues the four 3-cycle lane-crossing
+//! `vperm2f128` first and hides their latency under the four 1-cycle
+//! in-lane `vunpcklpd`/`vunpckhpd`; the conventional schedule (ablation
+//! baseline) does the unpacks first and exposes the `vperm2f128` latency
+//! at the end of the dependency chain.
+
+use core::arch::x86_64::*;
+
+use crate::vector::SimdF64;
+
+/// 4 × f64 AVX2 vector.
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x4(pub __m256d);
+
+impl std::fmt::Debug for F64x4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = [0.0f64; 4];
+        // SAFETY: a value of this type only exists where AVX is available.
+        unsafe { _mm256_storeu_pd(a.as_mut_ptr(), self.0) };
+        write!(f, "F64x4({a:?})")
+    }
+}
+
+impl SimdF64 for F64x4 {
+    const LANES: usize = 4;
+    const NAME: &'static str = "avx2";
+
+    #[inline(always)]
+    unsafe fn splat(x: f64) -> Self {
+        F64x4(_mm256_set1_pd(x))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        debug_assert_eq!(ptr as usize % 32, 0, "unaligned aligned-load");
+        F64x4(_mm256_load_pd(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(ptr: *const f64) -> Self {
+        F64x4(_mm256_loadu_pd(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        debug_assert_eq!(ptr as usize % 32, 0, "unaligned aligned-store");
+        _mm256_store_pd(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(self, ptr: *mut f64) {
+        _mm256_storeu_pd(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F64x4(_mm256_add_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F64x4(_mm256_sub_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F64x4(_mm256_mul_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+        F64x4(_mm256_fmadd_pd(self.0, a.0, b.0))
+    }
+
+    #[inline(always)]
+    unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
+        // Each arm is the cheapest AVX2 sequence for that shift:
+        //   o=1,3: blend + permute4x64 (2 ops — the paper's Assemble cost),
+        //   o=2:   a single vperm2f128.
+        match o {
+            0 => lo,
+            1 => {
+                // (lo1, lo2, lo3, hi0)
+                let t = _mm256_blend_pd(lo.0, hi.0, 0b0001); // (hi0,lo1,lo2,lo3)
+                F64x4(_mm256_permute4x64_pd(t, 0b00_11_10_01)) // rotate left 1
+            }
+            2 => {
+                // (lo2, lo3, hi0, hi1)
+                F64x4(_mm256_permute2f128_pd(lo.0, hi.0, 0x21))
+            }
+            3 => {
+                // (lo3, hi0, hi1, hi2)
+                let t = _mm256_blend_pd(hi.0, lo.0, 0b1000); // (hi0,hi1,hi2,lo3)
+                F64x4(_mm256_permute4x64_pd(t, 0b10_01_00_11)) // rotate right 1
+            }
+            4 => hi,
+            _ => unreachable!("alignr shift out of range"),
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn transpose(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 4);
+        let (r0, r1, r2, r3) = (m[0].0, m[1].0, m[2].0, m[3].0);
+        // Stage 1: lane-crossing vperm2f128 first (latency 3, all four
+        // independent, issued back to back).
+        let t0 = _mm256_permute2f128_pd(r0, r2, 0x20); // (a0,a1,c0,c1)
+        let t1 = _mm256_permute2f128_pd(r1, r3, 0x20); // (b0,b1,d0,d1)
+        let t2 = _mm256_permute2f128_pd(r0, r2, 0x31); // (a2,a3,c2,c3)
+        let t3 = _mm256_permute2f128_pd(r1, r3, 0x31); // (b2,b3,d2,d3)
+        // Stage 2: in-lane unpacks (latency 1) finish while stage 1 drains.
+        m[0] = F64x4(_mm256_unpacklo_pd(t0, t1)); // (a0,b0,c0,d0)
+        m[1] = F64x4(_mm256_unpackhi_pd(t0, t1)); // (a1,b1,c1,d1)
+        m[2] = F64x4(_mm256_unpacklo_pd(t2, t3)); // (a2,b2,c2,d2)
+        m[3] = F64x4(_mm256_unpackhi_pd(t2, t3)); // (a3,b3,c3,d3)
+    }
+
+    #[inline(always)]
+    unsafe fn transpose_baseline(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 4);
+        let (r0, r1, r2, r3) = (m[0].0, m[1].0, m[2].0, m[3].0);
+        // Conventional order: unpacks first, lane-crossing shuffles last,
+        // leaving the 3-cycle vperm2f128 latency exposed on the critical
+        // path (the +25% the paper attributes to existing transposes).
+        let s0 = _mm256_unpacklo_pd(r0, r1); // (a0,b0,a2,b2)
+        let s1 = _mm256_unpackhi_pd(r0, r1); // (a1,b1,a3,b3)
+        let s2 = _mm256_unpacklo_pd(r2, r3); // (c0,d0,c2,d2)
+        let s3 = _mm256_unpackhi_pd(r2, r3); // (c1,d1,c3,d3)
+        m[0] = F64x4(_mm256_permute2f128_pd(s0, s2, 0x20)); // (a0,b0,c0,d0)
+        m[1] = F64x4(_mm256_permute2f128_pd(s1, s3, 0x20)); // (a1,b1,c1,d1)
+        m[2] = F64x4(_mm256_permute2f128_pd(s0, s2, 0x31)); // (a2,b2,c2,d2)
+        m[3] = F64x4(_mm256_permute2f128_pd(s1, s3, 0x31)); // (a3,b3,c3,d3)
+    }
+}

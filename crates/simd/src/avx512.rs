@@ -1,0 +1,173 @@
+//! AVX-512F implementation of [`SimdF64`]: 8 × f64 in a `__m512d`.
+//!
+//! `alignr` is a single `valignq` for every shift, so each assembled
+//! dependent vector costs one instruction (even cheaper than the paper's
+//! two-instruction AVX2 sequence).
+//!
+//! The 8×8 transpose is `vl·log(vl) = 24` shuffles in three stages. In the
+//! paper's schedule (§3.5) the two lane-crossing stages (`vshuff64x2`)
+//! come first and the final stage is in-lane `vunpcklpd`/`vunpckhpd`,
+//! hiding the lane-crossing latency; the baseline schedule is the
+//! conventional unpack-first order with a lane-crossing final stage.
+
+use core::arch::x86_64::*;
+
+use crate::vector::SimdF64;
+
+/// 8 × f64 AVX-512 vector.
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x8(pub __m512d);
+
+impl std::fmt::Debug for F64x8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = [0.0f64; 8];
+        // SAFETY: a value of this type only exists where AVX-512F is available.
+        unsafe { _mm512_storeu_pd(a.as_mut_ptr(), self.0) };
+        write!(f, "F64x8({a:?})")
+    }
+}
+
+impl SimdF64 for F64x8 {
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx512";
+
+    #[inline(always)]
+    unsafe fn splat(x: f64) -> Self {
+        F64x8(_mm512_set1_pd(x))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        debug_assert_eq!(ptr as usize % 64, 0, "unaligned aligned-load");
+        F64x8(_mm512_load_pd(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(ptr: *const f64) -> Self {
+        F64x8(_mm512_loadu_pd(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        debug_assert_eq!(ptr as usize % 64, 0, "unaligned aligned-store");
+        _mm512_store_pd(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(self, ptr: *mut f64) {
+        _mm512_storeu_pd(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F64x8(_mm512_add_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F64x8(_mm512_sub_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F64x8(_mm512_mul_pd(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+        F64x8(_mm512_fmadd_pd(self.0, a.0, b.0))
+    }
+
+    #[inline(always)]
+    unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
+        // valignq concatenates hi:lo and shifts right by `o` qwords —
+        // exactly our definition, one instruction per shift.
+        let (a, b) = (_mm512_castpd_si512(hi.0), _mm512_castpd_si512(lo.0));
+        let r = match o {
+            0 => return lo,
+            1 => _mm512_alignr_epi64(a, b, 1),
+            2 => _mm512_alignr_epi64(a, b, 2),
+            3 => _mm512_alignr_epi64(a, b, 3),
+            4 => _mm512_alignr_epi64(a, b, 4),
+            5 => _mm512_alignr_epi64(a, b, 5),
+            6 => _mm512_alignr_epi64(a, b, 6),
+            7 => _mm512_alignr_epi64(a, b, 7),
+            8 => return hi,
+            _ => unreachable!("alignr shift out of range"),
+        };
+        F64x8(_mm512_castsi512_pd(r))
+    }
+
+    #[inline(always)]
+    unsafe fn transpose(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 8);
+        let r: [__m512d; 8] = [
+            m[0].0, m[1].0, m[2].0, m[3].0, m[4].0, m[5].0, m[6].0, m[7].0,
+        ];
+        // Stage 1 (lane-crossing, distance 2): pair rows (i, i+2); imm 0x44
+        // keeps both sources' low 256-bit halves, 0xEE both high halves.
+        let s0 = _mm512_shuffle_f64x2(r[0], r[2], 0x44); // rows 0,2 cols 0-3
+        let s1 = _mm512_shuffle_f64x2(r[1], r[3], 0x44); // rows 1,3 cols 0-3
+        let s2 = _mm512_shuffle_f64x2(r[0], r[2], 0xEE); // rows 0,2 cols 4-7
+        let s3 = _mm512_shuffle_f64x2(r[1], r[3], 0xEE); // rows 1,3 cols 4-7
+        let s4 = _mm512_shuffle_f64x2(r[4], r[6], 0x44); // rows 4,6 cols 0-3
+        let s5 = _mm512_shuffle_f64x2(r[5], r[7], 0x44); // rows 5,7 cols 0-3
+        let s6 = _mm512_shuffle_f64x2(r[4], r[6], 0xEE); // rows 4,6 cols 4-7
+        let s7 = _mm512_shuffle_f64x2(r[5], r[7], 0xEE); // rows 5,7 cols 4-7
+        // Stage 2 (lane-crossing, distance 4): imm 0x88 picks 128-bit chunks
+        // 0,2 of each source; 0xDD picks chunks 1,3.
+        let u0 = _mm512_shuffle_f64x2(s0, s4, 0x88); // even rows, cols 0,1
+        let u1 = _mm512_shuffle_f64x2(s1, s5, 0x88); // odd rows,  cols 0,1
+        let u2 = _mm512_shuffle_f64x2(s0, s4, 0xDD); // even rows, cols 2,3
+        let u3 = _mm512_shuffle_f64x2(s1, s5, 0xDD); // odd rows,  cols 2,3
+        let u4 = _mm512_shuffle_f64x2(s2, s6, 0x88); // even rows, cols 4,5
+        let u5 = _mm512_shuffle_f64x2(s3, s7, 0x88); // odd rows,  cols 4,5
+        let u6 = _mm512_shuffle_f64x2(s2, s6, 0xDD); // even rows, cols 6,7
+        let u7 = _mm512_shuffle_f64x2(s3, s7, 0xDD); // odd rows,  cols 6,7
+        // Stage 3 (in-lane, single-cycle): interleave even/odd rows.
+        m[0] = F64x8(_mm512_unpacklo_pd(u0, u1)); // column 0
+        m[1] = F64x8(_mm512_unpackhi_pd(u0, u1)); // column 1
+        m[2] = F64x8(_mm512_unpacklo_pd(u2, u3)); // column 2
+        m[3] = F64x8(_mm512_unpackhi_pd(u2, u3)); // column 3
+        m[4] = F64x8(_mm512_unpacklo_pd(u4, u5)); // column 4
+        m[5] = F64x8(_mm512_unpackhi_pd(u4, u5)); // column 5
+        m[6] = F64x8(_mm512_unpacklo_pd(u6, u7)); // column 6
+        m[7] = F64x8(_mm512_unpackhi_pd(u6, u7)); // column 7
+    }
+
+    #[inline(always)]
+    unsafe fn transpose_baseline(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 8);
+        let r: [__m512d; 8] = [
+            m[0].0, m[1].0, m[2].0, m[3].0, m[4].0, m[5].0, m[6].0, m[7].0,
+        ];
+        // Conventional order: in-lane unpacks first...
+        let t0 = _mm512_unpacklo_pd(r[0], r[1]);
+        let t1 = _mm512_unpackhi_pd(r[0], r[1]);
+        let t2 = _mm512_unpacklo_pd(r[2], r[3]);
+        let t3 = _mm512_unpackhi_pd(r[2], r[3]);
+        let t4 = _mm512_unpacklo_pd(r[4], r[5]);
+        let t5 = _mm512_unpackhi_pd(r[4], r[5]);
+        let t6 = _mm512_unpacklo_pd(r[6], r[7]);
+        let t7 = _mm512_unpackhi_pd(r[6], r[7]);
+        // ...then two lane-crossing stages, leaving vshuff64x2 latency
+        // exposed on the critical path.
+        let u0 = _mm512_shuffle_f64x2(t0, t2, 0x88);
+        let u1 = _mm512_shuffle_f64x2(t1, t3, 0x88);
+        let u2 = _mm512_shuffle_f64x2(t0, t2, 0xDD);
+        let u3 = _mm512_shuffle_f64x2(t1, t3, 0xDD);
+        let u4 = _mm512_shuffle_f64x2(t4, t6, 0x88);
+        let u5 = _mm512_shuffle_f64x2(t5, t7, 0x88);
+        let u6 = _mm512_shuffle_f64x2(t4, t6, 0xDD);
+        let u7 = _mm512_shuffle_f64x2(t5, t7, 0xDD);
+        m[0] = F64x8(_mm512_shuffle_f64x2(u0, u4, 0x88));
+        m[1] = F64x8(_mm512_shuffle_f64x2(u1, u5, 0x88));
+        m[2] = F64x8(_mm512_shuffle_f64x2(u2, u6, 0x88));
+        m[3] = F64x8(_mm512_shuffle_f64x2(u3, u7, 0x88));
+        m[4] = F64x8(_mm512_shuffle_f64x2(u0, u4, 0xDD));
+        m[5] = F64x8(_mm512_shuffle_f64x2(u1, u5, 0xDD));
+        m[6] = F64x8(_mm512_shuffle_f64x2(u2, u6, 0xDD));
+        m[7] = F64x8(_mm512_shuffle_f64x2(u3, u7, 0xDD));
+    }
+}

@@ -1,0 +1,188 @@
+//! Runtime ISA selection and kernel dispatch.
+
+/// Instruction-set architecture a kernel is monomorphized for.
+///
+/// `Portable4`/`Portable8` run everywhere and mirror the AVX2/AVX-512 lane
+/// widths; they serve as fallbacks and as test oracles. The benchmark
+/// harness selects `Avx2` and `Avx512` explicitly to reproduce the paper's
+/// two instruction-set columns on one machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Portable 4-lane implementation (no special CPU features).
+    Portable4,
+    /// Portable 8-lane implementation (no special CPU features).
+    Portable8,
+    /// AVX2 + FMA, 4 × f64.
+    Avx2,
+    /// AVX-512F, 8 × f64.
+    Avx512,
+}
+
+impl Isa {
+    /// All ISAs, widest first.
+    pub const ALL: [Isa; 4] = [Isa::Avx512, Isa::Avx2, Isa::Portable8, Isa::Portable4];
+
+    /// The best ISA available on this CPU.
+    pub fn detect_best() -> Isa {
+        Self::ALL
+            .into_iter()
+            .find(|isa| isa.is_available())
+            .expect("portable ISA is always available")
+    }
+
+    /// Whether kernels dispatched for this ISA may run on this CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            Isa::Portable4 | Isa::Portable8 => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Vector length in f64 lanes (the paper's `vl`).
+    pub fn lanes(self) -> usize {
+        match self {
+            Isa::Portable4 | Isa::Avx2 => 4,
+            Isa::Portable8 | Isa::Avx512 => 8,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Portable4 => "portable4",
+            Isa::Portable8 => "portable8",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Isa {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "portable4" => Ok(Isa::Portable4),
+            "portable8" => Ok(Isa::Portable8),
+            "avx2" => Ok(Isa::Avx2),
+            "avx512" | "avx512f" => Ok(Isa::Avx512),
+            _ => Err(format!("unknown ISA '{s}'")),
+        }
+    }
+}
+
+/// Dispatch a generic kernel over a runtime [`Isa`].
+///
+/// `dispatch!(isa, V => expr)` expands to a `match` whose AVX arms evaluate
+/// `expr` inside a `#[target_feature]`-annotated entry function, with the
+/// type alias `V` bound to the ISA's vector type. `expr` is evaluated in an
+/// `unsafe`, feature-enabled context; the expression (typically a call to a
+/// generic kernel monomorphized on `V`) must be `#[inline(always)]` all the
+/// way down so the feature context reaches the intrinsics.
+///
+/// The macro asserts availability at runtime before entering an AVX arm, so
+/// executing the feature-gated code is sound.
+#[macro_export]
+macro_rules! dispatch {
+    ($isa:expr, $V:ident => $e:expr) => {{
+        match $isa {
+            $crate::Isa::Portable4 => {
+                type $V = $crate::P4;
+                #[allow(unused_unsafe)]
+                unsafe {
+                    $e
+                }
+            }
+            $crate::Isa::Portable8 => {
+                type $V = $crate::P8;
+                #[allow(unused_unsafe)]
+                unsafe {
+                    $e
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            $crate::Isa::Avx2 => {
+                assert!(
+                    $crate::Isa::Avx2.is_available(),
+                    "AVX2+FMA not available on this CPU"
+                );
+                type $V = $crate::F64x4;
+                #[target_feature(enable = "avx2,fma")]
+                unsafe fn __avx2_entry<R, F: FnOnce() -> R>(f: F) -> R {
+                    f()
+                }
+                // SAFETY: availability asserted above.
+                #[allow(unused_unsafe)]
+                unsafe {
+                    __avx2_entry(|| $e)
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            $crate::Isa::Avx512 => {
+                assert!(
+                    $crate::Isa::Avx512.is_available(),
+                    "AVX-512F not available on this CPU"
+                );
+                type $V = $crate::F64x8;
+                #[target_feature(enable = "avx512f")]
+                unsafe fn __avx512_entry<R, F: FnOnce() -> R>(f: F) -> R {
+                    f()
+                }
+                // SAFETY: availability asserted above.
+                #[allow(unused_unsafe)]
+                unsafe {
+                    __avx512_entry(|| $e)
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => panic!("ISA {:?} not supported on this architecture", $isa),
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_best_returns_available() {
+        let best = Isa::detect_best();
+        assert!(best.is_available());
+    }
+
+    #[test]
+    fn lanes_match_names() {
+        assert_eq!(Isa::Avx2.lanes(), 4);
+        assert_eq!(Isa::Avx512.lanes(), 8);
+        assert_eq!(Isa::Portable4.lanes(), 4);
+        assert_eq!(Isa::Portable8.lanes(), 8);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for isa in Isa::ALL {
+            let s = isa.name();
+            assert_eq!(s.parse::<Isa>().unwrap(), isa);
+        }
+        assert!("mmx".parse::<Isa>().is_err());
+    }
+
+    #[test]
+    fn portable_always_available() {
+        assert!(Isa::Portable4.is_available());
+        assert!(Isa::Portable8.is_available());
+    }
+}

@@ -1,0 +1,67 @@
+//! # stencil-simd
+//!
+//! SIMD substrate for the transpose-layout stencil vectorization scheme
+//! (Li et al., *An Efficient Vectorization Scheme for Stencil Computation*,
+//! IPDPS 2022).
+//!
+//! This crate provides everything the stencil kernels need from the ISA,
+//! behind one trait ([`SimdF64`]) with three implementations:
+//!
+//! * [`F64x4`] — AVX2 + FMA, 4 × f64 lanes (`__m256d`),
+//! * [`F64x8`] — AVX-512F, 8 × f64 lanes (`__m512d`),
+//! * [`F64xP`] — portable const-generic fallback (also the test oracle).
+//!
+//! The paper-specific primitives live here too:
+//!
+//! * the **in-register `vl × vl` transpose** (§3.5 of the paper) in two
+//!   instruction schedules — the paper's *lane-crossing-first* schedule
+//!   whose long-latency shuffles are hidden by the following single-cycle
+//!   in-lane unpacks, and the conventional *in-lane-first* schedule used as
+//!   the ablation baseline;
+//! * the **`Assemble`** operation (Fig. 3 / Algorithm 1): building the
+//!   left/right dependent vector of a vector set from two aligned vectors
+//!   with one blend and one lane rotation (exposed as the more general
+//!   [`SimdF64::alignr`]);
+//! * 64-byte [`AlignedBuf`] allocation so every vector-set load/store is an
+//!   aligned access (the paper aligns vector sets to 32-byte boundaries;
+//!   we use 64 to cover AVX-512 as well);
+//! * runtime [`Isa`] detection and a dispatch macro that monomorphizes a
+//!   generic kernel for each ISA behind `#[target_feature]` entry points.
+//!
+//! ## Safety model
+//!
+//! All trait methods are `unsafe fn`: executing an AVX2/AVX-512 intrinsic on
+//! a CPU without that feature is undefined behaviour. The contract is that a
+//! value of an ISA-specific vector type is only *created and used* inside a
+//! function annotated with the matching `#[target_feature]`, which the
+//! [`dispatch!`](crate::dispatch) macro guarantees by construction (it checks
+//! [`Isa::is_available`] before entering the feature-gated entry point).
+//! Every call chain below the entry point is `#[inline(always)]` so the
+//! feature context propagates to the intrinsics.
+
+#![warn(missing_docs)]
+// Index-based loops in the kernels are deliberate: the index arithmetic
+// (lane positions, set offsets) is the algorithm; iterator adapters would
+// obscure it and complicate the unroll-friendly shape LLVM needs.
+#![allow(clippy::needless_range_loop)]
+
+mod alloc;
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+mod dispatch;
+mod portable;
+mod vector;
+
+pub use alloc::{AlignedBuf, ALIGN};
+#[cfg(target_arch = "x86_64")]
+pub use avx2::F64x4;
+#[cfg(target_arch = "x86_64")]
+pub use avx512::F64x8;
+pub use dispatch::Isa;
+pub use portable::{F64xP, P4, P8};
+pub use vector::SimdF64;
+
+#[cfg(test)]
+mod tests;

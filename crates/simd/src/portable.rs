@@ -1,0 +1,174 @@
+//! Portable const-generic implementation of [`SimdF64`].
+//!
+//! This is both the fallback for non-x86 targets and the oracle the
+//! property tests compare the intrinsic implementations against. Its
+//! `mul_add` uses `f64::mul_add`, so accumulation is bit-identical to the
+//! FMA hardware paths for the same evaluation order.
+
+use crate::vector::SimdF64;
+
+/// Portable vector of `L` f64 lanes backed by a plain array.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(C, align(32))]
+pub struct F64xP<const L: usize>(pub [f64; L]);
+
+/// Portable 4-lane vector (AVX2-width oracle).
+pub type P4 = F64xP<4>;
+/// Portable 8-lane vector (AVX-512-width oracle).
+pub type P8 = F64xP<8>;
+
+impl<const L: usize> SimdF64 for F64xP<L> {
+    const LANES: usize = L;
+    const NAME: &'static str = "portable";
+
+    #[inline(always)]
+    unsafe fn splat(x: f64) -> Self {
+        F64xP([x; L])
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        Self::loadu(ptr)
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(ptr: *const f64) -> Self {
+        let mut a = [0.0; L];
+        std::ptr::copy_nonoverlapping(ptr, a.as_mut_ptr(), L);
+        F64xP(a)
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        self.storeu(ptr)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(self, ptr: *mut f64) {
+        std::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, L);
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        let mut a = self.0;
+        for i in 0..L {
+            a[i] += o.0[i];
+        }
+        F64xP(a)
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        let mut a = self.0;
+        for i in 0..L {
+            a[i] -= o.0[i];
+        }
+        F64xP(a)
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        let mut a = self.0;
+        for i in 0..L {
+            a[i] *= o.0[i];
+        }
+        F64xP(a)
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+        let mut r = [0.0; L];
+        for i in 0..L {
+            r[i] = self.0[i].mul_add(a.0[i], b.0[i]);
+        }
+        F64xP(r)
+    }
+
+    #[inline(always)]
+    unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
+        debug_assert!(o <= L);
+        let mut r = [0.0; L];
+        for i in 0..L {
+            r[i] = if i + o < L { lo.0[i + o] } else { hi.0[i + o - L] };
+        }
+        F64xP(r)
+    }
+
+    #[inline(always)]
+    unsafe fn transpose(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), L);
+        for i in 0..L {
+            for j in (i + 1)..L {
+                let a = m[i].0[j];
+                m[i].0[j] = m[j].0[i];
+                m[j].0[i] = a;
+            }
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn transpose_baseline(m: &mut [Self]) {
+        Self::transpose(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignr_matches_definition() {
+        unsafe {
+            let lo = F64xP([0.0, 1.0, 2.0, 3.0]);
+            let hi = F64xP([4.0, 5.0, 6.0, 7.0]);
+            for o in 0..=4 {
+                let r = P4::alignr(hi, lo, o);
+                for i in 0..4 {
+                    let want = (i + o) as f64;
+                    assert_eq!(r.0[i], want, "o={o} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_left_right() {
+        unsafe {
+            let prev = F64xP([10.0, 11.0, 12.0, 13.0]);
+            let cur = F64xP([0.0, 1.0, 2.0, 3.0]);
+            let next = F64xP([20.0, 21.0, 22.0, 23.0]);
+            assert_eq!(P4::assemble_left(prev, cur).0, [13.0, 0.0, 1.0, 2.0]);
+            assert_eq!(P4::assemble_right(cur, next).0, [1.0, 2.0, 3.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn transpose_4x4() {
+        unsafe {
+            let mut m = [
+                F64xP([0.0, 1.0, 2.0, 3.0]),
+                F64xP([4.0, 5.0, 6.0, 7.0]),
+                F64xP([8.0, 9.0, 10.0, 11.0]),
+                F64xP([12.0, 13.0, 14.0, 15.0]),
+            ];
+            P4::transpose(&mut m);
+            assert_eq!(m[0].0, [0.0, 4.0, 8.0, 12.0]);
+            assert_eq!(m[1].0, [1.0, 5.0, 9.0, 13.0]);
+            assert_eq!(m[2].0, [2.0, 6.0, 10.0, 14.0]);
+            assert_eq!(m[3].0, [3.0, 7.0, 11.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_fused() {
+        unsafe {
+            // Pick values where fused vs unfused differ in the last bit.
+            let a = P4::splat(1.0 + 2f64.powi(-30));
+            let b = P4::splat(1.0 + 2f64.powi(-30));
+            let c = P4::splat(-1.0);
+            let r = P4::mul_add(a, b, c);
+            let expect = (1.0 + 2f64.powi(-30)).mul_add(1.0 + 2f64.powi(-30), -1.0);
+            assert_eq!(r.0[0], expect);
+        }
+    }
+}

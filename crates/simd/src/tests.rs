@@ -1,0 +1,226 @@
+//! Cross-ISA tests: every intrinsic implementation must agree with the
+//! portable oracle for every operation, shift, and transpose schedule.
+
+use crate::{dispatch, AlignedBuf, Isa, SimdF64};
+
+/// Run `alignr(hi, lo, o)` for one ISA and return the lanes.
+fn alignr_via(isa: Isa, lo: &[f64], hi: &[f64], o: usize) -> Vec<f64> {
+    let l = isa.lanes();
+    assert_eq!(lo.len(), l);
+    assert_eq!(hi.len(), l);
+    let mut out = vec![0.0; l];
+    dispatch!(isa, V => {
+        #[inline(always)]
+        unsafe fn go<V: SimdF64>(lo: &[f64], hi: &[f64], o: usize, out: &mut [f64]) {
+            let lo = V::read_from(lo);
+            let hi = V::read_from(hi);
+            V::alignr(hi, lo, o).write_to(out);
+        }
+        go::<V>(lo, hi, o, &mut out)
+    });
+    out
+}
+
+/// Transpose an `l*l` matrix (row-major) in-register for one ISA.
+fn transpose_via(isa: Isa, data: &[f64], baseline: bool) -> Vec<f64> {
+    let l = isa.lanes();
+    assert_eq!(data.len(), l * l);
+    let src = AlignedBuf::from_slice(data);
+    let mut dst = AlignedBuf::zeroed(l * l);
+    dispatch!(isa, V => {
+        #[inline(always)]
+        unsafe fn go<V: SimdF64>(src: &[f64], dst: &mut [f64], baseline: bool) {
+            let l = V::LANES;
+            let mut m: Vec<V> = (0..l).map(|i| V::load(src.as_ptr().add(i * l))).collect();
+            if baseline {
+                V::transpose_baseline(&mut m);
+            } else {
+                V::transpose(&mut m);
+            }
+            for (i, v) in m.into_iter().enumerate() {
+                v.store(dst.as_mut_ptr().add(i * l));
+            }
+        }
+        go::<V>(&src, &mut dst, baseline)
+    });
+    dst.as_slice().to_vec()
+}
+
+fn arith_via(isa: Isa, a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
+    let l = isa.lanes();
+    let mut out = vec![0.0; 4 * l];
+    dispatch!(isa, V => {
+        #[inline(always)]
+        unsafe fn go<V: SimdF64>(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+            let l = V::LANES;
+            let (a, b, c) = (V::read_from(a), V::read_from(b), V::read_from(c));
+            V::add(a, b).write_to(&mut out[..l]);
+            V::sub(a, b).write_to(&mut out[l..2 * l]);
+            V::mul(a, b).write_to(&mut out[2 * l..3 * l]);
+            V::mul_add(a, b, c).write_to(&mut out[3 * l..4 * l]);
+        }
+        go::<V>(a, b, c, &mut out)
+    });
+    out
+}
+
+fn available_pairs() -> Vec<(Isa, Isa)> {
+    // (intrinsic ISA, matching-width portable oracle)
+    let mut v = Vec::new();
+    if Isa::Avx2.is_available() {
+        v.push((Isa::Avx2, Isa::Portable4));
+    }
+    if Isa::Avx512.is_available() {
+        v.push((Isa::Avx512, Isa::Portable8));
+    }
+    v
+}
+
+#[test]
+fn intrinsic_isas_available_on_ci_host() {
+    // This repository targets x86-64 hosts with at least AVX2; if this
+    // fails the remaining cross-checks silently test nothing.
+    assert!(
+        !available_pairs().is_empty(),
+        "no intrinsic ISA available; cross-ISA tests are vacuous"
+    );
+}
+
+#[test]
+fn alignr_matches_oracle_all_shifts() {
+    for (isa, oracle) in available_pairs() {
+        let l = isa.lanes();
+        let lo: Vec<f64> = (0..l).map(|i| i as f64).collect();
+        let hi: Vec<f64> = (0..l).map(|i| 100.0 + i as f64).collect();
+        for o in 0..=l {
+            let got = alignr_via(isa, &lo, &hi, o);
+            let want = alignr_via(oracle, &lo, &hi, o);
+            assert_eq!(got, want, "isa={isa} o={o}");
+        }
+    }
+}
+
+#[test]
+fn assemble_matches_paper_figure3() {
+    // Fig. 3: first vector (A,E,I,M), left dependent vector (Z,D,H,L) built
+    // from (*,*,*,Z) and (D,H,L,P): blend + rotate right.
+    if !Isa::Avx2.is_available() {
+        return;
+    }
+    let prev = [0.0, 0.0, 0.0, 26.0]; // (*,*,*,Z)
+    let cur = [4.0, 8.0, 12.0, 16.0]; // (D,H,L,P)
+    let got = alignr_via(Isa::Avx2, &prev, &cur, 3); // assemble_left = alignr(hi=cur, lo=prev, L-1)
+    assert_eq!(got, vec![26.0, 4.0, 8.0, 12.0]); // (Z,D,H,L)
+}
+
+#[test]
+fn transpose_matches_oracle() {
+    for (isa, oracle) in available_pairs() {
+        let l = isa.lanes();
+        let data: Vec<f64> = (0..l * l).map(|i| i as f64 * 1.25 - 7.0).collect();
+        let want = transpose_via(oracle, &data, false);
+        for baseline in [false, true] {
+            let got = transpose_via(isa, &data, baseline);
+            assert_eq!(got, want, "isa={isa} baseline={baseline}");
+        }
+        // And it really is the mathematical transpose.
+        for r in 0..l {
+            for c in 0..l {
+                assert_eq!(want[c * l + r], data[r * l + c]);
+            }
+        }
+    }
+}
+
+#[test]
+fn transpose_is_involution() {
+    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+        let l = isa.lanes();
+        let data: Vec<f64> = (0..l * l).map(|i| (i as f64).sin()).collect();
+        let twice = transpose_via(isa, &transpose_via(isa, &data, false), false);
+        assert_eq!(twice, data, "isa={isa}");
+    }
+}
+
+#[test]
+fn arithmetic_matches_oracle_bitwise() {
+    for (isa, oracle) in available_pairs() {
+        let l = isa.lanes();
+        let a: Vec<f64> = (0..l).map(|i| 1.0 + (i as f64) * 1e-7).collect();
+        let b: Vec<f64> = (0..l).map(|i| -3.0 + (i as f64) * 0.33).collect();
+        let c: Vec<f64> = (0..l).map(|i| 1e-12 + i as f64).collect();
+        let got = arith_via(isa, &a, &b, &c);
+        let want = arith_via(oracle, &a, &b, &c);
+        // mul_add must match bitwise: both sides use a fused operation.
+        assert_eq!(got, want, "isa={isa}");
+    }
+}
+
+#[test]
+fn aligned_load_store_roundtrip() {
+    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+        let l = isa.lanes();
+        let src = AlignedBuf::from_slice(&(0..2 * l).map(|i| i as f64).collect::<Vec<_>>());
+        let mut dst = AlignedBuf::zeroed(2 * l);
+        dispatch!(isa, V => {
+            #[inline(always)]
+            unsafe fn go<V: SimdF64>(src: &[f64], dst: &mut [f64]) {
+                let a = V::load(src.as_ptr());
+                let b = V::loadu(src.as_ptr().add(1));
+                a.store(dst.as_mut_ptr());
+                b.storeu(dst.as_mut_ptr().add(V::LANES));
+            }
+            go::<V>(&src, &mut dst)
+        });
+        assert_eq!(&dst[..l], &src[..l], "isa={isa}");
+        assert_eq!(&dst[l..2 * l], &src[1..l + 1], "isa={isa}");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn alignr_oracle_prop(
+            lo in proptest::collection::vec(-1e6f64..1e6, 8),
+            hi in proptest::collection::vec(-1e6f64..1e6, 8),
+            o in 0usize..=8,
+        ) {
+            for (isa, oracle) in available_pairs() {
+                let l = isa.lanes();
+                let oo = o.min(l);
+                let got = alignr_via(isa, &lo[..l], &hi[..l], oo);
+                let want = alignr_via(oracle, &lo[..l], &hi[..l], oo);
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        #[test]
+        fn transpose_oracle_prop(data in proptest::collection::vec(-1e9f64..1e9, 64)) {
+            for (isa, oracle) in available_pairs() {
+                let l = isa.lanes();
+                let got = transpose_via(isa, &data[..l * l], false);
+                let base = transpose_via(isa, &data[..l * l], true);
+                let want = transpose_via(oracle, &data[..l * l], false);
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(&base, &want);
+            }
+        }
+
+        #[test]
+        fn fma_oracle_prop(
+            a in proptest::collection::vec(-1e3f64..1e3, 8),
+            b in proptest::collection::vec(-1e3f64..1e3, 8),
+            c in proptest::collection::vec(-1e3f64..1e3, 8),
+        ) {
+            for (isa, oracle) in available_pairs() {
+                let l = isa.lanes();
+                let got = arith_via(isa, &a[..l], &b[..l], &c[..l]);
+                let want = arith_via(oracle, &a[..l], &b[..l], &c[..l]);
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # stencil-tiling
+//!
+//! Temporal tiling substrates for the stencil-lab workspace, reproducing
+//! the two tiling frameworks of the paper's evaluation:
+//!
+//! * [`tessellate`] — tessellate tiling (Yuan et al., SC'17), the
+//!   framework the paper integrates its transpose-layout vectorization
+//!   with (§3.4): triangles / inverted triangles in 1D, `d+1`-stage
+//!   product tessellation in 2D/3D, rayon-parallel within each stage.
+//!   Intra-tile vectorization is pluggable, so the same driver yields the
+//!   paper's *Tessellation* baseline (`Method::MultiLoad`), *Our*
+//!   (`Method::TransLayout`) and *Our (2 steps)* (`Method::TransLayout2`,
+//!   with the 1D fused-pair register pipeline).
+//! * [`split`] — split tiling over the DLT layout, standing in for SDSL
+//!   (Henretty et al., ICS'13): column-space tiles in 1D (with per-seam
+//!   scalar tiles), hybrid outer-dimension split in 2D/3D.
+//!
+//! Every driver produces results **bit-identical** to the untiled scalar
+//! reference: tiling changes only the traversal order of space-time
+//! points, never the per-point accumulation order (tested in
+//! `tests/tiled.rs`).
+
+#![warn(missing_docs)]
+// Index-based loops in the kernels are deliberate: the index arithmetic
+// (lane positions, set offsets) is the algorithm; iterator adapters would
+// obscure it and complicate the unroll-friendly shape LLVM needs.
+#![allow(clippy::needless_range_loop)]
+
+pub mod split;
+pub mod tessellate;
+pub mod tile;
+
+pub use split::{split1_star1, split2_box, split2_star, split3_box, split3_star};
+pub use tessellate::{
+    tessellate1_star1, tessellate2_box, tessellate2_star, tessellate3_box, tessellate3_star,
+};
+pub use tile::DimTiling;

@@ -1,0 +1,210 @@
+//! Per-dimension tile-shape algebra for tessellate/split temporal tiling.
+//!
+//! A dimension of `n` cells is partitioned into triangle bases of width
+//! `w`; a time chunk has height `h` steps. At step `s` (0-based within the
+//! chunk):
+//!
+//! * **triangle** `k` updates `[k·w + r·s, (k+1)·w − r·s)` — except that a
+//!   side touching the domain edge does not shrink when the edge is
+//!   halo-backed (constant halo cells always supply the dependence);
+//! * **inverted triangle** at boundary `c = k·w` updates `[c − r·s,
+//!   c + r·s)` (empty at `s = 0`).
+//!
+//! Triangles are mutually independent (their dependences stay inside
+//! their own base); inverted triangles depend only on triangle slopes and
+//! themselves — hence the two parallel stages per chunk with one barrier.
+//! The shapes tessellate exactly: every `(x, s)` is updated exactly once
+//! per chunk (property-tested below).
+
+/// Tiling of one dimension.
+#[derive(Copy, Clone, Debug)]
+pub struct DimTiling {
+    /// Dimension extent.
+    pub n: usize,
+    /// Triangle base width.
+    pub w: usize,
+    /// Stencil radius along this dimension.
+    pub r: usize,
+    /// Whether domain edges are halo-backed (tessellation in original
+    /// space) or must shrink like interior slopes (split tiling in DLT
+    /// j-space, where the "edges" are cross-lane seams).
+    pub edge_halo: bool,
+}
+
+impl DimTiling {
+    /// Construct; `w ≥ 2·r·(h−1)` must hold for chunk height `h` so that
+    /// opposing slopes never cross (checked by the drivers).
+    pub fn new(n: usize, w: usize, r: usize, edge_halo: bool) -> Self {
+        assert!(n > 0 && w > 0, "empty tiling");
+        DimTiling { n, w, r, edge_halo }
+    }
+
+    /// Largest chunk height this tiling supports (bounded by the smallest
+    /// gap between consecutive tile boundaries, so opposing slopes never
+    /// cross).
+    pub fn max_height(&self) -> usize {
+        if self.r == 0 {
+            return usize::MAX;
+        }
+        let min_gap = if self.ntri() == 1 {
+            if self.edge_halo {
+                return usize::MAX; // single non-shrinking tile
+            }
+            self.n
+        } else {
+            self.w
+        };
+        min_gap / (2 * self.r) + 1
+    }
+
+    /// Number of triangles. The last base absorbs `n mod w`, so every base
+    /// is at least `w` wide and boundary gaps never fall below `w`.
+    pub fn ntri(&self) -> usize {
+        (self.n / self.w).max(1)
+    }
+
+    /// Number of inverted-triangle boundaries (interior only).
+    pub fn ninv(&self) -> usize {
+        // boundaries c = k·w for k = 1..ntri (all satisfy c < n)
+        self.ntri().saturating_sub(1) + if self.edge_halo { 0 } else { 2 }
+    }
+
+    /// Range of triangle `k` at step `s` (possibly empty).
+    pub fn tri(&self, k: usize, s: usize) -> (usize, usize) {
+        let last = k == self.ntri() - 1;
+        let base_lo = k * self.w;
+        let base_hi = if last { self.n } else { (k + 1) * self.w };
+        let lo = if k == 0 && self.edge_halo {
+            0
+        } else {
+            base_lo + self.r * s
+        };
+        let hi = if last && self.edge_halo {
+            self.n
+        } else {
+            base_hi.saturating_sub(self.r * s)
+        };
+        (lo.min(self.n), hi.min(self.n).max(lo.min(self.n)))
+    }
+
+    /// Range of inverted tile `b` at step `s` (possibly empty).
+    ///
+    /// With halo-backed edges, `b ∈ 0..ninv()` maps to interior boundaries
+    /// `c = (b+1)·w`. Without (`edge_halo = false`), `b = 0` is the left
+    /// domain edge (`c = 0`), `b = ninv()-1` the right (`c = n`), and the
+    /// rest interior.
+    pub fn inv(&self, b: usize, s: usize) -> (usize, usize) {
+        let c = if self.edge_halo {
+            (b + 1) * self.w
+        } else if b == 0 {
+            0
+        } else if b == self.ninv() - 1 {
+            self.n
+        } else {
+            b * self.w
+        };
+        let lo = c.saturating_sub(self.r * s);
+        let hi = (c + self.r * s).min(self.n);
+        (lo, hi.max(lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Count how many times each (x, s) pair is updated in one chunk.
+    fn coverage(d: &DimTiling, h: usize) -> Vec<Vec<u32>> {
+        let mut cov = vec![vec![0u32; d.n]; h];
+        for s in 0..h {
+            for k in 0..d.ntri() {
+                let (lo, hi) = d.tri(k, s);
+                for x in lo..hi {
+                    cov[s][x] += 1;
+                }
+            }
+            for b in 0..d.ninv() {
+                let (lo, hi) = d.inv(b, s);
+                for x in lo..hi {
+                    cov[s][x] += 1;
+                }
+            }
+        }
+        cov
+    }
+
+    #[test]
+    fn tessellation_covers_each_point_exactly_once() {
+        for (n, w, r, h) in [
+            (100usize, 20usize, 1usize, 10usize),
+            (100, 20, 1, 11),
+            (97, 20, 1, 5),
+            (64, 64, 1, 8),
+            (200, 40, 2, 10),
+            (33, 16, 2, 4),
+            (10, 4, 1, 2),
+            (125, 24, 1, 6), // non-divisible: last base absorbs remainder
+            (65, 16, 1, 4),
+            (130, 24, 2, 5),
+        ] {
+            let d = DimTiling::new(n, w, r, true);
+            assert!(h <= d.max_height(), "bad test params");
+            for (s, row) in coverage(&d, h).iter().enumerate() {
+                for (x, &c) in row.iter().enumerate() {
+                    assert_eq!(c, 1, "n={n} w={w} r={r} h={h}: ({x},{s}) covered {c}x");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_edges_cover_with_seams() {
+        // With edge_halo = false, triangles shrink at domain edges and the
+        // extra inv tiles at c=0 / c=n (the seam tiles) fill the gap.
+        for (n, w, r, h) in [
+            (100usize, 25usize, 1usize, 10usize),
+            (64, 16, 2, 4),
+            (125, 24, 1, 6),
+            (65, 16, 1, 4),
+        ] {
+            let d = DimTiling::new(n, w, r, false);
+            for (s, row) in coverage(&d, h).iter().enumerate() {
+                for (x, &c) in row.iter().enumerate() {
+                    assert_eq!(c, 1, "n={n} w={w} r={r} h={h}: ({x},{s}) covered {c}x");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_deps_stay_inside_base() {
+        // At step s, a triangle's reads [lo-r, hi+r) at level s-1 must be
+        // inside its own step-(s-1) range or the constant halo.
+        let d = DimTiling::new(120, 30, 1, true);
+        for k in 0..d.ntri() {
+            for s in 1..10 {
+                let (lo, hi) = d.tri(k, s);
+                if lo >= hi {
+                    continue;
+                }
+                let (plo, phi) = d.tri(k, s - 1);
+                // halo-backed edges extend the legal read range by r
+                let legal_lo = if plo == 0 { 0 } else { plo + d.r };
+                let legal_hi = if phi == d.n { d.n } else { phi - d.r };
+                assert!(lo >= legal_lo && hi <= legal_hi.max(legal_lo), "k={k} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_height_respects_slope_crossing() {
+        let d = DimTiling::new(1000, 40, 2, true);
+        let h = d.max_height();
+        // at step h-1 adjacent inverted tiles must not overlap
+        for s in 0..h {
+            let (_, hi) = d.inv(0, s);
+            let (lo2, _) = d.inv(1, s);
+            assert!(hi <= lo2, "inv tiles overlap at s={s}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Tiled-vs-untiled equivalence: every tiling driver must produce results
+//! bit-identical to the untiled scalar reference — tiling reorders
+//! space-time traversal but never changes a cell's accumulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stencil_core::verify::{max_abs_diff1, max_abs_diff2, max_abs_diff3};
+use stencil_core::{
+    run1_star1, run2_box, run2_star, run3_box, run3_star, Grid1, Grid2, Grid3, Method, S1d3p,
+    S1d5p, S2d5p, S2d9p, S3d27p, S3d7p,
+};
+use stencil_simd::Isa;
+use stencil_tiling::{
+    split1_star1, split2_box, split2_star, split3_box, split3_star, tessellate1_star1,
+    tessellate2_box, tessellate2_star, tessellate3_box, tessellate3_star,
+};
+
+fn isas() -> Vec<Isa> {
+    Isa::ALL.into_iter().filter(|i| i.is_available()).collect()
+}
+
+fn grid1(n: usize, seed: u64) -> Grid1 {
+    let mut r = StdRng::seed_from_u64(seed);
+    let halo = r.random_range(-1.0..1.0);
+    Grid1::from_fn(n, halo, |_| r.random_range(-1.0..1.0))
+}
+
+fn tess_methods() -> [Method; 4] {
+    [
+        Method::MultiLoad,
+        Method::Reorg,
+        Method::TransLayout,
+        Method::TransLayout2,
+    ]
+}
+
+#[test]
+fn tessellate1_matches_untiled_bitwise() {
+    let s = S1d3p {
+        w: [0.21, 0.55, 0.2],
+    };
+    for isa in isas() {
+        for (n, w, h, t) in [
+            (400usize, 80usize, 8usize, 16usize),
+            (400, 80, 8, 13), // partial final chunk + odd t
+            (1000, 128, 16, 32),
+            (257, 64, 4, 9),
+        ] {
+            let init = grid1(n, n as u64);
+            let mut reference = init.clone();
+            run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+            for m in tess_methods() {
+                for threads in [1usize, 4] {
+                    let mut g = init.clone();
+                    tessellate1_star1(m, isa, &mut g, &s, t, w, h, threads);
+                    let d = max_abs_diff1(&g, &reference);
+                    assert_eq!(d, 0.0, "{m}/{isa}/n={n}/w={w}/h={h}/t={t}/thr={threads}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tessellate1_r2_matches_untiled() {
+    let s = S1d5p {
+        w: [-0.04, 0.2, 0.5, 0.3, -0.02],
+    };
+    for isa in isas() {
+        let (n, w, h, t) = (600usize, 120usize, 8usize, 17usize);
+        let init = grid1(n, 9);
+        let mut reference = init.clone();
+        run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+        for m in tess_methods() {
+            let mut g = init.clone();
+            tessellate1_star1(m, isa, &mut g, &s, t, w, h, 4);
+            assert_eq!(max_abs_diff1(&g, &reference), 0.0, "{m}/{isa}");
+        }
+    }
+}
+
+#[test]
+fn split1_matches_untiled_bitwise() {
+    let s = S1d3p {
+        w: [0.3, 0.45, 0.22],
+    };
+    for isa in isas() {
+        for (n, w, h, t) in [
+            (1024usize, 32usize, 8usize, 16usize),
+            (1000, 24, 6, 13),
+            (520, 16, 4, 8),
+        ] {
+            let init = grid1(n, 31 + n as u64);
+            let mut reference = init.clone();
+            run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+            for threads in [1usize, 4] {
+                let mut g = init.clone();
+                split1_star1(isa, &mut g, &s, t, w, h, threads);
+                let d = max_abs_diff1(&g, &reference);
+                assert_eq!(d, 0.0, "split/{isa}/n={n}/w={w}/h={h}/t={t}/thr={threads}");
+            }
+        }
+    }
+}
+
+fn grid2(nx: usize, ny: usize, seed: u64) -> Grid2 {
+    let mut r = StdRng::seed_from_u64(seed);
+    let halo = r.random_range(-1.0..1.0);
+    Grid2::from_fn(nx, ny, 1, halo, |_, _| r.random_range(-1.0..1.0))
+}
+
+#[test]
+fn tessellate2_matches_untiled() {
+    let s = S2d5p {
+        wx: [0.2, 0.3, 0.19],
+        wy: [0.12, 0.0, 0.14],
+    };
+    let isa = Isa::detect_best();
+    let (nx, ny, t) = (150usize, 40usize, 11usize);
+    let init = grid2(nx, ny, 4);
+    let mut reference = init.clone();
+    run2_star(Method::Scalar, isa, &mut reference, &s, t);
+    for m in tess_methods() {
+        for threads in [1usize, 4] {
+            let mut g = init.clone();
+            tessellate2_star(m, isa, &mut g, &s, t, 48, 16, 6, threads);
+            let d = max_abs_diff2(&g, &reference);
+            assert_eq!(d, 0.0, "{m}/{isa}/thr={threads}");
+        }
+    }
+}
+
+#[test]
+fn tessellate2_box_matches_untiled() {
+    let mut r = StdRng::seed_from_u64(2);
+    let mut w = [0.0f64; 9];
+    for x in w.iter_mut() {
+        *x = r.random_range(0.0..0.11);
+    }
+    let s = S2d9p { w };
+    let isa = Isa::detect_best();
+    let (nx, ny, t) = (120usize, 30usize, 7usize);
+    let init = grid2(nx, ny, 6);
+    let mut reference = init.clone();
+    run2_box(Method::Scalar, isa, &mut reference, &s, t);
+    for m in tess_methods() {
+        let mut g = init.clone();
+        tessellate2_box(m, isa, &mut g, &s, t, 40, 12, 5, 4);
+        assert_eq!(max_abs_diff2(&g, &reference), 0.0, "{m}/{isa}");
+    }
+}
+
+#[test]
+fn split2_matches_untiled() {
+    let s = S2d5p {
+        wx: [0.21, 0.33, 0.2],
+        wy: [0.1, 0.0, 0.11],
+    };
+    let isa = Isa::detect_best();
+    let (nx, ny, t) = (130usize, 36usize, 9usize);
+    let init = grid2(nx, ny, 8);
+    let mut reference = init.clone();
+    run2_star(Method::Scalar, isa, &mut reference, &s, t);
+    let mut g = init.clone();
+    split2_star(isa, &mut g, &s, t, 12, 5, 4);
+    assert_eq!(max_abs_diff2(&g, &reference), 0.0);
+
+    let mut rr = StdRng::seed_from_u64(3);
+    let mut w = [0.0f64; 9];
+    for x in w.iter_mut() {
+        *x = rr.random_range(0.0..0.1);
+    }
+    let sb = S2d9p { w };
+    let mut reference = init.clone();
+    run2_box(Method::Scalar, isa, &mut reference, &sb, t);
+    let mut g = init.clone();
+    split2_box(isa, &mut g, &sb, t, 12, 5, 4);
+    assert_eq!(max_abs_diff2(&g, &reference), 0.0);
+}
+
+fn grid3(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3 {
+    let mut r = StdRng::seed_from_u64(seed);
+    let halo = r.random_range(-1.0..1.0);
+    Grid3::from_fn(nx, ny, nz, 1, halo, |_, _, _| r.random_range(-1.0..1.0))
+}
+
+#[test]
+fn tessellate3_matches_untiled() {
+    let s = S3d7p {
+        wx: [0.1, 0.28, 0.12],
+        wy: [0.09, 0.0, 0.11],
+        wz: [0.08, 0.0, 0.07],
+    };
+    let isa = Isa::detect_best();
+    let (nx, ny, nz, t) = (80usize, 20usize, 16usize, 7usize);
+    let init = grid3(nx, ny, nz, 12);
+    let mut reference = init.clone();
+    run3_star(Method::Scalar, isa, &mut reference, &s, t);
+    for m in tess_methods() {
+        let mut g = init.clone();
+        tessellate3_star(m, isa, &mut g, &s, t, 40, 10, 8, 4, 4);
+        assert_eq!(max_abs_diff3(&g, &reference), 0.0, "{m}/{isa}");
+    }
+}
+
+#[test]
+fn tessellate3_box_matches_untiled() {
+    let mut r = StdRng::seed_from_u64(5);
+    let mut w = [0.0f64; 27];
+    for x in w.iter_mut() {
+        *x = r.random_range(0.0..0.037);
+    }
+    let s = S3d27p { w };
+    let isa = Isa::detect_best();
+    let (nx, ny, nz, t) = (72usize, 18usize, 12usize, 5usize);
+    let init = grid3(nx, ny, nz, 14);
+    let mut reference = init.clone();
+    run3_box(Method::Scalar, isa, &mut reference, &s, t);
+    for m in tess_methods() {
+        let mut g = init.clone();
+        tessellate3_box(m, isa, &mut g, &s, t, 36, 8, 6, 3, 4);
+        assert_eq!(max_abs_diff3(&g, &reference), 0.0, "{m}/{isa}");
+    }
+}
+
+#[test]
+fn split3_matches_untiled() {
+    let s = S3d7p {
+        wx: [0.11, 0.3, 0.1],
+        wy: [0.1, 0.0, 0.09],
+        wz: [0.07, 0.0, 0.06],
+    };
+    let isa = Isa::detect_best();
+    let (nx, ny, nz, t) = (70usize, 16usize, 14usize, 6usize);
+    let init = grid3(nx, ny, nz, 21);
+    let mut reference = init.clone();
+    run3_star(Method::Scalar, isa, &mut reference, &s, t);
+    let mut g = init.clone();
+    split3_star(isa, &mut g, &s, t, 6, 3, 4);
+    assert_eq!(max_abs_diff3(&g, &reference), 0.0);
+
+    let mut rr = StdRng::seed_from_u64(6);
+    let mut w = [0.0f64; 27];
+    for x in w.iter_mut() {
+        *x = rr.random_range(0.0..0.035);
+    }
+    let sb = S3d27p { w };
+    let mut reference = init.clone();
+    run3_box(Method::Scalar, isa, &mut reference, &sb, t);
+    let mut g = init.clone();
+    split3_box(isa, &mut g, &sb, t, 6, 3, 4);
+    assert_eq!(max_abs_diff3(&g, &reference), 0.0);
+}
+
+#[test]
+fn parallel_equals_serial_bitwise() {
+    let s = S1d3p::heat();
+    let isa = Isa::detect_best();
+    let init = grid1(2000, 77);
+    let mut serial = init.clone();
+    tessellate1_star1(Method::TransLayout2, isa, &mut serial, &s, 24, 256, 16, 1);
+    for threads in [2usize, 8, 16] {
+        let mut par = init.clone();
+        tessellate1_star1(Method::TransLayout2, isa, &mut par, &s, 24, 256, 16, threads);
+        assert_eq!(max_abs_diff1(&par, &serial), 0.0, "threads={threads}");
+    }
+}

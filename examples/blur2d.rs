@@ -1,0 +1,62 @@
+//! Iterated 3×3 box blur (the 2D9P box stencil) on a synthetic test
+//! pattern — the image-processing workload the paper's §2.2 calls out as
+//! the case where DLT's transform overhead hurts (few time steps), which
+//! the local transpose layout avoids.
+//!
+//! ```sh
+//! cargo run --release --example blur2d [-- passes]
+//! ```
+
+use std::time::Instant;
+
+use stencil_lab::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let isa = Isa::detect_best();
+    let (nx, ny) = (1024usize, 768usize);
+    let passes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let blur = S2d9p::blur();
+
+    // Checkerboard + circles test pattern.
+    let img = Grid2::from_fn(nx, ny, 1, 0.5, |y, x| {
+        let checker = ((x / 64 + y / 64) % 2) as f64;
+        let cx = (x as f64 - nx as f64 / 2.0) / 80.0;
+        let cy = (y as f64 - ny as f64 / 2.0) / 80.0;
+        let rings = (0.5 + 0.5 * ((cx * cx + cy * cy).sqrt() * 6.0).sin()).round();
+        0.7 * checker + 0.3 * rings
+    });
+
+    println!("{nx}x{ny} image, {passes} blur passes ({isa})");
+    println!("{:<14} {:>10}", "method", "time");
+    let mut blurred = None;
+    for method in [Method::Scalar, Method::MultiLoad, Method::Dlt, Method::TransLayout] {
+        let mut g = img.clone();
+        let t0 = Instant::now();
+        run2_box(method, isa, &mut g, &blur, passes);
+        println!("{:<14} {:>8.2?}", method.name(), t0.elapsed());
+        if let Some(reference) = &blurred {
+            assert_eq!(stencil_lab::core::verify::max_abs_diff2(&g, reference), 0.0);
+        } else {
+            blurred = Some(g);
+        }
+    }
+
+    // Write before/after PGMs.
+    let g = blurred.unwrap();
+    for (name, grid) in [("blur2d_in.pgm", &img), ("blur2d_out.pgm", &g)] {
+        let mut out = Vec::with_capacity(nx * ny + 64);
+        use std::io::Write;
+        writeln!(out, "P5\n{nx} {ny}\n255")?;
+        for y in 0..ny {
+            for &v in grid.row(y) {
+                out.push((255.0 * v.clamp(0.0, 1.0)) as u8);
+            }
+        }
+        std::fs::write(name, out)?;
+        println!("wrote {name}");
+    }
+    Ok(())
+}

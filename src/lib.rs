@@ -1,0 +1,38 @@
+//! # stencil-lab
+//!
+//! Umbrella crate for the reproduction of *An Efficient Vectorization
+//! Scheme for Stencil Computation* (Li, Yuan, Zhang, Yue, Cao, Lu —
+//! IPDPS 2022).
+//!
+//! Re-exports the three layers:
+//!
+//! * [`simd`] — vector ISA abstraction, in-register transposes, assembles;
+//! * [`core`] — grids, stencils, the transpose-layout scheme and all
+//!   baseline vectorization methods;
+//! * [`tiling`] — tessellate and split temporal tiling with parallel
+//!   stage execution.
+//!
+//! ```
+//! use stencil_lab::prelude::*;
+//!
+//! let isa = Isa::detect_best();
+//! let mut g = Grid1::from_fn(1 << 14, 0.0, |i| (i as f64 * 0.001).sin());
+//! run1_star1(Method::TransLayout2, isa, &mut g, &S1d3p::heat(), 64);
+//! ```
+
+pub use stencil_core as core;
+pub use stencil_simd as simd;
+pub use stencil_tiling as tiling;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use stencil_core::{
+        run1_star1, run2_box, run2_star, run3_box, run3_star, Box2, Box3, Grid1, Grid2, Grid3,
+        Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,
+    };
+    pub use stencil_simd::Isa;
+    pub use stencil_tiling::{
+        split1_star1, split2_star, split3_star, tessellate1_star1, tessellate2_box,
+        tessellate2_star, tessellate3_box, tessellate3_star,
+    };
+}

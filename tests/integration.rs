@@ -1,0 +1,98 @@
+//! Workspace-level integration tests: the three crates working together
+//! through the umbrella prelude, plus physics-level sanity checks that
+//! don't depend on any reference implementation.
+
+use stencil_lab::prelude::*;
+use stencil_simd::AlignedBuf;
+
+#[test]
+fn prelude_end_to_end_pipeline() {
+    let isa = Isa::detect_best();
+    let n = 4096;
+    let s = S1d3p::heat();
+    let init = Grid1::from_fn(n, 0.0, |i| if i % 97 == 0 { 1.0 } else { 0.0 });
+
+    // untiled transpose-layout, tiled tessellate, tiled split: all equal
+    let mut a = init.clone();
+    run1_star1(Method::TransLayout2, isa, &mut a, &s, 40);
+    let mut b = init.clone();
+    tessellate1_star1(Method::TransLayout2, isa, &mut b, &s, 40, 512, 64, 8);
+    let mut c = init.clone();
+    split1_star1(isa, &mut c, &s, 40, 64, 32, 8);
+    assert_eq!(stencil_lab::core::verify::max_abs_diff1(&a, &b), 0.0);
+    assert_eq!(stencil_lab::core::verify::max_abs_diff1(&a, &c), 0.0);
+}
+
+#[test]
+fn heat_decays_monotonically_toward_boundary_value() {
+    // With zero boundaries and normalized positive weights, the max
+    // principle holds: max decreases, min increases toward 0.
+    let isa = Isa::detect_best();
+    let s = S1d3p::heat();
+    let mut g = Grid1::from_fn(2048, 0.0, |i| if i == 1024 { 100.0 } else { 0.0 });
+    let mut prev_max = 100.0f64;
+    for _ in 0..10 {
+        run1_star1(Method::TransLayout2, isa, &mut g, &s, 4);
+        let mx = g.interior().iter().fold(f64::MIN, |m, &x| m.max(x));
+        let mn = g.interior().iter().fold(f64::MAX, |m, &x| m.min(x));
+        assert!(mx <= prev_max + 1e-12, "max principle violated");
+        assert!(mn >= -1e-12, "positivity violated");
+        prev_max = mx;
+    }
+}
+
+#[test]
+fn blur_converges_to_constant() {
+    // Repeated normalized box blur of a bounded image converges toward a
+    // flat field (here bounded by halo = interior mean scale).
+    let isa = Isa::detect_best();
+    let s = S2d9p::blur();
+    let mut g = Grid2::from_fn(96, 64, 1, 0.5, |y, x| ((x + y) % 2) as f64);
+    run2_box(Method::TransLayout, isa, &mut g, &s, 200);
+    for y in 0..64 {
+        for &v in g.row(y) {
+            assert!((v - 0.5).abs() < 0.05, "not converged: {v}");
+        }
+    }
+}
+
+#[test]
+fn cross_isa_agreement_end_to_end() {
+    // AVX2 and AVX-512 paths (when present) must agree bitwise with the
+    // portable oracle after a full tiled run.
+    let s = S2d5p::heat();
+    let init = Grid2::from_fn(130, 40, 1, 0.0, |y, x| ((x * 31 + y * 17) % 101) as f64);
+    let mut reference = init.clone();
+    run2_star(Method::Scalar, Isa::Portable4, &mut reference, &s, 12);
+    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+        let mut g = init.clone();
+        tessellate2_star(Method::TransLayout2, isa, &mut g, &s, 12, 48, 16, 6, 4);
+        assert_eq!(
+            stencil_lab::core::verify::max_abs_diff2(&g, &reference),
+            0.0,
+            "{isa}"
+        );
+    }
+}
+
+#[test]
+fn three_d_tiled_matches_untiled_through_prelude() {
+    let isa = Isa::detect_best();
+    let s = S3d7p::heat();
+    let init = Grid3::from_fn(72, 20, 12, 1, 0.0, |z, y, x| ((x + 2 * y + 3 * z) % 7) as f64);
+    let mut a = init.clone();
+    run3_star(Method::MultiLoad, isa, &mut a, &s, 6);
+    let mut b = init.clone();
+    tessellate3_star(Method::TransLayout2, isa, &mut b, &s, 6, 36, 8, 6, 3, 6);
+    let mut c = init.clone();
+    split3_star(isa, &mut c, &s, 6, 6, 3, 6);
+    assert_eq!(stencil_lab::core::verify::max_abs_diff3(&a, &b), 0.0);
+    assert_eq!(stencil_lab::core::verify::max_abs_diff3(&a, &c), 0.0);
+}
+
+#[test]
+fn simd_substrate_is_reexported_and_usable() {
+    let b = AlignedBuf::from_slice(&[1.0, 2.0, 3.0]);
+    assert_eq!(b.as_ptr() as usize % stencil_simd::ALIGN, 0);
+    assert_eq!(Isa::detect_best().lanes() % 4, 0);
+}
