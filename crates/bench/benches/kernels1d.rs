@@ -1,24 +1,35 @@
 //! 1D kernel comparison (all methods, L1/L2/L3-resident sizes) and the
-//! §3.3 unroll-and-jam ablation (k = 1 vs k = 2).
+//! §3.3 unroll-and-jam ablation (k = 1 vs k = 2), driven through reused
+//! [`Plan`]s (scratch allocated once per method, not once per iteration).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::grid1;
-use stencil_core::{run1_star1, Method, S1d3p, S1d5p};
+use stencil_core::exec::{Plan, Shape};
+use stencil_core::{Method, S1d3p, S1d5p};
 use stencil_simd::Isa;
 
 fn bench(c: &mut Criterion) {
     let isa = Isa::detect_best();
-    for (label, n, steps) in [("L1", 1_500usize, 64usize), ("L2", 40_000, 16), ("L3", 500_000, 4)] {
+    for (label, n, steps) in [
+        ("L1", 1_500usize, 64usize),
+        ("L2", 40_000, 16),
+        ("L3", 500_000, 4),
+    ] {
         let mut group = c.benchmark_group(format!("kernels1d_1d3p_{label}"));
         group.throughput(Throughput::Elements((n * steps) as u64));
         group.sample_size(10);
         let s = S1d3p::heat();
         let init = grid1(n, 3);
         for m in Method::ALL {
+            let mut plan = Plan::new(Shape::d1(n))
+                .method(m)
+                .isa(isa)
+                .star1(s)
+                .expect("valid plan");
             group.bench_function(m.name(), |b| {
                 b.iter(|| {
                     let mut g = init.clone();
-                    run1_star1(m, isa, &mut g, &s, steps);
+                    plan.run(&mut g, steps);
                     g
                 })
             });
@@ -33,10 +44,15 @@ fn bench(c: &mut Criterion) {
     let s = S1d5p::heat();
     let init = grid1(n, 4);
     for m in Method::ALL {
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(m)
+            .isa(isa)
+            .star1(s)
+            .expect("valid plan");
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut g = init.clone();
-                run1_star1(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 g
             })
         });

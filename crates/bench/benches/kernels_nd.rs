@@ -1,8 +1,10 @@
-//! 2D and 3D kernel comparison across all methods.
+//! 2D and 3D kernel comparison across all methods, driven through reused
+//! [`Plan`]s.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::{grid2, grid3};
-use stencil_core::{run2_box, run2_star, run3_box, run3_star, Method, S2d5p, S2d9p, S3d27p, S3d7p};
+use stencil_core::exec::{Plan, Shape};
+use stencil_core::{Method, S2d5p, S2d9p, S3d27p, S3d7p};
 use stencil_simd::Isa;
 
 fn bench(c: &mut Criterion) {
@@ -16,10 +18,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let s = S2d5p::heat();
     for m in Method::ALL {
+        let mut plan = Plan::new(Shape::d2(nx, ny))
+            .method(m)
+            .isa(isa)
+            .star2(s)
+            .expect("valid plan");
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut g = init2.clone();
-                run2_star(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 g
             })
         });
@@ -31,10 +38,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let s = S2d9p::blur();
     for m in Method::ALL {
+        let mut plan = Plan::new(Shape::d2(nx, ny))
+            .method(m)
+            .isa(isa)
+            .box2(s)
+            .expect("valid plan");
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut g = init2.clone();
-                run2_box(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 g
             })
         });
@@ -48,10 +60,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let s = S3d7p::heat();
     for m in Method::ALL {
+        let mut plan = Plan::new(Shape::d3(nx, ny, nz))
+            .method(m)
+            .isa(isa)
+            .star3(s)
+            .expect("valid plan");
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut g = init3.clone();
-                run3_star(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 g
             })
         });
@@ -63,10 +80,15 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let s = S3d27p::blur();
     for m in Method::ALL {
+        let mut plan = Plan::new(Shape::d3(nx, ny, nz))
+            .method(m)
+            .isa(isa)
+            .box3(s)
+            .expect("valid plan");
         group.bench_function(m.name(), |b| {
             b.iter(|| {
                 let mut g = init3.clone();
-                run3_box(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 g
             })
         });

@@ -3,11 +3,12 @@
 //! the paper's choice (m = vl, per-set shuffles, in-register transpose)
 //! and DLT (m = N/vl, no steady-state shuffles, global transpose + no
 //! locality). One benchmark per point on the spectrum, L1- and
-//! memory-resident.
+//! memory-resident, each through a reused [`Plan`].
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::grid1;
-use stencil_core::{run1_star1, Method, S1d3p};
+use stencil_core::exec::{Plan, Shape};
+use stencil_core::{Method, S1d3p};
 use stencil_simd::Isa;
 
 fn bench(c: &mut Criterion) {
@@ -23,10 +24,15 @@ fn bench(c: &mut Criterion) {
             (Method::TransLayout, "m=vl_translayout"),
             (Method::Dlt, "m=N_over_vl_dlt"),
         ] {
+            let mut plan = Plan::new(Shape::d1(n))
+                .method(m)
+                .isa(isa)
+                .star1(s)
+                .expect("valid plan");
             group.bench_function(label, |b| {
                 b.iter(|| {
                     let mut g = init.clone();
-                    run1_star1(m, isa, &mut g, &s, steps);
+                    plan.run(&mut g, steps);
                     g
                 })
             });

@@ -1,11 +1,12 @@
 //! Tiling-framework comparison (tessellate vs split) and tile-size
-//! ablation for the tessellate driver.
+//! ablation for the tessellate driver, each configuration a reused
+//! [`Plan`] (pool + buffers built once per benchmark, not per iteration).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::grid1;
+use stencil_core::exec::{Plan, Shape, Tiling};
 use stencil_core::{Method, S1d3p};
 use stencil_simd::Isa;
-use stencil_tiling::{split1_star1, tessellate1_star1};
 
 fn bench(c: &mut Criterion) {
     let isa = Isa::detect_best();
@@ -17,37 +18,69 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tiling_frameworks");
     group.throughput(Throughput::Elements((n * t) as u64));
     group.sample_size(10);
-    group.bench_function("tessellate_translayout2", |b| {
-        b.iter(|| {
-            let mut g = init.clone();
-            tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, t, 2000, 1000, threads);
-            g
-        })
-    });
-    group.bench_function("tessellate_multiload", |b| {
-        b.iter(|| {
-            let mut g = init.clone();
-            tessellate1_star1(Method::MultiLoad, isa, &mut g, &s, t, 2000, 1000, threads);
-            g
-        })
-    });
-    group.bench_function("split_dlt_sdsl", |b| {
-        b.iter(|| {
-            let mut g = init.clone();
-            split1_star1(isa, &mut g, &s, t, 1000, 500, threads);
-            g
-        })
-    });
+    for (label, method, tiling) in [
+        (
+            "tessellate_translayout2",
+            Method::TransLayout2,
+            Tiling::Tessellate {
+                w: [2000, 0, 0],
+                h: 1000,
+                threads,
+            },
+        ),
+        (
+            "tessellate_multiload",
+            Method::MultiLoad,
+            Tiling::Tessellate {
+                w: [2000, 0, 0],
+                h: 1000,
+                threads,
+            },
+        ),
+        (
+            "split_dlt_sdsl",
+            Method::Dlt,
+            Tiling::Split {
+                w: 1000,
+                h: 500,
+                threads,
+            },
+        ),
+    ] {
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .tiling(tiling)
+            .star1(s)
+            .expect("valid tiled plan");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut g = init.clone();
+                plan.run(&mut g, t);
+                g
+            })
+        });
+    }
     group.finish();
 
     let mut group = c.benchmark_group("tile_width_ablation");
     group.throughput(Throughput::Elements((n * t) as u64));
     group.sample_size(10);
     for w in [500usize, 2_000, 8_000, 32_000] {
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(Method::TransLayout2)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [w, 0, 0],
+                h: w / 2,
+                threads,
+            })
+            .star1(s)
+            .expect("valid tiled plan");
         group.bench_function(format!("w{w}"), |b| {
             b.iter(|| {
                 let mut g = init.clone();
-                tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, t, w, w / 2, threads);
+                plan.run(&mut g, t);
                 g
             })
         });

@@ -4,15 +4,22 @@
 //! Pass stencil names as arguments to restrict the sweep
 //! (e.g. `fig9 1d3p 2d5p`); default is all six.
 
-use stencil_bench::fig9::{sweep, thread_axis, METHODS, STENCILS};
+use stencil_bench::fig9::{json_rows, sweep, thread_axis, METHODS, STENCILS};
 
 fn main() {
     stencil_bench::banner("Fig. 9: scalability (GFLOP/s vs cores, AVX2 & AVX-512)");
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let stencils: Vec<&'static str> = if args.is_empty() {
         STENCILS.to_vec()
     } else {
-        STENCILS.iter().copied().filter(|s| args.iter().any(|a| a == s)).collect()
+        STENCILS
+            .iter()
+            .copied()
+            .filter(|s| args.iter().any(|a| a == s))
+            .collect()
     };
     let rows = sweep(stencil_bench::full_mode(), &stencils);
     for stencil in &stencils {
@@ -21,20 +28,29 @@ fn main() {
                 .iter()
                 .filter(|r| r.stencil == *stencil && r.isa.name() == isa)
                 .collect();
-            if cells.is_empty() { continue; }
+            if cells.is_empty() {
+                continue;
+            }
             println!("\n## {stencil} ({isa})");
             print!("{:<14}", "threads");
-            for t in thread_axis() { print!(" {:>8}", t); }
+            for t in thread_axis() {
+                print!(" {:>8}", t);
+            }
             println!();
             for method in METHODS {
                 print!("{:<14}", method);
                 for t in thread_axis() {
-                    let v = cells.iter().find(|r| r.method == method && r.threads == t)
-                        .map(|r| r.gflops).unwrap_or(f64::NAN);
+                    let v = cells
+                        .iter()
+                        .find(|r| r.method == method && r.threads == t)
+                        .map(|r| r.gflops)
+                        .unwrap_or(f64::NAN);
                     print!(" {:>8.2}", v);
                 }
                 println!();
             }
         }
     }
+
+    stencil_bench::save::maybe_save("fig9", &json_rows(&rows));
 }

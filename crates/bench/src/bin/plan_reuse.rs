@@ -1,0 +1,120 @@
+//! Plan-reuse microbenchmark — the measurement behind the plan refactor:
+//! repeated stepping through (a) the legacy free function (clone + layout
+//! round-trip every call), (b) a reused [`Plan`] (scratch allocated once,
+//! layout round-trip per call), and (c) a layout-resident session (no
+//! per-call clone, no per-call transform — the steady-state hot loop is
+//! kernels only).
+//!
+//! ```sh
+//! cargo run --release --bin plan_reuse [-- --save-json]
+//! ```
+
+use std::time::Instant;
+
+use stencil_bench::save::{Row, Value};
+use stencil_bench::{gflops, grid1, storage_level};
+use stencil_core::exec::{Plan, Shape};
+use stencil_core::{run1_star1, Method, S1d3p, Star1};
+use stencil_simd::Isa;
+
+/// Best-of-3 wall time for `calls` invocations of `f`.
+fn time_calls<F: FnMut()>(calls: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    stencil_bench::banner("plan_reuse: repeated stepping, free fn vs Plan vs Session (1D3P)");
+    let isa = Isa::detect_best();
+    let s = S1d3p::heat();
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!(
+        "\n{:<10} {:<6} {:>7} {:>6} {:>14} {:>14} {:>14}  {:>9} {:>9}",
+        "n", "level", "chunk", "calls", "free_fn", "plan.run", "session", "plan/free", "sess/free"
+    );
+    for (n, chunk, calls) in [
+        (1_500usize, 8usize, 400usize),
+        (40_000, 8, 100),
+        (500_000, 4, 20),
+        (4_000_000, 2, 6),
+    ] {
+        let init = grid1(n, 21);
+        let method = Method::TransLayout2;
+
+        // (a) legacy free function: clone + transform round-trip per call.
+        let mut g = init.clone();
+        let free_s = time_calls(calls, || {
+            run1_star1(method, isa, &mut g, &s, chunk);
+        });
+
+        // (b) reused plan: scratch held across calls, transforms per call.
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .star1(s)
+            .expect("valid plan");
+        let mut g = init.clone();
+        let plan_s = time_calls(calls, || {
+            plan.run(&mut g, chunk);
+        });
+
+        // (c) layout-resident session: transforms paid once, zero
+        // allocation/transform in the timed loop body.
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .star1(s)
+            .expect("valid plan");
+        let mut g = init.clone();
+        let mut sess = plan.session(&mut g);
+        let sess_s = time_calls(calls, || {
+            sess.run(chunk);
+        });
+        drop(sess);
+
+        let level = storage_level(2 * 8 * n);
+        println!(
+            "{:<10} {:<6} {:>7} {:>6} {:>11.2} ms {:>11.2} ms {:>11.2} ms  {:>8.2}x {:>8.2}x",
+            n,
+            level,
+            chunk,
+            calls,
+            free_s * 1e3,
+            plan_s * 1e3,
+            sess_s * 1e3,
+            free_s / plan_s,
+            free_s / sess_s,
+        );
+        for (variant, secs) in [
+            ("free_fn", free_s),
+            ("plan_run", plan_s),
+            ("session", sess_s),
+        ] {
+            rows.push(vec![
+                ("n", Value::from(n)),
+                ("level", Value::from(level)),
+                ("chunk", Value::from(chunk)),
+                ("calls", Value::from(calls)),
+                ("variant", Value::from(variant)),
+                ("seconds", Value::from(secs)),
+                (
+                    "gflops",
+                    Value::from(gflops(n, chunk * calls, S1d3p::flops_per_point(), secs)),
+                ),
+            ]);
+        }
+    }
+    println!(
+        "\n(free_fn clones + transforms every call; plan.run reuses buffers; \
+         session additionally stays layout-resident)"
+    );
+    stencil_bench::save::maybe_save("plan_reuse", &rows);
+}

@@ -9,17 +9,41 @@ use stencil_bench::fig9::{sweep, table4, STENCILS};
 
 fn main() {
     stencil_bench::banner("Table 4: average improvement and strong scaling (full cores)");
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let stencils: Vec<&'static str> = if args.is_empty() {
         STENCILS.to_vec()
     } else {
-        STENCILS.iter().copied().filter(|s| args.iter().any(|a| a == s)).collect()
+        STENCILS
+            .iter()
+            .copied()
+            .filter(|s| args.iter().any(|a| a == s))
+            .collect()
     };
     let rows = sweep(stencil_bench::full_mode(), &stencils);
-    println!("{:<16} {:<14} {:>14} {:>16}", "Stencil(ISA)", "Method", "Speedup/base", "Scaling vs 1core");
+    println!(
+        "{:<16} {:<14} {:>14} {:>16}",
+        "Stencil(ISA)", "Method", "Speedup/base", "Scaling vs 1core"
+    );
+    let mut json: Vec<stencil_bench::save::Row> = Vec::new();
     for (label, cols) in table4(&rows) {
         for (method, speedup, scaling) in cols {
-            println!("{:<16} {:<14} {:>13.2}x {:>15.1}x", label, method, speedup, scaling);
+            println!(
+                "{:<16} {:<14} {:>13.2}x {:>15.1}x",
+                label, method, speedup, scaling
+            );
+            json.push(vec![
+                (
+                    "stencil_isa",
+                    stencil_bench::save::Value::Str(label.clone()),
+                ),
+                ("method", stencil_bench::save::Value::Str(method)),
+                ("speedup_vs_base", stencil_bench::save::Value::Num(speedup)),
+                ("scaling_vs_1core", stencil_bench::save::Value::Num(scaling)),
+            ]);
         }
     }
+    stencil_bench::save::maybe_save("table4", &json);
 }

@@ -1,9 +1,16 @@
 //! Sweep driver for Fig. 7 (sequential block-free experiments) and
 //! Table 2 (speedups per storage level), 1D3P.
+//!
+//! Each (size, method) cell builds one [`Plan`] and reuses it across
+//! repetitions — the timed region still includes the per-call layout
+//! round-trip, matching the paper's Fig. 7 accounting, but scratch
+//! allocation is amortized the way a production caller would.
 
-use stencil_core::{run1_star1, Star1};
+use stencil_core::exec::{Plan, Shape};
+use stencil_core::Star1;
 use stencil_simd::Isa;
 
+use crate::save::{Row, Value};
 use crate::{best_of, gflops, grid1, heat1d, storage_level, SEQ_METHODS};
 
 /// One measured cell of the Fig. 7 sweep.
@@ -25,7 +32,9 @@ pub struct Fig7Row {
 /// set is 2 arrays × 8 B × n).
 pub fn sizes(full: bool) -> Vec<usize> {
     if full {
-        vec![1_000, 4_000, 16_000, 64_000, 250_000, 1_000_000, 4_000_000, 10_240_000]
+        vec![
+            1_000, 4_000, 16_000, 64_000, 250_000, 1_000_000, 4_000_000, 10_240_000,
+        ]
     } else {
         vec![1_000, 4_000, 32_000, 250_000, 2_000_000, 8_000_000]
     }
@@ -44,10 +53,15 @@ pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig7Row> {
         let level = storage_level(2 * 8 * n);
         for (m, label) in SEQ_METHODS {
             let init = grid1(n, 7);
+            let mut plan = Plan::new(Shape::d1(n))
+                .method(m)
+                .isa(isa)
+                .star1(s)
+                .expect("valid plan");
             let reps = if n <= 64_000 { 3 } else { 2 };
             let secs = best_of(reps, || {
                 let mut g = init.clone();
-                run1_star1(m, isa, &mut g, &s, steps);
+                plan.run(&mut g, steps);
                 std::hint::black_box(&g);
             });
             rows.push(Fig7Row {
@@ -60,6 +74,21 @@ pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig7Row> {
         }
     }
     rows
+}
+
+/// JSON projection for `--save-json`.
+pub fn json_rows(rows: &[Fig7Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                ("n", Value::from(r.n)),
+                ("level", Value::from(r.level)),
+                ("steps", Value::from(r.steps)),
+                ("method", Value::from(r.method)),
+                ("gflops", Value::from(r.gflops)),
+            ]
+        })
+        .collect()
 }
 
 /// Table 2 view: geometric-mean speedup over MultiLoad per storage level.

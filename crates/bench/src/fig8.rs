@@ -1,10 +1,15 @@
 //! Sweep driver for Fig. 8 (multicore cache-blocking experiments) and
 //! Table 3 (speedups over SDSL per storage level × blocking level), 1D3P.
+//!
+//! Each (size, blocking, method) cell builds one tiled [`Plan`] — pool and
+//! buffers are constructed once — and reuses it across repetitions.
 
+use stencil_core::exec::tile::DimTiling;
+use stencil_core::exec::{Plan, Shape, Tiling};
 use stencil_core::{Method, Star1};
 use stencil_simd::Isa;
-use stencil_tiling::{split1_star1, tessellate1_star1};
 
+use crate::save::{Row, Value};
 use crate::{best_of, gflops, grid1, heat1d, max_threads, storage_level};
 
 /// One measured cell of the Fig. 8 sweep.
@@ -40,7 +45,9 @@ pub fn block_width(blocking: &str) -> usize {
 /// Problem sizes from L3 into memory.
 pub fn sizes(full: bool) -> Vec<usize> {
     if full {
-        vec![1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000]
+        vec![
+            1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000,
+        ]
     } else {
         vec![1_000_000, 4_000_000, 16_000_000]
     }
@@ -49,24 +56,41 @@ pub fn sizes(full: bool) -> Vec<usize> {
 fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, thr: usize) -> f64 {
     let s = heat1d();
     let init = grid1(n, 13);
+    let tiling = match method {
+        "SDSL" => {
+            // split tiling works in DLT column space; same tile working
+            // set ⇒ same column count w (cells per column tile = w·vl ⇒
+            // divide to keep the byte budget).
+            let wj = (w / 2).max(32);
+            let hj = h.min(DimTiling::new(n / isa.lanes().max(1), wj, 1, false).max_height());
+            Tiling::Split {
+                w: wj,
+                h: hj,
+                threads: thr,
+            }
+        }
+        _ => Tiling::Tessellate {
+            w: [w, 0, 0],
+            h,
+            threads: thr,
+        },
+    };
+    let m = match method {
+        "SDSL" => Method::Dlt,
+        "Tessellation" => Method::MultiLoad,
+        "Our" => Method::TransLayout,
+        "Our2" => Method::TransLayout2,
+        _ => unreachable!(),
+    };
+    let mut plan = Plan::new(Shape::d1(n))
+        .method(m)
+        .isa(isa)
+        .tiling(tiling)
+        .star1(s)
+        .expect("valid tiled plan");
     best_of(2, || {
         let mut g = init.clone();
-        match method {
-            "SDSL" => {
-                // split tiling works in DLT column space; same tile
-                // working set ⇒ same column count w (cells per column
-                // tile = w·vl ⇒ divide to keep the byte budget).
-                let wj = (w / 2).max(32);
-                let hj = (h).min(stencil_tiling::DimTiling::new(n / isa.lanes().max(1), wj, 1, false).max_height());
-                split1_star1(isa, &mut g, &s, steps, wj, hj, thr);
-            }
-            "Tessellation" => {
-                tessellate1_star1(Method::MultiLoad, isa, &mut g, &s, steps, w, h, thr)
-            }
-            "Our" => tessellate1_star1(Method::TransLayout, isa, &mut g, &s, steps, w, h, thr),
-            "Our2" => tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, steps, w, h, thr),
-            _ => unreachable!(),
-        }
+        plan.run(&mut g, steps);
         std::hint::black_box(&g);
     })
 }
@@ -97,9 +121,28 @@ pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig8Row> {
     rows
 }
 
+/// JSON projection for `--save-json`.
+pub fn json_rows(rows: &[Fig8Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                ("n", Value::from(r.n)),
+                ("level", Value::from(r.level)),
+                ("blocking", Value::from(r.blocking)),
+                ("method", Value::from(r.method)),
+                ("steps", Value::from(r.steps)),
+                ("gflops", Value::from(r.gflops)),
+            ]
+        })
+        .collect()
+}
+
+/// One Table 3 row: (storage level, blocking level, per-method speedups).
+pub type Table3Row = (String, String, Vec<(String, f64)>);
+
 /// Table 3 view: geometric-mean speedup over SDSL per (storage level,
 /// blocking level).
-pub fn table3(rows: &[Fig8Row]) -> Vec<(String, String, Vec<(String, f64)>)> {
+pub fn table3(rows: &[Fig8Row]) -> Vec<Table3Row> {
     let mut out = Vec::new();
     let levels: Vec<&str> = {
         let mut v: Vec<&str> = rows.iter().map(|r| r.level).collect();
@@ -117,7 +160,10 @@ pub fn table3(rows: &[Fig8Row]) -> Vec<(String, String, Vec<(String, f64)>)> {
                     .filter(|r| r.level == level && r.blocking == blocking && r.method == *method)
                 {
                     if let Some(base) = rows.iter().find(|b| {
-                        b.level == level && b.blocking == blocking && b.n == r.n && b.method == "SDSL"
+                        b.level == level
+                            && b.blocking == blocking
+                            && b.n == r.n
+                            && b.method == "SDSL"
                     }) {
                         prod *= r.gflops / base.gflops;
                         cnt += 1;

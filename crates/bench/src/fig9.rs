@@ -1,16 +1,16 @@
 //! Sweep driver for Fig. 9 (scalability, 6 stencils × AVX2/AVX-512 ×
 //! 4 tiled schemes × core counts) and Table 4 (mean speedups + strong
 //! scaling at full core count).
+//!
+//! Every cell builds one tiled [`Plan`] and reuses it across repetitions.
 
+use stencil_core::exec::{Plan, Shape, Tiling};
 use stencil_core::{
     Box2, Box3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,
 };
 use stencil_simd::Isa;
-use stencil_tiling::{
-    split1_star1, split2_box, split2_star, split3_box, split3_star, tessellate1_star1,
-    tessellate2_box, tessellate2_star, tessellate3_box, tessellate3_star,
-};
 
+use crate::save::{Row, Value};
 use crate::{best_of, gflops, grid1, grid2, grid3, max_threads};
 
 /// One measured cell of the Fig. 9 sweep.
@@ -66,12 +66,30 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let s = S1d3p::heat();
             let init = grid1(n, 3);
             let h = w / 2;
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d1(n))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: w / 2,
+                        h: h / 2,
+                        threads,
+                    })
+                    .star1(s),
+                m => Plan::new(Shape::d1(n))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [w, 0, 0],
+                        h,
+                        threads,
+                    })
+                    .star1(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split1_star1(isa, &mut g, &s, t, w / 2, h / 2, threads),
-                    m => tessellate1_star1(tess_method(m), isa, &mut g, &s, t, w, h, threads),
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(n, t, S1d3p::flops_per_point(), secs)
@@ -81,12 +99,30 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let s = S1d5p::heat();
             let init = grid1(n, 4);
             let h = w / 4;
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d1(n))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: w / 2,
+                        h: h / 2,
+                        threads,
+                    })
+                    .star1(s),
+                m => Plan::new(Shape::d1(n))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [w, 0, 0],
+                        h,
+                        threads,
+                    })
+                    .star1(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split1_star1(isa, &mut g, &s, t, w / 2, h / 2, threads),
-                    m => tessellate1_star1(tess_method(m), isa, &mut g, &s, t, w, h, threads),
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(n, t, S1d5p::flops_per_point(), secs)
@@ -96,12 +132,30 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let s = S2d5p::heat();
             let init = grid2(nx, ny, 5);
             let (wx, wy, h) = (200, 200, 50);
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d2(nx, ny))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: wy,
+                        h: wy / 2,
+                        threads,
+                    })
+                    .star2(s),
+                m => Plan::new(Shape::d2(nx, ny))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [wx, wy, 0],
+                        h,
+                        threads,
+                    })
+                    .star2(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split2_star(isa, &mut g, &s, t, wy, wy / 2, threads),
-                    m => tessellate2_star(tess_method(m), isa, &mut g, &s, t, wx, wy, h, threads),
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(nx * ny, t, S2d5p::flops_per_point(), secs)
@@ -110,13 +164,31 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let (nx, ny, t) = (1_504 * scale, 1_500, 40);
             let s = S2d9p::blur();
             let init = grid2(nx, ny, 6);
-            let (wx, wy, h) = (128, 120, 60.min(59));
+            let (wx, wy, h) = (128, 120, 59);
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d2(nx, ny))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: wy,
+                        h: wy / 2,
+                        threads,
+                    })
+                    .box2(s),
+                m => Plan::new(Shape::d2(nx, ny))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [wx, wy, 0],
+                        h,
+                        threads,
+                    })
+                    .box2(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split2_box(isa, &mut g, &s, t, wy, wy / 2, threads),
-                    m => tessellate2_box(tess_method(m), isa, &mut g, &s, t, wx, wy, h, threads),
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(nx * ny, t, S2d9p::flops_per_point(), secs)
@@ -126,14 +198,30 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let s = S3d7p::heat();
             let init = grid3(nx, ny, nz, 7);
             let (wx, wy, wz, h) = (64, 24, 24, 10);
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d3(nx, ny, nz))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: wz,
+                        h: wz / 2,
+                        threads,
+                    })
+                    .star3(s),
+                m => Plan::new(Shape::d3(nx, ny, nz))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [wx, wy, wz],
+                        h,
+                        threads,
+                    })
+                    .star3(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split3_star(isa, &mut g, &s, t, wz, wz / 2, threads),
-                    m => {
-                        tessellate3_star(tess_method(m), isa, &mut g, &s, t, wx, wy, wz, h, threads)
-                    }
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(nx * ny * nz, t, S3d7p::flops_per_point(), secs)
@@ -143,14 +231,30 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             let s = S3d27p::blur();
             let init = grid3(nx, ny, nz, 8);
             let (wx, wy, wz, h) = (64, 24, 24, 10);
+            let mut plan = match method {
+                "SDSL" => Plan::new(Shape::d3(nx, ny, nz))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split {
+                        w: wz,
+                        h: wz / 2,
+                        threads,
+                    })
+                    .box3(s),
+                m => Plan::new(Shape::d3(nx, ny, nz))
+                    .method(tess_method(m))
+                    .isa(isa)
+                    .tiling(Tiling::Tessellate {
+                        w: [wx, wy, wz],
+                        h,
+                        threads,
+                    })
+                    .box3(s),
+            }
+            .expect("valid tiled plan");
             let secs = best_of(2, || {
                 let mut g = init.clone();
-                match method {
-                    "SDSL" => split3_box(isa, &mut g, &s, t, wz, wz / 2, threads),
-                    m => {
-                        tessellate3_box(tess_method(m), isa, &mut g, &s, t, wx, wy, wz, h, threads)
-                    }
-                }
+                plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
             gflops(nx * ny * nz, t, S3d27p::flops_per_point(), secs)
@@ -178,9 +282,7 @@ pub fn sweep(full: bool, stencils: &[&'static str]) -> Vec<Fig9Row> {
                         threads,
                         gflops: g,
                     });
-                    eprintln!(
-                        "  measured {stencil}/{isa}/{method}/t{threads}: {g:.2} GF/s"
-                    );
+                    eprintln!("  measured {stencil}/{isa}/{method}/t{threads}: {g:.2} GF/s");
                 }
             }
         }
@@ -188,10 +290,29 @@ pub fn sweep(full: bool, stencils: &[&'static str]) -> Vec<Fig9Row> {
     rows
 }
 
+/// JSON projection for `--save-json`.
+pub fn json_rows(rows: &[Fig9Row]) -> Vec<Row> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                ("stencil", Value::from(r.stencil)),
+                ("isa", Value::from(r.isa.name())),
+                ("method", Value::from(r.method)),
+                ("threads", Value::from(r.threads)),
+                ("gflops", Value::from(r.gflops)),
+            ]
+        })
+        .collect()
+}
+
+/// One Table 4 row: (stencil(isa) label, per-method (name, speedup,
+/// strong-scaling) columns).
+pub type Table4Row = (String, Vec<(String, f64, f64)>);
+
 /// Table 4 view from the Fig. 9 rows: speedup over SDSL (AVX2) or over
 /// Tessellation (AVX-512, where the paper has no SDSL numbers), plus
 /// strong-scaling speedup at full core count.
-pub fn table4(rows: &[Fig9Row]) -> Vec<(String, Vec<(String, f64, f64)>)> {
+pub fn table4(rows: &[Fig9Row]) -> Vec<Table4Row> {
     let maxt = rows.iter().map(|r| r.threads).max().unwrap_or(1);
     let mut out = Vec::new();
     for stencil in STENCILS {
@@ -203,7 +324,11 @@ pub fn table4(rows: &[Fig9Row]) -> Vec<(String, Vec<(String, f64, f64)>)> {
             if cells.is_empty() {
                 continue;
             }
-            let base_label = if isa == Isa::Avx2 { "SDSL" } else { "Tessellation" };
+            let base_label = if isa == Isa::Avx2 {
+                "SDSL"
+            } else {
+                "Tessellation"
+            };
             let base = cells
                 .iter()
                 .find(|r| r.method == base_label)

@@ -17,15 +17,20 @@ use stencil_simd::Isa;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod save;
 
 /// True when the harness should run the longer (paper-closer) variants.
 pub fn full_mode() -> bool {
-    std::env::var("STENCIL_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("STENCIL_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Number of worker threads to use for multicore experiments.
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Wall-time the closure, best of `reps` runs.

@@ -1,100 +1,21 @@
-//! Safe, grid-level entry points: pick a [`Method`] and an
-//! [`Isa`], hand over a grid, get `t` Jacobi steps.
+//! Legacy grid-level entry points: pick a [`Method`] and an [`Isa`], hand
+//! over a grid, get `t` Jacobi steps.
 //!
-//! Layout transformations (into/out of the transpose or DLT layout) happen
-//! inside these calls, exactly as the paper accounts for them: the
-//! transform cost is amortized over the time loop and is part of what the
-//! sequential experiments (Fig. 7) measure.
+//! These free functions reproduce the paper's per-invocation accounting —
+//! layout transformations (into/out of the transpose or DLT layout)
+//! happen inside each call, exactly as the sequential experiments
+//! (Fig. 7) measure them. Since the plan refactor they are **thin
+//! wrappers** over [`crate::exec::Plan`]: one plan is built, used for one
+//! run, and dropped. Code that steps a grid repeatedly should hold a
+//! `Plan` (and a session) instead and amortize the buffers and layout
+//! round-trips — see [`crate::exec`].
 
-use stencil_simd::{dispatch, AlignedBuf, Isa};
+use stencil_simd::Isa;
 
-use crate::grid::{Grid1, Grid2, Grid3, HALO_PAD};
-use crate::kernels::{dlt, isa_entry, orig, scalar, tl};
-use crate::layout::{dlt_grid1, dlt_grid2, dlt_grid3, tl_grid1, tl_grid2, tl_grid3, SetGeo};
+pub use crate::exec::Method;
+use crate::exec::{Plan, Shape};
+use crate::grid::{Grid1, Grid2, Grid3};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
-
-/// A stencil execution scheme (paper §2–§3).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// Scalar reference (correctness oracle).
-    Scalar,
-    /// Vectorized with unaligned neighbour loads (§2.1, "multiple load").
-    MultiLoad,
-    /// Vectorized with aligned loads + per-vector shuffles (§2.1,
-    /// "data reorganization").
-    Reorg,
-    /// Dimension-lifting transpose (Henretty et al., §2.2).
-    Dlt,
-    /// The paper's local transpose layout, one step per pass (§3.2).
-    TransLayout,
-    /// Transpose layout + time unroll-and-jam, two steps per pass (§3.3).
-    TransLayout2,
-}
-
-impl Method {
-    /// All methods, cheap to iterate in tests and benches.
-    pub const ALL: [Method; 6] = [
-        Method::Scalar,
-        Method::MultiLoad,
-        Method::Reorg,
-        Method::Dlt,
-        Method::TransLayout,
-        Method::TransLayout2,
-    ];
-
-    /// Short name for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            Method::Scalar => "scalar",
-            Method::MultiLoad => "multiload",
-            Method::Reorg => "reorg",
-            Method::Dlt => "dlt",
-            Method::TransLayout => "translayout",
-            Method::TransLayout2 => "translayout2",
-        }
-    }
-}
-
-impl std::fmt::Display for Method {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-impl std::str::FromStr for Method {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Method::ALL
-            .into_iter()
-            .find(|m| m.name() == s)
-            .ok_or_else(|| format!("unknown method '{s}'"))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// 1D star
-// ---------------------------------------------------------------------------
-
-/// Run `t` steps of a 1D star stencil with transposed-layout k=1 kernels
-/// (grid must already be in transpose layout).
-fn tl1_k1_steps<S: Star1>(isa: Isa, g: &mut Grid1, s: &S, t: usize) {
-    if t == 0 {
-        return;
-    }
-    let n = g.n();
-    let mut other = g.clone();
-    let gp = g.ptr_mut();
-    let op = other.ptr_mut();
-    let mut in_g = true;
-    for _ in 0..t {
-        let (sp, dp) = if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
-        unsafe { isa_entry::star1_tl::<S>(isa, sp, dp, n, 0, n, s) };
-        in_g = !in_g;
-    }
-    if !in_g {
-        std::mem::swap(g, &mut other);
-    }
-}
 
 /// Run `t` Jacobi steps of a 1D star stencil on `g` with the given method
 /// and ISA. The result (including any layout round-trips) lands back in
@@ -103,120 +24,12 @@ pub fn run1_star1<S: Star1>(method: Method, isa: Isa, g: &mut Grid1, s: &S, t: u
     if t == 0 {
         return;
     }
-    let n = g.n();
-    match method {
-        Method::Scalar => {
-            let mut other = g.clone();
-            let mut in_g = true;
-            for _ in 0..t {
-                let (sp, dp) = if in_g {
-                    (g.ptr(), other.ptr_mut())
-                } else {
-                    (other.ptr(), g.ptr_mut())
-                };
-                unsafe { scalar::star1_range(sp, dp, 0, n, s) };
-                in_g = !in_g;
-            }
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::MultiLoad | Method::Reorg => {
-            let reorg = method == Method::Reorg;
-            let mut other = g.clone();
-            let gp = g.ptr_mut();
-            let op = other.ptr_mut();
-            let in_g = dispatch!(isa, V => {
-                let mut in_g = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
-                    if reorg {
-                        orig::star1_orig::<V, S, true>(sp, dp, 0, n, s);
-                    } else {
-                        orig::star1_orig::<V, S, false>(sp, dp, 0, n, s);
-                    }
-                    in_g = !in_g;
-                }
-                in_g
-            });
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::Dlt => {
-            let mut a = g.clone();
-            dlt_grid1(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let ap = a.ptr_mut();
-            let bp = b.ptr_mut();
-            let in_a = dispatch!(isa, V => {
-                let mut in_a = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                    dlt::star1_dlt::<V, S>(sp, dp, n, s);
-                    in_a = !in_a;
-                }
-                in_a
-            });
-            let res = if in_a { &a } else { &b };
-            dlt_grid1(res, g, isa, true);
-        }
-        Method::TransLayout => {
-            tl_grid1(g, isa);
-            tl1_k1_steps(isa, g, s, t);
-            tl_grid1(g, isa);
-        }
-        Method::TransLayout2 => {
-            tl_grid1(g, isa);
-            let pairs = t / 2;
-            let nsets = SetGeo::new(n, isa.lanes()).nsets;
-            if nsets >= 2 {
-                let gp = g.ptr_mut();
-                for _ in 0..pairs {
-                    unsafe { isa_entry::star1_tl2::<S>(isa, gp, n, s) };
-                }
-            } else {
-                tl1_k1_steps(isa, g, s, 2 * pairs);
-            }
-            if t % 2 == 1 {
-                tl1_k1_steps(isa, g, s, 1);
-            }
-            tl_grid1(g, isa);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// 2D star / box
-// ---------------------------------------------------------------------------
-
-macro_rules! parity_loop2 {
-    ($isa:expr, $g:expr, $t:expr, $V:ident, $sp:ident, $dp:ident => $step:expr) => {{
-        let mut other = $g.clone();
-        let gp = $g.ptr_mut();
-        let op = other.ptr_mut();
-        let in_g = dispatch!($isa, $V => {
-            let mut in_g = true;
-            for _ in 0..$t {
-                let ($sp, $dp) =
-                    if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
-                $step;
-                in_g = !in_g;
-            }
-            in_g
-        });
-        if !in_g {
-            std::mem::swap($g, &mut other);
-        }
-    }};
-}
-
-fn ring2_for(g: &Grid2, r: usize) -> (AlignedBuf, usize) {
-    let nr = 2 * r + 1;
-    let buf = AlignedBuf::zeroed(HALO_PAD + nr * g.row_stride());
-    (buf, HALO_PAD)
+    Plan::new(Shape::d1(g.n()))
+        .method(method)
+        .isa(isa)
+        .star1(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
 /// Run `t` Jacobi steps of a 2D star stencil (see [`run1_star1`]).
@@ -224,70 +37,12 @@ pub fn run2_star<S: Star2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: us
     if t == 0 {
         return;
     }
-    assert!(g.ry() >= S::R, "grid halo narrower than stencil radius");
-    let (nx, ny, rs) = (g.nx(), g.ny(), g.row_stride());
-    match method {
-        Method::Scalar => {
-            let mut other = g.clone();
-            let mut in_g = true;
-            for _ in 0..t {
-                let (sp, dp) = if in_g {
-                    (g.ptr(), other.ptr_mut())
-                } else {
-                    (other.ptr(), g.ptr_mut())
-                };
-                unsafe { scalar::star2_range(sp, dp, rs, 0, ny, 0, nx, s) };
-                in_g = !in_g;
-            }
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::MultiLoad => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::star2_orig::<V, S, false>(sp, dp, rs, 0, ny, 0, nx, s));
-        }
-        Method::Reorg => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::star2_orig::<V, S, true>(sp, dp, rs, 0, ny, 0, nx, s));
-        }
-        Method::Dlt => {
-            let mut a = g.clone();
-            dlt_grid2(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let ap = a.ptr_mut();
-            let bp = b.ptr_mut();
-            let in_a = dispatch!(isa, V => {
-                let mut in_a = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                    dlt::star2_dlt::<V, S>(sp, dp, rs, nx, 0, ny, s);
-                    in_a = !in_a;
-                }
-                in_a
-            });
-            let res = if in_a { &a } else { &b };
-            dlt_grid2(res, g, isa, true);
-        }
-        Method::TransLayout => {
-            tl_grid2(g, isa);
-            parity_loop2!(isa, g, t, V, sp, dp => tl::star2_tl::<V, S>(sp, dp, rs, nx, 0, ny, 0, nx, s));
-            tl_grid2(g, isa);
-        }
-        Method::TransLayout2 => {
-            tl_grid2(g, isa);
-            let (mut ringbuf, off) = ring2_for(g, S::R);
-            let ring = unsafe { ringbuf.as_mut_ptr().add(off) };
-            let pairs = t / 2;
-            let gp = g.ptr_mut();
-            for _ in 0..pairs {
-                unsafe { isa_entry::star2_tl2::<S>(isa, gp, rs, nx, ny, ring, s) };
-            }
-            if t % 2 == 1 {
-                parity_loop2!(isa, g, 1, V, sp, dp => tl::star2_tl::<V, S>(sp, dp, rs, nx, 0, ny, 0, nx, s));
-            }
-            tl_grid2(g, isa);
-        }
-    }
+    Plan::new(Shape::d2(g.nx(), g.ny()))
+        .method(method)
+        .isa(isa)
+        .star2(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
 /// Run `t` Jacobi steps of a 2D box stencil (see [`run1_star1`]).
@@ -295,80 +50,12 @@ pub fn run2_box<S: Box2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: usiz
     if t == 0 {
         return;
     }
-    assert!(g.ry() >= S::R, "grid halo narrower than stencil radius");
-    let (nx, ny, rs) = (g.nx(), g.ny(), g.row_stride());
-    match method {
-        Method::Scalar => {
-            let mut other = g.clone();
-            let mut in_g = true;
-            for _ in 0..t {
-                let (sp, dp) = if in_g {
-                    (g.ptr(), other.ptr_mut())
-                } else {
-                    (other.ptr(), g.ptr_mut())
-                };
-                unsafe { scalar::box2_range(sp, dp, rs, 0, ny, 0, nx, s) };
-                in_g = !in_g;
-            }
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::MultiLoad => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::box2_orig::<V, S, false>(sp, dp, rs, 0, ny, 0, nx, s));
-        }
-        Method::Reorg => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::box2_orig::<V, S, true>(sp, dp, rs, 0, ny, 0, nx, s));
-        }
-        Method::Dlt => {
-            let mut a = g.clone();
-            dlt_grid2(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let ap = a.ptr_mut();
-            let bp = b.ptr_mut();
-            let in_a = dispatch!(isa, V => {
-                let mut in_a = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                    dlt::box2_dlt::<V, S>(sp, dp, rs, nx, 0, ny, s);
-                    in_a = !in_a;
-                }
-                in_a
-            });
-            let res = if in_a { &a } else { &b };
-            dlt_grid2(res, g, isa, true);
-        }
-        Method::TransLayout => {
-            tl_grid2(g, isa);
-            parity_loop2!(isa, g, t, V, sp, dp => tl::box2_tl::<V, S>(sp, dp, rs, nx, 0, ny, 0, nx, s));
-            tl_grid2(g, isa);
-        }
-        Method::TransLayout2 => {
-            tl_grid2(g, isa);
-            let (mut ringbuf, off) = ring2_for(g, S::R);
-            let ring = unsafe { ringbuf.as_mut_ptr().add(off) };
-            let pairs = t / 2;
-            let gp = g.ptr_mut();
-            for _ in 0..pairs {
-                unsafe { isa_entry::box2_tl2::<S>(isa, gp, rs, nx, ny, ring, s) };
-            }
-            if t % 2 == 1 {
-                parity_loop2!(isa, g, 1, V, sp, dp => tl::box2_tl::<V, S>(sp, dp, rs, nx, 0, ny, 0, nx, s));
-            }
-            tl_grid2(g, isa);
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// 3D star / box
-// ---------------------------------------------------------------------------
-
-fn ring3_for(g: &Grid3, r: usize) -> (AlignedBuf, usize) {
-    let nr = 2 * r + 1;
-    let buf = AlignedBuf::zeroed(nr * g.plane_stride());
-    (buf, r * g.row_stride() + HALO_PAD)
+    Plan::new(Shape::d2(g.nx(), g.ny()))
+        .method(method)
+        .isa(isa)
+        .box2(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
 /// Run `t` Jacobi steps of a 3D star stencil (see [`run1_star1`]).
@@ -376,70 +63,12 @@ pub fn run3_star<S: Star3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: us
     if t == 0 {
         return;
     }
-    assert!(g.r() >= S::R, "grid halo narrower than stencil radius");
-    let (nx, ny, nz, rs, ps) = (g.nx(), g.ny(), g.nz(), g.row_stride(), g.plane_stride());
-    match method {
-        Method::Scalar => {
-            let mut other = g.clone();
-            let mut in_g = true;
-            for _ in 0..t {
-                let (sp, dp) = if in_g {
-                    (g.ptr(), other.ptr_mut())
-                } else {
-                    (other.ptr(), g.ptr_mut())
-                };
-                unsafe { scalar::star3_range(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s) };
-                in_g = !in_g;
-            }
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::MultiLoad => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::star3_orig::<V, S, false>(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s));
-        }
-        Method::Reorg => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::star3_orig::<V, S, true>(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s));
-        }
-        Method::Dlt => {
-            let mut a = g.clone();
-            dlt_grid3(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let ap = a.ptr_mut();
-            let bp = b.ptr_mut();
-            let in_a = dispatch!(isa, V => {
-                let mut in_a = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                    dlt::star3_dlt::<V, S>(sp, dp, rs, ps, nx, ny, 0, nz, s);
-                    in_a = !in_a;
-                }
-                in_a
-            });
-            let res = if in_a { &a } else { &b };
-            dlt_grid3(res, g, isa, true);
-        }
-        Method::TransLayout => {
-            tl_grid3(g, isa);
-            parity_loop2!(isa, g, t, V, sp, dp => tl::star3_tl::<V, S>(sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, s));
-            tl_grid3(g, isa);
-        }
-        Method::TransLayout2 => {
-            tl_grid3(g, isa);
-            let (mut ringbuf, off) = ring3_for(g, S::R);
-            let ring = unsafe { ringbuf.as_mut_ptr().add(off) };
-            let pairs = t / 2;
-            let gp = g.ptr_mut();
-            for _ in 0..pairs {
-                unsafe { isa_entry::star3_tl2::<S>(isa, gp, rs, ps, nx, ny, nz, ring, s) };
-            }
-            if t % 2 == 1 {
-                parity_loop2!(isa, g, 1, V, sp, dp => tl::star3_tl::<V, S>(sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, s));
-            }
-            tl_grid3(g, isa);
-        }
-    }
+    Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
+        .method(method)
+        .isa(isa)
+        .star3(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
 /// Run `t` Jacobi steps of a 3D box stencil (see [`run1_star1`]).
@@ -447,68 +76,10 @@ pub fn run3_box<S: Box3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: usiz
     if t == 0 {
         return;
     }
-    assert!(g.r() >= S::R, "grid halo narrower than stencil radius");
-    let (nx, ny, nz, rs, ps) = (g.nx(), g.ny(), g.nz(), g.row_stride(), g.plane_stride());
-    match method {
-        Method::Scalar => {
-            let mut other = g.clone();
-            let mut in_g = true;
-            for _ in 0..t {
-                let (sp, dp) = if in_g {
-                    (g.ptr(), other.ptr_mut())
-                } else {
-                    (other.ptr(), g.ptr_mut())
-                };
-                unsafe { scalar::box3_range(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s) };
-                in_g = !in_g;
-            }
-            if !in_g {
-                std::mem::swap(g, &mut other);
-            }
-        }
-        Method::MultiLoad => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::box3_orig::<V, S, false>(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s));
-        }
-        Method::Reorg => {
-            parity_loop2!(isa, g, t, V, sp, dp => orig::box3_orig::<V, S, true>(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s));
-        }
-        Method::Dlt => {
-            let mut a = g.clone();
-            dlt_grid3(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let ap = a.ptr_mut();
-            let bp = b.ptr_mut();
-            let in_a = dispatch!(isa, V => {
-                let mut in_a = true;
-                for _ in 0..t {
-                    let (sp, dp) =
-                        if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                    dlt::box3_dlt::<V, S>(sp, dp, rs, ps, nx, ny, 0, nz, s);
-                    in_a = !in_a;
-                }
-                in_a
-            });
-            let res = if in_a { &a } else { &b };
-            dlt_grid3(res, g, isa, true);
-        }
-        Method::TransLayout => {
-            tl_grid3(g, isa);
-            parity_loop2!(isa, g, t, V, sp, dp => tl::box3_tl::<V, S>(sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, s));
-            tl_grid3(g, isa);
-        }
-        Method::TransLayout2 => {
-            tl_grid3(g, isa);
-            let (mut ringbuf, off) = ring3_for(g, S::R);
-            let ring = unsafe { ringbuf.as_mut_ptr().add(off) };
-            let pairs = t / 2;
-            let gp = g.ptr_mut();
-            for _ in 0..pairs {
-                unsafe { isa_entry::box3_tl2::<S>(isa, gp, rs, ps, nx, ny, nz, ring, s) };
-            }
-            if t % 2 == 1 {
-                parity_loop2!(isa, g, 1, V, sp, dp => tl::box3_tl::<V, S>(sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, s));
-            }
-            tl_grid3(g, isa);
-        }
-    }
+    Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
+        .method(method)
+        .isa(isa)
+        .box3(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }

@@ -1,0 +1,1525 @@
+//! The execution-plan engine: validate once, allocate once, run many.
+//!
+//! The free functions in [`crate::api`] re-derive everything on every
+//! call: they clone the grid for the ping-pong partner, transform layouts
+//! in and out, and re-check the (dimension × stencil × method × tiling)
+//! combination each time. That is faithful to how the paper *accounts*
+//! for layout costs (Fig. 7 amortizes the transform over one time loop),
+//! but it is the wrong shape for a system that steps many scenarios
+//! repeatedly.
+//!
+//! A [`Plan`] factors the work:
+//!
+//! * **validate once** — the builder rejects invalid combinations (e.g.
+//!   DLT under tessellate tiling, split tiling without DLT, a chunk
+//!   height the tile width cannot support) with a [`PlanError`] instead
+//!   of a mid-run panic;
+//! * **allocate once** — the ping-pong scratch grid, the DLT staging
+//!   pair, the k = 2 ring buffer, and the tiling worker-pool handle live
+//!   in the plan and are reused by every [`Plan1::run`] (no buffer
+//!   allocation in the steady state; with the offline rayon shim the
+//!   pool handle carries the thread count and workers are scoped per
+//!   stage);
+//! * **stay resident** — a [`Session`](Session1) keeps the grid in the
+//!   method's layout between runs, so repeated stepping pays the
+//!   transpose/DLT round-trip once instead of per call.
+//!
+//! ```
+//! use stencil_core::exec::{Plan, Shape, Tiling};
+//! use stencil_core::{Method, S1d3p};
+//! use stencil_simd::Isa;
+//!
+//! let n = 4096;
+//! let mut plan = Plan::new(Shape::d1(n))
+//!     .method(Method::TransLayout2)
+//!     .isa(Isa::detect_best())
+//!     .star1(S1d3p::heat())
+//!     .unwrap();
+//!
+//! let mut grid = stencil_core::Grid1::from_fn(n, 0.0, |i| i as f64);
+//! plan.run(&mut grid, 4); // one-shot: natural layout in, natural out
+//!
+//! let mut sess = plan.session(&mut grid); // layout-resident
+//! sess.run(2);
+//! sess.run(2); // no transform, no allocation between these
+//! drop(sess); // grid back in natural order
+//! ```
+//!
+//! The legacy `run*`/`tessellate*`/`split*` free functions are thin
+//! wrappers over `Plan`, kept for paper-figure fidelity.
+
+pub(crate) mod split;
+pub(crate) mod tess;
+pub mod tile;
+
+use stencil_simd::{dispatch, AlignedBuf, Isa};
+
+use crate::grid::{Grid1, Grid2, Grid3, HALO_PAD};
+use crate::kernels::{dlt, isa_entry, orig, scalar};
+use crate::layout::{
+    dlt_grid1, dlt_grid2, dlt_grid3, tl_grid1, tl_grid2, tl_grid3, DltGeo, SetGeo,
+};
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+use tess::SyncPtr;
+use tile::DimTiling;
+
+/// A stencil execution scheme (paper §2–§3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Scalar reference (correctness oracle).
+    Scalar,
+    /// Vectorized with unaligned neighbour loads (§2.1, "multiple load").
+    MultiLoad,
+    /// Vectorized with aligned loads + per-vector shuffles (§2.1,
+    /// "data reorganization").
+    Reorg,
+    /// Dimension-lifting transpose (Henretty et al., §2.2).
+    Dlt,
+    /// The paper's local transpose layout, one step per pass (§3.2).
+    TransLayout,
+    /// Transpose layout + time unroll-and-jam, two steps per pass (§3.3).
+    TransLayout2,
+}
+
+impl Method {
+    /// All methods, cheap to iterate in tests and benches.
+    pub const ALL: [Method; 6] = [
+        Method::Scalar,
+        Method::MultiLoad,
+        Method::Reorg,
+        Method::Dlt,
+        Method::TransLayout,
+        Method::TransLayout2,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Scalar => "scalar",
+            Method::MultiLoad => "multiload",
+            Method::Reorg => "reorg",
+            Method::Dlt => "dlt",
+            Method::TransLayout => "translayout",
+            Method::TransLayout2 => "translayout2",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Method {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Method::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| format!("unknown method '{s}'"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan configuration
+// ---------------------------------------------------------------------------
+
+/// Problem extent, 1–3 spatial dimensions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; 3],
+    ndim: usize,
+}
+
+impl Shape {
+    /// 1D row of `n` cells.
+    pub fn d1(n: usize) -> Shape {
+        Shape {
+            dims: [n, 0, 0],
+            ndim: 1,
+        }
+    }
+
+    /// 2D plane of `nx × ny` cells (x fastest).
+    pub fn d2(nx: usize, ny: usize) -> Shape {
+        Shape {
+            dims: [nx, ny, 0],
+            ndim: 2,
+        }
+    }
+
+    /// 3D volume of `nx × ny × nz` cells (x fastest).
+    pub fn d3(nx: usize, ny: usize, nz: usize) -> Shape {
+        Shape {
+            dims: [nx, ny, nz],
+            ndim: 3,
+        }
+    }
+
+    /// Number of spatial dimensions (1–3).
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Extents; entries past [`Shape::ndim`] are zero.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+}
+
+/// Temporal tiling applied around the intra-tile vectorization method.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Tiling {
+    /// No tiling: plain Jacobi sweeps over the whole grid.
+    None,
+    /// Tessellate tiling (Yuan et al., SC'17) — the framework the paper
+    /// integrates with (§3.4). Valid with every method except
+    /// [`Method::Dlt`].
+    Tessellate {
+        /// Triangle base width per dimension; entries past the shape's
+        /// `ndim` are ignored.
+        w: [usize; 3],
+        /// Time-chunk height in steps (bounded by `w` and the radius).
+        h: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+    /// Split tiling over the DLT layout — the SDSL stand-in (Henretty et
+    /// al., ICS'13). Requires [`Method::Dlt`]; tiles the DLT column space
+    /// in 1D and the outermost dimension in 2D/3D.
+    Split {
+        /// Tile base width (DLT columns in 1D, `y`/`z` cells in 2D/3D).
+        w: usize,
+        /// Time-chunk height in steps.
+        h: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+impl Tiling {
+    fn name(&self) -> &'static str {
+        match self {
+            Tiling::None => "none",
+            Tiling::Tessellate { .. } => "tessellate",
+            Tiling::Split { .. } => "split",
+        }
+    }
+}
+
+/// Why a plan could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The shape's dimensionality does not match the stencil family's.
+    DimMismatch {
+        /// Dimensions of the shape handed to [`Plan::new`].
+        shape: usize,
+        /// Dimensions the stencil family operates on.
+        stencil: usize,
+    },
+    /// A shape extent is zero.
+    EmptyShape,
+    /// The requested ISA is not available on this CPU.
+    IsaUnavailable(Isa),
+    /// The method cannot run under the requested tiling framework.
+    MethodTilingConflict {
+        /// Requested method.
+        method: Method,
+        /// Requested tiling framework name.
+        tiling: &'static str,
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+    /// Tiling parameters are inconsistent with the shape or radius.
+    BadTiling(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::DimMismatch { shape, stencil } => {
+                write!(f, "shape is {shape}D but the stencil family is {stencil}D")
+            }
+            PlanError::EmptyShape => write!(f, "shape has an empty dimension"),
+            PlanError::IsaUnavailable(isa) => {
+                write!(f, "ISA {isa} is not available on this CPU")
+            }
+            PlanError::MethodTilingConflict {
+                method,
+                tiling,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "method {method} cannot run under {tiling} tiling: {reason}"
+                )
+            }
+            PlanError::BadTiling(msg) => write!(f, "invalid tiling parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Validated, immutable plan configuration.
+#[derive(Copy, Clone, Debug)]
+struct Cfg {
+    method: Method,
+    isa: Isa,
+    tiling: Tiling,
+}
+
+/// Which layout the grid is resident in during a session.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Layout {
+    Natural,
+    Transpose,
+    Dlt,
+}
+
+impl Cfg {
+    fn layout(&self) -> Layout {
+        match self.method {
+            Method::Scalar | Method::MultiLoad | Method::Reorg => Layout::Natural,
+            Method::TransLayout | Method::TransLayout2 => Layout::Transpose,
+            Method::Dlt => Layout::Dlt,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Execution-plan builder: pick a [`Shape`], a [`Method`], an [`Isa`] and
+/// a [`Tiling`], then compile it against a stencil with one of the
+/// terminal methods ([`Plan::star1`], [`Plan::star2`], [`Plan::box2`],
+/// [`Plan::star3`], [`Plan::box3`]).
+///
+/// Defaults: `Method::TransLayout2` (the paper's best scheme),
+/// `Isa::detect_best()`, `Tiling::None`.
+#[derive(Copy, Clone, Debug)]
+pub struct Plan {
+    shape: Shape,
+    method: Method,
+    isa: Isa,
+    tiling: Tiling,
+}
+
+impl Plan {
+    /// Start a plan for a problem of the given shape.
+    pub fn new(shape: Shape) -> Plan {
+        Plan {
+            shape,
+            method: Method::TransLayout2,
+            isa: Isa::detect_best(),
+            tiling: Tiling::None,
+        }
+    }
+
+    /// Choose the vectorization method (default: `TransLayout2`).
+    pub fn method(mut self, method: Method) -> Plan {
+        self.method = method;
+        self
+    }
+
+    /// Choose the instruction set (default: `Isa::detect_best()`).
+    pub fn isa(mut self, isa: Isa) -> Plan {
+        self.isa = isa;
+        self
+    }
+
+    /// Choose the temporal tiling framework (default: none).
+    pub fn tiling(mut self, tiling: Tiling) -> Plan {
+        self.tiling = tiling;
+        self
+    }
+
+    fn expect_ndim(&self, ndim: usize) -> Result<(), PlanError> {
+        if self.shape.ndim != ndim {
+            return Err(PlanError::DimMismatch {
+                shape: self.shape.ndim,
+                stencil: ndim,
+            });
+        }
+        if self.shape.dims[..ndim].contains(&0) {
+            return Err(PlanError::EmptyShape);
+        }
+        Ok(())
+    }
+
+    /// Validate method × tiling × shape and build the worker pool for
+    /// tiled plans. `r` is the stencil radius.
+    fn validate(&self, ndim: usize, r: usize) -> Result<Option<rayon::ThreadPool>, PlanError> {
+        self.expect_ndim(ndim)?;
+        // The scalar oracle never executes ISA-specific code (no layout
+        // transform, no dispatch), so it stays valid with any Isa value —
+        // matching the legacy free functions, which never checked it.
+        if self.method != Method::Scalar && !self.isa.is_available() {
+            return Err(PlanError::IsaUnavailable(self.isa));
+        }
+        match self.tiling {
+            Tiling::None => Ok(None),
+            Tiling::Tessellate { w, h, threads } => {
+                if self.method == Method::Dlt {
+                    return Err(PlanError::MethodTilingConflict {
+                        method: self.method,
+                        tiling: self.tiling.name(),
+                        reason: "DLT runs under split tiling (its own layout/tile geometry)",
+                    });
+                }
+                if h == 0 {
+                    return Err(PlanError::BadTiling("chunk height h must be ≥ 1".into()));
+                }
+                for (axis, (&n, &wi)) in self.shape.dims[..ndim].iter().zip(&w[..ndim]).enumerate()
+                {
+                    if wi == 0 {
+                        return Err(PlanError::BadTiling(format!(
+                            "tile width w[{axis}] must be ≥ 1"
+                        )));
+                    }
+                    let d = DimTiling::new(n, wi.min(n), r, true);
+                    if h > d.max_height() {
+                        return Err(PlanError::BadTiling(format!(
+                            "chunk height {h} exceeds max {} for axis {axis} (n={n}, w={}, r={r})",
+                            d.max_height(),
+                            wi.min(n),
+                        )));
+                    }
+                }
+                Ok(Some(tess::make_pool(threads)))
+            }
+            Tiling::Split { w, h, threads } => {
+                if self.method != Method::Dlt {
+                    return Err(PlanError::MethodTilingConflict {
+                        method: self.method,
+                        tiling: self.tiling.name(),
+                        reason: "split tiling tiles the DLT layout; use Method::Dlt",
+                    });
+                }
+                if w == 0 || h == 0 {
+                    return Err(PlanError::BadTiling("w and h must be ≥ 1".into()));
+                }
+                if ndim == 1 {
+                    // 1D split tiles the DLT column space; degenerate
+                    // widths fall back to plain stepping at run time.
+                    let cols = self.shape.dims[0] / self.isa.lanes();
+                    if cols > 4 * r {
+                        let d = DimTiling::new(cols, w.min(cols), r, false);
+                        if h > d.max_height() {
+                            return Err(PlanError::BadTiling(format!(
+                                "chunk height {h} exceeds max {} in DLT column space \
+                                 (cols={cols}, w={}, r={r})",
+                                d.max_height(),
+                                w.min(cols),
+                            )));
+                        }
+                    }
+                } else {
+                    let n = self.shape.dims[ndim - 1]; // outermost dimension
+                    let d = DimTiling::new(n, w.min(n), r, true);
+                    if h > d.max_height() {
+                        return Err(PlanError::BadTiling(format!(
+                            "chunk height {h} exceeds max {} for the outer dimension \
+                             (n={n}, w={}, r={r})",
+                            d.max_height(),
+                            w.min(n),
+                        )));
+                    }
+                }
+                Ok(Some(tess::make_pool(threads)))
+            }
+        }
+    }
+
+    fn cfg(&self) -> Cfg {
+        Cfg {
+            method: self.method,
+            isa: self.isa,
+            tiling: self.tiling,
+        }
+    }
+
+    /// Compile the plan for a 1D star stencil.
+    pub fn star1<S: Star1>(self, stencil: S) -> Result<Plan1<S>, PlanError> {
+        let pool = self.validate(1, S::R)?;
+        Ok(Plan1 {
+            cfg: self.cfg(),
+            n: self.shape.dims[0],
+            stencil,
+            scratch: None,
+            stage: None,
+            pool,
+        })
+    }
+
+    /// Compile the plan for a 2D star stencil.
+    pub fn star2<S: Star2>(self, stencil: S) -> Result<Plan2Star<S>, PlanError> {
+        let pool = self.validate(2, S::R)?;
+        Ok(Plan2Star {
+            cfg: self.cfg(),
+            nx: self.shape.dims[0],
+            ny: self.shape.dims[1],
+            stencil,
+            scratch: None,
+            stage: None,
+            ring: None,
+            pool,
+        })
+    }
+
+    /// Compile the plan for a 2D box stencil.
+    pub fn box2<S: Box2>(self, stencil: S) -> Result<Plan2Box<S>, PlanError> {
+        let pool = self.validate(2, S::R)?;
+        Ok(Plan2Box {
+            cfg: self.cfg(),
+            nx: self.shape.dims[0],
+            ny: self.shape.dims[1],
+            stencil,
+            scratch: None,
+            stage: None,
+            ring: None,
+            pool,
+        })
+    }
+
+    /// Compile the plan for a 3D star stencil.
+    pub fn star3<S: Star3>(self, stencil: S) -> Result<Plan3Star<S>, PlanError> {
+        let pool = self.validate(3, S::R)?;
+        Ok(Plan3Star {
+            cfg: self.cfg(),
+            nx: self.shape.dims[0],
+            ny: self.shape.dims[1],
+            nz: self.shape.dims[2],
+            stencil,
+            scratch: None,
+            stage: None,
+            ring: None,
+            pool,
+        })
+    }
+
+    /// Compile the plan for a 3D box stencil.
+    pub fn box3<S: Box3>(self, stencil: S) -> Result<Plan3Box<S>, PlanError> {
+        let pool = self.validate(3, S::R)?;
+        Ok(Plan3Box {
+            cfg: self.cfg(),
+            nx: self.shape.dims[0],
+            ny: self.shape.dims[1],
+            nz: self.shape.dims[2],
+            stencil,
+            scratch: None,
+            stage: None,
+            ring: None,
+            pool,
+        })
+    }
+}
+
+/// Shared `Debug` body for the compiled plan types (buffers elided).
+macro_rules! fmt_plan_debug {
+    ($Plan:ident) => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct(stringify!($Plan))
+                .field("method", &self.cfg.method)
+                .field("isa", &self.cfg.isa)
+                .field("tiling", &self.cfg.tiling)
+                .field("shape", &self.shape())
+                .finish_non_exhaustive()
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// 1D plan
+// ---------------------------------------------------------------------------
+
+/// Compiled execution plan for a 1D star stencil.
+///
+/// Owns every buffer the method needs (ping-pong scratch, DLT staging,
+/// worker pool); [`Plan1::run`] and [`Plan1::session`] reuse them across
+/// calls.
+pub struct Plan1<S: Star1> {
+    cfg: Cfg,
+    n: usize,
+    stencil: S,
+    scratch: Option<Grid1>,
+    stage: Option<(Grid1, Grid1)>,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<S: Star1> std::fmt::Debug for Plan1<S> {
+    fmt_plan_debug!(Plan1);
+}
+
+impl<S: Star1> Plan1<S> {
+    /// The plan's vectorization method.
+    pub fn method(&self) -> Method {
+        self.cfg.method
+    }
+
+    /// The plan's instruction set.
+    pub fn isa(&self) -> Isa {
+        self.cfg.isa
+    }
+
+    /// The plan's tiling framework.
+    pub fn tiling(&self) -> Tiling {
+        self.cfg.tiling
+    }
+
+    /// The shape the plan was compiled for.
+    pub fn shape(&self) -> Shape {
+        Shape::d1(self.n)
+    }
+
+    fn ensure_scratch(&mut self, g: &Grid1) {
+        match &mut self.scratch {
+            Some(sc) => sc.copy_from(g),
+            None => self.scratch = Some(g.clone()),
+        }
+    }
+
+    fn ensure_stage(&mut self, g: &Grid1) {
+        if self.stage.is_none() {
+            self.stage = Some((g.clone(), g.clone()));
+        }
+        let (a, b) = self.stage.as_mut().expect("just ensured");
+        a.copy_from(g); // refresh halos
+        dlt_grid1(g, a, self.cfg.isa, false);
+        b.copy_from(a);
+    }
+
+    /// Run `t` Jacobi steps on `g` (natural layout in, natural layout
+    /// out). Buffers are reused across calls; for repeated stepping
+    /// without the per-call layout round-trip, use [`Plan1::session`].
+    pub fn run(&mut self, g: &mut Grid1, t: usize) {
+        if t == 0 {
+            return;
+        }
+        self.session(g).run(t);
+    }
+
+    /// Open a layout-resident stepping session on `g`: the grid is
+    /// transformed into the method's layout once, every
+    /// [`Session1::run`] steps it in place, and dropping the session
+    /// restores natural order.
+    pub fn session<'p>(&'p mut self, g: &'p mut Grid1) -> Session1<'p, S> {
+        assert_eq!(g.n(), self.n, "grid does not match the plan's shape");
+        match self.cfg.layout() {
+            Layout::Natural => self.ensure_scratch(g),
+            Layout::Transpose => {
+                tl_grid1(g, self.cfg.isa);
+                self.ensure_scratch(g);
+            }
+            Layout::Dlt => self.ensure_stage(g),
+        }
+        Session1 { plan: self, g }
+    }
+}
+
+/// Layout-resident stepping session over a 1D grid (see
+/// [`Plan1::session`]).
+pub struct Session1<'p, S: Star1> {
+    plan: &'p mut Plan1<S>,
+    g: &'p mut Grid1,
+}
+
+impl<S: Star1> Session1<'_, S> {
+    /// Advance the grid `t` Jacobi steps. No buffer allocation and no
+    /// layout transform happen here — only kernel stepping (tiled runs
+    /// copy small precomputed tile lists per chunk).
+    pub fn run(&mut self, t: usize) {
+        if t == 0 {
+            return;
+        }
+        match self.plan.cfg.tiling {
+            Tiling::None => self.run_untiled(t),
+            Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], h, t),
+            Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+        }
+    }
+
+    fn run_untiled(&mut self, t: usize) {
+        let Cfg { method, isa, .. } = self.plan.cfg;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        match method {
+            Method::Scalar => {
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let mut in_g = true;
+                for _ in 0..t {
+                    let (sp, dp) = if in_g {
+                        (self.g.ptr(), other.ptr_mut())
+                    } else {
+                        (other.ptr(), self.g.ptr_mut())
+                    };
+                    unsafe { scalar::star1_range(sp, dp, 0, n, &s) };
+                    in_g = !in_g;
+                }
+                if !in_g {
+                    std::mem::swap(self.g, other);
+                }
+            }
+            Method::MultiLoad | Method::Reorg => {
+                let reorg = method == Method::Reorg;
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let gp = self.g.ptr_mut();
+                let op = other.ptr_mut();
+                let in_g = dispatch!(isa, V => {
+                    let mut in_g = true;
+                    for _ in 0..t {
+                        let (sp, dp) =
+                            if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
+                        if reorg {
+                            orig::star1_orig::<V, S, true>(sp, dp, 0, n, &s);
+                        } else {
+                            orig::star1_orig::<V, S, false>(sp, dp, 0, n, &s);
+                        }
+                        in_g = !in_g;
+                    }
+                    in_g
+                });
+                if !in_g {
+                    std::mem::swap(self.g, other);
+                }
+            }
+            Method::Dlt => self.dlt_steps(t),
+            Method::TransLayout => self.tl_k1_steps(t),
+            Method::TransLayout2 => {
+                let pairs = t / 2;
+                let nsets = SetGeo::new(n, isa.lanes()).nsets;
+                if nsets >= 2 {
+                    let gp = self.g.ptr_mut();
+                    for _ in 0..pairs {
+                        unsafe { isa_entry::star1_tl2::<S>(isa, gp, n, &s) };
+                    }
+                } else {
+                    self.tl_k1_steps(2 * pairs);
+                }
+                if t % 2 == 1 {
+                    self.tl_k1_steps(1);
+                }
+            }
+        }
+    }
+
+    /// k = 1 transpose-layout stepping (grid already in transpose layout).
+    fn tl_k1_steps(&mut self, t: usize) {
+        if t == 0 {
+            return;
+        }
+        let isa = self.plan.cfg.isa;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        let other = self.plan.scratch.as_mut().expect("scratch");
+        let gp = self.g.ptr_mut();
+        let op = other.ptr_mut();
+        let mut in_g = true;
+        for _ in 0..t {
+            let (sp, dp) = if in_g {
+                (gp as *const f64, op)
+            } else {
+                (op as *const f64, gp)
+            };
+            unsafe { isa_entry::star1_tl::<S>(isa, sp, dp, n, 0, n, &s) };
+            in_g = !in_g;
+        }
+        if !in_g {
+            std::mem::swap(self.g, other);
+        }
+    }
+
+    /// DLT stepping on the staging pair; the result invariantly ends in
+    /// the first staging grid.
+    fn dlt_steps(&mut self, t: usize) {
+        let isa = self.plan.cfg.isa;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        let (a, b) = self.plan.stage.as_mut().expect("stage");
+        let ap = a.ptr_mut();
+        let bp = b.ptr_mut();
+        let in_a = dispatch!(isa, V => {
+            let mut in_a = true;
+            for _ in 0..t {
+                let (sp, dp) =
+                    if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
+                dlt::star1_dlt::<V, S>(sp, dp, n, &s);
+                in_a = !in_a;
+            }
+            in_a
+        });
+        if !in_a {
+            std::mem::swap(a, b);
+        }
+    }
+
+    fn run_tessellate(&mut self, w: usize, h: usize, t: usize) {
+        let Cfg { method, isa, .. } = self.plan.cfg;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        let d = DimTiling::new(n, w.min(n), S::R, true);
+        let other = self.plan.scratch.as_mut().expect("scratch");
+        let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+        let pool = self.plan.pool.as_ref().expect("pool");
+        tess::drive1(method, isa, bufs, n, &d, t, h, &s, pool);
+        if t % 2 == 1 {
+            std::mem::swap(self.g, other);
+        }
+    }
+
+    fn run_split(&mut self, w: usize, h: usize, t: usize) {
+        let isa = self.plan.cfg.isa;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        let geo = DltGeo::new(n, isa.lanes());
+        if geo.cols <= 4 * S::R {
+            // Degenerate width: plain stepping is the only sensible
+            // schedule (validated fallback, mirrors the legacy driver).
+            self.dlt_steps(t);
+            return;
+        }
+        let d = DimTiling::new(geo.cols, w.min(geo.cols), S::R, false);
+        let (a, b) = self.plan.stage.as_mut().expect("stage");
+        let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+        let pool = self.plan.pool.as_ref().expect("pool");
+        split::drive1(isa, bufs, &geo, n, &d, t, h, &s, pool);
+        if t % 2 == 1 {
+            std::mem::swap(a, b);
+        }
+    }
+}
+
+impl<S: Star1> Drop for Session1<'_, S> {
+    fn drop(&mut self) {
+        let isa = self.plan.cfg.isa;
+        match self.plan.cfg.layout() {
+            Layout::Natural => {}
+            Layout::Transpose => tl_grid1(self.g, isa),
+            Layout::Dlt => {
+                let (a, _) = self.plan.stage.as_ref().expect("stage");
+                dlt_grid1(a, self.g, isa, true);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2D plans (star and box, generated by one macro)
+// ---------------------------------------------------------------------------
+
+macro_rules! plan2_impl {
+    ($(#[$doc:meta])* $Plan:ident, $Session:ident, $bound:ident,
+     $scalar_k:ident, $orig_k:ident, $dlt_k:ident, $tl_e:ident, $tl2_e:ident,
+     $tess_drive:ident, $split_drive:ident) => {
+        $(#[$doc])*
+        ///
+        /// Owns every buffer the method needs (ping-pong scratch, DLT
+        /// staging, k = 2 ring, worker pool); `run` and `session` reuse
+        /// them across calls.
+        pub struct $Plan<S: $bound> {
+            cfg: Cfg,
+            nx: usize,
+            ny: usize,
+            stencil: S,
+            scratch: Option<Grid2>,
+            stage: Option<(Grid2, Grid2)>,
+            ring: Option<AlignedBuf>,
+            pool: Option<rayon::ThreadPool>,
+        }
+
+        impl<S: $bound> std::fmt::Debug for $Plan<S> {
+            fmt_plan_debug!($Plan);
+        }
+
+        impl<S: $bound> $Plan<S> {
+            /// The plan's vectorization method.
+            pub fn method(&self) -> Method {
+                self.cfg.method
+            }
+
+            /// The plan's instruction set.
+            pub fn isa(&self) -> Isa {
+                self.cfg.isa
+            }
+
+            /// The plan's tiling framework.
+            pub fn tiling(&self) -> Tiling {
+                self.cfg.tiling
+            }
+
+            /// The shape the plan was compiled for.
+            pub fn shape(&self) -> Shape {
+                Shape::d2(self.nx, self.ny)
+            }
+
+            fn ensure_scratch(&mut self, g: &Grid2) {
+                match &mut self.scratch {
+                    Some(sc) => sc.copy_from(g),
+                    None => self.scratch = Some(g.clone()),
+                }
+            }
+
+            fn ensure_stage(&mut self, g: &Grid2) {
+                if self.stage.is_none() {
+                    self.stage = Some((g.clone(), g.clone()));
+                }
+                let (a, b) = self.stage.as_mut().expect("just ensured");
+                a.copy_from(g);
+                dlt_grid2(g, a, self.cfg.isa, false);
+                b.copy_from(a);
+            }
+
+            fn ensure_ring(&mut self, g: &Grid2) {
+                let len = HALO_PAD + (2 * S::R + 1) * g.row_stride();
+                if self.ring.as_ref().map(|r| r.len()) != Some(len) {
+                    self.ring = Some(AlignedBuf::zeroed(len));
+                }
+            }
+
+            /// Run `t` Jacobi steps on `g` (natural layout in, natural
+            /// layout out). Buffers are reused across calls; for repeated
+            /// stepping without the per-call layout round-trip, use
+            /// `session`.
+            pub fn run(&mut self, g: &mut Grid2, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                self.session(g).run(t);
+            }
+
+            /// Open a layout-resident stepping session on `g` (see
+            /// [`Plan1::session`]).
+            pub fn session<'p>(&'p mut self, g: &'p mut Grid2) -> $Session<'p, S> {
+                assert_eq!(
+                    (g.nx(), g.ny()),
+                    (self.nx, self.ny),
+                    "grid does not match the plan's shape"
+                );
+                assert!(g.ry() >= S::R, "grid halo narrower than stencil radius");
+                match self.cfg.layout() {
+                    Layout::Natural => self.ensure_scratch(g),
+                    Layout::Transpose => {
+                        tl_grid2(g, self.cfg.isa);
+                        self.ensure_scratch(g);
+                        if self.cfg.method == Method::TransLayout2
+                            && self.cfg.tiling == Tiling::None
+                        {
+                            self.ensure_ring(g);
+                        }
+                    }
+                    Layout::Dlt => self.ensure_stage(g),
+                }
+                $Session { plan: self, g }
+            }
+        }
+
+        /// Layout-resident stepping session over a 2D grid (see
+        /// [`Plan1::session`]).
+        pub struct $Session<'p, S: $bound> {
+            plan: &'p mut $Plan<S>,
+            g: &'p mut Grid2,
+        }
+
+        impl<S: $bound> $Session<'_, S> {
+            /// Advance the grid `t` Jacobi steps. No buffer allocation
+            /// and no layout transform happen here — only kernel stepping
+            /// (tiled runs copy small precomputed tile lists per chunk).
+            pub fn run(&mut self, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                match self.plan.cfg.tiling {
+                    Tiling::None => self.run_untiled(t),
+                    Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], w[1], h, t),
+                    Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            fn run_untiled(&mut self, t: usize) {
+                let Cfg { method, isa, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                match method {
+                    Method::Scalar => {
+                        let other = self.plan.scratch.as_mut().expect("scratch");
+                        let mut in_g = true;
+                        for _ in 0..t {
+                            let (sp, dp) = if in_g {
+                                (self.g.ptr(), other.ptr_mut())
+                            } else {
+                                (other.ptr(), self.g.ptr_mut())
+                            };
+                            unsafe { scalar::$scalar_k(sp, dp, rs, 0, ny, 0, nx, &s) };
+                            in_g = !in_g;
+                        }
+                        if !in_g {
+                            std::mem::swap(self.g, other);
+                        }
+                    }
+                    Method::MultiLoad | Method::Reorg => {
+                        let reorg = method == Method::Reorg;
+                        let other = self.plan.scratch.as_mut().expect("scratch");
+                        let gp = self.g.ptr_mut();
+                        let op = other.ptr_mut();
+                        let in_g = dispatch!(isa, V => {
+                            let mut in_g = true;
+                            for _ in 0..t {
+                                let (sp, dp) = if in_g {
+                                    (gp as *const f64, op)
+                                } else {
+                                    (op as *const f64, gp)
+                                };
+                                if reorg {
+                                    orig::$orig_k::<V, S, true>(sp, dp, rs, 0, ny, 0, nx, &s);
+                                } else {
+                                    orig::$orig_k::<V, S, false>(sp, dp, rs, 0, ny, 0, nx, &s);
+                                }
+                                in_g = !in_g;
+                            }
+                            in_g
+                        });
+                        if !in_g {
+                            std::mem::swap(self.g, other);
+                        }
+                    }
+                    Method::Dlt => self.dlt_steps(t),
+                    Method::TransLayout => self.tl_k1_steps(t),
+                    Method::TransLayout2 => {
+                        let pairs = t / 2;
+                        if pairs > 0 {
+                            let ring = self.plan.ring.as_mut().expect("ring");
+                            let ring = unsafe { ring.as_mut_ptr().add(HALO_PAD) };
+                            let gp = self.g.ptr_mut();
+                            for _ in 0..pairs {
+                                unsafe {
+                                    isa_entry::$tl2_e::<S>(isa, gp, rs, nx, ny, ring, &s)
+                                };
+                            }
+                        }
+                        if t % 2 == 1 {
+                            self.tl_k1_steps(1);
+                        }
+                    }
+                }
+            }
+
+            /// k = 1 transpose-layout stepping (grid already in transpose
+            /// layout).
+            fn tl_k1_steps(&mut self, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let gp = self.g.ptr_mut();
+                let op = other.ptr_mut();
+                let mut in_g = true;
+                for _ in 0..t {
+                    let (sp, dp) =
+                        if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
+                    unsafe { isa_entry::$tl_e::<S>(isa, sp, dp, rs, nx, 0, ny, 0, nx, &s) };
+                    in_g = !in_g;
+                }
+                if !in_g {
+                    std::mem::swap(self.g, other);
+                }
+            }
+
+            /// DLT stepping on the staging pair; the result invariantly
+            /// ends in the first staging grid.
+            fn dlt_steps(&mut self, t: usize) {
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let (a, b) = self.plan.stage.as_mut().expect("stage");
+                let ap = a.ptr_mut();
+                let bp = b.ptr_mut();
+                let in_a = dispatch!(isa, V => {
+                    let mut in_a = true;
+                    for _ in 0..t {
+                        let (sp, dp) =
+                            if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
+                        dlt::$dlt_k::<V, S>(sp, dp, rs, nx, 0, ny, &s);
+                        in_a = !in_a;
+                    }
+                    in_a
+                });
+                if !in_a {
+                    std::mem::swap(a, b);
+                }
+            }
+
+            fn run_tessellate(&mut self, wx: usize, wy: usize, h: usize, t: usize) {
+                let Cfg { method, isa, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let dx = DimTiling::new(nx, wx.min(nx), S::R, true);
+                let dy = DimTiling::new(ny, wy.min(ny), S::R, true);
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+                let pool = self.plan.pool.as_ref().expect("pool");
+                tess::$tess_drive(method, isa, bufs, rs, nx, &dx, &dy, t, h, &s, pool);
+                if t % 2 == 1 {
+                    std::mem::swap(self.g, other);
+                }
+            }
+
+            fn run_split(&mut self, w: usize, h: usize, t: usize) {
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let d = DimTiling::new(ny, w.min(ny), S::R, true);
+                let (a, b) = self.plan.stage.as_mut().expect("stage");
+                let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+                let pool = self.plan.pool.as_ref().expect("pool");
+                split::$split_drive(isa, bufs, rs, nx, &d, t, h, &s, pool);
+                if t % 2 == 1 {
+                    std::mem::swap(a, b);
+                }
+            }
+        }
+
+        impl<S: $bound> Drop for $Session<'_, S> {
+            fn drop(&mut self) {
+                let isa = self.plan.cfg.isa;
+                match self.plan.cfg.layout() {
+                    Layout::Natural => {}
+                    Layout::Transpose => tl_grid2(self.g, isa),
+                    Layout::Dlt => {
+                        let (a, _) = self.plan.stage.as_ref().expect("stage");
+                        dlt_grid2(a, self.g, isa, true);
+                    }
+                }
+            }
+        }
+    };
+}
+
+plan2_impl!(
+    /// Compiled execution plan for a 2D star stencil.
+    Plan2Star, Session2Star, Star2,
+    star2_range, star2_orig, star2_dlt, star2_tl, star2_tl2,
+    drive2_star, drive2_star
+);
+plan2_impl!(
+    /// Compiled execution plan for a 2D box stencil.
+    Plan2Box, Session2Box, Box2,
+    box2_range, box2_orig, box2_dlt, box2_tl, box2_tl2,
+    drive2_box, drive2_box
+);
+
+// ---------------------------------------------------------------------------
+// 3D plans (star and box, generated by one macro)
+// ---------------------------------------------------------------------------
+
+macro_rules! plan3_impl {
+    ($(#[$doc:meta])* $Plan:ident, $Session:ident, $bound:ident,
+     $scalar_k:ident, $orig_k:ident, $dlt_k:ident, $tl_e:ident, $tl2_e:ident,
+     $tess_drive:ident, $split_drive:ident) => {
+        $(#[$doc])*
+        ///
+        /// Owns every buffer the method needs (ping-pong scratch, DLT
+        /// staging, k = 2 ring, worker pool); `run` and `session` reuse
+        /// them across calls.
+        pub struct $Plan<S: $bound> {
+            cfg: Cfg,
+            nx: usize,
+            ny: usize,
+            nz: usize,
+            stencil: S,
+            scratch: Option<Grid3>,
+            stage: Option<(Grid3, Grid3)>,
+            ring: Option<AlignedBuf>,
+            pool: Option<rayon::ThreadPool>,
+        }
+
+        impl<S: $bound> std::fmt::Debug for $Plan<S> {
+            fmt_plan_debug!($Plan);
+        }
+
+        impl<S: $bound> $Plan<S> {
+            /// The plan's vectorization method.
+            pub fn method(&self) -> Method {
+                self.cfg.method
+            }
+
+            /// The plan's instruction set.
+            pub fn isa(&self) -> Isa {
+                self.cfg.isa
+            }
+
+            /// The plan's tiling framework.
+            pub fn tiling(&self) -> Tiling {
+                self.cfg.tiling
+            }
+
+            /// The shape the plan was compiled for.
+            pub fn shape(&self) -> Shape {
+                Shape::d3(self.nx, self.ny, self.nz)
+            }
+
+            fn ensure_scratch(&mut self, g: &Grid3) {
+                match &mut self.scratch {
+                    Some(sc) => sc.copy_from(g),
+                    None => self.scratch = Some(g.clone()),
+                }
+            }
+
+            fn ensure_stage(&mut self, g: &Grid3) {
+                if self.stage.is_none() {
+                    self.stage = Some((g.clone(), g.clone()));
+                }
+                let (a, b) = self.stage.as_mut().expect("just ensured");
+                a.copy_from(g);
+                dlt_grid3(g, a, self.cfg.isa, false);
+                b.copy_from(a);
+            }
+
+            fn ensure_ring(&mut self, g: &Grid3) {
+                let len = (2 * S::R + 1) * g.plane_stride();
+                if self.ring.as_ref().map(|r| r.len()) != Some(len) {
+                    self.ring = Some(AlignedBuf::zeroed(len));
+                }
+            }
+
+            /// Run `t` Jacobi steps on `g` (natural layout in, natural
+            /// layout out). Buffers are reused across calls; for repeated
+            /// stepping without the per-call layout round-trip, use
+            /// `session`.
+            pub fn run(&mut self, g: &mut Grid3, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                self.session(g).run(t);
+            }
+
+            /// Open a layout-resident stepping session on `g` (see
+            /// [`Plan1::session`]).
+            pub fn session<'p>(&'p mut self, g: &'p mut Grid3) -> $Session<'p, S> {
+                assert_eq!(
+                    (g.nx(), g.ny(), g.nz()),
+                    (self.nx, self.ny, self.nz),
+                    "grid does not match the plan's shape"
+                );
+                assert!(g.r() >= S::R, "grid halo narrower than stencil radius");
+                match self.cfg.layout() {
+                    Layout::Natural => self.ensure_scratch(g),
+                    Layout::Transpose => {
+                        tl_grid3(g, self.cfg.isa);
+                        self.ensure_scratch(g);
+                        if self.cfg.method == Method::TransLayout2
+                            && self.cfg.tiling == Tiling::None
+                        {
+                            self.ensure_ring(g);
+                        }
+                    }
+                    Layout::Dlt => self.ensure_stage(g),
+                }
+                $Session { plan: self, g }
+            }
+        }
+
+        /// Layout-resident stepping session over a 3D grid (see
+        /// [`Plan1::session`]).
+        pub struct $Session<'p, S: $bound> {
+            plan: &'p mut $Plan<S>,
+            g: &'p mut Grid3,
+        }
+
+        impl<S: $bound> $Session<'_, S> {
+            /// Advance the grid `t` Jacobi steps. No buffer allocation
+            /// and no layout transform happen here — only kernel stepping
+            /// (tiled runs copy small precomputed tile lists per chunk).
+            pub fn run(&mut self, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                match self.plan.cfg.tiling {
+                    Tiling::None => self.run_untiled(t),
+                    Tiling::Tessellate { w, h, .. } => {
+                        self.run_tessellate(w[0], w[1], w[2], h, t)
+                    }
+                    Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            fn run_untiled(&mut self, t: usize) {
+                let Cfg { method, isa, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                match method {
+                    Method::Scalar => {
+                        let other = self.plan.scratch.as_mut().expect("scratch");
+                        let mut in_g = true;
+                        for _ in 0..t {
+                            let (sp, dp) = if in_g {
+                                (self.g.ptr(), other.ptr_mut())
+                            } else {
+                                (other.ptr(), self.g.ptr_mut())
+                            };
+                            unsafe {
+                                scalar::$scalar_k(sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, &s)
+                            };
+                            in_g = !in_g;
+                        }
+                        if !in_g {
+                            std::mem::swap(self.g, other);
+                        }
+                    }
+                    Method::MultiLoad | Method::Reorg => {
+                        let reorg = method == Method::Reorg;
+                        let other = self.plan.scratch.as_mut().expect("scratch");
+                        let gp = self.g.ptr_mut();
+                        let op = other.ptr_mut();
+                        let in_g = dispatch!(isa, V => {
+                            let mut in_g = true;
+                            for _ in 0..t {
+                                let (sp, dp) = if in_g {
+                                    (gp as *const f64, op)
+                                } else {
+                                    (op as *const f64, gp)
+                                };
+                                if reorg {
+                                    orig::$orig_k::<V, S, true>(
+                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, &s,
+                                    );
+                                } else {
+                                    orig::$orig_k::<V, S, false>(
+                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, &s,
+                                    );
+                                }
+                                in_g = !in_g;
+                            }
+                            in_g
+                        });
+                        if !in_g {
+                            std::mem::swap(self.g, other);
+                        }
+                    }
+                    Method::Dlt => self.dlt_steps(t),
+                    Method::TransLayout => self.tl_k1_steps(t),
+                    Method::TransLayout2 => {
+                        let pairs = t / 2;
+                        if pairs > 0 {
+                            let ring = self.plan.ring.as_mut().expect("ring");
+                            let off = S::R * rs + HALO_PAD;
+                            let ring = unsafe { ring.as_mut_ptr().add(off) };
+                            let gp = self.g.ptr_mut();
+                            for _ in 0..pairs {
+                                unsafe {
+                                    isa_entry::$tl2_e::<S>(isa, gp, rs, ps, nx, ny, nz, ring, &s)
+                                };
+                            }
+                        }
+                        if t % 2 == 1 {
+                            self.tl_k1_steps(1);
+                        }
+                    }
+                }
+            }
+
+            /// k = 1 transpose-layout stepping (grid already in transpose
+            /// layout).
+            fn tl_k1_steps(&mut self, t: usize) {
+                if t == 0 {
+                    return;
+                }
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let gp = self.g.ptr_mut();
+                let op = other.ptr_mut();
+                let mut in_g = true;
+                for _ in 0..t {
+                    let (sp, dp) =
+                        if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
+                    unsafe {
+                        isa_entry::$tl_e::<S>(isa, sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, &s)
+                    };
+                    in_g = !in_g;
+                }
+                if !in_g {
+                    std::mem::swap(self.g, other);
+                }
+            }
+
+            /// DLT stepping on the staging pair; the result invariantly
+            /// ends in the first staging grid.
+            fn dlt_steps(&mut self, t: usize) {
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let (a, b) = self.plan.stage.as_mut().expect("stage");
+                let ap = a.ptr_mut();
+                let bp = b.ptr_mut();
+                let in_a = dispatch!(isa, V => {
+                    let mut in_a = true;
+                    for _ in 0..t {
+                        let (sp, dp) =
+                            if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
+                        dlt::$dlt_k::<V, S>(sp, dp, rs, ps, nx, ny, 0, nz, &s);
+                        in_a = !in_a;
+                    }
+                    in_a
+                });
+                if !in_a {
+                    std::mem::swap(a, b);
+                }
+            }
+
+            fn run_tessellate(&mut self, wx: usize, wy: usize, wz: usize, h: usize, t: usize) {
+                let Cfg { method, isa, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let dx = DimTiling::new(nx, wx.min(nx), S::R, true);
+                let dy = DimTiling::new(ny, wy.min(ny), S::R, true);
+                let dz = DimTiling::new(nz, wz.min(nz), S::R, true);
+                let other = self.plan.scratch.as_mut().expect("scratch");
+                let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+                let pool = self.plan.pool.as_ref().expect("pool");
+                tess::$tess_drive(method, isa, bufs, rs, ps, nx, &dx, &dy, &dz, t, h, &s, pool);
+                if t % 2 == 1 {
+                    std::mem::swap(self.g, other);
+                }
+            }
+
+            fn run_split(&mut self, w: usize, h: usize, t: usize) {
+                let isa = self.plan.cfg.isa;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let d = DimTiling::new(nz, w.min(nz), S::R, true);
+                let (a, b) = self.plan.stage.as_mut().expect("stage");
+                let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+                let pool = self.plan.pool.as_ref().expect("pool");
+                split::$split_drive(isa, bufs, rs, ps, nx, ny, &d, t, h, &s, pool);
+                if t % 2 == 1 {
+                    std::mem::swap(a, b);
+                }
+            }
+        }
+
+        impl<S: $bound> Drop for $Session<'_, S> {
+            fn drop(&mut self) {
+                let isa = self.plan.cfg.isa;
+                match self.plan.cfg.layout() {
+                    Layout::Natural => {}
+                    Layout::Transpose => tl_grid3(self.g, isa),
+                    Layout::Dlt => {
+                        let (a, _) = self.plan.stage.as_ref().expect("stage");
+                        dlt_grid3(a, self.g, isa, true);
+                    }
+                }
+            }
+        }
+    };
+}
+
+plan3_impl!(
+    /// Compiled execution plan for a 3D star stencil.
+    Plan3Star, Session3Star, Star3,
+    star3_range, star3_orig, star3_dlt, star3_tl, star3_tl2,
+    drive3_star, drive3_star
+);
+plan3_impl!(
+    /// Compiled execution plan for a 3D box stencil.
+    Plan3Box, Session3Box, Box3,
+    box3_range, box3_orig, box3_dlt, box3_tl, box3_tl2,
+    drive3_box, drive3_box
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{S1d3p, S2d5p};
+
+    #[test]
+    fn builder_rejects_dim_mismatch() {
+        let err = Plan::new(Shape::d2(8, 8)).star1(S1d3p::heat()).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::DimMismatch {
+                shape: 2,
+                stencil: 1
+            }
+        );
+        let err = Plan::new(Shape::d1(8)).star2(S2d5p::heat()).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::DimMismatch {
+                shape: 1,
+                stencil: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty_shape() {
+        let err = Plan::new(Shape::d1(0)).star1(S1d3p::heat()).unwrap_err();
+        assert_eq!(err, PlanError::EmptyShape);
+    }
+
+    #[test]
+    fn builder_rejects_dlt_under_tessellate() {
+        let err = Plan::new(Shape::d1(1024))
+            .method(Method::Dlt)
+            .tiling(Tiling::Tessellate {
+                w: [128, 0, 0],
+                h: 8,
+                threads: 2,
+            })
+            .star1(S1d3p::heat())
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::MethodTilingConflict { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_non_dlt_under_split() {
+        let err = Plan::new(Shape::d1(1024))
+            .method(Method::TransLayout2)
+            .tiling(Tiling::Split {
+                w: 64,
+                h: 8,
+                threads: 2,
+            })
+            .star1(S1d3p::heat())
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::MethodTilingConflict { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_oversized_chunk_height() {
+        let err = Plan::new(Shape::d1(1024))
+            .method(Method::TransLayout)
+            .tiling(Tiling::Tessellate {
+                w: [16, 0, 0],
+                h: 1000,
+                threads: 2,
+            })
+            .star1(S1d3p::heat())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::BadTiling(_)), "{err}");
+    }
+
+    #[test]
+    fn errors_display_something_useful() {
+        let e = PlanError::BadTiling("w too small".into());
+        assert!(e.to_string().contains("w too small"));
+        assert!(PlanError::EmptyShape.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Split tiling drivers over the **DLT layout** — the SDSL stand-in
+//! (Henretty et al., ICS'13): DLT vectorization plus split (triangle /
+//! inverted trapezoid) temporal tiling.
+//!
+//! 1D: tiling runs in DLT *column space* (`j ∈ [0, cols)`). A column tile
+//! is `vl` distant original-space segments — which is precisely the
+//! locality loss the paper attributes to DLT under blocking (§2.2/§3.1):
+//! an L1-sized column tile touches `vl` separate memory regions. Column
+//! triangles shrink at the `j`-edges too (the edges are cross-lane seams,
+//! not halo); the uncovered seam space-time is handled by per-seam scalar
+//! tiles in original coordinates, one per lane boundary, plus the natural
+//! tail strip.
+//!
+//! 2D/3D: SDSL's *hybrid* scheme — split tiling on the outermost
+//! dimension, full DLT rows inside.
+//!
+//! Like [`super::tess`], these drivers are **parameterized by the plan**:
+//! they step pre-transformed DLT staging buffers on a caller-owned pool;
+//! the DLT round-trip and staging allocation live in the `Plan`/`Session`
+//! engine and are amortized across runs.
+
+use rayon::prelude::*;
+use stencil_simd::{dispatch, Isa};
+
+use super::tess::{Shape, SyncPtr};
+use super::tile::DimTiling;
+use crate::kernels::dlt;
+use crate::layout::DltGeo;
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+
+/// Scalar update of DLT columns `[j0, j1)` across all lanes (mapped).
+///
+/// # Safety
+/// Standard row contracts; used for seam-adjacent column fragments.
+unsafe fn dlt_cols_scalar<S: Star1>(
+    src: *const f64,
+    dst: *mut f64,
+    geo: &DltGeo,
+    j0: usize,
+    j1: usize,
+    s: &S,
+) {
+    for lane in 0..geo.vl {
+        let base = lane * geo.cols;
+        dlt::star1_dlt_scalar(src, dst, base + j0, base + j1, geo, s);
+    }
+}
+
+/// One step of a 1D column tile `[j_lo, j_hi)` at absolute `time`:
+/// vector core over seam-free columns, scalar mapped access at the seam
+/// fringes.
+#[allow(clippy::too_many_arguments)]
+fn col_step1<S: Star1>(
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    geo: &DltGeo,
+    j_lo: usize,
+    j_hi: usize,
+    time: usize,
+    s: &S,
+) {
+    if j_lo >= j_hi {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    let r = S::R;
+    let v_lo = j_lo.max(r);
+    let v_hi = j_hi.min(geo.cols - r).max(v_lo);
+    unsafe {
+        dlt_cols_scalar(src, dst, geo, j_lo, v_lo.min(j_hi), s);
+        if v_lo < v_hi {
+            dispatch!(isa, V => dlt::star1_dlt_cols::<V, S>(src, dst, v_lo, v_hi, s));
+            dlt_cols_scalar(src, dst, geo, v_hi, j_hi, s);
+        } else {
+            dlt_cols_scalar(src, dst, geo, v_lo.max(j_lo).min(j_hi), j_hi, s);
+        }
+    }
+}
+
+/// One step of the seam tile at lane boundary `lam` (original cells around
+/// `lam·cols`, scalar via the index map); the rightmost seam also owns the
+/// natural tail strip, which advances every step.
+#[allow(clippy::too_many_arguments)]
+fn seam_step1<S: Star1>(
+    bufs: [SyncPtr; 2],
+    geo: &DltGeo,
+    n: usize,
+    lam: usize,
+    ss: usize,
+    time: usize,
+    s: &S,
+) {
+    let r = S::R;
+    let c = lam * geo.cols;
+    let reach = r * ss;
+    let lo = c.saturating_sub(reach);
+    let mut hi = (c + reach).min(n);
+    if lam == geo.vl {
+        hi = n; // tail strip advances every step
+    }
+    if lo >= hi {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe { dlt::star1_dlt_scalar(src, dst, lo, hi, geo, s) };
+}
+
+/// Step `t` levels of a 1D star stencil over pre-transformed DLT staging
+/// buffers under split tiling (column triangles of base `w = d.w`, chunk
+/// height `h`), on `pool`. The step-`t` result lands in `bufs[t % 2]`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive1<S: Star1>(
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    geo: &DltGeo,
+    n: usize,
+    d: &DimTiling,
+    t: usize,
+    h: usize,
+    s: &S,
+    pool: &rayon::ThreadPool,
+) {
+    let cols = geo.cols;
+    pool.install(|| {
+        let mut tau = 0usize;
+        while tau < t {
+            let hh = h.min(t - tau);
+            // Stage 1: column triangles (shrink at both ends — the ends
+            // are seams, not halo).
+            (0..d.ntri()).into_par_iter().for_each(|k| {
+                for ss in 0..hh {
+                    let (lo, hi) = d.tri(k, ss);
+                    col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
+                }
+            });
+            // Stage 2: interior inverted column tiles + per-lane seam
+            // tiles (+ tail strip on the rightmost seam).
+            let ninterior = d.ntri().saturating_sub(1);
+            let nseams = geo.vl + 1;
+            (0..ninterior + nseams).into_par_iter().for_each(|idx| {
+                if idx < ninterior {
+                    let bnd = idx + 1; // interior boundary c = bnd·w
+                    for ss in 0..hh {
+                        let lo = (bnd * d.w).saturating_sub(S::R * ss);
+                        let hi = (bnd * d.w + S::R * ss).min(cols);
+                        col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
+                    }
+                } else {
+                    let lam = idx - ninterior;
+                    for ss in 0..hh {
+                        seam_step1(bufs, geo, n, lam, ss, tau + ss, s);
+                    }
+                }
+            });
+            tau += hh;
+        }
+    });
+}
+
+macro_rules! drive2_impl {
+    ($name:ident, $bound:ident, $kernel:ident) => {
+        /// Step `t` levels of a 2D stencil over pre-transformed DLT
+        /// staging buffers under SDSL-style hybrid tiling: split tiling
+        /// over `y` (triangle base `d.w`, chunk height `h`), DLT rows
+        /// along `x`. The step-`t` result lands in `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            nx: usize,
+            d: &DimTiling,
+            t: usize,
+            h: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+        ) {
+            // Tile lists depend only on the tiling geometry — build once,
+            // hand the queue a copy per chunk (mirrors the tess drivers).
+            let stages = [Shape::all(d, false), Shape::all(d, true)];
+            pool.install(|| {
+                let mut tau = 0usize;
+                while tau < t {
+                    let hh = h.min(t - tau);
+                    for tiles in &stages {
+                        tiles.clone().into_par_iter().for_each(|shape| {
+                            for ss in 0..hh {
+                                let (y0, y1) = shape.range(d, ss);
+                                if y0 >= y1 {
+                                    continue;
+                                }
+                                let time = tau + ss;
+                                let src = bufs[time % 2].0 as *const f64;
+                                let dst = bufs[(time + 1) % 2].0;
+                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s));
+                            }
+                        });
+                    }
+                    tau += hh;
+                }
+            });
+        }
+    };
+}
+
+drive2_impl!(drive2_star, Star2, star2_dlt);
+drive2_impl!(drive2_box, Box2, box2_dlt);
+
+macro_rules! drive3_impl {
+    ($name:ident, $bound:ident, $kernel:ident) => {
+        /// Step `t` levels of a 3D stencil over pre-transformed DLT
+        /// staging buffers under SDSL-style hybrid tiling: split tiling
+        /// over `z`, DLT rows along `x`. The step-`t` result lands in
+        /// `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            ps: usize,
+            nx: usize,
+            ny: usize,
+            d: &DimTiling,
+            t: usize,
+            h: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+        ) {
+            // Tile lists depend only on the tiling geometry — build once,
+            // hand the queue a copy per chunk (mirrors the tess drivers).
+            let stages = [Shape::all(d, false), Shape::all(d, true)];
+            pool.install(|| {
+                let mut tau = 0usize;
+                while tau < t {
+                    let hh = h.min(t - tau);
+                    for tiles in &stages {
+                        tiles.clone().into_par_iter().for_each(|shape| {
+                            for ss in 0..hh {
+                                let (z0, z1) = shape.range(d, ss);
+                                if z0 >= z1 {
+                                    continue;
+                                }
+                                let time = tau + ss;
+                                let src = bufs[time % 2].0 as *const f64;
+                                let dst = bufs[(time + 1) % 2].0;
+                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s));
+                            }
+                        });
+                    }
+                    tau += hh;
+                }
+            });
+        }
+    };
+}
+
+drive3_impl!(drive3_star, Star3, star3_dlt);
+drive3_impl!(drive3_box, Box3, box3_dlt);

@@ -1,0 +1,515 @@
+//! Tessellate tiling drivers (Yuan et al., SC'17 — the framework the paper
+//! integrates with in §3.4), for 1/2/3 spatial dimensions, with
+//! rayon-parallel stage execution.
+//!
+//! Each time chunk of height `h` runs `d+1` stages: stage `m` executes all
+//! product tiles with exactly `m` inverted dimensions. Tiles within a
+//! stage write disjoint cells and read only cells finalized by earlier
+//! stages (or their own earlier steps), so a stage is a `par_iter` with no
+//! intra-stage synchronization; the stage boundary is the only barrier.
+//!
+//! Intra-tile vectorization is pluggable ([`Method`]): the paper's
+//! *Tessellation* baseline uses `MultiLoad` ("auto-vectorization"), *Our*
+//! uses `TransLayout`, and *Our (2 steps)* uses `TransLayout2`, whose 1D
+//! tiles fuse step pairs with the register pipeline
+//! ([`crate::kernels::tl2::star1_tl2_range`]) plus scalar margins for the
+//! shrinking/expanding boundary cells — the Fig. 5d treatment.
+//!
+//! These drivers are **parameterized by the plan**: they step pre-prepared
+//! ping-pong buffers (already in the method's layout, scratch already
+//! allocated) on a caller-owned thread pool. Layout round-trips, scratch
+//! allocation, and final parity swaps live in [`super`]'s `Plan`/`Session`
+//! engine, so none of them recur in a steady-state hot loop.
+
+use rayon::prelude::*;
+use stencil_simd::{dispatch, Isa};
+
+use super::tile::DimTiling;
+use crate::api::Method;
+use crate::kernels::{orig, scalar};
+use crate::layout::SetGeo;
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+
+/// Raw pointer that may cross threads; tile disjointness (see module docs)
+/// makes the concurrent accesses race-free.
+#[derive(Copy, Clone)]
+pub(crate) struct SyncPtr(pub *mut f64);
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+/// Build a worker pool for tiled execution (used by `Plan` construction).
+pub(crate) fn make_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("rayon pool")
+}
+
+/// One per-dimension shape instance.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Shape {
+    Tri(usize),
+    Inv(usize),
+}
+
+impl Shape {
+    #[inline]
+    pub(crate) fn range(self, d: &DimTiling, s: usize) -> (usize, usize) {
+        match self {
+            Shape::Tri(k) => d.tri(k, s),
+            Shape::Inv(b) => d.inv(b, s),
+        }
+    }
+
+    pub(crate) fn all(d: &DimTiling, inverted: bool) -> Vec<Shape> {
+        if inverted {
+            (0..d.ninv()).map(Shape::Inv).collect()
+        } else {
+            (0..d.ntri()).map(Shape::Tri).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1D
+// ---------------------------------------------------------------------------
+
+/// One intra-tile step of a 1D stencil at chunk step `ss` (absolute time
+/// `tau + ss`), on the method's layout.
+#[allow(clippy::too_many_arguments)]
+fn step1<S: Star1>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    n: usize,
+    lo: usize,
+    hi: usize,
+    time: usize,
+    s: &S,
+) {
+    if lo >= hi {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe {
+        match method {
+            Method::Scalar => scalar::star1_range(src, dst, lo, hi, s),
+            Method::MultiLoad => {
+                dispatch!(isa, V => orig::star1_orig::<V, S, false>(src, dst, lo, hi, s))
+            }
+            Method::Reorg => {
+                dispatch!(isa, V => orig::star1_orig::<V, S, true>(src, dst, lo, hi, s))
+            }
+            Method::TransLayout | Method::TransLayout2 => {
+                crate::kernels::isa_entry::star1_tl::<S>(isa, src, dst, n, lo, hi, s)
+            }
+            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
+        }
+    }
+}
+
+/// Fused pair of steps (ss, ss+1) for the 1D `TransLayout2` tiles:
+/// register pipeline over the interior sets, k=1 margins for the
+/// boundary cells of the shrinking/expanding tile.
+#[allow(clippy::too_many_arguments)]
+fn pair1<S: Star1>(
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    n: usize,
+    shape: Shape,
+    d: &DimTiling,
+    ss: usize,
+    tau: usize,
+    s: &S,
+) {
+    let (lo0, hi0) = shape.range(d, ss);
+    let (lo1, hi1) = shape.range(d, ss + 1);
+    let bs = isa.lanes() * isa.lanes();
+    let lo = lo0.max(lo1);
+    let hi = hi0.min(hi1).max(lo);
+    let sa = lo.div_ceil(bs);
+    let sb = (hi / bs).min(SetGeo::new(n, isa.lanes()).nsets);
+    if sb < sa + 2 {
+        // Tile fragment too small for the pipeline — two plain steps.
+        step1(Method::TransLayout2, isa, bufs, n, lo0, hi0, tau + ss, s);
+        step1(
+            Method::TransLayout2,
+            isa,
+            bufs,
+            n,
+            lo1,
+            hi1,
+            tau + ss + 1,
+            s,
+        );
+        return;
+    }
+    let (a, b) = (sa * bs, sb * bs);
+    let time = tau + ss;
+    let buf_a = bufs[time % 2].0;
+    let buf_b = bufs[(time + 1) % 2].0;
+
+    // step ss margins (t → t+1, written to the t+1 parity)
+    step1(Method::TransLayout2, isa, bufs, n, lo0, a, time, s);
+    step1(Method::TransLayout2, isa, bufs, n, b, hi0, time, s);
+    // fused interior (t → t+2 in parity A; boundary-set t+1 exported to B).
+    // Routed through the explicit #[target_feature] entry: the pipeline is
+    // too large for the dispatch! closure to inline reliably (DESIGN.md §5).
+    unsafe {
+        crate::kernels::isa_entry::star1_tl2_range::<S>(isa, buf_a, buf_b, n, sa, sb, s);
+    }
+    // step ss+1 margins (t+1 → t+2)
+    step1(Method::TransLayout2, isa, bufs, n, lo1, a, time + 1, s);
+    step1(Method::TransLayout2, isa, bufs, n, b, hi1, time + 1, s);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tile1<S: Star1>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    n: usize,
+    d: &DimTiling,
+    shape: Shape,
+    tau: usize,
+    hh: usize,
+    s: &S,
+) {
+    if method == Method::TransLayout2 {
+        let mut ss = 0;
+        while ss + 1 < hh {
+            pair1(isa, bufs, n, shape, d, ss, tau, s);
+            ss += 2;
+        }
+        if ss < hh {
+            let (lo, hi) = shape.range(d, ss);
+            step1(method, isa, bufs, n, lo, hi, tau + ss, s);
+        }
+    } else {
+        for ss in 0..hh {
+            let (lo, hi) = shape.range(d, ss);
+            step1(method, isa, bufs, n, lo, hi, tau + ss, s);
+        }
+    }
+}
+
+/// Step `t` levels of a 1D star stencil over pre-prepared ping-pong
+/// buffers under tessellate tiling (chunk height `h`), on `pool`.
+///
+/// `bufs[0]` holds the step-0 data; the step-`t` result lands in
+/// `bufs[t % 2]` — the caller owns the final parity swap.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive1<S: Star1>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    n: usize,
+    d: &DimTiling,
+    t: usize,
+    h: usize,
+    s: &S,
+    pool: &rayon::ThreadPool,
+) {
+    // The tile lists depend only on the tiling geometry, not on the time
+    // chunk — build them once and hand the queue a copy per chunk.
+    let triangles = Shape::all(d, false);
+    let inverted = Shape::all(d, true);
+    pool.install(|| {
+        let mut tau = 0usize;
+        while tau < t {
+            let hh = h.min(t - tau);
+            triangles.clone().into_par_iter().for_each(|shape| {
+                run_tile1(method, isa, bufs, n, d, shape, tau, hh, s);
+            });
+            inverted.clone().into_par_iter().for_each(|shape| {
+                run_tile1(method, isa, bufs, n, d, shape, tau, hh, s);
+            });
+            tau += hh;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// 2D
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn step2_star<S: Star2>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    rs: usize,
+    nx: usize,
+    yr: (usize, usize),
+    xr: (usize, usize),
+    time: usize,
+    s: &S,
+) {
+    let ((y0, y1), (x0, x1)) = (yr, xr);
+    if y0 >= y1 || x0 >= x1 {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe {
+        match method {
+            Method::Scalar => scalar::star2_range(src, dst, rs, y0, y1, x0, x1, s),
+            Method::MultiLoad => {
+                dispatch!(isa, V => orig::star2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
+            }
+            Method::Reorg => {
+                dispatch!(isa, V => orig::star2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
+            }
+            Method::TransLayout | Method::TransLayout2 => {
+                crate::kernels::isa_entry::star2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
+            }
+            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step2_box<S: Box2>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    rs: usize,
+    nx: usize,
+    yr: (usize, usize),
+    xr: (usize, usize),
+    time: usize,
+    s: &S,
+) {
+    let ((y0, y1), (x0, x1)) = (yr, xr);
+    if y0 >= y1 || x0 >= x1 {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe {
+        match method {
+            Method::Scalar => scalar::box2_range(src, dst, rs, y0, y1, x0, x1, s),
+            Method::MultiLoad => {
+                dispatch!(isa, V => orig::box2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
+            }
+            Method::Reorg => {
+                dispatch!(isa, V => orig::box2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
+            }
+            Method::TransLayout | Method::TransLayout2 => {
+                crate::kernels::isa_entry::box2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
+            }
+            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
+        }
+    }
+}
+
+macro_rules! drive2_impl {
+    ($name:ident, $bound:ident, $step:ident) => {
+        /// Step `t` levels of a 2D stencil over pre-prepared ping-pong
+        /// buffers under tessellate tiling. Stages execute product tiles
+        /// by inverted-dimension count: (tri,tri) → (inv,tri)+(tri,inv) →
+        /// (inv,inv). The step-`t` result lands in `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            method: Method,
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            nx: usize,
+            dx: &DimTiling,
+            dy: &DimTiling,
+            t: usize,
+            h: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+        ) {
+            // Per-stage product-tile lists depend only on the tiling
+            // geometry — build once, hand the queue a copy per chunk.
+            let stages: Vec<Vec<(Shape, Shape)>> = (0..3usize)
+                .map(|stage| {
+                    let mut tiles = Vec::new();
+                    for &ix in &[false, true] {
+                        for &iy in &[false, true] {
+                            if (ix as usize) + (iy as usize) != stage {
+                                continue;
+                            }
+                            for sx in Shape::all(dx, ix) {
+                                for sy in Shape::all(dy, iy) {
+                                    tiles.push((sx, sy));
+                                }
+                            }
+                        }
+                    }
+                    tiles
+                })
+                .collect();
+            pool.install(|| {
+                let mut tau = 0usize;
+                while tau < t {
+                    let hh = h.min(t - tau);
+                    for tiles in &stages {
+                        tiles.clone().into_par_iter().for_each(|(sx, sy)| {
+                            for ss in 0..hh {
+                                let xr = sx.range(dx, ss);
+                                let yr = sy.range(dy, ss);
+                                $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
+                            }
+                        });
+                    }
+                    tau += hh;
+                }
+            });
+        }
+    };
+}
+
+drive2_impl!(drive2_star, Star2, step2_star);
+drive2_impl!(drive2_box, Box2, step2_box);
+
+// ---------------------------------------------------------------------------
+// 3D
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn step3_star<S: Star3>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    zr: (usize, usize),
+    yr: (usize, usize),
+    xr: (usize, usize),
+    time: usize,
+    s: &S,
+) {
+    let ((z0, z1), (y0, y1), (x0, x1)) = (zr, yr, xr);
+    if z0 >= z1 || y0 >= y1 || x0 >= x1 {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe {
+        match method {
+            Method::Scalar => scalar::star3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
+            Method::MultiLoad => {
+                dispatch!(isa, V => orig::star3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+            }
+            Method::Reorg => {
+                dispatch!(isa, V => orig::star3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+            }
+            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::star3_tl::<S>(
+                isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
+            ),
+            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step3_box<S: Box3>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    zr: (usize, usize),
+    yr: (usize, usize),
+    xr: (usize, usize),
+    time: usize,
+    s: &S,
+) {
+    let ((z0, z1), (y0, y1), (x0, x1)) = (zr, yr, xr);
+    if z0 >= z1 || y0 >= y1 || x0 >= x1 {
+        return;
+    }
+    let src = bufs[time % 2].0 as *const f64;
+    let dst = bufs[(time + 1) % 2].0;
+    unsafe {
+        match method {
+            Method::Scalar => scalar::box3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
+            Method::MultiLoad => {
+                dispatch!(isa, V => orig::box3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+            }
+            Method::Reorg => {
+                dispatch!(isa, V => orig::box3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+            }
+            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::box3_tl::<S>(
+                isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
+            ),
+            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
+        }
+    }
+}
+
+macro_rules! drive3_impl {
+    ($name:ident, $bound:ident, $step:ident) => {
+        /// Step `t` levels of a 3D stencil over pre-prepared ping-pong
+        /// buffers under tessellate tiling (4 stages by inverted-dimension
+        /// count). The step-`t` result lands in `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            method: Method,
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            ps: usize,
+            nx: usize,
+            dx: &DimTiling,
+            dy: &DimTiling,
+            dz: &DimTiling,
+            t: usize,
+            h: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+        ) {
+            // Per-stage product-tile lists depend only on the tiling
+            // geometry — build once, hand the queue a copy per chunk.
+            let stages: Vec<Vec<(Shape, Shape, Shape)>> = (0..4usize)
+                .map(|stage| {
+                    let mut tiles = Vec::new();
+                    for &ix in &[false, true] {
+                        for &iy in &[false, true] {
+                            for &iz in &[false, true] {
+                                if (ix as usize) + (iy as usize) + (iz as usize) != stage {
+                                    continue;
+                                }
+                                for sx in Shape::all(dx, ix) {
+                                    for sy in Shape::all(dy, iy) {
+                                        for sz in Shape::all(dz, iz) {
+                                            tiles.push((sx, sy, sz));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tiles
+                })
+                .collect();
+            pool.install(|| {
+                let mut tau = 0usize;
+                while tau < t {
+                    let hh = h.min(t - tau);
+                    for tiles in &stages {
+                        tiles.clone().into_par_iter().for_each(|(sx, sy, sz)| {
+                            for ss in 0..hh {
+                                let xr = sx.range(dx, ss);
+                                let yr = sy.range(dy, ss);
+                                let zr = sz.range(dz, ss);
+                                $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
+                            }
+                        });
+                    }
+                    tau += hh;
+                }
+            });
+        }
+    };
+}
+
+drive3_impl!(drive3_star, Star3, step3_star);
+drive3_impl!(drive3_box, Box3, step3_box);

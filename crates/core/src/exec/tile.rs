@@ -191,7 +191,10 @@ mod tests {
                 // halo-backed edges extend the legal read range by r
                 let legal_lo = if plo == 0 { 0 } else { plo + d.r };
                 let legal_hi = if phi == d.n { d.n } else { phi - d.r };
-                assert!(lo >= legal_lo && hi <= legal_hi.max(legal_lo), "k={k} s={s}");
+                assert!(
+                    lo >= legal_lo && hi <= legal_hi.max(legal_lo),
+                    "k={k} s={s}"
+                );
             }
         }
     }

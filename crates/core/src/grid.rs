@@ -21,7 +21,7 @@ pub const HALO_PAD: usize = 8;
 
 #[inline]
 fn round_up8(x: usize) -> usize {
-    (x + 7) / 8 * 8
+    x.div_ceil(8) * 8
 }
 
 /// 1D grid: `n` interior points plus constant halos.
@@ -73,7 +73,10 @@ impl Grid1 {
     #[inline]
     pub fn get(&self, i: isize) -> f64 {
         let idx = HALO_PAD as isize + i;
-        assert!(idx >= 0 && (idx as usize) < self.buf.len(), "index {i} out of range");
+        assert!(
+            idx >= 0 && (idx as usize) < self.buf.len(),
+            "index {i} out of range"
+        );
         self.buf[idx as usize]
     }
 
@@ -81,7 +84,10 @@ impl Grid1 {
     #[inline]
     pub fn set(&mut self, i: isize, v: f64) {
         let idx = HALO_PAD as isize + i;
-        assert!(idx >= 0 && (idx as usize) < self.buf.len(), "index {i} out of range");
+        assert!(
+            idx >= 0 && (idx as usize) < self.buf.len(),
+            "index {i} out of range"
+        );
         self.buf[idx as usize] = v;
     }
 
@@ -95,6 +101,13 @@ impl Grid1 {
     #[inline]
     pub fn interior_mut(&mut self) -> &mut [f64] {
         &mut self.buf[HALO_PAD..HALO_PAD + self.n]
+    }
+
+    /// Overwrite every cell (halos included) with `src`'s, without
+    /// reallocating. Panics if the geometries differ.
+    pub fn copy_from(&mut self, src: &Grid1) {
+        assert_eq!(self.n, src.n, "Grid1::copy_from geometry mismatch");
+        self.buf.copy_from(&src.buf);
     }
 }
 
@@ -119,7 +132,13 @@ impl Grid2 {
         let rows = ny + 2 * ry;
         let mut buf = AlignedBuf::zeroed(rs * rows);
         buf.fill(fill);
-        Grid2 { buf, nx, ny, ry, rs }
+        Grid2 {
+            buf,
+            nx,
+            ny,
+            ry,
+            rs,
+        }
     }
 
     /// Create with interior `f(y, x)` and halo value `halo`.
@@ -180,7 +199,10 @@ impl Grid2 {
     fn idx(&self, y: isize, x: isize) -> usize {
         let iy = self.ry as isize + y;
         let ix = HALO_PAD as isize + x;
-        assert!(iy >= 0 && (iy as usize) < self.ny + 2 * self.ry, "y={y} out of range");
+        assert!(
+            iy >= 0 && (iy as usize) < self.ny + 2 * self.ry,
+            "y={y} out of range"
+        );
         assert!(ix >= 0 && (ix as usize) < self.rs, "x={x} out of range");
         iy as usize * self.rs + ix as usize
     }
@@ -204,6 +226,17 @@ impl Grid2 {
     pub fn row(&self, y: usize) -> &[f64] {
         let start = (self.ry + y) * self.rs + HALO_PAD;
         &self.buf[start..start + self.nx]
+    }
+
+    /// Overwrite every cell (halos included) with `src`'s, without
+    /// reallocating. Panics if the geometries differ.
+    pub fn copy_from(&mut self, src: &Grid2) {
+        assert_eq!(
+            (self.nx, self.ny, self.ry),
+            (src.nx, src.ny, src.ry),
+            "Grid2::copy_from geometry mismatch"
+        );
+        self.buf.copy_from(&src.buf);
     }
 }
 
@@ -229,7 +262,15 @@ impl Grid3 {
         let ps = rs * (ny + 2 * r);
         let mut buf = AlignedBuf::zeroed(ps * (nz + 2 * r));
         buf.fill(fill);
-        Grid3 { buf, nx, ny, nz, r, rs, ps }
+        Grid3 {
+            buf,
+            nx,
+            ny,
+            nz,
+            r,
+            rs,
+            ps,
+        }
     }
 
     /// Create with interior `f(z, y, x)` and halo value `halo`.
@@ -314,8 +355,14 @@ impl Grid3 {
         let iz = self.r as isize + z;
         let iy = self.r as isize + y;
         let ix = HALO_PAD as isize + x;
-        assert!(iz >= 0 && (iz as usize) < self.nz + 2 * self.r, "z={z} out of range");
-        assert!(iy >= 0 && (iy as usize) < self.ny + 2 * self.r, "y={y} out of range");
+        assert!(
+            iz >= 0 && (iz as usize) < self.nz + 2 * self.r,
+            "z={z} out of range"
+        );
+        assert!(
+            iy >= 0 && (iy as usize) < self.ny + 2 * self.r,
+            "y={y} out of range"
+        );
         assert!(ix >= 0 && (ix as usize) < self.rs, "x={x} out of range");
         iz as usize * self.ps + iy as usize * self.rs + ix as usize
     }
@@ -331,6 +378,17 @@ impl Grid3 {
     pub fn set(&mut self, z: isize, y: isize, x: isize, v: f64) {
         let i = self.idx(z, y, x);
         self.buf[i] = v;
+    }
+
+    /// Overwrite every cell (halos included) with `src`'s, without
+    /// reallocating. Panics if the geometries differ.
+    pub fn copy_from(&mut self, src: &Grid3) {
+        assert_eq!(
+            (self.nx, self.ny, self.nz, self.r),
+            (src.nx, src.ny, src.nz, src.r),
+            "Grid3::copy_from geometry mismatch"
+        );
+        self.buf.copy_from(&src.buf);
     }
 }
 

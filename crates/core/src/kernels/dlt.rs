@@ -74,12 +74,7 @@ pub unsafe fn star1_dlt_cols<V: SimdF64, S: Star1>(
 /// # Safety
 /// Row pointers valid with halos.
 #[inline(always)]
-unsafe fn star1_dlt_seams<S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
-    geo: &DltGeo,
-    s: &S,
-) {
+unsafe fn star1_dlt_seams<S: Star1>(src: *const f64, dst: *mut f64, geo: &DltGeo, s: &S) {
     let r = S::R;
     let cols = geo.cols;
     for lane in 0..geo.vl {
@@ -167,8 +162,8 @@ pub unsafe fn star2_dlt<V: SimdF64, S: Star2>(
                 acc = V::load(c.offset(off)).mul_add(wxv[o], acc);
             }
             for dd in 1..=r {
-                acc = V::load(c.offset(base as isize - (dd * rs) as isize))
-                    .mul_add(wyv[r - dd], acc);
+                acc =
+                    V::load(c.offset(base as isize - (dd * rs) as isize)).mul_add(wyv[r - dd], acc);
                 acc = V::load(c.add(base + dd * rs)).mul_add(wyv[r + dd], acc);
             }
             acc.store(d.add(base));

@@ -93,17 +93,17 @@ pub unsafe fn acc_star3<S: Star3>(
     }
     for d in 1..=S::R {
         let di = d as isize;
-        acc = (*src.offset(z * ps as isize + (y - di) * rs as isize + x))
-            .mul_add(wy[S::R - d], acc);
-        acc = (*src.offset(z * ps as isize + (y + di) * rs as isize + x))
-            .mul_add(wy[S::R + d], acc);
+        acc =
+            (*src.offset(z * ps as isize + (y - di) * rs as isize + x)).mul_add(wy[S::R - d], acc);
+        acc =
+            (*src.offset(z * ps as isize + (y + di) * rs as isize + x)).mul_add(wy[S::R + d], acc);
     }
     for d in 1..=S::R {
         let di = d as isize;
-        acc = (*src.offset((z - di) * ps as isize + y * rs as isize + x))
-            .mul_add(wz[S::R - d], acc);
-        acc = (*src.offset((z + di) * ps as isize + y * rs as isize + x))
-            .mul_add(wz[S::R + d], acc);
+        acc =
+            (*src.offset((z - di) * ps as isize + y * rs as isize + x)).mul_add(wz[S::R - d], acc);
+        acc =
+            (*src.offset((z + di) * ps as isize + y * rs as isize + x)).mul_add(wz[S::R + d], acc);
     }
     acc
 }
@@ -157,6 +157,7 @@ pub unsafe fn star1_range<S: Star1>(src: *const f64, dst: *mut f64, lo: usize, h
 ///
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn star2_range<S: Star2>(
     src: *const f64,
     dst: *mut f64,
@@ -178,6 +179,7 @@ pub unsafe fn star2_range<S: Star2>(
 ///
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn box2_range<S: Box2>(
     src: *const f64,
     dst: *mut f64,
@@ -275,7 +277,9 @@ mod tests {
     fn star1_r2_reaches_two_cells() {
         let g = Grid1::from_fn(6, 0.0, |i| (i + 1) as f64);
         let mut out = Grid1::filled(6, 0.0);
-        let s = S1d5p { w: [1.0, 0.0, 0.0, 0.0, 1.0] };
+        let s = S1d5p {
+            w: [1.0, 0.0, 0.0, 0.0, 1.0],
+        };
         unsafe { star1_range(g.ptr(), out.ptr_mut(), 0, 6, &s) };
         // out[i] = in[i-2] + in[i+2]
         assert_eq!(out.get(2), 1.0 + 5.0);

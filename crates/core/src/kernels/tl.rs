@@ -389,8 +389,7 @@ pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
             let pl = prev_last_of::<V>(*row, set, r);
             let nf = next_first_of::<V>(*row, set, geo.nsets, r);
             for o in 1..=r {
-                left[k][o - 1] =
-                    V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
+                left[k][o - 1] = V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
                 right[k][o - 1] =
                     V::assemble_right(V::load(row.add(base + (o - 1) * l)), nf[o - 1]);
             }
@@ -560,7 +559,18 @@ pub unsafe fn star3_tl<V: SimdF64, S: Star3>(
             let c = src.add(z * ps + y * rs);
             let (ym, yp) = row_nbrs::<MAX_R>(c, rs, S::R);
             let (zm, zp) = row_nbrs::<MAX_R>(c, ps, S::R);
-            star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, dst.add(z * ps + y * rs), nx, x0, x1, s);
+            star3_row_tl::<V, S>(
+                c,
+                &ym,
+                &yp,
+                &zm,
+                &zp,
+                dst.add(z * ps + y * rs),
+                nx,
+                x0,
+                x1,
+                s,
+            );
         }
     }
 }
@@ -628,8 +638,7 @@ pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
             let pl = prev_last_of::<V>(*row, set, r);
             let nf = next_first_of::<V>(*row, set, geo.nsets, r);
             for o in 1..=r {
-                left[k][o - 1] =
-                    V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
+                left[k][o - 1] = V::assemble_left(pl[r - o], V::load(row.add(base + (l - o) * l)));
                 right[k][o - 1] =
                     V::assemble_right(V::load(row.add(base + (o - 1) * l)), nf[o - 1]);
             }

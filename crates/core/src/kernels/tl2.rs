@@ -23,7 +23,9 @@
 use stencil_simd::SimdF64;
 
 use super::orig::splat_w;
-use super::tl::{box2_row_tl, box3_row_tl, box3_rows, row_nbrs, star2_row_tl, star3_row_tl, xpart_set};
+use super::tl::{
+    box2_row_tl, box3_row_tl, box3_rows, row_nbrs, star2_row_tl, star3_row_tl, xpart_set,
+};
 use crate::grid::HALO_PAD;
 use crate::layout::{tl_read, SetGeo};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
@@ -51,9 +53,7 @@ unsafe fn store_set<V: SimdF64>(row: *mut f64, set: usize, v: &[V; 8]) {
 #[inline(always)]
 fn first_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
     let mut f = [v[0]; MAX_R];
-    for q in 0..r {
-        f[q] = v[q];
-    }
+    f[..r].copy_from_slice(&v[..r]);
     f
 }
 
@@ -180,7 +180,11 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
     // Set nsets-1 → t+2 (right deps @ t+1 from the tail scratch / halo).
     let mut rt_t1 = [V::splat(0.0); MAX_R];
     for q in 0..r {
-        rt_t1[q] = V::splat(if q < tail_len { tail_t1[q] } else { *cbuf.add(ts + q) });
+        rt_t1[q] = V::splat(if q < tail_len {
+            tail_t1[q]
+        } else {
+            *cbuf.add(ts + q)
+        });
     }
     update_set(&mut vs2, &vrl1_new, &rt_t1, &wv, r);
     store_set(buf, nsets - 1, &vs2);
@@ -189,9 +193,7 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
     if tail_len > 0 {
         let mut ext_t1 = [0.0f64; 80];
         ext_t1[..r].copy_from_slice(&left_t1[..r]);
-        for i in 0..tail_len {
-            ext_t1[r + i] = tail_t1[i];
-        }
+        ext_t1[r..r + tail_len].copy_from_slice(&tail_t1[..tail_len]);
         for q in 0..r {
             ext_t1[r + tail_len + q] = *cbuf.add(n + q); // halo, constant
         }

@@ -166,7 +166,12 @@ impl DltGeo {
     /// Geometry of a row of `n` cells at vector length `vl`.
     pub fn new(n: usize, vl: usize) -> Self {
         let cols = n / vl;
-        DltGeo { vl, cols, region: cols * vl, n }
+        DltGeo {
+            vl,
+            cols,
+            region: cols * vl,
+            n,
+        }
     }
 
     /// Storage index of logical cell `i` in the DLT layout.
@@ -331,7 +336,10 @@ pub fn dlt_grid1(src: &Grid1, dst: &mut Grid1, isa: Isa, inverse: bool) {
 
 /// DLT-transform (or invert) every row of a 2D grid, halo rows included.
 pub fn dlt_grid2(src: &Grid2, dst: &mut Grid2, isa: Isa, inverse: bool) {
-    assert_eq!((src.nx(), src.ny(), src.ry()), (dst.nx(), dst.ny(), dst.ry()));
+    assert_eq!(
+        (src.nx(), src.ny(), src.ry()),
+        (dst.nx(), dst.ny(), dst.ry())
+    );
     let (nx, ny, ry, rs) = (src.nx(), src.ny(), src.ry(), src.row_stride());
     let (sp, dp) = (src.ptr(), dst.ptr_mut());
     dispatch!(isa, V => {

@@ -9,18 +9,29 @@
 //!
 //! ## Quick start
 //!
+//! Build a [`Plan`](exec::Plan) once, run it many times — buffers and
+//! layout transforms are amortized across calls:
+//!
 //! ```
-//! use stencil_core::{run1_star1, Grid1, Method, S1d3p};
+//! use stencil_core::exec::{Plan, Shape};
+//! use stencil_core::{Grid1, Method, S1d3p};
 //! use stencil_simd::Isa;
 //!
-//! let isa = Isa::detect_best();
-//! let mut grid = Grid1::from_fn(4096, 0.0, |i| if i == 2048 { 1.0 } else { 0.0 });
-//! run1_star1(Method::TransLayout2, isa, &mut grid, &S1d3p::heat(), 100);
+//! let n = 4096;
+//! let mut plan = Plan::new(Shape::d1(n))
+//!     .method(Method::TransLayout2)
+//!     .isa(Isa::detect_best())
+//!     .star1(S1d3p::heat())
+//!     .unwrap();
+//! let mut grid = Grid1::from_fn(n, 0.0, |i| if i == 2048 { 1.0 } else { 0.0 });
+//! plan.run(&mut grid, 100);
 //! assert!(grid.get(2048) > 0.0);
 //! ```
 //!
-//! See [`api`] for the method matrix, [`layout`] for the data layouts, and
-//! [`kernels`] for the per-scheme implementations.
+//! See [`exec`] for the plan engine (including layout-resident sessions
+//! and temporal tiling), [`api`] for the legacy per-call entry points,
+//! [`layout`] for the data layouts, and [`kernels`] for the per-scheme
+//! implementations.
 
 #![warn(missing_docs)]
 // Index-based loops in the kernels are deliberate: the index arithmetic
@@ -29,6 +40,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod api;
+pub mod exec;
 pub mod grid;
 pub mod kernels;
 pub mod layout;
@@ -36,6 +48,7 @@ pub mod stencil;
 pub mod verify;
 
 pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, Method};
+pub use exec::{Plan, PlanError, Shape, Tiling};
 pub use grid::{Grid1, Grid2, Grid3, HALO_PAD};
 pub use layout::{DltGeo, SetGeo};
 pub use stencil::{

@@ -273,7 +273,9 @@ impl Box3 for S3d27p {
 impl S3d27p {
     /// Uniform 3×3×3 box blur.
     pub fn blur() -> Self {
-        S3d27p { w: [1.0 / 27.0; 27] }
+        S3d27p {
+            w: [1.0 / 27.0; 27],
+        }
     }
 }
 
@@ -300,8 +302,7 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-15);
         assert!((S2d9p::blur().w.iter().sum::<f64>() - 1.0).abs() < 1e-15);
         let s = S3d7p::heat();
-        let total: f64 =
-            s.wx.iter().sum::<f64>() + s.wy[0] + s.wy[2] + s.wz[0] + s.wz[2];
+        let total: f64 = s.wx.iter().sum::<f64>() + s.wy[0] + s.wy[2] + s.wz[0] + s.wz[2];
         assert!((total - 1.0).abs() < 1e-12);
         assert!((S3d27p::blur().w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }

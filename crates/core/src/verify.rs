@@ -27,10 +27,7 @@ pub fn max_abs_diff2(a: &Grid2, b: &Grid2) -> f64 {
 
 /// Maximum absolute difference over the interiors of two 3D grids.
 pub fn max_abs_diff3(a: &Grid3, b: &Grid3) -> f64 {
-    assert_eq!(
-        (a.nx(), a.ny(), a.nz()),
-        (b.nx(), b.ny(), b.nz())
-    );
+    assert_eq!((a.nx(), a.ny(), a.nz()), (b.nx(), b.ny(), b.nz()));
     let mut m = 0.0f64;
     for z in 0..a.nz() {
         for y in 0..a.ny() {

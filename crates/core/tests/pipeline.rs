@@ -7,7 +7,9 @@ use rand::{Rng, SeedableRng};
 use stencil_core::kernels::{scalar, tl, tl2};
 use stencil_core::layout::{tl_grid1, SetGeo};
 use stencil_core::verify::max_abs_diff1;
-use stencil_core::{run1_star1, run2_box, run3_star, Grid1, Grid2, Grid3, Method, S1d3p, S1d5p, S2d9p, S3d7p};
+use stencil_core::{
+    run1_star1, run2_box, run3_star, Grid1, Grid2, Grid3, Method, S1d3p, S1d5p, S2d9p, S3d7p,
+};
 use stencil_simd::{dispatch, Isa};
 
 fn isas() -> Vec<Isa> {
@@ -27,7 +29,9 @@ fn pipeline_minimum_geometries() {
     for isa in isas() {
         let bs = isa.lanes() * isa.lanes();
         for n in [2 * bs, 2 * bs + 1, 2 * bs + isa.lanes(), 3 * bs - 1] {
-            let s1 = S1d3p { w: [0.3, 0.4, 0.29] };
+            let s1 = S1d3p {
+                w: [0.3, 0.4, 0.29],
+            };
             let init = grid1(n, n as u64);
             let mut a = init.clone();
             run1_star1(Method::Scalar, isa, &mut a, &s1, 2);
@@ -35,7 +39,9 @@ fn pipeline_minimum_geometries() {
             run1_star1(Method::TransLayout2, isa, &mut b, &s1, 2);
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/n={n}/r1");
 
-            let s2 = S1d5p { w: [0.05, 0.2, 0.45, 0.22, 0.06] };
+            let s2 = S1d5p {
+                w: [0.05, 0.2, 0.45, 0.22, 0.06],
+            };
             let mut a = init.clone();
             run1_star1(Method::Scalar, isa, &mut a, &s2, 2);
             let mut b = init.clone();
@@ -66,7 +72,9 @@ fn pipeline_fallback_below_two_sets() {
 /// over the same window, including the t+1 exports of its first/last sets.
 #[test]
 fn range_pipeline_matches_two_k1_steps() {
-    let s = S1d3p { w: [0.25, 0.5, 0.24] };
+    let s = S1d3p {
+        w: [0.25, 0.5, 0.24],
+    };
     for isa in isas() {
         let l = isa.lanes();
         let bs = l * l;
@@ -124,11 +132,7 @@ fn ring_pipelines_thin_grids() {
         run2_box(Method::Scalar, isa, &mut a, &s, 4);
         let mut b = init.clone();
         run2_box(Method::TransLayout2, isa, &mut b, &s, 4);
-        assert_eq!(
-            stencil_core::verify::max_abs_diff2(&a, &b),
-            0.0,
-            "ny={ny}"
-        );
+        assert_eq!(stencil_core::verify::max_abs_diff2(&a, &b), 0.0, "ny={ny}");
     }
     let s3 = S3d7p::heat();
     for nz in [1usize, 2] {
@@ -138,11 +142,7 @@ fn ring_pipelines_thin_grids() {
         run3_star(Method::Scalar, isa, &mut a, &s3, 4);
         let mut b = init.clone();
         run3_star(Method::TransLayout2, isa, &mut b, &s3, 4);
-        assert_eq!(
-            stencil_core::verify::max_abs_diff3(&a, &b),
-            0.0,
-            "nz={nz}"
-        );
+        assert_eq!(stencil_core::verify::max_abs_diff3(&a, &b), 0.0, "nz={nz}");
     }
 }
 
@@ -191,13 +191,20 @@ fn pipeline_weight_stress() {
 /// kernel restricted to the same cells (everything else untouched).
 #[test]
 fn tl_subrange_updates_exactly_the_requested_cells() {
-    let s = S1d3p { w: [0.2, 0.5, 0.28] };
+    let s = S1d3p {
+        w: [0.2, 0.5, 0.28],
+    };
     for isa in isas() {
         let n = 5 * isa.lanes() * isa.lanes() + 11;
         let mut src = grid1(n, 3);
         tl_grid1(&mut src, isa);
         let geo = SetGeo::new(n, isa.lanes());
-        for (lo, hi) in [(0usize, n), (7, n - 3), (geo.bs, 3 * geo.bs), (1, geo.bs - 1)] {
+        for (lo, hi) in [
+            (0usize, n),
+            (7, n - 3),
+            (geo.bs, 3 * geo.bs),
+            (1, geo.bs - 1),
+        ] {
             let mut dst = Grid1::filled(n, -9.0);
             let (sp, dp) = (src.ptr(), dst.ptr_mut());
             dispatch!(isa, V => tl::star1_tl::<V, S1d3p>(sp, dp, n, lo, hi, &s));

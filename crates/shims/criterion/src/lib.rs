@@ -1,0 +1,299 @@
+//! Minimal, std-only stand-in for the subset of the `criterion` API this
+//! workspace uses: benchmark groups, per-group throughput and sample
+//! counts, `bench_function`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! The build environment has no access to crates.io. This shim keeps
+//! `cargo bench` working end to end: each benchmark is warmed up, then
+//! timed for `sample_size` samples (each sample auto-scaled to a batch of
+//! iterations long enough to measure), and the median per-iteration time
+//! plus derived throughput are printed. No statistics beyond min/median,
+//! no HTML reports.
+//!
+//! Set `CRITERION_SAVE_JSON=<path>` to additionally append one JSON line
+//! per benchmark (`{"group":..,"bench":..,"median_ns":..,"elems_per_sec":..}`)
+//! so harnesses can persist results.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            batch: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up, and discover a batch size that takes ≳ 200 µs so timer
+        // resolution is irrelevant.
+        let warm_deadline = Instant::now() + self.criterion.warm_up;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_micros(200) || b.batch >= 1 << 20 {
+                if Instant::now() >= warm_deadline {
+                    break;
+                }
+            } else {
+                b.batch *= 2;
+            }
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        let budget = Instant::now() + self.criterion.measurement;
+        for _ in 0..samples {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / b.batch as f64);
+            if Instant::now() >= budget {
+                break;
+            }
+        }
+        per_iter.sort_by(|x, y| x.total_cmp(y));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+
+        let mut line = format!(
+            "{:<40} median {:>12}  (min {})",
+            id,
+            fmt_time(median),
+            fmt_time(min)
+        );
+        let mut elems_per_sec = None;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median;
+                elems_per_sec = Some(rate);
+                line.push_str(&format!("  {:>12} elem/s", fmt_rate(rate)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!("  {:>12}B/s", fmt_rate(n as f64 / median)));
+            }
+            None => {}
+        }
+        println!("{line}");
+        save_json_line(&self.name, &id, median, elems_per_sec);
+        self
+    }
+
+    /// End the group (purely cosmetic in the shim).
+    pub fn finish(&mut self) {}
+}
+
+fn save_json_line(group: &str, id: &str, median_s: f64, elems_per_sec: Option<f64>) {
+    let Ok(path) = std::env::var("CRITERION_SAVE_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1}",
+        group.escape_default(),
+        id.escape_default(),
+        median_s * 1e9
+    );
+    if let Some(r) = elems_per_sec {
+        line.push_str(&format!(",\"elems_per_sec\":{r:.1}"));
+    }
+    line.push('}');
+    if let Ok(mut fh) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(fh, "{line}");
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `batch` iterations of `f` (the batch size is chosen by the
+    /// harness during warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Mirror of `criterion_group!` — both the plain and the
+/// `name = ..; config = ..; targets = ..` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formatting_is_sane() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-5).contains("µs"));
+        assert!(fmt_time(5e-2).contains("ms"));
+        assert!(fmt_rate(2e9).contains('G'));
+    }
+}

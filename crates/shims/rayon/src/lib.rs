@@ -1,0 +1,249 @@
+//! Minimal, std-only stand-in for the subset of the `rayon` API this
+//! workspace uses: `ThreadPoolBuilder` → `ThreadPool::install`, and
+//! `into_par_iter().for_each(..)` over ranges and vectors.
+//!
+//! The build environment has no access to crates.io, so this local path
+//! dependency keeps the tiling substrate genuinely parallel (scoped OS
+//! threads pulling work items off a shared queue) without the real crate.
+//! Semantics relied upon by the workspace and preserved here:
+//!
+//! * `pool.install(f)` runs `f` with the pool's thread count governing any
+//!   `for_each` issued inside it;
+//! * `for_each` returns only after every item has been processed (a stage
+//!   barrier);
+//! * with one thread, items run on the calling thread in order, so serial
+//!   and parallel runs of disjoint-tile stages are bitwise identical.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (construction here
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = number of available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A "pool" carrying a worker count; workers are spawned per `for_each`
+/// as scoped threads (coarse-grained tile work amortizes the spawn cost).
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads `for_each` will use inside `install`.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's thread count governing parallel iterators
+    /// invoked inside it. The previous count is restored even if `f`
+    /// panics (drop guard), so a caught panic cannot leak this pool's
+    /// configuration into later `for_each` calls.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            Restore(prev)
+        });
+        f()
+    }
+}
+
+fn installed_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Mirror of `rayon::iter::ParallelIterator` (the one method used here).
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consume the iterator, applying `f` to every item; returns when all
+    /// items are done.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting parallel iterator.
+    type Item: Send;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an exact-size list of items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let nitems = self.items.len();
+        let workers = installed_threads().min(nitems).max(1);
+        if workers <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        // Index-free work queue: each worker repeatedly locks the shared
+        // iterator for the next item. Tiles are coarse, so contention is
+        // negligible; order within a stage is irrelevant (disjoint writes).
+        let queue = Mutex::new(self.items.into_iter());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Bind before matching so the guard drops before f runs.
+                    let item = queue.lock().unwrap().next();
+                    let Some(x) = item else { break };
+                    f(x);
+                });
+            }
+        });
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn writes_to_disjoint_slots_all_land() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let n = 257usize;
+        let slots: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            (0..n).into_par_iter().for_each(|i| {
+                slots[i].store(i + 1, Ordering::Relaxed);
+            });
+        });
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), i + 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_in_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let order = Mutex::new(Vec::new());
+        pool.install(|| {
+            vec![3usize, 1, 4, 1, 5].into_par_iter().for_each(|x| {
+                order.lock().unwrap().push(x);
+            });
+        });
+        assert_eq!(*order.lock().unwrap(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(installed_threads(), 3));
+    }
+}

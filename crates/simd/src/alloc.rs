@@ -28,7 +28,7 @@ impl AlignedBuf {
         // Round the byte size up to a multiple of ALIGN so reallocation-free
         // full-cache-line stores at the tail stay in bounds of the layout.
         let bytes = len.max(1) * std::mem::size_of::<f64>();
-        let bytes = (bytes + ALIGN - 1) / ALIGN * ALIGN;
+        let bytes = bytes.div_ceil(ALIGN) * ALIGN;
         Layout::from_size_align(bytes, ALIGN).expect("invalid layout")
     }
 
@@ -91,6 +91,13 @@ impl AlignedBuf {
     /// Fill with a constant.
     pub fn fill(&mut self, x: f64) {
         self.as_mut_slice().fill(x);
+    }
+
+    /// Overwrite the contents with `src`'s, without reallocating.
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, src: &AlignedBuf) {
+        assert_eq!(self.len, src.len, "AlignedBuf::copy_from length mismatch");
+        self.as_mut_slice().copy_from_slice(src.as_slice());
     }
 }
 

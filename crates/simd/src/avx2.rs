@@ -116,7 +116,7 @@ impl SimdF64 for F64x4 {
         let t1 = _mm256_permute2f128_pd(r1, r3, 0x20); // (b0,b1,d0,d1)
         let t2 = _mm256_permute2f128_pd(r0, r2, 0x31); // (a2,a3,c2,c3)
         let t3 = _mm256_permute2f128_pd(r1, r3, 0x31); // (b2,b3,d2,d3)
-        // Stage 2: in-lane unpacks (latency 1) finish while stage 1 drains.
+                                                       // Stage 2: in-lane unpacks (latency 1) finish while stage 1 drains.
         m[0] = F64x4(_mm256_unpacklo_pd(t0, t1)); // (a0,b0,c0,d0)
         m[1] = F64x4(_mm256_unpackhi_pd(t0, t1)); // (a1,b1,c1,d1)
         m[2] = F64x4(_mm256_unpacklo_pd(t2, t3)); // (a2,b2,c2,d2)

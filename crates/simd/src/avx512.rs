@@ -115,8 +115,8 @@ impl SimdF64 for F64x8 {
         let s5 = _mm512_shuffle_f64x2(r[5], r[7], 0x44); // rows 5,7 cols 0-3
         let s6 = _mm512_shuffle_f64x2(r[4], r[6], 0xEE); // rows 4,6 cols 4-7
         let s7 = _mm512_shuffle_f64x2(r[5], r[7], 0xEE); // rows 5,7 cols 4-7
-        // Stage 2 (lane-crossing, distance 4): imm 0x88 picks 128-bit chunks
-        // 0,2 of each source; 0xDD picks chunks 1,3.
+                                                         // Stage 2 (lane-crossing, distance 4): imm 0x88 picks 128-bit chunks
+                                                         // 0,2 of each source; 0xDD picks chunks 1,3.
         let u0 = _mm512_shuffle_f64x2(s0, s4, 0x88); // even rows, cols 0,1
         let u1 = _mm512_shuffle_f64x2(s1, s5, 0x88); // odd rows,  cols 0,1
         let u2 = _mm512_shuffle_f64x2(s0, s4, 0xDD); // even rows, cols 2,3
@@ -125,7 +125,7 @@ impl SimdF64 for F64x8 {
         let u5 = _mm512_shuffle_f64x2(s3, s7, 0x88); // odd rows,  cols 4,5
         let u6 = _mm512_shuffle_f64x2(s2, s6, 0xDD); // even rows, cols 6,7
         let u7 = _mm512_shuffle_f64x2(s3, s7, 0xDD); // odd rows,  cols 6,7
-        // Stage 3 (in-lane, single-cycle): interleave even/odd rows.
+                                                     // Stage 3 (in-lane, single-cycle): interleave even/odd rows.
         m[0] = F64x8(_mm512_unpacklo_pd(u0, u1)); // column 0
         m[1] = F64x8(_mm512_unpackhi_pd(u0, u1)); // column 1
         m[2] = F64x8(_mm512_unpacklo_pd(u2, u3)); // column 2

@@ -94,21 +94,24 @@ impl std::str::FromStr for Isa {
 /// way down so the feature context reaches the intrinsics.
 ///
 /// The macro asserts availability at runtime before entering an AVX arm, so
-/// executing the feature-gated code is sound.
+/// executing the feature-gated code is sound. On non-x86 targets the AVX
+/// arms compile to the portable vector of the same lane width instead, so
+/// the same generic code builds and runs everywhere (the portable types
+/// are also the test oracles — numerics are identical).
 #[macro_export]
 macro_rules! dispatch {
     ($isa:expr, $V:ident => $e:expr) => {{
         match $isa {
             $crate::Isa::Portable4 => {
                 type $V = $crate::P4;
-                #[allow(unused_unsafe)]
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
                 unsafe {
                     $e
                 }
             }
             $crate::Isa::Portable8 => {
                 type $V = $crate::P8;
-                #[allow(unused_unsafe)]
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
                 unsafe {
                     $e
                 }
@@ -125,7 +128,7 @@ macro_rules! dispatch {
                     f()
                 }
                 // SAFETY: availability asserted above.
-                #[allow(unused_unsafe)]
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
                 unsafe {
                     __avx2_entry(|| $e)
                 }
@@ -142,13 +145,32 @@ macro_rules! dispatch {
                     f()
                 }
                 // SAFETY: availability asserted above.
-                #[allow(unused_unsafe)]
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
                 unsafe {
                     __avx512_entry(|| $e)
                 }
             }
+            // On non-x86 targets the AVX ISAs are never available
+            // (`is_available` is false, `detect_best` skips them); if a
+            // caller dispatches one anyway, fall back to the portable
+            // vector of the same lane width so generic code keeps
+            // working — same numerics, no UB, just no intrinsics.
             #[cfg(not(target_arch = "x86_64"))]
-            _ => panic!("ISA {:?} not supported on this architecture", $isa),
+            $crate::Isa::Avx2 => {
+                type $V = $crate::P4;
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $e
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            $crate::Isa::Avx512 => {
+                type $V = $crate::P8;
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $e
+                }
+            }
         }
     }};
 }
@@ -184,5 +206,39 @@ mod tests {
     fn portable_always_available() {
         assert!(Isa::Portable4.is_available());
         assert!(Isa::Portable8.is_available());
+    }
+
+    /// Cfg-matrix portability check (stands in for a cross-compile when
+    /// no aarch64 toolchain is installed): on every architecture,
+    /// `detect_best` must return a usable ISA, every *available* ISA must
+    /// dispatch, and lane widths must be consistent. On non-x86 the AVX
+    /// variants must report unavailable and `detect_best` must fall back
+    /// to a portable ISA.
+    #[test]
+    fn cfg_matrix_dispatch_and_fallback() {
+        let best = Isa::detect_best();
+        assert!(best.is_available());
+
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            assert!(!Isa::Avx2.is_available());
+            assert!(!Isa::Avx512.is_available());
+            assert!(matches!(best, Isa::Portable4 | Isa::Portable8));
+        }
+
+        // Every available ISA must round a value through dispatch with
+        // the right lane count.
+        for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+            let lanes = crate::dispatch!(isa, V => <V as crate::SimdF64>::LANES);
+            assert_eq!(lanes, isa.lanes(), "{isa}");
+        }
+
+        // On non-x86, dispatching an AVX ISA anyway must cleanly fall
+        // back to the portable vector of the same width (F64xP).
+        #[cfg(not(target_arch = "x86_64"))]
+        for isa in [Isa::Avx2, Isa::Avx512] {
+            let lanes = crate::dispatch!(isa, V => <V as crate::SimdF64>::LANES);
+            assert_eq!(lanes, isa.lanes(), "{isa} portable fallback");
+        }
     }
 }

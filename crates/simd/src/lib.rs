@@ -44,6 +44,12 @@
 // (lane positions, set offsets) is the algorithm; iterator adapters would
 // obscure it and complicate the unroll-friendly shape LLVM needs.
 #![allow(clippy::needless_range_loop)]
+// Every `unsafe fn` in this crate shares the single safety contract spelled
+// out in the module docs above (callers must be inside the matching
+// `#[target_feature]` context; pointers valid per the kernel geometry).
+// Repeating a one-line `# Safety` section on all 17 trait methods adds
+// noise, not information.
+#![allow(clippy::missing_safety_doc)]
 
 mod alloc;
 #[cfg(target_arch = "x86_64")]

@@ -89,7 +89,11 @@ impl<const L: usize> SimdF64 for F64xP<L> {
         debug_assert!(o <= L);
         let mut r = [0.0; L];
         for i in 0..L {
-            r[i] = if i + o < L { lo.0[i + o] } else { hi.0[i + o - L] };
+            r[i] = if i + o < L {
+                lo.0[i + o]
+            } else {
+                hi.0[i + o - L]
+            };
         }
         F64xP(r)
     }

@@ -177,49 +177,62 @@ fn aligned_load_store_roundtrip() {
     }
 }
 
-mod proptests {
+/// Randomized cross-checks (deterministic seeds; formerly proptest-based,
+/// rewritten as explicit loops so the workspace builds offline).
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #[test]
-        fn alignr_oracle_prop(
-            lo in proptest::collection::vec(-1e6f64..1e6, 8),
-            hi in proptest::collection::vec(-1e6f64..1e6, 8),
-            o in 0usize..=8,
-        ) {
+    fn vec_in(r: &mut StdRng, len: usize, range: std::ops::Range<f64>) -> Vec<f64> {
+        (0..len).map(|_| r.random_range(range.clone())).collect()
+    }
+
+    #[test]
+    fn alignr_oracle_randomized() {
+        let mut r = StdRng::seed_from_u64(0xA11C);
+        for case in 0..64 {
+            let lo = vec_in(&mut r, 8, -1e6..1e6);
+            let hi = vec_in(&mut r, 8, -1e6..1e6);
             for (isa, oracle) in available_pairs() {
                 let l = isa.lanes();
-                let oo = o.min(l);
-                let got = alignr_via(isa, &lo[..l], &hi[..l], oo);
-                let want = alignr_via(oracle, &lo[..l], &hi[..l], oo);
-                prop_assert_eq!(got, want);
+                for o in 0..=l {
+                    let got = alignr_via(isa, &lo[..l], &hi[..l], o);
+                    let want = alignr_via(oracle, &lo[..l], &hi[..l], o);
+                    assert_eq!(got, want, "case={case} isa={isa} o={o}");
+                }
             }
         }
+    }
 
-        #[test]
-        fn transpose_oracle_prop(data in proptest::collection::vec(-1e9f64..1e9, 64)) {
+    #[test]
+    fn transpose_oracle_randomized() {
+        let mut r = StdRng::seed_from_u64(0x7A05);
+        for case in 0..64 {
+            let data = vec_in(&mut r, 64, -1e9..1e9);
             for (isa, oracle) in available_pairs() {
                 let l = isa.lanes();
                 let got = transpose_via(isa, &data[..l * l], false);
                 let base = transpose_via(isa, &data[..l * l], true);
                 let want = transpose_via(oracle, &data[..l * l], false);
-                prop_assert_eq!(&got, &want);
-                prop_assert_eq!(&base, &want);
+                assert_eq!(got, want, "case={case} isa={isa}");
+                assert_eq!(base, want, "case={case} isa={isa} (baseline schedule)");
             }
         }
+    }
 
-        #[test]
-        fn fma_oracle_prop(
-            a in proptest::collection::vec(-1e3f64..1e3, 8),
-            b in proptest::collection::vec(-1e3f64..1e3, 8),
-            c in proptest::collection::vec(-1e3f64..1e3, 8),
-        ) {
+    #[test]
+    fn fma_oracle_randomized() {
+        let mut r = StdRng::seed_from_u64(0xF3A);
+        for case in 0..64 {
+            let a = vec_in(&mut r, 8, -1e3..1e3);
+            let b = vec_in(&mut r, 8, -1e3..1e3);
+            let c = vec_in(&mut r, 8, -1e3..1e3);
             for (isa, oracle) in available_pairs() {
                 let l = isa.lanes();
                 let got = arith_via(isa, &a[..l], &b[..l], &c[..l]);
                 let want = arith_via(oracle, &a[..l], &b[..l], &c[..l]);
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "case={case} isa={isa}");
             }
         }
     }

@@ -1,19 +1,21 @@
 //! # stencil-tiling
 //!
-//! Temporal tiling substrates for the stencil-lab workspace, reproducing
-//! the two tiling frameworks of the paper's evaluation:
+//! Legacy temporal-tiling entry points for the stencil-lab workspace,
+//! reproducing the two tiling frameworks of the paper's evaluation:
 //!
 //! * [`tessellate`] — tessellate tiling (Yuan et al., SC'17), the
 //!   framework the paper integrates its transpose-layout vectorization
-//!   with (§3.4): triangles / inverted triangles in 1D, `d+1`-stage
-//!   product tessellation in 2D/3D, rayon-parallel within each stage.
-//!   Intra-tile vectorization is pluggable, so the same driver yields the
-//!   paper's *Tessellation* baseline (`Method::MultiLoad`), *Our*
-//!   (`Method::TransLayout`) and *Our (2 steps)* (`Method::TransLayout2`,
-//!   with the 1D fused-pair register pipeline).
+//!   with (§3.4);
 //! * [`split`] — split tiling over the DLT layout, standing in for SDSL
-//!   (Henretty et al., ICS'13): column-space tiles in 1D (with per-seam
-//!   scalar tiles), hybrid outer-dimension split in 2D/3D.
+//!   (Henretty et al., ICS'13).
+//!
+//! Since the plan refactor, the actual drivers live in
+//! [`stencil_core::exec`] (parameterized by a plan's pre-allocated
+//! buffers and thread pool); every function here is a **thin wrapper**
+//! that builds a one-shot [`Plan`](stencil_core::exec::Plan) with the
+//! matching [`Tiling`](stencil_core::exec::Tiling) and runs it. Code that
+//! steps repeatedly should hold the plan itself and amortize buffers,
+//! layout round-trips, and pool construction.
 //!
 //! Every driver produces results **bit-identical** to the untiled scalar
 //! reference: tiling changes only the traversal order of space-time
@@ -21,14 +23,15 @@
 //! `tests/tiled.rs`).
 
 #![warn(missing_docs)]
-// Index-based loops in the kernels are deliberate: the index arithmetic
-// (lane positions, set offsets) is the algorithm; iterator adapters would
-// obscure it and complicate the unroll-friendly shape LLVM needs.
-#![allow(clippy::needless_range_loop)]
 
 pub mod split;
 pub mod tessellate;
-pub mod tile;
+
+/// Per-dimension tile-shape algebra (re-exported from
+/// [`stencil_core::exec::tile`], its home since the plan refactor).
+pub mod tile {
+    pub use stencil_core::exec::tile::DimTiling;
+}
 
 pub use split::{split1_star1, split2_box, split2_star, split3_box, split3_star};
 pub use tessellate::{

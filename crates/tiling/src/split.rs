@@ -1,106 +1,12 @@
-//! Split tiling over the **DLT layout** — the SDSL stand-in (Henretty et
-//! al., ICS'13): DLT vectorization plus split (triangle / inverted
-//! trapezoid) temporal tiling.
-//!
-//! 1D: tiling runs in DLT *column space* (`j ∈ [0, cols)`). A column tile
-//! is `vl` distant original-space segments — which is precisely the
-//! locality loss the paper attributes to DLT under blocking (§2.2/§3.1):
-//! an L1-sized column tile touches `vl` separate memory regions. Column
-//! triangles shrink at the `j`-edges too (the edges are cross-lane seams,
-//! not halo); the uncovered seam space-time is handled by per-seam scalar
-//! tiles in original coordinates, one per lane boundary, plus the natural
-//! tail strip.
-//!
-//! 2D/3D: SDSL's *hybrid* scheme — split tiling on the outermost
-//! dimension, full DLT rows inside.
+//! Legacy split-tiling entry points over the **DLT layout** — the SDSL
+//! stand-in (Henretty et al., ICS'13): thin wrappers over [`Plan`] with
+//! [`Tiling::Split`] and [`Method::Dlt`]. The drivers themselves live in
+//! `stencil_core::exec::split`, parameterized by the plan's staging
+//! buffers and worker pool.
 
-use rayon::prelude::*;
-use stencil_core::kernels::dlt;
-use stencil_core::layout::{dlt_grid1, dlt_grid2, dlt_grid3, DltGeo};
-use stencil_core::{Box2, Box3, Grid1, Grid2, Grid3, Star1, Star2, Star3};
-use stencil_simd::{dispatch, Isa};
-
-use crate::tessellate::{make_pool, Shape, SyncPtr};
-use crate::tile::DimTiling;
-
-/// Scalar update of DLT columns `[j0, j1)` across all lanes (mapped).
-///
-/// # Safety
-/// Standard row contracts; used for seam-adjacent column fragments.
-unsafe fn dlt_cols_scalar<S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
-    geo: &DltGeo,
-    j0: usize,
-    j1: usize,
-    s: &S,
-) {
-    for lane in 0..geo.vl {
-        let base = lane * geo.cols;
-        dlt::star1_dlt_scalar(src, dst, base + j0, base + j1, geo, s);
-    }
-}
-
-/// One step of a 1D column tile `[j_lo, j_hi)` at absolute `time`:
-/// vector core over seam-free columns, scalar mapped access at the seam
-/// fringes.
-#[allow(clippy::too_many_arguments)]
-fn col_step1<S: Star1>(
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    geo: &DltGeo,
-    j_lo: usize,
-    j_hi: usize,
-    time: usize,
-    s: &S,
-) {
-    if j_lo >= j_hi {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    let r = S::R;
-    let v_lo = j_lo.max(r);
-    let v_hi = j_hi.min(geo.cols - r).max(v_lo);
-    unsafe {
-        dlt_cols_scalar(src, dst, geo, j_lo, v_lo.min(j_hi), s);
-        if v_lo < v_hi {
-            dispatch!(isa, V => dlt::star1_dlt_cols::<V, S>(src, dst, v_lo, v_hi, s));
-            dlt_cols_scalar(src, dst, geo, v_hi, j_hi, s);
-        } else {
-            dlt_cols_scalar(src, dst, geo, v_lo.max(j_lo).min(j_hi), j_hi, s);
-        }
-    }
-}
-
-/// One step of the seam tile at lane boundary `lam` (original cells around
-/// `lam·cols`, scalar via the index map); the rightmost seam also owns the
-/// natural tail strip, which advances every step.
-#[allow(clippy::too_many_arguments)]
-fn seam_step1<S: Star1>(
-    bufs: [SyncPtr; 2],
-    geo: &DltGeo,
-    n: usize,
-    lam: usize,
-    ss: usize,
-    time: usize,
-    s: &S,
-) {
-    let r = S::R;
-    let c = lam * geo.cols;
-    let reach = r * ss;
-    let lo = c.saturating_sub(reach);
-    let mut hi = (c + reach).min(n);
-    if lam == geo.vl {
-        hi = n; // tail strip advances every step
-    }
-    if lo >= hi {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe { dlt::star1_dlt_scalar(src, dst, lo, hi, geo, s) };
-}
+use stencil_core::exec::{Plan, Shape, Tiling};
+use stencil_core::{Box2, Box3, Grid1, Grid2, Grid3, Method, Star1, Star2, Star3};
+use stencil_simd::Isa;
 
 /// Run `t` steps of a 1D star stencil under SDSL-style split tiling:
 /// DLT layout, column-space triangles/inverted tiles of base `w` columns,
@@ -118,66 +24,17 @@ pub fn split1_star1<S: Star1>(
     if t == 0 {
         return;
     }
-    let n = g.n();
-    let geo = DltGeo::new(n, isa.lanes());
-    let cols = geo.cols;
-    if cols <= 4 * S::R {
-        // Degenerate width: plain stepping is the only sensible schedule.
-        stencil_core::run1_star1(stencil_core::Method::Dlt, isa, g, s, t);
-        return;
-    }
-    let d = DimTiling::new(cols, w.min(cols), S::R, false);
-    assert!(h <= d.max_height(), "chunk height too large for w");
-
-    let mut a = g.clone();
-    dlt_grid1(g, &mut a, isa, false);
-    let mut b = a.clone();
-    let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
-    let pool = make_pool(threads);
-    pool.install(|| {
-        let mut tau = 0usize;
-        while tau < t {
-            let hh = h.min(t - tau);
-            // Stage 1: column triangles (shrink at both ends — the ends
-            // are seams, not halo).
-            (0..d.ntri()).into_par_iter().for_each(|k| {
-                for ss in 0..hh {
-                    let (lo, hi) = d.tri(k, ss);
-                    col_step1(isa, bufs, &geo, lo, hi, tau + ss, s);
-                }
-            });
-            // Stage 2: interior inverted column tiles + per-lane seam
-            // tiles (+ tail strip on the rightmost seam).
-            let ninterior = d.ntri().saturating_sub(1);
-            let nseams = geo.vl + 1;
-            (0..ninterior + nseams).into_par_iter().for_each(|idx| {
-                if idx < ninterior {
-                    let bnd = idx + 1; // interior boundary c = bnd·w
-                    for ss in 0..hh {
-                        let lo = (bnd * d.w).saturating_sub(S::R * ss);
-                        let hi = (bnd * d.w + S::R * ss).min(cols);
-                        col_step1(isa, bufs, &geo, lo, hi, tau + ss, s);
-                    }
-                } else {
-                    let lam = idx - ninterior;
-                    for ss in 0..hh {
-                        seam_step1(bufs, &geo, n, lam, ss, tau + ss, s);
-                    }
-                }
-            });
-            tau += hh;
-        }
-    });
-    let res = if t % 2 == 0 { &a } else { &b };
-    dlt_grid1(res, g, isa, true);
+    Plan::new(Shape::d1(g.n()))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split { w, h, threads })
+        .star1(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
-// ---------------------------------------------------------------------------
-// 2D / 3D hybrid split tiling (outer dimension split, DLT rows inside)
-// ---------------------------------------------------------------------------
-
 macro_rules! split2_impl {
-    ($name:ident, $bound:ident, $kernel:ident) => {
+    ($name:ident, $bound:ident, $terminal:ident) => {
         /// Run `t` steps of a 2D stencil under SDSL-style hybrid tiling:
         /// split tiling over `y` (base `wy`, chunk height `h`), DLT rows
         /// along `x`.
@@ -194,46 +51,22 @@ macro_rules! split2_impl {
             if t == 0 {
                 return;
             }
-            let (nx, ny, rs) = (g.nx(), g.ny(), g.row_stride());
-            let d = DimTiling::new(ny, wy.min(ny), S::R, true);
-            assert!(h <= d.max_height(), "chunk height too large for wy");
-            let mut a = g.clone();
-            dlt_grid2(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
-            let pool = make_pool(threads);
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for inverted in [false, true] {
-                        Shape::all(&d, inverted).into_par_iter().for_each(|shape| {
-                            for ss in 0..hh {
-                                let (y0, y1) = shape.range(&d, ss);
-                                if y0 >= y1 {
-                                    continue;
-                                }
-                                let time = tau + ss;
-                                let src = bufs[time % 2].0 as *const f64;
-                                let dst = bufs[(time + 1) % 2].0;
-                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s));
-                            }
-                        });
-                    }
-                    tau += hh;
-                }
-            });
-            let res = if t % 2 == 0 { &a } else { &b };
-            dlt_grid2(res, g, isa, true);
+            Plan::new(Shape::d2(g.nx(), g.ny()))
+                .method(Method::Dlt)
+                .isa(isa)
+                .tiling(Tiling::Split { w: wy, h, threads })
+                .$terminal(*s)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .run(g, t);
         }
     };
 }
 
-split2_impl!(split2_star, Star2, star2_dlt);
-split2_impl!(split2_box, Box2, box2_dlt);
+split2_impl!(split2_star, Star2, star2);
+split2_impl!(split2_box, Box2, box2);
 
 macro_rules! split3_impl {
-    ($name:ident, $bound:ident, $kernel:ident) => {
+    ($name:ident, $bound:ident, $terminal:ident) => {
         /// Run `t` steps of a 3D stencil under SDSL-style hybrid tiling:
         /// split tiling over `z`, DLT rows along `x`.
         #[allow(clippy::too_many_arguments)]
@@ -249,41 +82,16 @@ macro_rules! split3_impl {
             if t == 0 {
                 return;
             }
-            let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
-            let (rs, ps) = (g.row_stride(), g.plane_stride());
-            let d = DimTiling::new(nz, wz.min(nz), S::R, true);
-            assert!(h <= d.max_height(), "chunk height too large for wz");
-            let mut a = g.clone();
-            dlt_grid3(g, &mut a, isa, false);
-            let mut b = a.clone();
-            let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
-            let pool = make_pool(threads);
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for inverted in [false, true] {
-                        Shape::all(&d, inverted).into_par_iter().for_each(|shape| {
-                            for ss in 0..hh {
-                                let (z0, z1) = shape.range(&d, ss);
-                                if z0 >= z1 {
-                                    continue;
-                                }
-                                let time = tau + ss;
-                                let src = bufs[time % 2].0 as *const f64;
-                                let dst = bufs[(time + 1) % 2].0;
-                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s));
-                            }
-                        });
-                    }
-                    tau += hh;
-                }
-            });
-            let res = if t % 2 == 0 { &a } else { &b };
-            dlt_grid3(res, g, isa, true);
+            Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
+                .method(Method::Dlt)
+                .isa(isa)
+                .tiling(Tiling::Split { w: wz, h, threads })
+                .$terminal(*s)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .run(g, t);
         }
     };
 }
 
-split3_impl!(split3_star, Star3, star3_dlt);
-split3_impl!(split3_box, Box3, box3_dlt);
+split3_impl!(split3_star, Star3, star3);
+split3_impl!(split3_box, Box3, box3);

@@ -1,192 +1,12 @@
-//! Tessellate tiling (Yuan et al., SC'17 — the framework the paper
-//! integrates with in §3.4), for 1/2/3 spatial dimensions, with
-//! rayon-parallel stage execution.
-//!
-//! Each time chunk of height `h` runs `d+1` stages: stage `m` executes all
-//! product tiles with exactly `m` inverted dimensions. Tiles within a
-//! stage write disjoint cells and read only cells finalized by earlier
-//! stages (or their own earlier steps), so a stage is a `par_iter` with no
-//! intra-stage synchronization; the stage boundary is the only barrier.
-//!
-//! Intra-tile vectorization is pluggable ([`Method`]): the paper's
-//! *Tessellation* baseline uses `MultiLoad` ("auto-vectorization"), *Our*
-//! uses `TransLayout`, and *Our (2 steps)* uses `TransLayout2`, whose 1D
-//! tiles fuse step pairs with the register pipeline
-//! ([`stencil_core::kernels::tl2::star1_tl2_range`]) plus scalar margins
-//! for the shrinking/expanding boundary cells — the Fig. 5d treatment.
+//! Legacy tessellate-tiling entry points (Yuan et al., SC'17 — §3.4 of
+//! the paper): thin wrappers over [`Plan`] with
+//! [`Tiling::Tessellate`]. The drivers themselves live in
+//! `stencil_core::exec::tess`, parameterized by the plan's buffers and
+//! worker pool.
 
-use rayon::prelude::*;
-use stencil_core::kernels::{orig, scalar};
-use stencil_core::layout::{tl_grid1, tl_grid2, tl_grid3, SetGeo};
+use stencil_core::exec::{Plan, Shape, Tiling};
 use stencil_core::{Box2, Box3, Grid1, Grid2, Grid3, Method, Star1, Star2, Star3};
-use stencil_simd::{dispatch, Isa};
-
-/// Raw pointer that may cross threads; tile disjointness (see module docs)
-/// makes the concurrent accesses race-free.
-#[derive(Copy, Clone)]
-pub(crate) struct SyncPtr(pub *mut f64);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-
-pub(crate) fn make_pool(threads: usize) -> rayon::ThreadPool {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("rayon pool")
-}
-
-use crate::tile::DimTiling;
-
-/// One per-dimension shape instance.
-#[derive(Copy, Clone, Debug)]
-pub(crate) enum Shape {
-    Tri(usize),
-    Inv(usize),
-}
-
-impl Shape {
-    #[inline]
-    pub(crate) fn range(self, d: &DimTiling, s: usize) -> (usize, usize) {
-        match self {
-            Shape::Tri(k) => d.tri(k, s),
-            Shape::Inv(b) => d.inv(b, s),
-        }
-    }
-
-    pub(crate) fn all(d: &DimTiling, inverted: bool) -> Vec<Shape> {
-        if inverted {
-            (0..d.ninv()).map(Shape::Inv).collect()
-        } else {
-            (0..d.ntri()).map(Shape::Tri).collect()
-        }
-    }
-}
-
-fn check_params(dims: &[&DimTiling], h: usize) {
-    for d in dims {
-        assert!(
-            h <= d.max_height(),
-            "chunk height {h} exceeds max {} for w={} r={}",
-            d.max_height(),
-            d.w,
-            d.r
-        );
-    }
-}
-
-// ---------------------------------------------------------------------------
-// 1D
-// ---------------------------------------------------------------------------
-
-/// One intra-tile step of a 1D stencil at chunk step `ss` (absolute time
-/// `tau + ss`), on the method's layout.
-#[allow(clippy::too_many_arguments)]
-fn step1<S: Star1>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    n: usize,
-    lo: usize,
-    hi: usize,
-    time: usize,
-    s: &S,
-) {
-    if lo >= hi {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe {
-        match method {
-            Method::Scalar => scalar::star1_range(src, dst, lo, hi, s),
-            Method::MultiLoad => {
-                dispatch!(isa, V => orig::star1_orig::<V, S, false>(src, dst, lo, hi, s))
-            }
-            Method::Reorg => {
-                dispatch!(isa, V => orig::star1_orig::<V, S, true>(src, dst, lo, hi, s))
-            }
-            Method::TransLayout | Method::TransLayout2 => {
-                stencil_core::kernels::isa_entry::star1_tl::<S>(isa, src, dst, n, lo, hi, s)
-            }
-            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
-        }
-    }
-}
-
-/// Fused pair of steps (ss, ss+1) for the 1D `TransLayout2` tiles:
-/// register pipeline over the interior sets, k=1 margins for the
-/// boundary cells of the shrinking/expanding tile.
-#[allow(clippy::too_many_arguments)]
-fn pair1<S: Star1>(
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    n: usize,
-    shape: Shape,
-    d: &DimTiling,
-    ss: usize,
-    tau: usize,
-    s: &S,
-) {
-    let (lo0, hi0) = shape.range(d, ss);
-    let (lo1, hi1) = shape.range(d, ss + 1);
-    let bs = isa.lanes() * isa.lanes();
-    let lo = lo0.max(lo1);
-    let hi = hi0.min(hi1).max(lo);
-    let sa = lo.div_ceil(bs);
-    let sb = (hi / bs).min(SetGeo::new(n, isa.lanes()).nsets);
-    if sb < sa + 2 {
-        // Tile fragment too small for the pipeline — two plain steps.
-        step1(Method::TransLayout2, isa, bufs, n, lo0, hi0, tau + ss, s);
-        step1(Method::TransLayout2, isa, bufs, n, lo1, hi1, tau + ss + 1, s);
-        return;
-    }
-    let (a, b) = (sa * bs, sb * bs);
-    let time = tau + ss;
-    let buf_a = bufs[time % 2].0;
-    let buf_b = bufs[(time + 1) % 2].0;
-
-    // step ss margins (t → t+1, written to the t+1 parity)
-    step1(Method::TransLayout2, isa, bufs, n, lo0, a, time, s);
-    step1(Method::TransLayout2, isa, bufs, n, b, hi0, time, s);
-    // fused interior (t → t+2 in parity A; boundary-set t+1 exported to B).
-    // Routed through the explicit #[target_feature] entry: the pipeline is
-    // too large for the dispatch! closure to inline reliably (DESIGN.md §5).
-    unsafe {
-        stencil_core::kernels::isa_entry::star1_tl2_range::<S>(isa, buf_a, buf_b, n, sa, sb, s);
-    }
-    // step ss+1 margins (t+1 → t+2)
-    step1(Method::TransLayout2, isa, bufs, n, lo1, a, time + 1, s);
-    step1(Method::TransLayout2, isa, bufs, n, b, hi1, time + 1, s);
-}
-
-fn run_tile1<S: Star1>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    n: usize,
-    d: &DimTiling,
-    shape: Shape,
-    tau: usize,
-    hh: usize,
-    s: &S,
-) {
-    if method == Method::TransLayout2 {
-        let mut ss = 0;
-        while ss + 1 < hh {
-            pair1(isa, bufs, n, shape, d, ss, tau, s);
-            ss += 2;
-        }
-        if ss < hh {
-            let (lo, hi) = shape.range(d, ss);
-            step1(method, isa, bufs, n, lo, hi, tau + ss, s);
-        }
-    } else {
-        for ss in 0..hh {
-            let (lo, hi) = shape.range(d, ss);
-            step1(method, isa, bufs, n, lo, hi, tau + ss, s);
-        }
-    }
-}
+use stencil_simd::Isa;
 
 /// Run `t` steps of a 1D star stencil under tessellate tiling with
 /// triangle base `w`, chunk height `h`, on `threads` rayon workers.
@@ -204,113 +24,21 @@ pub fn tessellate1_star1<S: Star1>(
     if t == 0 {
         return;
     }
-    let n = g.n();
-    let d = DimTiling::new(n, w.min(n), S::R, true);
-    check_params(&[&d], h);
-    let transposed = matches!(method, Method::TransLayout | Method::TransLayout2);
-    if transposed {
-        tl_grid1(g, isa);
-    }
-    let mut other = g.clone();
-    let bufs = [SyncPtr(g.ptr_mut()), SyncPtr(other.ptr_mut())];
-    let pool = make_pool(threads);
-    pool.install(|| {
-        let mut tau = 0usize;
-        while tau < t {
-            let hh = h.min(t - tau);
-            Shape::all(&d, false).into_par_iter().for_each(|shape| {
-                run_tile1(method, isa, bufs, n, &d, shape, tau, hh, s);
-            });
-            Shape::all(&d, true).into_par_iter().for_each(|shape| {
-                run_tile1(method, isa, bufs, n, &d, shape, tau, hh, s);
-            });
-            tau += hh;
-        }
-    });
-    if t % 2 == 1 {
-        std::mem::swap(g, &mut other);
-    }
-    if transposed {
-        tl_grid1(g, isa);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// 2D
-// ---------------------------------------------------------------------------
-
-#[allow(clippy::too_many_arguments)]
-fn step2_star<S: Star2>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    rs: usize,
-    nx: usize,
-    yr: (usize, usize),
-    xr: (usize, usize),
-    time: usize,
-    s: &S,
-) {
-    let ((y0, y1), (x0, x1)) = (yr, xr);
-    if y0 >= y1 || x0 >= x1 {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe {
-        match method {
-            Method::Scalar => scalar::star2_range(src, dst, rs, y0, y1, x0, x1, s),
-            Method::MultiLoad => {
-                dispatch!(isa, V => orig::star2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
-            }
-            Method::Reorg => {
-                dispatch!(isa, V => orig::star2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
-            }
-            Method::TransLayout | Method::TransLayout2 => {
-                stencil_core::kernels::isa_entry::star2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
-            }
-            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn step2_box<S: Box2>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    rs: usize,
-    nx: usize,
-    yr: (usize, usize),
-    xr: (usize, usize),
-    time: usize,
-    s: &S,
-) {
-    let ((y0, y1), (x0, x1)) = (yr, xr);
-    if y0 >= y1 || x0 >= x1 {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe {
-        match method {
-            Method::Scalar => scalar::box2_range(src, dst, rs, y0, y1, x0, x1, s),
-            Method::MultiLoad => {
-                dispatch!(isa, V => orig::box2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
-            }
-            Method::Reorg => {
-                dispatch!(isa, V => orig::box2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
-            }
-            Method::TransLayout | Method::TransLayout2 => {
-                stencil_core::kernels::isa_entry::box2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
-            }
-            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
-        }
-    }
+    Plan::new(Shape::d1(g.n()))
+        .method(method)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [w, 0, 0],
+            h,
+            threads,
+        })
+        .star1(*s)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .run(g, t);
 }
 
 macro_rules! tessellate2_impl {
-    ($name:ident, $bound:ident, $step:ident) => {
+    ($name:ident, $bound:ident, $terminal:ident) => {
         /// Run `t` steps of a 2D stencil under tessellate tiling
         /// (`wx`/`wy` triangle bases, chunk height `h`, `threads`
         /// workers). Stages execute product tiles by inverted-dimension
@@ -330,143 +58,26 @@ macro_rules! tessellate2_impl {
             if t == 0 {
                 return;
             }
-            let (nx, ny, rs) = (g.nx(), g.ny(), g.row_stride());
-            let dx = DimTiling::new(nx, wx.min(nx), S::R, true);
-            let dy = DimTiling::new(ny, wy.min(ny), S::R, true);
-            check_params(&[&dx, &dy], h);
-            let transposed = matches!(method, Method::TransLayout | Method::TransLayout2);
-            if transposed {
-                tl_grid2(g, isa);
-            }
-            let mut other = g.clone();
-            let bufs = [SyncPtr(g.ptr_mut()), SyncPtr(other.ptr_mut())];
-            let pool = make_pool(threads);
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for stage in 0..3usize {
-                        let mut tiles: Vec<(Shape, Shape)> = Vec::new();
-                        for &ix in &[false, true] {
-                            for &iy in &[false, true] {
-                                if (ix as usize) + (iy as usize) != stage {
-                                    continue;
-                                }
-                                for sx in Shape::all(&dx, ix) {
-                                    for sy in Shape::all(&dy, iy) {
-                                        tiles.push((sx, sy));
-                                    }
-                                }
-                            }
-                        }
-                        tiles.into_par_iter().for_each(|(sx, sy)| {
-                            for ss in 0..hh {
-                                let xr = sx.range(&dx, ss);
-                                let yr = sy.range(&dy, ss);
-                                $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
-                            }
-                        });
-                    }
-                    tau += hh;
-                }
-            });
-            if t % 2 == 1 {
-                std::mem::swap(g, &mut other);
-            }
-            if transposed {
-                tl_grid2(g, isa);
-            }
+            Plan::new(Shape::d2(g.nx(), g.ny()))
+                .method(method)
+                .isa(isa)
+                .tiling(Tiling::Tessellate {
+                    w: [wx, wy, 0],
+                    h,
+                    threads,
+                })
+                .$terminal(*s)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .run(g, t);
         }
     };
 }
 
-tessellate2_impl!(tessellate2_star, Star2, step2_star);
-tessellate2_impl!(tessellate2_box, Box2, step2_box);
-
-// ---------------------------------------------------------------------------
-// 3D
-// ---------------------------------------------------------------------------
-
-#[allow(clippy::too_many_arguments)]
-fn step3_star<S: Star3>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    rs: usize,
-    ps: usize,
-    nx: usize,
-    zr: (usize, usize),
-    yr: (usize, usize),
-    xr: (usize, usize),
-    time: usize,
-    s: &S,
-) {
-    let ((z0, z1), (y0, y1), (x0, x1)) = (zr, yr, xr);
-    if z0 >= z1 || y0 >= y1 || x0 >= x1 {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe {
-        match method {
-            Method::Scalar => scalar::star3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
-            Method::MultiLoad => {
-                dispatch!(isa, V => orig::star3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
-            }
-            Method::Reorg => {
-                dispatch!(isa, V => orig::star3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
-            }
-            Method::TransLayout | Method::TransLayout2 => {
-                stencil_core::kernels::isa_entry::star3_tl::<S>(
-                    isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
-                )
-            }
-            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn step3_box<S: Box3>(
-    method: Method,
-    isa: Isa,
-    bufs: [SyncPtr; 2],
-    rs: usize,
-    ps: usize,
-    nx: usize,
-    zr: (usize, usize),
-    yr: (usize, usize),
-    xr: (usize, usize),
-    time: usize,
-    s: &S,
-) {
-    let ((z0, z1), (y0, y1), (x0, x1)) = (zr, yr, xr);
-    if z0 >= z1 || y0 >= y1 || x0 >= x1 {
-        return;
-    }
-    let src = bufs[time % 2].0 as *const f64;
-    let dst = bufs[(time + 1) % 2].0;
-    unsafe {
-        match method {
-            Method::Scalar => scalar::box3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
-            Method::MultiLoad => {
-                dispatch!(isa, V => orig::box3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
-            }
-            Method::Reorg => {
-                dispatch!(isa, V => orig::box3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
-            }
-            Method::TransLayout | Method::TransLayout2 => {
-                stencil_core::kernels::isa_entry::box3_tl::<S>(
-                    isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
-                )
-            }
-            Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
-        }
-    }
-}
+tessellate2_impl!(tessellate2_star, Star2, star2);
+tessellate2_impl!(tessellate2_box, Box2, box2);
 
 macro_rules! tessellate3_impl {
-    ($name:ident, $bound:ident, $step:ident) => {
+    ($name:ident, $bound:ident, $terminal:ident) => {
         /// Run `t` steps of a 3D stencil under tessellate tiling (4 stages
         /// by inverted-dimension count).
         #[allow(clippy::too_many_arguments)]
@@ -485,62 +96,20 @@ macro_rules! tessellate3_impl {
             if t == 0 {
                 return;
             }
-            let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
-            let (rs, ps) = (g.row_stride(), g.plane_stride());
-            let dx = DimTiling::new(nx, wx.min(nx), S::R, true);
-            let dy = DimTiling::new(ny, wy.min(ny), S::R, true);
-            let dz = DimTiling::new(nz, wz.min(nz), S::R, true);
-            check_params(&[&dx, &dy, &dz], h);
-            let transposed = matches!(method, Method::TransLayout | Method::TransLayout2);
-            if transposed {
-                tl_grid3(g, isa);
-            }
-            let mut other = g.clone();
-            let bufs = [SyncPtr(g.ptr_mut()), SyncPtr(other.ptr_mut())];
-            let pool = make_pool(threads);
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for stage in 0..4usize {
-                        let mut tiles: Vec<(Shape, Shape, Shape)> = Vec::new();
-                        for &ix in &[false, true] {
-                            for &iy in &[false, true] {
-                                for &iz in &[false, true] {
-                                    if (ix as usize) + (iy as usize) + (iz as usize) != stage {
-                                        continue;
-                                    }
-                                    for sx in Shape::all(&dx, ix) {
-                                        for sy in Shape::all(&dy, iy) {
-                                            for sz in Shape::all(&dz, iz) {
-                                                tiles.push((sx, sy, sz));
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                        tiles.into_par_iter().for_each(|(sx, sy, sz)| {
-                            for ss in 0..hh {
-                                let xr = sx.range(&dx, ss);
-                                let yr = sy.range(&dy, ss);
-                                let zr = sz.range(&dz, ss);
-                                $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
-                            }
-                        });
-                    }
-                    tau += hh;
-                }
-            });
-            if t % 2 == 1 {
-                std::mem::swap(g, &mut other);
-            }
-            if transposed {
-                tl_grid3(g, isa);
-            }
+            Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
+                .method(method)
+                .isa(isa)
+                .tiling(Tiling::Tessellate {
+                    w: [wx, wy, wz],
+                    h,
+                    threads,
+                })
+                .$terminal(*s)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .run(g, t);
         }
     };
 }
 
-tessellate3_impl!(tessellate3_star, Star3, step3_star);
-tessellate3_impl!(tessellate3_box, Box3, step3_box);
+tessellate3_impl!(tessellate3_star, Star3, star3);
+tessellate3_impl!(tessellate3_box, Box3, box3);

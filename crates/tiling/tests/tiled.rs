@@ -1,19 +1,17 @@
-//! Tiled-vs-untiled equivalence: every tiling driver must produce results
+//! Tiled-vs-untiled equivalence: every tiled plan must produce results
 //! bit-identical to the untiled scalar reference — tiling reorders
 //! space-time traversal but never changes a cell's accumulation.
+//!
+//! The matrix drives [`Plan`] directly (the single entry point); a final
+//! section keeps the legacy wrapper functions green.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use stencil_core::exec::{Plan, Shape, Tiling};
 use stencil_core::verify::{max_abs_diff1, max_abs_diff2, max_abs_diff3};
-use stencil_core::{
-    run1_star1, run2_box, run2_star, run3_box, run3_star, Grid1, Grid2, Grid3, Method, S1d3p,
-    S1d5p, S2d5p, S2d9p, S3d27p, S3d7p,
-};
+use stencil_core::{Grid1, Grid2, Grid3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p};
 use stencil_simd::Isa;
-use stencil_tiling::{
-    split1_star1, split2_box, split2_star, split3_box, split3_star, tessellate1_star1,
-    tessellate2_box, tessellate2_star, tessellate3_box, tessellate3_star,
-};
+use stencil_tiling::{split1_star1, split2_box, split3_box, tessellate1_star1};
 
 fn isas() -> Vec<Isa> {
     Isa::ALL.into_iter().filter(|i| i.is_available()).collect()
@@ -34,6 +32,17 @@ fn tess_methods() -> [Method; 4] {
     ]
 }
 
+fn scalar1(init: &Grid1, s: S1d3p, t: usize, isa: Isa) -> Grid1 {
+    let mut g = init.clone();
+    Plan::new(Shape::d1(g.n()))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star1(s)
+        .unwrap()
+        .run(&mut g, t);
+    g
+}
+
 #[test]
 fn tessellate1_matches_untiled_bitwise() {
     let s = S1d3p {
@@ -47,12 +56,21 @@ fn tessellate1_matches_untiled_bitwise() {
             (257, 64, 4, 9),
         ] {
             let init = grid1(n, n as u64);
-            let mut reference = init.clone();
-            run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+            let reference = scalar1(&init, s, t, isa);
             for m in tess_methods() {
                 for threads in [1usize, 4] {
                     let mut g = init.clone();
-                    tessellate1_star1(m, isa, &mut g, &s, t, w, h, threads);
+                    Plan::new(Shape::d1(n))
+                        .method(m)
+                        .isa(isa)
+                        .tiling(Tiling::Tessellate {
+                            w: [w, 0, 0],
+                            h,
+                            threads,
+                        })
+                        .star1(s)
+                        .unwrap()
+                        .run(&mut g, t);
                     let d = max_abs_diff1(&g, &reference);
                     assert_eq!(d, 0.0, "{m}/{isa}/n={n}/w={w}/h={h}/t={t}/thr={threads}");
                 }
@@ -70,10 +88,25 @@ fn tessellate1_r2_matches_untiled() {
         let (n, w, h, t) = (600usize, 120usize, 8usize, 17usize);
         let init = grid1(n, 9);
         let mut reference = init.clone();
-        run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+        Plan::new(Shape::d1(n))
+            .method(Method::Scalar)
+            .isa(isa)
+            .star1(s)
+            .unwrap()
+            .run(&mut reference, t);
         for m in tess_methods() {
             let mut g = init.clone();
-            tessellate1_star1(m, isa, &mut g, &s, t, w, h, 4);
+            Plan::new(Shape::d1(n))
+                .method(m)
+                .isa(isa)
+                .tiling(Tiling::Tessellate {
+                    w: [w, 0, 0],
+                    h,
+                    threads: 4,
+                })
+                .star1(s)
+                .unwrap()
+                .run(&mut g, t);
             assert_eq!(max_abs_diff1(&g, &reference), 0.0, "{m}/{isa}");
         }
     }
@@ -91,11 +124,16 @@ fn split1_matches_untiled_bitwise() {
             (520, 16, 4, 8),
         ] {
             let init = grid1(n, 31 + n as u64);
-            let mut reference = init.clone();
-            run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+            let reference = scalar1(&init, s, t, isa);
             for threads in [1usize, 4] {
                 let mut g = init.clone();
-                split1_star1(isa, &mut g, &s, t, w, h, threads);
+                Plan::new(Shape::d1(n))
+                    .method(Method::Dlt)
+                    .isa(isa)
+                    .tiling(Tiling::Split { w, h, threads })
+                    .star1(s)
+                    .unwrap()
+                    .run(&mut g, t);
                 let d = max_abs_diff1(&g, &reference);
                 assert_eq!(d, 0.0, "split/{isa}/n={n}/w={w}/h={h}/t={t}/thr={threads}");
             }
@@ -119,11 +157,26 @@ fn tessellate2_matches_untiled() {
     let (nx, ny, t) = (150usize, 40usize, 11usize);
     let init = grid2(nx, ny, 4);
     let mut reference = init.clone();
-    run2_star(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star2(s)
+        .unwrap()
+        .run(&mut reference, t);
     for m in tess_methods() {
         for threads in [1usize, 4] {
             let mut g = init.clone();
-            tessellate2_star(m, isa, &mut g, &s, t, 48, 16, 6, threads);
+            Plan::new(Shape::d2(nx, ny))
+                .method(m)
+                .isa(isa)
+                .tiling(Tiling::Tessellate {
+                    w: [48, 16, 0],
+                    h: 6,
+                    threads,
+                })
+                .star2(s)
+                .unwrap()
+                .run(&mut g, t);
             let d = max_abs_diff2(&g, &reference);
             assert_eq!(d, 0.0, "{m}/{isa}/thr={threads}");
         }
@@ -142,10 +195,25 @@ fn tessellate2_box_matches_untiled() {
     let (nx, ny, t) = (120usize, 30usize, 7usize);
     let init = grid2(nx, ny, 6);
     let mut reference = init.clone();
-    run2_box(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Scalar)
+        .isa(isa)
+        .box2(s)
+        .unwrap()
+        .run(&mut reference, t);
     for m in tess_methods() {
         let mut g = init.clone();
-        tessellate2_box(m, isa, &mut g, &s, t, 40, 12, 5, 4);
+        Plan::new(Shape::d2(nx, ny))
+            .method(m)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [40, 12, 0],
+                h: 5,
+                threads: 4,
+            })
+            .box2(s)
+            .unwrap()
+            .run(&mut g, t);
         assert_eq!(max_abs_diff2(&g, &reference), 0.0, "{m}/{isa}");
     }
 }
@@ -160,9 +228,24 @@ fn split2_matches_untiled() {
     let (nx, ny, t) = (130usize, 36usize, 9usize);
     let init = grid2(nx, ny, 8);
     let mut reference = init.clone();
-    run2_star(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star2(s)
+        .unwrap()
+        .run(&mut reference, t);
     let mut g = init.clone();
-    split2_star(isa, &mut g, &s, t, 12, 5, 4);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split {
+            w: 12,
+            h: 5,
+            threads: 4,
+        })
+        .star2(s)
+        .unwrap()
+        .run(&mut g, t);
     assert_eq!(max_abs_diff2(&g, &reference), 0.0);
 
     let mut rr = StdRng::seed_from_u64(3);
@@ -172,9 +255,24 @@ fn split2_matches_untiled() {
     }
     let sb = S2d9p { w };
     let mut reference = init.clone();
-    run2_box(Method::Scalar, isa, &mut reference, &sb, t);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Scalar)
+        .isa(isa)
+        .box2(sb)
+        .unwrap()
+        .run(&mut reference, t);
     let mut g = init.clone();
-    split2_box(isa, &mut g, &sb, t, 12, 5, 4);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split {
+            w: 12,
+            h: 5,
+            threads: 4,
+        })
+        .box2(sb)
+        .unwrap()
+        .run(&mut g, t);
     assert_eq!(max_abs_diff2(&g, &reference), 0.0);
 }
 
@@ -195,10 +293,25 @@ fn tessellate3_matches_untiled() {
     let (nx, ny, nz, t) = (80usize, 20usize, 16usize, 7usize);
     let init = grid3(nx, ny, nz, 12);
     let mut reference = init.clone();
-    run3_star(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star3(s)
+        .unwrap()
+        .run(&mut reference, t);
     for m in tess_methods() {
         let mut g = init.clone();
-        tessellate3_star(m, isa, &mut g, &s, t, 40, 10, 8, 4, 4);
+        Plan::new(Shape::d3(nx, ny, nz))
+            .method(m)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [40, 10, 8],
+                h: 4,
+                threads: 4,
+            })
+            .star3(s)
+            .unwrap()
+            .run(&mut g, t);
         assert_eq!(max_abs_diff3(&g, &reference), 0.0, "{m}/{isa}");
     }
 }
@@ -215,10 +328,25 @@ fn tessellate3_box_matches_untiled() {
     let (nx, ny, nz, t) = (72usize, 18usize, 12usize, 5usize);
     let init = grid3(nx, ny, nz, 14);
     let mut reference = init.clone();
-    run3_box(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::Scalar)
+        .isa(isa)
+        .box3(s)
+        .unwrap()
+        .run(&mut reference, t);
     for m in tess_methods() {
         let mut g = init.clone();
-        tessellate3_box(m, isa, &mut g, &s, t, 36, 8, 6, 3, 4);
+        Plan::new(Shape::d3(nx, ny, nz))
+            .method(m)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [36, 8, 6],
+                h: 3,
+                threads: 4,
+            })
+            .box3(s)
+            .unwrap()
+            .run(&mut g, t);
         assert_eq!(max_abs_diff3(&g, &reference), 0.0, "{m}/{isa}");
     }
 }
@@ -234,21 +362,24 @@ fn split3_matches_untiled() {
     let (nx, ny, nz, t) = (70usize, 16usize, 14usize, 6usize);
     let init = grid3(nx, ny, nz, 21);
     let mut reference = init.clone();
-    run3_star(Method::Scalar, isa, &mut reference, &s, t);
+    Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star3(s)
+        .unwrap()
+        .run(&mut reference, t);
     let mut g = init.clone();
-    split3_star(isa, &mut g, &s, t, 6, 3, 4);
-    assert_eq!(max_abs_diff3(&g, &reference), 0.0);
-
-    let mut rr = StdRng::seed_from_u64(6);
-    let mut w = [0.0f64; 27];
-    for x in w.iter_mut() {
-        *x = rr.random_range(0.0..0.035);
-    }
-    let sb = S3d27p { w };
-    let mut reference = init.clone();
-    run3_box(Method::Scalar, isa, &mut reference, &sb, t);
-    let mut g = init.clone();
-    split3_box(isa, &mut g, &sb, t, 6, 3, 4);
+    Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split {
+            w: 6,
+            h: 3,
+            threads: 4,
+        })
+        .star3(s)
+        .unwrap()
+        .run(&mut g, t);
     assert_eq!(max_abs_diff3(&g, &reference), 0.0);
 }
 
@@ -257,11 +388,127 @@ fn parallel_equals_serial_bitwise() {
     let s = S1d3p::heat();
     let isa = Isa::detect_best();
     let init = grid1(2000, 77);
-    let mut serial = init.clone();
-    tessellate1_star1(Method::TransLayout2, isa, &mut serial, &s, 24, 256, 16, 1);
+    let tiled = |threads: usize| {
+        let mut g = init.clone();
+        Plan::new(Shape::d1(2000))
+            .method(Method::TransLayout2)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [256, 0, 0],
+                h: 16,
+                threads,
+            })
+            .star1(s)
+            .unwrap()
+            .run(&mut g, 24);
+        g
+    };
+    let serial = tiled(1);
     for threads in [2usize, 8, 16] {
-        let mut par = init.clone();
-        tessellate1_star1(Method::TransLayout2, isa, &mut par, &s, 24, 256, 16, threads);
+        let par = tiled(threads);
         assert_eq!(max_abs_diff1(&par, &serial), 0.0, "threads={threads}");
+    }
+}
+
+#[test]
+fn sessions_amortize_tiled_stepping_exactly() {
+    // One tiled session stepping 4 × 8 steps equals a single 32-step run.
+    let s = S1d3p::heat();
+    let isa = Isa::detect_best();
+    let init = grid1(1500, 31);
+    let mut plan = Plan::new(Shape::d1(1500))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [200, 0, 0],
+            h: 8,
+            threads: 4,
+        })
+        .star1(s)
+        .unwrap();
+    let mut g = init.clone();
+    {
+        let mut sess = plan.session(&mut g);
+        for _ in 0..4 {
+            sess.run(8);
+        }
+    }
+    let mut once = init.clone();
+    Plan::new(Shape::d1(1500))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [200, 0, 0],
+            h: 8,
+            threads: 4,
+        })
+        .star1(s)
+        .unwrap()
+        .run(&mut once, 32);
+    assert_eq!(max_abs_diff1(&g, &once), 0.0);
+}
+
+mod legacy_wrappers {
+    //! The 13 legacy free functions are thin wrappers over `Plan`; keep
+    //! them green and bit-identical to the plan path.
+
+    use super::*;
+
+    #[test]
+    fn legacy_tessellate_and_split_remain_green() {
+        let s = S1d3p {
+            w: [0.21, 0.55, 0.2],
+        };
+        let isa = Isa::detect_best();
+        let (n, t) = (700usize, 12usize);
+        let init = grid1(n, 19);
+        let reference = scalar1(&init, s, t, isa);
+
+        let mut g = init.clone();
+        tessellate1_star1(Method::TransLayout2, isa, &mut g, &s, t, 100, 10, 4);
+        assert_eq!(max_abs_diff1(&g, &reference), 0.0, "tessellate wrapper");
+
+        let mut g = init.clone();
+        split1_star1(isa, &mut g, &s, t, 24, 6, 4);
+        assert_eq!(max_abs_diff1(&g, &reference), 0.0, "split wrapper");
+    }
+
+    #[test]
+    fn legacy_box_wrappers_remain_green() {
+        let isa = Isa::detect_best();
+        let mut r = StdRng::seed_from_u64(40);
+        let mut w = [0.0f64; 9];
+        for x in w.iter_mut() {
+            *x = r.random_range(0.0..0.1);
+        }
+        let sb = S2d9p { w };
+        let init = grid2(96, 24, 23);
+        let mut reference = init.clone();
+        Plan::new(Shape::d2(96, 24))
+            .method(Method::Scalar)
+            .isa(isa)
+            .box2(sb)
+            .unwrap()
+            .run(&mut reference, 6);
+        let mut g = init.clone();
+        split2_box(isa, &mut g, &sb, 6, 8, 4, 4);
+        assert_eq!(max_abs_diff2(&g, &reference), 0.0, "split2_box wrapper");
+
+        let mut w3 = [0.0f64; 27];
+        for x in w3.iter_mut() {
+            *x = r.random_range(0.0..0.035);
+        }
+        let s3 = S3d27p { w: w3 };
+        let init = grid3(66, 12, 10, 29);
+        let mut reference = init.clone();
+        Plan::new(Shape::d3(66, 12, 10))
+            .method(Method::Scalar)
+            .isa(isa)
+            .box3(s3)
+            .unwrap()
+            .run(&mut reference, 4);
+        let mut g = init.clone();
+        split3_box(isa, &mut g, &s3, 4, 5, 2, 4);
+        assert_eq!(max_abs_diff3(&g, &reference), 0.0, "split3_box wrapper");
     }
 }

@@ -1,7 +1,8 @@
 //! Iterated 3×3 box blur (the 2D9P box stencil) on a synthetic test
 //! pattern — the image-processing workload the paper's §2.2 calls out as
 //! the case where DLT's transform overhead hurts (few time steps), which
-//! the local transpose layout avoids.
+//! the local transpose layout avoids. Each scheme runs through a reused
+//! [`Plan`].
 //!
 //! ```sh
 //! cargo run --release --example blur2d [-- passes]
@@ -32,10 +33,20 @@ fn main() -> std::io::Result<()> {
     println!("{nx}x{ny} image, {passes} blur passes ({isa})");
     println!("{:<14} {:>10}", "method", "time");
     let mut blurred = None;
-    for method in [Method::Scalar, Method::MultiLoad, Method::Dlt, Method::TransLayout] {
+    for method in [
+        Method::Scalar,
+        Method::MultiLoad,
+        Method::Dlt,
+        Method::TransLayout,
+    ] {
+        let mut plan = Plan::new(Shape::d2(nx, ny))
+            .method(method)
+            .isa(isa)
+            .box2(blur)
+            .expect("valid plan");
         let mut g = img.clone();
         let t0 = Instant::now();
-        run2_box(method, isa, &mut g, &blur, passes);
+        plan.run(&mut g, passes);
         println!("{:<14} {:>8.2?}", method.name(), t0.elapsed());
         if let Some(reference) = &blurred {
             assert_eq!(stencil_lab::core::verify::max_abs_diff2(&g, reference), 0.0);

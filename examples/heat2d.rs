@@ -1,6 +1,6 @@
 //! 2D heat diffusion: four hot sources on a cold plate, run with the
-//! transpose-layout scheme under tessellate tiling on all cores, rendered
-//! as a PGM heat map.
+//! transpose-layout scheme under tessellate tiling on all cores via a
+//! [`Plan`], rendered as a PGM heat map.
 //!
 //! ```sh
 //! cargo run --release --example heat2d [-- out.pgm]
@@ -28,20 +28,22 @@ fn main() -> std::io::Result<()> {
             .sum()
     });
 
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut plan = Plan::new(Shape::d2(nx, ny))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [192, 128, 0],
+            h: 60,
+            threads,
+        })
+        .star2(stencil)
+        .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = std::time::Instant::now();
-    tessellate2_star(
-        Method::TransLayout2,
-        isa,
-        &mut g,
-        &stencil,
-        steps,
-        192,
-        128,
-        60,
-        threads,
-    );
+    plan.run(&mut g, steps);
     println!(
         "{nx}x{ny} plate, {steps} steps on {threads} threads ({isa}): {:.2?}",
         t0.elapsed()
@@ -50,15 +52,22 @@ fn main() -> std::io::Result<()> {
     // Cross-check against the scalar reference (smaller step count would
     // do, but the full run is cheap enough).
     let mut reference = init.clone();
-    run2_star(Method::Scalar, isa, &mut reference, &stencil, steps);
+    Plan::new(Shape::d2(nx, ny))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star2(stencil)
+        .expect("valid plan")
+        .run(&mut reference, steps);
     let diff = stencil_lab::core::verify::max_abs_diff2(&g, &reference);
     println!("max |Δ| vs scalar reference: {diff:e}");
     assert_eq!(diff, 0.0);
 
     // Render as PGM.
-    let path = std::env::args().nth(1).unwrap_or_else(|| "heat2d.pgm".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "heat2d.pgm".into());
     let peak = (0..ny)
-        .flat_map(|y| g.row(y).iter().copied().collect::<Vec<_>>())
+        .flat_map(|y| g.row(y).iter().copied())
         .fold(f64::MIN, f64::max);
     let mut out = Vec::with_capacity(nx * ny + 64);
     writeln!(out, "P5\n{nx} {ny}\n255")?;

@@ -1,5 +1,6 @@
 //! Quickstart: diffuse a heat spike with every vectorization scheme and
-//! check they agree, then time the paper's scheme against the baselines.
+//! check they agree, then time the paper's scheme against the baselines —
+//! all through the [`Plan`] engine.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -20,13 +21,23 @@ fn main() {
     let init = Grid1::from_fn(n, 0.0, |i| if i == n / 2 { 1000.0 } else { 0.0 });
 
     let mut reference = init.clone();
-    run1_star1(Method::Scalar, isa, &mut reference, &stencil, steps);
+    Plan::new(Shape::d1(n))
+        .method(Method::Scalar)
+        .isa(isa)
+        .star1(stencil)
+        .expect("valid plan")
+        .run(&mut reference, steps);
 
     println!("{:<14} {:>10} {:>14}", "method", "time", "max|Δ| vs scalar");
     for method in Method::ALL {
+        let mut plan = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .star1(stencil)
+            .expect("valid plan");
         let mut g = init.clone();
         let t0 = Instant::now();
-        run1_star1(method, isa, &mut g, &stencil, steps);
+        plan.run(&mut g, steps);
         let dt = t0.elapsed();
         let diff = stencil_lab::core::verify::max_abs_diff1(&g, &reference);
         println!("{:<14} {:>8.2?} {:>14.1e}", method.name(), dt, diff);
@@ -34,12 +45,46 @@ fn main() {
     }
 
     // The same physics, temporally tiled across all cores.
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let mut plan = Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [2000, 0, 0],
+            h: 100,
+            threads,
+        })
+        .star1(stencil)
+        .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = Instant::now();
-    tessellate1_star1(Method::TransLayout2, isa, &mut g, &stencil, steps, 2000, 100, threads);
+    plan.run(&mut g, steps);
     println!(
         "\ntessellate + translayout2 on {threads} threads: {:.2?} (still exact: {:e})",
+        t0.elapsed(),
+        stencil_lab::core::verify::max_abs_diff1(&g, &reference)
+    );
+
+    // Repeated stepping through a layout-resident session: the transpose
+    // round-trip and scratch allocation are paid once, not per call.
+    let mut plan = Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .star1(stencil)
+        .expect("valid plan");
+    let mut g = init.clone();
+    let t0 = Instant::now();
+    {
+        let mut sess = plan.session(&mut g);
+        for _ in 0..steps / 20 {
+            sess.run(20);
+        }
+    }
+    println!(
+        "session ({} × 20-step calls): {:.2?} (still exact: {:e})",
+        steps / 20,
         t0.elapsed(),
         stencil_lab::core::verify::max_abs_diff1(&g, &reference)
     );

@@ -1,7 +1,7 @@
 //! 3D pulse propagation with the 7-point star stencil — a seismic-style
 //! volume workload run through the full stack: transpose layout, k = 2
-//! unroll-and-jam, tessellate tiling, all cores. Prints an ASCII slice of
-//! the diffusing wavefront.
+//! unroll-and-jam, tessellate tiling, all cores, one reused [`Plan`].
+//! Prints an ASCII slice of the diffusing wavefront.
 //!
 //! ```sh
 //! cargo run --release --example wave3d
@@ -16,7 +16,9 @@ fn main() {
     let (nx, ny, nz) = (128usize, 128usize, 128usize);
     let steps = 40;
     let stencil = S3d7p::heat();
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
 
     // A pulse off-center in the volume.
     let init = Grid3::from_fn(nx, ny, nz, 1, 0.0, |z, y, x| {
@@ -29,25 +31,29 @@ fn main() {
     });
 
     println!("{nx}x{ny}x{nz} volume, {steps} steps, {threads} threads ({isa})");
+    let mut plan = Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [64, 24, 24],
+            h: 10,
+            threads,
+        })
+        .star3(stencil)
+        .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = Instant::now();
-    tessellate3_star(
-        Method::TransLayout2,
-        isa,
-        &mut g,
-        &stencil,
-        steps,
-        64,
-        24,
-        24,
-        10,
-        threads,
-    );
+    plan.run(&mut g, steps);
     let tiled = t0.elapsed();
 
     let mut reference = init.clone();
     let t0 = Instant::now();
-    run3_star(Method::MultiLoad, isa, &mut reference, &stencil, steps);
+    Plan::new(Shape::d3(nx, ny, nz))
+        .method(Method::MultiLoad)
+        .isa(isa)
+        .star3(stencil)
+        .expect("valid plan")
+        .run(&mut reference, steps);
     let plain = t0.elapsed();
 
     let diff = stencil_lab::core::verify::max_abs_diff3(&g, &reference);

@@ -7,17 +7,22 @@
 //! Re-exports the three layers:
 //!
 //! * [`simd`] — vector ISA abstraction, in-register transposes, assembles;
-//! * [`core`] — grids, stencils, the transpose-layout scheme and all
-//!   baseline vectorization methods;
-//! * [`tiling`] — tessellate and split temporal tiling with parallel
-//!   stage execution.
+//! * [`core`] — grids, stencils, the transpose-layout scheme, all
+//!   baseline vectorization methods, and the [`Plan`](core::exec::Plan)
+//!   execution engine (including both temporal-tiling frameworks);
+//! * [`tiling`] — legacy tessellate/split entry points (thin wrappers
+//!   over `Plan`).
 //!
 //! ```
 //! use stencil_lab::prelude::*;
 //!
-//! let isa = Isa::detect_best();
+//! let mut plan = Plan::new(Shape::d1(1 << 14))
+//!     .method(Method::TransLayout2)
+//!     .isa(Isa::detect_best())
+//!     .star1(S1d3p::heat())
+//!     .unwrap();
 //! let mut g = Grid1::from_fn(1 << 14, 0.0, |i| (i as f64 * 0.001).sin());
-//! run1_star1(Method::TransLayout2, isa, &mut g, &S1d3p::heat(), 64);
+//! plan.run(&mut g, 64);
 //! ```
 
 pub use stencil_core as core;
@@ -26,6 +31,7 @@ pub use stencil_tiling as tiling;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
+    pub use stencil_core::exec::{Plan, PlanError, Shape, Tiling};
     pub use stencil_core::{
         run1_star1, run2_box, run2_star, run3_box, run3_star, Box2, Box3, Grid1, Grid2, Grid3,
         Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,

@@ -1,6 +1,7 @@
 //! Workspace-level integration tests: the three crates working together
-//! through the umbrella prelude, plus physics-level sanity checks that
-//! don't depend on any reference implementation.
+//! through the umbrella prelude and the [`Plan`] engine, plus
+//! physics-level sanity checks that don't depend on any reference
+//! implementation.
 
 use stencil_lab::prelude::*;
 use stencil_simd::AlignedBuf;
@@ -14,11 +15,36 @@ fn prelude_end_to_end_pipeline() {
 
     // untiled transpose-layout, tiled tessellate, tiled split: all equal
     let mut a = init.clone();
-    run1_star1(Method::TransLayout2, isa, &mut a, &s, 40);
+    Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .star1(s)
+        .unwrap()
+        .run(&mut a, 40);
     let mut b = init.clone();
-    tessellate1_star1(Method::TransLayout2, isa, &mut b, &s, 40, 512, 64, 8);
+    Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [512, 0, 0],
+            h: 64,
+            threads: 8,
+        })
+        .star1(s)
+        .unwrap()
+        .run(&mut b, 40);
     let mut c = init.clone();
-    split1_star1(isa, &mut c, &s, 40, 64, 32, 8);
+    Plan::new(Shape::d1(n))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split {
+            w: 64,
+            h: 32,
+            threads: 8,
+        })
+        .star1(s)
+        .unwrap()
+        .run(&mut c, 40);
     assert_eq!(stencil_lab::core::verify::max_abs_diff1(&a, &b), 0.0);
     assert_eq!(stencil_lab::core::verify::max_abs_diff1(&a, &c), 0.0);
 }
@@ -26,13 +52,21 @@ fn prelude_end_to_end_pipeline() {
 #[test]
 fn heat_decays_monotonically_toward_boundary_value() {
     // With zero boundaries and normalized positive weights, the max
-    // principle holds: max decreases, min increases toward 0.
+    // principle holds: max decreases, min increases toward 0. Stepping
+    // happens inside one layout-resident session — ten runs, one
+    // transpose round-trip... per observation, since reading the interior
+    // requires leaving the session.
     let isa = Isa::detect_best();
     let s = S1d3p::heat();
+    let mut plan = Plan::new(Shape::d1(2048))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .star1(s)
+        .unwrap();
     let mut g = Grid1::from_fn(2048, 0.0, |i| if i == 1024 { 100.0 } else { 0.0 });
     let mut prev_max = 100.0f64;
     for _ in 0..10 {
-        run1_star1(Method::TransLayout2, isa, &mut g, &s, 4);
+        plan.run(&mut g, 4);
         let mx = g.interior().iter().fold(f64::MIN, |m, &x| m.max(x));
         let mn = g.interior().iter().fold(f64::MAX, |m, &x| m.min(x));
         assert!(mx <= prev_max + 1e-12, "max principle violated");
@@ -48,7 +82,12 @@ fn blur_converges_to_constant() {
     let isa = Isa::detect_best();
     let s = S2d9p::blur();
     let mut g = Grid2::from_fn(96, 64, 1, 0.5, |y, x| ((x + y) % 2) as f64);
-    run2_box(Method::TransLayout, isa, &mut g, &s, 200);
+    Plan::new(Shape::d2(96, 64))
+        .method(Method::TransLayout)
+        .isa(isa)
+        .box2(s)
+        .unwrap()
+        .run(&mut g, 200);
     for y in 0..64 {
         for &v in g.row(y) {
             assert!((v - 0.5).abs() < 0.05, "not converged: {v}");
@@ -63,10 +102,25 @@ fn cross_isa_agreement_end_to_end() {
     let s = S2d5p::heat();
     let init = Grid2::from_fn(130, 40, 1, 0.0, |y, x| ((x * 31 + y * 17) % 101) as f64);
     let mut reference = init.clone();
-    run2_star(Method::Scalar, Isa::Portable4, &mut reference, &s, 12);
+    Plan::new(Shape::d2(130, 40))
+        .method(Method::Scalar)
+        .isa(Isa::Portable4)
+        .star2(s)
+        .unwrap()
+        .run(&mut reference, 12);
     for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
         let mut g = init.clone();
-        tessellate2_star(Method::TransLayout2, isa, &mut g, &s, 12, 48, 16, 6, 4);
+        Plan::new(Shape::d2(130, 40))
+            .method(Method::TransLayout2)
+            .isa(isa)
+            .tiling(Tiling::Tessellate {
+                w: [48, 16, 0],
+                h: 6,
+                threads: 4,
+            })
+            .star2(s)
+            .unwrap()
+            .run(&mut g, 12);
         assert_eq!(
             stencil_lab::core::verify::max_abs_diff2(&g, &reference),
             0.0,
@@ -79,15 +133,90 @@ fn cross_isa_agreement_end_to_end() {
 fn three_d_tiled_matches_untiled_through_prelude() {
     let isa = Isa::detect_best();
     let s = S3d7p::heat();
-    let init = Grid3::from_fn(72, 20, 12, 1, 0.0, |z, y, x| ((x + 2 * y + 3 * z) % 7) as f64);
+    let init = Grid3::from_fn(72, 20, 12, 1, 0.0, |z, y, x| {
+        ((x + 2 * y + 3 * z) % 7) as f64
+    });
     let mut a = init.clone();
-    run3_star(Method::MultiLoad, isa, &mut a, &s, 6);
+    Plan::new(Shape::d3(72, 20, 12))
+        .method(Method::MultiLoad)
+        .isa(isa)
+        .star3(s)
+        .unwrap()
+        .run(&mut a, 6);
     let mut b = init.clone();
-    tessellate3_star(Method::TransLayout2, isa, &mut b, &s, 6, 36, 8, 6, 3, 6);
+    Plan::new(Shape::d3(72, 20, 12))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .tiling(Tiling::Tessellate {
+            w: [36, 8, 6],
+            h: 3,
+            threads: 6,
+        })
+        .star3(s)
+        .unwrap()
+        .run(&mut b, 6);
     let mut c = init.clone();
-    split3_star(isa, &mut c, &s, 6, 6, 3, 6);
+    Plan::new(Shape::d3(72, 20, 12))
+        .method(Method::Dlt)
+        .isa(isa)
+        .tiling(Tiling::Split {
+            w: 6,
+            h: 3,
+            threads: 6,
+        })
+        .star3(s)
+        .unwrap()
+        .run(&mut c, 6);
     assert_eq!(stencil_lab::core::verify::max_abs_diff3(&a, &b), 0.0);
     assert_eq!(stencil_lab::core::verify::max_abs_diff3(&a, &c), 0.0);
+}
+
+#[test]
+fn legacy_free_functions_still_agree_with_plan() {
+    // The 13 legacy entry points are thin wrappers over Plan; spot-check
+    // that the wrapper path stays bit-identical to driving Plan directly.
+    let isa = Isa::detect_best();
+    let n = 2048;
+    let s = S1d3p::heat();
+    let init = Grid1::from_fn(n, 0.0, |i| ((i * 13) % 31) as f64);
+
+    let mut via_plan = init.clone();
+    Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .star1(s)
+        .unwrap()
+        .run(&mut via_plan, 24);
+
+    let mut via_legacy = init.clone();
+    run1_star1(Method::TransLayout2, isa, &mut via_legacy, &s, 24);
+    assert_eq!(
+        stencil_lab::core::verify::max_abs_diff1(&via_plan, &via_legacy),
+        0.0
+    );
+
+    let mut via_legacy_tess = init.clone();
+    tessellate1_star1(
+        Method::TransLayout2,
+        isa,
+        &mut via_legacy_tess,
+        &s,
+        24,
+        256,
+        16,
+        4,
+    );
+    assert_eq!(
+        stencil_lab::core::verify::max_abs_diff1(&via_plan, &via_legacy_tess),
+        0.0
+    );
+
+    let mut via_legacy_split = init.clone();
+    split1_star1(isa, &mut via_legacy_split, &s, 24, 32, 8, 4);
+    assert_eq!(
+        stencil_lab::core::verify::max_abs_diff1(&via_plan, &via_legacy_split),
+        0.0
+    );
 }
 
 #[test]
