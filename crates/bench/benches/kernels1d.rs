@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::grid1;
-use stencil_core::exec::{Plan, Shape};
+use stencil_core::exec::{Parallelism, Plan, Shape};
 use stencil_core::{Method, S1d3p, S1d5p};
 use stencil_simd::Isa;
 
@@ -24,6 +24,7 @@ fn bench(c: &mut Criterion) {
             let mut plan = Plan::new(Shape::d1(n))
                 .method(m)
                 .isa(isa)
+                .parallelism(Parallelism::Off)
                 .star1(s)
                 .expect("valid plan");
             group.bench_function(m.name(), |b| {
@@ -47,6 +48,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d1(n))
             .method(m)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .star1(s)
             .expect("valid plan");
         group.bench_function(m.name(), |b| {

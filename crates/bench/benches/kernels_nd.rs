@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::{grid2, grid3};
-use stencil_core::exec::{Plan, Shape};
+use stencil_core::exec::{Parallelism, Plan, Shape};
 use stencil_core::{Method, S2d5p, S2d9p, S3d27p, S3d7p};
 use stencil_simd::Isa;
 
@@ -21,6 +21,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d2(nx, ny))
             .method(m)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .star2(s)
             .expect("valid plan");
         group.bench_function(m.name(), |b| {
@@ -41,6 +42,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d2(nx, ny))
             .method(m)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .box2(s)
             .expect("valid plan");
         group.bench_function(m.name(), |b| {
@@ -63,6 +65,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d3(nx, ny, nz))
             .method(m)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .star3(s)
             .expect("valid plan");
         group.bench_function(m.name(), |b| {
@@ -83,6 +86,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d3(nx, ny, nz))
             .method(m)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .box3(s)
             .expect("valid plan");
         group.bench_function(m.name(), |b| {

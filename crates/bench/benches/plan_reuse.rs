@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use stencil_bench::grid1;
-use stencil_core::exec::{Plan, Shape};
+use stencil_core::exec::{Parallelism, Plan, Shape};
 use stencil_core::{run1_star1, Method, S1d3p};
 use stencil_simd::Isa;
 
@@ -27,6 +27,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d1(n))
             .method(Method::TransLayout2)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .star1(s)
             .expect("valid plan");
         let mut g = init.clone();
@@ -37,6 +38,7 @@ fn bench(c: &mut Criterion) {
         let mut plan = Plan::new(Shape::d1(n))
             .method(Method::TransLayout2)
             .isa(isa)
+            .parallelism(Parallelism::Off)
             .star1(s)
             .expect("valid plan");
         let mut g = init.clone();

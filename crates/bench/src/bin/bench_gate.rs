@@ -1,0 +1,121 @@
+//! CI perf-regression gate: diff fresh `BENCH_*.json` snapshots against
+//! the committed `BENCH_baseline/` and fail on a geomean regression past
+//! the threshold. See `stencil_bench::gate` for the matching rules.
+//!
+//! ```sh
+//! bench_gate [NAME...] [--baseline=DIR] [--current=DIR] \
+//!            [--threshold=PCT] [--rebaseline] [--strict]
+//! ```
+//!
+//! Defaults: names `plan_reuse scaling`, baseline `<root>/BENCH_baseline`,
+//! current `<root>` (where bare `--save-json` writes), threshold 15%.
+//! When the baseline's host fingerprint (ISA × cores) differs from the
+//! current host's, the diff is advisory and exits 0 unless `--strict`.
+
+use stencil_bench::gate;
+use stencil_bench::save::workspace_root;
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut baseline = workspace_root().join("BENCH_baseline");
+    let mut current = workspace_root();
+    let mut threshold = 15.0f64;
+    let mut do_rebaseline = false;
+    let mut strict = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--baseline=") {
+            baseline = v.into();
+        } else if let Some(v) = arg.strip_prefix("--current=") {
+            current = v.into();
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            threshold = v.parse().expect("--threshold=PCT takes a number");
+        } else if arg == "--rebaseline" {
+            do_rebaseline = true;
+        } else if arg == "--strict" {
+            strict = true;
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg}");
+            std::process::exit(2);
+        } else {
+            names.push(arg);
+        }
+    }
+    if names.is_empty() {
+        names = vec!["plan_reuse".into(), "scaling".into()];
+    }
+    let names: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    if do_rebaseline {
+        match gate::rebaseline(&names, &baseline, &current) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("rebaselined {}", p.display());
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("rebaseline failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "# bench_gate: {} vs {} (fail above {threshold:.0}% geomean regression)",
+        current.display(),
+        baseline.display()
+    );
+    let mut all_ratios = Vec::new();
+    let mut errors = 0usize;
+    let mut mismatch: Option<String> = None;
+    for name in &names {
+        match gate::diff_file(name, &baseline, &current) {
+            Ok(diff) => {
+                println!(
+                    "  {name:<12} {:>4} rows matched, {:>2} unmatched, geomean {:+.1}%",
+                    diff.ratios.len(),
+                    diff.unmatched,
+                    (diff.geomean() - 1.0) * 100.0
+                );
+                if let Some(m) = diff.host_mismatch {
+                    mismatch.get_or_insert(m);
+                }
+                all_ratios.extend(diff.ratios);
+            }
+            Err(e) => {
+                eprintln!("  {name}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("bench_gate: {errors} snapshot(s) missing or unreadable");
+        std::process::exit(2);
+    }
+    if all_ratios.is_empty() {
+        eprintln!("bench_gate: no rows matched — baseline out of date? (run --rebaseline)");
+        std::process::exit(2);
+    }
+    let gm = gate::geomean(&all_ratios);
+    let pct = (gm - 1.0) * 100.0;
+    println!(
+        "overall: {} rows, geomean {pct:+.1}% vs baseline",
+        all_ratios.len()
+    );
+    if let Some(m) = mismatch {
+        if !strict {
+            println!(
+                "bench_gate: ADVISORY — {m}; absolute wall times don't gate across host \
+                 classes. Run `scripts/bench_gate --rebaseline` on this runner class to arm \
+                 the gate (or pass --strict to enforce anyway)."
+            );
+            return;
+        }
+        println!("note: {m} (comparing anyway: --strict)");
+    }
+    if gm > 1.0 + threshold / 100.0 {
+        eprintln!("bench_gate: FAIL — geomean regression {pct:+.1}% exceeds {threshold:.0}%");
+        std::process::exit(1);
+    }
+    println!("bench_gate: OK");
+}

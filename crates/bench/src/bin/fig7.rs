@@ -8,9 +8,14 @@ use stencil_simd::Isa;
 fn main() {
     stencil_bench::banner("Fig. 7: sequential block-free performance (1D3P, GFLOP/s)");
     let isa = Isa::detect_best();
-    let full = stencil_bench::full_mode();
+    let scale = stencil_bench::scale();
+    let panels: &[(&str, usize)] = if scale == stencil_bench::Scale::Smoke {
+        &[("a", 40)]
+    } else {
+        &[("a", 200), ("b", 2000)]
+    };
     let mut all_rows = Vec::new();
-    for (panel, base) in [("a", 200usize), ("b", 2000usize)] {
+    for &(panel, base) in panels {
         println!(
             "\n## Fig 7({panel}): base steps T={base} (scaled from paper's {})",
             base * 5
@@ -19,7 +24,7 @@ fn main() {
             "{:<10} {:<5} {:<7} {:>12} {:>10} {:>10} {:>10} {:>10}",
             "n", "level", "steps", "MultiLoad", "Reorg", "DLT", "Our", "Our2"
         );
-        let rows = sweep(isa, base, full);
+        let rows = sweep(isa, base, scale);
         all_rows.extend(rows.iter().cloned());
         let mut by_n: Vec<usize> = rows.iter().map(|r| r.n).collect();
         by_n.dedup();

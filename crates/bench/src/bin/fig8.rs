@@ -8,16 +8,21 @@ fn main() {
     stencil_bench::banner(
         "Fig. 8: multicore cache-blocking performance (1D3P, GFLOP/s, all cores)",
     );
-    let full = stencil_bench::full_mode();
+    let scale = stencil_bench::scale();
     let isa = Isa::detect_best();
+    let panels: &[(&str, usize)] = if scale == stencil_bench::Scale::Smoke {
+        &[("a", 64)]
+    } else {
+        &[("a", 400), ("b", 4000)]
+    };
     let mut all_rows = Vec::new();
-    for (panel, base) in [("a", 400usize), ("b", 4000usize)] {
+    for &(panel, base) in panels {
         println!("\n## Fig 8({panel}): base steps T={base}");
         println!(
             "{:<10} {:<5} {:<6} {:<7} {:>10} {:>13} {:>9} {:>9}",
             "n", "level", "block", "steps", "SDSL", "Tessellation", "Our", "Our2"
         );
-        let rows = sweep(isa, base, full);
+        let rows = sweep(isa, base, scale);
         all_rows.extend(rows.iter().cloned());
         for n in rows
             .iter()

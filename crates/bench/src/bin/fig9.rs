@@ -21,7 +21,7 @@ fn main() {
             .filter(|s| args.iter().any(|a| a == s))
             .collect()
     };
-    let rows = sweep(stencil_bench::full_mode(), &stencils);
+    let rows = sweep(stencil_bench::scale(), &stencils);
     for stencil in &stencils {
         for isa in ["avx2", "avx512"] {
             let cells: Vec<_> = rows

@@ -6,14 +6,18 @@
 //! kernels only).
 //!
 //! ```sh
-//! cargo run --release --bin plan_reuse [-- --save-json]
+//! cargo run --release --bin plan_reuse [-- --save-json] [--smoke] [--threads=N]
 //! ```
+//!
+//! `--smoke` shrinks the sweep to CI size; `--threads=N` applies
+//! `Parallelism::Threads(N)` to the plan/session variants (the free
+//! function is the paper's sequential accounting and stays at 1).
 
 use std::time::Instant;
 
 use stencil_bench::save::{Row, Value};
-use stencil_bench::{gflops, grid1, storage_level};
-use stencil_core::exec::{Plan, Shape};
+use stencil_bench::{gflops, grid1, storage_level, Scale};
+use stencil_core::exec::{Parallelism, Plan, Shape};
 use stencil_core::{run1_star1, Method, S1d3p, Star1};
 use stencil_simd::Isa;
 
@@ -34,18 +38,28 @@ fn main() {
     stencil_bench::banner("plan_reuse: repeated stepping, free fn vs Plan vs Session (1D3P)");
     let isa = Isa::detect_best();
     let s = S1d3p::heat();
+    let par = match stencil_bench::threads_arg() {
+        Some(n) => Parallelism::Threads(n),
+        None => Parallelism::Off,
+    };
+    let threads = stencil_bench::threads_arg().unwrap_or(1);
     let mut rows: Vec<Row> = Vec::new();
 
     println!(
         "\n{:<10} {:<6} {:>7} {:>6} {:>14} {:>14} {:>14}  {:>9} {:>9}",
         "n", "level", "chunk", "calls", "free_fn", "plan.run", "session", "plan/free", "sess/free"
     );
-    for (n, chunk, calls) in [
-        (1_500usize, 8usize, 400usize),
-        (40_000, 8, 100),
-        (500_000, 4, 20),
-        (4_000_000, 2, 6),
-    ] {
+    let sweep: &[(usize, usize, usize)] = if stencil_bench::scale() == Scale::Smoke {
+        &[(1_500, 8, 100), (40_000, 8, 30), (500_000, 4, 6)]
+    } else {
+        &[
+            (1_500, 8, 400),
+            (40_000, 8, 100),
+            (500_000, 4, 20),
+            (4_000_000, 2, 6),
+        ]
+    };
+    for &(n, chunk, calls) in sweep {
         let init = grid1(n, 21);
         let method = Method::TransLayout2;
 
@@ -59,6 +73,7 @@ fn main() {
         let mut plan = Plan::new(Shape::d1(n))
             .method(method)
             .isa(isa)
+            .parallelism(par)
             .star1(s)
             .expect("valid plan");
         let mut g = init.clone();
@@ -71,6 +86,7 @@ fn main() {
         let mut plan = Plan::new(Shape::d1(n))
             .method(method)
             .isa(isa)
+            .parallelism(par)
             .star1(s)
             .expect("valid plan");
         let mut g = init.clone();
@@ -101,6 +117,7 @@ fn main() {
             rows.push(vec![
                 ("n", Value::from(n)),
                 ("level", Value::from(level)),
+                ("threads", Value::from(threads)),
                 ("chunk", Value::from(chunk)),
                 ("calls", Value::from(calls)),
                 ("variant", Value::from(variant)),

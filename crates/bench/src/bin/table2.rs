@@ -9,7 +9,13 @@ fn main() {
     stencil_bench::banner(
         "Table 2: speedup over MultiLoad per storage level (1D3P, single thread)",
     );
-    let rows = sweep(Isa::detect_best(), 200, stencil_bench::full_mode());
+    let scale = stencil_bench::scale();
+    let base = if scale == stencil_bench::Scale::Smoke {
+        40
+    } else {
+        200
+    };
+    let rows = sweep(Isa::detect_best(), base, scale);
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
         "Level", "Reorg", "DLT", "Our", "Our2"

@@ -6,7 +6,13 @@ use stencil_simd::Isa;
 
 fn main() {
     stencil_bench::banner("Table 3: speedup over SDSL, multicore cache-blocking (1D3P)");
-    let rows = sweep(Isa::detect_best(), 400, stencil_bench::full_mode());
+    let scale = stencil_bench::scale();
+    let base = if scale == stencil_bench::Scale::Smoke {
+        64
+    } else {
+        400
+    };
+    let rows = sweep(Isa::detect_best(), base, scale);
     println!(
         "{:<8} {:<6} {:>14} {:>8} {:>8}",
         "Level", "Block", "Tessellation", "Our", "Our2"

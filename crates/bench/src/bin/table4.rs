@@ -22,7 +22,7 @@ fn main() {
             .filter(|s| args.iter().any(|a| a == s))
             .collect()
     };
-    let rows = sweep(stencil_bench::full_mode(), &stencils);
+    let rows = sweep(stencil_bench::scale(), &stencils);
     println!(
         "{:<16} {:<14} {:>14} {:>16}",
         "Stencil(ISA)", "Method", "Speedup/base", "Scaling vs 1core"

@@ -6,12 +6,12 @@
 //! round-trip, matching the paper's Fig. 7 accounting, but scratch
 //! allocation is amortized the way a production caller would.
 
-use stencil_core::exec::{Plan, Shape};
+use stencil_core::exec::{Parallelism, Plan, Shape};
 use stencil_core::Star1;
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, heat1d, storage_level, SEQ_METHODS};
+use crate::{best_of, gflops, grid1, heat1d, storage_level, Scale, SEQ_METHODS};
 
 /// One measured cell of the Fig. 7 sweep.
 #[derive(Clone, Debug)]
@@ -30,22 +30,22 @@ pub struct Fig7Row {
 
 /// Problem sizes sweeping the hierarchy from L1 to memory (cells; working
 /// set is 2 arrays × 8 B × n).
-pub fn sizes(full: bool) -> Vec<usize> {
-    if full {
-        vec![
+pub fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![1_000, 32_000, 500_000],
+        Scale::Quick => vec![1_000, 4_000, 32_000, 250_000, 2_000_000, 8_000_000],
+        Scale::Full => vec![
             1_000, 4_000, 16_000, 64_000, 250_000, 1_000_000, 4_000_000, 10_240_000,
-        ]
-    } else {
-        vec![1_000, 4_000, 32_000, 250_000, 2_000_000, 8_000_000]
+        ],
     }
 }
 
 /// Run the sequential block-free sweep at a given base step count
 /// (the paper uses T = 1000 and T = 10000; we keep the 10× ratio).
-pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig7Row> {
+pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig7Row> {
     let s = heat1d();
     let mut rows = Vec::new();
-    for n in sizes(full) {
+    for n in sizes(scale) {
         // Keep per-cell work roughly constant across sizes: larger grids
         // get fewer steps, with a floor that preserves layout-transform
         // amortization effects (DLT's weakness at small T).
@@ -56,6 +56,7 @@ pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig7Row> {
             let mut plan = Plan::new(Shape::d1(n))
                 .method(m)
                 .isa(isa)
+                .parallelism(Parallelism::Off)
                 .star1(s)
                 .expect("valid plan");
             let reps = if n <= 64_000 { 3 } else { 2 };

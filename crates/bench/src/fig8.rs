@@ -10,7 +10,7 @@ use stencil_core::{Method, Star1};
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, heat1d, max_threads, storage_level};
+use crate::{best_of, gflops, grid1, heat1d, max_threads, storage_level, Scale};
 
 /// One measured cell of the Fig. 8 sweep.
 #[derive(Clone, Debug)]
@@ -43,13 +43,13 @@ pub fn block_width(blocking: &str) -> usize {
 }
 
 /// Problem sizes from L3 into memory.
-pub fn sizes(full: bool) -> Vec<usize> {
-    if full {
-        vec![
+pub fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![1_000_000],
+        Scale::Quick => vec![1_000_000, 4_000_000, 16_000_000],
+        Scale::Full => vec![
             1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000,
-        ]
-    } else {
-        vec![1_000_000, 4_000_000, 16_000_000]
+        ],
     }
 }
 
@@ -96,10 +96,10 @@ fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, t
 }
 
 /// Run the multicore cache-blocking sweep.
-pub fn sweep(isa: Isa, base_steps: usize, full: bool) -> Vec<Fig8Row> {
+pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig8Row> {
     let thr = max_threads();
     let mut rows = Vec::new();
-    for n in sizes(full) {
+    for n in sizes(scale) {
         let steps = (base_steps * 4_000_000 / n).clamp(64, base_steps) / 2 * 2;
         let level = storage_level(2 * 8 * n);
         for blocking in ["L1", "L2"] {

@@ -11,7 +11,7 @@ use stencil_core::{
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, grid2, grid3, max_threads};
+use crate::{best_of, gflops, grid1, grid2, grid3, max_threads, Scale};
 
 /// One measured cell of the Fig. 9 sweep.
 #[derive(Clone, Debug)]
@@ -57,12 +57,16 @@ pub fn thread_axis() -> Vec<usize> {
 }
 
 /// Measure one (stencil, isa, method, threads) cell. Problem sizes are the
-/// paper's Table 1 scaled to minutes; all exceed L3 as in §4.4.
-pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: bool) -> f64 {
-    let scale = if full { 2 } else { 1 };
+/// paper's Table 1 scaled to minutes (seconds at `Scale::Smoke`); the
+/// quick/full sizes all exceed L3 as in §4.4.
+pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, scale: Scale) -> f64 {
     match stencil {
         "1d3p" => {
-            let (n, t, w) = (2_560_000 * scale, 240, 2_000);
+            let (n, t, w) = match scale {
+                Scale::Smoke => (320_000, 48, 2_000),
+                Scale::Quick => (2_560_000, 240, 2_000),
+                Scale::Full => (5_120_000, 240, 2_000),
+            };
             let s = S1d3p::heat();
             let init = grid1(n, 3);
             let h = w / 2;
@@ -95,7 +99,11 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             gflops(n, t, S1d3p::flops_per_point(), secs)
         }
         "1d5p" => {
-            let (n, t, w) = (2_560_000 * scale, 240, 2_000);
+            let (n, t, w) = match scale {
+                Scale::Smoke => (320_000, 48, 2_000),
+                Scale::Quick => (2_560_000, 240, 2_000),
+                Scale::Full => (5_120_000, 240, 2_000),
+            };
             let s = S1d5p::heat();
             let init = grid1(n, 4);
             let h = w / 4;
@@ -128,7 +136,11 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             gflops(n, t, S1d5p::flops_per_point(), secs)
         }
         "2d5p" => {
-            let (nx, ny, t) = (1_504 * scale, 1_500, 50);
+            let (nx, ny, t) = match scale {
+                Scale::Smoke => (304, 300, 10),
+                Scale::Quick => (1_504, 1_500, 50),
+                Scale::Full => (3_008, 1_500, 50),
+            };
             let s = S2d5p::heat();
             let init = grid2(nx, ny, 5);
             let (wx, wy, h) = (200, 200, 50);
@@ -161,7 +173,11 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             gflops(nx * ny, t, S2d5p::flops_per_point(), secs)
         }
         "2d9p" => {
-            let (nx, ny, t) = (1_504 * scale, 1_500, 40);
+            let (nx, ny, t) = match scale {
+                Scale::Smoke => (304, 300, 8),
+                Scale::Quick => (1_504, 1_500, 40),
+                Scale::Full => (3_008, 1_500, 40),
+            };
             let s = S2d9p::blur();
             let init = grid2(nx, ny, 6);
             let (wx, wy, h) = (128, 120, 59);
@@ -194,7 +210,11 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             gflops(nx * ny, t, S2d9p::flops_per_point(), secs)
         }
         "3d7p" => {
-            let (nx, ny, nz, t) = (128 * scale, 128, 128, 20);
+            let (nx, ny, nz, t) = match scale {
+                Scale::Smoke => (64, 64, 64, 8),
+                Scale::Quick => (128, 128, 128, 20),
+                Scale::Full => (256, 128, 128, 20),
+            };
             let s = S3d7p::heat();
             let init = grid3(nx, ny, nz, 7);
             let (wx, wy, wz, h) = (64, 24, 24, 10);
@@ -227,7 +247,11 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
             gflops(nx * ny * nz, t, S3d7p::flops_per_point(), secs)
         }
         "3d27p" => {
-            let (nx, ny, nz, t) = (128 * scale, 128, 128, 16);
+            let (nx, ny, nz, t) = match scale {
+                Scale::Smoke => (64, 64, 64, 6),
+                Scale::Quick => (128, 128, 128, 16),
+                Scale::Full => (256, 128, 128, 16),
+            };
             let s = S3d27p::blur();
             let init = grid3(nx, ny, nz, 8);
             let (wx, wy, wz, h) = (64, 24, 24, 10);
@@ -264,7 +288,7 @@ pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, full: boo
 }
 
 /// Full scalability sweep (Fig. 9).
-pub fn sweep(full: bool, stencils: &[&'static str]) -> Vec<Fig9Row> {
+pub fn sweep(scale: Scale, stencils: &[&'static str]) -> Vec<Fig9Row> {
     let isas: Vec<Isa> = [Isa::Avx2, Isa::Avx512]
         .into_iter()
         .filter(|i| i.is_available())
@@ -274,7 +298,7 @@ pub fn sweep(full: bool, stencils: &[&'static str]) -> Vec<Fig9Row> {
         for &isa in &isas {
             for method in METHODS {
                 for &threads in &thread_axis() {
-                    let g = run_cell(stencil, isa, method, threads, full);
+                    let g = run_cell(stencil, isa, method, threads, scale);
                     rows.push(Fig9Row {
                         stencil,
                         isa,

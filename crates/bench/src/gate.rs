@@ -1,0 +1,514 @@
+//! Performance-regression gate over `BENCH_*.json` snapshots.
+//!
+//! CI runs the `plan_reuse` and `scaling` microbenchmarks with
+//! `--save-json`, then diffs the fresh snapshots against the committed
+//! `BENCH_baseline/` directory: rows are matched on their identity fields
+//! (everything except the measured metrics), per-row regression ratios
+//! are combined into a geometric mean, and the job fails when the geomean
+//! regresses past the threshold (default 15%). The geomean keeps one
+//! noisy cell from failing the gate while still catching a broad
+//! slowdown; the committed baseline is refreshed with `--rebaseline`
+//! whenever the canonical runner class or an intentional perf trade-off
+//! changes (see CONTRIBUTING.md).
+//!
+//! Absolute wall times only gate **between like hosts**: each snapshot
+//! carries a host fingerprint (`best_isa`, `host_threads`), and when the
+//! baseline's fingerprint differs from the current run's the diff is
+//! reported as advisory instead of failing the job (override with
+//! `--strict`) — a baseline recorded on a 1-core AVX-512 dev box must
+//! not fail every commit on a 4-core AVX2 runner, nor vacuously pass a
+//! faster one.
+//!
+//! The parser below covers the JSON subset `save.rs` emits (and any
+//! well-formed document without exponent-free edge cases it might grow).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Fields that hold measurements rather than identity.
+pub const METRIC_FIELDS: [&str; 4] = ["seconds", "gflops", "speedup_vs_off", "host_threads"];
+
+/// A parsed JSON value (owned, order-preserving objects).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64, which covers the emitted range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot comparison
+// ---------------------------------------------------------------------------
+
+/// Identity of one measured row: every non-metric field, rendered.
+fn row_key(row: &Json) -> String {
+    let Json::Obj(fields) = row else {
+        return String::new();
+    };
+    let mut parts: Vec<String> = fields
+        .iter()
+        .filter(|(k, _)| !METRIC_FIELDS.contains(&k.as_str()))
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    parts.sort();
+    parts.join("|")
+}
+
+/// Regression ratio for one matched row pair: > 1 means the current run
+/// is slower than baseline. Prefers wall seconds; falls back to GFLOP/s.
+fn row_ratio(base: &Json, cur: &Json) -> Option<f64> {
+    if let (Some(b), Some(c)) = (
+        base.get("seconds").and_then(Json::as_f64),
+        cur.get("seconds").and_then(Json::as_f64),
+    ) {
+        if b > 0.0 && c > 0.0 {
+            return Some(c / b);
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        base.get("gflops").and_then(Json::as_f64),
+        cur.get("gflops").and_then(Json::as_f64),
+    ) {
+        if b > 0.0 && c > 0.0 {
+            return Some(b / c);
+        }
+    }
+    None
+}
+
+/// Outcome of diffing one benchmark snapshot against baseline.
+#[derive(Debug)]
+pub struct FileDiff {
+    /// Benchmark name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Per-row regression ratios (current/baseline wall time).
+    pub ratios: Vec<f64>,
+    /// Rows present on only one side (skipped).
+    pub unmatched: usize,
+    /// Set when the baseline was recorded on a different host class
+    /// (ISA / core count): absolute wall-time comparison is then
+    /// advisory, not a gate (describes the mismatch).
+    pub host_mismatch: Option<String>,
+}
+
+/// Top-level host fingerprint of a snapshot (`best_isa`, `host_threads`).
+fn fingerprint(doc: &Json) -> (String, i64) {
+    let isa = match doc.get("best_isa") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "?".into(),
+    };
+    let threads = doc
+        .get("host_threads")
+        .and_then(Json::as_f64)
+        .map(|v| v as i64)
+        .unwrap_or(-1);
+    (isa, threads)
+}
+
+impl FileDiff {
+    /// Geometric mean of this file's ratios (1.0 when empty).
+    pub fn geomean(&self) -> f64 {
+        geomean(&self.ratios)
+    }
+}
+
+/// Geometric mean (1.0 for an empty slice).
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+/// Keyed rows of one snapshot plus its host fingerprint.
+type Snapshot = (BTreeMap<String, Json>, (String, i64));
+
+/// Diff one `BENCH_<name>.json` pair.
+pub fn diff_file(name: &str, baseline: &Path, current: &Path) -> Result<FileDiff, String> {
+    let load = |dir: &Path| -> Result<Snapshot, String> {
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fp = fingerprint(&doc);
+        let Some(Json::Arr(rows)) = doc.get("rows") else {
+            return Err(format!("{}: no rows array", path.display()));
+        };
+        Ok((rows.iter().map(|r| (row_key(r), r.clone())).collect(), fp))
+    };
+    let (base, base_fp) = load(baseline)?;
+    let (cur, cur_fp) = load(current)?;
+    let host_mismatch = (base_fp != cur_fp).then(|| {
+        format!(
+            "baseline host {}x{} vs current {}x{}",
+            base_fp.1, base_fp.0, cur_fp.1, cur_fp.0
+        )
+    });
+    let mut ratios = Vec::new();
+    let mut unmatched = 0usize;
+    for (key, brow) in &base {
+        match cur.get(key) {
+            Some(crow) => {
+                if let Some(r) = row_ratio(brow, crow) {
+                    ratios.push(r);
+                }
+            }
+            None => unmatched += 1,
+        }
+    }
+    unmatched += cur.keys().filter(|k| !base.contains_key(*k)).count();
+    Ok(FileDiff {
+        name: name.to_string(),
+        ratios,
+        unmatched,
+        host_mismatch,
+    })
+}
+
+/// Copy the gate set's current snapshots over the committed baseline.
+pub fn rebaseline(names: &[&str], baseline: &Path, current: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(baseline).map_err(|e| e.to_string())?;
+    let mut written = Vec::new();
+    for name in names {
+        let file = format!("BENCH_{name}.json");
+        let from = current.join(&file);
+        let to = baseline.join(&file);
+        std::fs::copy(&from, &to)
+            .map_err(|e| format!("copy {} -> {}: {e}", from.display(), to.display()))?;
+        written.push(to);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_save_json_output() {
+        let rows = vec![
+            vec![
+                ("n", crate::save::Value::from(1000usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("seconds", crate::save::Value::from(0.25)),
+            ],
+            vec![
+                ("n", crate::save::Value::from(2000usize)),
+                ("variant", crate::save::Value::from("na\"ïve")),
+                ("seconds", crate::save::Value::from(0.5)),
+            ],
+        ];
+        let dir = std::env::temp_dir();
+        let path = crate::save::write_json(&dir, "gate_unit", &rows).unwrap();
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Some(Json::Arr(parsed)) = doc.get("rows") else {
+            panic!("no rows");
+        };
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get("seconds").unwrap().as_f64(), Some(0.25));
+        assert_eq!(
+            parsed[1].get("variant"),
+            Some(&Json::Str("na\"ïve".to_string()))
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let doc = parse(r#"{"a": [1, -2.5e1, "x\ty", null, true], "b": {}}"#).unwrap();
+        let Some(Json::Arr(a)) = doc.get("a") else {
+            panic!()
+        };
+        assert_eq!(a[1], Json::Num(-25.0));
+        assert_eq!(a[2], Json::Str("x\ty".into()));
+        assert_eq!(a[3], Json::Null);
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} garbage").is_err());
+    }
+
+    #[test]
+    fn geomean_and_matching() {
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+
+        let dir = std::env::temp_dir().join(format!("gate_test_{}", std::process::id()));
+        let basedir = dir.join("base");
+        let curdir = dir.join("cur");
+        std::fs::create_dir_all(&basedir).unwrap();
+        std::fs::create_dir_all(&curdir).unwrap();
+        let mk = |secs: f64, extra_row: bool| {
+            let mut rows = vec![vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("a")),
+                ("seconds", crate::save::Value::from(secs)),
+            ]];
+            if extra_row {
+                rows.push(vec![
+                    ("n", crate::save::Value::from(999usize)),
+                    ("variant", crate::save::Value::from("only-one-side")),
+                    ("seconds", crate::save::Value::from(1.0)),
+                ]);
+            }
+            rows
+        };
+        crate::save::write_json(&basedir, "t", &mk(1.0, false)).unwrap();
+        crate::save::write_json(&curdir, "t", &mk(1.2, true)).unwrap();
+        let diff = diff_file("t", &basedir, &curdir).unwrap();
+        assert_eq!(diff.ratios.len(), 1);
+        assert!((diff.geomean() - 1.2).abs() < 1e-9, "{}", diff.geomean());
+        assert_eq!(diff.unmatched, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn host_fingerprint_mismatch_is_flagged() {
+        let dir = std::env::temp_dir().join(format!("gate_fp_{}", std::process::id()));
+        let basedir = dir.join("base");
+        let curdir = dir.join("cur");
+        std::fs::create_dir_all(&basedir).unwrap();
+        std::fs::create_dir_all(&curdir).unwrap();
+        let rows = vec![vec![
+            ("n", crate::save::Value::from(1usize)),
+            ("seconds", crate::save::Value::from(1.0)),
+        ]];
+        crate::save::write_json(&basedir, "fp", &rows).unwrap();
+        crate::save::write_json(&curdir, "fp", &rows).unwrap();
+        assert!(diff_file("fp", &basedir, &curdir)
+            .unwrap()
+            .host_mismatch
+            .is_none());
+        // Doctor the baseline to look like a different host class.
+        let p = basedir.join("BENCH_fp.json");
+        let doctored = std::fs::read_to_string(&p)
+            .unwrap()
+            .replace("\"host_threads\": ", "\"host_threads\": 9");
+        std::fs::write(&p, doctored).unwrap();
+        let diff = diff_file("fp", &basedir, &curdir).unwrap();
+        assert!(diff.host_mismatch.is_some());
+        assert_eq!(diff.ratios.len(), 1, "rows still compared for reporting");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn host_threads_is_not_identity() {
+        // Snapshots from hosts with different core counts must still
+        // match rows (host_threads is a metric-side field).
+        let row = Json::Obj(vec![
+            ("n".into(), Json::Num(10.0)),
+            ("host_threads".into(), Json::Num(8.0)),
+        ]);
+        let row2 = Json::Obj(vec![
+            ("n".into(), Json::Num(10.0)),
+            ("host_threads".into(), Json::Num(4.0)),
+        ]);
+        assert_eq!(row_key(&row), row_key(&row2));
+    }
+}

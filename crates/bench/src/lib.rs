@@ -17,7 +17,21 @@ use stencil_simd::Isa;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gate;
 pub mod save;
+
+/// Workload scale the sweep drivers size themselves for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: every driver finishes in seconds (`--smoke` or
+    /// `STENCIL_BENCH_SMOKE=1`). Exists so the figure/table binaries run
+    /// on every commit and cannot silently rot.
+    Smoke,
+    /// Default: minutes, preserving the paper's sweep structure.
+    Quick,
+    /// Paper-closer sizes (`STENCIL_BENCH_FULL=1`).
+    Full,
+}
 
 /// True when the harness should run the longer (paper-closer) variants.
 pub fn full_mode() -> bool {
@@ -26,11 +40,40 @@ pub fn full_mode() -> bool {
         .unwrap_or(false)
 }
 
-/// Number of worker threads to use for multicore experiments.
+/// True when the harness should run the CI-sized smoke variants.
+pub fn smoke_mode() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+        || std::env::var("STENCIL_BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// The scale selected on the command line / environment (smoke wins).
+pub fn scale() -> Scale {
+    if smoke_mode() {
+        Scale::Smoke
+    } else if full_mode() {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}
+
+/// Worker-thread override from `--threads=N`, if any.
+pub fn threads_arg() -> Option<usize> {
+    std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("--threads=")?.parse().ok())
+}
+
+/// Number of worker threads to use for multicore experiments
+/// (`--threads=N` override, else every available core).
 pub fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    threads_arg().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Wall-time the closure, best of `reps` runs.
@@ -115,10 +158,10 @@ pub fn banner(what: &str) {
     );
     println!(
         "# mode: {}",
-        if full_mode() {
-            "FULL"
-        } else {
-            "quick (STENCIL_BENCH_FULL=1 for longer runs)"
+        match scale() {
+            Scale::Smoke => "SMOKE (CI-sized)",
+            Scale::Full => "FULL",
+            Scale::Quick => "quick (STENCIL_BENCH_FULL=1 for longer runs, --smoke for CI)",
         }
     );
 }

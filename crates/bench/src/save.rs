@@ -4,7 +4,11 @@
 //! Every bin accepts `--save-json` (optionally `--save-json=DIR`); when
 //! present, the measured rows are written as `BENCH_<name>.json` so the
 //! performance trajectory can be tracked across commits without parsing
-//! stdout. The format is deliberately tiny and dependency-free:
+//! stdout. Bare `--save-json` writes into the **workspace root** (resolved
+//! from this crate's manifest at compile time), not the process CWD — CI
+//! globs `BENCH_*.json` at the root, and a bin launched from a different
+//! working directory used to drop its snapshot where the glob never
+//! looked. The format is deliberately tiny and dependency-free:
 //!
 //! ```json
 //! {
@@ -81,12 +85,23 @@ fn json_string(s: &str) -> String {
 /// A measured row: field name → value.
 pub type Row = Vec<(&'static str, Value)>;
 
+/// The workspace root (two levels above this crate's manifest). This is
+/// where bare `--save-json` writes, independent of the process CWD.
+pub fn workspace_root() -> PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
 /// Directory requested via `--save-json[=DIR]` on the command line, if
-/// any.
+/// any. Bare `--save-json` resolves to [`workspace_root`].
 pub fn requested_dir() -> Option<PathBuf> {
     for arg in std::env::args().skip(1) {
         if arg == "--save-json" {
-            return Some(PathBuf::from("."));
+            return Some(workspace_root());
         }
         if let Some(dir) = arg.strip_prefix("--save-json=") {
             return Some(PathBuf::from(dir));
@@ -159,6 +174,15 @@ mod tests {
         assert!(text.contains("\"g\": 1.5"));
         assert!(!text.contains("},\n  ]"), "no trailing comma:\n{text}");
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn workspace_root_is_cwd_independent() {
+        // Compile-time anchored: must be the directory holding the
+        // workspace manifest and the crates/ tree, whatever the CWD is.
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "{root:?}");
+        assert!(root.join("crates").join("bench").is_dir(), "{root:?}");
     }
 
     #[test]

@@ -6,14 +6,15 @@
 //! happen inside each call, exactly as the sequential experiments
 //! (Fig. 7) measure them. Since the plan refactor they are **thin
 //! wrappers** over [`crate::exec::Plan`]: one plan is built, used for one
-//! run, and dropped. Code that steps a grid repeatedly should hold a
-//! `Plan` (and a session) instead and amortize the buffers and layout
-//! round-trips — see [`crate::exec`].
+//! run, and dropped — pinned to [`Parallelism::Off`], because the paper's
+//! sequential experiments are exactly single-threaded. Code that steps a
+//! grid repeatedly (or wants the parallel executor) should hold a `Plan`
+//! (and a session) instead — see [`crate::exec`].
 
 use stencil_simd::Isa;
 
 pub use crate::exec::Method;
-use crate::exec::{Plan, Shape};
+use crate::exec::{Parallelism, Plan, Shape};
 use crate::grid::{Grid1, Grid2, Grid3};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 
@@ -27,6 +28,7 @@ pub fn run1_star1<S: Star1>(method: Method, isa: Isa, g: &mut Grid1, s: &S, t: u
     Plan::new(Shape::d1(g.n()))
         .method(method)
         .isa(isa)
+        .parallelism(Parallelism::Off)
         .star1(*s)
         .unwrap_or_else(|e| panic!("{e}"))
         .run(g, t);
@@ -40,6 +42,7 @@ pub fn run2_star<S: Star2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: us
     Plan::new(Shape::d2(g.nx(), g.ny()))
         .method(method)
         .isa(isa)
+        .parallelism(Parallelism::Off)
         .star2(*s)
         .unwrap_or_else(|e| panic!("{e}"))
         .run(g, t);
@@ -53,6 +56,7 @@ pub fn run2_box<S: Box2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: usiz
     Plan::new(Shape::d2(g.nx(), g.ny()))
         .method(method)
         .isa(isa)
+        .parallelism(Parallelism::Off)
         .box2(*s)
         .unwrap_or_else(|e| panic!("{e}"))
         .run(g, t);
@@ -66,6 +70,7 @@ pub fn run3_star<S: Star3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: us
     Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
         .method(method)
         .isa(isa)
+        .parallelism(Parallelism::Off)
         .star3(*s)
         .unwrap_or_else(|e| panic!("{e}"))
         .run(g, t);
@@ -79,6 +84,7 @@ pub fn run3_box<S: Box3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: usiz
     Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
         .method(method)
         .isa(isa)
+        .parallelism(Parallelism::Off)
         .box3(*s)
         .unwrap_or_else(|e| panic!("{e}"))
         .run(g, t);

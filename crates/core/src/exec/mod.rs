@@ -15,14 +15,19 @@
 //!   height the tile width cannot support) with a [`PlanError`] instead
 //!   of a mid-run panic;
 //! * **allocate once** — the ping-pong scratch grid, the DLT staging
-//!   pair, the k = 2 ring buffer, and the tiling worker-pool handle live
+//!   pair, the k = 2 ring buffer, and the **persistent worker pool** live
 //!   in the plan and are reused by every [`Plan1::run`] (no buffer
-//!   allocation in the steady state; with the offline rayon shim the
-//!   pool handle carries the thread count and workers are scoped per
-//!   stage);
+//!   allocation and no thread spawning in the steady state — pool
+//!   workers are spawned at plan compile time and a stage dispatch is a
+//!   condvar wake);
 //! * **stay resident** — a [`Session`](Session1) keeps the grid in the
 //!   method's layout between runs, so repeated stepping pays the
-//!   transpose/DLT round-trip once instead of per call.
+//!   transpose/DLT round-trip once instead of per call;
+//! * **scale out** — core-level parallelism is a validated knob
+//!   ([`Parallelism`]): untiled plans decompose into per-thread
+//!   subdomains with per-step halo synchronization on the pool's barrier
+//!   (see `exec::par`), tiled plans size the pool their stages run on,
+//!   and every parallel result is bit-identical to sequential.
 //!
 //! ```
 //! use stencil_core::exec::{Plan, Shape, Tiling};
@@ -48,6 +53,7 @@
 //! The legacy `run*`/`tessellate*`/`split*` free functions are thin
 //! wrappers over `Plan`, kept for paper-figure fidelity.
 
+pub(crate) mod par;
 pub(crate) mod split;
 pub(crate) mod tess;
 pub mod tile;
@@ -208,6 +214,33 @@ impl Tiling {
     }
 }
 
+/// Core-level parallelism applied by a plan (validated at build time like
+/// every other knob).
+///
+/// Untiled plans decompose their grid into per-thread subdomains along
+/// the outermost dimension and synchronize at every time step on the
+/// plan's persistent pool (see [`par`](self) module docs on `exec::par`);
+/// tiled plans size the pool their tile stages run on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded stepping — the paper's sequential accounting. For
+    /// tiled plans this overrides the tiling's `threads` field to 1.
+    Off,
+    /// Exactly `n` worker threads (the submitting thread counts as one),
+    /// `1 ≤ n ≤ 4096`. Overrides a tiling's `threads` field.
+    Threads(usize),
+    /// Untiled plans use every available core; tiled plans defer to the
+    /// tiling's `threads` field (back-compat with pre-knob callers).
+    Auto,
+}
+
+/// Worker count `Parallelism::Auto` resolves to for untiled plans.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Why a plan could not be built.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlanError {
@@ -233,6 +266,8 @@ pub enum PlanError {
     },
     /// Tiling parameters are inconsistent with the shape or radius.
     BadTiling(String),
+    /// The parallelism knob is out of range.
+    BadParallelism(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -256,6 +291,9 @@ impl std::fmt::Display for PlanError {
                 )
             }
             PlanError::BadTiling(msg) => write!(f, "invalid tiling parameters: {msg}"),
+            PlanError::BadParallelism(msg) => {
+                write!(f, "invalid parallelism parameters: {msg}")
+            }
         }
     }
 }
@@ -268,6 +306,9 @@ struct Cfg {
     method: Method,
     isa: Isa,
     tiling: Tiling,
+    par: Parallelism,
+    /// Worker count the parallelism knob resolved to at build time (≥ 1).
+    threads: usize,
 }
 
 /// Which layout the grid is resident in during a session.
@@ -305,6 +346,7 @@ pub struct Plan {
     method: Method,
     isa: Isa,
     tiling: Tiling,
+    par: Parallelism,
 }
 
 impl Plan {
@@ -315,6 +357,7 @@ impl Plan {
             method: Method::TransLayout2,
             isa: Isa::detect_best(),
             tiling: Tiling::None,
+            par: Parallelism::Auto,
         }
     }
 
@@ -336,6 +379,12 @@ impl Plan {
         self
     }
 
+    /// Choose the core-level parallelism (default: [`Parallelism::Auto`]).
+    pub fn parallelism(mut self, par: Parallelism) -> Plan {
+        self.par = par;
+        self
+    }
+
     fn expect_ndim(&self, ndim: usize) -> Result<(), PlanError> {
         if self.shape.ndim != ndim {
             return Err(PlanError::DimMismatch {
@@ -349,9 +398,35 @@ impl Plan {
         Ok(())
     }
 
-    /// Validate method × tiling × shape and build the worker pool for
-    /// tiled plans. `r` is the stencil radius.
-    fn validate(&self, ndim: usize, r: usize) -> Result<Option<rayon::ThreadPool>, PlanError> {
+    /// Resolve the parallelism knob to a concrete worker count (≥ 1).
+    fn resolve_threads(&self) -> Result<usize, PlanError> {
+        match self.par {
+            Parallelism::Off => Ok(1),
+            Parallelism::Threads(0) => Err(PlanError::BadParallelism(
+                "thread count must be ≥ 1 (use Parallelism::Off for sequential)".into(),
+            )),
+            Parallelism::Threads(n) if n > 4096 => Err(PlanError::BadParallelism(format!(
+                "thread count {n} exceeds the 4096 sanity cap"
+            ))),
+            Parallelism::Threads(n) => Ok(n),
+            Parallelism::Auto => Ok(match self.tiling {
+                Tiling::None => auto_threads(),
+                Tiling::Tessellate { threads, .. } | Tiling::Split { threads, .. } => {
+                    threads.max(1)
+                }
+            }),
+        }
+    }
+
+    /// Validate method × tiling × shape × parallelism and build the
+    /// worker pool. `r` is the stencil radius. Returns the resolved
+    /// thread count and the plan's pool (present whenever any stage can
+    /// use more than one thread).
+    fn validate(
+        &self,
+        ndim: usize,
+        r: usize,
+    ) -> Result<(usize, Option<rayon::ThreadPool>), PlanError> {
         self.expect_ndim(ndim)?;
         // The scalar oracle never executes ISA-specific code (no layout
         // transform, no dispatch), so it stays valid with any Isa value —
@@ -359,9 +434,12 @@ impl Plan {
         if self.method != Method::Scalar && !self.isa.is_available() {
             return Err(PlanError::IsaUnavailable(self.isa));
         }
+        let threads = self.resolve_threads()?;
         match self.tiling {
-            Tiling::None => Ok(None),
-            Tiling::Tessellate { w, h, threads } => {
+            // Untiled sequential plans skip the pool entirely; tiled
+            // plans always own one (a 1-thread pool runs stages inline).
+            Tiling::None => Ok((threads, (threads > 1).then(|| tess::make_pool(threads)))),
+            Tiling::Tessellate { w, h, .. } => {
                 if self.method == Method::Dlt {
                     return Err(PlanError::MethodTilingConflict {
                         method: self.method,
@@ -388,9 +466,9 @@ impl Plan {
                         )));
                     }
                 }
-                Ok(Some(tess::make_pool(threads)))
+                Ok((threads, Some(tess::make_pool(threads))))
             }
-            Tiling::Split { w, h, threads } => {
+            Tiling::Split { w, h, .. } => {
                 if self.method != Method::Dlt {
                     return Err(PlanError::MethodTilingConflict {
                         method: self.method,
@@ -428,24 +506,26 @@ impl Plan {
                         )));
                     }
                 }
-                Ok(Some(tess::make_pool(threads)))
+                Ok((threads, Some(tess::make_pool(threads))))
             }
         }
     }
 
-    fn cfg(&self) -> Cfg {
+    fn cfg(&self, threads: usize) -> Cfg {
         Cfg {
             method: self.method,
             isa: self.isa,
             tiling: self.tiling,
+            par: self.par,
+            threads,
         }
     }
 
     /// Compile the plan for a 1D star stencil.
     pub fn star1<S: Star1>(self, stencil: S) -> Result<Plan1<S>, PlanError> {
-        let pool = self.validate(1, S::R)?;
+        let (threads, pool) = self.validate(1, S::R)?;
         Ok(Plan1 {
-            cfg: self.cfg(),
+            cfg: self.cfg(threads),
             n: self.shape.dims[0],
             stencil,
             scratch: None,
@@ -456,9 +536,9 @@ impl Plan {
 
     /// Compile the plan for a 2D star stencil.
     pub fn star2<S: Star2>(self, stencil: S) -> Result<Plan2Star<S>, PlanError> {
-        let pool = self.validate(2, S::R)?;
+        let (threads, pool) = self.validate(2, S::R)?;
         Ok(Plan2Star {
-            cfg: self.cfg(),
+            cfg: self.cfg(threads),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             stencil,
@@ -471,9 +551,9 @@ impl Plan {
 
     /// Compile the plan for a 2D box stencil.
     pub fn box2<S: Box2>(self, stencil: S) -> Result<Plan2Box<S>, PlanError> {
-        let pool = self.validate(2, S::R)?;
+        let (threads, pool) = self.validate(2, S::R)?;
         Ok(Plan2Box {
-            cfg: self.cfg(),
+            cfg: self.cfg(threads),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             stencil,
@@ -486,9 +566,9 @@ impl Plan {
 
     /// Compile the plan for a 3D star stencil.
     pub fn star3<S: Star3>(self, stencil: S) -> Result<Plan3Star<S>, PlanError> {
-        let pool = self.validate(3, S::R)?;
+        let (threads, pool) = self.validate(3, S::R)?;
         Ok(Plan3Star {
-            cfg: self.cfg(),
+            cfg: self.cfg(threads),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             nz: self.shape.dims[2],
@@ -502,9 +582,9 @@ impl Plan {
 
     /// Compile the plan for a 3D box stencil.
     pub fn box3<S: Box3>(self, stencil: S) -> Result<Plan3Box<S>, PlanError> {
-        let pool = self.validate(3, S::R)?;
+        let (threads, pool) = self.validate(3, S::R)?;
         Ok(Plan3Box {
-            cfg: self.cfg(),
+            cfg: self.cfg(threads),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             nz: self.shape.dims[2],
@@ -567,6 +647,16 @@ impl<S: Star1> Plan1<S> {
     /// The plan's tiling framework.
     pub fn tiling(&self) -> Tiling {
         self.cfg.tiling
+    }
+
+    /// The plan's parallelism knob.
+    pub fn parallelism(&self) -> Parallelism {
+        self.cfg.par
+    }
+
+    /// Worker count the parallelism knob resolved to at build time (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.cfg.threads
     }
 
     /// The shape the plan was compiled for.
@@ -635,9 +725,48 @@ impl<S: Star1> Session1<'_, S> {
             return;
         }
         match self.plan.cfg.tiling {
+            Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
             Tiling::None => self.run_untiled(t),
             Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], h, t),
             Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+        }
+    }
+
+    /// Domain-decomposed stepping on the plan's pool (untiled plans with
+    /// a resolved thread count > 1); see [`par`](self) module docs on
+    /// `exec::par`.
+    fn run_parallel(&mut self, t: usize) {
+        let Cfg {
+            method,
+            isa,
+            threads,
+            ..
+        } = self.plan.cfg;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        if method == Method::Dlt {
+            let geo = DltGeo::new(n, isa.lanes());
+            if geo.cols <= 4 * S::R {
+                // Degenerate column space: sequential stepping (mirrors
+                // the split-tiling driver's fallback).
+                self.dlt_steps(t);
+                return;
+            }
+            let (a, b) = self.plan.stage.as_mut().expect("stage");
+            let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+            let pool = self.plan.pool.as_ref().expect("pool");
+            par::drive1_dlt(isa, bufs, &geo, t, &s, pool, threads);
+            if t % 2 == 1 {
+                std::mem::swap(a, b);
+            }
+        } else {
+            let other = self.plan.scratch.as_mut().expect("scratch");
+            let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+            let pool = self.plan.pool.as_ref().expect("pool");
+            par::drive1(method, isa, bufs, n, t, &s, pool, threads);
+            if t % 2 == 1 {
+                std::mem::swap(self.g, other);
+            }
         }
     }
 
@@ -849,6 +978,17 @@ macro_rules! plan2_impl {
                 self.cfg.tiling
             }
 
+            /// The plan's parallelism knob.
+            pub fn parallelism(&self) -> Parallelism {
+                self.cfg.par
+            }
+
+            /// Worker count the parallelism knob resolved to at build
+            /// time (≥ 1).
+            pub fn threads(&self) -> usize {
+                self.cfg.threads
+            }
+
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d2(self.nx, self.ny)
@@ -903,8 +1043,11 @@ macro_rules! plan2_impl {
                     Layout::Transpose => {
                         tl_grid2(g, self.cfg.isa);
                         self.ensure_scratch(g);
+                        // The k = 2 ring only serves the sequential fused
+                        // pass; parallel untiled stepping ping-pongs.
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
+                            && self.cfg.threads == 1
                         {
                             self.ensure_ring(g);
                         }
@@ -931,9 +1074,41 @@ macro_rules! plan2_impl {
                     return;
                 }
                 match self.plan.cfg.tiling {
+                    Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
                     Tiling::None => self.run_untiled(t),
                     Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], w[1], h, t),
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            /// Domain-decomposed stepping on the plan's pool (untiled
+            /// plans with a resolved thread count > 1); the `par` drivers
+            /// share the tess drivers' names, so `$tess_drive` routes
+            /// here too.
+            fn run_parallel(&mut self, t: usize) {
+                let Cfg {
+                    method,
+                    isa,
+                    threads,
+                    ..
+                } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let pool = self.plan.pool.as_ref().expect("pool");
+                if method == Method::Dlt {
+                    let (a, b) = self.plan.stage.as_mut().expect("stage");
+                    let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+                    par::$tess_drive(method, isa, bufs, rs, nx, ny, t, &s, pool, threads);
+                    if t % 2 == 1 {
+                        std::mem::swap(a, b);
+                    }
+                } else {
+                    let other = self.plan.scratch.as_mut().expect("scratch");
+                    let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+                    par::$tess_drive(method, isa, bufs, rs, nx, ny, t, &s, pool, threads);
+                    if t % 2 == 1 {
+                        std::mem::swap(self.g, other);
+                    }
                 }
             }
 
@@ -1157,6 +1332,17 @@ macro_rules! plan3_impl {
                 self.cfg.tiling
             }
 
+            /// The plan's parallelism knob.
+            pub fn parallelism(&self) -> Parallelism {
+                self.cfg.par
+            }
+
+            /// Worker count the parallelism knob resolved to at build
+            /// time (≥ 1).
+            pub fn threads(&self) -> usize {
+                self.cfg.threads
+            }
+
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d3(self.nx, self.ny, self.nz)
@@ -1211,8 +1397,11 @@ macro_rules! plan3_impl {
                     Layout::Transpose => {
                         tl_grid3(g, self.cfg.isa);
                         self.ensure_scratch(g);
+                        // The k = 2 ring only serves the sequential fused
+                        // pass; parallel untiled stepping ping-pongs.
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
+                            && self.cfg.threads == 1
                         {
                             self.ensure_ring(g);
                         }
@@ -1239,11 +1428,48 @@ macro_rules! plan3_impl {
                     return;
                 }
                 match self.plan.cfg.tiling {
+                    Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
                     Tiling::None => self.run_untiled(t),
                     Tiling::Tessellate { w, h, .. } => {
                         self.run_tessellate(w[0], w[1], w[2], h, t)
                     }
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            /// Domain-decomposed stepping on the plan's pool (untiled
+            /// plans with a resolved thread count > 1); the `par` drivers
+            /// share the tess drivers' names, so `$tess_drive` routes
+            /// here too.
+            fn run_parallel(&mut self, t: usize) {
+                let Cfg {
+                    method,
+                    isa,
+                    threads,
+                    ..
+                } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let pool = self.plan.pool.as_ref().expect("pool");
+                if method == Method::Dlt {
+                    let (a, b) = self.plan.stage.as_mut().expect("stage");
+                    let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
+                    par::$tess_drive(
+                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads,
+                    );
+                    if t % 2 == 1 {
+                        std::mem::swap(a, b);
+                    }
+                } else {
+                    let other = self.plan.scratch.as_mut().expect("scratch");
+                    let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
+                    par::$tess_drive(
+                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads,
+                    );
+                    if t % 2 == 1 {
+                        std::mem::swap(self.g, other);
+                    }
                 }
             }
 

@@ -1,0 +1,243 @@
+//! Parallel untiled drivers: spatial domain decomposition over the
+//! persistent worker pool.
+//!
+//! A plan with [`super::Parallelism`] resolved to `k > 1` threads and no
+//! temporal tiling partitions its grid into `k` contiguous subdomains
+//! along the outermost dimension (`x` in 1D, `y` in 2D, `z` in 3D — DLT
+//! plans partition the DLT *column space* instead, see below). Each time
+//! step dispatches one work item per subdomain onto the pool; the
+//! `for_each` barrier at the end of the step is the halo synchronization
+//! point — the ping-pong source buffer is shared and immutable within a
+//! step, so a subdomain's boundary reads (its halo rows) see the
+//! neighbour's *previous-step* values by construction, and no cells are
+//! ever exchanged or copied.
+//!
+//! Bit-exactness falls out of the same property the tessellate drivers
+//! rely on: every kernel in this workspace produces identical bits for a
+//! cell regardless of the range it was invoked over, so carving the
+//! domain into bands (any bands) cannot change the result, and a fixed
+//! band layout per plan makes parallel runs deterministic run-to-run.
+//!
+//! DLT (1D): the vector core runs over interior DLT columns `[R,
+//! cols−R)`, which are seam-free and can be banded arbitrarily; the seam
+//! columns (cross-lane reads through the index map) and the natural tail
+//! strip form one extra scalar work item. 2D/3D DLT bands the outermost
+//! dimension like the other methods, with full DLT rows inside — the same
+//! hybrid the split-tiling driver uses.
+
+use rayon::prelude::*;
+use stencil_simd::{dispatch, Isa};
+
+use super::tess::{step1, step2_box, step2_star, step3_box, step3_star, SyncPtr};
+use crate::api::Method;
+use crate::kernels::dlt;
+use crate::layout::DltGeo;
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+
+/// Split `[0, n)` into `k.min(n)` contiguous bands whose sizes differ by
+/// at most one. Deterministic in `(n, k)`, which (with a fixed thread
+/// count in the plan) makes parallel runs reproducible bit-for-bit.
+pub(crate) fn bands(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let k = k.max(1).min(n.max(1));
+    let (base, rem) = (n / k, n % k);
+    let mut out = Vec::with_capacity(k);
+    let mut lo = 0;
+    for b in 0..k {
+        let hi = lo + base + usize::from(b < rem);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Step `t` levels of a 1D stencil (any non-DLT method) over pre-prepared
+/// ping-pong buffers, one band per pool thread, barrier per step. The
+/// step-`t` result lands in `bufs[t % 2]` — the caller owns the parity
+/// swap.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive1<S: Star1>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    n: usize,
+    t: usize,
+    s: &S,
+    pool: &rayon::ThreadPool,
+    nthreads: usize,
+) {
+    let bands = bands(n, nthreads);
+    pool.install(|| {
+        for time in 0..t {
+            bands.clone().into_par_iter().for_each(|(lo, hi)| {
+                step1(method, isa, bufs, n, lo, hi, time, s);
+            });
+        }
+    });
+}
+
+/// One work item of the decomposed 1D DLT step.
+#[derive(Copy, Clone)]
+enum DltItem {
+    /// Seam-free vector columns `[j0, j1)`.
+    Cols(usize, usize),
+    /// The scalar remainder: seam columns of every lane + the tail strip.
+    Edges,
+}
+
+/// Step `t` levels of a 1D star stencil over pre-transformed DLT staging
+/// buffers, banded in DLT column space. Caller guarantees
+/// `geo.cols > 2·R` (the plan falls back to sequential stepping below
+/// that). The step-`t` result lands in `bufs[t % 2]`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive1_dlt<S: Star1>(
+    isa: Isa,
+    bufs: [SyncPtr; 2],
+    geo: &DltGeo,
+    t: usize,
+    s: &S,
+    pool: &rayon::ThreadPool,
+    nthreads: usize,
+) {
+    let r = S::R;
+    let mut items: Vec<DltItem> = bands(geo.cols - 2 * r, nthreads)
+        .into_iter()
+        .map(|(lo, hi)| DltItem::Cols(r + lo, r + hi))
+        .collect();
+    items.push(DltItem::Edges);
+    pool.install(|| {
+        for time in 0..t {
+            items.clone().into_par_iter().for_each(|item| unsafe {
+                let src = bufs[time % 2].0 as *const f64;
+                let dst = bufs[(time + 1) % 2].0;
+                match item {
+                    DltItem::Cols(j0, j1) => {
+                        dispatch!(isa, V => dlt::star1_dlt_cols::<V, S>(src, dst, j0, j1, s));
+                    }
+                    DltItem::Edges => {
+                        dlt::star1_dlt_seams(src, dst, geo, s);
+                        dlt::star1_dlt_scalar(src, dst, geo.region, geo.n, geo, s);
+                    }
+                }
+            });
+        }
+    });
+}
+
+macro_rules! drive2_impl {
+    ($name:ident, $bound:ident, $step:ident, $dlt_k:ident) => {
+        /// Step `t` levels of a 2D stencil over pre-prepared ping-pong
+        /// buffers, one `y`-band per pool thread, barrier per step. DLT
+        /// plans step full DLT rows inside each band. The step-`t` result
+        /// lands in `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            method: Method,
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            nx: usize,
+            ny: usize,
+            t: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+            nthreads: usize,
+        ) {
+            let bands = bands(ny, nthreads);
+            pool.install(|| {
+                for time in 0..t {
+                    bands.clone().into_par_iter().for_each(|(y0, y1)| {
+                        if method == Method::Dlt {
+                            let src = bufs[time % 2].0 as *const f64;
+                            let dst = bufs[(time + 1) % 2].0;
+                            dispatch!(isa, V => unsafe {
+                                dlt::$dlt_k::<V, S>(src, dst, rs, nx, y0, y1, s)
+                            });
+                        } else {
+                            $step(method, isa, bufs, rs, nx, (y0, y1), (0, nx), time, s);
+                        }
+                    });
+                }
+            });
+        }
+    };
+}
+
+drive2_impl!(drive2_star, Star2, step2_star, star2_dlt);
+drive2_impl!(drive2_box, Box2, step2_box, box2_dlt);
+
+macro_rules! drive3_impl {
+    ($name:ident, $bound:ident, $step:ident, $dlt_k:ident) => {
+        /// Step `t` levels of a 3D stencil over pre-prepared ping-pong
+        /// buffers, one `z`-band per pool thread, barrier per step. DLT
+        /// plans step full DLT rows inside each band. The step-`t` result
+        /// lands in `bufs[t % 2]`.
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn $name<S: $bound>(
+            method: Method,
+            isa: Isa,
+            bufs: [SyncPtr; 2],
+            rs: usize,
+            ps: usize,
+            nx: usize,
+            ny: usize,
+            nz: usize,
+            t: usize,
+            s: &S,
+            pool: &rayon::ThreadPool,
+            nthreads: usize,
+        ) {
+            let bands = bands(nz, nthreads);
+            pool.install(|| {
+                for time in 0..t {
+                    bands.clone().into_par_iter().for_each(|(z0, z1)| {
+                        if method == Method::Dlt {
+                            let src = bufs[time % 2].0 as *const f64;
+                            let dst = bufs[(time + 1) % 2].0;
+                            dispatch!(isa, V => unsafe {
+                                dlt::$dlt_k::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s)
+                            });
+                        } else {
+                            $step(
+                                method,
+                                isa,
+                                bufs,
+                                rs,
+                                ps,
+                                nx,
+                                (z0, z1),
+                                (0, ny),
+                                (0, nx),
+                                time,
+                                s,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    };
+}
+
+drive3_impl!(drive3_star, Star3, step3_star, star3_dlt);
+drive3_impl!(drive3_box, Box3, step3_box, box3_dlt);
+
+#[cfg(test)]
+mod tests {
+    use super::bands;
+
+    #[test]
+    fn bands_partition_exactly() {
+        for (n, k) in [(10usize, 3usize), (7, 7), (5, 8), (1, 4), (64, 1), (257, 6)] {
+            let b = bands(n, k);
+            assert_eq!(b.len(), k.min(n));
+            assert_eq!(b.first().unwrap().0, 0);
+            assert_eq!(b.last().unwrap().1, n);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "bands must tile contiguously");
+            }
+            let sizes: Vec<usize> = b.iter().map(|(lo, hi)| hi - lo).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "n={n} k={k}: uneven bands {sizes:?}");
+        }
+    }
+}

@@ -77,7 +77,7 @@ impl Shape {
 /// One intra-tile step of a 1D stencil at chunk step `ss` (absolute time
 /// `tau + ss`), on the method's layout.
 #[allow(clippy::too_many_arguments)]
-fn step1<S: Star1>(
+pub(crate) fn step1<S: Star1>(
     method: Method,
     isa: Isa,
     bufs: [SyncPtr; 2],
@@ -235,7 +235,7 @@ pub(crate) fn drive1<S: Star1>(
 // ---------------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-fn step2_star<S: Star2>(
+pub(crate) fn step2_star<S: Star2>(
     method: Method,
     isa: Isa,
     bufs: [SyncPtr; 2],
@@ -270,7 +270,7 @@ fn step2_star<S: Star2>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn step2_box<S: Box2>(
+pub(crate) fn step2_box<S: Box2>(
     method: Method,
     isa: Isa,
     bufs: [SyncPtr; 2],
@@ -372,7 +372,7 @@ drive2_impl!(drive2_box, Box2, step2_box);
 // ---------------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-fn step3_star<S: Star3>(
+pub(crate) fn step3_star<S: Star3>(
     method: Method,
     isa: Isa,
     bufs: [SyncPtr; 2],
@@ -409,7 +409,7 @@ fn step3_star<S: Star3>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn step3_box<S: Box3>(
+pub(crate) fn step3_box<S: Box3>(
     method: Method,
     isa: Isa,
     bufs: [SyncPtr; 2],

@@ -74,7 +74,7 @@ pub unsafe fn star1_dlt_cols<V: SimdF64, S: Star1>(
 /// # Safety
 /// Row pointers valid with halos.
 #[inline(always)]
-unsafe fn star1_dlt_seams<S: Star1>(src: *const f64, dst: *mut f64, geo: &DltGeo, s: &S) {
+pub unsafe fn star1_dlt_seams<S: Star1>(src: *const f64, dst: *mut f64, geo: &DltGeo, s: &S) {
     let r = S::R;
     let cols = geo.cols;
     for lane in 0..geo.vl {

@@ -48,7 +48,7 @@ pub mod stencil;
 pub mod verify;
 
 pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, Method};
-pub use exec::{Plan, PlanError, Shape, Tiling};
+pub use exec::{Parallelism, Plan, PlanError, Shape, Tiling};
 pub use grid::{Grid1, Grid2, Grid3, HALO_PAD};
 pub use layout::{DltGeo, SetGeo};
 pub use stencil::{

@@ -3,22 +3,63 @@
 //! `into_par_iter().for_each(..)` over ranges and vectors.
 //!
 //! The build environment has no access to crates.io, so this local path
-//! dependency keeps the tiling substrate genuinely parallel (scoped OS
-//! threads pulling work items off a shared queue) without the real crate.
-//! Semantics relied upon by the workspace and preserved here:
+//! dependency keeps the tiling substrate genuinely parallel without the
+//! real crate. Unlike the earlier shim (scoped threads spawned per
+//! `for_each`, one mutex-guarded queue), this is a **persistent
+//! work-stealing pool**:
 //!
-//! * `pool.install(f)` runs `f` with the pool's thread count governing any
-//!   `for_each` issued inside it;
-//! * `for_each` returns only after every item has been processed (a stage
-//!   barrier);
+//! * `ThreadPoolBuilder::build` spawns `n − 1` long-lived workers once;
+//!   the thread submitting a `for_each` acts as the n-th worker, so a
+//!   pool held by a `Plan`/`Session` pays spawn cost exactly once and a
+//!   steady-state stage dispatch is a condvar wake, not `n` `clone(2)`s;
+//! * each `for_each` splits its items into one contiguous chunk per
+//!   worker; a worker drains its own chunk through an atomic cursor and
+//!   then **steals** from the other chunks (round-robin scan), so uneven
+//!   tile costs still load-balance;
+//! * `for_each` returns only after every worker has finished the job (a
+//!   stage barrier — the mutex/condvar handshake publishes all worker
+//!   writes to the submitter);
 //! * with one thread, items run on the calling thread in order, so serial
-//!   and parallel runs of disjoint-tile stages are bitwise identical.
+//!   and parallel runs of disjoint-tile stages are bitwise identical;
+//! * a panic inside the closure is caught on the worker, the barrier
+//!   still completes (no deadlock, no worker death), and the panic is
+//!   re-raised on the submitting thread;
+//! * submissions from different threads are serialized (one job in
+//!   flight per pool), and a `for_each` issued from *inside* a pool task
+//!   runs inline on that thread — re-entering the pool would deadlock
+//!   its own barrier.
 
-use std::cell::Cell;
-use std::sync::Mutex;
+use std::cell::{Cell, UnsafeCell};
+use std::mem::ManuallyDrop;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 thread_local! {
-    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Pool installed on this thread (set by [`ThreadPool::install`]).
+    static CURRENT_POOL: Cell<Option<*const Inner>> = const { Cell::new(None) };
+    /// True while this thread is executing a pool job (worker or
+    /// submitter). A nested `for_each` issued from inside a task must run
+    /// inline — re-submitting to the pool the task is running on would
+    /// deadlock the barrier.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with [`IN_POOL_JOB`] set, restoring it even on unwind.
+fn enter_job<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_POOL_JOB.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = IN_POOL_JOB.with(|c| {
+        let prev = c.get();
+        c.set(true);
+        Restore(prev)
+    });
+    f()
 }
 
 fn default_threads() -> usize {
@@ -58,57 +99,273 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Finish the builder.
+    /// Finish the builder, spawning the background workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads: n })
+        Ok(ThreadPool::spawn(n))
     }
 }
 
-/// A "pool" carrying a worker count; workers are spawned per `for_each`
-/// as scoped threads (coarse-grained tile work amortizes the spawn cost).
+// ---------------------------------------------------------------------------
+// Job plumbing
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to the stack-held job closure. The submitter keeps
+/// the closure (and everything it borrows) alive until the barrier
+/// completes, which is what makes handing workers a raw pointer sound.
+#[derive(Copy, Clone)]
+struct JobRef(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is Sync and outlives every worker's use of it (the
+// submitter blocks on the barrier before the closure leaves scope).
+unsafe impl Send for JobRef {}
+
+struct JobSlot {
+    /// Bumped per submission; workers run each epoch's job exactly once.
+    epoch: u64,
+    job: Option<JobRef>,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    /// Total parallelism, including the submitting thread.
+    nthreads: usize,
+    /// Serializes submissions: held for a job's whole lifetime, so two
+    /// threads sharing one pool cannot interleave their barrier state.
+    submit: Mutex<()>,
+    slot: Mutex<JobSlot>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The submitter waits here for `active == 0`.
+    done_cv: Condvar,
+}
+
+impl Inner {
+    /// Run `work(wid)` on every pool member (workers get 1..n, the caller
+    /// is 0) and return after all of them have finished. Submissions from
+    /// different threads are serialized by `submit`; re-entrant
+    /// submissions from inside a task never reach here (see
+    /// [`IN_POOL_JOB`]).
+    fn run_job(&self, work: &(dyn Fn(usize) + Sync)) {
+        let _submission = self.submit.lock().unwrap();
+        let nworkers = self.nthreads - 1;
+        // SAFETY: erase the borrow's lifetime; the barrier below keeps
+        // `work` alive past the last worker dereference.
+        let job = JobRef(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                work as *const _,
+            )
+        });
+        {
+            let mut s = self.slot.lock().unwrap();
+            debug_assert!(s.job.is_none(), "concurrent for_each on one pool");
+            s.job = Some(job);
+            s.epoch += 1;
+            s.active = nworkers;
+            self.work_cv.notify_all();
+        }
+        enter_job(|| work(0));
+        let mut s = self.slot.lock().unwrap();
+        while s.active > 0 {
+            s = self.done_cv.wait(s).unwrap();
+        }
+        s.job = None;
+    }
+
+    fn worker_loop(&self, wid: usize) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut s = self.slot.lock().unwrap();
+                loop {
+                    if s.shutdown {
+                        return;
+                    }
+                    if s.epoch != seen {
+                        if let Some(job) = s.job {
+                            seen = s.epoch;
+                            break job;
+                        }
+                    }
+                    s = self.work_cv.wait(s).unwrap();
+                }
+            };
+            // SAFETY: the submitter keeps the closure alive until `active`
+            // drops to 0, which we only signal after the call returns.
+            enter_job(|| unsafe { (*job.0)(wid) });
+            let mut s = self.slot.lock().unwrap();
+            s.active -= 1;
+            if s.active == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Persistent worker pool; see the module docs for the execution model.
 pub struct ThreadPool {
-    threads: usize,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Number of worker threads `for_each` will use inside `install`.
-    pub fn current_num_threads(&self) -> usize {
-        self.threads
+    fn spawn(n: usize) -> ThreadPool {
+        let n = n.max(1);
+        let inner = Arc::new(Inner {
+            nthreads: n,
+            submit: Mutex::new(()),
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..n)
+            .map(|wid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("stencil-pool-{wid}"))
+                    .spawn(move || inner.worker_loop(wid))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { inner, workers }
     }
 
-    /// Run `f` with this pool's thread count governing parallel iterators
-    /// invoked inside it. The previous count is restored even if `f`
-    /// panics (drop guard), so a caught panic cannot leak this pool's
-    /// configuration into later `for_each` calls.
+    /// Number of threads `for_each` calls issued inside `install` use
+    /// (background workers plus the submitting thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.nthreads
+    }
+
+    /// Run `f` with this pool receiving any parallel iterators invoked
+    /// inside it. The previous installation is restored even if `f`
+    /// panics (drop guard), so a caught panic cannot leak this pool into
+    /// later `for_each` calls.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore(usize);
+        struct Restore(Option<*const Inner>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                CURRENT_THREADS.with(|c| c.set(self.0));
+                CURRENT_POOL.with(|c| c.set(self.0));
             }
         }
-        let _restore = CURRENT_THREADS.with(|c| {
+        let _restore = CURRENT_POOL.with(|c| {
             let prev = c.get();
-            c.set(self.threads);
+            c.set(Some(Arc::as_ptr(&self.inner)));
             Restore(prev)
         });
         f()
     }
 }
 
-fn installed_threads() -> usize {
-    let n = CURRENT_THREADS.with(|c| c.get());
-    if n == 0 {
-        default_threads()
-    } else {
-        n
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.inner.slot.lock().unwrap();
+            s.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Chunked atomic work queue with stealing
+// ---------------------------------------------------------------------------
+
+struct Chunk {
+    /// Next unclaimed index; claiming is a `fetch_add` race, so the value
+    /// may overshoot `end` (harmless — reads clamp).
+    pos: AtomicUsize,
+    end: usize,
+}
+
+/// Items split into one contiguous chunk per worker. `pop(wid)` drains
+/// the worker's own chunk first, then steals from the others.
+struct ItemQueue<T> {
+    items: Vec<UnsafeCell<ManuallyDrop<T>>>,
+    chunks: Vec<Chunk>,
+}
+
+// SAFETY: every slot is claimed by exactly one thread (unique index from
+// `fetch_add`), and the slots are fully written before the queue is shared.
+unsafe impl<T: Send> Sync for ItemQueue<T> {}
+
+impl<T> ItemQueue<T> {
+    fn new(items: Vec<T>, nchunks: usize) -> Self {
+        let n = items.len();
+        let nchunks = nchunks.max(1).min(n.max(1));
+        let items: Vec<_> = items
+            .into_iter()
+            .map(|x| UnsafeCell::new(ManuallyDrop::new(x)))
+            .collect();
+        let (base, rem) = (n / nchunks, n % nchunks);
+        let mut chunks = Vec::with_capacity(nchunks);
+        let mut start = 0;
+        for c in 0..nchunks {
+            let len = base + usize::from(c < rem);
+            chunks.push(Chunk {
+                pos: AtomicUsize::new(start),
+                end: start + len,
+            });
+            start += len;
+        }
+        ItemQueue { items, chunks }
+    }
+
+    fn claim(&self, chunk: &Chunk) -> Option<T> {
+        // Relaxed suffices: the index is unique per claimant, and the slot
+        // write happened-before the queue was published to the workers.
+        let i = chunk.pos.fetch_add(1, Ordering::Relaxed);
+        if i < chunk.end {
+            // SAFETY: index `i` is claimed exactly once (see above).
+            Some(ManuallyDrop::into_inner(unsafe {
+                std::ptr::read(self.items[i].get())
+            }))
+        } else {
+            None
+        }
+    }
+
+    fn pop(&self, wid: usize) -> Option<T> {
+        let k = self.chunks.len();
+        for step in 0..k {
+            let chunk = &self.chunks[(wid + step) % k];
+            if let Some(x) = self.claim(chunk) {
+                return Some(x);
+            }
+        }
+        None
+    }
+}
+
+impl<T> Drop for ItemQueue<T> {
+    fn drop(&mut self) {
+        // Unclaimed items (only possible if a closure panicked mid-drain)
+        // still need their destructors; claimed slots must not be dropped
+        // twice. The barrier ran before drop, so the cursors are quiescent.
+        for chunk in &self.chunks {
+            let pos = chunk.pos.load(Ordering::Relaxed).min(chunk.end);
+            for i in pos..chunk.end {
+                unsafe { ManuallyDrop::drop(&mut *self.items[i].get()) };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator facade
+// ---------------------------------------------------------------------------
 
 /// Mirror of `rayon::iter::ParallelIterator` (the one method used here).
 pub trait ParallelIterator: Sized {
@@ -145,28 +402,40 @@ impl<T: Send> ParallelIterator for ParIter<T> {
     where
         F: Fn(T) + Send + Sync,
     {
-        let nitems = self.items.len();
-        let workers = installed_threads().min(nitems).max(1);
-        if workers <= 1 {
-            for item in self.items {
-                f(item);
+        let pool = CURRENT_POOL.with(|c| c.get());
+        let nested = IN_POOL_JOB.with(|c| c.get());
+        let inner = match pool {
+            // SAFETY: install's drop guard clears the slot before the pool
+            // can be dropped, so a present pointer is live.
+            Some(p) if !nested && unsafe { (*p).nthreads } > 1 && self.items.len() > 1 => unsafe {
+                &*p
+            },
+            _ => {
+                // No pool installed, nested inside a pool task, or
+                // nothing to parallelize: run on the calling thread, in
+                // order.
+                for item in self.items {
+                    f(item);
+                }
+                return;
             }
-            return;
+        };
+        let queue = ItemQueue::new(self.items, inner.nthreads);
+        let panicked = AtomicBool::new(false);
+        let work = |wid: usize| {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                while let Some(item) = queue.pop(wid) {
+                    f(item);
+                }
+            }));
+            if res.is_err() {
+                panicked.store(true, Ordering::SeqCst);
+            }
+        };
+        inner.run_job(&work);
+        if panicked.load(Ordering::SeqCst) {
+            panic!("a parallel task panicked inside ThreadPool::for_each");
         }
-        // Index-free work queue: each worker repeatedly locks the shared
-        // iterator for the next item. Tiles are coarse, so contention is
-        // negligible; order within a stage is irrelevant (disjoint writes).
-        let queue = Mutex::new(self.items.into_iter());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Bind before matching so the guard drops before f runs.
-                    let item = queue.lock().unwrap().next();
-                    let Some(x) = item else { break };
-                    f(x);
-                });
-            }
-        });
     }
 }
 
@@ -200,6 +469,7 @@ mod tests {
     use super::prelude::*;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn for_each_visits_every_item_once() {
@@ -241,9 +511,138 @@ mod tests {
     }
 
     #[test]
-    fn install_scopes_thread_count() {
+    fn install_scopes_pool() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.current_num_threads(), 3);
-        pool.install(|| assert_eq!(installed_threads(), 3));
+        pool.install(|| {
+            assert!(CURRENT_POOL.with(|c| c.get()).is_some());
+        });
+        assert!(CURRENT_POOL.with(|c| c.get()).is_none());
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_dispatches() {
+        // The same persistent workers must serve every for_each; a counter
+        // incremented from worker threads over many rounds exercises the
+        // epoch handshake (a stuck epoch would deadlock this test).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        for round in 0..200usize {
+            pool.install(|| {
+                (0..round % 7 + 2).into_par_iter().for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        let expected: usize = (0..200usize).map(|r| r % 7 + 2).sum();
+        assert_eq!(hits.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn stealing_drains_unbalanced_chunks() {
+        // One early item sleeps; the rest must migrate to other workers
+        // and the barrier must still complete with every item processed.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_without_deadlock() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..32usize).into_par_iter().for_each(|i| {
+                    if i == 7 {
+                        panic!("boom");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..16usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_for_each_runs_inline_without_deadlock() {
+        // A task that itself fans out must not re-enter the pool barrier.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..8usize).into_par_iter().for_each(|_| {
+                (0..5usize).into_par_iter().for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn concurrent_submitters_are_serialized() {
+        // Two OS threads sharing one pool: submissions must not corrupt
+        // the barrier state (release-mode regression guard).
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(3).build().unwrap());
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let pool = std::sync::Arc::clone(&pool);
+            let hits = std::sync::Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    pool.install(|| {
+                        (0..10usize).into_par_iter().for_each(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 2 * 50 * 10);
+    }
+
+    #[test]
+    fn for_each_without_install_runs_inline() {
+        let order = Mutex::new(Vec::new());
+        vec![9usize, 8, 7].into_par_iter().for_each(|x| {
+            order.lock().unwrap().push(x);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn queue_drop_releases_unclaimed_items() {
+        // Construct a queue, claim only part of it, and drop: remaining
+        // Arc items must be released (strong count back to 1).
+        let tracker = Arc::new(());
+        {
+            let items: Vec<Arc<()>> = (0..10).map(|_| Arc::clone(&tracker)).collect();
+            let q = ItemQueue::new(items, 3);
+            let _a = q.pop(0);
+            let _b = q.pop(1);
+            assert_eq!(Arc::strong_count(&tracker), 11);
+            drop(q);
+            // _a/_b still alive here
+            assert_eq!(Arc::strong_count(&tracker), 3);
+        }
+        assert_eq!(Arc::strong_count(&tracker), 1);
     }
 }

@@ -5,20 +5,30 @@
 //! [`Plan`].
 //!
 //! ```sh
-//! cargo run --release --example blur2d [-- passes]
+//! cargo run --release --example blur2d [-- passes] [--smoke]
 //! ```
 
 use std::time::Instant;
 
 use stencil_lab::prelude::*;
 
+/// CI smoke mode: shrink the run to seconds (`--smoke` anywhere in args).
+fn smoke() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
 fn main() -> std::io::Result<()> {
     let isa = Isa::detect_best();
-    let (nx, ny) = (1024usize, 768usize);
+    let (nx, ny) = if smoke() {
+        (320usize, 240usize)
+    } else {
+        (1024, 768)
+    };
     let passes: usize = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
-        .unwrap_or(6);
+        .unwrap_or(if smoke() { 3 } else { 6 });
     let blur = S2d9p::blur();
 
     // Checkerboard + circles test pattern.

@@ -3,17 +3,25 @@
 //! [`Plan`], rendered as a PGM heat map.
 //!
 //! ```sh
-//! cargo run --release --example heat2d [-- out.pgm]
+//! cargo run --release --example heat2d [-- out.pgm] [--smoke]
 //! ```
 
 use std::io::Write;
 
 use stencil_lab::prelude::*;
 
+/// CI smoke mode: shrink the run to seconds (`--smoke` anywhere in args).
+fn smoke() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
 fn main() -> std::io::Result<()> {
     let isa = Isa::detect_best();
-    let (nx, ny) = (768usize, 512usize);
-    let steps = 400;
+    let (nx, ny, steps) = if smoke() {
+        (256usize, 192usize, 60)
+    } else {
+        (768, 512, 400)
+    };
     let stencil = S2d5p::heat();
 
     // Four gaussian-ish sources.
@@ -64,7 +72,8 @@ fn main() -> std::io::Result<()> {
 
     // Render as PGM.
     let path = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "heat2d.pgm".into());
     let peak = (0..ny)
         .flat_map(|y| g.row(y).iter().copied())

@@ -3,20 +3,28 @@
 //! all through the [`Plan`] engine.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --smoke]
 //! ```
 
 use std::time::Instant;
 
 use stencil_lab::prelude::*;
 
+/// CI smoke mode: shrink the run to seconds (`--smoke` anywhere in args).
+fn smoke() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
 fn main() {
     let isa = Isa::detect_best();
     println!("ISA: {isa} ({} f64 lanes)\n", isa.lanes());
 
     // A 1D rod with a hot spike in the middle; ends held at 0.
-    let n = 1 << 20;
-    let steps = 200;
+    let (n, steps) = if smoke() {
+        (1 << 16, 40)
+    } else {
+        (1 << 20, 200)
+    };
     let stencil = S1d3p::heat();
     let init = Grid1::from_fn(n, 0.0, |i| if i == n / 2 { 1000.0 } else { 0.0 });
 

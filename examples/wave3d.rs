@@ -4,25 +4,34 @@
 //! Prints an ASCII slice of the diffusing wavefront.
 //!
 //! ```sh
-//! cargo run --release --example wave3d
+//! cargo run --release --example wave3d [-- --smoke]
 //! ```
 
 use std::time::Instant;
 
 use stencil_lab::prelude::*;
 
+/// CI smoke mode: shrink the run to seconds (`--smoke` anywhere in args).
+fn smoke() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
 fn main() {
     let isa = Isa::detect_best();
-    let (nx, ny, nz) = (128usize, 128usize, 128usize);
-    let steps = 40;
+    let (nx, ny, nz, steps) = if smoke() {
+        (64usize, 64usize, 64usize, 12)
+    } else {
+        (128, 128, 128, 40)
+    };
     let stencil = S3d7p::heat();
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
 
     // A pulse off-center in the volume.
+    let (px, py, pz) = (nx as f64 * 0.3, ny as f64 * 0.5, nz as f64 * 0.5);
     let init = Grid3::from_fn(nx, ny, nz, 1, 0.0, |z, y, x| {
-        let d2 = (x as f64 - 40.0).powi(2) + (y as f64 - 64.0).powi(2) + (z as f64 - 64.0).powi(2);
+        let d2 = (x as f64 - px).powi(2) + (y as f64 - py).powi(2) + (z as f64 - pz).powi(2);
         if d2 < 36.0 {
             500.0
         } else {
@@ -46,32 +55,39 @@ fn main() {
     plan.run(&mut g, steps);
     let tiled = t0.elapsed();
 
+    // Untiled comparison on the new domain-decomposed parallel executor
+    // (z-bands across the same core count, barrier per step).
     let mut reference = init.clone();
     let t0 = Instant::now();
     Plan::new(Shape::d3(nx, ny, nz))
         .method(Method::MultiLoad)
         .isa(isa)
+        .parallelism(Parallelism::Threads(threads))
         .star3(stencil)
         .expect("valid plan")
         .run(&mut reference, steps);
     let plain = t0.elapsed();
 
     let diff = stencil_lab::core::verify::max_abs_diff3(&g, &reference);
-    println!("tiled+translayout2: {tiled:.2?}   untiled multiload: {plain:.2?}   |Δ| = {diff:e}");
+    println!(
+        "tiled+translayout2: {tiled:.2?}   untiled multiload ({threads} threads): {plain:.2?}   \
+         |Δ| = {diff:e}"
+    );
     assert_eq!(diff, 0.0);
 
-    // ASCII view of the z = 64 slice.
-    println!("\nz=64 slice after {steps} steps:");
+    // ASCII view of the mid-volume z slice.
+    let zmid = (nz / 2) as isize;
+    println!("\nz={zmid} slice after {steps} steps:");
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let peak = (0..ny)
         .flat_map(|y| (0..nx).map(move |x| (y, x)))
-        .map(|(y, x)| g.get(64, y as isize, x as isize))
+        .map(|(y, x)| g.get(zmid, y as isize, x as isize))
         .fold(f64::MIN, f64::max);
     for y in (0..ny).step_by(4) {
         let line: String = (0..nx)
             .step_by(2)
             .map(|x| {
-                let v = g.get(64, y as isize, x as isize) / peak;
+                let v = g.get(zmid, y as isize, x as isize) / peak;
                 shades[((v.clamp(0.0, 1.0)) * 9.0) as usize]
             })
             .collect();

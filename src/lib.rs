@@ -31,7 +31,7 @@ pub use stencil_tiling as tiling;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
-    pub use stencil_core::exec::{Plan, PlanError, Shape, Tiling};
+    pub use stencil_core::exec::{Parallelism, Plan, PlanError, Shape, Tiling};
     pub use stencil_core::{
         run1_star1, run2_box, run2_star, run3_box, run3_star, Box2, Box3, Grid1, Grid2, Grid3,
         Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,
