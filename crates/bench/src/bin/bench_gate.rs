@@ -12,34 +12,45 @@
 //! When the baseline's host fingerprint (ISA × cores) differs from the
 //! current host's, the diff is advisory and exits 0 unless `--strict`.
 
+use std::path::PathBuf;
+
 use stencil_bench::gate;
 use stencil_bench::save::workspace_root;
+use stencil_bench::Cli;
 
 fn main() {
-    let mut names: Vec<String> = Vec::new();
-    let mut baseline = workspace_root().join("BENCH_baseline");
-    let mut current = workspace_root();
-    let mut threshold = 15.0f64;
-    let mut do_rebaseline = false;
-    let mut strict = false;
-    for arg in std::env::args().skip(1) {
-        if let Some(v) = arg.strip_prefix("--baseline=") {
-            baseline = v.into();
-        } else if let Some(v) = arg.strip_prefix("--current=") {
-            current = v.into();
-        } else if let Some(v) = arg.strip_prefix("--threshold=") {
-            threshold = v.parse().expect("--threshold=PCT takes a number");
-        } else if arg == "--rebaseline" {
-            do_rebaseline = true;
-        } else if arg == "--strict" {
-            strict = true;
-        } else if arg.starts_with("--") {
-            eprintln!("unknown flag {arg}");
-            std::process::exit(2);
-        } else {
-            names.push(arg);
-        }
+    let cli = Cli::parse();
+    let baseline: PathBuf = cli
+        .value("--baseline")
+        .map(Into::into)
+        .unwrap_or_else(|| workspace_root().join("BENCH_baseline"));
+    let current: PathBuf = cli
+        .value("--current")
+        .map(Into::into)
+        .unwrap_or_else(workspace_root);
+    let threshold: f64 = cli
+        .value("--threshold")
+        .map(|v| v.parse().expect("--threshold=PCT takes a number"))
+        .unwrap_or(15.0);
+    let do_rebaseline = cli.flag("--rebaseline");
+    let strict = cli.flag("--strict");
+    if let Some(unknown) = cli.unknown_flags(&[
+        "--baseline",
+        "--current",
+        "--threshold",
+        "--rebaseline",
+        "--strict",
+    ]) {
+        eprintln!("unknown flag {unknown}");
+        std::process::exit(2);
     }
+    // `--threshold 20` (space-separated) would otherwise silently fall
+    // back to the default and treat `20` as a bench name.
+    if let Some(needs_value) = cli.bare_value_flag(&["--baseline", "--current", "--threshold"]) {
+        eprintln!("{needs_value} requires a value: {needs_value}=...");
+        std::process::exit(2);
+    }
+    let mut names: Vec<String> = cli.positional().map(str::to_string).collect();
     if names.is_empty() {
         names = vec!["plan_reuse".into(), "scaling".into()];
     }

@@ -3,12 +3,13 @@
 //! ((a) base and (b) 10× — the paper's T=1000 / T=10000 pair, scaled).
 
 use stencil_bench::fig7::{json_rows, sweep};
+use stencil_bench::Cli;
 use stencil_simd::Isa;
 
 fn main() {
     stencil_bench::banner("Fig. 7: sequential block-free performance (1D3P, GFLOP/s)");
     let isa = Isa::detect_best();
-    let scale = stencil_bench::scale();
+    let scale = Cli::parse().scale();
     let panels: &[(&str, usize)] = if scale == stencil_bench::Scale::Smoke {
         &[("a", 40)]
     } else {

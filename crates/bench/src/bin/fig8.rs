@@ -2,13 +2,14 @@
 //! Our / Our (2 steps) with L1 and L2 blocking, sizes from L3 to memory.
 
 use stencil_bench::fig8::{json_rows, sweep, TILED_METHODS};
+use stencil_bench::Cli;
 use stencil_simd::Isa;
 
 fn main() {
     stencil_bench::banner(
         "Fig. 8: multicore cache-blocking performance (1D3P, GFLOP/s, all cores)",
     );
-    let scale = stencil_bench::scale();
+    let scale = Cli::parse().scale();
     let isa = Isa::detect_best();
     let panels: &[(&str, usize)] = if scale == stencil_bench::Scale::Smoke {
         &[("a", 64)]

@@ -4,29 +4,20 @@
 //! Pass stencil names as arguments to restrict the sweep
 //! (e.g. `fig9 1d3p 2d5p`); default is all six.
 
-use stencil_bench::fig9::{json_rows, sweep, thread_axis, METHODS, STENCILS};
+use stencil_bench::fig9::{json_rows, sweep, thread_axis, METHODS};
+use stencil_bench::Cli;
 
 fn main() {
     stencil_bench::banner("Fig. 9: scalability (GFLOP/s vs cores, AVX2 & AVX-512)");
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let stencils: Vec<&'static str> = if args.is_empty() {
-        STENCILS.to_vec()
-    } else {
-        STENCILS
-            .iter()
-            .copied()
-            .filter(|s| args.iter().any(|a| a == s))
-            .collect()
-    };
-    let rows = sweep(stencil_bench::scale(), &stencils);
-    for stencil in &stencils {
+    let cli = Cli::parse();
+    let stencils = cli.stencils();
+    let rows = sweep(cli.scale(), &stencils);
+    for spec in &stencils {
+        let stencil = spec.to_string();
         for isa in ["avx2", "avx512"] {
             let cells: Vec<_> = rows
                 .iter()
-                .filter(|r| r.stencil == *stencil && r.isa.name() == isa)
+                .filter(|r| r.stencil == stencil && r.isa.name() == isa)
                 .collect();
             if cells.is_empty() {
                 continue;

@@ -1,9 +1,12 @@
-//! Plan-reuse microbenchmark — the measurement behind the plan refactor:
-//! repeated stepping through (a) the legacy free function (clone + layout
-//! round-trip every call), (b) a reused [`Plan`] (scratch allocated once,
-//! layout round-trip per call), and (c) a layout-resident session (no
-//! per-call clone, no per-call transform — the steady-state hot loop is
-//! kernels only).
+//! Plan-reuse microbenchmark — the measurement behind the plan refactor
+//! and the erased-API acceptance gate: repeated stepping through (a) the
+//! legacy free function (clone + layout round-trip every call), (b) a
+//! reused typed [`Plan`] (scratch allocated once, layout round-trip per
+//! call), (c) a layout-resident typed session (no per-call clone, no
+//! per-call transform — the steady-state hot loop is kernels only), and
+//! (d) the same session through the type-erased `DynPlan` — whose
+//! `run` must stay within ~2% of the typed session, since the only
+//! added cost is one virtual call per invocation.
 //!
 //! ```sh
 //! cargo run --release --bin plan_reuse [-- --save-json] [--smoke] [--threads=N]
@@ -16,9 +19,9 @@
 use std::time::Instant;
 
 use stencil_bench::save::{Row, Value};
-use stencil_bench::{gflops, grid1, storage_level, Scale};
+use stencil_bench::{gflops, grid1, storage_level, Cli, Scale};
 use stencil_core::exec::{Parallelism, Plan, Shape};
-use stencil_core::{run1_star1, Method, S1d3p, Star1};
+use stencil_core::{run1_star1, Method, S1d3p, StencilSpec};
 use stencil_simd::Isa;
 
 /// Best-of-3 wall time for `calls` invocations of `f`.
@@ -35,21 +38,34 @@ fn time_calls<F: FnMut()>(calls: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    stencil_bench::banner("plan_reuse: repeated stepping, free fn vs Plan vs Session (1D3P)");
+    stencil_bench::banner(
+        "plan_reuse: repeated stepping, free fn vs Plan vs Session vs DynSession (1D3P)",
+    );
+    let cli = Cli::parse();
     let isa = Isa::detect_best();
     let s = S1d3p::heat();
-    let par = match stencil_bench::threads_arg() {
+    let spec = StencilSpec::heat_1d3p();
+    let par = match cli.threads() {
         Some(n) => Parallelism::Threads(n),
         None => Parallelism::Off,
     };
-    let threads = stencil_bench::threads_arg().unwrap_or(1);
+    let threads = cli.threads().unwrap_or(1);
     let mut rows: Vec<Row> = Vec::new();
 
     println!(
-        "\n{:<10} {:<6} {:>7} {:>6} {:>14} {:>14} {:>14}  {:>9} {:>9}",
-        "n", "level", "chunk", "calls", "free_fn", "plan.run", "session", "plan/free", "sess/free"
+        "\n{:<10} {:<6} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  {:>9} {:>9}",
+        "n",
+        "level",
+        "chunk",
+        "calls",
+        "free_fn",
+        "plan.run",
+        "session",
+        "dyn_sess",
+        "sess/free",
+        "dyn/sess"
     );
-    let sweep: &[(usize, usize, usize)] = if stencil_bench::scale() == Scale::Smoke {
+    let sweep: &[(usize, usize, usize)] = if cli.scale() == Scale::Smoke {
         &[(1_500, 8, 100), (40_000, 8, 30), (500_000, 4, 6)]
     } else {
         &[
@@ -63,13 +79,15 @@ fn main() {
         let init = grid1(n, 21);
         let method = Method::TransLayout2;
 
-        // (a) legacy free function: clone + transform round-trip per call.
+        // (a) legacy free function: clone + transform round-trip per call
+        // (now itself routed through the erased path internally).
         let mut g = init.clone();
         let free_s = time_calls(calls, || {
-            run1_star1(method, isa, &mut g, &s, chunk);
+            run1_star1(method, isa, &mut g, &s, chunk).expect("valid run");
         });
 
-        // (b) reused plan: scratch held across calls, transforms per call.
+        // (b) reused typed plan: scratch held across calls, transforms
+        // per call.
         let mut plan = Plan::new(Shape::d1(n))
             .method(method)
             .isa(isa)
@@ -81,7 +99,7 @@ fn main() {
             plan.run(&mut g, chunk);
         });
 
-        // (c) layout-resident session: transforms paid once, zero
+        // (c) typed layout-resident session: transforms paid once, zero
         // allocation/transform in the timed loop body.
         let mut plan = Plan::new(Shape::d1(n))
             .method(method)
@@ -96,9 +114,24 @@ fn main() {
         });
         drop(sess);
 
+        // (d) the same layout-resident session through the type-erased
+        // DynPlan: one virtual call per `run` on top of (c).
+        let mut dyn_plan = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .parallelism(par)
+            .stencil(&spec)
+            .expect("valid plan");
+        let mut g = init.clone();
+        let mut dyn_sess = dyn_plan.session(&mut g);
+        let dyn_s = time_calls(calls, || {
+            dyn_sess.run(chunk);
+        });
+        drop(dyn_sess);
+
         let level = storage_level(2 * 8 * n);
         println!(
-            "{:<10} {:<6} {:>7} {:>6} {:>11.2} ms {:>11.2} ms {:>11.2} ms  {:>8.2}x {:>8.2}x",
+            "{:<10} {:<6} {:>7} {:>6} {:>9.2} ms {:>9.2} ms {:>9.2} ms {:>9.2} ms  {:>8.2}x {:>8.3}x",
             n,
             level,
             chunk,
@@ -106,13 +139,15 @@ fn main() {
             free_s * 1e3,
             plan_s * 1e3,
             sess_s * 1e3,
-            free_s / plan_s,
+            dyn_s * 1e3,
             free_s / sess_s,
+            dyn_s / sess_s,
         );
         for (variant, secs) in [
             ("free_fn", free_s),
             ("plan_run", plan_s),
             ("session", sess_s),
+            ("dyn_session", dyn_s),
         ] {
             rows.push(vec![
                 ("n", Value::from(n)),
@@ -124,14 +159,15 @@ fn main() {
                 ("seconds", Value::from(secs)),
                 (
                     "gflops",
-                    Value::from(gflops(n, chunk * calls, S1d3p::flops_per_point(), secs)),
+                    Value::from(gflops(n, chunk * calls, spec.flops_per_point(), secs)),
                 ),
             ]);
         }
     }
     println!(
-        "\n(free_fn clones + transforms every call; plan.run reuses buffers; \
-         session additionally stays layout-resident)"
+        "\n(free_fn clones + transforms every call; plan.run reuses buffers; session \
+         additionally stays layout-resident; dyn_session is the erased API over the \
+         same session — dyn/sess is the erasure overhead)"
     );
     stencil_bench::save::maybe_save("plan_reuse", &rows);
 }

@@ -1,6 +1,9 @@
 //! Scaling microbenchmark for the parallel domain-decomposition executor:
 //! untiled plans at `Parallelism::Off` vs `Parallelism::Threads(k)` across
-//! a thread axis, for a 1D, a 2D-star and a 3D-star workload.
+//! a thread axis, for a 1D, a 2D-star and a 3D-star workload — all
+//! compiled through the erased API ([`Plan::stencil`]), so the three
+//! workloads are one loop over [`StencilSpec`]s instead of three copies
+//! of the driver.
 //!
 //! Every parallel result is verified **bit-identical** to the scalar
 //! oracle before its time is reported — a speedup that changes bits is a
@@ -14,16 +17,16 @@
 //! 1, 2, 4, ... up to every available core.
 
 use stencil_bench::save::{Row, Value};
-use stencil_bench::{best_of, gflops, grid1, grid2, grid3, Scale};
+use stencil_bench::{any_grid, best_of, gflops, Cli, Scale};
 use stencil_core::exec::{Parallelism, Plan, Shape};
-use stencil_core::verify::{max_abs_diff1, max_abs_diff2, max_abs_diff3};
-use stencil_core::{Method, S1d3p, S2d5p, S3d7p, Star1, Star2, Star3};
+use stencil_core::verify::max_abs_diff_any;
+use stencil_core::{Method, StencilSpec};
 use stencil_simd::Isa;
 
 /// Thread counts to sweep: powers of two up to the host core count (the
 /// host count itself always included), or `{1, N}` under `--threads=N`.
-fn thread_axis() -> Vec<usize> {
-    if let Some(n) = stencil_bench::threads_arg() {
+fn thread_axis(cli: &Cli) -> Vec<usize> {
+    if let Some(n) = cli.threads() {
         let mut v = vec![1];
         if n > 1 {
             v.push(n);
@@ -41,7 +44,7 @@ fn thread_axis() -> Vec<usize> {
 }
 
 struct Cell {
-    workload: &'static str,
+    workload: String,
     threads: usize, // 0 encodes Parallelism::Off
     secs: f64,
     gf: f64,
@@ -68,7 +71,7 @@ fn report(cells: &[Cell], rows: &mut Vec<Row>) {
             speedup,
         );
         rows.push(vec![
-            ("workload", Value::from(c.workload)),
+            ("workload", Value::Str(c.workload.clone())),
             ("threads", Value::Str(label)),
             ("seconds", Value::from(c.secs)),
             ("gflops", Value::from(c.gf)),
@@ -79,9 +82,10 @@ fn report(cells: &[Cell], rows: &mut Vec<Row>) {
 
 fn main() {
     stencil_bench::banner("scaling: untiled domain decomposition, Off vs Threads(k)");
+    let cli = Cli::parse();
     let isa = Isa::detect_best();
-    let smoke = stencil_bench::scale() == Scale::Smoke;
-    let axis = thread_axis();
+    let smoke = cli.scale() == Scale::Smoke;
+    let axis = thread_axis(&cli);
     let reps = if smoke { 2 } else { 3 };
     let mut rows: Vec<Row> = Vec::new();
     let mut bit_failures = 0usize;
@@ -90,76 +94,37 @@ fn main() {
         "workload", "threads", "time", "rate", "vs off"
     );
 
-    // 1D star (1D3P heat), TransLayout: identical per-step kernel under
-    // Off and Threads(k) — pure decomposition scaling.
-    {
-        let (n, t) = if smoke {
-            (500_000, 12)
-        } else {
-            (4_000_000, 40)
-        };
-        let s = S1d3p::heat();
-        let init = grid1(n, 41);
-        let mut oracle = init.clone();
-        Plan::new(Shape::d1(n))
-            .method(Method::Scalar)
-            .isa(isa)
-            .parallelism(Parallelism::Off)
-            .star1(s)
-            .unwrap()
-            .run(&mut oracle, t);
-        let mut cells = Vec::new();
-        for (i, &k) in [0usize].iter().chain(&axis).enumerate() {
-            let par = if i == 0 {
-                Parallelism::Off
-            } else {
-                Parallelism::Threads(k)
-            };
-            let mut plan = Plan::new(Shape::d1(n))
-                .method(Method::TransLayout)
-                .isa(isa)
-                .parallelism(par)
-                .star1(s)
-                .unwrap();
-            let mut g = init.clone();
-            let secs = best_of(reps, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            plan.run(&mut g, t);
-            if max_abs_diff1(&g, &oracle) != 0.0 {
-                eprintln!("BIT MISMATCH: 1d3p {par:?}");
-                bit_failures += 1;
-            }
-            cells.push(Cell {
-                workload: "1d3p",
-                threads: if i == 0 { 0 } else { k },
-                secs,
-                gf: gflops(n, t, S1d3p::flops_per_point(), secs),
-            });
-        }
-        report(&cells, &mut rows);
-    }
+    // One TransLayout workload per dimensionality: identical per-step
+    // kernel under Off and Threads(k) — pure decomposition scaling. The
+    // 2D cell is the acceptance workload: a ≥4-core host should show
+    // ≥2.5x at 4 threads over Off.
+    let workloads: &[(&str, Shape, usize, u64)] = if smoke {
+        &[
+            ("1d3p", Shape::d1(500_000), 12, 41),
+            ("2d5p", Shape::d2(512, 256), 10, 42),
+            ("3d7p", Shape::d3(64, 64, 64), 6, 43),
+        ]
+    } else {
+        &[
+            ("1d3p", Shape::d1(4_000_000), 40, 41),
+            ("2d5p", Shape::d2(2_000, 1_000), 40, 42),
+            ("3d7p", Shape::d3(192, 192, 192), 10, 43),
+        ]
+    };
 
-    // 2D star (2D5P heat), TransLayout — the acceptance workload: a ≥4-core
-    // host should show ≥2.5x at 4 threads over Off.
-    {
-        let (nx, ny, t) = if smoke {
-            (512, 256, 10)
-        } else {
-            (2_000, 1_000, 40)
-        };
-        let s = S2d5p::heat();
-        let init = grid2(nx, ny, 42);
+    for &(name, shape, t, seed) in workloads {
+        let spec: StencilSpec = name.parse().expect("paper stencil name");
+        let init = any_grid(shape, spec.radius(), seed);
         let mut oracle = init.clone();
-        Plan::new(Shape::d2(nx, ny))
+        Plan::new(shape)
             .method(Method::Scalar)
             .isa(isa)
             .parallelism(Parallelism::Off)
-            .star2(s)
+            .stencil(&spec)
             .unwrap()
             .run(&mut oracle, t);
+        let [nx, ny, nz] = shape.dims();
+        let cells_n = nx * ny.max(1) * nz.max(1);
         let mut cells = Vec::new();
         for (i, &k) in [0usize].iter().chain(&axis).enumerate() {
             let par = if i == 0 {
@@ -167,11 +132,11 @@ fn main() {
             } else {
                 Parallelism::Threads(k)
             };
-            let mut plan = Plan::new(Shape::d2(nx, ny))
+            let mut plan = Plan::new(shape)
                 .method(Method::TransLayout)
                 .isa(isa)
                 .parallelism(par)
-                .star2(s)
+                .stencil(&spec)
                 .unwrap();
             let mut g = init.clone();
             let secs = best_of(reps, || {
@@ -180,66 +145,15 @@ fn main() {
                 std::hint::black_box(&g);
             });
             plan.run(&mut g, t);
-            if max_abs_diff2(&g, &oracle) != 0.0 {
-                eprintln!("BIT MISMATCH: 2d5p {par:?}");
+            if max_abs_diff_any(&g, &oracle) != 0.0 {
+                eprintln!("BIT MISMATCH: {name} {par:?}");
                 bit_failures += 1;
             }
             cells.push(Cell {
-                workload: "2d5p",
+                workload: name.to_string(),
                 threads: if i == 0 { 0 } else { k },
                 secs,
-                gf: gflops(nx * ny, t, S2d5p::flops_per_point(), secs),
-            });
-        }
-        report(&cells, &mut rows);
-    }
-
-    // 3D star (3D7P heat), TransLayout, banded over z.
-    {
-        let (nx, ny, nz, t) = if smoke {
-            (64, 64, 64, 6)
-        } else {
-            (192, 192, 192, 10)
-        };
-        let s = S3d7p::heat();
-        let init = grid3(nx, ny, nz, 43);
-        let mut oracle = init.clone();
-        Plan::new(Shape::d3(nx, ny, nz))
-            .method(Method::Scalar)
-            .isa(isa)
-            .parallelism(Parallelism::Off)
-            .star3(s)
-            .unwrap()
-            .run(&mut oracle, t);
-        let mut cells = Vec::new();
-        for (i, &k) in [0usize].iter().chain(&axis).enumerate() {
-            let par = if i == 0 {
-                Parallelism::Off
-            } else {
-                Parallelism::Threads(k)
-            };
-            let mut plan = Plan::new(Shape::d3(nx, ny, nz))
-                .method(Method::TransLayout)
-                .isa(isa)
-                .parallelism(par)
-                .star3(s)
-                .unwrap();
-            let mut g = init.clone();
-            let secs = best_of(reps, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            plan.run(&mut g, t);
-            if max_abs_diff3(&g, &oracle) != 0.0 {
-                eprintln!("BIT MISMATCH: 3d7p {par:?}");
-                bit_failures += 1;
-            }
-            cells.push(Cell {
-                workload: "3d7p",
-                threads: if i == 0 { 0 } else { k },
-                secs,
-                gf: gflops(nx * ny * nz, t, S3d7p::flops_per_point(), secs),
+                gf: gflops(cells_n, t, spec.flops_per_point(), secs),
             });
         }
         report(&cells, &mut rows);

@@ -3,13 +3,14 @@
 //! sweep).
 
 use stencil_bench::fig7::{sweep, table2};
+use stencil_bench::Cli;
 use stencil_simd::Isa;
 
 fn main() {
     stencil_bench::banner(
         "Table 2: speedup over MultiLoad per storage level (1D3P, single thread)",
     );
-    let scale = stencil_bench::scale();
+    let scale = Cli::parse().scale();
     let base = if scale == stencil_bench::Scale::Smoke {
         40
     } else {

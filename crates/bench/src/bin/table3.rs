@@ -2,11 +2,12 @@
 //! multicore cache-blocking (derived from the Fig. 8 sweep).
 
 use stencil_bench::fig8::{sweep, table3};
+use stencil_bench::Cli;
 use stencil_simd::Isa;
 
 fn main() {
     stencil_bench::banner("Table 3: speedup over SDSL, multicore cache-blocking (1D3P)");
-    let scale = stencil_bench::scale();
+    let scale = Cli::parse().scale();
     let base = if scale == stencil_bench::Scale::Smoke {
         64
     } else {

@@ -5,24 +5,13 @@
 //!
 //! Pass stencil names as arguments to restrict the sweep.
 
-use stencil_bench::fig9::{sweep, table4, STENCILS};
+use stencil_bench::fig9::{sweep, table4};
+use stencil_bench::Cli;
 
 fn main() {
     stencil_bench::banner("Table 4: average improvement and strong scaling (full cores)");
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let stencils: Vec<&'static str> = if args.is_empty() {
-        STENCILS.to_vec()
-    } else {
-        STENCILS
-            .iter()
-            .copied()
-            .filter(|s| args.iter().any(|a| a == s))
-            .collect()
-    };
-    let rows = sweep(stencil_bench::scale(), &stencils);
+    let cli = Cli::parse();
+    let rows = sweep(cli.scale(), &cli.stencils());
     println!(
         "{:<16} {:<14} {:>14} {:>16}",
         "Stencil(ISA)", "Method", "Speedup/base", "Scaling vs 1core"

@@ -1,17 +1,18 @@
 //! Sweep driver for Fig. 7 (sequential block-free experiments) and
 //! Table 2 (speedups per storage level), 1D3P.
 //!
-//! Each (size, method) cell builds one [`Plan`] and reuses it across
-//! repetitions — the timed region still includes the per-call layout
-//! round-trip, matching the paper's Fig. 7 accounting, but scratch
-//! allocation is amortized the way a production caller would.
+//! Each (size, method) cell builds one plan through the erased API
+//! ([`Plan::stencil`]) and reuses it across repetitions — the timed
+//! region still includes the per-call layout round-trip, matching the
+//! paper's Fig. 7 accounting, but scratch allocation is amortized the
+//! way a production caller would.
 
 use stencil_core::exec::{Parallelism, Plan, Shape};
-use stencil_core::Star1;
+use stencil_core::StencilSpec;
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, heat1d, storage_level, Scale, SEQ_METHODS};
+use crate::{best_of, gflops, grid1, storage_level, Scale, SEQ_METHODS};
 
 /// One measured cell of the Fig. 7 sweep.
 #[derive(Clone, Debug)]
@@ -43,7 +44,7 @@ pub fn sizes(scale: Scale) -> Vec<usize> {
 /// Run the sequential block-free sweep at a given base step count
 /// (the paper uses T = 1000 and T = 10000; we keep the 10× ratio).
 pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig7Row> {
-    let s = heat1d();
+    let spec = StencilSpec::heat_1d3p();
     let mut rows = Vec::new();
     for n in sizes(scale) {
         // Keep per-cell work roughly constant across sizes: larger grids
@@ -57,7 +58,7 @@ pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig7Row> {
                 .method(m)
                 .isa(isa)
                 .parallelism(Parallelism::Off)
-                .star1(s)
+                .stencil(&spec)
                 .expect("valid plan");
             let reps = if n <= 64_000 { 3 } else { 2 };
             let secs = best_of(reps, || {
@@ -70,7 +71,7 @@ pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig7Row> {
                 level,
                 steps,
                 method: label,
-                gflops: gflops(n, steps, stencil_core::S1d3p::flops_per_point(), secs),
+                gflops: gflops(n, steps, spec.flops_per_point(), secs),
             });
         }
     }

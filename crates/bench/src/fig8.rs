@@ -1,16 +1,17 @@
 //! Sweep driver for Fig. 8 (multicore cache-blocking experiments) and
 //! Table 3 (speedups over SDSL per storage level × blocking level), 1D3P.
 //!
-//! Each (size, blocking, method) cell builds one tiled [`Plan`] — pool and
-//! buffers are constructed once — and reuses it across repetitions.
+//! Each (size, blocking, method) cell builds one tiled plan through the
+//! erased API ([`Plan::stencil`]) — pool and buffers are constructed
+//! once — and reuses it across repetitions.
 
 use stencil_core::exec::tile::DimTiling;
 use stencil_core::exec::{Plan, Shape, Tiling};
-use stencil_core::{Method, Star1};
+use stencil_core::{Method, StencilSpec};
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, heat1d, max_threads, storage_level, Scale};
+use crate::{best_of, gflops, grid1, max_threads, storage_level, Scale};
 
 /// One measured cell of the Fig. 8 sweep.
 #[derive(Clone, Debug)]
@@ -53,8 +54,24 @@ pub fn sizes(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, thr: usize) -> f64 {
-    let s = heat1d();
+/// One (size, blocking) cell of the sweep: problem size, steps, and the
+/// tile geometry shared by all four methods.
+struct CellCfg {
+    n: usize,
+    steps: usize,
+    w: usize,
+    h: usize,
+    thr: usize,
+}
+
+fn run_one(spec: &StencilSpec, method: &str, isa: Isa, c: &CellCfg) -> f64 {
+    let CellCfg {
+        n,
+        steps,
+        w,
+        h,
+        thr,
+    } = *c;
     let init = grid1(n, 13);
     let tiling = match method {
         "SDSL" => {
@@ -86,7 +103,7 @@ fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, t
         .method(m)
         .isa(isa)
         .tiling(tiling)
-        .star1(s)
+        .stencil(spec)
         .expect("valid tiled plan");
     best_of(2, || {
         let mut g = init.clone();
@@ -97,6 +114,7 @@ fn run_one(method: &str, isa: Isa, n: usize, steps: usize, w: usize, h: usize, t
 
 /// Run the multicore cache-blocking sweep.
 pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig8Row> {
+    let spec = StencilSpec::heat_1d3p();
     let thr = max_threads();
     let mut rows = Vec::new();
     for n in sizes(scale) {
@@ -105,15 +123,22 @@ pub fn sweep(isa: Isa, base_steps: usize, scale: Scale) -> Vec<Fig8Row> {
         for blocking in ["L1", "L2"] {
             let w = block_width(blocking);
             let h = (w / 2).min(steps).max(1);
+            let cell = CellCfg {
+                n,
+                steps,
+                w,
+                h,
+                thr,
+            };
             for method in TILED_METHODS {
-                let secs = run_one(method, isa, n, steps, w, h, thr);
+                let secs = run_one(&spec, method, isa, &cell);
                 rows.push(Fig8Row {
                     n,
                     level,
                     blocking,
                     method,
                     steps,
-                    gflops: gflops(n, steps, stencil_core::S1d3p::flops_per_point(), secs),
+                    gflops: gflops(n, steps, spec.flops_per_point(), secs),
                 });
             }
         }

@@ -2,22 +2,25 @@
 //! 4 tiled schemes × core counts) and Table 4 (mean speedups + strong
 //! scaling at full core count).
 //!
-//! Every cell builds one tiled [`Plan`] and reuses it across repetitions.
+//! Since the erased-API redesign the six stencils are **data**, not six
+//! copies of the plan-building code: a [`Workload`] table carries the
+//! paper's Table-1 problem/blocking sizes per stencil name, and one
+//! generic [`run_cell`] compiles a [`StencilSpec`] through
+//! [`Plan::stencil`] — the same path a runtime caller would use. Every
+//! cell builds one tiled plan and reuses it across repetitions.
 
 use stencil_core::exec::{Plan, Shape, Tiling};
-use stencil_core::{
-    Box2, Box3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3,
-};
+use stencil_core::{Method, StencilSpec};
 use stencil_simd::Isa;
 
 use crate::save::{Row, Value};
-use crate::{best_of, gflops, grid1, grid2, grid3, max_threads, Scale};
+use crate::{any_grid, best_of, gflops, max_threads, Scale};
 
 /// One measured cell of the Fig. 9 sweep.
 #[derive(Clone, Debug)]
 pub struct Fig9Row {
     /// Stencil label ("1d3p", ...).
-    pub stencil: &'static str,
+    pub stencil: String,
     /// ISA.
     pub isa: Isa,
     /// Method label.
@@ -30,9 +33,6 @@ pub struct Fig9Row {
 
 /// Methods of the scalability experiment.
 pub const METHODS: [&str; 4] = ["SDSL", "Tessellation", "Our", "Our2"];
-
-/// The six paper stencils.
-pub const STENCILS: [&str; 6] = ["1d3p", "1d5p", "2d5p", "2d9p", "3d7p", "3d27p"];
 
 fn tess_method(label: &str) -> Method {
     match label {
@@ -56,251 +56,186 @@ pub fn thread_axis() -> Vec<usize> {
     v
 }
 
-/// Measure one (stencil, isa, method, threads) cell. Problem sizes are the
-/// paper's Table 1 scaled to minutes (seconds at `Scale::Smoke`); the
+/// Problem and blocking sizes for one stencil of the sweep — the
+/// paper's Table 1 scaled to minutes (seconds at [`Scale::Smoke`]); the
 /// quick/full sizes all exceed L3 as in §4.4.
-pub fn run_cell(stencil: &str, isa: Isa, method: &str, threads: usize, scale: Scale) -> f64 {
-    match stencil {
+#[derive(Copy, Clone, Debug)]
+pub struct Workload {
+    /// Problem extent.
+    pub shape: Shape,
+    /// Time steps.
+    pub steps: usize,
+    /// Tessellate tile base widths per dimension.
+    pub tess_w: [usize; 3],
+    /// Tessellate time-chunk height.
+    pub tess_h: usize,
+    /// Split-tiling base width (SDSL).
+    pub split_w: usize,
+    /// Split-tiling time-chunk height (SDSL).
+    pub split_h: usize,
+    /// Grid seed.
+    pub seed: u64,
+}
+
+/// The Table-1 workload for a paper stencil name.
+pub fn workload(name: &str, scale: Scale) -> Workload {
+    let d1 = |seed| {
+        let n = match scale {
+            Scale::Smoke => 320_000,
+            Scale::Quick => 2_560_000,
+            Scale::Full => 5_120_000,
+        };
+        (
+            Shape::d1(n),
+            if scale == Scale::Smoke { 48 } else { 240 },
+            seed,
+        )
+    };
+    match name {
         "1d3p" => {
-            let (n, t, w) = match scale {
-                Scale::Smoke => (320_000, 48, 2_000),
-                Scale::Quick => (2_560_000, 240, 2_000),
-                Scale::Full => (5_120_000, 240, 2_000),
-            };
-            let s = S1d3p::heat();
-            let init = grid1(n, 3);
-            let h = w / 2;
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d1(n))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: w / 2,
-                        h: h / 2,
-                        threads,
-                    })
-                    .star1(s),
-                m => Plan::new(Shape::d1(n))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [w, 0, 0],
-                        h,
-                        threads,
-                    })
-                    .star1(s),
+            let (shape, steps, seed) = d1(3);
+            Workload {
+                shape,
+                steps,
+                tess_w: [2_000, 0, 0],
+                tess_h: 1_000,
+                split_w: 1_000,
+                split_h: 500,
+                seed,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(n, t, S1d3p::flops_per_point(), secs)
         }
         "1d5p" => {
-            let (n, t, w) = match scale {
-                Scale::Smoke => (320_000, 48, 2_000),
-                Scale::Quick => (2_560_000, 240, 2_000),
-                Scale::Full => (5_120_000, 240, 2_000),
-            };
-            let s = S1d5p::heat();
-            let init = grid1(n, 4);
-            let h = w / 4;
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d1(n))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: w / 2,
-                        h: h / 2,
-                        threads,
-                    })
-                    .star1(s),
-                m => Plan::new(Shape::d1(n))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [w, 0, 0],
-                        h,
-                        threads,
-                    })
-                    .star1(s),
+            let (shape, steps, seed) = d1(4);
+            Workload {
+                shape,
+                steps,
+                tess_w: [2_000, 0, 0],
+                tess_h: 500,
+                split_w: 1_000,
+                split_h: 250,
+                seed,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(n, t, S1d5p::flops_per_point(), secs)
         }
         "2d5p" => {
-            let (nx, ny, t) = match scale {
-                Scale::Smoke => (304, 300, 10),
-                Scale::Quick => (1_504, 1_500, 50),
-                Scale::Full => (3_008, 1_500, 50),
+            let shape = match scale {
+                Scale::Smoke => Shape::d2(304, 300),
+                Scale::Quick => Shape::d2(1_504, 1_500),
+                Scale::Full => Shape::d2(3_008, 1_500),
             };
-            let s = S2d5p::heat();
-            let init = grid2(nx, ny, 5);
-            let (wx, wy, h) = (200, 200, 50);
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d2(nx, ny))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: wy,
-                        h: wy / 2,
-                        threads,
-                    })
-                    .star2(s),
-                m => Plan::new(Shape::d2(nx, ny))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [wx, wy, 0],
-                        h,
-                        threads,
-                    })
-                    .star2(s),
+            Workload {
+                shape,
+                steps: if scale == Scale::Smoke { 10 } else { 50 },
+                tess_w: [200, 200, 0],
+                tess_h: 50,
+                split_w: 200,
+                split_h: 100,
+                seed: 5,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(nx * ny, t, S2d5p::flops_per_point(), secs)
         }
         "2d9p" => {
-            let (nx, ny, t) = match scale {
-                Scale::Smoke => (304, 300, 8),
-                Scale::Quick => (1_504, 1_500, 40),
-                Scale::Full => (3_008, 1_500, 40),
+            let shape = match scale {
+                Scale::Smoke => Shape::d2(304, 300),
+                Scale::Quick => Shape::d2(1_504, 1_500),
+                Scale::Full => Shape::d2(3_008, 1_500),
             };
-            let s = S2d9p::blur();
-            let init = grid2(nx, ny, 6);
-            let (wx, wy, h) = (128, 120, 59);
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d2(nx, ny))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: wy,
-                        h: wy / 2,
-                        threads,
-                    })
-                    .box2(s),
-                m => Plan::new(Shape::d2(nx, ny))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [wx, wy, 0],
-                        h,
-                        threads,
-                    })
-                    .box2(s),
+            Workload {
+                shape,
+                steps: if scale == Scale::Smoke { 8 } else { 40 },
+                tess_w: [128, 120, 0],
+                tess_h: 59,
+                split_w: 120,
+                split_h: 60,
+                seed: 6,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(nx * ny, t, S2d9p::flops_per_point(), secs)
         }
         "3d7p" => {
-            let (nx, ny, nz, t) = match scale {
-                Scale::Smoke => (64, 64, 64, 8),
-                Scale::Quick => (128, 128, 128, 20),
-                Scale::Full => (256, 128, 128, 20),
+            let shape = match scale {
+                Scale::Smoke => Shape::d3(64, 64, 64),
+                Scale::Quick => Shape::d3(128, 128, 128),
+                Scale::Full => Shape::d3(256, 128, 128),
             };
-            let s = S3d7p::heat();
-            let init = grid3(nx, ny, nz, 7);
-            let (wx, wy, wz, h) = (64, 24, 24, 10);
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d3(nx, ny, nz))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: wz,
-                        h: wz / 2,
-                        threads,
-                    })
-                    .star3(s),
-                m => Plan::new(Shape::d3(nx, ny, nz))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [wx, wy, wz],
-                        h,
-                        threads,
-                    })
-                    .star3(s),
+            Workload {
+                shape,
+                steps: if scale == Scale::Smoke { 8 } else { 20 },
+                tess_w: [64, 24, 24],
+                tess_h: 10,
+                split_w: 24,
+                split_h: 12,
+                seed: 7,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(nx * ny * nz, t, S3d7p::flops_per_point(), secs)
         }
         "3d27p" => {
-            let (nx, ny, nz, t) = match scale {
-                Scale::Smoke => (64, 64, 64, 6),
-                Scale::Quick => (128, 128, 128, 16),
-                Scale::Full => (256, 128, 128, 16),
+            let shape = match scale {
+                Scale::Smoke => Shape::d3(64, 64, 64),
+                Scale::Quick => Shape::d3(128, 128, 128),
+                Scale::Full => Shape::d3(256, 128, 128),
             };
-            let s = S3d27p::blur();
-            let init = grid3(nx, ny, nz, 8);
-            let (wx, wy, wz, h) = (64, 24, 24, 10);
-            let mut plan = match method {
-                "SDSL" => Plan::new(Shape::d3(nx, ny, nz))
-                    .method(Method::Dlt)
-                    .isa(isa)
-                    .tiling(Tiling::Split {
-                        w: wz,
-                        h: wz / 2,
-                        threads,
-                    })
-                    .box3(s),
-                m => Plan::new(Shape::d3(nx, ny, nz))
-                    .method(tess_method(m))
-                    .isa(isa)
-                    .tiling(Tiling::Tessellate {
-                        w: [wx, wy, wz],
-                        h,
-                        threads,
-                    })
-                    .box3(s),
+            Workload {
+                shape,
+                steps: if scale == Scale::Smoke { 6 } else { 16 },
+                tess_w: [64, 24, 24],
+                tess_h: 10,
+                split_w: 24,
+                split_h: 12,
+                seed: 8,
             }
-            .expect("valid tiled plan");
-            let secs = best_of(2, || {
-                let mut g = init.clone();
-                plan.run(&mut g, t);
-                std::hint::black_box(&g);
-            });
-            gflops(nx * ny * nz, t, S3d27p::flops_per_point(), secs)
         }
-        _ => panic!("unknown stencil {stencil}"),
+        other => panic!("no workload for stencil {other}"),
     }
 }
 
+/// Measure one (stencil, isa, method, threads) cell through the erased
+/// API. Panics if `spec` is not one of the six paper stencils — the
+/// workload table is keyed by the paper names, and a custom spec could
+/// share a name with a different family (a radius-2 2D star also
+/// prints "2d9p").
+pub fn run_cell(spec: &StencilSpec, isa: Isa, method: &str, threads: usize, scale: Scale) -> f64 {
+    let name = spec.to_string();
+    assert!(
+        name.parse::<StencilSpec>().as_ref() == Ok(spec),
+        "run_cell drives the paper's Table-1 workloads; spec '{name}' is not one of them"
+    );
+    let wl = workload(&name, scale);
+    let builder = Plan::new(wl.shape).isa(isa);
+    let builder = match method {
+        "SDSL" => builder.method(Method::Dlt).tiling(Tiling::Split {
+            w: wl.split_w,
+            h: wl.split_h,
+            threads,
+        }),
+        m => builder.method(tess_method(m)).tiling(Tiling::Tessellate {
+            w: wl.tess_w,
+            h: wl.tess_h,
+            threads,
+        }),
+    };
+    let mut plan = builder.stencil(spec).expect("valid tiled plan");
+    let init = any_grid(wl.shape, spec.radius(), wl.seed);
+    let secs = best_of(2, || {
+        let mut g = init.clone();
+        plan.run(&mut g, wl.steps);
+        std::hint::black_box(&g);
+    });
+    let [nx, ny, nz] = wl.shape.dims();
+    let cells = nx * ny.max(1) * nz.max(1);
+    gflops(cells, wl.steps, spec.flops_per_point(), secs)
+}
+
 /// Full scalability sweep (Fig. 9).
-pub fn sweep(scale: Scale, stencils: &[&'static str]) -> Vec<Fig9Row> {
+pub fn sweep(scale: Scale, stencils: &[StencilSpec]) -> Vec<Fig9Row> {
     let isas: Vec<Isa> = [Isa::Avx2, Isa::Avx512]
         .into_iter()
         .filter(|i| i.is_available())
         .collect();
     let mut rows = Vec::new();
-    for &stencil in stencils {
+    for spec in stencils {
+        let stencil = spec.to_string();
         for &isa in &isas {
             for method in METHODS {
                 for &threads in &thread_axis() {
-                    let g = run_cell(stencil, isa, method, threads, scale);
+                    let g = run_cell(spec, isa, method, threads, scale);
                     rows.push(Fig9Row {
-                        stencil,
+                        stencil: stencil.clone(),
                         isa,
                         method,
                         threads,
@@ -319,7 +254,7 @@ pub fn json_rows(rows: &[Fig9Row]) -> Vec<Row> {
     rows.iter()
         .map(|r| {
             vec![
-                ("stencil", Value::from(r.stencil)),
+                ("stencil", Value::Str(r.stencil.clone())),
                 ("isa", Value::from(r.isa.name())),
                 ("method", Value::from(r.method)),
                 ("threads", Value::from(r.threads)),
@@ -339,7 +274,7 @@ pub type Table4Row = (String, Vec<(String, f64, f64)>);
 pub fn table4(rows: &[Fig9Row]) -> Vec<Table4Row> {
     let maxt = rows.iter().map(|r| r.threads).max().unwrap_or(1);
     let mut out = Vec::new();
-    for stencil in STENCILS {
+    for stencil in StencilSpec::NAMES {
         for isa in [Isa::Avx2, Isa::Avx512] {
             let cells: Vec<&Fig9Row> = rows
                 .iter()

@@ -11,7 +11,8 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stencil_core::{Grid1, Grid2, Grid3, Method, S1d3p};
+use stencil_core::exec::Shape;
+use stencil_core::{AnyGrid, Grid1, Grid2, Grid3, Method, S1d3p, StencilSpec};
 use stencil_simd::Isa;
 
 pub mod fig7;
@@ -33,37 +34,148 @@ pub enum Scale {
     Full,
 }
 
-/// True when the harness should run the longer (paper-closer) variants.
-pub fn full_mode() -> bool {
-    std::env::var("STENCIL_BENCH_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+/// The parsed command line every bench binary shares — one
+/// implementation of the `--flag` / `--key=value` / positional grammar
+/// instead of a hand-rolled `env::args()` loop per binary.
+///
+/// Flags every binary understands: `--smoke` (CI-sized runs),
+/// `--threads=N` (worker override), `--save-json[=DIR]` (handled by
+/// [`save::maybe_save`]). Positional arguments name paper stencils where
+/// a binary sweeps them (see [`Cli::stencils`]); binary-specific flags
+/// go through [`Cli::flag`] / [`Cli::value`].
+#[derive(Clone, Debug)]
+pub struct Cli {
+    args: Vec<String>,
 }
 
-/// True when the harness should run the CI-sized smoke variants.
-pub fn smoke_mode() -> bool {
-    std::env::args().skip(1).any(|a| a == "--smoke")
-        || std::env::var("STENCIL_BENCH_SMOKE")
-            .map(|v| v == "1")
-            .unwrap_or(false)
+impl Cli {
+    /// Parse the process arguments.
+    pub fn parse() -> Cli {
+        Cli {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// A `Cli` over explicit arguments (tests).
+    pub fn from_args<S: Into<String>>(args: impl IntoIterator<Item = S>) -> Cli {
+        Cli {
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Is the bare flag present (e.g. `flag("--smoke")`)?
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value of a `--key=value` argument (e.g. `value("--threads")`).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find_map(|a| a.strip_prefix(name)?.strip_prefix('='))
+    }
+
+    /// Positional (non-`--`) arguments in order.
+    pub fn positional(&self) -> impl Iterator<Item = &str> {
+        self.args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+    }
+
+    /// The workload scale: `--smoke` / `STENCIL_BENCH_SMOKE=1` wins,
+    /// then `STENCIL_BENCH_FULL=1`, else quick.
+    pub fn scale(&self) -> Scale {
+        if self.flag("--smoke") || env_is_1("STENCIL_BENCH_SMOKE") {
+            Scale::Smoke
+        } else if full_mode() {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Worker-thread override from `--threads=N`, if any. Exits with
+    /// status 2 on a bare `--threads` (the value must be `=`-attached,
+    /// or it would be silently ignored as a stray positional) and on a
+    /// value that is not a number (a typo must not silently run the
+    /// default sweep).
+    pub fn threads(&self) -> Option<usize> {
+        if self.bare_value_flag(&["--threads"]).is_some() {
+            eprintln!("--threads requires a value: --threads=N");
+            std::process::exit(2);
+        }
+        self.value("--threads").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threads takes a number, got --threads={v}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// The first `--flag` whose name (the part before any `=`) is not
+    /// in `known` — for binaries that want to reject typos instead of
+    /// ignoring them.
+    pub fn unknown_flags(&self, known: &[&str]) -> Option<&str> {
+        self.args
+            .iter()
+            .filter(|a| a.starts_with("--"))
+            .map(|a| a.split_once('=').map(|(k, _)| k).unwrap_or(a.as_str()))
+            .find(|k| !known.contains(k))
+    }
+
+    /// The stencils selected by the positional arguments, parsed
+    /// through [`StencilSpec`]'s `FromStr` (so `fig9 2d5p 3d27p`
+    /// restricts a sweep); all six paper stencils when none are named.
+    /// Duplicated names are collapsed — repeating a name must not
+    /// repeat the sweep. Errors on an unknown name — a typo should not
+    /// silently run the full sweep.
+    pub fn try_stencils(&self) -> Result<Vec<StencilSpec>, stencil_core::SpecError> {
+        let mut named: Vec<&str> = self.positional().collect();
+        let mut seen = std::collections::HashSet::new();
+        named.retain(|n| seen.insert(*n));
+        let names: Vec<&str> = if named.is_empty() {
+            StencilSpec::NAMES.to_vec()
+        } else {
+            named
+        };
+        names.into_iter().map(str::parse).collect()
+    }
+
+    /// [`Cli::try_stencils`] for binaries: exits with status 2 on an
+    /// unknown name.
+    pub fn stencils(&self) -> Vec<StencilSpec> {
+        self.try_stencils().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The first of `names` that appears as a bare flag (no `=value`),
+    /// for flags that require a value: `--threads 4` would otherwise
+    /// silently parse as no override plus a stray positional `4`.
+    pub fn bare_value_flag<'a>(&self, names: &[&'a str]) -> Option<&'a str> {
+        names.iter().copied().find(|n| self.flag(n))
+    }
+}
+
+fn env_is_1(key: &str) -> bool {
+    std::env::var(key).map(|v| v == "1").unwrap_or(false)
+}
+
+/// True when the harness should run the longer (paper-closer) variants.
+pub fn full_mode() -> bool {
+    env_is_1("STENCIL_BENCH_FULL")
 }
 
 /// The scale selected on the command line / environment (smoke wins).
 pub fn scale() -> Scale {
-    if smoke_mode() {
-        Scale::Smoke
-    } else if full_mode() {
-        Scale::Full
-    } else {
-        Scale::Quick
-    }
+    Cli::parse().scale()
 }
 
 /// Worker-thread override from `--threads=N`, if any.
 pub fn threads_arg() -> Option<usize> {
-    std::env::args()
-        .skip(1)
-        .find_map(|a| a.strip_prefix("--threads=")?.parse().ok())
+    Cli::parse().threads()
 }
 
 /// Number of worker threads to use for multicore experiments
@@ -122,6 +234,15 @@ pub fn grid2(nx: usize, ny: usize, seed: u64) -> Grid2 {
 pub fn grid3(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3 {
     let mut r = StdRng::seed_from_u64(seed);
     Grid3::from_fn(nx, ny, nz, 1, 0.0, |_, _, _| r.random_range(0.0..1.0))
+}
+
+/// Deterministic random grid of any shape (erased API). `halo_r` is the
+/// 2D/3D halo width — pass the stencil radius. Fill order matches the
+/// typed helpers above, so for the same shape/seed the grids are
+/// identical cell-for-cell.
+pub fn any_grid(shape: Shape, halo_r: usize, seed: u64) -> AnyGrid {
+    let mut r = StdRng::seed_from_u64(seed);
+    AnyGrid::from_fn(shape, halo_r, 0.0, |_, _, _| r.random_range(0.0..1.0))
 }
 
 /// The paper's method labels for the sequential experiments (Fig. 7 /

@@ -5,87 +5,175 @@
 //! layout transformations (into/out of the transpose or DLT layout)
 //! happen inside each call, exactly as the sequential experiments
 //! (Fig. 7) measure them. Since the plan refactor they are **thin
-//! wrappers** over [`crate::exec::Plan`]: one plan is built, used for one
+//! wrappers** over the execution engine: one plan is built, used for one
 //! run, and dropped — pinned to [`Parallelism::Off`], because the paper's
-//! sequential experiments are exactly single-threaded. Code that steps a
-//! grid repeatedly (or wants the parallel executor) should hold a `Plan`
-//! (and a session) instead — see [`crate::exec`].
+//! sequential experiments are exactly single-threaded. Since the erased
+//! API landed they are routed through
+//! [`Plan::stencil`]/[`DynPlan`](crate::exec::DynPlan) — the stencil's
+//! weights are lifted into a [`StencilSpec`] and validated there, which
+//! is why they now return `Result<(), PlanError>` instead of panicking
+//! on a bad configuration (e.g. a stencil whose weight slice implies a
+//! radius past [`MAX_R`](crate::stencil::MAX_R)).
+//!
+//! Code that steps a grid repeatedly (or wants the parallel executor)
+//! should hold a plan (and a session) instead — see [`crate::exec`].
 
 use stencil_simd::Isa;
 
 pub use crate::exec::Method;
-use crate::exec::{Parallelism, Plan, Shape};
+use crate::exec::{Parallelism, Plan, PlanError, Shape};
 use crate::grid::{Grid1, Grid2, Grid3};
+use crate::spec::{SpecError, StencilSpec};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+
+/// The spec constructors infer the radius from a slice length; a typed
+/// stencil whose `w()` length disagrees with its declared `R` (e.g.
+/// zero-padded storage) would otherwise be silently reinterpreted at a
+/// different radius. Reject the contract violation instead.
+fn expect_len(axis: &'static str, got: usize, expected: usize) -> Result<(), PlanError> {
+    if got != expected {
+        return Err(PlanError::Spec(SpecError::WeightLen {
+            axis,
+            got,
+            expected: "the length implied by the stencil's declared radius",
+        }));
+    }
+    Ok(())
+}
 
 /// Run `t` Jacobi steps of a 1D star stencil on `g` with the given method
 /// and ISA. The result (including any layout round-trips) lands back in
 /// `g` in natural order.
-pub fn run1_star1<S: Star1>(method: Method, isa: Isa, g: &mut Grid1, s: &S, t: usize) {
+///
+/// # Errors
+/// [`PlanError::Spec`] if the stencil's weights are invalid (radius >
+/// `MAX_R`, wrong slice length), [`PlanError::IsaUnavailable`] if `isa`
+/// is not supported on this CPU, [`PlanError::EmptyShape`] for an empty
+/// grid.
+pub fn run1_star1<S: Star1>(
+    method: Method,
+    isa: Isa,
+    g: &mut Grid1,
+    s: &S,
+    t: usize,
+) -> Result<(), PlanError> {
     if t == 0 {
-        return;
+        return Ok(());
     }
+    expect_len("x", s.w().len(), 2 * S::R + 1)?;
+    let spec = StencilSpec::star1(s.w())?;
     Plan::new(Shape::d1(g.n()))
         .method(method)
         .isa(isa)
         .parallelism(Parallelism::Off)
-        .star1(*s)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .stencil(&spec)?
         .run(g, t);
+    Ok(())
 }
 
 /// Run `t` Jacobi steps of a 2D star stencil (see [`run1_star1`]).
-pub fn run2_star<S: Star2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: usize) {
+///
+/// # Errors
+/// See [`run1_star1`].
+pub fn run2_star<S: Star2>(
+    method: Method,
+    isa: Isa,
+    g: &mut Grid2,
+    s: &S,
+    t: usize,
+) -> Result<(), PlanError> {
     if t == 0 {
-        return;
+        return Ok(());
     }
+    expect_len("x", s.wx().len(), 2 * S::R + 1)?;
+    expect_len("y", s.wy().len(), 2 * S::R + 1)?;
+    let spec = StencilSpec::star2(s.wx(), s.wy())?;
     Plan::new(Shape::d2(g.nx(), g.ny()))
         .method(method)
         .isa(isa)
         .parallelism(Parallelism::Off)
-        .star2(*s)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .stencil(&spec)?
         .run(g, t);
+    Ok(())
 }
 
 /// Run `t` Jacobi steps of a 2D box stencil (see [`run1_star1`]).
-pub fn run2_box<S: Box2>(method: Method, isa: Isa, g: &mut Grid2, s: &S, t: usize) {
+///
+/// # Errors
+/// See [`run1_star1`].
+pub fn run2_box<S: Box2>(
+    method: Method,
+    isa: Isa,
+    g: &mut Grid2,
+    s: &S,
+    t: usize,
+) -> Result<(), PlanError> {
     if t == 0 {
-        return;
+        return Ok(());
     }
+    expect_len("box", s.w().len(), (2 * S::R + 1) * (2 * S::R + 1))?;
+    let spec = StencilSpec::box2(s.w())?;
     Plan::new(Shape::d2(g.nx(), g.ny()))
         .method(method)
         .isa(isa)
         .parallelism(Parallelism::Off)
-        .box2(*s)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .stencil(&spec)?
         .run(g, t);
+    Ok(())
 }
 
 /// Run `t` Jacobi steps of a 3D star stencil (see [`run1_star1`]).
-pub fn run3_star<S: Star3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: usize) {
+///
+/// # Errors
+/// See [`run1_star1`].
+pub fn run3_star<S: Star3>(
+    method: Method,
+    isa: Isa,
+    g: &mut Grid3,
+    s: &S,
+    t: usize,
+) -> Result<(), PlanError> {
     if t == 0 {
-        return;
+        return Ok(());
     }
+    expect_len("x", s.wx().len(), 2 * S::R + 1)?;
+    expect_len("y", s.wy().len(), 2 * S::R + 1)?;
+    expect_len("z", s.wz().len(), 2 * S::R + 1)?;
+    let spec = StencilSpec::star3(s.wx(), s.wy(), s.wz())?;
     Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
         .method(method)
         .isa(isa)
         .parallelism(Parallelism::Off)
-        .star3(*s)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .stencil(&spec)?
         .run(g, t);
+    Ok(())
 }
 
 /// Run `t` Jacobi steps of a 3D box stencil (see [`run1_star1`]).
-pub fn run3_box<S: Box3>(method: Method, isa: Isa, g: &mut Grid3, s: &S, t: usize) {
+///
+/// # Errors
+/// See [`run1_star1`].
+pub fn run3_box<S: Box3>(
+    method: Method,
+    isa: Isa,
+    g: &mut Grid3,
+    s: &S,
+    t: usize,
+) -> Result<(), PlanError> {
     if t == 0 {
-        return;
+        return Ok(());
     }
+    expect_len(
+        "box",
+        s.w().len(),
+        (2 * S::R + 1) * (2 * S::R + 1) * (2 * S::R + 1),
+    )?;
+    let spec = StencilSpec::box3(s.w())?;
     Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
         .method(method)
         .isa(isa)
         .parallelism(Parallelism::Off)
-        .box3(*s)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .stencil(&spec)?
         .run(g, t);
+    Ok(())
 }

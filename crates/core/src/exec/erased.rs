@@ -1,0 +1,337 @@
+//! The type-erased plan surface: [`DynPlan`] / [`DynSession`] over a
+//! runtime [`StencilSpec`].
+//!
+//! The typed terminals ([`Plan::star1`] … [`Plan::box3`]) return five
+//! different plan types, one per stencil family — zero-overhead, but a
+//! caller that picks the stencil at runtime ends up writing a 5-way
+//! match everywhere a plan flows. [`Plan::stencil`] erases that axis:
+//! the spec's `(shape, ndim, radius)` is matched **once, at compile
+//! time of the plan**, re-attaching the runtime weights to a
+//! const-radius carrier type and boxing the resulting typed plan behind
+//! a vtable. Every hot loop below the erasure boundary is the same
+//! fully monomorphized kernel the typed path runs — the only dynamic
+//! dispatch is one virtual call per `run`/`session` invocation, so
+//! results are bit-identical to the typed plans and the steady-state
+//! cost is unmeasurable (see the `plan_reuse` bench's `dyn_session`
+//! row).
+//!
+//! ```
+//! use stencil_core::exec::{Plan, Shape};
+//! use stencil_core::grid::AnyGrid;
+//! use stencil_core::spec::StencilSpec;
+//!
+//! // Strings + numbers at runtime → a running plan, no generics named.
+//! let spec: StencilSpec = "2d5p".parse().unwrap();
+//! let shape = Shape::d2(320, 200);
+//! let mut plan = Plan::new(shape).stencil(&spec).unwrap();
+//! let mut grid = AnyGrid::from_fn(shape, spec.radius(), 0.0, |_, y, x| {
+//!     (x + y) as f64
+//! });
+//! plan.run(&mut grid, 4); // one-shot
+//!
+//! let mut sess = plan.session(&mut grid); // layout-resident
+//! sess.run(2);
+//! sess.run(2);
+//! drop(sess);
+//! # assert_eq!(grid.ndim(), 2);
+//! ```
+
+use stencil_simd::Isa;
+
+use super::{
+    Method, Parallelism, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box, Plan3Star, PlanError,
+    Session1, Session2Box, Session2Star, Session3Box, Session3Star, Shape, Tiling,
+};
+use crate::grid::{AnyGrid, Grid1, Grid2, Grid3};
+use crate::spec::{DynBox2, DynBox3, DynStar1, DynStar2, DynStar3, StencilShape, StencilSpec};
+use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
+
+/// A mutable borrow of a grid of any dimensionality — what the erased
+/// entry points ([`DynPlan::run`], [`DynPlan::session`]) accept.
+///
+/// Both worlds convert in via `From`: `&mut AnyGrid` for fully dynamic
+/// callers, and `&mut Grid1`/`Grid2`/`Grid3` so typed containers can be
+/// driven by an erased plan without re-wrapping.
+pub enum AnyGridMut<'a> {
+    /// A borrowed 1D grid.
+    D1(&'a mut Grid1),
+    /// A borrowed 2D grid.
+    D2(&'a mut Grid2),
+    /// A borrowed 3D grid.
+    D3(&'a mut Grid3),
+}
+
+impl AnyGridMut<'_> {
+    /// Number of spatial dimensions (1–3).
+    pub fn ndim(&self) -> usize {
+        match self {
+            AnyGridMut::D1(_) => 1,
+            AnyGridMut::D2(_) => 2,
+            AnyGridMut::D3(_) => 3,
+        }
+    }
+}
+
+impl<'a> From<&'a mut Grid1> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid1) -> Self {
+        AnyGridMut::D1(g)
+    }
+}
+
+impl<'a> From<&'a mut Grid2> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid2) -> Self {
+        AnyGridMut::D2(g)
+    }
+}
+
+impl<'a> From<&'a mut Grid3> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid3) -> Self {
+        AnyGridMut::D3(g)
+    }
+}
+
+impl<'a> From<&'a mut AnyGrid> for AnyGridMut<'a> {
+    fn from(g: &'a mut AnyGrid) -> Self {
+        match g {
+            AnyGrid::D1(g) => AnyGridMut::D1(g),
+            AnyGrid::D2(g) => AnyGridMut::D2(g),
+            AnyGrid::D3(g) => AnyGridMut::D3(g),
+        }
+    }
+}
+
+/// Object-safe face of the five typed plan types. The method names are
+/// prefixed to stay distinct from the inherent accessors they forward
+/// to.
+trait ErasedPlan: Send {
+    fn run_any(&mut self, g: AnyGridMut<'_>, t: usize);
+    fn session_any<'p>(&'p mut self, g: AnyGridMut<'p>) -> Box<dyn ErasedSession + 'p>;
+    fn plan_method(&self) -> Method;
+    fn plan_isa(&self) -> Isa;
+    fn plan_tiling(&self) -> Tiling;
+    fn plan_parallelism(&self) -> Parallelism;
+    fn plan_threads(&self) -> usize;
+    fn plan_shape(&self) -> Shape;
+}
+
+/// Object-safe face of the five typed session types.
+trait ErasedSession {
+    fn run_steps(&mut self, t: usize);
+}
+
+macro_rules! erased_impl {
+    ($Plan:ident, $Session:ident, $bound:ident, $var:ident, $ndim:literal) => {
+        impl<S: $bound> ErasedPlan for $Plan<S> {
+            fn run_any(&mut self, g: AnyGridMut<'_>, t: usize) {
+                let AnyGridMut::$var(g) = g else {
+                    panic!(
+                        "plan was compiled for a {}D stencil but the grid is {}D",
+                        $ndim,
+                        g.ndim()
+                    )
+                };
+                self.run(g, t);
+            }
+
+            fn session_any<'p>(&'p mut self, g: AnyGridMut<'p>) -> Box<dyn ErasedSession + 'p> {
+                let AnyGridMut::$var(g) = g else {
+                    panic!(
+                        "plan was compiled for a {}D stencil but the grid is {}D",
+                        $ndim,
+                        g.ndim()
+                    )
+                };
+                Box::new(self.session(g))
+            }
+
+            fn plan_method(&self) -> Method {
+                self.method()
+            }
+            fn plan_isa(&self) -> Isa {
+                self.isa()
+            }
+            fn plan_tiling(&self) -> Tiling {
+                self.tiling()
+            }
+            fn plan_parallelism(&self) -> Parallelism {
+                self.parallelism()
+            }
+            fn plan_threads(&self) -> usize {
+                self.threads()
+            }
+            fn plan_shape(&self) -> Shape {
+                self.shape()
+            }
+        }
+
+        impl<S: $bound> ErasedSession for $Session<'_, S> {
+            fn run_steps(&mut self, t: usize) {
+                self.run(t)
+            }
+        }
+    };
+}
+
+erased_impl!(Plan1, Session1, Star1, D1, 1);
+erased_impl!(Plan2Star, Session2Star, Star2, D2, 2);
+erased_impl!(Plan2Box, Session2Box, Box2, D2, 2);
+erased_impl!(Plan3Star, Session3Star, Star3, D3, 3);
+erased_impl!(Plan3Box, Session3Box, Box3, D3, 3);
+
+/// A compiled execution plan whose stencil was described at runtime by
+/// a [`StencilSpec`] — the type-erased sibling of [`Plan1`],
+/// [`Plan2Star`], …
+///
+/// Built by [`Plan::stencil`]. Internally this *is* one of the typed
+/// plans (the spec's family and radius select the instantiation), so
+/// buffers, pool, validation, and the kernels themselves are exactly
+/// the typed machinery; see the [module docs](self) for the dispatch
+/// accounting.
+pub struct DynPlan {
+    inner: Box<dyn ErasedPlan + Send>,
+    spec: StencilSpec,
+}
+
+impl std::fmt::Debug for DynPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynPlan")
+            .field("spec", &self.spec.to_string())
+            .field("method", &self.method())
+            .field("isa", &self.isa())
+            .field("tiling", &self.tiling())
+            .field("shape", &self.shape())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DynPlan {
+    /// Run `t` Jacobi steps on `g` (natural layout in, natural layout
+    /// out), like the typed `run`. Accepts `&mut AnyGrid` or a typed
+    /// `&mut Grid1`/`Grid2`/`Grid3`.
+    ///
+    /// # Panics
+    /// If the grid's dimensionality or extents do not match the shape
+    /// the plan was compiled for (same contract as the typed plans).
+    pub fn run<'a>(&mut self, g: impl Into<AnyGridMut<'a>>, t: usize) {
+        self.inner.run_any(g.into(), t);
+    }
+
+    /// Open a layout-resident stepping session on `g`; see
+    /// [`Plan1::session`]. Dropping the [`DynSession`] restores natural
+    /// order.
+    ///
+    /// # Panics
+    /// If the grid does not match the plan's shape (see
+    /// [`DynPlan::run`]).
+    pub fn session<'p>(&'p mut self, g: impl Into<AnyGridMut<'p>>) -> DynSession<'p> {
+        DynSession {
+            inner: self.inner.session_any(g.into()),
+        }
+    }
+
+    /// The stencil description this plan was compiled from.
+    pub fn spec(&self) -> &StencilSpec {
+        &self.spec
+    }
+
+    /// The plan's vectorization method.
+    pub fn method(&self) -> Method {
+        self.inner.plan_method()
+    }
+
+    /// The plan's instruction set.
+    pub fn isa(&self) -> Isa {
+        self.inner.plan_isa()
+    }
+
+    /// The plan's tiling framework.
+    pub fn tiling(&self) -> Tiling {
+        self.inner.plan_tiling()
+    }
+
+    /// The plan's parallelism knob.
+    pub fn parallelism(&self) -> Parallelism {
+        self.inner.plan_parallelism()
+    }
+
+    /// Worker count the parallelism knob resolved to at build time (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.inner.plan_threads()
+    }
+
+    /// The shape the plan was compiled for.
+    pub fn shape(&self) -> Shape {
+        self.inner.plan_shape()
+    }
+}
+
+/// Layout-resident stepping session opened by [`DynPlan::session`] —
+/// the erased sibling of [`Session1`], [`Session2Star`], … Dropping it
+/// restores the grid to natural order.
+pub struct DynSession<'p> {
+    inner: Box<dyn ErasedSession + 'p>,
+}
+
+impl DynSession<'_> {
+    /// Advance the grid `t` Jacobi steps (no allocation, no layout
+    /// transform — see [`Session1::run`]).
+    pub fn run(&mut self, t: usize) {
+        self.inner.run_steps(t);
+    }
+}
+
+impl Plan {
+    /// Compile the plan against a runtime stencil description,
+    /// producing a type-erased [`DynPlan`].
+    ///
+    /// The spec's family and radius select one of the typed plan
+    /// instantiations internally, so validation and errors are
+    /// identical to the matching typed terminal (plus nothing: specs
+    /// are already validated at construction). Results are
+    /// bit-identical to the typed path.
+    pub fn stencil(self, spec: &StencilSpec) -> Result<DynPlan, PlanError> {
+        // The match below instantiates one carrier per (family, radius)
+        // with radii written out literally; raising MAX_R must extend it
+        // or validated specs would hit the unreachable arm at runtime.
+        const _: () = assert!(
+            crate::stencil::MAX_R == 4,
+            "extend the radius arms in Plan::stencil for the new MAX_R"
+        );
+        macro_rules! arm {
+            ($terminal:ident, $Carrier:ident, $r:literal) => {
+                Box::new(self.$terminal($Carrier::<$r>::new(spec))?) as Box<dyn ErasedPlan + Send>
+            };
+        }
+        use StencilShape::{Box as BoxS, Star};
+        let inner = match (spec.shape(), spec.ndim(), spec.radius()) {
+            (Star, 1, 1) => arm!(star1, DynStar1, 1),
+            (Star, 1, 2) => arm!(star1, DynStar1, 2),
+            (Star, 1, 3) => arm!(star1, DynStar1, 3),
+            (Star, 1, 4) => arm!(star1, DynStar1, 4),
+            (Star, 2, 1) => arm!(star2, DynStar2, 1),
+            (Star, 2, 2) => arm!(star2, DynStar2, 2),
+            (Star, 2, 3) => arm!(star2, DynStar2, 3),
+            (Star, 2, 4) => arm!(star2, DynStar2, 4),
+            (Star, 3, 1) => arm!(star3, DynStar3, 1),
+            (Star, 3, 2) => arm!(star3, DynStar3, 2),
+            (Star, 3, 3) => arm!(star3, DynStar3, 3),
+            (Star, 3, 4) => arm!(star3, DynStar3, 4),
+            (BoxS, 2, 1) => arm!(box2, DynBox2, 1),
+            (BoxS, 2, 2) => arm!(box2, DynBox2, 2),
+            (BoxS, 2, 3) => arm!(box2, DynBox2, 3),
+            (BoxS, 2, 4) => arm!(box2, DynBox2, 4),
+            (BoxS, 3, 1) => arm!(box3, DynBox3, 1),
+            (BoxS, 3, 2) => arm!(box3, DynBox3, 2),
+            (BoxS, 3, 3) => arm!(box3, DynBox3, 3),
+            (BoxS, 3, 4) => arm!(box3, DynBox3, 4),
+            // Spec construction bounds ndim to 1–3 and radius to
+            // 1..=MAX_R, and 1D box degenerates to 1D star (no 1D box
+            // constructor exists).
+            _ => unreachable!("StencilSpec invariants bound the match"),
+        };
+        Ok(DynPlan {
+            inner,
+            spec: spec.clone(),
+        })
+    }
+}

@@ -53,10 +53,13 @@
 //! The legacy `run*`/`tessellate*`/`split*` free functions are thin
 //! wrappers over `Plan`, kept for paper-figure fidelity.
 
+pub mod erased;
 pub(crate) mod par;
 pub(crate) mod split;
 pub(crate) mod tess;
 pub mod tile;
+
+pub use erased::{AnyGridMut, DynPlan, DynSession};
 
 use stencil_simd::{dispatch, AlignedBuf, Isa};
 
@@ -268,6 +271,15 @@ pub enum PlanError {
     BadTiling(String),
     /// The parallelism knob is out of range.
     BadParallelism(String),
+    /// A runtime stencil description was invalid (see
+    /// [`SpecError`](crate::spec::SpecError)).
+    Spec(crate::spec::SpecError),
+}
+
+impl From<crate::spec::SpecError> for PlanError {
+    fn from(e: crate::spec::SpecError) -> PlanError {
+        PlanError::Spec(e)
+    }
 }
 
 impl std::fmt::Display for PlanError {
@@ -294,6 +306,7 @@ impl std::fmt::Display for PlanError {
             PlanError::BadParallelism(msg) => {
                 write!(f, "invalid parallelism parameters: {msg}")
             }
+            PlanError::Spec(e) => write!(f, "invalid stencil description: {e}"),
         }
     }
 }
@@ -335,8 +348,10 @@ impl Cfg {
 
 /// Execution-plan builder: pick a [`Shape`], a [`Method`], an [`Isa`] and
 /// a [`Tiling`], then compile it against a stencil with one of the
-/// terminal methods ([`Plan::star1`], [`Plan::star2`], [`Plan::box2`],
-/// [`Plan::star3`], [`Plan::box3`]).
+/// typed terminal methods ([`Plan::star1`], [`Plan::star2`],
+/// [`Plan::box2`], [`Plan::star3`], [`Plan::box3`]) or against a
+/// runtime [`StencilSpec`](crate::spec::StencilSpec) with
+/// [`Plan::stencil`], which yields a type-erased [`DynPlan`].
 ///
 /// Defaults: `Method::TransLayout2` (the paper's best scheme),
 /// `Isa::detect_best()`, `Tiling::None`.

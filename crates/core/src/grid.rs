@@ -14,6 +14,8 @@
 
 use stencil_simd::AlignedBuf;
 
+use crate::exec::Shape;
+
 /// Doubles of padding on each side of a row interior. Must be ≥ the widest
 /// vector (8) so the `reorg` method's aligned previous-vector load of the
 /// first interior vector stays in bounds, and ≥ [`crate::stencil::MAX_R`].
@@ -392,6 +394,207 @@ impl Grid3 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// AnyGrid: dimensionality as data
+// ---------------------------------------------------------------------------
+
+/// The data handed to [`AnyGrid::from_vec`] does not cover the shape's
+/// interior exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridDataError {
+    /// Cells the shape's interior holds.
+    pub expected: usize,
+    /// Elements the vector actually carried.
+    pub got: usize,
+}
+
+impl std::fmt::Display for GridDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid data length {} does not match the shape's {} interior cells",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for GridDataError {}
+
+/// A grid whose dimensionality is a runtime value — the container side
+/// of the erased API (see [`crate::exec::DynPlan`]).
+///
+/// Construction is shape-checked: [`AnyGrid::from_vec`] rejects data
+/// that doesn't cover the interior, and the dimensionality always comes
+/// from the [`Shape`], so a caller can go from "numbers at runtime" to a
+/// running plan without naming `Grid1`/`Grid2`/`Grid3`:
+///
+/// ```
+/// use stencil_core::exec::Shape;
+/// use stencil_core::grid::AnyGrid;
+///
+/// let shape = Shape::d2(64, 32);
+/// let g = AnyGrid::from_vec(shape, 1, 0.0, vec![1.0; 64 * 32]).unwrap();
+/// assert_eq!(g.ndim(), 2);
+/// assert_eq!(g.to_vec().len(), 64 * 32);
+/// assert!(AnyGrid::from_vec(shape, 1, 0.0, vec![0.0; 7]).is_err());
+/// ```
+///
+/// The typed grids convert in via `From`, and [`AnyGrid::as_grid2`]-style
+/// accessors hand the typed view back for rendering or verification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnyGrid {
+    /// A 1D grid.
+    D1(Grid1),
+    /// A 2D grid.
+    D2(Grid2),
+    /// A 3D grid.
+    D3(Grid3),
+}
+
+impl AnyGrid {
+    /// Create a grid of the given shape with every cell (halo included)
+    /// set to `fill`. `halo_r` is the halo width in rows/planes kept for
+    /// 2D/3D grids (pass the stencil radius; ignored for 1D, whose halo
+    /// is always [`HALO_PAD`] wide).
+    pub fn filled(shape: Shape, halo_r: usize, fill: f64) -> AnyGrid {
+        let [nx, ny, nz] = shape.dims();
+        match shape.ndim() {
+            1 => AnyGrid::D1(Grid1::filled(nx, fill)),
+            2 => AnyGrid::D2(Grid2::filled(nx, ny, halo_r, fill)),
+            _ => AnyGrid::D3(Grid3::filled(nx, ny, nz, halo_r, fill)),
+        }
+    }
+
+    /// Create a grid with interior `f(z, y, x)` (unused coordinates are
+    /// passed as 0) and halo value `halo`. See [`AnyGrid::filled`] for
+    /// `halo_r`.
+    pub fn from_fn(
+        shape: Shape,
+        halo_r: usize,
+        halo: f64,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> AnyGrid {
+        let [nx, ny, nz] = shape.dims();
+        match shape.ndim() {
+            1 => AnyGrid::D1(Grid1::from_fn(nx, halo, |x| f(0, 0, x))),
+            2 => AnyGrid::D2(Grid2::from_fn(nx, ny, halo_r, halo, |y, x| f(0, y, x))),
+            _ => AnyGrid::D3(Grid3::from_fn(nx, ny, nz, halo_r, halo, f)),
+        }
+    }
+
+    /// Create a grid whose interior is `data` in row-major order (x
+    /// fastest), rejecting data that does not cover the interior
+    /// exactly. See [`AnyGrid::filled`] for `halo_r`.
+    pub fn from_vec(
+        shape: Shape,
+        halo_r: usize,
+        halo: f64,
+        data: Vec<f64>,
+    ) -> Result<AnyGrid, GridDataError> {
+        let [nx, ny, nz] = shape.dims();
+        let expected = match shape.ndim() {
+            1 => nx,
+            2 => nx * ny,
+            _ => nx * ny * nz,
+        };
+        if data.len() != expected {
+            return Err(GridDataError {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Self::from_fn(shape, halo_r, halo, |z, y, x| {
+            data[(z * ny + y) * nx + x]
+        }))
+    }
+
+    /// Number of spatial dimensions (1–3).
+    pub fn ndim(&self) -> usize {
+        match self {
+            AnyGrid::D1(_) => 1,
+            AnyGrid::D2(_) => 2,
+            AnyGrid::D3(_) => 3,
+        }
+    }
+
+    /// The interior extents as a [`Shape`].
+    pub fn shape(&self) -> Shape {
+        match self {
+            AnyGrid::D1(g) => Shape::d1(g.n()),
+            AnyGrid::D2(g) => Shape::d2(g.nx(), g.ny()),
+            AnyGrid::D3(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
+        }
+    }
+
+    /// The interior in row-major order (x fastest) — the inverse of
+    /// [`AnyGrid::from_vec`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        match self {
+            AnyGrid::D1(g) => g.interior().to_vec(),
+            AnyGrid::D2(g) => {
+                let mut v = Vec::with_capacity(g.nx() * g.ny());
+                for y in 0..g.ny() {
+                    v.extend_from_slice(g.row(y));
+                }
+                v
+            }
+            AnyGrid::D3(g) => {
+                let mut v = Vec::with_capacity(g.nx() * g.ny() * g.nz());
+                for z in 0..g.nz() {
+                    for y in 0..g.ny() {
+                        for x in 0..g.nx() {
+                            v.push(g.get(z as isize, y as isize, x as isize));
+                        }
+                    }
+                }
+                v
+            }
+        }
+    }
+
+    /// The typed 1D view, if this is a 1D grid.
+    pub fn as_grid1(&self) -> Option<&Grid1> {
+        match self {
+            AnyGrid::D1(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The typed 2D view, if this is a 2D grid.
+    pub fn as_grid2(&self) -> Option<&Grid2> {
+        match self {
+            AnyGrid::D2(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The typed 3D view, if this is a 3D grid.
+    pub fn as_grid3(&self) -> Option<&Grid3> {
+        match self {
+            AnyGrid::D3(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl From<Grid1> for AnyGrid {
+    fn from(g: Grid1) -> AnyGrid {
+        AnyGrid::D1(g)
+    }
+}
+
+impl From<Grid2> for AnyGrid {
+    fn from(g: Grid2) -> AnyGrid {
+        AnyGrid::D2(g)
+    }
+}
+
+impl From<Grid3> for AnyGrid {
+    fn from(g: Grid3) -> AnyGrid {
+        AnyGrid::D3(g)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +637,29 @@ mod tests {
         assert_eq!(g.get(1, -1, 2), 9.5);
         assert_eq!(g.get(1, 1, 9), 9.5);
         assert_eq!(g.ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn any_grid_round_trips_row_major() {
+        let shape = Shape::d3(3, 2, 2);
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let g = AnyGrid::from_vec(shape, 1, -1.0, data.clone()).unwrap();
+        assert_eq!(g.ndim(), 3);
+        assert_eq!(g.shape(), shape);
+        assert_eq!(g.to_vec(), data);
+        // x fastest: element (z=1, y=0, x=2) is index (1·2 + 0)·3 + 2 = 8
+        assert_eq!(g.as_grid3().unwrap().get(1, 0, 2), 8.0);
+        assert_eq!(g.as_grid1(), None);
+
+        let err = AnyGrid::from_vec(shape, 1, 0.0, vec![0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            GridDataError {
+                expected: 12,
+                got: 5
+            }
+        );
+        assert!(err.to_string().contains("12"));
     }
 
     #[test]

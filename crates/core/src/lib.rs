@@ -9,8 +9,11 @@
 //!
 //! ## Quick start
 //!
-//! Build a [`Plan`](exec::Plan) once, run it many times — buffers and
-//! layout transforms are amortized across calls:
+//! Build a [`Plan`] once, run it many times — buffers and layout
+//! transforms are amortized across calls. Two equivalent surfaces
+//! exist:
+//!
+//! **Typed** — the stencil is a concrete type, zero dispatch anywhere:
 //!
 //! ```
 //! use stencil_core::exec::{Plan, Shape};
@@ -28,10 +31,28 @@
 //! assert!(grid.get(2048) > 0.0);
 //! ```
 //!
+//! **Erased** — the stencil is a runtime value ([`StencilSpec`]), the
+//! plan is a [`DynPlan`], and the results are
+//! bit-identical to the typed path (one virtual call per `run` is the
+//! entire overhead):
+//!
+//! ```
+//! use stencil_core::exec::{Plan, Shape};
+//! use stencil_core::{AnyGrid, StencilSpec};
+//!
+//! let spec: StencilSpec = "1d3p".parse().unwrap();
+//! let shape = Shape::d1(4096);
+//! let mut plan = Plan::new(shape).stencil(&spec).unwrap();
+//! let mut grid =
+//!     AnyGrid::from_fn(shape, spec.radius(), 0.0, |_, _, x| if x == 2048 { 1.0 } else { 0.0 });
+//! plan.run(&mut grid, 100);
+//! assert!(grid.to_vec()[2048] > 0.0);
+//! ```
+//!
 //! See [`exec`] for the plan engine (including layout-resident sessions
-//! and temporal tiling), [`api`] for the legacy per-call entry points,
-//! [`layout`] for the data layouts, and [`kernels`] for the per-scheme
-//! implementations.
+//! and temporal tiling), [`spec`] for runtime stencil descriptions,
+//! [`api`] for the legacy per-call entry points, [`layout`] for the
+//! data layouts, and [`kernels`] for the per-scheme implementations.
 
 #![warn(missing_docs)]
 // Index-based loops in the kernels are deliberate: the index arithmetic
@@ -44,13 +65,15 @@ pub mod exec;
 pub mod grid;
 pub mod kernels;
 pub mod layout;
+pub mod spec;
 pub mod stencil;
 pub mod verify;
 
 pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, Method};
-pub use exec::{Parallelism, Plan, PlanError, Shape, Tiling};
-pub use grid::{Grid1, Grid2, Grid3, HALO_PAD};
+pub use exec::{AnyGridMut, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling};
+pub use grid::{AnyGrid, Grid1, Grid2, Grid3, HALO_PAD};
 pub use layout::{DltGeo, SetGeo};
+pub use spec::{SpecError, StencilShape, StencilSpec};
 pub use stencil::{
     Box2, Box3, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, Star1, Star2, Star3, MAX_R,
 };

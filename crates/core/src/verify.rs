@@ -1,7 +1,7 @@
 //! Grid comparison utilities used by tests, examples, and the benchmark
 //! harness's self-checks.
 
-use crate::grid::{Grid1, Grid2, Grid3};
+use crate::grid::{AnyGrid, Grid1, Grid2, Grid3};
 
 /// Maximum absolute difference over the interiors of two 1D grids.
 pub fn max_abs_diff1(a: &Grid1, b: &Grid1) -> f64 {
@@ -38,6 +38,21 @@ pub fn max_abs_diff3(a: &Grid3, b: &Grid3) -> f64 {
         }
     }
     m
+}
+
+/// Maximum absolute difference over the interiors of two [`AnyGrid`]s
+/// (erased API). Panics if the dimensionalities differ.
+pub fn max_abs_diff_any(a: &AnyGrid, b: &AnyGrid) -> f64 {
+    match (a, b) {
+        (AnyGrid::D1(a), AnyGrid::D1(b)) => max_abs_diff1(a, b),
+        (AnyGrid::D2(a), AnyGrid::D2(b)) => max_abs_diff2(a, b),
+        (AnyGrid::D3(a), AnyGrid::D3(b)) => max_abs_diff3(a, b),
+        _ => panic!(
+            "cannot compare a {}D grid with a {}D grid",
+            a.ndim(),
+            b.ndim()
+        ),
+    }
 }
 
 /// Largest interior magnitude of a 1D grid (scale for relative tolerances).

@@ -58,10 +58,10 @@ fn star1_1d3p_matches_scalar() {
             for t in [1usize, 2, 3, 4, 7] {
                 let init = grid1(n, 42 + n as u64);
                 let mut reference = init.clone();
-                run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+                run1_star1(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run1_star1(m, isa, &mut g, &s, t);
+                    run1_star1(m, isa, &mut g, &s, t).unwrap();
                     assert_close1(&g, &reference, TOL, &format!("{m}/{isa}/n={n}/t={t}"));
                 }
             }
@@ -79,10 +79,10 @@ fn star1_1d5p_matches_scalar() {
             for t in [1usize, 2, 5] {
                 let init = grid1(n, 7 + n as u64);
                 let mut reference = init.clone();
-                run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+                run1_star1(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run1_star1(m, isa, &mut g, &s, t);
+                    run1_star1(m, isa, &mut g, &s, t).unwrap();
                     assert_close1(&g, &reference, TOL, &format!("{m}/{isa}/n={n}/t={t}"));
                 }
             }
@@ -97,10 +97,10 @@ fn star1_methods_are_bitwise_equal_to_scalar() {
     for isa in isas() {
         let init = grid1(257, 99);
         let mut reference = init.clone();
-        run1_star1(Method::Scalar, isa, &mut reference, &s, 6);
+        run1_star1(Method::Scalar, isa, &mut reference, &s, 6).unwrap();
         for m in vec_methods() {
             let mut g = init.clone();
-            run1_star1(m, isa, &mut g, &s, 6);
+            run1_star1(m, isa, &mut g, &s, 6).unwrap();
             assert_eq!(
                 max_abs_diff1(&g, &reference),
                 0.0,
@@ -127,10 +127,10 @@ fn star2_2d5p_matches_scalar() {
             for t in [1usize, 2, 3, 4] {
                 let init = grid2(nx, ny, 1, 5 + nx as u64);
                 let mut reference = init.clone();
-                run2_star(Method::Scalar, isa, &mut reference, &s, t);
+                run2_star(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run2_star(m, isa, &mut g, &s, t);
+                    run2_star(m, isa, &mut g, &s, t).unwrap();
                     assert_close2(
                         &g,
                         &reference,
@@ -156,10 +156,10 @@ fn box2_2d9p_matches_scalar() {
             for t in [1usize, 2, 3] {
                 let init = grid2(nx, ny, 1, 77 + nx as u64);
                 let mut reference = init.clone();
-                run2_box(Method::Scalar, isa, &mut reference, &s, t);
+                run2_box(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run2_box(m, isa, &mut g, &s, t);
+                    run2_box(m, isa, &mut g, &s, t).unwrap();
                     assert_close2(
                         &g,
                         &reference,
@@ -190,10 +190,10 @@ fn star3_3d7p_matches_scalar() {
             for t in [1usize, 2, 3] {
                 let init = grid3(nx, ny, nz, 3 + nx as u64);
                 let mut reference = init.clone();
-                run3_star(Method::Scalar, isa, &mut reference, &s, t);
+                run3_star(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run3_star(m, isa, &mut g, &s, t);
+                    run3_star(m, isa, &mut g, &s, t).unwrap();
                     assert_close3(
                         &g,
                         &reference,
@@ -219,10 +219,10 @@ fn box3_3d27p_matches_scalar() {
             for t in [1usize, 2, 3] {
                 let init = grid3(nx, ny, nz, 17 + nx as u64);
                 let mut reference = init.clone();
-                run3_box(Method::Scalar, isa, &mut reference, &s, t);
+                run3_box(Method::Scalar, isa, &mut reference, &s, t).unwrap();
                 for m in vec_methods() {
                     let mut g = init.clone();
-                    run3_box(m, isa, &mut g, &s, t);
+                    run3_box(m, isa, &mut g, &s, t).unwrap();
                     assert_close3(
                         &g,
                         &reference,
@@ -244,9 +244,9 @@ fn k2_equals_two_k1_steps_exactly() {
         for n in [64usize, 200, 513] {
             let init = grid1(n, 1000 + n as u64);
             let mut a = init.clone();
-            run1_star1(Method::TransLayout, isa, &mut a, &s, 2);
+            run1_star1(Method::TransLayout, isa, &mut a, &s, 2).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s, 2);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s, 2).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/n={n}");
         }
     }
@@ -258,7 +258,7 @@ fn zero_steps_is_identity() {
     let init = grid1(100, 5);
     for m in Method::ALL {
         let mut g = init.clone();
-        run1_star1(m, Isa::detect_best(), &mut g, &s, 0);
+        run1_star1(m, Isa::detect_best(), &mut g, &s, 0).unwrap();
         assert_eq!(max_abs_diff1(&g, &init), 0.0, "{m}");
     }
 }
@@ -269,7 +269,7 @@ fn halo_cells_never_updated() {
     for isa in isas() {
         for m in Method::ALL {
             let mut g = Grid1::from_fn(130, 7.25, |i| i as f64 * 0.01);
-            run1_star1(m, isa, &mut g, &s, 5);
+            run1_star1(m, isa, &mut g, &s, 5).unwrap();
             assert_eq!(g.get(-1), 7.25, "{m}/{isa} left halo");
             assert_eq!(g.get(130), 7.25, "{m}/{isa} right halo");
         }
@@ -299,10 +299,10 @@ mod randomized {
             };
             let init = grid1(n, seed);
             let mut reference = init.clone();
-            run1_star1(Method::Scalar, isa, &mut reference, &s, t);
+            run1_star1(Method::Scalar, isa, &mut reference, &s, t).unwrap();
             for m in vec_methods() {
                 let mut g = init.clone();
-                run1_star1(m, isa, &mut g, &s, t);
+                run1_star1(m, isa, &mut g, &s, t).unwrap();
                 let d = max_abs_diff1(&g, &reference);
                 assert!(
                     d == 0.0,

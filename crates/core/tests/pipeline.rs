@@ -34,18 +34,18 @@ fn pipeline_minimum_geometries() {
             };
             let init = grid1(n, n as u64);
             let mut a = init.clone();
-            run1_star1(Method::Scalar, isa, &mut a, &s1, 2);
+            run1_star1(Method::Scalar, isa, &mut a, &s1, 2).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s1, 2);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s1, 2).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/n={n}/r1");
 
             let s2 = S1d5p {
                 w: [0.05, 0.2, 0.45, 0.22, 0.06],
             };
             let mut a = init.clone();
-            run1_star1(Method::Scalar, isa, &mut a, &s2, 2);
+            run1_star1(Method::Scalar, isa, &mut a, &s2, 2).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s2, 2);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s2, 2).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/n={n}/r2");
         }
     }
@@ -60,9 +60,9 @@ fn pipeline_fallback_below_two_sets() {
             let s = S1d3p::heat();
             let init = grid1(n, 5);
             let mut a = init.clone();
-            run1_star1(Method::Scalar, isa, &mut a, &s, 4);
+            run1_star1(Method::Scalar, isa, &mut a, &s, 4).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s, 4);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s, 4).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/n={n}");
         }
     }
@@ -129,9 +129,9 @@ fn ring_pipelines_thin_grids() {
         let mut r = StdRng::seed_from_u64(ny as u64);
         let init = Grid2::from_fn(70, ny, 1, 0.3, |_, _| r.random_range(-1.0..1.0));
         let mut a = init.clone();
-        run2_box(Method::Scalar, isa, &mut a, &s, 4);
+        run2_box(Method::Scalar, isa, &mut a, &s, 4).unwrap();
         let mut b = init.clone();
-        run2_box(Method::TransLayout2, isa, &mut b, &s, 4);
+        run2_box(Method::TransLayout2, isa, &mut b, &s, 4).unwrap();
         assert_eq!(stencil_core::verify::max_abs_diff2(&a, &b), 0.0, "ny={ny}");
     }
     let s3 = S3d7p::heat();
@@ -139,9 +139,9 @@ fn ring_pipelines_thin_grids() {
         let mut r = StdRng::seed_from_u64(40 + nz as u64);
         let init = Grid3::from_fn(66, 2, nz, 1, -0.2, |_, _, _| r.random_range(-1.0..1.0));
         let mut a = init.clone();
-        run3_star(Method::Scalar, isa, &mut a, &s3, 4);
+        run3_star(Method::Scalar, isa, &mut a, &s3, 4).unwrap();
         let mut b = init.clone();
-        run3_star(Method::TransLayout2, isa, &mut b, &s3, 4);
+        run3_star(Method::TransLayout2, isa, &mut b, &s3, 4).unwrap();
         assert_eq!(stencil_core::verify::max_abs_diff3(&a, &b), 0.0, "nz={nz}");
     }
 }
@@ -154,9 +154,9 @@ fn odd_step_counts_long_run() {
         let init = grid1(777, 1);
         for t in [1usize, 3, 9, 25] {
             let mut a = init.clone();
-            run1_star1(Method::Scalar, isa, &mut a, &s, t);
+            run1_star1(Method::Scalar, isa, &mut a, &s, t).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s, t);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s, t).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/t={t}");
         }
     }
@@ -179,9 +179,9 @@ fn pipeline_weight_stress() {
             let s = S1d3p { w };
             let init = grid1(300, 7 + i as u64);
             let mut a = init.clone();
-            run1_star1(Method::Scalar, isa, &mut a, &s, 2);
+            run1_star1(Method::Scalar, isa, &mut a, &s, 2).unwrap();
             let mut b = init.clone();
-            run1_star1(Method::TransLayout2, isa, &mut b, &s, 2);
+            run1_star1(Method::TransLayout2, isa, &mut b, &s, 2).unwrap();
             assert_eq!(max_abs_diff1(&a, &b), 0.0, "{isa}/w={w:?}");
         }
     }

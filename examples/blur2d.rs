@@ -2,7 +2,7 @@
 //! pattern — the image-processing workload the paper's §2.2 calls out as
 //! the case where DLT's transform overhead hurts (few time steps), which
 //! the local transpose layout avoids. Each scheme runs through a reused
-//! [`Plan`].
+//! type-erased plan ([`Plan::stencil`] over a runtime [`StencilSpec`]).
 //!
 //! ```sh
 //! cargo run --release --example blur2d [-- passes] [--smoke]
@@ -29,7 +29,7 @@ fn main() -> std::io::Result<()> {
         .find(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(if smoke() { 3 } else { 6 });
-    let blur = S2d9p::blur();
+    let blur: StencilSpec = "2d9p".parse().expect("paper stencil name");
 
     // Checkerboard + circles test pattern.
     let img = Grid2::from_fn(nx, ny, 1, 0.5, |y, x| {
@@ -52,7 +52,7 @@ fn main() -> std::io::Result<()> {
         let mut plan = Plan::new(Shape::d2(nx, ny))
             .method(method)
             .isa(isa)
-            .box2(blur)
+            .stencil(&blur)
             .expect("valid plan");
         let mut g = img.clone();
         let t0 = Instant::now();

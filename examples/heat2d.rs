@@ -1,6 +1,7 @@
 //! 2D heat diffusion: four hot sources on a cold plate, run with the
-//! transpose-layout scheme under tessellate tiling on all cores via a
-//! [`Plan`], rendered as a PGM heat map.
+//! transpose-layout scheme under tessellate tiling on all cores via the
+//! erased engine (a [`StencilSpec`] compiled by [`Plan::stencil`]),
+//! rendered as a PGM heat map.
 //!
 //! ```sh
 //! cargo run --release --example heat2d [-- out.pgm] [--smoke]
@@ -22,7 +23,7 @@ fn main() -> std::io::Result<()> {
     } else {
         (768, 512, 400)
     };
-    let stencil = S2d5p::heat();
+    let spec: StencilSpec = "2d5p".parse().expect("paper stencil name");
 
     // Four gaussian-ish sources.
     let sources = [(150usize, 120usize), (600, 100), (380, 300), (200, 430)];
@@ -47,7 +48,7 @@ fn main() -> std::io::Result<()> {
             h: 60,
             threads,
         })
-        .star2(stencil)
+        .stencil(&spec)
         .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = std::time::Instant::now();
@@ -63,7 +64,7 @@ fn main() -> std::io::Result<()> {
     Plan::new(Shape::d2(nx, ny))
         .method(Method::Scalar)
         .isa(isa)
-        .star2(stencil)
+        .stencil(&spec)
         .expect("valid plan")
         .run(&mut reference, steps);
     let diff = stencil_lab::core::verify::max_abs_diff2(&g, &reference);

@@ -1,6 +1,9 @@
 //! Quickstart: diffuse a heat spike with every vectorization scheme and
 //! check they agree, then time the paper's scheme against the baselines —
-//! all through the [`Plan`] engine.
+//! all through the **erased** engine: the stencil comes from a string
+//! (as it would from a CLI flag or a service request), compiles through
+//! [`Plan::stencil`] into a [`DynPlan`], and still runs the same
+//! monomorphized kernels as the typed API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart [-- --smoke]
@@ -19,20 +22,21 @@ fn main() {
     let isa = Isa::detect_best();
     println!("ISA: {isa} ({} f64 lanes)\n", isa.lanes());
 
-    // A 1D rod with a hot spike in the middle; ends held at 0.
+    // A 1D rod with a hot spike in the middle; ends held at 0. The
+    // stencil is picked "at runtime" — parse a paper name into a spec.
     let (n, steps) = if smoke() {
         (1 << 16, 40)
     } else {
         (1 << 20, 200)
     };
-    let stencil = S1d3p::heat();
+    let spec: StencilSpec = "1d3p".parse().expect("paper stencil name");
     let init = Grid1::from_fn(n, 0.0, |i| if i == n / 2 { 1000.0 } else { 0.0 });
 
     let mut reference = init.clone();
     Plan::new(Shape::d1(n))
         .method(Method::Scalar)
         .isa(isa)
-        .star1(stencil)
+        .stencil(&spec)
         .expect("valid plan")
         .run(&mut reference, steps);
 
@@ -41,7 +45,7 @@ fn main() {
         let mut plan = Plan::new(Shape::d1(n))
             .method(method)
             .isa(isa)
-            .star1(stencil)
+            .stencil(&spec)
             .expect("valid plan");
         let mut g = init.clone();
         let t0 = Instant::now();
@@ -64,7 +68,7 @@ fn main() {
             h: 100,
             threads,
         })
-        .star1(stencil)
+        .stencil(&spec)
         .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = Instant::now();
@@ -80,7 +84,7 @@ fn main() {
     let mut plan = Plan::new(Shape::d1(n))
         .method(Method::TransLayout2)
         .isa(isa)
-        .star1(stencil)
+        .stencil(&spec)
         .expect("valid plan");
     let mut g = init.clone();
     let t0 = Instant::now();
@@ -96,6 +100,22 @@ fn main() {
         t0.elapsed(),
         stencil_lab::core::verify::max_abs_diff1(&g, &reference)
     );
+
+    // The fully dynamic container: shape + numbers in, no generic grid
+    // type named, same bits out.
+    let shape = Shape::d1(n);
+    let mut any = AnyGrid::from_vec(shape, spec.radius(), 0.0, init.interior().to_vec())
+        .expect("data covers the shape");
+    Plan::new(shape)
+        .method(Method::TransLayout2)
+        .isa(isa)
+        .stencil(&spec)
+        .expect("valid plan")
+        .run(&mut any, steps);
+    let diff =
+        stencil_lab::core::verify::max_abs_diff1(any.as_grid1().expect("1D shape"), &reference);
+    println!("AnyGrid::from_vec path: still exact: {diff:e}");
+    assert_eq!(diff, 0.0);
 
     // Physics sanity: total heat is conserved away from the boundaries.
     let total: f64 = g.interior().iter().sum();

@@ -1,6 +1,7 @@
 //! 3D pulse propagation with the 7-point star stencil — a seismic-style
 //! volume workload run through the full stack: transpose layout, k = 2
-//! unroll-and-jam, tessellate tiling, all cores, one reused [`Plan`].
+//! unroll-and-jam, tessellate tiling, all cores, one reused type-erased
+//! plan ([`Plan::stencil`] over a runtime [`StencilSpec`]).
 //! Prints an ASCII slice of the diffusing wavefront.
 //!
 //! ```sh
@@ -23,7 +24,7 @@ fn main() {
     } else {
         (128, 128, 128, 40)
     };
-    let stencil = S3d7p::heat();
+    let spec: StencilSpec = "3d7p".parse().expect("paper stencil name");
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
@@ -48,7 +49,7 @@ fn main() {
             h: 10,
             threads,
         })
-        .star3(stencil)
+        .stencil(&spec)
         .expect("valid tiled plan");
     let mut g = init.clone();
     let t0 = Instant::now();
@@ -63,7 +64,7 @@ fn main() {
         .method(Method::MultiLoad)
         .isa(isa)
         .parallelism(Parallelism::Threads(threads))
-        .star3(stencil)
+        .stencil(&spec)
         .expect("valid plan")
         .run(&mut reference, steps);
     let plain = t0.elapsed();

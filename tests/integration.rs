@@ -189,7 +189,7 @@ fn legacy_free_functions_still_agree_with_plan() {
         .run(&mut via_plan, 24);
 
     let mut via_legacy = init.clone();
-    run1_star1(Method::TransLayout2, isa, &mut via_legacy, &s, 24);
+    run1_star1(Method::TransLayout2, isa, &mut via_legacy, &s, 24).unwrap();
     assert_eq!(
         stencil_lab::core::verify::max_abs_diff1(&via_plan, &via_legacy),
         0.0
