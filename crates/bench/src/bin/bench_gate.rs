@@ -11,6 +11,9 @@
 //! current `<root>` (where bare `--save-json` writes), threshold 15%.
 //! When the baseline's host fingerprint (ISA × cores) differs from the
 //! current host's, the diff is advisory and exits 0 unless `--strict`.
+//! Rows absent from the baseline (a freshly added bench family) are
+//! reported as informational and never gate — run `--rebaseline` to arm
+//! them.
 
 use std::path::PathBuf;
 
@@ -78,19 +81,25 @@ fn main() {
     );
     let mut all_ratios = Vec::new();
     let mut errors = 0usize;
+    let mut new_total = 0usize;
+    let mut missing_total = 0usize;
     let mut mismatch: Option<String> = None;
     for name in &names {
         match gate::diff_file(name, &baseline, &current) {
             Ok(diff) => {
                 println!(
-                    "  {name:<12} {:>4} rows matched, {:>2} unmatched, geomean {:+.1}%",
+                    "  {name:<12} {:>4} rows matched, {:>2} new (informational), \
+                     {:>2} missing, geomean {:+.1}%",
                     diff.ratios.len(),
-                    diff.unmatched,
+                    diff.new_rows,
+                    diff.missing_rows,
                     (diff.geomean() - 1.0) * 100.0
                 );
                 if let Some(m) = diff.host_mismatch {
                     mismatch.get_or_insert(m);
                 }
+                new_total += diff.new_rows;
+                missing_total += diff.missing_rows;
                 all_ratios.extend(diff.ratios);
             }
             Err(e) => {
@@ -104,7 +113,23 @@ fn main() {
         std::process::exit(2);
     }
     if all_ratios.is_empty() {
-        eprintln!("bench_gate: no rows matched — baseline out of date? (run --rebaseline)");
+        // New rows with nothing gated yet is the normal state right
+        // after a bench family lands: informational, not a failure —
+        // but only when no baseline rows went *missing*. A wholesale
+        // row-identity change makes every baseline row missing and
+        // every current row new, and silently passing that would turn
+        // the gate off; keep it a hard failure.
+        if new_total > 0 && missing_total == 0 {
+            println!(
+                "bench_gate: OK — no gated rows yet; {new_total} new informational row(s). \
+                 Run `scripts/bench_gate --rebaseline` to arm them."
+            );
+            return;
+        }
+        eprintln!(
+            "bench_gate: no rows matched ({missing_total} baseline row(s) missing from the \
+             current run) — row identities changed? Re-arm with --rebaseline."
+        );
         std::process::exit(2);
     }
     let gm = gate::geomean(&all_ratios);
@@ -127,6 +152,13 @@ fn main() {
     if gm > 1.0 + threshold / 100.0 {
         eprintln!("bench_gate: FAIL — geomean regression {pct:+.1}% exceeds {threshold:.0}%");
         std::process::exit(1);
+    }
+    if new_total > 0 {
+        println!(
+            "bench_gate: OK ({new_total} new informational row(s) not gated — \
+             run --rebaseline to arm them)"
+        );
+        return;
     }
     println!("bench_gate: OK");
 }

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use stencil_bench::save::{Row, Value};
 use stencil_bench::{gflops, grid1, storage_level, Cli, Scale};
-use stencil_core::exec::{Parallelism, Plan, Shape};
+use stencil_core::exec::{Boundary, Parallelism, Plan, Shape};
 use stencil_core::{run1_star1, Method, S1d3p, StencilSpec};
 use stencil_simd::Isa;
 
@@ -156,6 +156,51 @@ fn main() {
                 ("chunk", Value::from(chunk)),
                 ("calls", Value::from(calls)),
                 ("variant", Value::from(variant)),
+                ("seconds", Value::from(secs)),
+                (
+                    "gflops",
+                    Value::from(gflops(n, chunk * calls, spec.flops_per_point(), secs)),
+                ),
+            ]);
+        }
+
+        // Boundary row family: the same layout-resident session under the
+        // refreshed boundaries. Quantifies the O(surface) per-step halo
+        // refresh (plus the k = 1 fallback of the fused pass) against
+        // the Dirichlet session above.
+        for boundary in [Boundary::Periodic, Boundary::Reflect] {
+            let mut plan = Plan::new(Shape::d1(n))
+                .method(method)
+                .isa(isa)
+                .parallelism(par)
+                .boundary(boundary)
+                .star1(s)
+                .expect("valid plan");
+            let mut g = init.clone();
+            let mut sess = plan.session(&mut g);
+            let secs = time_calls(calls, || {
+                sess.run(chunk);
+            });
+            drop(sess);
+            println!(
+                "{:<10} {:<6} {:>7} {:>6} {:>9} boundary={:<8} {:>9.2} ms  {:>8.3}x vs session",
+                n,
+                level,
+                chunk,
+                calls,
+                "",
+                boundary.name(),
+                secs * 1e3,
+                secs / sess_s,
+            );
+            rows.push(vec![
+                ("n", Value::from(n)),
+                ("level", Value::from(level)),
+                ("threads", Value::from(threads)),
+                ("chunk", Value::from(chunk)),
+                ("calls", Value::from(calls)),
+                ("variant", Value::from("session")),
+                ("boundary", Value::from(boundary.name())),
                 ("seconds", Value::from(secs)),
                 (
                     "gflops",

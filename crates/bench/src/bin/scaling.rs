@@ -98,17 +98,25 @@ fn main() {
     // kernel under Off and Threads(k) — pure decomposition scaling. The
     // 2D cell is the acceptance workload: a ≥4-core host should show
     // ≥2.5x at 4 threads over Off.
+    // The `@boundary` workloads are the boundary row family: identical
+    // decomposition plus the per-step wrap/mirror halo refresh at the
+    // barrier, still verified bit-identical against the scalar oracle
+    // running the same boundary.
     let workloads: &[(&str, Shape, usize, u64)] = if smoke {
         &[
             ("1d3p", Shape::d1(500_000), 12, 41),
             ("2d5p", Shape::d2(512, 256), 10, 42),
             ("3d7p", Shape::d3(64, 64, 64), 6, 43),
+            ("2d5p@periodic", Shape::d2(512, 256), 10, 44),
+            ("3d7p@reflect", Shape::d3(64, 64, 64), 6, 45),
         ]
     } else {
         &[
             ("1d3p", Shape::d1(4_000_000), 40, 41),
             ("2d5p", Shape::d2(2_000, 1_000), 40, 42),
             ("3d7p", Shape::d3(192, 192, 192), 10, 43),
+            ("2d5p@periodic", Shape::d2(2_000, 1_000), 40, 44),
+            ("3d7p@reflect", Shape::d3(192, 192, 192), 10, 45),
         ]
     };
 

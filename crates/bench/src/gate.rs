@@ -290,8 +290,14 @@ pub struct FileDiff {
     pub name: String,
     /// Per-row regression ratios (current/baseline wall time).
     pub ratios: Vec<f64>,
-    /// Rows present on only one side (skipped).
-    pub unmatched: usize,
+    /// Rows present only in the current snapshot — typically a freshly
+    /// added bench family the committed baseline predates. These are
+    /// **informational**, never a failure: they gate only after the
+    /// baseline is re-armed with `--rebaseline`.
+    pub new_rows: usize,
+    /// Rows present only in the baseline — a bench family the current
+    /// run no longer produces (renamed or removed; re-arm to clear).
+    pub missing_rows: usize,
     /// Set when the baseline was recorded on a different host class
     /// (ISA / core count): absolute wall-time comparison is then
     /// advisory, not a gate (describes the mismatch).
@@ -352,7 +358,7 @@ pub fn diff_file(name: &str, baseline: &Path, current: &Path) -> Result<FileDiff
         )
     });
     let mut ratios = Vec::new();
-    let mut unmatched = 0usize;
+    let mut missing_rows = 0usize;
     for (key, brow) in &base {
         match cur.get(key) {
             Some(crow) => {
@@ -360,14 +366,15 @@ pub fn diff_file(name: &str, baseline: &Path, current: &Path) -> Result<FileDiff
                     ratios.push(r);
                 }
             }
-            None => unmatched += 1,
+            None => missing_rows += 1,
         }
     }
-    unmatched += cur.keys().filter(|k| !base.contains_key(*k)).count();
+    let new_rows = cur.keys().filter(|k| !base.contains_key(*k)).count();
     Ok(FileDiff {
         name: name.to_string(),
         ratios,
-        unmatched,
+        new_rows,
+        missing_rows,
         host_mismatch,
     })
 }
@@ -464,7 +471,13 @@ mod tests {
         let diff = diff_file("t", &basedir, &curdir).unwrap();
         assert_eq!(diff.ratios.len(), 1);
         assert!((diff.geomean() - 1.2).abs() < 1e-9, "{}", diff.geomean());
-        assert_eq!(diff.unmatched, 1);
+        // The extra current-only row is informational, not missing.
+        assert_eq!((diff.new_rows, diff.missing_rows), (1, 0));
+
+        // Swap the directions: the row is now absent from the current
+        // run instead.
+        let diff = diff_file("t", &curdir, &basedir).unwrap();
+        assert_eq!((diff.new_rows, diff.missing_rows), (0, 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -143,12 +143,27 @@ impl Cli {
     }
 
     /// [`Cli::try_stencils`] for binaries: exits with status 2 on an
-    /// unknown name.
+    /// unknown name, and on an `@boundary` suffix — the figure/table
+    /// drivers pin the paper's Dirichlet setting, and their workload
+    /// tables are keyed by the bare paper names.
     pub fn stencils(&self) -> Vec<StencilSpec> {
-        self.try_stencils().unwrap_or_else(|e| {
+        let specs = self.try_stencils().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
-        })
+        });
+        for s in &specs {
+            if s.boundary() != stencil_core::Boundary::default() {
+                eprintln!(
+                    "stencil '{s}' requests a non-default boundary; the figure/table \
+                     drivers reproduce the paper's constant-halo setting — drop the \
+                     '@{}' suffix (boundaries run through Plan::stencil, and the \
+                     scaling bench's boundary workloads)",
+                    s.boundary()
+                );
+                std::process::exit(2);
+            }
+        }
+        specs
     }
 
     /// The first of `names` that appears as a bare flag (no `=value`),

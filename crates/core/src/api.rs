@@ -15,13 +15,22 @@
 //! on a bad configuration (e.g. a stencil whose weight slice implies a
 //! radius past [`MAX_R`](crate::stencil::MAX_R)).
 //!
+//! These entry points **pin the paper's constant-halo (Dirichlet)
+//! semantics**: the sequential experiments assume halos that never
+//! change, with the boundary value carried by the grid's own halo cells
+//! (conventionally 0.0 in the paper's runs). A [`StencilSpec`] that
+//! requests a refreshed boundary (`Periodic` / `Reflect`) is rejected
+//! with [`PlanError::Boundary`] — route such workloads through
+//! [`Plan::stencil`](crate::exec::Plan::stencil) instead, where the
+//! boundary subsystem (see [`crate::exec::halo`]) runs it.
+//!
 //! Code that steps a grid repeatedly (or wants the parallel executor)
 //! should hold a plan (and a session) instead — see [`crate::exec`].
 
 use stencil_simd::Isa;
 
 pub use crate::exec::Method;
-use crate::exec::{Parallelism, Plan, PlanError, Shape};
+use crate::exec::{AnyGridMut, Parallelism, Plan, PlanError};
 use crate::grid::{Grid1, Grid2, Grid3};
 use crate::spec::{SpecError, StencilSpec};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
@@ -38,6 +47,50 @@ fn expect_len(axis: &'static str, got: usize, expected: usize) -> Result<(), Pla
             expected: "the length implied by the stencil's declared radius",
         }));
     }
+    Ok(())
+}
+
+/// Run `t` Jacobi steps of a runtime-described stencil on any grid with
+/// the legacy per-call accounting (build a plan, run once, drop it,
+/// sequentially) — the erased entry the typed `run*` wrappers route
+/// through.
+///
+/// Pins the paper's constant-halo semantics: the grid's halo cells carry
+/// the (Dirichlet) boundary value and are never refreshed.
+///
+/// # Errors
+/// [`PlanError::Boundary`] if `spec` requests a refreshed boundary
+/// (`Periodic` / `Reflect`) — the legacy surface is paper-fidelity only;
+/// otherwise any error [`Plan::stencil`](crate::exec::Plan::stencil)
+/// reports ([`PlanError::Spec`], [`PlanError::IsaUnavailable`],
+/// [`PlanError::EmptyShape`], [`PlanError::DimMismatch`]).
+pub fn run_spec<'a>(
+    method: Method,
+    isa: Isa,
+    g: impl Into<AnyGridMut<'a>>,
+    spec: &StencilSpec,
+    t: usize,
+) -> Result<(), PlanError> {
+    let g = g.into();
+    let boundary = spec.boundary();
+    if !boundary.is_dirichlet() {
+        return Err(PlanError::Boundary {
+            boundary,
+            reason: "the legacy run* functions pin the paper's constant-halo Dirichlet \
+                     semantics; compile a Plan (Plan::stencil / Plan::boundary) to run \
+                     refreshed boundaries"
+                .into(),
+        });
+    }
+    if t == 0 {
+        return Ok(());
+    }
+    Plan::new(g.shape())
+        .method(method)
+        .isa(isa)
+        .parallelism(Parallelism::Off)
+        .stencil(spec)?
+        .run(g, t);
     Ok(())
 }
 
@@ -62,13 +115,7 @@ pub fn run1_star1<S: Star1>(
     }
     expect_len("x", s.w().len(), 2 * S::R + 1)?;
     let spec = StencilSpec::star1(s.w())?;
-    Plan::new(Shape::d1(g.n()))
-        .method(method)
-        .isa(isa)
-        .parallelism(Parallelism::Off)
-        .stencil(&spec)?
-        .run(g, t);
-    Ok(())
+    run_spec(method, isa, g, &spec, t)
 }
 
 /// Run `t` Jacobi steps of a 2D star stencil (see [`run1_star1`]).
@@ -88,13 +135,7 @@ pub fn run2_star<S: Star2>(
     expect_len("x", s.wx().len(), 2 * S::R + 1)?;
     expect_len("y", s.wy().len(), 2 * S::R + 1)?;
     let spec = StencilSpec::star2(s.wx(), s.wy())?;
-    Plan::new(Shape::d2(g.nx(), g.ny()))
-        .method(method)
-        .isa(isa)
-        .parallelism(Parallelism::Off)
-        .stencil(&spec)?
-        .run(g, t);
-    Ok(())
+    run_spec(method, isa, g, &spec, t)
 }
 
 /// Run `t` Jacobi steps of a 2D box stencil (see [`run1_star1`]).
@@ -113,13 +154,7 @@ pub fn run2_box<S: Box2>(
     }
     expect_len("box", s.w().len(), (2 * S::R + 1) * (2 * S::R + 1))?;
     let spec = StencilSpec::box2(s.w())?;
-    Plan::new(Shape::d2(g.nx(), g.ny()))
-        .method(method)
-        .isa(isa)
-        .parallelism(Parallelism::Off)
-        .stencil(&spec)?
-        .run(g, t);
-    Ok(())
+    run_spec(method, isa, g, &spec, t)
 }
 
 /// Run `t` Jacobi steps of a 3D star stencil (see [`run1_star1`]).
@@ -140,13 +175,7 @@ pub fn run3_star<S: Star3>(
     expect_len("y", s.wy().len(), 2 * S::R + 1)?;
     expect_len("z", s.wz().len(), 2 * S::R + 1)?;
     let spec = StencilSpec::star3(s.wx(), s.wy(), s.wz())?;
-    Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
-        .method(method)
-        .isa(isa)
-        .parallelism(Parallelism::Off)
-        .stencil(&spec)?
-        .run(g, t);
-    Ok(())
+    run_spec(method, isa, g, &spec, t)
 }
 
 /// Run `t` Jacobi steps of a 3D box stencil (see [`run1_star1`]).
@@ -169,11 +198,5 @@ pub fn run3_box<S: Box3>(
         (2 * S::R + 1) * (2 * S::R + 1) * (2 * S::R + 1),
     )?;
     let spec = StencilSpec::box3(s.w())?;
-    Plan::new(Shape::d3(g.nx(), g.ny(), g.nz()))
-        .method(method)
-        .isa(isa)
-        .parallelism(Parallelism::Off)
-        .stencil(&spec)?
-        .run(g, t);
-    Ok(())
+    run_spec(method, isa, g, &spec, t)
 }

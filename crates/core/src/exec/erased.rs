@@ -39,8 +39,8 @@
 use stencil_simd::Isa;
 
 use super::{
-    Method, Parallelism, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box, Plan3Star, PlanError,
-    Session1, Session2Box, Session2Star, Session3Box, Session3Star, Shape, Tiling,
+    Boundary, Method, Parallelism, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box, Plan3Star,
+    PlanError, Session1, Session2Box, Session2Star, Session3Box, Session3Star, Shape, Tiling,
 };
 use crate::grid::{AnyGrid, Grid1, Grid2, Grid3};
 use crate::spec::{DynBox2, DynBox3, DynStar1, DynStar2, DynStar3, StencilShape, StencilSpec};
@@ -68,6 +68,15 @@ impl AnyGridMut<'_> {
             AnyGridMut::D1(_) => 1,
             AnyGridMut::D2(_) => 2,
             AnyGridMut::D3(_) => 3,
+        }
+    }
+
+    /// The borrowed grid's interior extents as a [`Shape`].
+    pub fn shape(&self) -> Shape {
+        match self {
+            AnyGridMut::D1(g) => Shape::d1(g.n()),
+            AnyGridMut::D2(g) => Shape::d2(g.nx(), g.ny()),
+            AnyGridMut::D3(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
         }
     }
 }
@@ -112,6 +121,7 @@ trait ErasedPlan: Send {
     fn plan_parallelism(&self) -> Parallelism;
     fn plan_threads(&self) -> usize;
     fn plan_shape(&self) -> Shape;
+    fn plan_boundary(&self) -> Boundary;
 }
 
 /// Object-safe face of the five typed session types.
@@ -161,6 +171,9 @@ macro_rules! erased_impl {
             }
             fn plan_shape(&self) -> Shape {
                 self.shape()
+            }
+            fn plan_boundary(&self) -> Boundary {
+                self.boundary()
             }
         }
 
@@ -263,6 +276,13 @@ impl DynPlan {
     pub fn shape(&self) -> Shape {
         self.inner.plan_shape()
     }
+
+    /// The plan's boundary condition (resolved from the spec's
+    /// [`StencilSpec::boundary`] unless an explicit [`Plan::boundary`]
+    /// knob overrode it).
+    pub fn boundary(&self) -> Boundary {
+        self.inner.plan_boundary()
+    }
 }
 
 /// Layout-resident stepping session opened by [`DynPlan::session`] —
@@ -289,7 +309,15 @@ impl Plan {
     /// identical to the matching typed terminal (plus nothing: specs
     /// are already validated at construction). Results are
     /// bit-identical to the typed path.
+    ///
+    /// The spec's [`StencilSpec::boundary`] becomes the plan's
+    /// [`Boundary`] unless an explicit [`Plan::boundary`] call already
+    /// chose one (the builder knob wins).
     pub fn stencil(self, spec: &StencilSpec) -> Result<DynPlan, PlanError> {
+        let resolved = Plan {
+            boundary: Some(self.boundary.unwrap_or_else(|| spec.boundary())),
+            ..self
+        };
         // The match below instantiates one carrier per (family, radius)
         // with radii written out literally; raising MAX_R must extend it
         // or validated specs would hit the unreachable arm at runtime.
@@ -299,7 +327,8 @@ impl Plan {
         );
         macro_rules! arm {
             ($terminal:ident, $Carrier:ident, $r:literal) => {
-                Box::new(self.$terminal($Carrier::<$r>::new(spec))?) as Box<dyn ErasedPlan + Send>
+                Box::new(resolved.$terminal($Carrier::<$r>::new(spec))?)
+                    as Box<dyn ErasedPlan + Send>
             };
         }
         use StencilShape::{Box as BoxS, Star};

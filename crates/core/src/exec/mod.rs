@@ -54,16 +54,18 @@
 //! wrappers over `Plan`, kept for paper-figure fidelity.
 
 pub mod erased;
+pub mod halo;
 pub(crate) mod par;
 pub(crate) mod split;
 pub(crate) mod tess;
 pub mod tile;
 
 pub use erased::{AnyGridMut, DynPlan, DynSession};
+pub use halo::Boundary;
 
 use stencil_simd::{dispatch, AlignedBuf, Isa};
 
-use crate::grid::{Grid1, Grid2, Grid3, HALO_PAD};
+use crate::grid::{Grid1, Grid2, Grid3};
 use crate::kernels::{dlt, isa_entry, orig, scalar};
 use crate::layout::{
     dlt_grid1, dlt_grid2, dlt_grid3, tl_grid1, tl_grid2, tl_grid3, DltGeo, SetGeo,
@@ -245,7 +247,7 @@ fn auto_threads() -> usize {
 }
 
 /// Why a plan could not be built.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PlanError {
     /// The shape's dimensionality does not match the stencil family's.
     DimMismatch {
@@ -274,6 +276,17 @@ pub enum PlanError {
     /// A runtime stencil description was invalid (see
     /// [`SpecError`](crate::spec::SpecError)).
     Spec(crate::spec::SpecError),
+    /// The requested [`Boundary`] cannot run in this configuration:
+    /// non-Dirichlet boundaries need a per-step global halo refresh,
+    /// which temporal tiling cannot interleave (see
+    /// [`halo`] module docs), and the wrap/mirror folds
+    /// need every interior extent ≥ the stencil radius.
+    Boundary {
+        /// The boundary condition that was requested.
+        boundary: Boundary,
+        /// Why it cannot run here.
+        reason: String,
+    },
 }
 
 impl From<crate::spec::SpecError> for PlanError {
@@ -307,6 +320,9 @@ impl std::fmt::Display for PlanError {
                 write!(f, "invalid parallelism parameters: {msg}")
             }
             PlanError::Spec(e) => write!(f, "invalid stencil description: {e}"),
+            PlanError::Boundary { boundary, reason } => {
+                write!(f, "boundary {boundary} cannot run here: {reason}")
+            }
         }
     }
 }
@@ -322,6 +338,8 @@ struct Cfg {
     par: Parallelism,
     /// Worker count the parallelism knob resolved to at build time (≥ 1).
     threads: usize,
+    /// Boundary condition resolved at build time (see [`Boundary`]).
+    boundary: Boundary,
 }
 
 /// Which layout the grid is resident in during a session.
@@ -362,6 +380,10 @@ pub struct Plan {
     isa: Isa,
     tiling: Tiling,
     par: Parallelism,
+    /// `None` until [`Plan::boundary`] is called; the typed terminals
+    /// then default to `Dirichlet(0.0)` and [`Plan::stencil`] defers to
+    /// the spec's own boundary.
+    boundary: Option<Boundary>,
 }
 
 impl Plan {
@@ -373,6 +395,7 @@ impl Plan {
             isa: Isa::detect_best(),
             tiling: Tiling::None,
             par: Parallelism::Auto,
+            boundary: None,
         }
     }
 
@@ -397,6 +420,20 @@ impl Plan {
     /// Choose the core-level parallelism (default: [`Parallelism::Auto`]).
     pub fn parallelism(mut self, par: Parallelism) -> Plan {
         self.par = par;
+        self
+    }
+
+    /// Choose the [`Boundary`] condition (default: `Dirichlet(0.0)` —
+    /// the paper's constant halos; [`Plan::stencil`] instead defers to
+    /// the spec's own boundary when this knob was never set).
+    ///
+    /// Validated at build time: non-Dirichlet boundaries are refreshed
+    /// once per time step and therefore reject the temporally tiled
+    /// frameworks ([`Tiling::Tessellate`] / [`Tiling::Split`]) with
+    /// [`PlanError::Boundary`], and need every interior extent ≥ the
+    /// stencil radius.
+    pub fn boundary(mut self, boundary: Boundary) -> Plan {
+        self.boundary = Some(boundary);
         self
     }
 
@@ -433,14 +470,51 @@ impl Plan {
         }
     }
 
-    /// Validate method × tiling × shape × parallelism and build the
-    /// worker pool. `r` is the stencil radius. Returns the resolved
-    /// thread count and the plan's pool (present whenever any stage can
-    /// use more than one thread).
+    /// Validate the boundary against the tiling framework and the shape
+    /// (see [`Plan::boundary`]). `r` is the stencil radius.
+    fn validate_boundary(
+        &self,
+        ndim: usize,
+        r: usize,
+        boundary: Boundary,
+    ) -> Result<(), PlanError> {
+        if boundary.is_dirichlet() {
+            return Ok(());
+        }
+        if !matches!(self.tiling, Tiling::None) {
+            return Err(PlanError::Boundary {
+                boundary,
+                reason: format!(
+                    "{} tiling advances cells to different time levels within a chunk, so \
+                     the per-step global halo refresh cannot be interleaved (only constant \
+                     Dirichlet halos compose with temporal tiling)",
+                    self.tiling.name()
+                ),
+            });
+        }
+        for (axis, &n) in self.shape.dims[..ndim].iter().enumerate() {
+            if n < r {
+                return Err(PlanError::Boundary {
+                    boundary,
+                    reason: format!(
+                        "axis {axis} extent {n} is smaller than the stencil radius {r}; \
+                         the wrap/mirror halo folds need every extent ≥ the radius"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate method × tiling × shape × parallelism × boundary and
+    /// build the worker pool. `r` is the stencil radius. Returns the
+    /// resolved thread count and the plan's pool (present whenever any
+    /// stage can use more than one thread).
     fn validate(
         &self,
         ndim: usize,
         r: usize,
+        boundary: Boundary,
     ) -> Result<(usize, Option<rayon::ThreadPool>), PlanError> {
         self.expect_ndim(ndim)?;
         // The scalar oracle never executes ISA-specific code (no layout
@@ -449,6 +523,7 @@ impl Plan {
         if self.method != Method::Scalar && !self.isa.is_available() {
             return Err(PlanError::IsaUnavailable(self.isa));
         }
+        self.validate_boundary(ndim, r, boundary)?;
         let threads = self.resolve_threads()?;
         match self.tiling {
             // Untiled sequential plans skip the pool entirely; tiled
@@ -526,21 +601,29 @@ impl Plan {
         }
     }
 
-    fn cfg(&self, threads: usize) -> Cfg {
+    fn cfg(&self, threads: usize, boundary: Boundary) -> Cfg {
         Cfg {
             method: self.method,
             isa: self.isa,
             tiling: self.tiling,
             par: self.par,
             threads,
+            boundary,
         }
+    }
+
+    /// The boundary the typed terminals resolve to: the explicit knob,
+    /// else the default constant-zero Dirichlet halos.
+    fn resolved_boundary(&self) -> Boundary {
+        self.boundary.unwrap_or_default()
     }
 
     /// Compile the plan for a 1D star stencil.
     pub fn star1<S: Star1>(self, stencil: S) -> Result<Plan1<S>, PlanError> {
-        let (threads, pool) = self.validate(1, S::R)?;
+        let boundary = self.resolved_boundary();
+        let (threads, pool) = self.validate(1, S::R, boundary)?;
         Ok(Plan1 {
-            cfg: self.cfg(threads),
+            cfg: self.cfg(threads, boundary),
             n: self.shape.dims[0],
             stencil,
             scratch: None,
@@ -551,9 +634,10 @@ impl Plan {
 
     /// Compile the plan for a 2D star stencil.
     pub fn star2<S: Star2>(self, stencil: S) -> Result<Plan2Star<S>, PlanError> {
-        let (threads, pool) = self.validate(2, S::R)?;
+        let boundary = self.resolved_boundary();
+        let (threads, pool) = self.validate(2, S::R, boundary)?;
         Ok(Plan2Star {
-            cfg: self.cfg(threads),
+            cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             stencil,
@@ -566,9 +650,10 @@ impl Plan {
 
     /// Compile the plan for a 2D box stencil.
     pub fn box2<S: Box2>(self, stencil: S) -> Result<Plan2Box<S>, PlanError> {
-        let (threads, pool) = self.validate(2, S::R)?;
+        let boundary = self.resolved_boundary();
+        let (threads, pool) = self.validate(2, S::R, boundary)?;
         Ok(Plan2Box {
-            cfg: self.cfg(threads),
+            cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             stencil,
@@ -581,9 +666,10 @@ impl Plan {
 
     /// Compile the plan for a 3D star stencil.
     pub fn star3<S: Star3>(self, stencil: S) -> Result<Plan3Star<S>, PlanError> {
-        let (threads, pool) = self.validate(3, S::R)?;
+        let boundary = self.resolved_boundary();
+        let (threads, pool) = self.validate(3, S::R, boundary)?;
         Ok(Plan3Star {
-            cfg: self.cfg(threads),
+            cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             nz: self.shape.dims[2],
@@ -597,9 +683,10 @@ impl Plan {
 
     /// Compile the plan for a 3D box stencil.
     pub fn box3<S: Box3>(self, stencil: S) -> Result<Plan3Box<S>, PlanError> {
-        let (threads, pool) = self.validate(3, S::R)?;
+        let boundary = self.resolved_boundary();
+        let (threads, pool) = self.validate(3, S::R, boundary)?;
         Ok(Plan3Box {
-            cfg: self.cfg(threads),
+            cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
             ny: self.shape.dims[1],
             nz: self.shape.dims[2],
@@ -674,26 +761,23 @@ impl<S: Star1> Plan1<S> {
         self.cfg.threads
     }
 
+    /// The plan's boundary condition.
+    pub fn boundary(&self) -> Boundary {
+        self.cfg.boundary
+    }
+
     /// The shape the plan was compiled for.
     pub fn shape(&self) -> Shape {
         Shape::d1(self.n)
     }
 
     fn ensure_scratch(&mut self, g: &Grid1) {
-        match &mut self.scratch {
-            Some(sc) => sc.copy_from(g),
-            None => self.scratch = Some(g.clone()),
-        }
+        halo::ensure_scratch(&mut self.scratch, g);
     }
 
     fn ensure_stage(&mut self, g: &Grid1) {
-        if self.stage.is_none() {
-            self.stage = Some((g.clone(), g.clone()));
-        }
-        let (a, b) = self.stage.as_mut().expect("just ensured");
-        a.copy_from(g); // refresh halos
-        dlt_grid1(g, a, self.cfg.isa, false);
-        b.copy_from(a);
+        let isa = self.cfg.isa;
+        halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid1(g, a, isa, false));
     }
 
     /// Run `t` Jacobi steps on `g` (natural layout in, natural layout
@@ -734,17 +818,51 @@ pub struct Session1<'p, S: Star1> {
 impl<S: Star1> Session1<'_, S> {
     /// Advance the grid `t` Jacobi steps. No buffer allocation and no
     /// layout transform happen here — only kernel stepping (tiled runs
-    /// copy small precomputed tile lists per chunk).
+    /// copy small precomputed tile lists per chunk), plus the O(surface)
+    /// per-step halo refresh under a non-Dirichlet [`Boundary`].
     pub fn run(&mut self, t: usize) {
         if t == 0 {
             return;
         }
         match self.plan.cfg.tiling {
             Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
-            Tiling::None => self.run_untiled(t),
+            Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
+            // Non-Dirichlet: refresh the source halos, then take exactly
+            // one step, t times. The k = 2 fused pass keeps intermediate
+            // boundary cells in registers where no refresh can reach
+            // them, so `TransLayout2` naturally degrades to k = 1
+            // stepping here (the same thing its parallel path does).
+            Tiling::None => {
+                for _ in 0..t {
+                    self.refresh_boundary();
+                    self.run_untiled(1);
+                }
+            }
             Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], h, t),
             Tiling::Split { w, h, .. } => self.run_split(w, h, t),
         }
+    }
+
+    /// Refresh the halo cells of the step's source buffer from its
+    /// interior (see [`halo`]); no-op under Dirichlet.
+    fn refresh_boundary(&mut self) {
+        let Cfg {
+            method,
+            isa,
+            boundary,
+            ..
+        } = self.plan.cfg;
+        let n = self.g.n();
+        let map = halo::RowMap::for_method(method, isa, n);
+        let ptr = if method == Method::Dlt {
+            // dlt_steps keeps its result in the first staging grid.
+            self.plan.stage.as_mut().expect("stage").0.ptr_mut()
+        } else {
+            self.g.ptr_mut()
+        };
+        // SAFETY: ptr spans the interior plus HALO_PAD on both sides and
+        // n ≥ S::R was validated at plan build.
+        unsafe { halo::refresh1(ptr, n, S::R, boundary, &map) };
     }
 
     /// Domain-decomposed stepping on the plan's pool (untiled plans with
@@ -755,6 +873,7 @@ impl<S: Star1> Session1<'_, S> {
             method,
             isa,
             threads,
+            boundary,
             ..
         } = self.plan.cfg;
         let s = self.plan.stencil;
@@ -764,13 +883,20 @@ impl<S: Star1> Session1<'_, S> {
             if geo.cols <= 4 * S::R {
                 // Degenerate column space: sequential stepping (mirrors
                 // the split-tiling driver's fallback).
-                self.dlt_steps(t);
+                if boundary.is_dirichlet() {
+                    self.dlt_steps(t);
+                } else {
+                    for _ in 0..t {
+                        self.refresh_boundary();
+                        self.dlt_steps(1);
+                    }
+                }
                 return;
             }
             let (a, b) = self.plan.stage.as_mut().expect("stage");
             let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
             let pool = self.plan.pool.as_ref().expect("pool");
-            par::drive1_dlt(isa, bufs, &geo, t, &s, pool, threads);
+            par::drive1_dlt(isa, bufs, &geo, t, &s, pool, threads, boundary);
             if t % 2 == 1 {
                 std::mem::swap(a, b);
             }
@@ -778,7 +904,7 @@ impl<S: Star1> Session1<'_, S> {
             let other = self.plan.scratch.as_mut().expect("scratch");
             let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
             let pool = self.plan.pool.as_ref().expect("pool");
-            par::drive1(method, isa, bufs, n, t, &s, pool, threads);
+            par::drive1(method, isa, bufs, n, t, &s, pool, threads, boundary);
             if t % 2 == 1 {
                 std::mem::swap(self.g, other);
             }
@@ -1004,30 +1130,27 @@ macro_rules! plan2_impl {
                 self.cfg.threads
             }
 
+            /// The plan's boundary condition.
+            pub fn boundary(&self) -> Boundary {
+                self.cfg.boundary
+            }
+
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d2(self.nx, self.ny)
             }
 
             fn ensure_scratch(&mut self, g: &Grid2) {
-                match &mut self.scratch {
-                    Some(sc) => sc.copy_from(g),
-                    None => self.scratch = Some(g.clone()),
-                }
+                halo::ensure_scratch(&mut self.scratch, g);
             }
 
             fn ensure_stage(&mut self, g: &Grid2) {
-                if self.stage.is_none() {
-                    self.stage = Some((g.clone(), g.clone()));
-                }
-                let (a, b) = self.stage.as_mut().expect("just ensured");
-                a.copy_from(g);
-                dlt_grid2(g, a, self.cfg.isa, false);
-                b.copy_from(a);
+                let isa = self.cfg.isa;
+                halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid2(g, a, isa, false));
             }
 
             fn ensure_ring(&mut self, g: &Grid2) {
-                let len = HALO_PAD + (2 * S::R + 1) * g.row_stride();
+                let len = halo::ring2_len(S::R, g.row_stride());
                 if self.ring.as_ref().map(|r| r.len()) != Some(len) {
                     self.ring = Some(AlignedBuf::zeroed(len));
                 }
@@ -1060,9 +1183,13 @@ macro_rules! plan2_impl {
                         self.ensure_scratch(g);
                         // The k = 2 ring only serves the sequential fused
                         // pass; parallel untiled stepping ping-pongs.
+                        // (Non-Dirichlet plans never run the fused
+                        // pass — they step k = 1 with a halo refresh in
+                        // between — so they skip the ring too.)
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
                             && self.cfg.threads == 1
+                            && self.cfg.boundary.is_dirichlet()
                         {
                             self.ensure_ring(g);
                         }
@@ -1083,17 +1210,51 @@ macro_rules! plan2_impl {
         impl<S: $bound> $Session<'_, S> {
             /// Advance the grid `t` Jacobi steps. No buffer allocation
             /// and no layout transform happen here — only kernel stepping
-            /// (tiled runs copy small precomputed tile lists per chunk).
+            /// (tiled runs copy small precomputed tile lists per chunk),
+            /// plus the O(surface) per-step halo refresh under a
+            /// non-Dirichlet [`Boundary`].
             pub fn run(&mut self, t: usize) {
                 if t == 0 {
                     return;
                 }
                 match self.plan.cfg.tiling {
                     Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
-                    Tiling::None => self.run_untiled(t),
+                    Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
+                    // Non-Dirichlet: refresh + one step, t times; the
+                    // fused k = 2 pass degrades to k = 1 (see
+                    // [`Session1::run`]).
+                    Tiling::None => {
+                        for _ in 0..t {
+                            self.refresh_boundary();
+                            self.run_untiled(1);
+                        }
+                    }
                     Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], w[1], h, t),
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
                 }
+            }
+
+            /// Refresh the halo frame of the step's source buffer from
+            /// its interior (see [`halo`]); no-op under Dirichlet.
+            fn refresh_boundary(&mut self) {
+                let Cfg {
+                    method,
+                    isa,
+                    boundary,
+                    ..
+                } = self.plan.cfg;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let map = halo::RowMap::for_method(method, isa, nx);
+                let ptr = if method == Method::Dlt {
+                    // dlt_steps keeps its result in the first staging grid.
+                    self.plan.stage.as_mut().expect("stage").0.ptr_mut()
+                } else {
+                    self.g.ptr_mut()
+                };
+                // SAFETY: the buffer carries ≥ S::R halo rows (asserted
+                // at session open) and HALO_PAD row padding; extents ≥
+                // S::R were validated at plan build.
+                unsafe { halo::refresh2(ptr, rs, nx, ny, S::R, boundary, &map) };
             }
 
             /// Domain-decomposed stepping on the plan's pool (untiled
@@ -1105,6 +1266,7 @@ macro_rules! plan2_impl {
                     method,
                     isa,
                     threads,
+                    boundary,
                     ..
                 } = self.plan.cfg;
                 let s = self.plan.stencil;
@@ -1113,14 +1275,18 @@ macro_rules! plan2_impl {
                 if method == Method::Dlt {
                     let (a, b) = self.plan.stage.as_mut().expect("stage");
                     let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
-                    par::$tess_drive(method, isa, bufs, rs, nx, ny, t, &s, pool, threads);
+                    par::$tess_drive(
+                        method, isa, bufs, rs, nx, ny, t, &s, pool, threads, boundary,
+                    );
                     if t % 2 == 1 {
                         std::mem::swap(a, b);
                     }
                 } else {
                     let other = self.plan.scratch.as_mut().expect("scratch");
                     let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
-                    par::$tess_drive(method, isa, bufs, rs, nx, ny, t, &s, pool, threads);
+                    par::$tess_drive(
+                        method, isa, bufs, rs, nx, ny, t, &s, pool, threads, boundary,
+                    );
                     if t % 2 == 1 {
                         std::mem::swap(self.g, other);
                     }
@@ -1180,7 +1346,7 @@ macro_rules! plan2_impl {
                         let pairs = t / 2;
                         if pairs > 0 {
                             let ring = self.plan.ring.as_mut().expect("ring");
-                            let ring = unsafe { ring.as_mut_ptr().add(HALO_PAD) };
+                            let ring = unsafe { halo::ring2_origin(ring.as_mut_ptr()) };
                             let gp = self.g.ptr_mut();
                             for _ in 0..pairs {
                                 unsafe {
@@ -1358,30 +1524,27 @@ macro_rules! plan3_impl {
                 self.cfg.threads
             }
 
+            /// The plan's boundary condition.
+            pub fn boundary(&self) -> Boundary {
+                self.cfg.boundary
+            }
+
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d3(self.nx, self.ny, self.nz)
             }
 
             fn ensure_scratch(&mut self, g: &Grid3) {
-                match &mut self.scratch {
-                    Some(sc) => sc.copy_from(g),
-                    None => self.scratch = Some(g.clone()),
-                }
+                halo::ensure_scratch(&mut self.scratch, g);
             }
 
             fn ensure_stage(&mut self, g: &Grid3) {
-                if self.stage.is_none() {
-                    self.stage = Some((g.clone(), g.clone()));
-                }
-                let (a, b) = self.stage.as_mut().expect("just ensured");
-                a.copy_from(g);
-                dlt_grid3(g, a, self.cfg.isa, false);
-                b.copy_from(a);
+                let isa = self.cfg.isa;
+                halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid3(g, a, isa, false));
             }
 
             fn ensure_ring(&mut self, g: &Grid3) {
-                let len = (2 * S::R + 1) * g.plane_stride();
+                let len = halo::ring3_len(S::R, g.plane_stride());
                 if self.ring.as_ref().map(|r| r.len()) != Some(len) {
                     self.ring = Some(AlignedBuf::zeroed(len));
                 }
@@ -1414,9 +1577,13 @@ macro_rules! plan3_impl {
                         self.ensure_scratch(g);
                         // The k = 2 ring only serves the sequential fused
                         // pass; parallel untiled stepping ping-pongs.
+                        // (Non-Dirichlet plans never run the fused
+                        // pass — see the 2D macro — so they skip the
+                        // ring too.)
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
                             && self.cfg.threads == 1
+                            && self.cfg.boundary.is_dirichlet()
                         {
                             self.ensure_ring(g);
                         }
@@ -1437,19 +1604,54 @@ macro_rules! plan3_impl {
         impl<S: $bound> $Session<'_, S> {
             /// Advance the grid `t` Jacobi steps. No buffer allocation
             /// and no layout transform happen here — only kernel stepping
-            /// (tiled runs copy small precomputed tile lists per chunk).
+            /// (tiled runs copy small precomputed tile lists per chunk),
+            /// plus the O(surface) per-step halo refresh under a
+            /// non-Dirichlet [`Boundary`].
             pub fn run(&mut self, t: usize) {
                 if t == 0 {
                     return;
                 }
                 match self.plan.cfg.tiling {
                     Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
-                    Tiling::None => self.run_untiled(t),
+                    Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
+                    // Non-Dirichlet: refresh + one step, t times; the
+                    // fused k = 2 pass degrades to k = 1 (see
+                    // [`Session1::run`]).
+                    Tiling::None => {
+                        for _ in 0..t {
+                            self.refresh_boundary();
+                            self.run_untiled(1);
+                        }
+                    }
                     Tiling::Tessellate { w, h, .. } => {
                         self.run_tessellate(w[0], w[1], w[2], h, t)
                     }
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
                 }
+            }
+
+            /// Refresh the halo shell of the step's source buffer from
+            /// its interior (see [`halo`]); no-op under Dirichlet.
+            fn refresh_boundary(&mut self) {
+                let Cfg {
+                    method,
+                    isa,
+                    boundary,
+                    ..
+                } = self.plan.cfg;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let map = halo::RowMap::for_method(method, isa, nx);
+                let ptr = if method == Method::Dlt {
+                    // dlt_steps keeps its result in the first staging grid.
+                    self.plan.stage.as_mut().expect("stage").0.ptr_mut()
+                } else {
+                    self.g.ptr_mut()
+                };
+                // SAFETY: the buffer carries ≥ S::R halo rows/planes
+                // (asserted at session open) and HALO_PAD row padding;
+                // extents ≥ S::R were validated at plan build.
+                unsafe { halo::refresh3(ptr, rs, ps, nx, ny, nz, S::R, boundary, &map) };
             }
 
             /// Domain-decomposed stepping on the plan's pool (untiled
@@ -1461,6 +1663,7 @@ macro_rules! plan3_impl {
                     method,
                     isa,
                     threads,
+                    boundary,
                     ..
                 } = self.plan.cfg;
                 let s = self.plan.stencil;
@@ -1471,7 +1674,7 @@ macro_rules! plan3_impl {
                     let (a, b) = self.plan.stage.as_mut().expect("stage");
                     let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
                     par::$tess_drive(
-                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads,
+                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads, boundary,
                     );
                     if t % 2 == 1 {
                         std::mem::swap(a, b);
@@ -1480,7 +1683,7 @@ macro_rules! plan3_impl {
                     let other = self.plan.scratch.as_mut().expect("scratch");
                     let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
                     par::$tess_drive(
-                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads,
+                        method, isa, bufs, rs, ps, nx, ny, nz, t, &s, pool, threads, boundary,
                     );
                     if t % 2 == 1 {
                         std::mem::swap(self.g, other);
@@ -1548,8 +1751,8 @@ macro_rules! plan3_impl {
                         let pairs = t / 2;
                         if pairs > 0 {
                             let ring = self.plan.ring.as_mut().expect("ring");
-                            let off = S::R * rs + HALO_PAD;
-                            let ring = unsafe { ring.as_mut_ptr().add(off) };
+                            let ring =
+                                unsafe { halo::ring3_origin(ring.as_mut_ptr(), S::R, rs) };
                             let gp = self.g.ptr_mut();
                             for _ in 0..pairs {
                                 unsafe {

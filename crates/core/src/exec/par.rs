@@ -24,10 +24,18 @@
 //! strip form one extra scalar work item. 2D/3D DLT bands the outermost
 //! dimension like the other methods, with full DLT rows inside — the same
 //! hybrid the split-tiling driver uses.
+//!
+//! Non-Dirichlet [`Boundary`] conditions slot into the same barrier: the
+//! global wrap/mirror halo refresh (see [`super::halo`]) runs between
+//! steps on the step's source buffer — sequentially, before the bands
+//! fan out — so every band reads fully refreshed halos, and the refresh
+//! is synchronized by exactly the barrier that already orders the seam
+//! reads.
 
 use rayon::prelude::*;
 use stencil_simd::{dispatch, Isa};
 
+use super::halo::{self, Boundary, RowMap};
 use super::tess::{step1, step2_box, step2_star, step3_box, step3_star, SyncPtr};
 use crate::api::Method;
 use crate::kernels::dlt;
@@ -64,10 +72,15 @@ pub(crate) fn drive1<S: Star1>(
     s: &S,
     pool: &rayon::ThreadPool,
     nthreads: usize,
+    b: Boundary,
 ) {
     let bands = bands(n, nthreads);
+    let map = RowMap::for_method(method, isa, n);
     pool.install(|| {
         for time in 0..t {
+            // The wrap/mirror halo refresh runs between barriers, on the
+            // step's shared source buffer (no-op under Dirichlet).
+            unsafe { halo::refresh1(bufs[time % 2].0, n, S::R, b, &map) };
             bands.clone().into_par_iter().for_each(|(lo, hi)| {
                 step1(method, isa, bufs, n, lo, hi, time, s);
             });
@@ -97,8 +110,10 @@ pub(crate) fn drive1_dlt<S: Star1>(
     s: &S,
     pool: &rayon::ThreadPool,
     nthreads: usize,
+    b: Boundary,
 ) {
     let r = S::R;
+    let map = RowMap::Dlt(*geo);
     let mut items: Vec<DltItem> = bands(geo.cols - 2 * r, nthreads)
         .into_iter()
         .map(|(lo, hi)| DltItem::Cols(r + lo, r + hi))
@@ -106,6 +121,7 @@ pub(crate) fn drive1_dlt<S: Star1>(
     items.push(DltItem::Edges);
     pool.install(|| {
         for time in 0..t {
+            unsafe { halo::refresh1(bufs[time % 2].0, geo.n, S::R, b, &map) };
             items.clone().into_par_iter().for_each(|item| unsafe {
                 let src = bufs[time % 2].0 as *const f64;
                 let dst = bufs[(time + 1) % 2].0;
@@ -141,10 +157,17 @@ macro_rules! drive2_impl {
             s: &S,
             pool: &rayon::ThreadPool,
             nthreads: usize,
+            b: Boundary,
         ) {
             let bands = bands(ny, nthreads);
+            let map = RowMap::for_method(method, isa, nx);
             pool.install(|| {
                 for time in 0..t {
+                    // Per-step wrap/mirror refresh of the shared source
+                    // buffer's halo frame (no-op under Dirichlet).
+                    unsafe {
+                        halo::refresh2(bufs[time % 2].0, rs, nx, ny, S::R, b, &map)
+                    };
                     bands.clone().into_par_iter().for_each(|(y0, y1)| {
                         if method == Method::Dlt {
                             let src = bufs[time % 2].0 as *const f64;
@@ -185,10 +208,17 @@ macro_rules! drive3_impl {
             s: &S,
             pool: &rayon::ThreadPool,
             nthreads: usize,
+            b: Boundary,
         ) {
             let bands = bands(nz, nthreads);
+            let map = RowMap::for_method(method, isa, nx);
             pool.install(|| {
                 for time in 0..t {
+                    // Per-step wrap/mirror refresh of the shared source
+                    // buffer's halo shell (no-op under Dirichlet).
+                    unsafe {
+                        halo::refresh3(bufs[time % 2].0, rs, ps, nx, ny, nz, S::R, b, &map)
+                    };
                     bands.clone().into_par_iter().for_each(|(z0, z1)| {
                         if method == Method::Dlt {
                             let src = bufs[time % 2].0 as *const f64;

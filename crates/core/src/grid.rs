@@ -14,7 +14,8 @@
 
 use stencil_simd::AlignedBuf;
 
-use crate::exec::Shape;
+use crate::exec::{Boundary, Shape};
+use crate::spec::StencilSpec;
 
 /// Doubles of padding on each side of a row interior. Must be ≥ the widest
 /// vector (8) so the `reorg` method's aligned previous-vector load of the
@@ -398,23 +399,61 @@ impl Grid3 {
 // AnyGrid: dimensionality as data
 // ---------------------------------------------------------------------------
 
-/// The data handed to [`AnyGrid::from_vec`] does not cover the shape's
-/// interior exactly.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct GridDataError {
-    /// Cells the shape's interior holds.
-    pub expected: usize,
-    /// Elements the vector actually carried.
-    pub got: usize,
+/// Why an [`AnyGrid`] could not be constructed from runtime data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridDataError {
+    /// The data handed to [`AnyGrid::from_vec`] does not cover the
+    /// shape's interior exactly.
+    Len {
+        /// Cells the shape's interior holds.
+        expected: usize,
+        /// Elements the vector actually carried.
+        got: usize,
+    },
+    /// The shape's dimensionality does not match the spec handed to
+    /// [`AnyGrid::from_fn_spec`] / [`AnyGrid::from_vec_spec`].
+    Ndim {
+        /// Dimensions of the shape.
+        shape: usize,
+        /// Dimensions of the stencil spec.
+        spec: usize,
+    },
+    /// The shape is incompatible with the spec's boundary condition:
+    /// the wrap/mirror halo folds of a non-Dirichlet [`Boundary`] need
+    /// every interior extent ≥ the stencil radius.
+    BoundaryExtent {
+        /// The offending axis (0 = x, 1 = y, 2 = z).
+        axis: usize,
+        /// That axis's interior extent.
+        extent: usize,
+        /// The stencil radius the boundary folds over.
+        radius: usize,
+        /// The requested boundary condition.
+        boundary: Boundary,
+    },
 }
 
 impl std::fmt::Display for GridDataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "grid data length {} does not match the shape's {} interior cells",
-            self.got, self.expected
-        )
+        match self {
+            GridDataError::Len { expected, got } => write!(
+                f,
+                "grid data length {got} does not match the shape's {expected} interior cells"
+            ),
+            GridDataError::Ndim { shape, spec } => {
+                write!(f, "shape is {shape}D but the stencil spec is {spec}D")
+            }
+            GridDataError::BoundaryExtent {
+                axis,
+                extent,
+                radius,
+                boundary,
+            } => write!(
+                f,
+                "axis {axis} extent {extent} is smaller than the stencil radius {radius}, \
+                 which the {boundary} boundary's halo folds require"
+            ),
+        }
     }
 }
 
@@ -498,7 +537,7 @@ impl AnyGrid {
             _ => nx * ny * nz,
         };
         if data.len() != expected {
-            return Err(GridDataError {
+            return Err(GridDataError::Len {
                 expected,
                 got: data.len(),
             });
@@ -506,6 +545,80 @@ impl AnyGrid {
         Ok(Self::from_fn(shape, halo_r, halo, |z, y, x| {
             data[(z * ny + y) * nx + x]
         }))
+    }
+
+    /// Check that `shape` can host `spec`: matching dimensionality, and
+    /// extents compatible with the spec's boundary folds.
+    fn check_spec(shape: Shape, spec: &StencilSpec) -> Result<(), GridDataError> {
+        if shape.ndim() != spec.ndim() {
+            return Err(GridDataError::Ndim {
+                shape: shape.ndim(),
+                spec: spec.ndim(),
+            });
+        }
+        if !spec.boundary().is_dirichlet() {
+            for (axis, &n) in shape.dims()[..shape.ndim()].iter().enumerate() {
+                if n < spec.radius() {
+                    return Err(GridDataError::BoundaryExtent {
+                        axis,
+                        extent: n,
+                        radius: spec.radius(),
+                        boundary: spec.boundary(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Halo-aware [`AnyGrid::from_fn`]: derive the halo geometry and fill
+    /// from a [`StencilSpec`] instead of hand-passing them — the halo is
+    /// `spec.radius()` rows/planes wide, filled with the boundary's
+    /// constant ([`Boundary::halo_fill`]), and the shape is checked
+    /// against the spec (dimensionality, and extents ≥ radius for the
+    /// folded boundary modes).
+    ///
+    /// ```
+    /// use stencil_core::exec::{Boundary, Shape};
+    /// use stencil_core::grid::{AnyGrid, GridDataError};
+    /// use stencil_core::spec::StencilSpec;
+    ///
+    /// let spec: StencilSpec = "2d5p@periodic".parse().unwrap();
+    /// let g = AnyGrid::from_fn_spec(Shape::d2(64, 32), &spec, |_, y, x| {
+    ///     (x + y) as f64
+    /// })
+    /// .unwrap();
+    /// assert_eq!(g.ndim(), 2);
+    /// // A 3D shape cannot host a 2D spec…
+    /// assert!(matches!(
+    ///     AnyGrid::from_fn_spec(Shape::d3(8, 8, 8), &spec, |_, _, _| 0.0),
+    ///     Err(GridDataError::Ndim { .. })
+    /// ));
+    /// ```
+    pub fn from_fn_spec(
+        shape: Shape,
+        spec: &StencilSpec,
+        f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Result<AnyGrid, GridDataError> {
+        Self::check_spec(shape, spec)?;
+        Ok(Self::from_fn(
+            shape,
+            spec.radius(),
+            spec.boundary().halo_fill(),
+            f,
+        ))
+    }
+
+    /// Halo-aware [`AnyGrid::from_vec`] (see [`AnyGrid::from_fn_spec`]):
+    /// row-major interior data plus a [`StencilSpec`] that supplies the
+    /// halo geometry, fill value, and shape checks.
+    pub fn from_vec_spec(
+        shape: Shape,
+        spec: &StencilSpec,
+        data: Vec<f64>,
+    ) -> Result<AnyGrid, GridDataError> {
+        Self::check_spec(shape, spec)?;
+        Self::from_vec(shape, spec.radius(), spec.boundary().halo_fill(), data)
     }
 
     /// Number of spatial dimensions (1–3).
@@ -654,12 +767,63 @@ mod tests {
         let err = AnyGrid::from_vec(shape, 1, 0.0, vec![0.0; 5]).unwrap_err();
         assert_eq!(
             err,
-            GridDataError {
+            GridDataError::Len {
                 expected: 12,
                 got: 5
             }
         );
         assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn spec_aware_constructors_check_shape_and_boundary() {
+        let spec: StencilSpec = "2d5p@periodic".parse().unwrap();
+
+        // Happy path: halo width = radius, fill = the boundary constant.
+        let g =
+            AnyGrid::from_fn_spec(Shape::d2(12, 7), &spec, |_, y, x| (y * 100 + x) as f64).unwrap();
+        let g2 = g.as_grid2().unwrap();
+        assert_eq!(g2.ry(), spec.radius());
+        assert_eq!(g2.get(-1, 0), 0.0, "halo filled with the boundary constant");
+
+        // Dirichlet fill value flows from the spec's boundary.
+        let d: StencilSpec = "2d5p@dirichlet(2.5)".parse().unwrap();
+        let g = AnyGrid::from_vec_spec(Shape::d2(3, 2), &d, vec![0.0; 6]).unwrap();
+        assert_eq!(g.as_grid2().unwrap().get(-1, 0), 2.5);
+
+        // Dimensionality mismatch.
+        let err = AnyGrid::from_fn_spec(Shape::d1(64), &spec, |_, _, _| 0.0).unwrap_err();
+        assert_eq!(err, GridDataError::Ndim { shape: 1, spec: 2 });
+        assert!(err.to_string().contains("1D"), "{err}");
+
+        // Shape/boundary mismatch: a folded boundary needs extents ≥ r.
+        let wide: StencilSpec = "1d5p@reflect".parse().unwrap(); // r = 2
+        let err = AnyGrid::from_fn_spec(Shape::d1(1), &wide, |_, _, _| 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            GridDataError::BoundaryExtent {
+                axis: 0,
+                extent: 1,
+                radius: 2,
+                boundary: crate::exec::Boundary::Reflect,
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("axis 0") && msg.contains("radius 2") && msg.contains("reflect"),
+            "{msg}"
+        );
+
+        // Dirichlet never triggers the extent check (today's behavior).
+        assert!(AnyGrid::from_vec_spec(Shape::d1(1), &"1d5p".parse().unwrap(), vec![1.0]).is_ok());
+        // Bad data length still reports Len through the spec path.
+        assert!(matches!(
+            AnyGrid::from_vec_spec(Shape::d2(4, 4), &d, vec![0.0; 3]),
+            Err(GridDataError::Len {
+                expected: 16,
+                got: 3
+            })
+        ));
     }
 
     #[test]

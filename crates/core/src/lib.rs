@@ -69,8 +69,10 @@ pub mod spec;
 pub mod stencil;
 pub mod verify;
 
-pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, Method};
-pub use exec::{AnyGridMut, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling};
+pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, run_spec, Method};
+pub use exec::{
+    AnyGridMut, Boundary, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling,
+};
 pub use grid::{AnyGrid, Grid1, Grid2, Grid3, HALO_PAD};
 pub use layout::{DltGeo, SetGeo};
 pub use spec::{SpecError, StencilShape, StencilSpec};

@@ -31,6 +31,7 @@
 //! assert_eq!(custom.to_string(), "1d5p");
 //! ```
 
+use crate::exec::Boundary;
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 
 /// Weight slots per axis in a packed spec carrier (`2·MAX_R + 1`).
@@ -87,6 +88,9 @@ pub enum SpecError {
     },
     /// A name passed to `FromStr` is not one of the six paper stencils.
     UnknownName(String),
+    /// A boundary label (standalone or after `@` in a stencil name) is
+    /// not one of `dirichlet[(v)]` / `periodic` / `reflect`.
+    UnknownBoundary(String),
 }
 
 impl std::fmt::Display for SpecError {
@@ -109,8 +113,14 @@ impl std::fmt::Display for SpecError {
             ),
             SpecError::UnknownName(name) => write!(
                 f,
-                "unknown stencil '{name}' (expected one of {})",
+                "unknown stencil '{name}' (expected one of {}, optionally \
+                 with an '@<boundary>' suffix)",
                 StencilSpec::NAMES.join(", ")
+            ),
+            SpecError::UnknownBoundary(label) => write!(
+                f,
+                "unknown boundary '{label}' (expected dirichlet, \
+                 dirichlet(<value>), periodic, or reflect)"
             ),
         }
     }
@@ -139,6 +149,9 @@ pub struct StencilSpec {
     /// Star: per-axis slices concatenated (x, then y, then z), each
     /// `2r+1` long. Box: the full row-major neighbourhood.
     w: Vec<f64>,
+    /// The boundary condition the workload asks for (default
+    /// `Dirichlet(0.0)`); see [`Boundary`] and [`StencilSpec::with_boundary`].
+    boundary: Boundary,
 }
 
 /// Infer the radius from a per-axis weight slice of length `2r+1`.
@@ -209,6 +222,7 @@ impl StencilSpec {
             shape: StencilShape::Star,
             r,
             w: w.to_vec(),
+            boundary: Boundary::default(),
         })
     }
 
@@ -227,6 +241,7 @@ impl StencilSpec {
             shape: StencilShape::Star,
             r,
             w,
+            boundary: Boundary::default(),
         })
     }
 
@@ -247,6 +262,7 @@ impl StencilSpec {
             shape: StencilShape::Star,
             r,
             w,
+            boundary: Boundary::default(),
         })
     }
 
@@ -258,6 +274,7 @@ impl StencilSpec {
             shape: StencilShape::Box,
             r,
             w: w.to_vec(),
+            boundary: Boundary::default(),
         })
     }
 
@@ -270,6 +287,7 @@ impl StencilSpec {
             shape: StencilShape::Box,
             r,
             w: w.to_vec(),
+            boundary: Boundary::default(),
         })
     }
 
@@ -309,6 +327,32 @@ impl StencilSpec {
     /// ([`S3d27p::blur`](crate::stencil::S3d27p::blur)).
     pub fn blur_3d27p() -> StencilSpec {
         Self::box3(crate::stencil::S3d27p::blur().w()).expect("paper stencil is valid")
+    }
+
+    /// The same stencil under a different [`Boundary`] condition.
+    ///
+    /// The boundary rides along into
+    /// [`Plan::stencil`](crate::exec::Plan::stencil) (an explicit
+    /// [`Plan::boundary`](crate::exec::Plan::boundary) knob overrides
+    /// it) and is part of the printed name:
+    ///
+    /// ```
+    /// use stencil_core::exec::Boundary;
+    /// use stencil_core::spec::StencilSpec;
+    ///
+    /// let spec = StencilSpec::heat_2d5p().with_boundary(Boundary::Periodic);
+    /// assert_eq!(spec.to_string(), "2d5p@periodic");
+    /// assert_eq!("2d5p@periodic".parse::<StencilSpec>().unwrap(), spec);
+    /// ```
+    pub fn with_boundary(mut self, boundary: Boundary) -> StencilSpec {
+        self.boundary = boundary;
+        self
+    }
+
+    /// The boundary condition this spec asks for (default
+    /// `Dirichlet(0.0)`).
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
     }
 
     /// Number of spatial dimensions (1–3).
@@ -368,11 +412,17 @@ impl StencilSpec {
 }
 
 impl std::fmt::Display for StencilSpec {
-    /// The paper-style name `<ndim>d<points>p` (e.g. "2d9p"). For the
-    /// six paper stencils this round-trips through `FromStr`; other
-    /// geometries print the same scheme ("1d9p", "3d125p", …).
+    /// The paper-style name `<ndim>d<points>p` (e.g. "2d9p"), with an
+    /// `@<boundary>` suffix when the boundary is not the default
+    /// `Dirichlet(0.0)` (e.g. "2d9p@reflect"). For the six paper
+    /// stencils this round-trips through `FromStr`; other geometries
+    /// print the same scheme ("1d9p", "3d125p", …).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}d{}p", self.ndim, self.points())
+        write!(f, "{}d{}p", self.ndim, self.points())?;
+        if self.boundary != Boundary::default() {
+            write!(f, "@{}", self.boundary)?;
+        }
+        Ok(())
     }
 }
 
@@ -381,17 +431,23 @@ impl std::str::FromStr for StencilSpec {
 
     /// Parse one of the six paper-stencil names (see
     /// [`StencilSpec::NAMES`]), yielding that stencil with the paper's
-    /// weights.
+    /// weights, optionally suffixed with `@<boundary>` (e.g.
+    /// `"3d7p@periodic"` — see [`Boundary`]).
     fn from_str(s: &str) -> Result<StencilSpec, SpecError> {
-        match s {
-            "1d3p" => Ok(Self::heat_1d3p()),
-            "1d5p" => Ok(Self::heat_1d5p()),
-            "2d5p" => Ok(Self::heat_2d5p()),
-            "2d9p" => Ok(Self::blur_2d9p()),
-            "3d7p" => Ok(Self::heat_3d7p()),
-            "3d27p" => Ok(Self::blur_3d27p()),
-            other => Err(SpecError::UnknownName(other.to_string())),
-        }
+        let (name, boundary) = match s.split_once('@') {
+            Some((name, label)) => (name, label.parse::<Boundary>()?),
+            None => (s, Boundary::default()),
+        };
+        let spec = match name {
+            "1d3p" => Self::heat_1d3p(),
+            "1d5p" => Self::heat_1d5p(),
+            "2d5p" => Self::heat_2d5p(),
+            "2d9p" => Self::blur_2d9p(),
+            "3d7p" => Self::heat_3d7p(),
+            "3d27p" => Self::blur_3d27p(),
+            other => return Err(SpecError::UnknownName(other.to_string())),
+        };
+        Ok(spec.with_boundary(boundary))
     }
 }
 
@@ -554,6 +610,31 @@ mod tests {
             "4d3p".parse::<StencilSpec>(),
             Err(SpecError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn boundary_suffix_round_trips() {
+        let spec: StencilSpec = "3d7p@periodic".parse().unwrap();
+        assert_eq!(spec.boundary(), Boundary::Periodic);
+        assert_eq!(spec.to_string(), "3d7p@periodic");
+        let spec: StencilSpec = "2d9p@dirichlet(2.5)".parse().unwrap();
+        assert_eq!(spec.boundary(), Boundary::Dirichlet(2.5));
+        assert_eq!(spec.to_string(), "2d9p@dirichlet(2.5)");
+        // An explicit default boundary parses but prints without the
+        // suffix — the bare paper names keep their exact round-trip.
+        let spec: StencilSpec = "1d3p@dirichlet".parse().unwrap();
+        assert_eq!(spec, StencilSpec::heat_1d3p());
+        assert_eq!(spec.to_string(), "1d3p");
+        assert!(matches!(
+            "2d5p@torus".parse::<StencilSpec>(),
+            Err(SpecError::UnknownBoundary(_))
+        ));
+        assert!(matches!(
+            "4d4p@periodic".parse::<StencilSpec>(),
+            Err(SpecError::UnknownName(_))
+        ));
+        let e = "2d5p@torus".parse::<StencilSpec>().unwrap_err();
+        assert!(e.to_string().contains("torus"), "{e}");
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub fn max_abs_diff_any(a: &AnyGrid, b: &AnyGrid) -> f64 {
     }
 }
 
+/// Maximum absolute difference between an [`AnyGrid`]'s interior and a
+/// flat row-major (x fastest) reference slice — the natural comparison
+/// for naive reference implementations that live in plain vectors (e.g.
+/// the boundary-condition oracles). Panics if the lengths differ.
+pub fn max_abs_diff_ref(a: &AnyGrid, reference: &[f64]) -> f64 {
+    let v = a.to_vec();
+    assert_eq!(
+        v.len(),
+        reference.len(),
+        "reference slice does not cover the grid interior"
+    );
+    v.iter()
+        .zip(reference)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
 /// Largest interior magnitude of a 1D grid (scale for relative tolerances).
 pub fn max_abs1(a: &Grid1) -> f64 {
     a.interior().iter().fold(0.0f64, |m, x| m.max(x.abs()))

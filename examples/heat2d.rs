@@ -1,7 +1,9 @@
-//! 2D heat diffusion: four hot sources on a cold plate, run with the
-//! transpose-layout scheme under tessellate tiling on all cores via the
-//! erased engine (a [`StencilSpec`] compiled by [`Plan::stencil`]),
-//! rendered as a PGM heat map.
+//! 2D heat diffusion on an **insulated plate**: four hot sources on a
+//! cold plate with zero-flux ([`Boundary::Reflect`]) walls, so no heat
+//! escapes — the total field is conserved while the sources smear out.
+//! Runs with the transpose-layout scheme on all cores through the erased
+//! engine (a [`StencilSpec`] parsed as `"2d5p@reflect"` and compiled by
+//! [`Plan::stencil`]), rendered as a PGM heat map.
 //!
 //! ```sh
 //! cargo run --release --example heat2d [-- out.pgm] [--smoke]
@@ -23,11 +25,13 @@ fn main() -> std::io::Result<()> {
     } else {
         (768, 512, 400)
     };
-    let spec: StencilSpec = "2d5p".parse().expect("paper stencil name");
+    // The insulated-plate workload: reflect (zero-flux Neumann) walls.
+    let spec: StencilSpec = "2d5p@reflect".parse().expect("paper stencil name");
 
     // Four gaussian-ish sources.
     let sources = [(150usize, 120usize), (600, 100), (380, 300), (200, 430)];
-    let init = Grid2::from_fn(nx, ny, 1, 0.0, |y, x| {
+    let shape = Shape::d2(nx, ny);
+    let init = AnyGrid::from_fn_spec(shape, &spec, |_, y, x| {
         sources
             .iter()
             .map(|&(sx, sy)| {
@@ -35,54 +39,61 @@ fn main() -> std::io::Result<()> {
                 1000.0 * (-d2 / 400.0).exp()
             })
             .sum()
-    });
+    })
+    .expect("shape hosts the spec");
+    let injected: f64 = init.to_vec().iter().sum();
 
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
-    let mut plan = Plan::new(Shape::d2(nx, ny))
+    // Refreshed boundaries run untiled (temporal tiling needs constant
+    // halos), so the parallelism comes from the domain-decomposed
+    // executor: y-bands across all cores, halo refresh at each barrier.
+    let mut plan = Plan::new(shape)
         .method(Method::TransLayout2)
         .isa(isa)
-        .tiling(Tiling::Tessellate {
-            w: [192, 128, 0],
-            h: 60,
-            threads,
-        })
+        .parallelism(Parallelism::Threads(threads))
         .stencil(&spec)
-        .expect("valid tiled plan");
+        .expect("valid plan");
     let mut g = init.clone();
     let t0 = std::time::Instant::now();
     plan.run(&mut g, steps);
     println!(
-        "{nx}x{ny} plate, {steps} steps on {threads} threads ({isa}): {:.2?}",
+        "{nx}x{ny} insulated plate, {steps} steps on {threads} threads ({isa}): {:.2?}",
         t0.elapsed()
     );
 
-    // Cross-check against the scalar reference (smaller step count would
-    // do, but the full run is cheap enough).
+    // Cross-check against the scalar reference under the same boundary.
     let mut reference = init.clone();
-    Plan::new(Shape::d2(nx, ny))
+    Plan::new(shape)
         .method(Method::Scalar)
         .isa(isa)
         .stencil(&spec)
         .expect("valid plan")
         .run(&mut reference, steps);
-    let diff = stencil_lab::core::verify::max_abs_diff2(&g, &reference);
+    let diff = stencil_lab::core::verify::max_abs_diff_any(&g, &reference);
     println!("max |Δ| vs scalar reference: {diff:e}");
     assert_eq!(diff, 0.0);
+
+    // Zero-flux walls conserve the total heat — the physics the
+    // Dirichlet halos could never express (they drain into the halo).
+    let total: f64 = g.to_vec().iter().sum();
+    println!("total heat: {total:.3} (injected {injected:.3}, insulated walls keep it)");
+    assert!((total - injected).abs() < 1e-6 * injected);
 
     // Render as PGM.
     let path = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "heat2d.pgm".into());
+    let g2 = g.as_grid2().expect("2D shape");
     let peak = (0..ny)
-        .flat_map(|y| g.row(y).iter().copied())
+        .flat_map(|y| g2.row(y).iter().copied())
         .fold(f64::MIN, f64::max);
     let mut out = Vec::with_capacity(nx * ny + 64);
     writeln!(out, "P5\n{nx} {ny}\n255")?;
     for y in 0..ny {
-        for &v in g.row(y) {
+        for &v in g2.row(y) {
             out.push((255.0 * (v / peak).clamp(0.0, 1.0).sqrt()) as u8);
         }
     }

@@ -1,8 +1,11 @@
-//! 3D pulse propagation with the 7-point star stencil — a seismic-style
-//! volume workload run through the full stack: transpose layout, k = 2
-//! unroll-and-jam, tessellate tiling, all cores, one reused type-erased
-//! plan ([`Plan::stencil`] over a runtime [`StencilSpec`]).
-//! Prints an ASCII slice of the diffusing wavefront.
+//! 3D pulse propagation on a **periodic** volume with the 7-point star
+//! stencil — the torus setting the stencil-framework literature
+//! evaluates on: the pulse diffuses off one face and wraps back in on
+//! the opposite one. Runs through the full stack: transpose layout, the
+//! domain-decomposed parallel executor (z-bands, per-step halo refresh
+//! at the barrier), one reused type-erased plan compiled from the spec
+//! name `"3d7p@periodic"`. Prints an ASCII slice of the wrapping
+//! wavefront.
 //!
 //! ```sh
 //! cargo run --release --example wave3d [-- --smoke]
@@ -24,43 +27,42 @@ fn main() {
     } else {
         (128, 128, 128, 40)
     };
-    let spec: StencilSpec = "3d7p".parse().expect("paper stencil name");
+    let spec: StencilSpec = "3d7p@periodic".parse().expect("paper stencil name");
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
 
-    // A pulse off-center in the volume.
-    let (px, py, pz) = (nx as f64 * 0.3, ny as f64 * 0.5, nz as f64 * 0.5);
-    let init = Grid3::from_fn(nx, ny, nz, 1, 0.0, |z, y, x| {
-        let d2 = (x as f64 - px).powi(2) + (y as f64 - py).powi(2) + (z as f64 - pz).powi(2);
+    // A pulse deliberately near the x = 0 face: under periodic wrap it
+    // bleeds back in from x = nx − 1, which Dirichlet walls would eat.
+    let (px, py, pz) = (nx as f64 * 0.06, ny as f64 * 0.5, nz as f64 * 0.5);
+    let shape = Shape::d3(nx, ny, nz);
+    let init = AnyGrid::from_fn_spec(shape, &spec, |z, y, x| {
+        let dx = (x as f64 - px).abs().min(nx as f64 - (x as f64 - px).abs());
+        let d2 = dx.powi(2) + (y as f64 - py).powi(2) + (z as f64 - pz).powi(2);
         if d2 < 36.0 {
             500.0
         } else {
             0.0
         }
-    });
+    })
+    .expect("shape hosts the spec");
 
-    println!("{nx}x{ny}x{nz} volume, {steps} steps, {threads} threads ({isa})");
-    let mut plan = Plan::new(Shape::d3(nx, ny, nz))
+    println!("{nx}x{ny}x{nz} periodic volume, {steps} steps, {threads} threads ({isa})");
+    let mut plan = Plan::new(shape)
         .method(Method::TransLayout2)
         .isa(isa)
-        .tiling(Tiling::Tessellate {
-            w: [64, 24, 24],
-            h: 10,
-            threads,
-        })
+        .parallelism(Parallelism::Threads(threads))
         .stencil(&spec)
-        .expect("valid tiled plan");
+        .expect("valid plan");
     let mut g = init.clone();
     let t0 = Instant::now();
     plan.run(&mut g, steps);
-    let tiled = t0.elapsed();
+    let tl2 = t0.elapsed();
 
-    // Untiled comparison on the new domain-decomposed parallel executor
-    // (z-bands across the same core count, barrier per step).
+    // Same physics on the auto-vectorized baseline, same executor.
     let mut reference = init.clone();
     let t0 = Instant::now();
-    Plan::new(Shape::d3(nx, ny, nz))
+    Plan::new(shape)
         .method(Method::MultiLoad)
         .isa(isa)
         .parallelism(Parallelism::Threads(threads))
@@ -69,34 +71,37 @@ fn main() {
         .run(&mut reference, steps);
     let plain = t0.elapsed();
 
-    let diff = stencil_lab::core::verify::max_abs_diff3(&g, &reference);
+    let diff = stencil_lab::core::verify::max_abs_diff_any(&g, &reference);
     println!(
-        "tiled+translayout2: {tiled:.2?}   untiled multiload ({threads} threads): {plain:.2?}   \
-         |Δ| = {diff:e}"
+        "translayout2: {tl2:.2?}   multiload ({threads} threads): {plain:.2?}   |Δ| = {diff:e}"
     );
     assert_eq!(diff, 0.0);
 
-    // ASCII view of the mid-volume z slice.
+    // ASCII view of the mid-volume z slice: the wavefront wraps across
+    // the x faces instead of dying at them.
+    let g3 = g.as_grid3().expect("3D shape");
     let zmid = (nz / 2) as isize;
-    println!("\nz={zmid} slice after {steps} steps:");
+    println!("\nz={zmid} slice after {steps} steps (note the wrap across x):");
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let peak = (0..ny)
         .flat_map(|y| (0..nx).map(move |x| (y, x)))
-        .map(|(y, x)| g.get(zmid, y as isize, x as isize))
+        .map(|(y, x)| g3.get(zmid, y as isize, x as isize))
         .fold(f64::MIN, f64::max);
     for y in (0..ny).step_by(4) {
         let line: String = (0..nx)
             .step_by(2)
             .map(|x| {
-                let v = g.get(zmid, y as isize, x as isize) / peak;
+                let v = g3.get(zmid, y as isize, x as isize) / peak;
                 shades[((v.clamp(0.0, 1.0)) * 9.0) as usize]
             })
             .collect();
         println!("{line}");
     }
-    let total: f64 = (0..nz as isize)
-        .flat_map(|z| (0..ny as isize).map(move |y| (z, y)))
-        .map(|(z, y)| (0..nx as isize).map(|x| g.get(z, y, x)).sum::<f64>())
-        .sum();
-    println!("\ntotal field: {total:.1}");
+
+    // The torus has no boundary to lose field through: the total is
+    // conserved to rounding.
+    let injected: f64 = init.to_vec().iter().sum();
+    let total: f64 = g.to_vec().iter().sum();
+    println!("\ntotal field: {total:.1} (injected {injected:.1}; periodic wrap conserves it)");
+    assert!((total - injected).abs() < 1e-6 * injected);
 }

@@ -34,12 +34,12 @@ pub use stencil_tiling as tiling;
 /// [`DynPlan`](stencil_core::exec::DynPlan) API.
 pub mod prelude {
     pub use stencil_core::exec::{
-        AnyGridMut, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling,
+        AnyGridMut, Boundary, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling,
     };
     pub use stencil_core::{
-        run1_star1, run2_box, run2_star, run3_box, run3_star, AnyGrid, Box2, Box3, Grid1, Grid2,
-        Grid3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, SpecError, Star1, Star2, Star3,
-        StencilShape, StencilSpec,
+        run1_star1, run2_box, run2_star, run3_box, run3_star, run_spec, AnyGrid, Box2, Box3, Grid1,
+        Grid2, Grid3, Method, S1d3p, S1d5p, S2d5p, S2d9p, S3d27p, S3d7p, SpecError, Star1, Star2,
+        Star3, StencilShape, StencilSpec,
     };
     pub use stencil_simd::Isa;
     pub use stencil_tiling::{
