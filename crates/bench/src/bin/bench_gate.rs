@@ -14,6 +14,13 @@
 //! Rows absent from the baseline (a freshly added bench family) are
 //! reported as informational and never gate — run `--rebaseline` to arm
 //! them.
+//!
+//! Besides the baseline diff, the gate runs a **boundary-parity check**
+//! within the current snapshots: every non-Dirichlet session row (one
+//! carrying a `boundary` field) is paired with the Dirichlet row sharing
+//! its remaining identity, and the run fails when any pair's wall-time
+//! ratio exceeds 1.10× — the fused halo fast path's contract. Same
+//! advisory rule across host classes.
 
 use std::path::PathBuf;
 
@@ -112,6 +119,50 @@ fn main() {
         eprintln!("bench_gate: {errors} snapshot(s) missing or unreadable");
         std::process::exit(2);
     }
+
+    // Boundary parity: within the *current* snapshots (one host, one
+    // build), every non-Dirichlet row must stay within the allowance of
+    // its Dirichlet sibling. Independent of the baseline, so it gates
+    // even while new rows are still unarmed.
+    const PARITY_PCT: f64 = 10.0;
+    let mut parity_pairs = 0usize;
+    let mut parity_over: Vec<String> = Vec::new();
+    for name in &names {
+        if let Ok(pairs) = gate::boundary_parity(name, &current) {
+            for p in pairs {
+                parity_pairs += 1;
+                if p.ratio > 1.0 + PARITY_PCT / 100.0 {
+                    parity_over.push(format!(
+                        "{name}: boundary={} {:.2}x vs [{}]",
+                        p.boundary, p.ratio, p.key
+                    ));
+                }
+            }
+        }
+    }
+    if parity_pairs > 0 {
+        println!(
+            "boundary parity: {parity_pairs} pair(s) checked, {} over the {PARITY_PCT:.0}% \
+             allowance",
+            parity_over.len()
+        );
+        for line in &parity_over {
+            println!("    {line}");
+        }
+    }
+    let parity_failed = |advisory: bool| {
+        if parity_over.is_empty() || advisory {
+            return false;
+        }
+        eprintln!(
+            "bench_gate: FAIL — {} boundary row(s) exceed the {PARITY_PCT:.0}% Dirichlet \
+             parity allowance",
+            parity_over.len()
+        );
+        true
+    };
+
+    let advisory = mismatch.is_some() && !strict;
     if all_ratios.is_empty() {
         // New rows with nothing gated yet is the normal state right
         // after a bench family lands: informational, not a failure —
@@ -120,6 +171,9 @@ fn main() {
         // every current row new, and silently passing that would turn
         // the gate off; keep it a hard failure.
         if new_total > 0 && missing_total == 0 {
+            if parity_failed(advisory) {
+                std::process::exit(1);
+            }
             println!(
                 "bench_gate: OK — no gated rows yet; {new_total} new informational row(s). \
                  Run `scripts/bench_gate --rebaseline` to arm them."
@@ -151,6 +205,9 @@ fn main() {
     }
     if gm > 1.0 + threshold / 100.0 {
         eprintln!("bench_gate: FAIL — geomean regression {pct:+.1}% exceeds {threshold:.0}%");
+        std::process::exit(1);
+    }
+    if parity_failed(advisory) {
         std::process::exit(1);
     }
     if new_total > 0 {

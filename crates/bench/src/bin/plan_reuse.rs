@@ -37,6 +37,34 @@ fn time_calls<F: FnMut()>(calls: usize, mut f: F) -> f64 {
     best
 }
 
+/// Best-of-`reps` wall time for each closure, with the closures
+/// interleaved *per call* inside every rep (A B C A B C …) and each
+/// call timed individually into its closure's accumulator. The
+/// boundary-parity gate compares these rows as *ratios*, and on a busy
+/// host two back-to-back measurements see different background load —
+/// call-level interleaving makes all variants sample essentially the
+/// same noise within a rep, so the ratios stay stable even when the
+/// absolute times are inflated. The per-call timer overhead (~tens of
+/// ns) is paid equally by every variant and cancels out of the ratio.
+fn time_calls_interleaved(calls: usize, reps: usize, fs: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; fs.len()];
+    let mut acc = vec![0.0f64; fs.len()];
+    for _ in 0..reps {
+        acc.fill(0.0);
+        for _ in 0..calls {
+            for (f, a) in fs.iter_mut().zip(acc.iter_mut()) {
+                let t0 = Instant::now();
+                f();
+                *a += t0.elapsed().as_secs_f64();
+            }
+        }
+        for (b, a) in best.iter_mut().zip(acc.iter()) {
+            *b = b.min(*a);
+        }
+    }
+    best
+}
+
 fn main() {
     stencil_bench::banner(
         "plan_reuse: repeated stepping, free fn vs Plan vs Session vs DynSession (1D3P)",
@@ -66,7 +94,11 @@ fn main() {
         "dyn/sess"
     );
     let sweep: &[(usize, usize, usize)] = if cli.scale() == Scale::Smoke {
-        &[(1_500, 8, 100), (40_000, 8, 30), (500_000, 4, 6)]
+        // L1 and L3 get the full-size call counts: at 100/6 calls their
+        // measured intervals (~0.1 ms / ~2.5 ms) are small enough that
+        // timer granularity and scheduler noise flap the boundary-parity
+        // check; 400/20 calls keep the ratios stable.
+        &[(1_500, 8, 400), (40_000, 8, 30), (500_000, 4, 20)]
     } else {
         &[
             (1_500, 8, 400),
@@ -100,19 +132,86 @@ fn main() {
         });
 
         // (c) typed layout-resident session: transforms paid once, zero
-        // allocation/transform in the timed loop body.
-        let mut plan = Plan::new(Shape::d1(n))
-            .method(method)
-            .isa(isa)
-            .parallelism(par)
-            .star1(s)
-            .expect("valid plan");
-        let mut g = init.clone();
-        let mut sess = plan.session(&mut g);
-        let sess_s = time_calls(calls, || {
-            sess.run(chunk);
-        });
-        drop(sess);
+        // allocation/transform in the timed loop body — timed interleaved
+        // with the boundary sessions below so the parity ratios compare
+        // like noise windows. The three sessions hold three live grids,
+        // and which *allocation slot* a grid lands in measurably shifts
+        // its wall time at cache-edge sizes (page/THP luck), so the whole
+        // trio is measured repeatedly with the allocation order rotated.
+        // Each variant keeps its minimum for the absolute row; the parity
+        // ratio is computed *within* each rotation (both members of a
+        // pair saw the same noise there) and the median over the
+        // rotations is kept — a rotation where either member sits in
+        // the penalized slot lands at an extreme, and the median picks
+        // one where neither does.
+        const BOUNDARIES: [Boundary; 2] = [Boundary::Periodic, Boundary::Reflect];
+        let variants: [Option<Boundary>; 3] = [None, Some(BOUNDARIES[0]), Some(BOUNDARIES[1])];
+        let mut trio_best = [f64::INFINITY; 3];
+        let mut rot_ratios: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        // Full slot cycles: each variant samples every allocation slot
+        // `cycles` times, so the median has enough clean rotations to
+        // reject a noise burst spanning one cycle. Small grids measure in
+        // microseconds — give them more cycles (they're nearly free) so a
+        // burst has to span most of the window to move the median.
+        let cycles = if n <= 40_000 { 4 } else { 2 };
+        for rot in 0..cycles * variants.len() {
+            // Build plan+grid pairs in rotated order so each variant's
+            // grid samples every allocation slot across the rotations.
+            let order: Vec<usize> = (0..variants.len())
+                .map(|i| (i + rot) % variants.len())
+                .collect();
+            let mut plans = Vec::new();
+            let mut grids = Vec::new();
+            for &v in order.iter().map(|&i| &variants[i]) {
+                let mut b = Plan::new(Shape::d1(n))
+                    .method(method)
+                    .isa(isa)
+                    .parallelism(par);
+                if let Some(boundary) = v {
+                    b = b.boundary(boundary);
+                }
+                plans.push(b.star1(s).expect("valid plan"));
+                grids.push(init.clone());
+            }
+            let mut sessions: Vec<_> = plans
+                .iter_mut()
+                .zip(grids.iter_mut())
+                .map(|(p, g)| p.session(g))
+                .collect();
+            let mut fs: Vec<&mut dyn FnMut()> = Vec::new();
+            let mut closures: Vec<_> = sessions
+                .iter_mut()
+                .map(|sess| move || sess.run(chunk))
+                .collect();
+            for c in closures.iter_mut() {
+                fs.push(c);
+            }
+            let timed = time_calls_interleaved(calls, 3, &mut fs);
+            let mut by_variant = [0.0f64; 3];
+            for (slot, secs) in timed.into_iter().enumerate() {
+                let v = order[slot];
+                by_variant[v] = secs;
+                trio_best[v] = trio_best[v].min(secs);
+            }
+            rot_ratios[0].push(by_variant[1] / by_variant[0]);
+            rot_ratios[1].push(by_variant[2] / by_variant[0]);
+        }
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let m = v.len() / 2;
+            if v.len().is_multiple_of(2) {
+                (v[m - 1] + v[m]) / 2.0
+            } else {
+                v[m]
+            }
+        };
+        let sess_s = trio_best[0];
+        // Boundary rows store `Dirichlet best × median paired ratio`, so
+        // the gate's recomputed ratio is exactly the noise-paired median.
+        let boundary_s = [
+            sess_s * median(&mut rot_ratios[0]),
+            sess_s * median(&mut rot_ratios[1]),
+        ];
 
         // (d) the same layout-resident session through the type-erased
         // DynPlan: one virtual call per `run` on top of (c).
@@ -165,23 +264,12 @@ fn main() {
         }
 
         // Boundary row family: the same layout-resident session under the
-        // refreshed boundaries. Quantifies the O(surface) per-step halo
-        // refresh (plus the k = 1 fallback of the fused pass) against
-        // the Dirichlet session above.
-        for boundary in [Boundary::Periodic, Boundary::Reflect] {
-            let mut plan = Plan::new(Shape::d1(n))
-                .method(method)
-                .isa(isa)
-                .parallelism(par)
-                .boundary(boundary)
-                .star1(s)
-                .expect("valid plan");
-            let mut g = init.clone();
-            let mut sess = plan.session(&mut g);
-            let secs = time_calls(calls, || {
-                sess.run(chunk);
-            });
-            drop(sess);
+        // refreshed boundaries, timed interleaved with (c) above. The
+        // fused halo fast path stages the t+1 edge values in registers so
+        // the TL2 session keeps its k = 2 pass; these rows should sit
+        // within ~10% of the Dirichlet session (bench_gate's
+        // boundary-parity check enforces the ratio).
+        for (boundary, secs) in BOUNDARIES.into_iter().zip(boundary_s) {
             println!(
                 "{:<10} {:<6} {:>7} {:>6} {:>9} boundary={:<8} {:>9.2} ms  {:>8.3}x vs session",
                 n,

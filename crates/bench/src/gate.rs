@@ -379,6 +379,77 @@ pub fn diff_file(name: &str, baseline: &Path, current: &Path) -> Result<FileDiff
     })
 }
 
+// ---------------------------------------------------------------------------
+// Boundary parity
+// ---------------------------------------------------------------------------
+
+/// A non-Dirichlet row paired with the Dirichlet row sharing every other
+/// identity field — both from the **same** snapshot, so the comparison is
+/// within one host and one build.
+#[derive(Debug)]
+pub struct ParityPair {
+    /// Identity of the Dirichlet sibling row.
+    pub key: String,
+    /// Boundary label of the non-Dirichlet row (`periodic` / `reflect`).
+    pub boundary: String,
+    /// Wall-time ratio non-Dirichlet / Dirichlet (> 1 means the
+    /// refreshed boundary is slower).
+    pub ratio: f64,
+}
+
+/// The identity the Dirichlet sibling of `row` would have, plus the
+/// boundary label — `None` when `row` is itself a Dirichlet row. Only
+/// rows with an explicit `boundary` field participate (plan_reuse's
+/// session rows — the sibling is the same identity without the field):
+/// those are steady-state sessions where the fused fast path owes
+/// near-parity. Scaling's `base@boundary` workloads are deliberately
+/// *not* paired — their sequential rows run the k = 1 methods, whose
+/// per-step O(surface) refresh is visible at smoke sizes by design.
+fn dirichlet_sibling(row: &Json) -> Option<(String, String)> {
+    let Json::Obj(fields) = row else { return None };
+    let Some(Json::Str(b)) = row.get("boundary") else {
+        return None;
+    };
+    let rest: Vec<(String, Json)> = fields
+        .iter()
+        .filter(|(k, _)| k != "boundary")
+        .cloned()
+        .collect();
+    Some((row_key(&Json::Obj(rest)), b.clone()))
+}
+
+/// Pair every non-Dirichlet row of `BENCH_<name>.json` under `dir` with
+/// its Dirichlet sibling (sharing every identity field but `boundary`)
+/// and return the wall-time ratios. Rows without a sibling are skipped
+/// (e.g. thread counts only the boundary family sweeps).
+pub fn boundary_parity(name: &str, dir: &Path) -> Result<Vec<ParityPair>, String> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err(format!("{}: no rows array", path.display()));
+    };
+    let by_key: BTreeMap<String, &Json> = rows.iter().map(|r| (row_key(r), r)).collect();
+    let mut pairs = Vec::new();
+    for row in rows {
+        let Some((key, boundary)) = dirichlet_sibling(row) else {
+            continue;
+        };
+        let Some(sibling) = by_key.get(&key) else {
+            continue;
+        };
+        if let Some(ratio) = row_ratio(sibling, row) {
+            pairs.push(ParityPair {
+                key,
+                boundary,
+                ratio,
+            });
+        }
+    }
+    Ok(pairs)
+}
+
 /// Copy the gate set's current snapshots over the committed baseline.
 pub fn rebaseline(names: &[&str], baseline: &Path, current: &Path) -> Result<Vec<PathBuf>, String> {
     std::fs::create_dir_all(baseline).map_err(|e| e.to_string())?;
@@ -507,6 +578,65 @@ mod tests {
         let diff = diff_file("fp", &basedir, &curdir).unwrap();
         assert!(diff.host_mismatch.is_some());
         assert_eq!(diff.ratios.len(), 1, "rows still compared for reporting");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn boundary_parity_pairs_both_row_shapes() {
+        let dir = std::env::temp_dir().join(format!("gate_parity_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = vec![
+            // plan_reuse shape: boundary is its own field.
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("seconds", crate::save::Value::from(1.0)),
+            ],
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("boundary", crate::save::Value::from("periodic")),
+                ("seconds", crate::save::Value::from(1.05)),
+            ],
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("boundary", crate::save::Value::from("reflect")),
+                ("seconds", crate::save::Value::from(1.5)),
+            ],
+            // A boundary row with no Dirichlet sibling (different n) is
+            // skipped, not an error.
+            vec![
+                ("n", crate::save::Value::from(999usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("boundary", crate::save::Value::from("periodic")),
+                ("seconds", crate::save::Value::from(9.9)),
+            ],
+            // scaling-shaped workload rows are not paired (k = 1 methods
+            // pay the per-step refresh by design).
+            vec![
+                ("workload", crate::save::Value::from("2d5p")),
+                ("threads", crate::save::Value::from("2")),
+                ("seconds", crate::save::Value::from(2.0)),
+            ],
+            vec![
+                ("workload", crate::save::Value::from("2d5p@periodic")),
+                ("threads", crate::save::Value::from("2")),
+                ("seconds", crate::save::Value::from(4.0)),
+            ],
+        ];
+        crate::save::write_json(&dir, "parity", &rows).unwrap();
+        let mut pairs = boundary_parity("parity", &dir).unwrap();
+        pairs.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+        let got: Vec<(&str, f64)> = pairs
+            .iter()
+            .map(|p| (p.boundary.as_str(), p.ratio))
+            .collect();
+        assert_eq!(pairs.len(), 2, "{pairs:?}");
+        assert_eq!(got[0].0, "periodic");
+        assert!((got[0].1 - 1.05).abs() < 1e-12);
+        assert_eq!(got[1].0, "reflect");
+        assert!((got[1].1 - 1.5).abs() < 1e-12);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -76,10 +76,7 @@ pub fn run_spec<'a>(
     if !boundary.is_dirichlet() {
         return Err(PlanError::Boundary {
             boundary,
-            reason: "the legacy run* functions pin the paper's constant-halo Dirichlet \
-                     semantics; compile a Plan (Plan::stencil / Plan::boundary) to run \
-                     refreshed boundaries"
-                .into(),
+            reason: crate::exec::BoundaryReason::LegacySurface,
         });
     }
     if t == 0 {

@@ -49,8 +49,7 @@
 //! interior; halo rows/planes are transformed like interior rows, so y/z
 //! refreshes are raw row/plane copies in any layout. The only
 //! layout-dependent part is *reading* an interior cell by logical index,
-//! which the crate-internal `RowMap` centralizes. Kernels stay
-//! byte-for-byte untouched.
+//! which [`RowMap`] centralizes. Kernels stay byte-for-byte untouched.
 
 use stencil_simd::Isa;
 
@@ -173,7 +172,7 @@ impl std::str::FromStr for Boundary {
 /// permute only interior cells, so the refresh *writes* raw halo
 /// positions and only *reads* through this map.
 #[derive(Copy, Clone, Debug)]
-pub(crate) enum RowMap {
+pub enum RowMap {
     /// Natural row-major order (scalar / multiload / reorg buffers).
     Natural,
     /// The paper's local transpose layout (translayout / translayout2).
@@ -242,9 +241,10 @@ pub(crate) unsafe fn refresh_row(row: *mut f64, n: usize, r: usize, b: Boundary,
 }
 
 /// The source row index (in `[0, n)`) that halo row/plane `-k` (for
-/// `lo = true`) or `n-1+k` copies from.
+/// `lo = true`) or `n-1+k` copies from. Also used by the wide-halo fused
+/// kernels (`kernels::tl2`) to stage t+1 halo values.
 #[inline]
-fn fold_src(n: usize, k: usize, lo: bool, b: Boundary) -> usize {
+pub(crate) fn fold_src(n: usize, k: usize, lo: bool, b: Boundary) -> usize {
     match (b, lo) {
         (Boundary::Periodic, true) => n - k,
         (Boundary::Periodic, false) => k - 1,
@@ -348,6 +348,174 @@ pub(crate) unsafe fn refresh3(
             let src = ptr.offset(src_z * ps as isize + row0);
             let dst = ptr.offset(dst_z * ps as isize + row0);
             std::ptr::copy_nonoverlapping(src, dst, len);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-band refresh — the fused fast path for the parallel drivers
+// ---------------------------------------------------------------------------
+//
+// The whole-grid `refresh1/2/3` sweeps above are what a sequential plan
+// runs between steps. The parallel drivers (`exec::par`) instead fold the
+// refresh into each band's work item: a band refreshes exactly the halo
+// cells its own compute reads, immediately before computing, while those
+// cache lines are hot — no serial pre-pass and no extra barrier.
+//
+// Bands overlap by the stencil radius, so adjacent bands may write the
+// same halo cell. Every such write computes the value from the *source*
+// buffer's interior, which is immutable for the whole step, so all
+// writers store bit-identical doubles; the overlap is a benign race on
+// identical values (aligned 8-byte stores). Halo-row construction copies
+// the raw fold row first (whose x-halo pad may be mid-refresh by its
+// owning band) and then recomputes the copy's x halos locally from the
+// copied interior, so every cell a kernel can read is deterministic.
+
+/// Per-band [`refresh1`]: fold only the halo cells a 1D band `[lo, hi)`
+/// reads (left halos when `lo < r`, right halos when `hi + r > n`).
+///
+/// # Safety
+/// Same contract as [`refresh_row`]; `lo ≤ hi ≤ n`.
+pub(crate) unsafe fn refresh1_band(
+    ptr: *mut f64,
+    n: usize,
+    r: usize,
+    b: Boundary,
+    map: &RowMap,
+    lo: usize,
+    hi: usize,
+) {
+    match b {
+        Boundary::Dirichlet(_) => {}
+        Boundary::Periodic => {
+            for k in 1..=r {
+                if lo < r {
+                    *ptr.offset(-(k as isize)) = map.read(ptr, n - k);
+                }
+                if hi + r > n {
+                    *ptr.add(n - 1 + k) = map.read(ptr, k - 1);
+                }
+            }
+        }
+        Boundary::Reflect => {
+            for k in 1..=r {
+                if lo < r {
+                    *ptr.offset(-(k as isize)) = map.read(ptr, k - 1);
+                }
+                if hi + r > n {
+                    *ptr.add(n - 1 + k) = map.read(ptr, n - k);
+                }
+            }
+        }
+    }
+}
+
+/// Construct halo row `dst_y` (a row index outside `[0, ny)`) from its
+/// fold source: copy the raw source row, then recompute the copy's x
+/// halos from its own (just copied) interior so the result does not
+/// depend on whether the source row's x halos were refreshed yet.
+///
+/// # Safety
+/// Same contract as [`refresh2`] for the rows involved.
+#[allow(clippy::too_many_arguments)]
+unsafe fn build_halo_row(
+    ptr: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    k: usize,
+    lo: bool,
+    r: usize,
+    b: Boundary,
+    map: &RowMap,
+) {
+    let dst_y = if lo {
+        -(k as isize)
+    } else {
+        (ny - 1 + k) as isize
+    };
+    copy_raw_row(ptr, rs, fold_src(ny, k, lo, b) as isize, dst_y);
+    refresh_row(ptr.offset(dst_y * rs as isize), nx, r, b, map);
+}
+
+/// Per-band [`refresh2`]: refresh the x halos of the rows a 2D band
+/// `[y0, y1)` reads (`[y0 - r, y1 + r) ∩ [0, ny)`) and construct the
+/// whole halo rows it touches (below when `y0 < r`, above when
+/// `y1 + r > ny`).
+///
+/// # Safety
+/// Same contract as [`refresh2`]; `y0 ≤ y1 ≤ ny`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn refresh2_band(
+    ptr: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    r: usize,
+    b: Boundary,
+    map: &RowMap,
+    y0: usize,
+    y1: usize,
+) {
+    if b.is_dirichlet() {
+        return;
+    }
+    for y in y0.saturating_sub(r)..(y1 + r).min(ny) {
+        refresh_row(ptr.add(y * rs), nx, r, b, map);
+    }
+    for k in 1..=r {
+        if y0 < r {
+            build_halo_row(ptr, rs, nx, ny, k, true, r, b, map);
+        }
+        if y1 + r > ny {
+            build_halo_row(ptr, rs, nx, ny, k, false, r, b, map);
+        }
+    }
+}
+
+/// Per-band [`refresh3`]: refresh the 2D halo frame of the planes a 3D
+/// band `[z0, z1)` reads (`[z0 - r, z1 + r) ∩ [0, nz)`) and construct
+/// the whole halo planes it touches. Halo planes are built as raw copies
+/// of their fold-source plane followed by a local 2D frame refresh of
+/// the copy, mirroring [`build_halo_row`].
+///
+/// # Safety
+/// Same contract as [`refresh3`]; `z0 ≤ z1 ≤ nz`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn refresh3_band(
+    ptr: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    r: usize,
+    b: Boundary,
+    map: &RowMap,
+    z0: usize,
+    z1: usize,
+) {
+    if b.is_dirichlet() {
+        return;
+    }
+    for z in z0.saturating_sub(r)..(z1 + r).min(nz) {
+        refresh2(ptr.add(z * ps), rs, nx, ny, r, b, map);
+    }
+    let row0 = -(HALO_PAD as isize);
+    let len = ny * rs + HALO_PAD; // rows [0, ny) plus the leading pad
+    for k in 1..=r {
+        for (dst_z, lo) in [(-(k as isize), true), ((nz - 1 + k) as isize, false)] {
+            if (lo && z0 >= r) || (!lo && z1 + r <= nz) {
+                continue;
+            }
+            let src_z = fold_src(nz, k, lo, b) as isize;
+            let src = ptr.offset(src_z * ps as isize + row0);
+            let dst = ptr.offset(dst_z * ps as isize + row0);
+            std::ptr::copy_nonoverlapping(src, dst, len);
+            // Rebuild the copied plane's own 2D halo frame locally from
+            // its interior so nothing depends on the source plane's
+            // refresh having happened.
+            refresh2(ptr.offset(dst_z * ps as isize), rs, nx, ny, r, b, map);
         }
     }
 }

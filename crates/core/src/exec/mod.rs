@@ -276,17 +276,68 @@ pub enum PlanError {
     /// A runtime stencil description was invalid (see
     /// [`SpecError`](crate::spec::SpecError)).
     Spec(crate::spec::SpecError),
-    /// The requested [`Boundary`] cannot run in this configuration:
-    /// non-Dirichlet boundaries need a per-step global halo refresh,
-    /// which temporal tiling cannot interleave (see
-    /// [`halo`] module docs), and the wrap/mirror folds
-    /// need every interior extent ≥ the stencil radius.
+    /// The requested [`Boundary`] cannot run in this configuration; the
+    /// [`BoundaryReason`] says which restriction fired.
     Boundary {
         /// The boundary condition that was requested.
         boundary: Boundary,
-        /// Why it cannot run here.
-        reason: String,
+        /// Which restriction rejected it.
+        reason: BoundaryReason,
     },
+}
+
+/// Which restriction rejected a non-Dirichlet [`Boundary`] (the payload
+/// of [`PlanError::Boundary`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundaryReason {
+    /// Temporal tiling advances cells to different time levels within a
+    /// chunk, so the per-step halo refresh cannot be interleaved (see
+    /// [`halo`] module docs).
+    TemporalTiling {
+        /// The tiling framework that was requested.
+        tiling: &'static str,
+    },
+    /// A wrap/mirror fold would reach past the far wall: every interior
+    /// extent must be ≥ the stencil radius.
+    ExtentBelowRadius {
+        /// Which axis (0 = x) is too small.
+        axis: usize,
+        /// That axis's interior extent.
+        extent: usize,
+        /// The stencil radius.
+        radius: usize,
+    },
+    /// The legacy `run*` free functions pin the paper's constant-halo
+    /// Dirichlet semantics and never refresh.
+    LegacySurface,
+}
+
+impl std::fmt::Display for BoundaryReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundaryReason::TemporalTiling { tiling } => write!(
+                f,
+                "{tiling} tiling advances cells to different time levels within a chunk, so \
+                 the per-step global halo refresh cannot be interleaved (only constant \
+                 Dirichlet halos compose with temporal tiling)"
+            ),
+            BoundaryReason::ExtentBelowRadius {
+                axis,
+                extent,
+                radius,
+            } => write!(
+                f,
+                "axis {axis} extent {extent} is smaller than the stencil radius {radius}; \
+                 the wrap/mirror halo folds need every extent ≥ the radius"
+            ),
+            BoundaryReason::LegacySurface => write!(
+                f,
+                "the legacy run* functions pin the paper's constant-halo Dirichlet \
+                 semantics; compile a Plan (Plan::stencil / Plan::boundary) to run \
+                 refreshed boundaries"
+            ),
+        }
+    }
 }
 
 impl From<crate::spec::SpecError> for PlanError {
@@ -484,22 +535,20 @@ impl Plan {
         if !matches!(self.tiling, Tiling::None) {
             return Err(PlanError::Boundary {
                 boundary,
-                reason: format!(
-                    "{} tiling advances cells to different time levels within a chunk, so \
-                     the per-step global halo refresh cannot be interleaved (only constant \
-                     Dirichlet halos compose with temporal tiling)",
-                    self.tiling.name()
-                ),
+                reason: BoundaryReason::TemporalTiling {
+                    tiling: self.tiling.name(),
+                },
             });
         }
         for (axis, &n) in self.shape.dims[..ndim].iter().enumerate() {
             if n < r {
                 return Err(PlanError::Boundary {
                     boundary,
-                    reason: format!(
-                        "axis {axis} extent {n} is smaller than the stencil radius {r}; \
-                         the wrap/mirror halo folds need every extent ≥ the radius"
-                    ),
+                    reason: BoundaryReason::ExtentBelowRadius {
+                        axis,
+                        extent: n,
+                        radius: r,
+                    },
                 });
             }
         }
@@ -827,11 +876,14 @@ impl<S: Star1> Session1<'_, S> {
         match self.plan.cfg.tiling {
             Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
             Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
-            // Non-Dirichlet: refresh the source halos, then take exactly
-            // one step, t times. The k = 2 fused pass keeps intermediate
-            // boundary cells in registers where no refresh can reach
-            // them, so `TransLayout2` naturally degrades to k = 1
-            // stepping here (the same thing its parallel path does).
+            // Non-Dirichlet TL2 keeps the fused k = 2 pass: the t+1 halo
+            // values the second step needs are the folds of edge-interior
+            // cells the kernel itself computes, staged in registers (see
+            // `kernels::tl2::star1_tl2_wide`). Other methods refresh the
+            // source halos and take exactly one step, t times.
+            Tiling::None if self.plan.cfg.method == Method::TransLayout2 => {
+                self.run_fused_refreshed(t)
+            }
             Tiling::None => {
                 for _ in 0..t {
                     self.refresh_boundary();
@@ -863,6 +915,36 @@ impl<S: Star1> Session1<'_, S> {
         // SAFETY: ptr spans the interior plus HALO_PAD on both sides and
         // n ≥ S::R was validated at plan build.
         unsafe { halo::refresh1(ptr, n, S::R, boundary, &map) };
+    }
+
+    /// Non-Dirichlet `TransLayout2`: refresh the halos to the current
+    /// time level, then run the fused k = 2 pass with register-staged
+    /// t+1 halo values — two steps per memory round-trip, matching the
+    /// Dirichlet fast path. Odd steps (and degenerate set counts) fall
+    /// back to refreshed k = 1 stepping.
+    fn run_fused_refreshed(&mut self, t: usize) {
+        let Cfg { isa, boundary, .. } = self.plan.cfg;
+        let s = self.plan.stencil;
+        let n = self.g.n();
+        let nsets = SetGeo::new(n, isa.lanes()).nsets;
+        let pairs = if nsets >= 2 { t / 2 } else { 0 };
+        // Derived once: at L1 sizes the fused pair is a few µs, so the
+        // per-pair constant work has to stay tiny to hold the ≤10%
+        // boundary-parity budget.
+        let map = halo::RowMap::for_method(Method::TransLayout2, isa, n);
+        let gp = self.g.ptr_mut();
+        for _ in 0..pairs {
+            // SAFETY: gp spans the interior plus HALO_PAD on both sides
+            // and n ≥ S::R was validated at plan build.
+            unsafe {
+                halo::refresh1(gp, n, S::R, boundary, &map);
+                isa_entry::star1_tl2_wide::<S>(isa, gp, n, boundary, &s);
+            }
+        }
+        for _ in 0..t - 2 * pairs {
+            self.refresh_boundary();
+            self.run_untiled(1);
+        }
     }
 
     /// Domain-decomposed stepping on the plan's pool (untiled plans with
@@ -1082,7 +1164,7 @@ impl<S: Star1> Drop for Session1<'_, S> {
 macro_rules! plan2_impl {
     ($(#[$doc:meta])* $Plan:ident, $Session:ident, $bound:ident,
      $scalar_k:ident, $orig_k:ident, $dlt_k:ident, $tl_e:ident, $tl2_e:ident,
-     $tess_drive:ident, $split_drive:ident) => {
+     $tl2_wide_e:ident, $tess_drive:ident, $split_drive:ident) => {
         $(#[$doc])*
         ///
         /// Owns every buffer the method needs (ping-pong scratch, DLT
@@ -1183,13 +1265,15 @@ macro_rules! plan2_impl {
                         self.ensure_scratch(g);
                         // The k = 2 ring only serves the sequential fused
                         // pass; parallel untiled stepping ping-pongs.
-                        // (Non-Dirichlet plans never run the fused
-                        // pass — they step k = 1 with a halo refresh in
-                        // between — so they skip the ring too.)
+                        // Non-Dirichlet plans run the fused pass too when
+                        // the grid's halo is wide enough to stage the t+1
+                        // halo rows (see `kernels::tl2`'s wide section);
+                        // narrower halos step k = 1 with a refresh in
+                        // between and skip the ring.
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
                             && self.cfg.threads == 1
-                            && self.cfg.boundary.is_dirichlet()
+                            && (self.cfg.boundary.is_dirichlet() || g.ry() >= 2 * S::R)
                         {
                             self.ensure_ring(g);
                         }
@@ -1220,9 +1304,16 @@ macro_rules! plan2_impl {
                 match self.plan.cfg.tiling {
                     Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
                     Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
-                    // Non-Dirichlet: refresh + one step, t times; the
-                    // fused k = 2 pass degrades to k = 1 (see
-                    // [`Session1::run`]).
+                    // Non-Dirichlet TL2 on a wide-halo grid keeps the
+                    // fused k = 2 pass (t+1 halo rows staged in the
+                    // outer halo — see `kernels::tl2`); otherwise
+                    // refresh + one step, t times.
+                    Tiling::None
+                        if self.plan.cfg.method == Method::TransLayout2
+                            && self.g.ry() >= 2 * S::R =>
+                    {
+                        self.run_fused_refreshed(t)
+                    }
                     Tiling::None => {
                         for _ in 0..t {
                             self.refresh_boundary();
@@ -1231,6 +1322,33 @@ macro_rules! plan2_impl {
                     }
                     Tiling::Tessellate { w, h, .. } => self.run_tessellate(w[0], w[1], h, t),
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            /// Non-Dirichlet `TransLayout2` on a wide-halo grid: refresh
+            /// the (inner) halo frame to the current time level, then run
+            /// the fused k = 2 pass, which stages the t+1 halo rows in
+            /// the outer half of the `2R`-wide halo — two steps per
+            /// memory round-trip, matching the Dirichlet fast path.
+            fn run_fused_refreshed(&mut self, t: usize) {
+                let Cfg { isa, boundary, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
+                let map = halo::RowMap::for_method(Method::TransLayout2, isa, nx);
+                for _ in 0..t / 2 {
+                    self.refresh_boundary();
+                    let ring = self.plan.ring.as_mut().expect("ring");
+                    let ring = unsafe { halo::ring2_origin(ring.as_mut_ptr()) };
+                    let gp = self.g.ptr_mut();
+                    unsafe {
+                        isa_entry::$tl2_wide_e::<S>(
+                            isa, gp, rs, nx, ny, ring, boundary, &map, &s,
+                        )
+                    };
+                }
+                if t % 2 == 1 {
+                    self.refresh_boundary();
+                    self.tl_k1_steps(1);
                 }
             }
 
@@ -1459,13 +1577,13 @@ plan2_impl!(
     /// Compiled execution plan for a 2D star stencil.
     Plan2Star, Session2Star, Star2,
     star2_range, star2_orig, star2_dlt, star2_tl, star2_tl2,
-    drive2_star, drive2_star
+    star2_tl2_wide, drive2_star, drive2_star
 );
 plan2_impl!(
     /// Compiled execution plan for a 2D box stencil.
     Plan2Box, Session2Box, Box2,
     box2_range, box2_orig, box2_dlt, box2_tl, box2_tl2,
-    drive2_box, drive2_box
+    box2_tl2_wide, drive2_box, drive2_box
 );
 
 // ---------------------------------------------------------------------------
@@ -1475,7 +1593,7 @@ plan2_impl!(
 macro_rules! plan3_impl {
     ($(#[$doc:meta])* $Plan:ident, $Session:ident, $bound:ident,
      $scalar_k:ident, $orig_k:ident, $dlt_k:ident, $tl_e:ident, $tl2_e:ident,
-     $tess_drive:ident, $split_drive:ident) => {
+     $tl2_wide_e:ident, $tess_drive:ident, $split_drive:ident) => {
         $(#[$doc])*
         ///
         /// Owns every buffer the method needs (ping-pong scratch, DLT
@@ -1577,13 +1695,15 @@ macro_rules! plan3_impl {
                         self.ensure_scratch(g);
                         // The k = 2 ring only serves the sequential fused
                         // pass; parallel untiled stepping ping-pongs.
-                        // (Non-Dirichlet plans never run the fused
-                        // pass — see the 2D macro — so they skip the
-                        // ring too.)
+                        // Non-Dirichlet plans run the fused pass too when
+                        // the grid's halo is wide enough to stage the t+1
+                        // halo planes (see `kernels::tl2`'s wide
+                        // section); narrower halos step k = 1 with a
+                        // refresh in between and skip the ring.
                         if self.cfg.method == Method::TransLayout2
                             && self.cfg.tiling == Tiling::None
                             && self.cfg.threads == 1
-                            && self.cfg.boundary.is_dirichlet()
+                            && (self.cfg.boundary.is_dirichlet() || g.r() >= 2 * S::R)
                         {
                             self.ensure_ring(g);
                         }
@@ -1614,9 +1734,16 @@ macro_rules! plan3_impl {
                 match self.plan.cfg.tiling {
                     Tiling::None if self.plan.cfg.threads > 1 => self.run_parallel(t),
                     Tiling::None if self.plan.cfg.boundary.is_dirichlet() => self.run_untiled(t),
-                    // Non-Dirichlet: refresh + one step, t times; the
-                    // fused k = 2 pass degrades to k = 1 (see
-                    // [`Session1::run`]).
+                    // Non-Dirichlet TL2 on a wide-halo grid keeps the
+                    // fused k = 2 pass (t+1 halo planes staged in the
+                    // outer halo — see `kernels::tl2`); otherwise
+                    // refresh + one step, t times.
+                    Tiling::None
+                        if self.plan.cfg.method == Method::TransLayout2
+                            && self.g.r() >= 2 * S::R =>
+                    {
+                        self.run_fused_refreshed(t)
+                    }
                     Tiling::None => {
                         for _ in 0..t {
                             self.refresh_boundary();
@@ -1627,6 +1754,34 @@ macro_rules! plan3_impl {
                         self.run_tessellate(w[0], w[1], w[2], h, t)
                     }
                     Tiling::Split { w, h, .. } => self.run_split(w, h, t),
+                }
+            }
+
+            /// Non-Dirichlet `TransLayout2` on a wide-halo grid: refresh
+            /// the (inner) halo shell to the current time level, then run
+            /// the fused k = 2 pass, which stages the t+1 halo planes in
+            /// the outer half of the `2R`-wide halo — two steps per
+            /// memory round-trip, matching the Dirichlet fast path.
+            fn run_fused_refreshed(&mut self, t: usize) {
+                let Cfg { isa, boundary, .. } = self.plan.cfg;
+                let s = self.plan.stencil;
+                let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
+                let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
+                let map = halo::RowMap::for_method(Method::TransLayout2, isa, nx);
+                for _ in 0..t / 2 {
+                    self.refresh_boundary();
+                    let ring = self.plan.ring.as_mut().expect("ring");
+                    let ring = unsafe { halo::ring3_origin(ring.as_mut_ptr(), S::R, rs) };
+                    let gp = self.g.ptr_mut();
+                    unsafe {
+                        isa_entry::$tl2_wide_e::<S>(
+                            isa, gp, rs, ps, nx, ny, nz, ring, boundary, &map, &s,
+                        )
+                    };
+                }
+                if t % 2 == 1 {
+                    self.refresh_boundary();
+                    self.tl_k1_steps(1);
                 }
             }
 
@@ -1872,13 +2027,13 @@ plan3_impl!(
     /// Compiled execution plan for a 3D star stencil.
     Plan3Star, Session3Star, Star3,
     star3_range, star3_orig, star3_dlt, star3_tl, star3_tl2,
-    drive3_star, drive3_star
+    star3_tl2_wide, drive3_star, drive3_star
 );
 plan3_impl!(
     /// Compiled execution plan for a 3D box stencil.
     Plan3Box, Session3Box, Box3,
     box3_range, box3_orig, box3_dlt, box3_tl, box3_tl2,
-    drive3_box, drive3_box
+    box3_tl2_wide, drive3_box, drive3_box
 );
 
 #[cfg(test)]

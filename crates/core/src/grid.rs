@@ -571,12 +571,28 @@ impl AnyGrid {
         Ok(())
     }
 
+    /// The halo width (rows/planes per side) a spec-derived grid is
+    /// allocated with: the stencil radius under Dirichlet, and **twice**
+    /// the radius for the refreshed (periodic/reflect) modes — the outer
+    /// half stages the t+1 halo level so `TransLayout2` sessions keep
+    /// their fused k = 2 pass (see `exec::halo`). The extra rows cost
+    /// O(surface) memory and are invisible to every other method.
+    fn spec_halo_r(spec: &StencilSpec) -> usize {
+        if spec.boundary().is_dirichlet() {
+            spec.radius()
+        } else {
+            2 * spec.radius()
+        }
+    }
+
     /// Halo-aware [`AnyGrid::from_fn`]: derive the halo geometry and fill
     /// from a [`StencilSpec`] instead of hand-passing them — the halo is
-    /// `spec.radius()` rows/planes wide, filled with the boundary's
-    /// constant ([`Boundary::halo_fill`]), and the shape is checked
-    /// against the spec (dimensionality, and extents ≥ radius for the
-    /// folded boundary modes).
+    /// `spec.radius()` rows/planes wide under Dirichlet (twice that for
+    /// the refreshed boundary modes, whose fused fast path stages the
+    /// next time level there), filled with the boundary's constant
+    /// ([`Boundary::halo_fill`]), and the shape is checked against the
+    /// spec (dimensionality, and extents ≥ radius for the folded
+    /// boundary modes).
     ///
     /// ```
     /// use stencil_core::exec::{Boundary, Shape};
@@ -603,7 +619,7 @@ impl AnyGrid {
         Self::check_spec(shape, spec)?;
         Ok(Self::from_fn(
             shape,
-            spec.radius(),
+            Self::spec_halo_r(spec),
             spec.boundary().halo_fill(),
             f,
         ))
@@ -618,7 +634,12 @@ impl AnyGrid {
         data: Vec<f64>,
     ) -> Result<AnyGrid, GridDataError> {
         Self::check_spec(shape, spec)?;
-        Self::from_vec(shape, spec.radius(), spec.boundary().halo_fill(), data)
+        Self::from_vec(
+            shape,
+            Self::spec_halo_r(spec),
+            spec.boundary().halo_fill(),
+            data,
+        )
     }
 
     /// Number of spatial dimensions (1–3).
@@ -779,12 +800,19 @@ mod tests {
     fn spec_aware_constructors_check_shape_and_boundary() {
         let spec: StencilSpec = "2d5p@periodic".parse().unwrap();
 
-        // Happy path: halo width = radius, fill = the boundary constant.
+        // Happy path: refreshed boundaries get the wide (2×radius) halo
+        // that stages the fused pass's t+1 level; fill = the boundary
+        // constant.
         let g =
             AnyGrid::from_fn_spec(Shape::d2(12, 7), &spec, |_, y, x| (y * 100 + x) as f64).unwrap();
         let g2 = g.as_grid2().unwrap();
-        assert_eq!(g2.ry(), spec.radius());
+        assert_eq!(g2.ry(), 2 * spec.radius());
         assert_eq!(g2.get(-1, 0), 0.0, "halo filled with the boundary constant");
+
+        // Dirichlet keeps the tight radius-wide halo.
+        let tight: StencilSpec = "2d5p".parse().unwrap();
+        let g = AnyGrid::from_fn_spec(Shape::d2(12, 7), &tight, |_, _, _| 0.0).unwrap();
+        assert_eq!(g.as_grid2().unwrap().ry(), tight.radius());
 
         // Dirichlet fill value flows from the spec's boundary.
         let d: StencilSpec = "2d5p@dirichlet(2.5)".parse().unwrap();

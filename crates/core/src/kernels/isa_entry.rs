@@ -16,6 +16,7 @@ use stencil_simd::Isa;
 use stencil_simd::{F64x4, F64x8};
 
 use super::{tl, tl2};
+use crate::exec::halo::{Boundary, RowMap};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 
 macro_rules! isa_entry {
@@ -118,6 +119,35 @@ isa_entry!(
     box3_tl2, Box3, tl2::box3_tl2,
     fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
        ring: *mut f64, s: &S)
+);
+isa_entry!(
+    /// [`tl2::star1_tl2_wide`] behind a per-ISA feature entry.
+    star1_tl2_wide, Star1, tl2::star1_tl2_wide,
+    fn(buf: *mut f64, n: usize, b: Boundary, s: &S)
+);
+isa_entry!(
+    /// [`tl2::star2_tl2_wide`] behind a per-ISA feature entry.
+    star2_tl2_wide, Star2, tl2::star2_tl2_wide,
+    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64,
+       b: Boundary, map: &RowMap, s: &S)
+);
+isa_entry!(
+    /// [`tl2::box2_tl2_wide`] behind a per-ISA feature entry.
+    box2_tl2_wide, Box2, tl2::box2_tl2_wide,
+    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64,
+       b: Boundary, map: &RowMap, s: &S)
+);
+isa_entry!(
+    /// [`tl2::star3_tl2_wide`] behind a per-ISA feature entry.
+    star3_tl2_wide, Star3, tl2::star3_tl2_wide,
+    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut f64, b: Boundary, map: &RowMap, s: &S)
+);
+isa_entry!(
+    /// [`tl2::box3_tl2_wide`] behind a per-ISA feature entry.
+    box3_tl2_wide, Box3, tl2::box3_tl2_wide,
+    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut f64, b: Boundary, map: &RowMap, s: &S)
 );
 
 /// Sanity: the macro's portable fallback uses lane width to pick the

@@ -26,6 +26,7 @@ use super::orig::splat_w;
 use super::tl::{
     box2_row_tl, box3_row_tl, box3_rows, row_nbrs, star2_row_tl, star3_row_tl, xpart_set,
 };
+use crate::exec::halo::{fold_src, refresh2, refresh_row, Boundary, RowMap};
 use crate::grid::HALO_PAD;
 use crate::layout::{tl_read, SetGeo};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
@@ -90,6 +91,37 @@ unsafe fn update_set<V: SimdF64>(
 /// back to two k=1 steps below that); `S::R ≤ V::LANES`.
 #[inline(always)]
 pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
+    // Dirichlet halos are time-invariant: the halo cells' values in
+    // memory serve as their own t+1 level.
+    let r = S::R;
+    let cbuf = buf as *const f64;
+    let mut lt1 = [0.0f64; MAX_R];
+    let mut rt1 = [0.0f64; MAX_R];
+    for q in 0..r {
+        lt1[q] = *cbuf.offset(q as isize - r as isize);
+        rt1[q] = *cbuf.add(n + q);
+    }
+    star1_tl2_edges::<V, S>(buf, n, &lt1, &rt1, s)
+}
+
+/// [`star1_tl2`] with explicit **t+1 halo values**: `lt1[q]` is halo cell
+/// `q - R` and `rt1[q]` halo cell `n + q`, both at time `t+1`. The first
+/// (t → t+1) step still reads the halo cells from memory at time `t`; the
+/// second step's halo dependences come from these arrays — which is what
+/// lets a refreshed (periodic/reflect) boundary run the fused pass: the
+/// caller refreshes memory to time `t` and precomputes the folds of the
+/// edge-interior cells at `t+1` (see [`star1_tl2_wide`]).
+///
+/// # Safety
+/// As [`star1_tl2`].
+#[inline(always)]
+pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
+    buf: *mut f64,
+    n: usize,
+    lt1: &[f64; MAX_R],
+    rt1: &[f64; MAX_R],
+    s: &S,
+) {
     let l = V::LANES;
     let r = S::R;
     let geo = SetGeo::new(n, l);
@@ -100,8 +132,7 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
     let cbuf = buf as *const f64;
     let w = s.w();
 
-    // Virtual "set -1 last vectors": lane l-1 = halo cell A[-(r-q)];
-    // Dirichlet halos are time-invariant so these serve both levels.
+    // Virtual "set -1 last vectors" @ t: lane l-1 = halo cell A[-(r-q)].
     let mut halo_virt = [V::splat(0.0); MAX_R];
     for q in 0..r {
         halo_virt[q] = V::splat(*cbuf.offset(q as isize - r as isize));
@@ -112,7 +143,10 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
     let mut vs2 = load_set::<V>(cbuf, 1);
     let mut vrl1 = last_r(&vs1, r); // set 0 @ t
     update_set(&mut vs1, &halo_virt, &first_r(&vs2, r), &wv, r); // set 0 → t+1
-    let mut vrl0 = halo_virt; // "set -1" @ t+1
+    let mut vrl0 = [V::splat(0.0); MAX_R]; // "set -1" @ t+1
+    for q in 0..r {
+        vrl0[q] = V::splat(lt1[q]);
+    }
 
     // Steady state (Algorithm 1 lines 15–26): load set m, forward the two
     // in-flight sets, store the set that reached t+2.
@@ -183,7 +217,7 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
         rt_t1[q] = V::splat(if q < tail_len {
             tail_t1[q]
         } else {
-            *cbuf.add(ts + q)
+            rt1[q - tail_len]
         });
     }
     update_set(&mut vs2, &vrl1_new, &rt_t1, &wv, r);
@@ -195,7 +229,7 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
         ext_t1[..r].copy_from_slice(&left_t1[..r]);
         ext_t1[r..r + tail_len].copy_from_slice(&tail_t1[..tail_len]);
         for q in 0..r {
-            ext_t1[r + tail_len + q] = *cbuf.add(n + q); // halo, constant
+            ext_t1[r + tail_len + q] = rt1[q];
         }
         for i in 0..tail_len {
             let mut acc = w[0] * ext_t1[i];
@@ -536,6 +570,389 @@ pub unsafe fn box3_tl2<V: SimdF64, S: Box3>(
                     let zz = tz as isize + dz as isize - r as isize;
                     let plane = if zz < 0 || zz >= nz as isize {
                         buf.offset(zz * ps as isize) as *const f64 // constant halo plane
+                    } else {
+                        ring.add((zz as usize % nr) * ps) as *const f64
+                    };
+                    for dy in 0..w {
+                        let yy = y as isize + dy as isize - r as isize;
+                        rows[dz * w + dy] = plane.offset(yy * rs as isize);
+                    }
+                }
+                box3_row_tl::<V, S>(&rows, buf.add(tz * ps + y * rs), nx, 0, nx, s);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wide-halo fused kernels: k = 2 under refreshed (periodic / reflect)
+// boundaries
+// ---------------------------------------------------------------------------
+//
+// The Dirichlet kernels above read halo cells at *both* time levels and
+// rely on them being constant. A refreshed boundary's halo cells change
+// every step, so the fused pass needs the t+1 halo level from somewhere.
+// The key identity: a refreshed halo cell at t+1 is a *bit-copy* (fold)
+// of an interior cell at t+1 — never a stencil application at the halo
+// position (reflect would pair the weights in reversed order and lose
+// bit-equality with two k = 1 steps). So the wide kernels compute the
+// fold-source interior cells at t+1 first, in the kernels' canonical
+// accumulation order, and stage the folds where the second step reads
+// them:
+//
+// * 1D keeps them in scalars/registers (`star1_tl2_edges`) — the memory
+//   halo layout is untouched.
+// * 2D/3D stage whole t+1 halo rows/planes in the **outer half of a
+//   2R-wide halo**: halo row `-k` at t+1 lives at raw row `-(R+k)`, row
+//   `ny-1+k` at `ny-1+R+k` (same for z planes). The t-level pass reads
+//   ghost distance ≤ R only, so the staging never aliases it. Grids for
+//   refreshed boundaries are allocated with the wide halo (see
+//   `AnyGrid::from_fn_spec`).
+//
+// Callers refresh the (inner) halo to time t before invoking, exactly as
+// for a k = 1 step.
+
+/// [`star1_tl2`] under a refreshed boundary: precompute the t+1 values of
+/// the fold-source edge cells and feed their folds to the second step via
+/// [`star1_tl2_edges`]. No wide memory halo is needed in 1D.
+///
+/// # Safety
+/// As [`star1_tl2`]; additionally the halo cells hold time-`t` values
+/// (caller refreshed them) and `b` is not Dirichlet.
+#[inline(always)]
+pub unsafe fn star1_tl2_wide<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, b: Boundary, s: &S) {
+    let r = S::R;
+    let geo = SetGeo::new(n, V::LANES);
+    let cbuf = buf as *const f64;
+    let w = s.w();
+    // Edge-interior cells at t+1, scalar in the canonical accumulation
+    // order — bit-identical to the value the vector pipeline stores.
+    let cell_t1 = |i: usize| -> f64 {
+        let base = i as isize - r as isize;
+        let mut acc = w[0] * tl_read(cbuf, base, &geo);
+        for o in 1..=2 * r {
+            acc = tl_read(cbuf, base + o as isize, &geo).mul_add(w[o], acc);
+        }
+        acc
+    };
+    let mut lo_t1 = [0.0f64; MAX_R]; // cells 0..r @ t+1
+    let mut hi_t1 = [0.0f64; MAX_R]; // cells n-r..n @ t+1
+    for m in 0..r {
+        lo_t1[m] = cell_t1(m);
+        hi_t1[m] = cell_t1(n - r + m);
+    }
+    // Fold into the t+1 halo values star1_tl2_edges consumes: halo cell
+    // q - R is lt1[q], halo cell n + q is rt1[q].
+    let edge = |src: usize| {
+        if src < r {
+            lo_t1[src]
+        } else {
+            hi_t1[src - (n - r)]
+        }
+    };
+    let mut lt1 = [0.0f64; MAX_R];
+    let mut rt1 = [0.0f64; MAX_R];
+    for k in 1..=r {
+        lt1[r - k] = edge(fold_src(n, k, true, b));
+        rt1[k - 1] = edge(fold_src(n, k, false, b));
+    }
+    star1_tl2_edges::<V, S>(buf, n, &lt1, &rt1, s)
+}
+
+/// [`star2_tl2`] under a refreshed boundary on a **wide-halo** grid
+/// (`ry ≥ 2R`): advance the fold-source rows to t+1 into the outer halo
+/// ring first, then run the usual row-ring pipeline with the second
+/// step's out-of-range row reads redirected to the staged rows.
+///
+/// # Safety
+/// As [`star2_tl2`], plus: the grid has at least `2R` halo rows per side;
+/// the inner halo frame holds time-`t` values (caller ran `refresh2`);
+/// `b` is not Dirichlet; `map` matches the row layout.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star2_tl2_wide<V: SimdF64, S: Star2>(
+    buf: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    ring: *mut f64,
+    b: Boundary,
+    map: &RowMap,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    // Boot: halo row -k @ t+1 staged at raw row -(R+k), row ny-1+k @ t+1
+    // at raw row ny-1+R+k — the fold-source row advanced one step, then
+    // x-folded in place. The t-level pass below reads ghost distance ≤ R
+    // only, so the staging rows are invisible to it.
+    for k in 1..=r {
+        for lo in [true, false] {
+            let sy = fold_src(ny, k, lo, b) as isize;
+            let dy = if lo {
+                -((r + k) as isize)
+            } else {
+                (ny - 1 + r + k) as isize
+            };
+            let c = buf.offset(sy * rs as isize) as *const f64;
+            let dst = buf.offset(dy * rs as isize);
+            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            star2_row_tl::<V, S>(c, &ym, &yp, dst, nx, 0, nx, s);
+            refresh_row(dst, nx, r, b, map);
+        }
+    }
+    for y in 0..ny + r {
+        if y < ny {
+            // ring[y] = row y @ t+1; its x halos are folds of its own
+            // just-computed interior (not copies of the t-level pads).
+            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let dstrow = ring.add((y % nr) * rs);
+            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            star2_row_tl::<V, S>(c, &ym, &yp, dstrow, nx, 0, nx, s);
+            refresh_row(dstrow, nx, r, b, map);
+        }
+        if y >= r {
+            // main[ty] = row ty @ t+2 from t+1 rows (ring or staged halo)
+            let ty = y - r;
+            let c = ring.add((ty % nr) * rs) as *const f64;
+            let mut ym = [c; MAX_R];
+            let mut yp = [c; MAX_R];
+            for d in 1..=r {
+                let up = ty as isize - d as isize;
+                ym[d - 1] = if up < 0 {
+                    buf.offset((up - r as isize) * rs as isize) as *const f64
+                } else {
+                    ring.add((up as usize % nr) * rs) as *const f64
+                };
+                let dn = ty + d;
+                yp[d - 1] = if dn >= ny {
+                    buf.add((dn + r) * rs) as *const f64
+                } else {
+                    ring.add((dn % nr) * rs) as *const f64
+                };
+            }
+            star2_row_tl::<V, S>(c, &ym, &yp, buf.add(ty * rs), nx, 0, nx, s);
+        }
+    }
+}
+
+/// [`box2_tl2`] under a refreshed boundary on a wide-halo grid.
+///
+/// # Safety
+/// As [`star2_tl2_wide`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
+    buf: *mut f64,
+    rs: usize,
+    nx: usize,
+    ny: usize,
+    ring: *mut f64,
+    b: Boundary,
+    map: &RowMap,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for k in 1..=r {
+        for lo in [true, false] {
+            let sy = fold_src(ny, k, lo, b) as isize;
+            let dy = if lo {
+                -((r + k) as isize)
+            } else {
+                (ny - 1 + r + k) as isize
+            };
+            let dst = buf.offset(dy * rs as isize);
+            let mut rows = [buf as *const f64; 5];
+            for (j, row) in rows.iter_mut().enumerate().take(nr) {
+                *row = buf.offset((sy + j as isize - r as isize) * rs as isize);
+            }
+            box2_row_tl::<V, S>(&rows, dst, nx, 0, nx, s);
+            refresh_row(dst, nx, r, b, map);
+        }
+    }
+    for y in 0..ny + r {
+        if y < ny {
+            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let dstrow = ring.add((y % nr) * rs);
+            let mut rows = [c; 5];
+            for (j, row) in rows.iter_mut().enumerate().take(nr) {
+                *row = buf.offset((y as isize + j as isize - r as isize) * rs as isize);
+            }
+            box2_row_tl::<V, S>(&rows, dstrow, nx, 0, nx, s);
+            refresh_row(dstrow, nx, r, b, map);
+        }
+        if y >= r {
+            let ty = y - r;
+            let mut rows = [ring as *const f64; 5];
+            for (j, row) in rows.iter_mut().enumerate().take(nr) {
+                let yy = ty as isize + j as isize - r as isize;
+                *row = if yy < 0 {
+                    buf.offset((yy - r as isize) * rs as isize) as *const f64
+                } else if yy >= ny as isize {
+                    buf.offset((yy + r as isize) * rs as isize) as *const f64
+                } else {
+                    ring.add((yy as usize % nr) * rs) as *const f64
+                };
+            }
+            box2_row_tl::<V, S>(&rows, buf.add(ty * rs), nx, 0, nx, s);
+        }
+    }
+}
+
+/// [`star3_tl2`] under a refreshed boundary on a wide-halo grid
+/// (`r ≥ 2R` halo rows *and* planes): fold-source planes advance to t+1
+/// into the outer halo planes, each given its own 2D halo frame; the
+/// plane-ring pipeline then redirects out-of-range plane reads there.
+///
+/// # Safety
+/// As [`star3_tl2`], plus: the grid has at least `2R` halo rows and
+/// planes per side; the inner halo shell holds time-`t` values (caller
+/// ran `refresh3`); `b` is not Dirichlet; `map` matches the row layout.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn star3_tl2_wide<V: SimdF64, S: Star3>(
+    buf: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ring: *mut f64,
+    b: Boundary,
+    map: &RowMap,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for k in 1..=r {
+        for lo in [true, false] {
+            let sz = fold_src(nz, k, lo, b) as isize;
+            let dz = if lo {
+                -((r + k) as isize)
+            } else {
+                (nz - 1 + r + k) as isize
+            };
+            let cp = buf.offset(sz * ps as isize) as *const f64;
+            let dp = buf.offset(dz * ps as isize);
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, dp.add(y * rs), nx, 0, nx, s);
+            }
+            // The staged plane's own 2D halo frame at t+1, folded from
+            // its just-computed interior (per-axis composition).
+            refresh2(dp, rs, nx, ny, r, b, map);
+        }
+    }
+    for z in 0..nz + r {
+        if z < nz {
+            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let rp = ring.add((z % nr) * ps);
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, rp.add(y * rs), nx, 0, nx, s);
+            }
+            refresh2(rp, rs, nx, ny, r, b, map);
+        }
+        if z >= r {
+            let tz = z - r;
+            let cp = ring.add((tz % nr) * ps) as *const f64;
+            for y in 0..ny {
+                let c = cp.add(y * rs);
+                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let mut zm = [c; MAX_R];
+                let mut zp = [c; MAX_R];
+                for d in 1..=r {
+                    let up = tz as isize - d as isize;
+                    zm[d - 1] = if up < 0 {
+                        buf.offset((up - r as isize) * ps as isize).add(y * rs) as *const f64
+                    } else {
+                        ring.add((up as usize % nr) * ps + y * rs) as *const f64
+                    };
+                    let dn = tz + d;
+                    zp[d - 1] = if dn >= nz {
+                        buf.add((dn + r) * ps + y * rs) as *const f64
+                    } else {
+                        ring.add((dn % nr) * ps + y * rs) as *const f64
+                    };
+                }
+                star3_row_tl::<V, S>(
+                    c,
+                    &ym,
+                    &yp,
+                    &zm,
+                    &zp,
+                    buf.add(tz * ps + y * rs),
+                    nx,
+                    0,
+                    nx,
+                    s,
+                );
+            }
+        }
+    }
+}
+
+/// [`box3_tl2`] under a refreshed boundary on a wide-halo grid.
+///
+/// # Safety
+/// As [`star3_tl2_wide`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn box3_tl2_wide<V: SimdF64, S: Box3>(
+    buf: *mut f64,
+    rs: usize,
+    ps: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ring: *mut f64,
+    b: Boundary,
+    map: &RowMap,
+    s: &S,
+) {
+    let r = S::R;
+    let nr = 2 * r + 1;
+    for k in 1..=r {
+        for lo in [true, false] {
+            let sz = fold_src(nz, k, lo, b) as isize;
+            let dz = if lo {
+                -((r + k) as isize)
+            } else {
+                (nz - 1 + r + k) as isize
+            };
+            let dp = buf.offset(dz * ps as isize);
+            for y in 0..ny {
+                let rows = box3_rows(buf, rs, ps, sz, y as isize, r);
+                box3_row_tl::<V, S>(&rows, dp.add(y * rs), nx, 0, nx, s);
+            }
+            refresh2(dp, rs, nx, ny, r, b, map);
+        }
+    }
+    for z in 0..nz + r {
+        if z < nz {
+            let rp = ring.add((z % nr) * ps);
+            for y in 0..ny {
+                let rows = box3_rows(buf, rs, ps, z as isize, y as isize, r);
+                box3_row_tl::<V, S>(&rows, rp.add(y * rs), nx, 0, nx, s);
+            }
+            refresh2(rp, rs, nx, ny, r, b, map);
+        }
+        if z >= r {
+            let tz = z - r;
+            let w = 2 * r + 1;
+            for y in 0..ny {
+                let mut rows = [ring as *const f64; 9];
+                for dz in 0..w {
+                    let zz = tz as isize + dz as isize - r as isize;
+                    let plane = if zz < 0 {
+                        buf.offset((zz - r as isize) * ps as isize) as *const f64
+                    } else if zz >= nz as isize {
+                        buf.offset((zz + r as isize) * ps as isize) as *const f64
                     } else {
                         ring.add((zz as usize % nr) * ps) as *const f64
                     };

@@ -71,7 +71,8 @@ pub mod verify;
 
 pub use api::{run1_star1, run2_box, run2_star, run3_box, run3_star, run_spec, Method};
 pub use exec::{
-    AnyGridMut, Boundary, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape, Tiling,
+    AnyGridMut, Boundary, BoundaryReason, DynPlan, DynSession, Parallelism, Plan, PlanError, Shape,
+    Tiling,
 };
 pub use grid::{AnyGrid, Grid1, Grid2, Grid3, HALO_PAD};
 pub use layout::{DltGeo, SetGeo};

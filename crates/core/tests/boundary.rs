@@ -13,7 +13,7 @@
 //! consistent across reuse (2 × t ≡ 2t), and the legacy `run*` surface
 //! pins Dirichlet semantics.
 
-use stencil_core::exec::{Boundary, Parallelism, Plan, PlanError, Shape, Tiling};
+use stencil_core::exec::{Boundary, BoundaryReason, Parallelism, Plan, PlanError, Shape, Tiling};
 use stencil_core::grid::AnyGrid;
 use stencil_core::spec::{StencilShape, StencilSpec};
 use stencil_core::verify::max_abs_diff_ref;
@@ -295,6 +295,57 @@ fn oracle_across_isas() {
     }
 }
 
+#[test]
+fn fused_k2_matches_two_sequential_k1_steps() {
+    // The TL2 fused fast path needs a grid with 2r-wide halos (the outer
+    // half stages the t+1 level); a grid with the plain r-wide halo falls
+    // back to per-step k = 1 refreshes. Running the same plan over both
+    // allocations must agree to 0 ULP — the fused pass is two sequential
+    // k = 1 steps, bit for bit. Every method rides along (the extra halo
+    // rows must be inert for the non-fused paths), over non-divisible
+    // thread splits (137 = 7·19 + 4; ny = 13 over 7 bands) and both time
+    // parities (t = 4 exercises only fused pairs, t = 5 the trailing
+    // single step).
+    let isa = Isa::detect_best();
+    for name in ["1d3p", "1d5p", "2d5p", "2d9p", "3d7p", "3d27p"] {
+        for b in [Boundary::Periodic, Boundary::Reflect] {
+            let spec = name.parse::<StencilSpec>().unwrap().with_boundary(b);
+            let shape = shape_for(&spec);
+            let init = seeded(shape, 0xFACADE ^ spec.points() as u64);
+            for &method in &Method::ALL {
+                for par in [
+                    Parallelism::Off,
+                    Parallelism::Threads(2),
+                    Parallelism::Threads(7),
+                ] {
+                    for t in [4, 5] {
+                        let run = |g: &mut AnyGrid| {
+                            Plan::new(shape)
+                                .method(method)
+                                .isa(isa)
+                                .parallelism(par)
+                                .stencil(&spec)
+                                .unwrap()
+                                .run(g, t)
+                        };
+                        let mut wide = AnyGrid::from_vec_spec(shape, &spec, init.clone()).unwrap();
+                        let mut narrow =
+                            AnyGrid::from_vec(shape, spec.radius(), b.halo_fill(), init.clone())
+                                .unwrap();
+                        run(&mut wide);
+                        run(&mut narrow);
+                        assert_eq!(
+                            max_abs_diff_ref(&wide, &narrow.to_vec()),
+                            0.0,
+                            "{spec} {method} {par:?} t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Build-time contracts
 // ---------------------------------------------------------------------------
@@ -365,6 +416,102 @@ fn folds_reject_extents_below_the_radius() {
         .is_ok());
     // And exactly-radius extents are accepted.
     assert!(Plan::new(Shape::d1(2)).stencil(&spec).is_ok());
+}
+
+#[test]
+fn boundary_rejections_name_the_restriction() {
+    // Each PlanError::Boundary carries a structured BoundaryReason whose
+    // message says exactly which restriction fired — not a generic
+    // "cannot run here".
+    let tess = Tiling::Tessellate {
+        w: [128, 0, 0],
+        h: 8,
+        threads: 2,
+    };
+    let err = Plan::new(Shape::d1(1024))
+        .method(Method::TransLayout2)
+        .tiling(tess)
+        .boundary(Boundary::Periodic)
+        .star1(S1d3p::heat())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PlanError::Boundary {
+                reason: BoundaryReason::TemporalTiling {
+                    tiling: "tessellate"
+                },
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("tessellate tiling"), "{msg}");
+    assert!(
+        msg.contains("Dirichlet halos compose with temporal tiling"),
+        "{msg}"
+    );
+
+    let err = Plan::new(Shape::d1(1024))
+        .tiling(Tiling::Split {
+            w: 64,
+            h: 8,
+            threads: 2,
+        })
+        .boundary(Boundary::Reflect)
+        .star1(S1d3p::heat())
+        .unwrap_err();
+    assert!(err.to_string().contains("split tiling"), "{err}");
+
+    // The fold restriction names the axis, its extent, and the radius.
+    let r2 = StencilSpec::star2(&[0.1, 0.2, 0.4, 0.15, 0.15], &[0.12, 0.18, 0.0, 0.22, 0.08])
+        .unwrap()
+        .with_boundary(Boundary::Periodic);
+    let err = Plan::new(Shape::d2(64, 1)).stencil(&r2).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PlanError::Boundary {
+                boundary: Boundary::Periodic,
+                reason: BoundaryReason::ExtentBelowRadius {
+                    axis: 1,
+                    extent: 1,
+                    radius: 2
+                },
+            }
+        ),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("axis 1 extent 1 is smaller than the stencil radius 2"),
+        "{msg}"
+    );
+
+    // The legacy surface points at the Plan API.
+    let mut g = Grid1::from_fn(16, 0.0, |_| 0.0);
+    let err = run_spec(
+        Method::Scalar,
+        Isa::detect_best(),
+        &mut g,
+        &"1d3p@reflect".parse().unwrap(),
+        1,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PlanError::Boundary {
+                reason: BoundaryReason::LegacySurface,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("legacy run*"), "{msg}");
+    assert!(msg.contains("Plan::stencil"), "{msg}");
 }
 
 #[test]
