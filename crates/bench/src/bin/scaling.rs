@@ -1,9 +1,12 @@
-//! Scaling microbenchmark for the parallel domain-decomposition executor:
-//! untiled plans at `Parallelism::Off` vs `Parallelism::Threads(k)` across
-//! a thread axis, for a 1D, a 2D-star and a 3D-star workload — all
-//! compiled through the erased API ([`Plan::stencil`]), so the three
-//! workloads are one loop over [`StencilSpec`]s instead of three copies
-//! of the driver.
+//! Scaling microbenchmark for the parallel executors: plans at
+//! `Parallelism::Off` vs `Parallelism::Threads(k)` across a thread axis,
+//! for a 1D, a 2D-star and a 3D-star untiled workload plus a temporally
+//! tiled family (tessellation over multiple-loads vectorization, hybrid
+//! split over DLT) whose `off` baseline is the *tiled-sequential*
+//! schedule — so its speedup column isolates the wavefront scheduler.
+//! All workloads compile through the erased API ([`Plan::stencil`]), so
+//! the families are one loop over [`StencilSpec`]s instead of copies of
+//! the driver.
 //!
 //! Every parallel result is verified **bit-identical** to the scalar
 //! oracle before its time is reported — a speedup that changes bits is a
@@ -18,7 +21,7 @@
 
 use stencil_bench::save::{Row, Value};
 use stencil_bench::{any_grid, best_of, gflops, Cli, Scale};
-use stencil_core::exec::{Parallelism, Plan, Shape};
+use stencil_core::exec::{Parallelism, Plan, Shape, Tiling};
 use stencil_core::verify::max_abs_diff_any;
 use stencil_core::{Method, StencilSpec};
 use stencil_simd::Isa;
@@ -42,6 +45,10 @@ fn thread_axis(cli: &Cli) -> Vec<usize> {
     }
     v
 }
+
+/// One workload: name (boundary and tiling encoded in it), shape, step
+/// count, seed, method, and the temporal tiling (`None` = untiled).
+type Workload = (&'static str, Shape, usize, u64, Method, Option<Tiling>);
 
 struct Cell {
     workload: String,
@@ -123,8 +130,94 @@ fn main() {
         ]
     };
 
-    for &(name, shape, t, seed) in workloads {
-        let spec: StencilSpec = name.parse().expect("paper stencil name");
+    // The tiled family: temporal tiling under the wavefront scheduler,
+    // tiled-sequential (`off`) vs Threads(k) — the speedup column is the
+    // scheduler's contribution alone, since both sides run the identical
+    // tile decomposition. Like the untiled boundary rows, the boundary
+    // lives in the workload *name* (not a `boundary` field): a tiled
+    // schedule has no untiled Dirichlet sibling of matching identity, so
+    // the gate's parity pairing must not see these rows. The 2D shapes
+    // are the L2/L3-resident acceptance rows (~2 MB working set in
+    // smoke): tiled-parallel must beat tiled-sequential at 2 threads.
+    // Tile geometry follows fig9's tuning direction: wide tiles and a
+    // tall time chunk, so the per-tile scheduling cost amortizes over
+    // real temporal reuse while still leaving a 4x4 tile grid for the
+    // wavefront to distribute.
+    let tess = |wx: usize, wy: usize, h: usize| Tiling::Tessellate {
+        w: [wx, wy, 0],
+        h,
+        threads: 1,
+    };
+    let split = |w: usize, h: usize| Tiling::Split { w, h, threads: 1 };
+    let tiled: &[(&str, Shape, usize, u64, Method, Tiling)] = if smoke {
+        &[
+            (
+                "2d5p+tess",
+                Shape::d2(512, 256),
+                10,
+                46,
+                Method::MultiLoad,
+                tess(128, 64, 10),
+            ),
+            (
+                "2d5p@periodic+tess",
+                Shape::d2(512, 256),
+                10,
+                47,
+                Method::MultiLoad,
+                tess(128, 64, 10),
+            ),
+            (
+                "2d9p@reflect+split",
+                Shape::d2(512, 256),
+                10,
+                48,
+                Method::Dlt,
+                split(64, 10),
+            ),
+        ]
+    } else {
+        &[
+            (
+                "2d5p+tess",
+                Shape::d2(2_000, 1_000),
+                40,
+                46,
+                Method::MultiLoad,
+                tess(200, 200, 40),
+            ),
+            (
+                "2d5p@periodic+tess",
+                Shape::d2(2_000, 1_000),
+                40,
+                47,
+                Method::MultiLoad,
+                tess(200, 200, 40),
+            ),
+            (
+                "2d9p@reflect+split",
+                Shape::d2(2_000, 1_000),
+                40,
+                48,
+                Method::Dlt,
+                split(200, 40),
+            ),
+        ]
+    };
+
+    let all: Vec<Workload> = workloads
+        .iter()
+        .map(|&(n, s, t, sd)| (n, s, t, sd, Method::TransLayout, None))
+        .chain(
+            tiled
+                .iter()
+                .map(|&(n, s, t, sd, m, tl)| (n, s, t, sd, m, Some(tl))),
+        )
+        .collect();
+
+    for (name, shape, t, seed, method, tiling) in all {
+        let base = name.split('+').next().unwrap_or(name);
+        let spec: StencilSpec = base.parse().expect("paper stencil name");
         let waxis: &[usize] = if name.contains('@') { &[2, 7] } else { &axis };
         let init = any_grid(shape, spec.radius(), seed);
         let mut oracle = init.clone();
@@ -144,12 +237,11 @@ fn main() {
             } else {
                 Parallelism::Threads(k)
             };
-            let mut plan = Plan::new(shape)
-                .method(Method::TransLayout)
-                .isa(isa)
-                .parallelism(par)
-                .stencil(&spec)
-                .unwrap();
+            let mut plan = Plan::new(shape).method(method).isa(isa);
+            if let Some(tl) = tiling {
+                plan = plan.tiling(tl);
+            }
+            let mut plan = plan.parallelism(par).stencil(&spec).unwrap();
             let mut g = init.clone();
             let secs = best_of(reps, || {
                 let mut g = init.clone();

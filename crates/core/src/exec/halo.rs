@@ -28,18 +28,34 @@
 //!   whole-row y copies, then whole-plane z copies), matching a naive
 //! reference that folds each index independently.
 //!
-//! # Why once per step, and where
+//! # When the refresh runs, and who runs it
 //!
-//! The refresh is O(surface) against the kernels' O(volume): each time
-//! step, the halo cells of the **source** buffer are rewritten from its
-//! interior before the step's kernels run. Sequential plans refresh
-//! between steps; parallel plans refresh at the per-step `for_each`
-//! barrier that already serves as the seam halo sync (see `exec::par`).
-//! The temporally tiled frameworks (`Tiling::Tessellate` / `Split`)
-//! advance different cells to different time levels inside one chunk, so
-//! a per-step global refresh cannot be interleaved — plans combining them
-//! with a non-Dirichlet boundary are rejected at build time with
-//! [`PlanError::Boundary`](crate::exec::PlanError::Boundary).
+//! The refresh is O(surface) against the kernels' O(volume): before any
+//! kernel reads a halo cell, that cell is rewritten from the interior of
+//! the step's **source** buffer at the matching time level. Who does the
+//! rewriting depends on the driver:
+//!
+//! * **Untiled sequential** plans refresh the whole surface between
+//!   steps (`refresh1`/`refresh2`/`refresh3`).
+//! * **Untiled parallel** plans fuse a band-granular refresh into the
+//!   sweep (`refresh1_band`/`refresh2_band`/`refresh3_band`):
+//!   each band refreshes exactly the halo rows/planes its own cells
+//!   read, while hot. Adjacent bands may both write a shared halo cell,
+//!   but always with **bit-identical values** folded from the immutable
+//!   source interior — the benign-race contract that makes the refresh
+//!   barrier-free (see `exec::par`).
+//! * **Temporally tiled** plans (`Tiling::Tessellate` / `Split`)
+//!   advance different cells to different time levels inside one chunk,
+//!   so there is no global "the" source buffer to refresh. Instead the
+//!   wavefront scheduler (see `exec::wave`) gives each time chunk one
+//!   **edge group**: a single node owning every tile whose radius-
+//!   extended footprint leaves the interior. The group steps its
+//!   members level by level, refreshing the halos of the level about to
+//!   be read before each sub-step, while interior tiles never read a
+//!   halo cell at all (their footprints stay inside the domain, and the
+//!   split drivers' per-tile band refreshes only touch rows the tile
+//!   itself owns). That is what lets every boundary compose with
+//!   temporal tiling and threads at 0 ULP.
 //!
 //! # Layout awareness
 //!

@@ -59,6 +59,7 @@ pub(crate) mod par;
 pub(crate) mod split;
 pub(crate) mod tess;
 pub mod tile;
+pub(crate) mod wave;
 
 pub use erased::{AnyGridMut, DynPlan, DynSession};
 pub use halo::Boundary;
@@ -290,13 +291,6 @@ pub enum PlanError {
 /// of [`PlanError::Boundary`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BoundaryReason {
-    /// Temporal tiling advances cells to different time levels within a
-    /// chunk, so the per-step halo refresh cannot be interleaved (see
-    /// [`halo`] module docs).
-    TemporalTiling {
-        /// The tiling framework that was requested.
-        tiling: &'static str,
-    },
     /// A wrap/mirror fold would reach past the far wall: every interior
     /// extent must be ≥ the stencil radius.
     ExtentBelowRadius {
@@ -315,12 +309,6 @@ pub enum BoundaryReason {
 impl std::fmt::Display for BoundaryReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BoundaryReason::TemporalTiling { tiling } => write!(
-                f,
-                "{tiling} tiling advances cells to different time levels within a chunk, so \
-                 the per-step global halo refresh cannot be interleaved (only constant \
-                 Dirichlet halos compose with temporal tiling)"
-            ),
             BoundaryReason::ExtentBelowRadius {
                 axis,
                 extent,
@@ -478,11 +466,15 @@ impl Plan {
     /// the paper's constant halos; [`Plan::stencil`] instead defers to
     /// the spec's own boundary when this knob was never set).
     ///
-    /// Validated at build time: non-Dirichlet boundaries are refreshed
-    /// once per time step and therefore reject the temporally tiled
-    /// frameworks ([`Tiling::Tessellate`] / [`Tiling::Split`]) with
-    /// [`PlanError::Boundary`], and need every interior extent ≥ the
-    /// stencil radius.
+    /// Every boundary composes with every tiling framework and
+    /// parallelism level: untiled runs refresh the halos once per step,
+    /// and the temporally tiled frameworks ([`Tiling::Tessellate`] /
+    /// [`Tiling::Split`]) refresh them per tile step inside the
+    /// wavefront schedule (see the `exec::wave` module docs). The one
+    /// genuine restriction is shape-level, validated at
+    /// build time: wrap/mirror folds need every interior extent ≥ the
+    /// stencil radius, else [`PlanError::Boundary`] with
+    /// [`BoundaryReason::ExtentBelowRadius`].
     pub fn boundary(mut self, boundary: Boundary) -> Plan {
         self.boundary = Some(boundary);
         self
@@ -521,8 +513,10 @@ impl Plan {
         }
     }
 
-    /// Validate the boundary against the tiling framework and the shape
-    /// (see [`Plan::boundary`]). `r` is the stencil radius.
+    /// Validate the boundary against the shape (see [`Plan::boundary`]):
+    /// wrap/mirror folds need every interior extent ≥ the stencil
+    /// radius `r`. Tiling and parallelism impose no boundary
+    /// restrictions — the wavefront drivers refresh halos per tile step.
     fn validate_boundary(
         &self,
         ndim: usize,
@@ -531,14 +525,6 @@ impl Plan {
     ) -> Result<(), PlanError> {
         if boundary.is_dirichlet() {
             return Ok(());
-        }
-        if !matches!(self.tiling, Tiling::None) {
-            return Err(PlanError::Boundary {
-                boundary,
-                reason: BoundaryReason::TemporalTiling {
-                    tiling: self.tiling.name(),
-                },
-            });
         }
         for (axis, &n) in self.shape.dims[..ndim].iter().enumerate() {
             if n < r {
@@ -1108,35 +1094,47 @@ impl<S: Star1> Session1<'_, S> {
     }
 
     fn run_tessellate(&mut self, w: usize, h: usize, t: usize) {
-        let Cfg { method, isa, .. } = self.plan.cfg;
+        let Cfg {
+            method,
+            isa,
+            boundary,
+            ..
+        } = self.plan.cfg;
         let s = self.plan.stencil;
         let n = self.g.n();
         let d = DimTiling::new(n, w.min(n), S::R, true);
         let other = self.plan.scratch.as_mut().expect("scratch");
         let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
         let pool = self.plan.pool.as_ref().expect("pool");
-        tess::drive1(method, isa, bufs, n, &d, t, h, &s, pool);
+        tess::drive1(method, isa, bufs, n, &d, t, h, &s, pool, boundary);
         if t % 2 == 1 {
             std::mem::swap(self.g, other);
         }
     }
 
     fn run_split(&mut self, w: usize, h: usize, t: usize) {
-        let isa = self.plan.cfg.isa;
+        let Cfg { isa, boundary, .. } = self.plan.cfg;
         let s = self.plan.stencil;
         let n = self.g.n();
         let geo = DltGeo::new(n, isa.lanes());
         if geo.cols <= 4 * S::R {
             // Degenerate width: plain stepping is the only sensible
             // schedule (validated fallback, mirrors the legacy driver).
-            self.dlt_steps(t);
+            if boundary.is_dirichlet() {
+                self.dlt_steps(t);
+            } else {
+                for _ in 0..t {
+                    self.refresh_boundary();
+                    self.dlt_steps(1);
+                }
+            }
             return;
         }
         let d = DimTiling::new(geo.cols, w.min(geo.cols), S::R, false);
         let (a, b) = self.plan.stage.as_mut().expect("stage");
         let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
         let pool = self.plan.pool.as_ref().expect("pool");
-        split::drive1(isa, bufs, &geo, n, &d, t, h, &s, pool);
+        split::drive1(isa, bufs, &geo, n, &d, t, h, &s, pool, boundary);
         if t % 2 == 1 {
             std::mem::swap(a, b);
         }
@@ -1528,7 +1526,12 @@ macro_rules! plan2_impl {
             }
 
             fn run_tessellate(&mut self, wx: usize, wy: usize, h: usize, t: usize) {
-                let Cfg { method, isa, .. } = self.plan.cfg;
+                let Cfg {
+                    method,
+                    isa,
+                    boundary,
+                    ..
+                } = self.plan.cfg;
                 let s = self.plan.stencil;
                 let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
                 let dx = DimTiling::new(nx, wx.min(nx), S::R, true);
@@ -1536,21 +1539,23 @@ macro_rules! plan2_impl {
                 let other = self.plan.scratch.as_mut().expect("scratch");
                 let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
-                tess::$tess_drive(method, isa, bufs, rs, nx, &dx, &dy, t, h, &s, pool);
+                tess::$tess_drive(
+                    method, isa, bufs, rs, nx, &dx, &dy, t, h, &s, pool, boundary,
+                );
                 if t % 2 == 1 {
                     std::mem::swap(self.g, other);
                 }
             }
 
             fn run_split(&mut self, w: usize, h: usize, t: usize) {
-                let isa = self.plan.cfg.isa;
+                let Cfg { isa, boundary, .. } = self.plan.cfg;
                 let s = self.plan.stencil;
                 let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
                 let d = DimTiling::new(ny, w.min(ny), S::R, true);
                 let (a, b) = self.plan.stage.as_mut().expect("stage");
                 let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
-                split::$split_drive(isa, bufs, rs, nx, &d, t, h, &s, pool);
+                split::$split_drive(isa, bufs, rs, nx, &d, t, h, &s, pool, boundary);
                 if t % 2 == 1 {
                     std::mem::swap(a, b);
                 }
@@ -1975,7 +1980,12 @@ macro_rules! plan3_impl {
             }
 
             fn run_tessellate(&mut self, wx: usize, wy: usize, wz: usize, h: usize, t: usize) {
-                let Cfg { method, isa, .. } = self.plan.cfg;
+                let Cfg {
+                    method,
+                    isa,
+                    boundary,
+                    ..
+                } = self.plan.cfg;
                 let s = self.plan.stencil;
                 let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
                 let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
@@ -1985,14 +1995,16 @@ macro_rules! plan3_impl {
                 let other = self.plan.scratch.as_mut().expect("scratch");
                 let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
-                tess::$tess_drive(method, isa, bufs, rs, ps, nx, &dx, &dy, &dz, t, h, &s, pool);
+                tess::$tess_drive(
+                    method, isa, bufs, rs, ps, nx, &dx, &dy, &dz, t, h, &s, pool, boundary,
+                );
                 if t % 2 == 1 {
                     std::mem::swap(self.g, other);
                 }
             }
 
             fn run_split(&mut self, w: usize, h: usize, t: usize) {
-                let isa = self.plan.cfg.isa;
+                let Cfg { isa, boundary, .. } = self.plan.cfg;
                 let s = self.plan.stencil;
                 let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
                 let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
@@ -2000,7 +2012,7 @@ macro_rules! plan3_impl {
                 let (a, b) = self.plan.stage.as_mut().expect("stage");
                 let bufs = [SyncPtr(a.ptr_mut()), SyncPtr(b.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
-                split::$split_drive(isa, bufs, rs, ps, nx, ny, &d, t, h, &s, pool);
+                split::$split_drive(isa, bufs, rs, ps, nx, ny, &d, t, h, &s, pool, boundary);
                 if t % 2 == 1 {
                     std::mem::swap(a, b);
                 }

@@ -14,16 +14,33 @@
 //! 2D/3D: SDSL's *hybrid* scheme — split tiling on the outermost
 //! dimension, full DLT rows inside.
 //!
-//! Like [`super::tess`], these drivers are **parameterized by the plan**:
-//! they step pre-transformed DLT staging buffers on a caller-owned pool;
+//! Like [`super::tess`], these drivers are **parameterized by the plan**
+//! (they step pre-transformed DLT staging buffers on a caller-owned pool;
 //! the DLT round-trip and staging allocation live in the `Plan`/`Session`
-//! engine and are amortized across runs.
+//! engine) and scheduled by the wavefront graph in [`super::wave`]
+//! instead of per-stage barriers.
+//!
+//! Boundary composition differs by rank. 1D tiles run in column space
+//! but depend on each other in *original* space (a column tile is `vl`
+//! distant segments), so under a refreshed boundary the halo fold
+//! sources and the edge seams' intermediate-level reads chain through
+//! interior pieces; each chunk then runs as a single lockstep group
+//! that interleaves a whole-buffer halo refresh with each chunk step
+//! (a per-level sweep — structurally the untiled schedule, chosen
+//! because column space is only `n/vl` wide and the member closure is
+//! geometry-dependent). In 2D/3D every tile owns *full DLT rows*,
+//! so each tile refreshes the x halos of exactly the rows/planes it reads
+//! via the per-band refresh (self-contained: those rows are its own
+//! previous-step output), and only the two domain-edge triangles — whose
+//! whole halo-row builds read each other's rows under periodic folds —
+//! need fusing into an edge group.
 
-use rayon::prelude::*;
 use stencil_simd::{dispatch, Isa};
 
-use super::tess::{Shape, SyncPtr};
+use super::halo::{self, Boundary, RowMap};
+use super::tess::{reach1, Shape, SyncPtr};
 use super::tile::DimTiling;
+use super::wave::{box1, FootBox, Wave};
 use crate::kernels::dlt;
 use crate::layout::DltGeo;
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
@@ -107,9 +124,82 @@ fn seam_step1<S: Star1>(
     unsafe { dlt::star1_dlt_scalar(src, dst, lo, hi, geo, s) };
 }
 
+/// One member / interior tile of the 1D split wavefront.
+#[derive(Copy, Clone)]
+enum Piece1 {
+    /// Column triangle `k` (stage 0).
+    Tri(usize),
+    /// Interior inverted column tile at boundary `c = bnd·w` (stage 1).
+    Inv(usize),
+    /// Seam tile at lane boundary `lam` (stage 1; `lam == vl` owns the
+    /// natural tail strip).
+    Seam(usize),
+}
+
+impl Piece1 {
+    /// Run chunk step `ss` of this piece (absolute time `tau + ss`).
+    #[allow(clippy::too_many_arguments)]
+    fn step<S: Star1>(
+        self,
+        isa: Isa,
+        bufs: [SyncPtr; 2],
+        geo: &DltGeo,
+        n: usize,
+        d: &DimTiling,
+        ss: usize,
+        tau: usize,
+        s: &S,
+    ) {
+        match self {
+            Piece1::Tri(k) => {
+                let (lo, hi) = d.tri(k, ss);
+                col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
+            }
+            Piece1::Inv(bnd) => {
+                let lo = (bnd * d.w).saturating_sub(S::R * ss);
+                let hi = (bnd * d.w + S::R * ss).min(geo.cols);
+                col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
+            }
+            Piece1::Seam(lam) => seam_step1(bufs, geo, n, lam, ss, tau + ss, s),
+        }
+    }
+}
+
+/// One wavefront node of the 1D split driver.
+enum SNode1 {
+    Tile {
+        piece: Piece1,
+        tau: usize,
+        hh: usize,
+    },
+    /// A whole chunk under a refreshed boundary: every piece in stage
+    /// order, stepped in lockstep behind a per-step whole-buffer halo
+    /// refresh (a per-level sweep, structurally identical to untiled
+    /// stepping — see the placement comment in [`drive1`]).
+    Edge {
+        members: Vec<Piece1>,
+        tau: usize,
+        hh: usize,
+    },
+}
+
+/// Original-space footprint of DLT columns `[jlo, jhi)`: one
+/// radius-extended box per lane segment (a column tile is `vl` distant
+/// segments, and the `±r` extension also captures the cross-lane seam
+/// reads of the scalar fringes).
+fn lane_boxes(geo: &DltGeo, jlo: usize, jhi: usize, r: usize) -> Vec<FootBox> {
+    (0..geo.vl)
+        .map(|lam| {
+            let base = (lam * geo.cols) as i64;
+            box1(base + jlo as i64 - r as i64, base + jhi as i64 + r as i64)
+        })
+        .collect()
+}
+
 /// Step `t` levels of a 1D star stencil over pre-transformed DLT staging
 /// buffers under split tiling (column triangles of base `w = d.w`, chunk
-/// height `h`), on `pool`. The step-`t` result lands in `bufs[t % 2]`.
+/// height `h`), wavefront-scheduled on `pool`. The step-`t` result lands
+/// in `bufs[t % 2]`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive1<S: Star1>(
     isa: Isa,
@@ -121,42 +211,143 @@ pub(crate) fn drive1<S: Star1>(
     h: usize,
     s: &S,
     pool: &rayon::ThreadPool,
+    b: Boundary,
 ) {
-    let cols = geo.cols;
-    pool.install(|| {
-        let mut tau = 0usize;
-        while tau < t {
-            let hh = h.min(t - tau);
-            // Stage 1: column triangles (shrink at both ends — the ends
-            // are seams, not halo).
-            (0..d.ntri()).into_par_iter().for_each(|k| {
-                for ss in 0..hh {
-                    let (lo, hi) = d.tri(k, ss);
-                    col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
+    let r = S::R;
+    let map = RowMap::Dlt(*geo);
+    let mut wave = Wave::new();
+    let (mut tau, mut chunk) = (0usize, 0usize);
+    while tau < t {
+        let hh = h.min(t - tau);
+        let mut members: Vec<Piece1> = Vec::new();
+        let mut group_boxes: Vec<FootBox> = Vec::new();
+        let mut interior: Vec<(u8, Piece1, Vec<FootBox>)> = Vec::new();
+        // Under a refreshed boundary the whole chunk runs as one lockstep
+        // group. Column pieces are `vl` distant original-space segments,
+        // so the halo fold sources and the edge seams' intermediate-level
+        // reads chain through *interior* pieces (e.g. a one-column tail
+        // triangle hands the rightmost seam its level-`tau+ss` inputs);
+        // the member closure is geometry-dependent and can span the whole
+        // chunk. A per-level sweep of every piece behind the refresh is
+        // structurally identical to untiled stepping, and the column
+        // space is only `n/vl` wide — intra-chunk parallelism here is
+        // marginal (tessellation is the parallel temporal path in 1D).
+        let mut place = |stage: u8, piece: Piece1, boxes: Vec<FootBox>| {
+            if !b.is_dirichlet() {
+                members.push(piece);
+                group_boxes.extend(boxes);
+            } else {
+                interior.push((stage, piece, boxes));
+            }
+        };
+        // Stage 0: column triangles (shrink at both ends — the ends are
+        // cross-lane seams, not halo).
+        for k in 0..d.ntri() {
+            let (mut jlo, mut jhi) = (usize::MAX, 0usize);
+            for ss in 0..hh {
+                let (a, c) = d.tri(k, ss);
+                if a < c {
+                    jlo = jlo.min(a);
+                    jhi = jhi.max(c);
                 }
-            });
-            // Stage 2: interior inverted column tiles + per-lane seam
-            // tiles (+ tail strip on the rightmost seam).
-            let ninterior = d.ntri().saturating_sub(1);
-            let nseams = geo.vl + 1;
-            (0..ninterior + nseams).into_par_iter().for_each(|idx| {
-                if idx < ninterior {
-                    let bnd = idx + 1; // interior boundary c = bnd·w
-                    for ss in 0..hh {
-                        let lo = (bnd * d.w).saturating_sub(S::R * ss);
-                        let hi = (bnd * d.w + S::R * ss).min(cols);
-                        col_step1(isa, bufs, geo, lo, hi, tau + ss, s);
-                    }
-                } else {
-                    let lam = idx - ninterior;
-                    for ss in 0..hh {
-                        seam_step1(bufs, geo, n, lam, ss, tau + ss, s);
-                    }
+            }
+            place(0, Piece1::Tri(k), lane_boxes(geo, jlo, jhi, r));
+        }
+        // Stage 1: interior inverted column tiles + per-lane seam tiles
+        // (+ tail strip on the rightmost seam).
+        for bnd in 1..d.ntri() {
+            let jlo = (bnd * d.w).saturating_sub(r * (hh - 1));
+            let jhi = (bnd * d.w + r * (hh - 1)).min(geo.cols).max(jlo);
+            place(1, Piece1::Inv(bnd), lane_boxes(geo, jlo, jhi, r));
+        }
+        for lam in 0..=geo.vl {
+            let c = (lam * geo.cols) as i64;
+            let reach = (r * (hh - 1) + r) as i64;
+            let hi = if lam == geo.vl {
+                n as i64 + r as i64 // tail strip advances every step
+            } else {
+                (c + reach).min(n as i64)
+            };
+            place(1, Piece1::Seam(lam), vec![box1(c - reach, hi)]);
+        }
+        if !members.is_empty() {
+            wave.push(chunk, 0, group_boxes, SNode1::Edge { members, tau, hh });
+        }
+        interior.sort_by_key(|&(stage, ..)| stage);
+        for (stage, piece, boxes) in interior {
+            wave.push(chunk, stage, boxes, SNode1::Tile { piece, tau, hh });
+        }
+        tau += hh;
+        chunk += 1;
+    }
+    wave.run(pool, pool.current_num_threads(), |node| match node {
+        SNode1::Tile { piece, tau, hh } => {
+            for ss in 0..*hh {
+                piece.step(isa, bufs, geo, n, d, ss, *tau, s);
+            }
+        }
+        SNode1::Edge { members, tau, hh } => {
+            for ss in 0..*hh {
+                // Fold sources at level `tau + ss` are the outermost
+                // original-space cells — owned by this group's own
+                // members, which step in lockstep.
+                unsafe { halo::refresh1(bufs[(tau + ss) % 2].0, n, S::R, b, &map) };
+                for &piece in members {
+                    piece.step(isa, bufs, geo, n, d, ss, *tau, s);
                 }
-            });
-            tau += hh;
+            }
         }
     });
+}
+
+/// One wavefront node of the hybrid 2D/3D split drivers: an outer-dim
+/// tile, or the fused pair of domain-edge triangles (whose halo-row
+/// builds read each other's rows under periodic folds).
+enum HNode {
+    Tile {
+        shape: Shape,
+        tau: usize,
+        hh: usize,
+    },
+    Edge {
+        members: Vec<Shape>,
+        tau: usize,
+        hh: usize,
+    },
+}
+
+/// Build the wavefront for one hybrid driver run: outer-dim tiles with
+/// radius-extended reach boxes, domain-edge tiles fused per chunk when
+/// the boundary needs refreshing.
+fn hybrid_wave(d: &DimTiling, t: usize, h: usize, r: usize, b: Boundary) -> Wave<HNode> {
+    let mut wave = Wave::new();
+    let (mut tau, mut chunk) = (0usize, 0usize);
+    while tau < t {
+        let hh = h.min(t - tau);
+        let mut members = Vec::new();
+        let mut group_boxes: Vec<FootBox> = Vec::new();
+        let mut interior = Vec::new();
+        for (stage, inverted) in [(0u8, false), (1u8, true)] {
+            for shape in Shape::all(d, inverted) {
+                let (lo, hi) = reach1(d, shape, hh, r);
+                if !b.is_dirichlet() && (lo < 0 || hi > d.n as i64) {
+                    members.push(shape);
+                    group_boxes.push(box1(lo, hi));
+                } else {
+                    interior.push((stage, shape, box1(lo, hi)));
+                }
+            }
+        }
+        if !members.is_empty() {
+            wave.push(chunk, 0, group_boxes, HNode::Edge { members, tau, hh });
+        }
+        for (stage, shape, fb) in interior {
+            wave.push(chunk, stage, vec![fb], HNode::Tile { shape, tau, hh });
+        }
+        tau += hh;
+        chunk += 1;
+    }
+    wave
 }
 
 macro_rules! drive2_impl {
@@ -164,7 +355,11 @@ macro_rules! drive2_impl {
         /// Step `t` levels of a 2D stencil over pre-transformed DLT
         /// staging buffers under SDSL-style hybrid tiling: split tiling
         /// over `y` (triangle base `d.w`, chunk height `h`), DLT rows
-        /// along `x`. The step-`t` result lands in `bufs[t % 2]`.
+        /// along `x`, wavefront-scheduled. Every tile owns full rows, so
+        /// it refreshes the x halos of exactly the rows it reads (its own
+        /// previous-step output) before each step — the per-band
+        /// benign-race contract of [`super::par`]. The step-`t` result
+        /// lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
         pub(crate) fn $name<S: $bound>(
             isa: Isa,
@@ -176,29 +371,36 @@ macro_rules! drive2_impl {
             h: usize,
             s: &S,
             pool: &rayon::ThreadPool,
+            b: Boundary,
         ) {
-            // Tile lists depend only on the tiling geometry — build once,
-            // hand the queue a copy per chunk (mirrors the tess drivers).
-            let stages = [Shape::all(d, false), Shape::all(d, true)];
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for tiles in &stages {
-                        tiles.clone().into_par_iter().for_each(|shape| {
-                            for ss in 0..hh {
-                                let (y0, y1) = shape.range(d, ss);
-                                if y0 >= y1 {
-                                    continue;
-                                }
-                                let time = tau + ss;
-                                let src = bufs[time % 2].0 as *const f64;
-                                let dst = bufs[(time + 1) % 2].0;
-                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s));
-                            }
-                        });
+            let ny = d.n;
+            let map = RowMap::for_method(crate::api::Method::Dlt, isa, nx);
+            let run_piece = |shape: &Shape, tau: usize, ss: usize| {
+                let (y0, y1) = shape.range(d, ss);
+                if y0 >= y1 {
+                    return;
+                }
+                let time = tau + ss;
+                let src = bufs[time % 2].0 as *const f64;
+                let dst = bufs[(time + 1) % 2].0;
+                unsafe {
+                    halo::refresh2_band(bufs[time % 2].0, rs, nx, ny, S::R, b, &map, y0, y1);
+                }
+                dispatch!(isa, V => unsafe { dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s) });
+            };
+            let wave = hybrid_wave(d, t, h, S::R, b);
+            wave.run(pool, pool.current_num_threads(), |node| match node {
+                HNode::Tile { shape, tau, hh } => {
+                    for ss in 0..*hh {
+                        run_piece(shape, *tau, ss);
                     }
-                    tau += hh;
+                }
+                HNode::Edge { members, tau, hh } => {
+                    for ss in 0..*hh {
+                        for shape in members {
+                            run_piece(shape, *tau, ss);
+                        }
+                    }
                 }
             });
         }
@@ -212,8 +414,9 @@ macro_rules! drive3_impl {
     ($name:ident, $bound:ident, $kernel:ident) => {
         /// Step `t` levels of a 3D stencil over pre-transformed DLT
         /// staging buffers under SDSL-style hybrid tiling: split tiling
-        /// over `z`, DLT rows along `x`. The step-`t` result lands in
-        /// `bufs[t % 2]`.
+        /// over `z`, DLT rows along `x`, wavefront-scheduled with the
+        /// per-band halo refresh fused into every tile (see the 2D
+        /// drivers). The step-`t` result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
         pub(crate) fn $name<S: $bound>(
             isa: Isa,
@@ -227,29 +430,50 @@ macro_rules! drive3_impl {
             h: usize,
             s: &S,
             pool: &rayon::ThreadPool,
+            b: Boundary,
         ) {
-            // Tile lists depend only on the tiling geometry — build once,
-            // hand the queue a copy per chunk (mirrors the tess drivers).
-            let stages = [Shape::all(d, false), Shape::all(d, true)];
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for tiles in &stages {
-                        tiles.clone().into_par_iter().for_each(|shape| {
-                            for ss in 0..hh {
-                                let (z0, z1) = shape.range(d, ss);
-                                if z0 >= z1 {
-                                    continue;
-                                }
-                                let time = tau + ss;
-                                let src = bufs[time % 2].0 as *const f64;
-                                let dst = bufs[(time + 1) % 2].0;
-                                dispatch!(isa, V => dlt::$kernel::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s));
-                            }
-                        });
+            let nz = d.n;
+            let map = RowMap::for_method(crate::api::Method::Dlt, isa, nx);
+            let run_piece = |shape: &Shape, tau: usize, ss: usize| {
+                let (z0, z1) = shape.range(d, ss);
+                if z0 >= z1 {
+                    return;
+                }
+                let time = tau + ss;
+                let src = bufs[time % 2].0 as *const f64;
+                let dst = bufs[(time + 1) % 2].0;
+                unsafe {
+                    halo::refresh3_band(
+                        bufs[time % 2].0,
+                        rs,
+                        ps,
+                        nx,
+                        ny,
+                        nz,
+                        S::R,
+                        b,
+                        &map,
+                        z0,
+                        z1,
+                    );
+                }
+                dispatch!(isa, V => unsafe {
+                    dlt::$kernel::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s)
+                });
+            };
+            let wave = hybrid_wave(d, t, h, S::R, b);
+            wave.run(pool, pool.current_num_threads(), |node| match node {
+                HNode::Tile { shape, tau, hh } => {
+                    for ss in 0..*hh {
+                        run_piece(shape, *tau, ss);
                     }
-                    tau += hh;
+                }
+                HNode::Edge { members, tau, hh } => {
+                    for ss in 0..*hh {
+                        for shape in members {
+                            run_piece(shape, *tau, ss);
+                        }
+                    }
                 }
             });
         }

@@ -1,12 +1,29 @@
 //! Tessellate tiling drivers (Yuan et al., SC'17 — the framework the paper
-//! integrates with in §3.4), for 1/2/3 spatial dimensions, with
-//! rayon-parallel stage execution.
+//! integrates with in §3.4), for 1/2/3 spatial dimensions, scheduled by
+//! the wavefront dependency graph in [`super::wave`].
 //!
-//! Each time chunk of height `h` runs `d+1` stages: stage `m` executes all
-//! product tiles with exactly `m` inverted dimensions. Tiles within a
-//! stage write disjoint cells and read only cells finalized by earlier
-//! stages (or their own earlier steps), so a stage is a `par_iter` with no
-//! intra-stage synchronization; the stage boundary is the only barrier.
+//! Each time chunk of height `h` holds `d+1` stages of product tiles:
+//! stage `m` is the tiles with exactly `m` inverted dimensions. Tiles
+//! within a stage write disjoint cells and read only cells finalized by
+//! earlier stages (or their own earlier steps), so the drivers emit one
+//! wavefront node per tile (stage = inverted-dimension count) and let the
+//! scheduler run any two nodes concurrently unless their radius-extended
+//! footprints overlap across a stage or chunk boundary — a fast thread
+//! flows into the next stage or time chunk instead of waiting at a
+//! barrier. With one thread the node order itself is the sequential
+//! tiled schedule.
+//!
+//! Non-Dirichlet [`Boundary`] conditions compose with the tiling through
+//! one **edge group** node per chunk: every tile whose radius-extended
+//! footprint leaves the domain (and therefore reads halo cells, or writes
+//! the interior cells halo folds copy from) is fused, in stage order,
+//! into a single sequential node that interleaves a whole-grid halo
+//! refresh with each chunk step. Members advance in lockstep, so the
+//! refresh at chunk step `ss` reads fold sources exactly at time level
+//! `tau + ss`; interior tiles never touch halo cells and need no
+//! refresh. Under `TransLayout2` the 1D group members step singly (the
+//! fused step-pair kernel cannot interleave the per-step refresh);
+//! interior tiles keep the fused pairs.
 //!
 //! Intra-tile vectorization is pluggable ([`Method`]): the paper's
 //! *Tessellation* baseline uses `MultiLoad` ("auto-vectorization"), *Our*
@@ -21,10 +38,11 @@
 //! allocation, and final parity swaps live in [`super`]'s `Plan`/`Session`
 //! engine, so none of them recur in a steady-state hot loop.
 
-use rayon::prelude::*;
 use stencil_simd::{dispatch, Isa};
 
+use super::halo::{self, Boundary, RowMap};
 use super::tile::DimTiling;
+use super::wave::{box1, box2, box3, FootBox, Wave};
 use crate::api::Method;
 use crate::kernels::{orig, scalar};
 use crate::layout::SetGeo;
@@ -68,6 +86,29 @@ impl Shape {
             (0..d.ntri()).map(Shape::Tri).collect()
         }
     }
+}
+
+/// Radius-extended reach of `shape` over a chunk of `hh` steps: the union
+/// of its per-step ranges widened by `r` on each side — everything the
+/// tile may read or write, as a signed closed-open interval (negative /
+/// past-`n` values mean halo contact).
+pub(crate) fn reach1(d: &DimTiling, shape: Shape, hh: usize, r: usize) -> (i64, i64) {
+    let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+    for ss in 0..hh {
+        let (a, b) = shape.range(d, ss);
+        if a < b {
+            lo = lo.min(a as i64);
+            hi = hi.max(b as i64);
+        }
+    }
+    if lo > hi {
+        // Every step empty (e.g. an inverted tile with hh = 1): anchor a
+        // degenerate box at the tile's apex so deps stay local.
+        let (a, _) = shape.range(d, 0);
+        lo = a as i64;
+        hi = a as i64;
+    }
+    (lo - r as i64, hi + r as i64)
 }
 
 // ---------------------------------------------------------------------------
@@ -194,8 +235,22 @@ fn run_tile1<S: Star1>(
     }
 }
 
+/// One wavefront node of the 1D driver.
+enum Node1 {
+    /// An interior tile, all `hh` chunk steps (fused pairs under TL2).
+    Tile { shape: Shape, tau: usize, hh: usize },
+    /// The chunk's edge group: every halo-touching tile, in stage order,
+    /// stepped in lockstep behind a per-step whole-grid halo refresh.
+    Edge {
+        members: Vec<Shape>,
+        tau: usize,
+        hh: usize,
+    },
+}
+
 /// Step `t` levels of a 1D star stencil over pre-prepared ping-pong
-/// buffers under tessellate tiling (chunk height `h`), on `pool`.
+/// buffers under tessellate tiling (chunk height `h`), wavefront-scheduled
+/// on `pool` (sequential when the pool has one thread).
 ///
 /// `bufs[0]` holds the step-0 data; the step-`t` result lands in
 /// `bufs[t % 2]` — the caller owns the final parity swap.
@@ -210,22 +265,54 @@ pub(crate) fn drive1<S: Star1>(
     h: usize,
     s: &S,
     pool: &rayon::ThreadPool,
+    b: Boundary,
 ) {
-    // The tile lists depend only on the tiling geometry, not on the time
-    // chunk — build them once and hand the queue a copy per chunk.
-    let triangles = Shape::all(d, false);
-    let inverted = Shape::all(d, true);
-    pool.install(|| {
-        let mut tau = 0usize;
-        while tau < t {
-            let hh = h.min(t - tau);
-            triangles.clone().into_par_iter().for_each(|shape| {
-                run_tile1(method, isa, bufs, n, d, shape, tau, hh, s);
-            });
-            inverted.clone().into_par_iter().for_each(|shape| {
-                run_tile1(method, isa, bufs, n, d, shape, tau, hh, s);
-            });
-            tau += hh;
+    let map = RowMap::for_method(method, isa, n);
+    let mut wave = Wave::new();
+    let (mut tau, mut chunk) = (0usize, 0usize);
+    while tau < t {
+        let hh = h.min(t - tau);
+        let mut members = Vec::new();
+        let mut group_boxes: Vec<FootBox> = Vec::new();
+        let mut interior = Vec::new();
+        for (stage, inverted) in [(0u8, false), (1u8, true)] {
+            for shape in Shape::all(d, inverted) {
+                let (lo, hi) = reach1(d, shape, hh, S::R);
+                if !b.is_dirichlet() && (lo < 0 || hi > n as i64) {
+                    members.push(shape);
+                    group_boxes.push(box1(lo, hi));
+                } else {
+                    interior.push((stage, shape, box1(lo, hi)));
+                }
+            }
+        }
+        if !members.is_empty() {
+            wave.push(chunk, 0, group_boxes, Node1::Edge { members, tau, hh });
+        }
+        for (stage, shape, fb) in interior {
+            wave.push(chunk, stage, vec![fb], Node1::Tile { shape, tau, hh });
+        }
+        tau += hh;
+        chunk += 1;
+    }
+    wave.run(pool, pool.current_num_threads(), |node| match node {
+        Node1::Tile { shape, tau, hh } => {
+            run_tile1(method, isa, bufs, n, d, *shape, *tau, *hh, s);
+        }
+        Node1::Edge { members, tau, hh } => {
+            for ss in 0..*hh {
+                // Fold sources at level `tau + ss` are interior edge
+                // cells owned by this group's own members, which step in
+                // lockstep — the refresh reads exactly the values the
+                // members' halo reads need.
+                unsafe { halo::refresh1(bufs[(tau + ss) % 2].0, n, S::R, b, &map) };
+                for &shape in members {
+                    let (lo, hi) = shape.range(d, ss);
+                    // Single-step even under TL2: the fused step-pair
+                    // kernel cannot interleave the per-step refresh.
+                    step1(method, isa, bufs, n, lo, hi, tau + ss, s);
+                }
+            }
         }
     });
 }
@@ -304,12 +391,31 @@ pub(crate) fn step2_box<S: Box2>(
     }
 }
 
+/// One wavefront node of the 2D drivers.
+enum Node2 {
+    Tile {
+        sx: Shape,
+        sy: Shape,
+        tau: usize,
+        hh: usize,
+    },
+    /// The chunk's edge group (see [`drive1`]'s `Node1::Edge`), members
+    /// in stage order.
+    Edge {
+        members: Vec<(Shape, Shape)>,
+        tau: usize,
+        hh: usize,
+    },
+}
+
 macro_rules! drive2_impl {
     ($name:ident, $bound:ident, $step:ident) => {
         /// Step `t` levels of a 2D stencil over pre-prepared ping-pong
-        /// buffers under tessellate tiling. Stages execute product tiles
-        /// by inverted-dimension count: (tri,tri) → (inv,tri)+(tri,inv) →
-        /// (inv,inv). The step-`t` result lands in `bufs[t % 2]`.
+        /// buffers under tessellate tiling, wavefront-scheduled. Product
+        /// tiles by inverted-dimension count: (tri,tri) → (inv,tri) +
+        /// (tri,inv) → (inv,inv); halo-touching tiles fuse into one edge
+        /// group per chunk under non-Dirichlet boundaries. The step-`t`
+        /// result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
         pub(crate) fn $name<S: $bound>(
             method: Method,
@@ -323,41 +429,73 @@ macro_rules! drive2_impl {
             h: usize,
             s: &S,
             pool: &rayon::ThreadPool,
+            b: Boundary,
         ) {
-            // Per-stage product-tile lists depend only on the tiling
-            // geometry — build once, hand the queue a copy per chunk.
-            let stages: Vec<Vec<(Shape, Shape)>> = (0..3usize)
-                .map(|stage| {
-                    let mut tiles = Vec::new();
+            let ny = dy.n;
+            let map = RowMap::for_method(method, isa, nx);
+            let mut wave = Wave::new();
+            let (mut tau, mut chunk) = (0usize, 0usize);
+            while tau < t {
+                let hh = h.min(t - tau);
+                let mut members = Vec::new();
+                let mut group_boxes: Vec<FootBox> = Vec::new();
+                let mut interior = Vec::new();
+                for stage in 0..3u8 {
                     for &ix in &[false, true] {
                         for &iy in &[false, true] {
-                            if (ix as usize) + (iy as usize) != stage {
+                            if (ix as u8) + (iy as u8) != stage {
                                 continue;
                             }
                             for sx in Shape::all(dx, ix) {
                                 for sy in Shape::all(dy, iy) {
-                                    tiles.push((sx, sy));
+                                    let bx = reach1(dx, sx, hh, S::R);
+                                    let by = reach1(dy, sy, hh, S::R);
+                                    let exits = bx.0 < 0
+                                        || bx.1 > nx as i64
+                                        || by.0 < 0
+                                        || by.1 > ny as i64;
+                                    if !b.is_dirichlet() && exits {
+                                        members.push((sx, sy));
+                                        group_boxes.push(box2(by, bx));
+                                    } else {
+                                        interior.push((stage, sx, sy, box2(by, bx)));
+                                    }
                                 }
                             }
                         }
                     }
-                    tiles
-                })
-                .collect();
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for tiles in &stages {
-                        tiles.clone().into_par_iter().for_each(|(sx, sy)| {
-                            for ss in 0..hh {
-                                let xr = sx.range(dx, ss);
-                                let yr = sy.range(dy, ss);
-                                $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
-                            }
-                        });
+                }
+                if !members.is_empty() {
+                    wave.push(chunk, 0, group_boxes, Node2::Edge { members, tau, hh });
+                }
+                for (stage, sx, sy, fb) in interior {
+                    wave.push(chunk, stage, vec![fb], Node2::Tile { sx, sy, tau, hh });
+                }
+                tau += hh;
+                chunk += 1;
+            }
+            wave.run(pool, pool.current_num_threads(), |node| match node {
+                Node2::Tile { sx, sy, tau, hh } => {
+                    for ss in 0..*hh {
+                        let xr = sx.range(dx, ss);
+                        let yr = sy.range(dy, ss);
+                        $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
                     }
-                    tau += hh;
+                }
+                Node2::Edge { members, tau, hh } => {
+                    for ss in 0..*hh {
+                        // Whole-grid refresh: every fold source is an
+                        // edge-frame cell owned by this group's members,
+                        // all at level `tau + ss` in lockstep.
+                        unsafe {
+                            halo::refresh2(bufs[(tau + ss) % 2].0, rs, nx, ny, S::R, b, &map)
+                        };
+                        for &(sx, sy) in members {
+                            let xr = sx.range(dx, ss);
+                            let yr = sy.range(dy, ss);
+                            $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
+                        }
+                    }
                 }
             });
         }
@@ -445,11 +583,31 @@ pub(crate) fn step3_box<S: Box3>(
     }
 }
 
+/// One wavefront node of the 3D drivers.
+enum Node3 {
+    Tile {
+        sx: Shape,
+        sy: Shape,
+        sz: Shape,
+        tau: usize,
+        hh: usize,
+    },
+    /// The chunk's edge group (see [`drive1`]'s `Node1::Edge`), members
+    /// in stage order.
+    Edge {
+        members: Vec<(Shape, Shape, Shape)>,
+        tau: usize,
+        hh: usize,
+    },
+}
+
 macro_rules! drive3_impl {
     ($name:ident, $bound:ident, $step:ident) => {
         /// Step `t` levels of a 3D stencil over pre-prepared ping-pong
-        /// buffers under tessellate tiling (4 stages by inverted-dimension
-        /// count). The step-`t` result lands in `bufs[t % 2]`.
+        /// buffers under tessellate tiling, wavefront-scheduled (4 stages
+        /// by inverted-dimension count; halo-touching tiles fuse into one
+        /// edge group per chunk under non-Dirichlet boundaries). The
+        /// step-`t` result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
         pub(crate) fn $name<S: $bound>(
             method: Method,
@@ -465,46 +623,115 @@ macro_rules! drive3_impl {
             h: usize,
             s: &S,
             pool: &rayon::ThreadPool,
+            b: Boundary,
         ) {
-            // Per-stage product-tile lists depend only on the tiling
-            // geometry — build once, hand the queue a copy per chunk.
-            let stages: Vec<Vec<(Shape, Shape, Shape)>> = (0..4usize)
-                .map(|stage| {
-                    let mut tiles = Vec::new();
+            let (ny, nz) = (dy.n, dz.n);
+            let map = RowMap::for_method(method, isa, nx);
+            let mut wave = Wave::new();
+            let (mut tau, mut chunk) = (0usize, 0usize);
+            while tau < t {
+                let hh = h.min(t - tau);
+                let mut members = Vec::new();
+                let mut group_boxes: Vec<FootBox> = Vec::new();
+                let mut interior = Vec::new();
+                for stage in 0..4u8 {
                     for &ix in &[false, true] {
                         for &iy in &[false, true] {
                             for &iz in &[false, true] {
-                                if (ix as usize) + (iy as usize) + (iz as usize) != stage {
+                                if (ix as u8) + (iy as u8) + (iz as u8) != stage {
                                     continue;
                                 }
                                 for sx in Shape::all(dx, ix) {
                                     for sy in Shape::all(dy, iy) {
                                         for sz in Shape::all(dz, iz) {
-                                            tiles.push((sx, sy, sz));
+                                            let bx = reach1(dx, sx, hh, S::R);
+                                            let by = reach1(dy, sy, hh, S::R);
+                                            let bz = reach1(dz, sz, hh, S::R);
+                                            let exits = bx.0 < 0
+                                                || bx.1 > nx as i64
+                                                || by.0 < 0
+                                                || by.1 > ny as i64
+                                                || bz.0 < 0
+                                                || bz.1 > nz as i64;
+                                            if !b.is_dirichlet() && exits {
+                                                members.push((sx, sy, sz));
+                                                group_boxes.push(box3(bz, by, bx));
+                                            } else {
+                                                interior.push((
+                                                    stage,
+                                                    sx,
+                                                    sy,
+                                                    sz,
+                                                    box3(bz, by, bx),
+                                                ));
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
                     }
-                    tiles
-                })
-                .collect();
-            pool.install(|| {
-                let mut tau = 0usize;
-                while tau < t {
-                    let hh = h.min(t - tau);
-                    for tiles in &stages {
-                        tiles.clone().into_par_iter().for_each(|(sx, sy, sz)| {
-                            for ss in 0..hh {
-                                let xr = sx.range(dx, ss);
-                                let yr = sy.range(dy, ss);
-                                let zr = sz.range(dz, ss);
-                                $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
-                            }
-                        });
+                }
+                if !members.is_empty() {
+                    wave.push(chunk, 0, group_boxes, Node3::Edge { members, tau, hh });
+                }
+                for (stage, sx, sy, sz, fb) in interior {
+                    wave.push(
+                        chunk,
+                        stage,
+                        vec![fb],
+                        Node3::Tile {
+                            sx,
+                            sy,
+                            sz,
+                            tau,
+                            hh,
+                        },
+                    );
+                }
+                tau += hh;
+                chunk += 1;
+            }
+            wave.run(pool, pool.current_num_threads(), |node| match node {
+                Node3::Tile {
+                    sx,
+                    sy,
+                    sz,
+                    tau,
+                    hh,
+                } => {
+                    for ss in 0..*hh {
+                        let xr = sx.range(dx, ss);
+                        let yr = sy.range(dy, ss);
+                        let zr = sz.range(dz, ss);
+                        $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
                     }
-                    tau += hh;
+                }
+                Node3::Edge { members, tau, hh } => {
+                    for ss in 0..*hh {
+                        // Whole-grid refresh: every fold source is an
+                        // edge-frame cell owned by this group's members,
+                        // all at level `tau + ss` in lockstep.
+                        unsafe {
+                            halo::refresh3(
+                                bufs[(tau + ss) % 2].0,
+                                rs,
+                                ps,
+                                nx,
+                                ny,
+                                nz,
+                                S::R,
+                                b,
+                                &map,
+                            )
+                        };
+                        for &(sx, sy, sz) in members {
+                            let xr = sx.range(dx, ss);
+                            let yr = sy.range(dy, ss);
+                            let zr = sz.range(dz, ss);
+                            $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
+                        }
+                    }
                 }
             });
         }

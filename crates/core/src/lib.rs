@@ -50,7 +50,9 @@
 //! ```
 //!
 //! See [`exec`] for the plan engine (including layout-resident sessions
-//! and temporal tiling), [`spec`] for runtime stencil descriptions,
+//! and temporal tiling, which runs on all cores via a wavefront tile
+//! scheduler under any boundary), [`spec`] for runtime stencil
+//! descriptions,
 //! [`api`] for the legacy per-call entry points, [`layout`] for the
 //! data layouts, and [`kernels`] for the per-scheme implementations.
 

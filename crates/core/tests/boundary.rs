@@ -8,8 +8,9 @@
 //! values the direct folds produce, and the kernels accumulate in the
 //! family's canonical order, so any deviation is a bug, not rounding.
 //!
-//! Plus the build-time contracts: temporal tiling rejects non-Dirichlet
-//! boundaries, folds reject extents below the radius, sessions stay
+//! Plus the build-time contracts: every boundary composes with every
+//! tiling framework (the wavefront drivers refresh halos per tile
+//! step), folds reject extents below the radius, sessions stay
 //! consistent across reuse (2 × t ≡ 2t), and the legacy `run*` surface
 //! pins Dirichlet semantics.
 
@@ -351,31 +352,23 @@ fn fused_k2_matches_two_sequential_k1_steps() {
 // ---------------------------------------------------------------------------
 
 #[test]
-fn temporal_tiling_rejects_refreshed_boundaries() {
+fn temporal_tiling_accepts_every_boundary() {
+    // PR 7 lifted the Tiling × Boundary rejection: the wavefront drivers
+    // refresh halos per tile step, so every boundary now builds (and
+    // runs — see tests/wavefront.rs for the bit-identity matrix).
     let tess = Tiling::Tessellate {
         w: [128, 0, 0],
         h: 8,
         threads: 2,
     };
-    let err = Plan::new(Shape::d1(1024))
+    assert!(Plan::new(Shape::d1(1024))
         .method(Method::TransLayout2)
         .tiling(tess)
         .boundary(Boundary::Periodic)
         .star1(S1d3p::heat())
-        .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            PlanError::Boundary {
-                boundary: Boundary::Periodic,
-                ..
-            }
-        ),
-        "{err}"
-    );
-    assert!(err.to_string().contains("periodic"), "{err}");
+        .is_ok());
 
-    let err = Plan::new(Shape::d1(1024))
+    assert!(Plan::new(Shape::d1(1024))
         .method(Method::Dlt)
         .tiling(Tiling::Split {
             w: 64,
@@ -384,24 +377,31 @@ fn temporal_tiling_rejects_refreshed_boundaries() {
         })
         .boundary(Boundary::Reflect)
         .star1(S1d3p::heat())
-        .unwrap_err();
-    assert!(matches!(err, PlanError::Boundary { .. }), "{err}");
+        .is_ok());
 
-    // The same rejection flows through the erased path from the spec's
-    // own boundary (no builder knob involved).
+    // The erased path with the spec's own boundary builds too (no
+    // builder knob involved).
     let spec: StencilSpec = "1d3p@periodic".parse().unwrap();
-    let err = Plan::new(Shape::d1(1024))
+    assert!(Plan::new(Shape::d1(1024))
         .tiling(tess)
         .stencil(&spec)
-        .unwrap_err();
-    assert!(matches!(err, PlanError::Boundary { .. }), "{err}");
+        .is_ok());
 
-    // Dirichlet (any value) still composes with tiling.
+    // Dirichlet (any value) composes as before.
     assert!(Plan::new(Shape::d1(1024))
         .tiling(tess)
         .boundary(Boundary::Dirichlet(3.5))
         .star1(S1d3p::heat())
         .is_ok());
+
+    // The shape-level fold restriction still fires under tiling: a
+    // 1-cell interior cannot wrap, tiled or not.
+    let narrow: StencilSpec = "1d5p@periodic".parse().unwrap();
+    let err = Plan::new(Shape::d1(1))
+        .tiling(tess)
+        .stencil(&narrow)
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Boundary { .. }), "{err}");
 }
 
 #[test]
@@ -423,47 +423,7 @@ fn boundary_rejections_name_the_restriction() {
     // Each PlanError::Boundary carries a structured BoundaryReason whose
     // message says exactly which restriction fired — not a generic
     // "cannot run here".
-    let tess = Tiling::Tessellate {
-        w: [128, 0, 0],
-        h: 8,
-        threads: 2,
-    };
-    let err = Plan::new(Shape::d1(1024))
-        .method(Method::TransLayout2)
-        .tiling(tess)
-        .boundary(Boundary::Periodic)
-        .star1(S1d3p::heat())
-        .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            PlanError::Boundary {
-                reason: BoundaryReason::TemporalTiling {
-                    tiling: "tessellate"
-                },
-                ..
-            }
-        ),
-        "{err}"
-    );
-    let msg = err.to_string();
-    assert!(msg.contains("tessellate tiling"), "{msg}");
-    assert!(
-        msg.contains("Dirichlet halos compose with temporal tiling"),
-        "{msg}"
-    );
-
-    let err = Plan::new(Shape::d1(1024))
-        .tiling(Tiling::Split {
-            w: 64,
-            h: 8,
-            threads: 2,
-        })
-        .boundary(Boundary::Reflect)
-        .star1(S1d3p::heat())
-        .unwrap_err();
-    assert!(err.to_string().contains("split tiling"), "{err}");
-
+    //
     // The fold restriction names the axis, its extent, and the radius.
     let r2 = StencilSpec::star2(&[0.1, 0.2, 0.4, 0.15, 0.15], &[0.12, 0.18, 0.0, 0.22, 0.08])
         .unwrap()

@@ -1,0 +1,194 @@
+//! Wavefront-scheduler determinism suite.
+//!
+//! The tessellate/split drivers hand their tiles to the dependency-
+//! counted wavefront scheduler (`core::exec::wave`), whose contract is
+//! that **every admitted schedule is bit-identical to the sequential
+//! tiled order**. This suite pins that contract end to end:
+//!
+//! * tiled-parallel ≡ tiled-sequential ≡ untiled oracle, to 0 ULP,
+//! * across the six paper stencils × {dirichlet, periodic, reflect}
+//!   × threads {1, 2, 7} × {Tessellate, Split},
+//! * on non-divisible tile grids (every extent is chosen so the tile
+//!   width does not divide it), and
+//! * with a run-to-run determinism repeat (same plan, same input, many
+//!   runs, exactly one output).
+//!
+//! The untiled oracle uses the *same* method as the tiled run, so a
+//! failure here isolates the scheduler/tiling layer; cross-method and
+//! vs-naive agreement is owned by `tests/boundary.rs`.
+
+use stencil_core::exec::{Boundary, Parallelism, Plan, Shape, Tiling};
+use stencil_core::grid::AnyGrid;
+use stencil_core::spec::StencilSpec;
+use stencil_core::Method;
+use stencil_simd::Isa;
+
+/// Deterministic pseudo-random interior (same seeded-`StdRng` idiom as
+/// the sibling suites).
+fn seeded(shape: Shape, seed: u64) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let [nx, ny, nz] = shape.dims();
+    let cells = nx * ny.max(1) * nz.max(1);
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..cells).map(|_| r.random_range(0.0..1.0)).collect()
+}
+
+/// Extents chosen so no tile width below divides them: non-divisible
+/// tile grids exercise the shrunken last triangle and the uneven
+/// stage-1 tiles.
+fn shape_for(ndim: usize) -> Shape {
+    match ndim {
+        1 => Shape::d1(137),
+        2 => Shape::d2(81, 13),
+        _ => Shape::d3(70, 10, 7),
+    }
+}
+
+/// The tiled configurations under test for one dimensionality:
+/// tessellation over a natural-layout method and the fused
+/// transpose-layout method, split over DLT (its required layout).
+fn tilings(ndim: usize) -> Vec<(Method, Tiling)> {
+    let tess = match ndim {
+        1 => Tiling::Tessellate {
+            w: [48, 0, 0],
+            h: 2,
+            threads: 1,
+        },
+        2 => Tiling::Tessellate {
+            w: [32, 6, 0],
+            h: 2,
+            threads: 1,
+        },
+        _ => Tiling::Tessellate {
+            w: [24, 6, 4],
+            h: 2,
+            threads: 1,
+        },
+    };
+    let split = Tiling::Split {
+        w: if ndim == 1 { 8 } else { 6 },
+        h: 2,
+        threads: 1,
+    };
+    vec![
+        (Method::MultiLoad, tess),
+        (Method::TransLayout2, tess),
+        (Method::Dlt, split),
+    ]
+}
+
+const ALL_BOUNDARIES: [Boundary; 3] = [
+    Boundary::Dirichlet(0.25),
+    Boundary::Periodic,
+    Boundary::Reflect,
+];
+
+/// One stencil through the full boundary × tiling × threads matrix:
+/// the untiled sequential run of the same method is the oracle, the
+/// tiled sequential schedule must match it exactly, and every parallel
+/// wavefront schedule must match the tiled sequential one exactly.
+fn check(name: &str) {
+    let isa = Isa::detect_best();
+    let t = 5; // odd (covers the final parity swap), > h (crosses chunks)
+    for b in ALL_BOUNDARIES {
+        let spec = name.parse::<StencilSpec>().unwrap().with_boundary(b);
+        let shape = shape_for(spec.ndim());
+        let init = seeded(shape, 0x57A7E ^ spec.points() as u64);
+        for (method, tiling) in tilings(spec.ndim()) {
+            let run = |tiling: Option<Tiling>, par: Parallelism| -> Vec<f64> {
+                let mut plan = Plan::new(shape).method(method).isa(isa);
+                if let Some(tl) = tiling {
+                    plan = plan.tiling(tl);
+                }
+                let mut plan = plan
+                    .parallelism(par)
+                    .stencil(&spec)
+                    .unwrap_or_else(|e| panic!("{spec} {method} {par:?}: {e}"));
+                let mut g = AnyGrid::from_vec_spec(shape, &spec, init.clone()).unwrap();
+                plan.run(&mut g, t);
+                g.to_vec()
+            };
+            let untiled = run(None, Parallelism::Off);
+            let seq = run(Some(tiling), Parallelism::Off);
+            assert_eq!(
+                seq, untiled,
+                "tiled-sequential vs untiled: {spec} {method} {tiling:?}"
+            );
+            for threads in [1, 2, 7] {
+                let par = run(Some(tiling), Parallelism::Threads(threads));
+                assert_eq!(
+                    par, seq,
+                    "wavefront vs tiled-sequential: {spec} {method} {tiling:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wavefront_1d_paper_stencils() {
+    check("1d3p");
+    check("1d5p");
+}
+
+#[test]
+fn wavefront_2d_paper_stencils() {
+    check("2d5p");
+    check("2d9p");
+}
+
+#[test]
+fn wavefront_3d_paper_stencils() {
+    check("3d7p");
+    check("3d27p");
+}
+
+#[test]
+fn wavefront_runs_are_deterministic() {
+    // Same plan object, same input, eight runs with a 7-thread pool on a
+    // non-divisible tile grid: exactly one output. Scheduling jitter must
+    // never reach the numbers.
+    let isa = Isa::detect_best();
+    for (name, method, tiling) in [
+        (
+            "2d5p@periodic",
+            Method::TransLayout2,
+            Tiling::Tessellate {
+                w: [32, 6, 0],
+                h: 2,
+                threads: 1,
+            },
+        ),
+        (
+            "2d9p@reflect",
+            Method::Dlt,
+            Tiling::Split {
+                w: 6,
+                h: 2,
+                threads: 1,
+            },
+        ),
+    ] {
+        let spec: StencilSpec = name.parse().unwrap();
+        let shape = shape_for(2);
+        let init = seeded(shape, 0xD1CE ^ spec.points() as u64);
+        let mut plan = Plan::new(shape)
+            .method(method)
+            .isa(isa)
+            .tiling(tiling)
+            .parallelism(Parallelism::Threads(7))
+            .stencil(&spec)
+            .unwrap();
+        let mut first: Option<Vec<f64>> = None;
+        for rep in 0..8 {
+            let mut g = AnyGrid::from_vec_spec(shape, &spec, init.clone()).unwrap();
+            plan.run(&mut g, 5);
+            let out = g.to_vec();
+            match &first {
+                None => first = Some(out),
+                Some(want) => assert_eq!(&out, want, "{spec} {method} rep {rep}"),
+            }
+        }
+    }
+}
