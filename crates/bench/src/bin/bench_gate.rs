@@ -21,6 +21,14 @@
 //! its remaining identity, and the run fails when any pair's wall-time
 //! ratio exceeds 1.10× — the fused halo fast path's contract. Same
 //! advisory rule across host classes.
+//!
+//! A **dtype-speedup check** runs the same way: every f32 row (one
+//! carrying a `dtype` field) is paired with the f64 row sharing its
+//! remaining identity, and when the current host has a SIMD ISA the
+//! geomean f64/f32 speedup must reach 1.3× — twice the lane width owes
+//! a real win, not just parity. On a portable-only host (no SIMD to
+//! widen) the check is informational, and across host classes it is
+//! advisory like everything else (`--strict` enforces).
 
 use std::path::PathBuf;
 
@@ -162,6 +170,45 @@ fn main() {
         true
     };
 
+    // Dtype speedup: within the current snapshots, f32 rows owe a
+    // geomean ≥ DTYPE_SPEEDUP× over their f64 siblings when the host
+    // has a SIMD ISA (portable-only hosts get an informational line —
+    // scalar f32 owes nothing). Like boundary parity, independent of
+    // the baseline.
+    const DTYPE_SPEEDUP: f64 = 1.3;
+    let mut dtype_speedups: Vec<f64> = Vec::new();
+    let mut dtype_isa = String::new();
+    for name in &names {
+        if let Ok((pairs, isa)) = gate::dtype_speedups(name, &current) {
+            dtype_isa = isa;
+            dtype_speedups.extend(pairs.iter().map(|p| p.speedup));
+        }
+    }
+    let dtype_gm = gate::geomean(&dtype_speedups);
+    let simd_host = !dtype_isa.is_empty() && dtype_isa != "portable";
+    if !dtype_speedups.is_empty() {
+        println!(
+            "dtype speedup: {} f32/f64 pair(s), geomean {dtype_gm:.2}x (bar {DTYPE_SPEEDUP}x, \
+             {})",
+            dtype_speedups.len(),
+            if simd_host {
+                "gated"
+            } else {
+                "informational on a portable-only host"
+            }
+        );
+    }
+    let dtype_failed = |advisory: bool| {
+        if dtype_speedups.is_empty() || !simd_host || dtype_gm >= DTYPE_SPEEDUP || advisory {
+            return false;
+        }
+        eprintln!(
+            "bench_gate: FAIL — f32 geomean speedup {dtype_gm:.2}x is under the \
+             {DTYPE_SPEEDUP}x bar on a SIMD host ({dtype_isa})"
+        );
+        true
+    };
+
     let advisory = mismatch.is_some() && !strict;
     if all_ratios.is_empty() {
         // New rows with nothing gated yet is the normal state right
@@ -171,7 +218,7 @@ fn main() {
         // every current row new, and silently passing that would turn
         // the gate off; keep it a hard failure.
         if new_total > 0 && missing_total == 0 {
-            if parity_failed(advisory) {
+            if parity_failed(advisory) || dtype_failed(advisory) {
                 std::process::exit(1);
             }
             println!(
@@ -207,7 +254,7 @@ fn main() {
         eprintln!("bench_gate: FAIL — geomean regression {pct:+.1}% exceeds {threshold:.0}%");
         std::process::exit(1);
     }
-    if parity_failed(advisory) {
+    if parity_failed(advisory) || dtype_failed(advisory) {
         std::process::exit(1);
     }
     if new_total > 0 {

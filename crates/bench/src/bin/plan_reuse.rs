@@ -21,7 +21,7 @@ use std::time::Instant;
 use stencil_bench::save::{Row, Value};
 use stencil_bench::{gflops, grid1, storage_level, Cli, Scale};
 use stencil_core::exec::{Boundary, Parallelism, Plan, Shape};
-use stencil_core::{run1_star1, Method, S1d3p, StencilSpec};
+use stencil_core::{run1_star1, AnyGrid, Method, S1d3p, StencilSpec};
 use stencil_simd::Isa;
 
 /// Best-of-3 wall time for `calls` invocations of `f`.
@@ -228,6 +228,41 @@ fn main() {
         });
         drop(dyn_sess);
 
+        // (e) the f32 dtype family: the same workload at half the
+        // element width — typed `star1_elem::<f32>` session and the
+        // erased `@f32` session. The typed row is the dtype-speedup
+        // numerator bench_gate pairs against (c) (twice the lane width
+        // owes ≥1.3x geomean on SIMD hosts); the erased row rides the
+        // same ≤2% erasure bar as (d). The two f32 variants are timed
+        // interleaved so their overhead ratio samples one noise window.
+        let spec32 = spec.clone().with_dtype(stencil_simd::Dtype::F32);
+        let init32 = stencil_bench::grid1_f32(n, 21);
+        let mut plan32 = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .parallelism(par)
+            .star1_elem::<f32, _>(s)
+            .expect("valid plan");
+        let mut g32 = init32.clone();
+        let mut dyn_plan32 = Plan::new(Shape::d1(n))
+            .method(method)
+            .isa(isa)
+            .parallelism(par)
+            .stencil(&spec32)
+            .expect("valid plan");
+        let mut ge32 =
+            AnyGrid::from_vec_spec_f32(Shape::d1(n), &spec32, init32.interior().to_vec())
+                .expect("valid f32 grid");
+        let (sess32_s, dyn32_s) = {
+            let mut sess32 = plan32.session(&mut g32);
+            let mut dyn_sess32 = dyn_plan32.session(&mut ge32);
+            let mut a = move || sess32.run(chunk);
+            let mut b = move || dyn_sess32.run(chunk);
+            let mut fs: Vec<&mut dyn FnMut()> = vec![&mut a, &mut b];
+            let timed = time_calls_interleaved(calls, 3, &mut fs);
+            (timed[0], timed[1])
+        };
+
         let level = storage_level(2 * 8 * n);
         println!(
             "{:<10} {:<6} {:>7} {:>6} {:>9.2} ms {:>9.2} ms {:>9.2} ms {:>9.2} ms  {:>8.2}x {:>8.3}x",
@@ -255,6 +290,39 @@ fn main() {
                 ("chunk", Value::from(chunk)),
                 ("calls", Value::from(calls)),
                 ("variant", Value::from(variant)),
+                ("seconds", Value::from(secs)),
+                (
+                    "gflops",
+                    Value::from(gflops(n, chunk * calls, spec.flops_per_point(), secs)),
+                ),
+            ]);
+        }
+
+        println!(
+            "{:<10} {:<6} {:>7} {:>6} {:>9} dtype=f32        {:>9.2} ms {:>9.2} ms  {:>8.2}x f64/f32 {:>8.3}x dyn/sess",
+            n,
+            level,
+            chunk,
+            calls,
+            "",
+            sess32_s * 1e3,
+            dyn32_s * 1e3,
+            sess_s / sess32_s,
+            dyn32_s / sess32_s,
+        );
+        // The f32 rows carry the f64 sibling's identity fields plus a
+        // `dtype` marker — bench_gate's dtype-speedup check pairs each
+        // with the row sharing the rest of its identity (`level` stays
+        // the sibling's 8-byte classification for exactly that reason).
+        for (variant, secs) in [("session", sess32_s), ("dyn_session", dyn32_s)] {
+            rows.push(vec![
+                ("n", Value::from(n)),
+                ("level", Value::from(level)),
+                ("threads", Value::from(threads)),
+                ("chunk", Value::from(chunk)),
+                ("calls", Value::from(calls)),
+                ("variant", Value::from(variant)),
+                ("dtype", Value::from("f32")),
                 ("seconds", Value::from(secs)),
                 (
                     "gflops",

@@ -20,7 +20,7 @@
 //! 1, 2, 4, ... up to every available core.
 
 use stencil_bench::save::{Row, Value};
-use stencil_bench::{any_grid, best_of, gflops, Cli, Scale};
+use stencil_bench::{any_grid_dtype, best_of, gflops, Cli, Scale};
 use stencil_core::exec::{Parallelism, Plan, Shape, Tiling};
 use stencil_core::verify::max_abs_diff_any;
 use stencil_core::{Method, StencilSpec};
@@ -52,6 +52,11 @@ type Workload = (&'static str, Shape, usize, u64, Method, Option<Tiling>);
 
 struct Cell {
     workload: String,
+    /// `Some("f32")` for the narrow-element rows: the saved row then
+    /// carries the *base* workload name plus a `dtype` field, so
+    /// bench_gate's dtype-speedup check pairs it with the f64 sibling
+    /// sharing the rest of its identity.
+    dtype: Option<&'static str>,
     threads: usize, // 0 encodes Parallelism::Off
     secs: f64,
     gf: f64,
@@ -69,21 +74,31 @@ fn report(cells: &[Cell], rows: &mut Vec<Row>) {
             c.threads.to_string()
         };
         let speedup = off.secs / c.secs;
+        let shown = match c.dtype {
+            Some(d) => format!("{}@{d}", c.workload),
+            None => c.workload.clone(),
+        };
         println!(
             "{:<10} {:>7} {:>11.2} ms {:>9.2} GF/s {:>8.2}x",
-            c.workload,
+            shown,
             label,
             c.secs * 1e3,
             c.gf,
             speedup,
         );
-        rows.push(vec![
+        let mut row = vec![
             ("workload", Value::Str(c.workload.clone())),
             ("threads", Value::Str(label)),
+        ];
+        if let Some(d) = c.dtype {
+            row.push(("dtype", Value::from(d)));
+        }
+        row.extend([
             ("seconds", Value::from(c.secs)),
             ("gflops", Value::from(c.gf)),
             ("speedup_vs_off", Value::from(speedup)),
         ]);
+        rows.push(row);
     }
 }
 
@@ -105,6 +120,12 @@ fn main() {
     // kernel under Off and Threads(k) — pure decomposition scaling. The
     // 2D cell is the acceptance workload: a ≥4-core host should show
     // ≥2.5x at 4 threads over Off.
+    // The `@f32` workloads are the dtype row family: the same shapes
+    // and step counts at half the element width (the initial grids are
+    // the f32 roundings of the f64 siblings' cells — same seeds). Their
+    // rows carry the base workload name plus a `dtype` field, so
+    // bench_gate pairs each with its f64 sibling for the dtype-speedup
+    // check; they sweep the full thread axis like the siblings.
     // The `@boundary` workloads are the boundary row family: identical
     // decomposition plus the wrap/mirror halo refresh, fused into each
     // band's sweep (no extra barrier), still verified bit-identical
@@ -119,6 +140,9 @@ fn main() {
             ("3d7p", Shape::d3(64, 64, 64), 6, 43),
             ("2d5p@periodic", Shape::d2(512, 256), 10, 44),
             ("3d7p@reflect", Shape::d3(64, 64, 64), 6, 45),
+            ("1d3p@f32", Shape::d1(500_000), 12, 41),
+            ("2d5p@f32", Shape::d2(512, 256), 10, 42),
+            ("3d7p@f32", Shape::d3(64, 64, 64), 6, 43),
         ]
     } else {
         &[
@@ -127,6 +151,9 @@ fn main() {
             ("3d7p", Shape::d3(192, 192, 192), 10, 43),
             ("2d5p@periodic", Shape::d2(2_000, 1_000), 40, 44),
             ("3d7p@reflect", Shape::d3(192, 192, 192), 10, 45),
+            ("1d3p@f32", Shape::d1(4_000_000), 40, 41),
+            ("2d5p@f32", Shape::d2(2_000, 1_000), 40, 42),
+            ("3d7p@f32", Shape::d3(192, 192, 192), 10, 43),
         ]
     };
 
@@ -142,7 +169,12 @@ fn main() {
     // Tile geometry follows fig9's tuning direction: wide tiles and a
     // tall time chunk, so the per-tile scheduling cost amortizes over
     // real temporal reuse while still leaving a 4x4 tile grid for the
-    // wavefront to distribute.
+    // wavefront to distribute. The `2d5p+tess(tl2)` row tracks the
+    // known TL2-under-tessellation gap (ROADMAP follow-up): TL2's k = 2
+    // fused pass re-enters the transpose layout at every tile boundary,
+    // so its tessellated schedule trails the MultiLoad row sharing the
+    // same tile geometry — the row keeps that gap visible in the perf
+    // trajectory until the layout-resident tile pipeline closes it.
     let tess = |wx: usize, wy: usize, h: usize| Tiling::Tessellate {
         w: [wx, wy, 0],
         h,
@@ -175,6 +207,14 @@ fn main() {
                 Method::Dlt,
                 split(64, 10),
             ),
+            (
+                "2d5p+tess(tl2)",
+                Shape::d2(512, 256),
+                10,
+                46,
+                Method::TransLayout2,
+                tess(128, 64, 10),
+            ),
         ]
     } else {
         &[
@@ -202,6 +242,14 @@ fn main() {
                 Method::Dlt,
                 split(200, 40),
             ),
+            (
+                "2d5p+tess(tl2)",
+                Shape::d2(2_000, 1_000),
+                40,
+                46,
+                Method::TransLayout2,
+                tess(200, 200, 40),
+            ),
         ]
     };
 
@@ -218,8 +266,12 @@ fn main() {
     for (name, shape, t, seed, method, tiling) in all {
         let base = name.split('+').next().unwrap_or(name);
         let spec: StencilSpec = base.parse().expect("paper stencil name");
-        let waxis: &[usize] = if name.contains('@') { &[2, 7] } else { &axis };
-        let init = any_grid(shape, spec.radius(), seed);
+        let waxis: &[usize] = if name.contains("@periodic") || name.contains("@reflect") {
+            &[2, 7]
+        } else {
+            &axis
+        };
+        let init = any_grid_dtype(shape, spec.radius(), seed, spec.dtype());
         let mut oracle = init.clone();
         Plan::new(shape)
             .method(Method::Scalar)
@@ -254,7 +306,8 @@ fn main() {
                 bit_failures += 1;
             }
             cells.push(Cell {
-                workload: name.to_string(),
+                workload: name.replace("@f32", ""),
+                dtype: (spec.dtype() == stencil_simd::Dtype::F32).then_some("f32"),
                 threads: if i == 0 { 0 } else { k },
                 secs,
                 gf: gflops(cells_n, t, spec.flops_per_point(), secs),

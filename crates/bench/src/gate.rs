@@ -450,6 +450,79 @@ pub fn boundary_parity(name: &str, dir: &Path) -> Result<Vec<ParityPair>, String
     Ok(pairs)
 }
 
+// ---------------------------------------------------------------------------
+// Dtype speedup
+// ---------------------------------------------------------------------------
+
+/// An f32 row paired with the f64 row sharing every other identity field
+/// — both from the **same** snapshot, like [`boundary_parity`], so the
+/// speedup is within one host and one build.
+#[derive(Debug)]
+pub struct DtypePair {
+    /// Identity of the f64 sibling row.
+    pub key: String,
+    /// Dtype label of the narrow row (today always `f32`).
+    pub dtype: String,
+    /// Wall-time speedup f64 / f32 (> 1 means the narrow element type
+    /// is faster, as twice the lane width should be).
+    pub speedup: f64,
+}
+
+/// The identity the f64 sibling of `row` would have, plus the dtype
+/// label — `None` when `row` carries no explicit `dtype` field (f64
+/// rows never do).
+fn f64_sibling(row: &Json) -> Option<(String, String)> {
+    let Json::Obj(fields) = row else { return None };
+    let Some(Json::Str(d)) = row.get("dtype") else {
+        return None;
+    };
+    let rest: Vec<(String, Json)> = fields
+        .iter()
+        .filter(|(k, _)| k != "dtype")
+        .cloned()
+        .collect();
+    Some((row_key(&Json::Obj(rest)), d.clone()))
+}
+
+/// Pair every `dtype`-carrying row of `BENCH_<name>.json` under `dir`
+/// with its f64 sibling (sharing every identity field but `dtype`) and
+/// return the wall-time speedups, plus the snapshot's `best_isa` (the
+/// check only owes a speedup when a SIMD ISA is present — portable
+/// scalar f32 merely halves the memory traffic). Rows without a sibling
+/// are skipped.
+pub fn dtype_speedups(name: &str, dir: &Path) -> Result<(Vec<DtypePair>, String), String> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let best_isa = fingerprint(&doc).0;
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err(format!("{}: no rows array", path.display()));
+    };
+    let by_key: BTreeMap<String, &Json> = rows.iter().map(|r| (row_key(r), r)).collect();
+    let mut pairs = Vec::new();
+    for row in rows {
+        let Some((key, dtype)) = f64_sibling(row) else {
+            continue;
+        };
+        let Some(sibling) = by_key.get(&key) else {
+            continue;
+        };
+        // row_ratio is current/baseline; with (sibling, row) = (f64,
+        // f32) that is f32/f64 wall time — invert for a speedup.
+        if let Some(ratio) = row_ratio(sibling, row) {
+            if ratio > 0.0 {
+                pairs.push(DtypePair {
+                    key,
+                    dtype,
+                    speedup: 1.0 / ratio,
+                });
+            }
+        }
+    }
+    Ok((pairs, best_isa))
+}
+
 /// Copy the gate set's current snapshots over the committed baseline.
 pub fn rebaseline(names: &[&str], baseline: &Path, current: &Path) -> Result<Vec<PathBuf>, String> {
     std::fs::create_dir_all(baseline).map_err(|e| e.to_string())?;
@@ -637,6 +710,50 @@ mod tests {
         assert!((got[0].1 - 1.05).abs() < 1e-12);
         assert_eq!(got[1].0, "reflect");
         assert!((got[1].1 - 1.5).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dtype_speedups_pair_f32_rows_with_f64_siblings() {
+        let dir = std::env::temp_dir().join(format!("gate_dtype_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = vec![
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("seconds", crate::save::Value::from(2.0)),
+            ],
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("dtype", crate::save::Value::from("f32")),
+                ("seconds", crate::save::Value::from(1.0)),
+            ],
+            // An f32 row with no f64 sibling is skipped, not an error.
+            vec![
+                ("n", crate::save::Value::from(999usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("dtype", crate::save::Value::from("f32")),
+                ("seconds", crate::save::Value::from(1.0)),
+            ],
+            // A boundary row must not pair as a dtype sibling.
+            vec![
+                ("n", crate::save::Value::from(100usize)),
+                ("variant", crate::save::Value::from("session")),
+                ("boundary", crate::save::Value::from("periodic")),
+                ("seconds", crate::save::Value::from(2.1)),
+            ],
+        ];
+        crate::save::write_json(&dir, "dtype", &rows).unwrap();
+        let (pairs, isa) = dtype_speedups("dtype", &dir).unwrap();
+        assert!(!isa.is_empty());
+        assert_eq!(pairs.len(), 1, "{pairs:?}");
+        assert_eq!(pairs[0].dtype, "f32");
+        assert!(
+            (pairs[0].speedup - 2.0).abs() < 1e-12,
+            "{}",
+            pairs[0].speedup
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -260,6 +260,32 @@ pub fn any_grid(shape: Shape, halo_r: usize, seed: u64) -> AnyGrid {
     AnyGrid::from_fn(shape, halo_r, 0.0, |_, _, _| r.random_range(0.0..1.0))
 }
 
+/// Dtype-aware twin of [`any_grid`]: the same draw sequence, rounded to
+/// the element type the spec asks for — an `@f32` workload gets a native
+/// f32 grid whose cells are the f32 roundings of its f64 sibling's.
+pub fn any_grid_dtype(
+    shape: Shape,
+    halo_r: usize,
+    seed: u64,
+    dtype: stencil_simd::Dtype,
+) -> AnyGrid {
+    let mut r = StdRng::seed_from_u64(seed);
+    match dtype {
+        stencil_simd::Dtype::F64 => {
+            AnyGrid::from_fn(shape, halo_r, 0.0, |_, _, _| r.random_range(0.0..1.0))
+        }
+        stencil_simd::Dtype::F32 => AnyGrid::from_fn_f32(shape, halo_r, 0.0, |_, _, _| {
+            r.random_range(0.0..1.0) as f32
+        }),
+    }
+}
+
+/// Deterministic random 1D f32 grid (the f32 sibling of [`grid1`]).
+pub fn grid1_f32(n: usize, seed: u64) -> Grid1<f32> {
+    let mut r = StdRng::seed_from_u64(seed);
+    Grid1::from_fn(n, 0.0, |_| r.random_range(0.0..1.0) as f32)
+}
+
 /// The paper's method labels for the sequential experiments (Fig. 7 /
 /// Table 2).
 pub const SEQ_METHODS: [(Method, &str); 5] = [

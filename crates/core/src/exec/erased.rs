@@ -36,7 +36,7 @@
 //! # assert_eq!(grid.ndim(), 2);
 //! ```
 
-use stencil_simd::Isa;
+use stencil_simd::{Dtype, Elem, Isa};
 
 use super::{
     Boundary, Method, Parallelism, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box, Plan3Star,
@@ -53,21 +53,35 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 /// callers, and `&mut Grid1`/`Grid2`/`Grid3` so typed containers can be
 /// driven by an erased plan without re-wrapping.
 pub enum AnyGridMut<'a> {
-    /// A borrowed 1D grid.
+    /// A borrowed 1D `f64` grid.
     D1(&'a mut Grid1),
-    /// A borrowed 2D grid.
+    /// A borrowed 2D `f64` grid.
     D2(&'a mut Grid2),
-    /// A borrowed 3D grid.
+    /// A borrowed 3D `f64` grid.
     D3(&'a mut Grid3),
+    /// A borrowed 1D `f32` grid.
+    D1F32(&'a mut Grid1<f32>),
+    /// A borrowed 2D `f32` grid.
+    D2F32(&'a mut Grid2<f32>),
+    /// A borrowed 3D `f32` grid.
+    D3F32(&'a mut Grid3<f32>),
 }
 
 impl AnyGridMut<'_> {
     /// Number of spatial dimensions (1–3).
     pub fn ndim(&self) -> usize {
         match self {
-            AnyGridMut::D1(_) => 1,
-            AnyGridMut::D2(_) => 2,
-            AnyGridMut::D3(_) => 3,
+            AnyGridMut::D1(_) | AnyGridMut::D1F32(_) => 1,
+            AnyGridMut::D2(_) | AnyGridMut::D2F32(_) => 2,
+            AnyGridMut::D3(_) | AnyGridMut::D3F32(_) => 3,
+        }
+    }
+
+    /// The element type the borrowed grid carries.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            AnyGridMut::D1(_) | AnyGridMut::D2(_) | AnyGridMut::D3(_) => Dtype::F64,
+            AnyGridMut::D1F32(_) | AnyGridMut::D2F32(_) | AnyGridMut::D3F32(_) => Dtype::F32,
         }
     }
 
@@ -77,6 +91,9 @@ impl AnyGridMut<'_> {
             AnyGridMut::D1(g) => Shape::d1(g.n()),
             AnyGridMut::D2(g) => Shape::d2(g.nx(), g.ny()),
             AnyGridMut::D3(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
+            AnyGridMut::D1F32(g) => Shape::d1(g.n()),
+            AnyGridMut::D2F32(g) => Shape::d2(g.nx(), g.ny()),
+            AnyGridMut::D3F32(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
         }
     }
 }
@@ -99,12 +116,33 @@ impl<'a> From<&'a mut Grid3> for AnyGridMut<'a> {
     }
 }
 
+impl<'a> From<&'a mut Grid1<f32>> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid1<f32>) -> Self {
+        AnyGridMut::D1F32(g)
+    }
+}
+
+impl<'a> From<&'a mut Grid2<f32>> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid2<f32>) -> Self {
+        AnyGridMut::D2F32(g)
+    }
+}
+
+impl<'a> From<&'a mut Grid3<f32>> for AnyGridMut<'a> {
+    fn from(g: &'a mut Grid3<f32>) -> Self {
+        AnyGridMut::D3F32(g)
+    }
+}
+
 impl<'a> From<&'a mut AnyGrid> for AnyGridMut<'a> {
     fn from(g: &'a mut AnyGrid) -> Self {
         match g {
             AnyGrid::D1(g) => AnyGridMut::D1(g),
             AnyGrid::D2(g) => AnyGridMut::D2(g),
             AnyGrid::D3(g) => AnyGridMut::D3(g),
+            AnyGrid::D1F32(g) => AnyGridMut::D1F32(g),
+            AnyGrid::D2F32(g) => AnyGridMut::D2F32(g),
+            AnyGrid::D3F32(g) => AnyGridMut::D3F32(g),
         }
     }
 }
@@ -130,14 +168,16 @@ trait ErasedSession {
 }
 
 macro_rules! erased_impl {
-    ($Plan:ident, $Session:ident, $bound:ident, $var:ident, $ndim:literal) => {
-        impl<S: $bound> ErasedPlan for $Plan<S> {
+    ($Plan:ident, $Session:ident, $bound:ident, $ty:ty, $var:ident, $ndim:literal) => {
+        impl<S: $bound> ErasedPlan for $Plan<S, $ty> {
             fn run_any(&mut self, g: AnyGridMut<'_>, t: usize) {
                 let AnyGridMut::$var(g) = g else {
                     panic!(
-                        "plan was compiled for a {}D stencil but the grid is {}D",
+                        "plan was compiled for a {}D {} stencil but the grid is {}D {}",
                         $ndim,
-                        g.ndim()
+                        <$ty as Elem>::DTYPE,
+                        g.ndim(),
+                        g.dtype()
                     )
                 };
                 self.run(g, t);
@@ -146,9 +186,11 @@ macro_rules! erased_impl {
             fn session_any<'p>(&'p mut self, g: AnyGridMut<'p>) -> Box<dyn ErasedSession + 'p> {
                 let AnyGridMut::$var(g) = g else {
                     panic!(
-                        "plan was compiled for a {}D stencil but the grid is {}D",
+                        "plan was compiled for a {}D {} stencil but the grid is {}D {}",
                         $ndim,
-                        g.ndim()
+                        <$ty as Elem>::DTYPE,
+                        g.ndim(),
+                        g.dtype()
                     )
                 };
                 Box::new(self.session(g))
@@ -177,7 +219,7 @@ macro_rules! erased_impl {
             }
         }
 
-        impl<S: $bound> ErasedSession for $Session<'_, S> {
+        impl<S: $bound> ErasedSession for $Session<'_, S, $ty> {
             fn run_steps(&mut self, t: usize) {
                 self.run(t)
             }
@@ -185,11 +227,16 @@ macro_rules! erased_impl {
     };
 }
 
-erased_impl!(Plan1, Session1, Star1, D1, 1);
-erased_impl!(Plan2Star, Session2Star, Star2, D2, 2);
-erased_impl!(Plan2Box, Session2Box, Box2, D2, 2);
-erased_impl!(Plan3Star, Session3Star, Star3, D3, 3);
-erased_impl!(Plan3Box, Session3Box, Box3, D3, 3);
+erased_impl!(Plan1, Session1, Star1, f64, D1, 1);
+erased_impl!(Plan2Star, Session2Star, Star2, f64, D2, 2);
+erased_impl!(Plan2Box, Session2Box, Box2, f64, D2, 2);
+erased_impl!(Plan3Star, Session3Star, Star3, f64, D3, 3);
+erased_impl!(Plan3Box, Session3Box, Box3, f64, D3, 3);
+erased_impl!(Plan1, Session1, Star1, f32, D1F32, 1);
+erased_impl!(Plan2Star, Session2Star, Star2, f32, D2F32, 2);
+erased_impl!(Plan2Box, Session2Box, Box2, f32, D2F32, 2);
+erased_impl!(Plan3Star, Session3Star, Star3, f32, D3F32, 3);
+erased_impl!(Plan3Box, Session3Box, Box3, f32, D3F32, 3);
 
 /// A compiled execution plan whose stencil was described at runtime by
 /// a [`StencilSpec`] — the type-erased sibling of [`Plan1`],
@@ -245,6 +292,12 @@ impl DynPlan {
     /// The stencil description this plan was compiled from.
     pub fn spec(&self) -> &StencilSpec {
         &self.spec
+    }
+
+    /// The element type the plan's grids carry (from the spec's
+    /// [`StencilSpec::dtype`]).
+    pub fn dtype(&self) -> Dtype {
+        self.spec.dtype()
     }
 
     /// The plan's vectorization method.
@@ -318,41 +371,65 @@ impl Plan {
             boundary: Some(self.boundary.unwrap_or_else(|| spec.boundary())),
             ..self
         };
-        // The match below instantiates one carrier per (family, radius)
-        // with radii written out literally; raising MAX_R must extend it
-        // or validated specs would hit the unreachable arm at runtime.
+        // The match below instantiates one carrier per (dtype, family,
+        // radius) with radii written out literally; raising MAX_R must
+        // extend it or validated specs would hit the unreachable arm at
+        // runtime. The f32 rows double the instantiation count — that is
+        // a cold-build (compile-time) cost only; each runtime plan still
+        // monomorphizes exactly one carrier.
         const _: () = assert!(
             crate::stencil::MAX_R == 4,
             "extend the radius arms in Plan::stencil for the new MAX_R"
         );
         macro_rules! arm {
-            ($terminal:ident, $Carrier:ident, $r:literal) => {
-                Box::new(resolved.$terminal($Carrier::<$r>::new(spec))?)
+            ($terminal:ident, $T:ty, $Carrier:ident, $r:literal) => {
+                Box::new(resolved.$terminal::<$T, _>($Carrier::<$r>::new(spec))?)
                     as Box<dyn ErasedPlan + Send>
             };
         }
+        use stencil_simd::Dtype::{F32, F64};
         use StencilShape::{Box as BoxS, Star};
-        let inner = match (spec.shape(), spec.ndim(), spec.radius()) {
-            (Star, 1, 1) => arm!(star1, DynStar1, 1),
-            (Star, 1, 2) => arm!(star1, DynStar1, 2),
-            (Star, 1, 3) => arm!(star1, DynStar1, 3),
-            (Star, 1, 4) => arm!(star1, DynStar1, 4),
-            (Star, 2, 1) => arm!(star2, DynStar2, 1),
-            (Star, 2, 2) => arm!(star2, DynStar2, 2),
-            (Star, 2, 3) => arm!(star2, DynStar2, 3),
-            (Star, 2, 4) => arm!(star2, DynStar2, 4),
-            (Star, 3, 1) => arm!(star3, DynStar3, 1),
-            (Star, 3, 2) => arm!(star3, DynStar3, 2),
-            (Star, 3, 3) => arm!(star3, DynStar3, 3),
-            (Star, 3, 4) => arm!(star3, DynStar3, 4),
-            (BoxS, 2, 1) => arm!(box2, DynBox2, 1),
-            (BoxS, 2, 2) => arm!(box2, DynBox2, 2),
-            (BoxS, 2, 3) => arm!(box2, DynBox2, 3),
-            (BoxS, 2, 4) => arm!(box2, DynBox2, 4),
-            (BoxS, 3, 1) => arm!(box3, DynBox3, 1),
-            (BoxS, 3, 2) => arm!(box3, DynBox3, 2),
-            (BoxS, 3, 3) => arm!(box3, DynBox3, 3),
-            (BoxS, 3, 4) => arm!(box3, DynBox3, 4),
+        let inner = match (spec.dtype(), spec.shape(), spec.ndim(), spec.radius()) {
+            (F64, Star, 1, 1) => arm!(star1_elem, f64, DynStar1, 1),
+            (F64, Star, 1, 2) => arm!(star1_elem, f64, DynStar1, 2),
+            (F64, Star, 1, 3) => arm!(star1_elem, f64, DynStar1, 3),
+            (F64, Star, 1, 4) => arm!(star1_elem, f64, DynStar1, 4),
+            (F64, Star, 2, 1) => arm!(star2_elem, f64, DynStar2, 1),
+            (F64, Star, 2, 2) => arm!(star2_elem, f64, DynStar2, 2),
+            (F64, Star, 2, 3) => arm!(star2_elem, f64, DynStar2, 3),
+            (F64, Star, 2, 4) => arm!(star2_elem, f64, DynStar2, 4),
+            (F64, Star, 3, 1) => arm!(star3_elem, f64, DynStar3, 1),
+            (F64, Star, 3, 2) => arm!(star3_elem, f64, DynStar3, 2),
+            (F64, Star, 3, 3) => arm!(star3_elem, f64, DynStar3, 3),
+            (F64, Star, 3, 4) => arm!(star3_elem, f64, DynStar3, 4),
+            (F64, BoxS, 2, 1) => arm!(box2_elem, f64, DynBox2, 1),
+            (F64, BoxS, 2, 2) => arm!(box2_elem, f64, DynBox2, 2),
+            (F64, BoxS, 2, 3) => arm!(box2_elem, f64, DynBox2, 3),
+            (F64, BoxS, 2, 4) => arm!(box2_elem, f64, DynBox2, 4),
+            (F64, BoxS, 3, 1) => arm!(box3_elem, f64, DynBox3, 1),
+            (F64, BoxS, 3, 2) => arm!(box3_elem, f64, DynBox3, 2),
+            (F64, BoxS, 3, 3) => arm!(box3_elem, f64, DynBox3, 3),
+            (F64, BoxS, 3, 4) => arm!(box3_elem, f64, DynBox3, 4),
+            (F32, Star, 1, 1) => arm!(star1_elem, f32, DynStar1, 1),
+            (F32, Star, 1, 2) => arm!(star1_elem, f32, DynStar1, 2),
+            (F32, Star, 1, 3) => arm!(star1_elem, f32, DynStar1, 3),
+            (F32, Star, 1, 4) => arm!(star1_elem, f32, DynStar1, 4),
+            (F32, Star, 2, 1) => arm!(star2_elem, f32, DynStar2, 1),
+            (F32, Star, 2, 2) => arm!(star2_elem, f32, DynStar2, 2),
+            (F32, Star, 2, 3) => arm!(star2_elem, f32, DynStar2, 3),
+            (F32, Star, 2, 4) => arm!(star2_elem, f32, DynStar2, 4),
+            (F32, Star, 3, 1) => arm!(star3_elem, f32, DynStar3, 1),
+            (F32, Star, 3, 2) => arm!(star3_elem, f32, DynStar3, 2),
+            (F32, Star, 3, 3) => arm!(star3_elem, f32, DynStar3, 3),
+            (F32, Star, 3, 4) => arm!(star3_elem, f32, DynStar3, 4),
+            (F32, BoxS, 2, 1) => arm!(box2_elem, f32, DynBox2, 1),
+            (F32, BoxS, 2, 2) => arm!(box2_elem, f32, DynBox2, 2),
+            (F32, BoxS, 2, 3) => arm!(box2_elem, f32, DynBox2, 3),
+            (F32, BoxS, 2, 4) => arm!(box2_elem, f32, DynBox2, 4),
+            (F32, BoxS, 3, 1) => arm!(box3_elem, f32, DynBox3, 1),
+            (F32, BoxS, 3, 2) => arm!(box3_elem, f32, DynBox3, 2),
+            (F32, BoxS, 3, 3) => arm!(box3_elem, f32, DynBox3, 3),
+            (F32, BoxS, 3, 4) => arm!(box3_elem, f32, DynBox3, 4),
             // Spec construction bounds ndim to 1–3 and radius to
             // 1..=MAX_R, and 1D box degenerates to 1D star (no 1D box
             // constructor exists).

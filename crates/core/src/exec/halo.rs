@@ -1,7 +1,7 @@
 //! Boundary conditions and the halo-refresh layer.
 //!
 //! Every grid in this workspace carries halo cells around its interior
-//! (see [`crate::grid`]): `HALO_PAD` doubles on each side of a row, plus
+//! (see [`crate::grid`]): [`Elem::PAD`] elements on each side of a row, plus
 //! whole halo rows/planes in 2D/3D. Kernels read them freely and never
 //! write them — which is exactly a **Dirichlet** (fixed-value) boundary
 //! when the halos are constant, and becomes any other boundary condition
@@ -67,9 +67,8 @@
 //! layout-dependent part is *reading* an interior cell by logical index,
 //! which [`RowMap`] centralizes. Kernels stay byte-for-byte untouched.
 
-use stencil_simd::Isa;
+use stencil_simd::{Elem, Isa};
 
-use crate::grid::HALO_PAD;
 use crate::layout::{DltGeo, SetGeo};
 use crate::spec::SpecError;
 
@@ -199,14 +198,13 @@ pub enum RowMap {
 
 impl RowMap {
     /// The map for the layout `method` keeps its buffers in, for rows of
-    /// `nx` interior cells at `isa`'s vector length.
-    pub(crate) fn for_method(method: Method, isa: Isa, nx: usize) -> RowMap {
+    /// `nx` interior cells of element `T` at `isa`'s vector length.
+    pub(crate) fn for_method<T: Elem>(method: Method, isa: Isa, nx: usize) -> RowMap {
+        let l = isa.lanes_for::<T>();
         match method {
             Method::Scalar | Method::MultiLoad | Method::Reorg => RowMap::Natural,
-            Method::TransLayout | Method::TransLayout2 => {
-                RowMap::Transpose(SetGeo::new(nx, isa.lanes()))
-            }
-            Method::Dlt => RowMap::Dlt(DltGeo::new(nx, isa.lanes())),
+            Method::TransLayout | Method::TransLayout2 => RowMap::Transpose(SetGeo::new(nx, l)),
+            Method::Dlt => RowMap::Dlt(DltGeo::new(nx, l)),
         }
     }
 
@@ -216,7 +214,7 @@ impl RowMap {
     /// `row` must point at the row's interior origin with `i` inside the
     /// interior the map was built for.
     #[inline]
-    unsafe fn read(&self, row: *const f64, i: usize) -> f64 {
+    unsafe fn read<T: Elem>(&self, row: *const T, i: usize) -> T {
         match self {
             RowMap::Natural => *row.add(i),
             RowMap::Transpose(g) => *row.add(g.map(i)),
@@ -234,11 +232,17 @@ impl RowMap {
 ///
 /// # Safety
 /// `row` points at the row's interior origin; positions `[-r, n + r)`
-/// must be addressable (`r ≤ HALO_PAD`, guaranteed by `MAX_R`); the
+/// must be addressable (`r ≤ T::PAD`, guaranteed by `MAX_R`); the
 /// map's geometry must match `n`. Caller guarantees `n ≥ r` for the
 /// non-Dirichlet modes (validated at plan build).
-pub(crate) unsafe fn refresh_row(row: *mut f64, n: usize, r: usize, b: Boundary, map: &RowMap) {
-    debug_assert!(r <= HALO_PAD);
+pub(crate) unsafe fn refresh_row<T: Elem>(
+    row: *mut T,
+    n: usize,
+    r: usize,
+    b: Boundary,
+    map: &RowMap,
+) {
+    debug_assert!(r <= T::PAD);
     match b {
         Boundary::Dirichlet(_) => {}
         Boundary::Periodic => {
@@ -270,15 +274,15 @@ pub(crate) fn fold_src(n: usize, k: usize, lo: bool, b: Boundary) -> usize {
     }
 }
 
-/// Copy one full raw row (`rs` doubles starting `HALO_PAD` before the
+/// Copy one full raw row (`rs` elements starting `T::PAD` before the
 /// interior origin) from row index `src_y` to row index `dst_y`.
 ///
 /// # Safety
 /// Both rows fully addressable; `src_y != dst_y`.
 #[inline]
-unsafe fn copy_raw_row(base: *mut f64, rs: usize, src_y: isize, dst_y: isize) {
-    let src = base.offset(src_y * rs as isize - HALO_PAD as isize);
-    let dst = base.offset(dst_y * rs as isize - HALO_PAD as isize);
+unsafe fn copy_raw_row<T: Elem>(base: *mut T, rs: usize, src_y: isize, dst_y: isize) {
+    let src = base.offset(src_y * rs as isize - T::PAD as isize);
+    let dst = base.offset(dst_y * rs as isize - T::PAD as isize);
     std::ptr::copy_nonoverlapping(src, dst, rs);
 }
 
@@ -287,7 +291,7 @@ unsafe fn copy_raw_row(base: *mut f64, rs: usize, src_y: isize, dst_y: isize) {
 ///
 /// # Safety
 /// Same contract as [`refresh_row`].
-pub(crate) unsafe fn refresh1(ptr: *mut f64, n: usize, r: usize, b: Boundary, map: &RowMap) {
+pub(crate) unsafe fn refresh1<T: Elem>(ptr: *mut T, n: usize, r: usize, b: Boundary, map: &RowMap) {
     refresh_row(ptr, n, r, b, map);
 }
 
@@ -298,10 +302,10 @@ pub(crate) unsafe fn refresh1(ptr: *mut f64, n: usize, r: usize, b: Boundary, ma
 ///
 /// # Safety
 /// `ptr` points at interior cell (0, 0) of a buffer with row stride `rs`,
-/// at least `r` halo rows on each side, and `HALO_PAD` row padding; the
+/// at least `r` halo rows on each side, and `T::PAD` row padding; the
 /// map's geometry must match `nx`; `nx, ny ≥ r` for non-Dirichlet modes.
-pub(crate) unsafe fn refresh2(
-    ptr: *mut f64,
+pub(crate) unsafe fn refresh2<T: Elem>(
+    ptr: *mut T,
     rs: usize,
     nx: usize,
     ny: usize,
@@ -337,8 +341,8 @@ pub(crate) unsafe fn refresh2(
 /// `rs`, plane stride `ps`, at least `r` halo rows/planes per side;
 /// map geometry must match `nx`; `nx, ny, nz ≥ r` for non-Dirichlet.
 #[allow(clippy::too_many_arguments)]
-pub(crate) unsafe fn refresh3(
-    ptr: *mut f64,
+pub(crate) unsafe fn refresh3<T: Elem>(
+    ptr: *mut T,
     rs: usize,
     ps: usize,
     nx: usize,
@@ -354,9 +358,9 @@ pub(crate) unsafe fn refresh3(
     for z in 0..nz {
         refresh2(ptr.add(z * ps), rs, nx, ny, r, b, map);
     }
-    // Whole-plane copies: rows [-r, ny + r), each rs wide from -HALO_PAD,
+    // Whole-plane copies: rows [-r, ny + r), each rs wide from -T::PAD,
     // are contiguous — one copy per halo plane.
-    let row0 = -(r as isize) * rs as isize - HALO_PAD as isize;
+    let row0 = -(r as isize) * rs as isize - T::PAD as isize;
     let len = (ny + 2 * r) * rs;
     for k in 1..=r {
         for (dst_z, lo) in [(-(k as isize), true), ((nz - 1 + k) as isize, false)] {
@@ -381,19 +385,19 @@ pub(crate) unsafe fn refresh3(
 // Bands overlap by the stencil radius, so adjacent bands may write the
 // same halo cell. Every such write computes the value from the *source*
 // buffer's interior, which is immutable for the whole step, so all
-// writers store bit-identical doubles; the overlap is a benign race on
-// identical values (aligned 8-byte stores). Halo-row construction copies
-// the raw fold row first (whose x-halo pad may be mid-refresh by its
-// owning band) and then recomputes the copy's x halos locally from the
-// copied interior, so every cell a kernel can read is deterministic.
+// writers store bit-identical values; the overlap is a benign race on
+// identical values (aligned element-sized stores). Halo-row construction
+// copies the raw fold row first (whose x-halo pad may be mid-refresh by
+// its owning band) and then recomputes the copy's x halos locally from
+// the copied interior, so every cell a kernel can read is deterministic.
 
 /// Per-band [`refresh1`]: fold only the halo cells a 1D band `[lo, hi)`
 /// reads (left halos when `lo < r`, right halos when `hi + r > n`).
 ///
 /// # Safety
 /// Same contract as [`refresh_row`]; `lo ≤ hi ≤ n`.
-pub(crate) unsafe fn refresh1_band(
-    ptr: *mut f64,
+pub(crate) unsafe fn refresh1_band<T: Elem>(
+    ptr: *mut T,
     n: usize,
     r: usize,
     b: Boundary,
@@ -434,8 +438,8 @@ pub(crate) unsafe fn refresh1_band(
 /// # Safety
 /// Same contract as [`refresh2`] for the rows involved.
 #[allow(clippy::too_many_arguments)]
-unsafe fn build_halo_row(
-    ptr: *mut f64,
+unsafe fn build_halo_row<T: Elem>(
+    ptr: *mut T,
     rs: usize,
     nx: usize,
     ny: usize,
@@ -462,8 +466,8 @@ unsafe fn build_halo_row(
 /// # Safety
 /// Same contract as [`refresh2`]; `y0 ≤ y1 ≤ ny`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) unsafe fn refresh2_band(
-    ptr: *mut f64,
+pub(crate) unsafe fn refresh2_band<T: Elem>(
+    ptr: *mut T,
     rs: usize,
     nx: usize,
     ny: usize,
@@ -498,8 +502,8 @@ pub(crate) unsafe fn refresh2_band(
 /// # Safety
 /// Same contract as [`refresh3`]; `z0 ≤ z1 ≤ nz`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) unsafe fn refresh3_band(
-    ptr: *mut f64,
+pub(crate) unsafe fn refresh3_band<T: Elem>(
+    ptr: *mut T,
     rs: usize,
     ps: usize,
     nx: usize,
@@ -517,8 +521,8 @@ pub(crate) unsafe fn refresh3_band(
     for z in z0.saturating_sub(r)..(z1 + r).min(nz) {
         refresh2(ptr.add(z * ps), rs, nx, ny, r, b, map);
     }
-    let row0 = -(HALO_PAD as isize);
-    let len = ny * rs + HALO_PAD; // rows [0, ny) plus the leading pad
+    let row0 = -(T::PAD as isize);
+    let len = ny * rs + T::PAD; // rows [0, ny) plus the leading pad
     for k in 1..=r {
         for (dst_z, lo) in [(-(k as isize), true), ((nz - 1 + k) as isize, false)] {
             if (lo && z0 >= r) || (!lo && z1 + r <= nz) {
@@ -548,19 +552,19 @@ pub(crate) trait HaloCarrier: Clone {
     fn carry_from(&mut self, src: &Self);
 }
 
-impl HaloCarrier for crate::grid::Grid1 {
+impl<T: Elem> HaloCarrier for crate::grid::Grid1<T> {
     fn carry_from(&mut self, src: &Self) {
         self.copy_from(src);
     }
 }
 
-impl HaloCarrier for crate::grid::Grid2 {
+impl<T: Elem> HaloCarrier for crate::grid::Grid2<T> {
     fn carry_from(&mut self, src: &Self) {
         self.copy_from(src);
     }
 }
 
-impl HaloCarrier for crate::grid::Grid3 {
+impl<T: Elem> HaloCarrier for crate::grid::Grid3<T> {
     fn carry_from(&mut self, src: &Self) {
         self.copy_from(src);
     }
@@ -593,24 +597,25 @@ pub(crate) fn ensure_stage<G: HaloCarrier>(
     b.carry_from(a);
 }
 
-/// Length in doubles of the k = 2 ring buffer for 2D fused stepping
+/// Length in elements of the k = 2 ring buffer for 2D fused stepping
 /// (`2r + 1` rows plus the left halo pad).
 #[inline]
-pub(crate) fn ring2_len(r: usize, rs: usize) -> usize {
-    HALO_PAD + (2 * r + 1) * rs
+pub(crate) fn ring2_len<T: Elem>(r: usize, rs: usize) -> usize {
+    T::PAD + (2 * r + 1) * rs
 }
 
-/// Interior origin of the 2D ring buffer (one `HALO_PAD` in).
+/// Interior origin of the 2D ring buffer (one `T::PAD` in).
 ///
 /// # Safety
 /// `ring` must have at least [`ring2_len`] capacity.
 #[inline]
-pub(crate) unsafe fn ring2_origin(ring: *mut f64) -> *mut f64 {
-    ring.add(HALO_PAD)
+pub(crate) unsafe fn ring2_origin<T: Elem>(ring: *mut T) -> *mut T {
+    ring.add(T::PAD)
 }
 
-/// Length in doubles of the k = 2 ring buffer for 3D fused stepping
-/// (`2r + 1` planes).
+/// Length in elements of the k = 2 ring buffer for 3D fused stepping
+/// (`2r + 1` planes; element-count, so no type parameter — unlike
+/// [`ring2_len`], no pad is element-width dependent here).
 #[inline]
 pub(crate) fn ring3_len(r: usize, ps: usize) -> usize {
     (2 * r + 1) * ps
@@ -621,14 +626,14 @@ pub(crate) fn ring3_len(r: usize, ps: usize) -> usize {
 /// # Safety
 /// `ring` must have at least [`ring3_len`] capacity.
 #[inline]
-pub(crate) unsafe fn ring3_origin(ring: *mut f64, r: usize, rs: usize) -> *mut f64 {
-    ring.add(r * rs + HALO_PAD)
+pub(crate) unsafe fn ring3_origin<T: Elem>(ring: *mut T, r: usize, rs: usize) -> *mut T {
+    ring.add(r * rs + T::PAD)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::{Grid1, Grid2, Grid3};
+    use crate::grid::{Grid1, Grid2, Grid3, HALO_PAD};
     use crate::layout::{dlt_grid1, tl_grid1, tl_read};
 
     #[test]
@@ -698,7 +703,7 @@ mod tests {
             let n = 2 * l * l + 5; // two full sets + tail
             let mut g = Grid1::from_fn(n, 0.0, |i| (10 + i) as f64);
             tl_grid1(&mut g, isa);
-            let map = RowMap::for_method(Method::TransLayout, isa, n);
+            let map = RowMap::for_method::<f64>(Method::TransLayout, isa, n);
             unsafe { refresh1(g.ptr_mut(), n, 2, Boundary::Periodic, &map) };
             // Halo cells live at raw offsets and must hold the wrapped
             // *logical* interior values.
@@ -718,7 +723,7 @@ mod tests {
             let src = Grid1::from_fn(n, 0.0, |i| (10 + i) as f64);
             let mut d = src.clone();
             dlt_grid1(&src, &mut d, isa, false);
-            let map = RowMap::for_method(Method::Dlt, isa, n);
+            let map = RowMap::for_method::<f64>(Method::Dlt, isa, n);
             unsafe { refresh1(d.ptr_mut(), n, 1, Boundary::Reflect, &map) };
             assert_eq!(d.get(-1), 10.0, "{isa}");
             assert_eq!(d.get(n as isize), (10 + n - 1) as f64, "{isa}");
@@ -796,7 +801,8 @@ mod tests {
 
     #[test]
     fn ring_geometry_helpers() {
-        assert_eq!(ring2_len(1, 40), HALO_PAD + 3 * 40);
+        assert_eq!(ring2_len::<f64>(1, 40), HALO_PAD + 3 * 40);
+        assert_eq!(ring2_len::<f32>(1, 40), 16 + 3 * 40);
         assert_eq!(ring3_len(2, 1000), 5 * 1000);
         let mut buf = vec![0.0f64; ring3_len(1, 64)];
         let p = buf.as_mut_ptr();

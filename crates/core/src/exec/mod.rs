@@ -64,7 +64,7 @@ pub(crate) mod wave;
 pub use erased::{AnyGridMut, DynPlan, DynSession};
 pub use halo::Boundary;
 
-use stencil_simd::{dispatch, AlignedBuf, Isa};
+use stencil_simd::{dispatch_elem, AlignedBuf, Elem, Isa, Vector};
 
 use crate::grid::{Grid1, Grid2, Grid3};
 use crate::kernels::{dlt, isa_entry, orig, scalar};
@@ -445,6 +445,13 @@ impl Plan {
     }
 
     /// Choose the instruction set (default: `Isa::detect_best()`).
+    ///
+    /// This is a ceiling, not a pin: a `TransLayout`/`TransLayout2`
+    /// plan whose innermost extent cannot hold one full `vl²` vector
+    /// set compiles for the next-narrower register class instead
+    /// (see [`Isa::narrower`]) — the compiled choice is reported by
+    /// the plan's `isa()` accessor. Results are bit-identical either
+    /// way; only the set geometry changes.
     pub fn isa(mut self, isa: Isa) -> Plan {
         self.isa = isa;
         self
@@ -550,6 +557,7 @@ impl Plan {
         ndim: usize,
         r: usize,
         boundary: Boundary,
+        lanes: usize,
     ) -> Result<(usize, Option<rayon::ThreadPool>), PlanError> {
         self.expect_ndim(ndim)?;
         // The scalar oracle never executes ISA-specific code (no layout
@@ -607,7 +615,7 @@ impl Plan {
                 if ndim == 1 {
                     // 1D split tiles the DLT column space; degenerate
                     // widths fall back to plain stepping at run time.
-                    let cols = self.shape.dims[0] / self.isa.lanes();
+                    let cols = self.shape.dims[0] / lanes;
                     if cols > 4 * r {
                         let d = DimTiling::new(cols, w.min(cols), r, false);
                         if h > d.max_height() {
@@ -653,10 +661,44 @@ impl Plan {
         self.boundary.unwrap_or_default()
     }
 
-    /// Compile the plan for a 1D star stencil.
+    /// The ISA the plan actually compiles for. The transpose-layout
+    /// methods vectorize whole `vl²`-cell sets along x, so a row
+    /// shorter than one set would fall entirely to the scalar tail —
+    /// at f32's 16 lanes a set spans 256 cells, and a 64-wide 3D grid
+    /// that is >2× faster than f64 under AVX2 runs 16× *slower* under
+    /// AVX-512. Step down the register-class ladder
+    /// ([`Isa::narrower`]) until a full set fits or the 256-bit class
+    /// is reached; other methods (per-vector geometry, no `vl²` sets)
+    /// keep the configured ISA, and f64 plans only narrow below 64
+    /// cells where the tail dominated anyway.
+    fn narrowed_isa<T: Elem>(&self) -> Isa {
+        if !matches!(self.method, Method::TransLayout | Method::TransLayout2) {
+            return self.isa;
+        }
+        let nx = self.shape.dims[0];
+        let mut isa = self.isa;
+        loop {
+            let vl = isa.lanes_for::<T>();
+            if nx >= vl * vl {
+                return isa;
+            }
+            match isa.narrower().filter(|i| i.is_available()) {
+                Some(n) => isa = n,
+                None => return isa,
+            }
+        }
+    }
+
+    /// Compile the plan for a 1D star stencil (over `f64`).
     pub fn star1<S: Star1>(self, stencil: S) -> Result<Plan1<S>, PlanError> {
+        self.star1_elem(stencil)
+    }
+
+    /// Compile the plan for a 1D star stencil over element type `T`.
+    pub fn star1_elem<T: Elem, S: Star1>(mut self, stencil: S) -> Result<Plan1<S, T>, PlanError> {
+        self.isa = self.narrowed_isa::<T>();
         let boundary = self.resolved_boundary();
-        let (threads, pool) = self.validate(1, S::R, boundary)?;
+        let (threads, pool) = self.validate(1, S::R, boundary, self.isa.lanes_for::<T>())?;
         Ok(Plan1 {
             cfg: self.cfg(threads, boundary),
             n: self.shape.dims[0],
@@ -667,10 +709,19 @@ impl Plan {
         })
     }
 
-    /// Compile the plan for a 2D star stencil.
+    /// Compile the plan for a 2D star stencil (over `f64`).
     pub fn star2<S: Star2>(self, stencil: S) -> Result<Plan2Star<S>, PlanError> {
+        self.star2_elem(stencil)
+    }
+
+    /// Compile the plan for a 2D star stencil over element type `T`.
+    pub fn star2_elem<T: Elem, S: Star2>(
+        mut self,
+        stencil: S,
+    ) -> Result<Plan2Star<S, T>, PlanError> {
+        self.isa = self.narrowed_isa::<T>();
         let boundary = self.resolved_boundary();
-        let (threads, pool) = self.validate(2, S::R, boundary)?;
+        let (threads, pool) = self.validate(2, S::R, boundary, self.isa.lanes_for::<T>())?;
         Ok(Plan2Star {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -683,10 +734,16 @@ impl Plan {
         })
     }
 
-    /// Compile the plan for a 2D box stencil.
+    /// Compile the plan for a 2D box stencil (over `f64`).
     pub fn box2<S: Box2>(self, stencil: S) -> Result<Plan2Box<S>, PlanError> {
+        self.box2_elem(stencil)
+    }
+
+    /// Compile the plan for a 2D box stencil over element type `T`.
+    pub fn box2_elem<T: Elem, S: Box2>(mut self, stencil: S) -> Result<Plan2Box<S, T>, PlanError> {
+        self.isa = self.narrowed_isa::<T>();
         let boundary = self.resolved_boundary();
-        let (threads, pool) = self.validate(2, S::R, boundary)?;
+        let (threads, pool) = self.validate(2, S::R, boundary, self.isa.lanes_for::<T>())?;
         Ok(Plan2Box {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -699,10 +756,19 @@ impl Plan {
         })
     }
 
-    /// Compile the plan for a 3D star stencil.
+    /// Compile the plan for a 3D star stencil (over `f64`).
     pub fn star3<S: Star3>(self, stencil: S) -> Result<Plan3Star<S>, PlanError> {
+        self.star3_elem(stencil)
+    }
+
+    /// Compile the plan for a 3D star stencil over element type `T`.
+    pub fn star3_elem<T: Elem, S: Star3>(
+        mut self,
+        stencil: S,
+    ) -> Result<Plan3Star<S, T>, PlanError> {
+        self.isa = self.narrowed_isa::<T>();
         let boundary = self.resolved_boundary();
-        let (threads, pool) = self.validate(3, S::R, boundary)?;
+        let (threads, pool) = self.validate(3, S::R, boundary, self.isa.lanes_for::<T>())?;
         Ok(Plan3Star {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -716,10 +782,16 @@ impl Plan {
         })
     }
 
-    /// Compile the plan for a 3D box stencil.
+    /// Compile the plan for a 3D box stencil (over `f64`).
     pub fn box3<S: Box3>(self, stencil: S) -> Result<Plan3Box<S>, PlanError> {
+        self.box3_elem(stencil)
+    }
+
+    /// Compile the plan for a 3D box stencil over element type `T`.
+    pub fn box3_elem<T: Elem, S: Box3>(mut self, stencil: S) -> Result<Plan3Box<S, T>, PlanError> {
+        self.isa = self.narrowed_isa::<T>();
         let boundary = self.resolved_boundary();
-        let (threads, pool) = self.validate(3, S::R, boundary)?;
+        let (threads, pool) = self.validate(3, S::R, boundary, self.isa.lanes_for::<T>())?;
         Ok(Plan3Box {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -757,20 +829,20 @@ macro_rules! fmt_plan_debug {
 /// Owns every buffer the method needs (ping-pong scratch, DLT staging,
 /// worker pool); [`Plan1::run`] and [`Plan1::session`] reuse them across
 /// calls.
-pub struct Plan1<S: Star1> {
+pub struct Plan1<S: Star1, T: Elem = f64> {
     cfg: Cfg,
     n: usize,
     stencil: S,
-    scratch: Option<Grid1>,
-    stage: Option<(Grid1, Grid1)>,
+    scratch: Option<Grid1<T>>,
+    stage: Option<(Grid1<T>, Grid1<T>)>,
     pool: Option<rayon::ThreadPool>,
 }
 
-impl<S: Star1> std::fmt::Debug for Plan1<S> {
+impl<S: Star1, T: Elem> std::fmt::Debug for Plan1<S, T> {
     fmt_plan_debug!(Plan1);
 }
 
-impl<S: Star1> Plan1<S> {
+impl<S: Star1, T: Elem> Plan1<S, T> {
     /// The plan's vectorization method.
     pub fn method(&self) -> Method {
         self.cfg.method
@@ -806,11 +878,11 @@ impl<S: Star1> Plan1<S> {
         Shape::d1(self.n)
     }
 
-    fn ensure_scratch(&mut self, g: &Grid1) {
+    fn ensure_scratch(&mut self, g: &Grid1<T>) {
         halo::ensure_scratch(&mut self.scratch, g);
     }
 
-    fn ensure_stage(&mut self, g: &Grid1) {
+    fn ensure_stage(&mut self, g: &Grid1<T>) {
         let isa = self.cfg.isa;
         halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid1(g, a, isa, false));
     }
@@ -818,7 +890,7 @@ impl<S: Star1> Plan1<S> {
     /// Run `t` Jacobi steps on `g` (natural layout in, natural layout
     /// out). Buffers are reused across calls; for repeated stepping
     /// without the per-call layout round-trip, use [`Plan1::session`].
-    pub fn run(&mut self, g: &mut Grid1, t: usize) {
+    pub fn run(&mut self, g: &mut Grid1<T>, t: usize) {
         if t == 0 {
             return;
         }
@@ -829,7 +901,7 @@ impl<S: Star1> Plan1<S> {
     /// transformed into the method's layout once, every
     /// [`Session1::run`] steps it in place, and dropping the session
     /// restores natural order.
-    pub fn session<'p>(&'p mut self, g: &'p mut Grid1) -> Session1<'p, S> {
+    pub fn session<'p>(&'p mut self, g: &'p mut Grid1<T>) -> Session1<'p, S, T> {
         assert_eq!(g.n(), self.n, "grid does not match the plan's shape");
         match self.cfg.layout() {
             Layout::Natural => self.ensure_scratch(g),
@@ -845,12 +917,12 @@ impl<S: Star1> Plan1<S> {
 
 /// Layout-resident stepping session over a 1D grid (see
 /// [`Plan1::session`]).
-pub struct Session1<'p, S: Star1> {
-    plan: &'p mut Plan1<S>,
-    g: &'p mut Grid1,
+pub struct Session1<'p, S: Star1, T: Elem = f64> {
+    plan: &'p mut Plan1<S, T>,
+    g: &'p mut Grid1<T>,
 }
 
-impl<S: Star1> Session1<'_, S> {
+impl<S: Star1, T: Elem> Session1<'_, S, T> {
     /// Advance the grid `t` Jacobi steps. No buffer allocation and no
     /// layout transform happen here — only kernel stepping (tiled runs
     /// copy small precomputed tile lists per chunk), plus the O(surface)
@@ -891,7 +963,7 @@ impl<S: Star1> Session1<'_, S> {
             ..
         } = self.plan.cfg;
         let n = self.g.n();
-        let map = halo::RowMap::for_method(method, isa, n);
+        let map = halo::RowMap::for_method::<T>(method, isa, n);
         let ptr = if method == Method::Dlt {
             // dlt_steps keeps its result in the first staging grid.
             self.plan.stage.as_mut().expect("stage").0.ptr_mut()
@@ -912,19 +984,19 @@ impl<S: Star1> Session1<'_, S> {
         let Cfg { isa, boundary, .. } = self.plan.cfg;
         let s = self.plan.stencil;
         let n = self.g.n();
-        let nsets = SetGeo::new(n, isa.lanes()).nsets;
+        let nsets = SetGeo::new(n, isa.lanes_for::<T>()).nsets;
         let pairs = if nsets >= 2 { t / 2 } else { 0 };
         // Derived once: at L1 sizes the fused pair is a few µs, so the
         // per-pair constant work has to stay tiny to hold the ≤10%
         // boundary-parity budget.
-        let map = halo::RowMap::for_method(Method::TransLayout2, isa, n);
+        let map = halo::RowMap::for_method::<T>(Method::TransLayout2, isa, n);
         let gp = self.g.ptr_mut();
         for _ in 0..pairs {
             // SAFETY: gp spans the interior plus HALO_PAD on both sides
             // and n ≥ S::R was validated at plan build.
             unsafe {
                 halo::refresh1(gp, n, S::R, boundary, &map);
-                isa_entry::star1_tl2_wide::<S>(isa, gp, n, boundary, &s);
+                isa_entry::star1_tl2_wide(isa, gp, n, boundary, &s);
             }
         }
         for _ in 0..t - 2 * pairs {
@@ -947,7 +1019,7 @@ impl<S: Star1> Session1<'_, S> {
         let s = self.plan.stencil;
         let n = self.g.n();
         if method == Method::Dlt {
-            let geo = DltGeo::new(n, isa.lanes());
+            let geo = DltGeo::new(n, isa.lanes_for::<T>());
             if geo.cols <= 4 * S::R {
                 // Degenerate column space: sequential stepping (mirrors
                 // the split-tiling driver's fallback).
@@ -1005,20 +1077,34 @@ impl<S: Star1> Session1<'_, S> {
                 let other = self.plan.scratch.as_mut().expect("scratch");
                 let gp = self.g.ptr_mut();
                 let op = other.ptr_mut();
-                let in_g = dispatch!(isa, V => {
+                // Ping-pong `t` steps; returns whether the result is in
+                // `gp` (hoisted into a named fn so `dispatch_elem!` can
+                // monomorphize it per register width).
+                unsafe fn steps<V: Vector, S: Star1>(
+                    gp: *mut V::Elem,
+                    op: *mut V::Elem,
+                    n: usize,
+                    t: usize,
+                    reorg: bool,
+                    s: &S,
+                ) -> bool {
                     let mut in_g = true;
                     for _ in 0..t {
-                        let (sp, dp) =
-                            if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
-                        if reorg {
-                            orig::star1_orig::<V, S, true>(sp, dp, 0, n, &s);
+                        let (sp, dp) = if in_g {
+                            (gp.cast_const(), op)
                         } else {
-                            orig::star1_orig::<V, S, false>(sp, dp, 0, n, &s);
+                            (op.cast_const(), gp)
+                        };
+                        if reorg {
+                            orig::star1_orig::<V, S, true>(sp, dp, 0, n, s);
+                        } else {
+                            orig::star1_orig::<V, S, false>(sp, dp, 0, n, s);
                         }
                         in_g = !in_g;
                     }
                     in_g
-                });
+                }
+                let in_g = dispatch_elem!(isa, T, steps::<V, S>(gp, op, n, t, reorg, &s));
                 if !in_g {
                     std::mem::swap(self.g, other);
                 }
@@ -1027,11 +1113,11 @@ impl<S: Star1> Session1<'_, S> {
             Method::TransLayout => self.tl_k1_steps(t),
             Method::TransLayout2 => {
                 let pairs = t / 2;
-                let nsets = SetGeo::new(n, isa.lanes()).nsets;
+                let nsets = SetGeo::new(n, isa.lanes_for::<T>()).nsets;
                 if nsets >= 2 {
                     let gp = self.g.ptr_mut();
                     for _ in 0..pairs {
-                        unsafe { isa_entry::star1_tl2::<S>(isa, gp, n, &s) };
+                        unsafe { isa_entry::star1_tl2(isa, gp, n, &s) };
                     }
                 } else {
                     self.tl_k1_steps(2 * pairs);
@@ -1057,11 +1143,11 @@ impl<S: Star1> Session1<'_, S> {
         let mut in_g = true;
         for _ in 0..t {
             let (sp, dp) = if in_g {
-                (gp as *const f64, op)
+                (gp.cast_const(), op)
             } else {
-                (op as *const f64, gp)
+                (op.cast_const(), gp)
             };
-            unsafe { isa_entry::star1_tl::<S>(isa, sp, dp, n, 0, n, &s) };
+            unsafe { isa_entry::star1_tl(isa, sp, dp, n, 0, n, &s) };
             in_g = !in_g;
         }
         if !in_g {
@@ -1078,16 +1164,27 @@ impl<S: Star1> Session1<'_, S> {
         let (a, b) = self.plan.stage.as_mut().expect("stage");
         let ap = a.ptr_mut();
         let bp = b.ptr_mut();
-        let in_a = dispatch!(isa, V => {
+        // Ping-pong `t` DLT steps; returns whether the result is in `a`.
+        unsafe fn steps<V: Vector, S: Star1>(
+            ap: *mut V::Elem,
+            bp: *mut V::Elem,
+            n: usize,
+            t: usize,
+            s: &S,
+        ) -> bool {
             let mut in_a = true;
             for _ in 0..t {
-                let (sp, dp) =
-                    if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                dlt::star1_dlt::<V, S>(sp, dp, n, &s);
+                let (sp, dp) = if in_a {
+                    (ap.cast_const(), bp)
+                } else {
+                    (bp.cast_const(), ap)
+                };
+                dlt::star1_dlt::<V, S>(sp, dp, n, s);
                 in_a = !in_a;
             }
             in_a
-        });
+        }
+        let in_a = dispatch_elem!(isa, T, steps::<V, S>(ap, bp, n, t, &s));
         if !in_a {
             std::mem::swap(a, b);
         }
@@ -1116,7 +1213,7 @@ impl<S: Star1> Session1<'_, S> {
         let Cfg { isa, boundary, .. } = self.plan.cfg;
         let s = self.plan.stencil;
         let n = self.g.n();
-        let geo = DltGeo::new(n, isa.lanes());
+        let geo = DltGeo::new(n, isa.lanes_for::<T>());
         if geo.cols <= 4 * S::R {
             // Degenerate width: plain stepping is the only sensible
             // schedule (validated fallback, mirrors the legacy driver).
@@ -1141,7 +1238,7 @@ impl<S: Star1> Session1<'_, S> {
     }
 }
 
-impl<S: Star1> Drop for Session1<'_, S> {
+impl<S: Star1, T: Elem> Drop for Session1<'_, S, T> {
     fn drop(&mut self) {
         let isa = self.plan.cfg.isa;
         match self.plan.cfg.layout() {
@@ -1168,22 +1265,22 @@ macro_rules! plan2_impl {
         /// Owns every buffer the method needs (ping-pong scratch, DLT
         /// staging, k = 2 ring, worker pool); `run` and `session` reuse
         /// them across calls.
-        pub struct $Plan<S: $bound> {
+        pub struct $Plan<S: $bound, T: Elem = f64> {
             cfg: Cfg,
             nx: usize,
             ny: usize,
             stencil: S,
-            scratch: Option<Grid2>,
-            stage: Option<(Grid2, Grid2)>,
-            ring: Option<AlignedBuf>,
+            scratch: Option<Grid2<T>>,
+            stage: Option<(Grid2<T>, Grid2<T>)>,
+            ring: Option<AlignedBuf<T>>,
             pool: Option<rayon::ThreadPool>,
         }
 
-        impl<S: $bound> std::fmt::Debug for $Plan<S> {
+        impl<S: $bound, T: Elem> std::fmt::Debug for $Plan<S, T> {
             fmt_plan_debug!($Plan);
         }
 
-        impl<S: $bound> $Plan<S> {
+        impl<S: $bound, T: Elem> $Plan<S, T> {
             /// The plan's vectorization method.
             pub fn method(&self) -> Method {
                 self.cfg.method
@@ -1220,17 +1317,17 @@ macro_rules! plan2_impl {
                 Shape::d2(self.nx, self.ny)
             }
 
-            fn ensure_scratch(&mut self, g: &Grid2) {
+            fn ensure_scratch(&mut self, g: &Grid2<T>) {
                 halo::ensure_scratch(&mut self.scratch, g);
             }
 
-            fn ensure_stage(&mut self, g: &Grid2) {
+            fn ensure_stage(&mut self, g: &Grid2<T>) {
                 let isa = self.cfg.isa;
                 halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid2(g, a, isa, false));
             }
 
-            fn ensure_ring(&mut self, g: &Grid2) {
-                let len = halo::ring2_len(S::R, g.row_stride());
+            fn ensure_ring(&mut self, g: &Grid2<T>) {
+                let len = halo::ring2_len::<T>(S::R, g.row_stride());
                 if self.ring.as_ref().map(|r| r.len()) != Some(len) {
                     self.ring = Some(AlignedBuf::zeroed(len));
                 }
@@ -1240,7 +1337,7 @@ macro_rules! plan2_impl {
             /// layout out). Buffers are reused across calls; for repeated
             /// stepping without the per-call layout round-trip, use
             /// `session`.
-            pub fn run(&mut self, g: &mut Grid2, t: usize) {
+            pub fn run(&mut self, g: &mut Grid2<T>, t: usize) {
                 if t == 0 {
                     return;
                 }
@@ -1249,7 +1346,7 @@ macro_rules! plan2_impl {
 
             /// Open a layout-resident stepping session on `g` (see
             /// [`Plan1::session`]).
-            pub fn session<'p>(&'p mut self, g: &'p mut Grid2) -> $Session<'p, S> {
+            pub fn session<'p>(&'p mut self, g: &'p mut Grid2<T>) -> $Session<'p, S, T> {
                 assert_eq!(
                     (g.nx(), g.ny()),
                     (self.nx, self.ny),
@@ -1284,12 +1381,12 @@ macro_rules! plan2_impl {
 
         /// Layout-resident stepping session over a 2D grid (see
         /// [`Plan1::session`]).
-        pub struct $Session<'p, S: $bound> {
-            plan: &'p mut $Plan<S>,
-            g: &'p mut Grid2,
+        pub struct $Session<'p, S: $bound, T: Elem = f64> {
+            plan: &'p mut $Plan<S, T>,
+            g: &'p mut Grid2<T>,
         }
 
-        impl<S: $bound> $Session<'_, S> {
+        impl<S: $bound, T: Elem> $Session<'_, S, T> {
             /// Advance the grid `t` Jacobi steps. No buffer allocation
             /// and no layout transform happen here — only kernel stepping
             /// (tiled runs copy small precomputed tile lists per chunk),
@@ -1332,16 +1429,14 @@ macro_rules! plan2_impl {
                 let Cfg { isa, boundary, .. } = self.plan.cfg;
                 let s = self.plan.stencil;
                 let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
-                let map = halo::RowMap::for_method(Method::TransLayout2, isa, nx);
+                let map = halo::RowMap::for_method::<T>(Method::TransLayout2, isa, nx);
                 for _ in 0..t / 2 {
                     self.refresh_boundary();
                     let ring = self.plan.ring.as_mut().expect("ring");
                     let ring = unsafe { halo::ring2_origin(ring.as_mut_ptr()) };
                     let gp = self.g.ptr_mut();
                     unsafe {
-                        isa_entry::$tl2_wide_e::<S>(
-                            isa, gp, rs, nx, ny, ring, boundary, &map, &s,
-                        )
+                        isa_entry::$tl2_wide_e(isa, gp, rs, nx, ny, ring, boundary, &map, &s)
                     };
                 }
                 if t % 2 == 1 {
@@ -1360,7 +1455,7 @@ macro_rules! plan2_impl {
                     ..
                 } = self.plan.cfg;
                 let (nx, ny, rs) = (self.g.nx(), self.g.ny(), self.g.row_stride());
-                let map = halo::RowMap::for_method(method, isa, nx);
+                let map = halo::RowMap::for_method::<T>(method, isa, nx);
                 let ptr = if method == Method::Dlt {
                     // dlt_steps keeps its result in the first staging grid.
                     self.plan.stage.as_mut().expect("stage").0.ptr_mut()
@@ -1435,23 +1530,37 @@ macro_rules! plan2_impl {
                         let other = self.plan.scratch.as_mut().expect("scratch");
                         let gp = self.g.ptr_mut();
                         let op = other.ptr_mut();
-                        let in_g = dispatch!(isa, V => {
+                        // Ping-pong `t` steps; returns whether the result
+                        // is in `gp` (named fn for `dispatch_elem!`).
+                        #[allow(clippy::too_many_arguments)]
+                        unsafe fn steps<V: Vector, S: $bound>(
+                            gp: *mut V::Elem,
+                            op: *mut V::Elem,
+                            rs: usize,
+                            nx: usize,
+                            ny: usize,
+                            t: usize,
+                            reorg: bool,
+                            s: &S,
+                        ) -> bool {
                             let mut in_g = true;
                             for _ in 0..t {
                                 let (sp, dp) = if in_g {
-                                    (gp as *const f64, op)
+                                    (gp.cast_const(), op)
                                 } else {
-                                    (op as *const f64, gp)
+                                    (op.cast_const(), gp)
                                 };
                                 if reorg {
-                                    orig::$orig_k::<V, S, true>(sp, dp, rs, 0, ny, 0, nx, &s);
+                                    orig::$orig_k::<V, S, true>(sp, dp, rs, 0, ny, 0, nx, s);
                                 } else {
-                                    orig::$orig_k::<V, S, false>(sp, dp, rs, 0, ny, 0, nx, &s);
+                                    orig::$orig_k::<V, S, false>(sp, dp, rs, 0, ny, 0, nx, s);
                                 }
                                 in_g = !in_g;
                             }
                             in_g
-                        });
+                        }
+                        let in_g =
+                            dispatch_elem!(isa, T, steps::<V, S>(gp, op, rs, nx, ny, t, reorg, &s));
                         if !in_g {
                             std::mem::swap(self.g, other);
                         }
@@ -1465,9 +1574,7 @@ macro_rules! plan2_impl {
                             let ring = unsafe { halo::ring2_origin(ring.as_mut_ptr()) };
                             let gp = self.g.ptr_mut();
                             for _ in 0..pairs {
-                                unsafe {
-                                    isa_entry::$tl2_e::<S>(isa, gp, rs, nx, ny, ring, &s)
-                                };
+                                unsafe { isa_entry::$tl2_e(isa, gp, rs, nx, ny, ring, &s) };
                             }
                         }
                         if t % 2 == 1 {
@@ -1492,8 +1599,8 @@ macro_rules! plan2_impl {
                 let mut in_g = true;
                 for _ in 0..t {
                     let (sp, dp) =
-                        if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
-                    unsafe { isa_entry::$tl_e::<S>(isa, sp, dp, rs, nx, 0, ny, 0, nx, &s) };
+                        if in_g { (gp.cast_const(), op) } else { (op.cast_const(), gp) };
+                    unsafe { isa_entry::$tl_e(isa, sp, dp, rs, nx, 0, ny, 0, nx, &s) };
                     in_g = !in_g;
                 }
                 if !in_g {
@@ -1510,16 +1617,27 @@ macro_rules! plan2_impl {
                 let (a, b) = self.plan.stage.as_mut().expect("stage");
                 let ap = a.ptr_mut();
                 let bp = b.ptr_mut();
-                let in_a = dispatch!(isa, V => {
+                // Ping-pong `t` DLT steps; returns whether the result is
+                // in `a` (named fn for `dispatch_elem!`).
+                unsafe fn steps<V: Vector, S: $bound>(
+                    ap: *mut V::Elem,
+                    bp: *mut V::Elem,
+                    rs: usize,
+                    nx: usize,
+                    ny: usize,
+                    t: usize,
+                    s: &S,
+                ) -> bool {
                     let mut in_a = true;
                     for _ in 0..t {
                         let (sp, dp) =
-                            if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                        dlt::$dlt_k::<V, S>(sp, dp, rs, nx, 0, ny, &s);
+                            if in_a { (ap.cast_const(), bp) } else { (bp.cast_const(), ap) };
+                        dlt::$dlt_k::<V, S>(sp, dp, rs, nx, 0, ny, s);
                         in_a = !in_a;
                     }
                     in_a
-                });
+                }
+                let in_a = dispatch_elem!(isa, T, steps::<V, S>(ap, bp, rs, nx, ny, t, &s));
                 if !in_a {
                     std::mem::swap(a, b);
                 }
@@ -1562,7 +1680,7 @@ macro_rules! plan2_impl {
             }
         }
 
-        impl<S: $bound> Drop for $Session<'_, S> {
+        impl<S: $bound, T: Elem> Drop for $Session<'_, S, T> {
             fn drop(&mut self) {
                 let isa = self.plan.cfg.isa;
                 match self.plan.cfg.layout() {
@@ -1604,23 +1722,23 @@ macro_rules! plan3_impl {
         /// Owns every buffer the method needs (ping-pong scratch, DLT
         /// staging, k = 2 ring, worker pool); `run` and `session` reuse
         /// them across calls.
-        pub struct $Plan<S: $bound> {
+        pub struct $Plan<S: $bound, T: Elem = f64> {
             cfg: Cfg,
             nx: usize,
             ny: usize,
             nz: usize,
             stencil: S,
-            scratch: Option<Grid3>,
-            stage: Option<(Grid3, Grid3)>,
-            ring: Option<AlignedBuf>,
+            scratch: Option<Grid3<T>>,
+            stage: Option<(Grid3<T>, Grid3<T>)>,
+            ring: Option<AlignedBuf<T>>,
             pool: Option<rayon::ThreadPool>,
         }
 
-        impl<S: $bound> std::fmt::Debug for $Plan<S> {
+        impl<S: $bound, T: Elem> std::fmt::Debug for $Plan<S, T> {
             fmt_plan_debug!($Plan);
         }
 
-        impl<S: $bound> $Plan<S> {
+        impl<S: $bound, T: Elem> $Plan<S, T> {
             /// The plan's vectorization method.
             pub fn method(&self) -> Method {
                 self.cfg.method
@@ -1657,16 +1775,16 @@ macro_rules! plan3_impl {
                 Shape::d3(self.nx, self.ny, self.nz)
             }
 
-            fn ensure_scratch(&mut self, g: &Grid3) {
+            fn ensure_scratch(&mut self, g: &Grid3<T>) {
                 halo::ensure_scratch(&mut self.scratch, g);
             }
 
-            fn ensure_stage(&mut self, g: &Grid3) {
+            fn ensure_stage(&mut self, g: &Grid3<T>) {
                 let isa = self.cfg.isa;
                 halo::ensure_stage(&mut self.stage, g, |g, a| dlt_grid3(g, a, isa, false));
             }
 
-            fn ensure_ring(&mut self, g: &Grid3) {
+            fn ensure_ring(&mut self, g: &Grid3<T>) {
                 let len = halo::ring3_len(S::R, g.plane_stride());
                 if self.ring.as_ref().map(|r| r.len()) != Some(len) {
                     self.ring = Some(AlignedBuf::zeroed(len));
@@ -1677,7 +1795,7 @@ macro_rules! plan3_impl {
             /// layout out). Buffers are reused across calls; for repeated
             /// stepping without the per-call layout round-trip, use
             /// `session`.
-            pub fn run(&mut self, g: &mut Grid3, t: usize) {
+            pub fn run(&mut self, g: &mut Grid3<T>, t: usize) {
                 if t == 0 {
                     return;
                 }
@@ -1686,7 +1804,7 @@ macro_rules! plan3_impl {
 
             /// Open a layout-resident stepping session on `g` (see
             /// [`Plan1::session`]).
-            pub fn session<'p>(&'p mut self, g: &'p mut Grid3) -> $Session<'p, S> {
+            pub fn session<'p>(&'p mut self, g: &'p mut Grid3<T>) -> $Session<'p, S, T> {
                 assert_eq!(
                     (g.nx(), g.ny(), g.nz()),
                     (self.nx, self.ny, self.nz),
@@ -1721,12 +1839,12 @@ macro_rules! plan3_impl {
 
         /// Layout-resident stepping session over a 3D grid (see
         /// [`Plan1::session`]).
-        pub struct $Session<'p, S: $bound> {
-            plan: &'p mut $Plan<S>,
-            g: &'p mut Grid3,
+        pub struct $Session<'p, S: $bound, T: Elem = f64> {
+            plan: &'p mut $Plan<S, T>,
+            g: &'p mut Grid3<T>,
         }
 
-        impl<S: $bound> $Session<'_, S> {
+        impl<S: $bound, T: Elem> $Session<'_, S, T> {
             /// Advance the grid `t` Jacobi steps. No buffer allocation
             /// and no layout transform happen here — only kernel stepping
             /// (tiled runs copy small precomputed tile lists per chunk),
@@ -1772,14 +1890,14 @@ macro_rules! plan3_impl {
                 let s = self.plan.stencil;
                 let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
                 let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
-                let map = halo::RowMap::for_method(Method::TransLayout2, isa, nx);
+                let map = halo::RowMap::for_method::<T>(Method::TransLayout2, isa, nx);
                 for _ in 0..t / 2 {
                     self.refresh_boundary();
                     let ring = self.plan.ring.as_mut().expect("ring");
                     let ring = unsafe { halo::ring3_origin(ring.as_mut_ptr(), S::R, rs) };
                     let gp = self.g.ptr_mut();
                     unsafe {
-                        isa_entry::$tl2_wide_e::<S>(
+                        isa_entry::$tl2_wide_e(
                             isa, gp, rs, ps, nx, ny, nz, ring, boundary, &map, &s,
                         )
                     };
@@ -1801,7 +1919,7 @@ macro_rules! plan3_impl {
                 } = self.plan.cfg;
                 let (nx, ny, nz) = (self.g.nx(), self.g.ny(), self.g.nz());
                 let (rs, ps) = (self.g.row_stride(), self.g.plane_stride());
-                let map = halo::RowMap::for_method(method, isa, nx);
+                let map = halo::RowMap::for_method::<T>(method, isa, nx);
                 let ptr = if method == Method::Dlt {
                     // dlt_steps keeps its result in the first staging grid.
                     self.plan.stage.as_mut().expect("stage").0.ptr_mut()
@@ -1880,27 +1998,46 @@ macro_rules! plan3_impl {
                         let other = self.plan.scratch.as_mut().expect("scratch");
                         let gp = self.g.ptr_mut();
                         let op = other.ptr_mut();
-                        let in_g = dispatch!(isa, V => {
+                        // Ping-pong `t` steps; returns whether the result
+                        // is in `gp` (named fn for `dispatch_elem!`).
+                        #[allow(clippy::too_many_arguments)]
+                        unsafe fn steps<V: Vector, S: $bound>(
+                            gp: *mut V::Elem,
+                            op: *mut V::Elem,
+                            rs: usize,
+                            ps: usize,
+                            nx: usize,
+                            ny: usize,
+                            nz: usize,
+                            t: usize,
+                            reorg: bool,
+                            s: &S,
+                        ) -> bool {
                             let mut in_g = true;
                             for _ in 0..t {
                                 let (sp, dp) = if in_g {
-                                    (gp as *const f64, op)
+                                    (gp.cast_const(), op)
                                 } else {
-                                    (op as *const f64, gp)
+                                    (op.cast_const(), gp)
                                 };
                                 if reorg {
                                     orig::$orig_k::<V, S, true>(
-                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, &s,
+                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s,
                                     );
                                 } else {
                                     orig::$orig_k::<V, S, false>(
-                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, &s,
+                                        sp, dp, rs, ps, 0, nz, 0, ny, 0, nx, s,
                                     );
                                 }
                                 in_g = !in_g;
                             }
                             in_g
-                        });
+                        }
+                        let in_g = dispatch_elem!(
+                            isa,
+                            T,
+                            steps::<V, S>(gp, op, rs, ps, nx, ny, nz, t, reorg, &s)
+                        );
                         if !in_g {
                             std::mem::swap(self.g, other);
                         }
@@ -1916,7 +2053,7 @@ macro_rules! plan3_impl {
                             let gp = self.g.ptr_mut();
                             for _ in 0..pairs {
                                 unsafe {
-                                    isa_entry::$tl2_e::<S>(isa, gp, rs, ps, nx, ny, nz, ring, &s)
+                                    isa_entry::$tl2_e(isa, gp, rs, ps, nx, ny, nz, ring, &s)
                                 };
                             }
                         }
@@ -1943,9 +2080,9 @@ macro_rules! plan3_impl {
                 let mut in_g = true;
                 for _ in 0..t {
                     let (sp, dp) =
-                        if in_g { (gp as *const f64, op) } else { (op as *const f64, gp) };
+                        if in_g { (gp.cast_const(), op) } else { (op.cast_const(), gp) };
                     unsafe {
-                        isa_entry::$tl_e::<S>(isa, sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, &s)
+                        isa_entry::$tl_e(isa, sp, dp, rs, ps, nx, 0, nz, 0, ny, 0, nx, &s)
                     };
                     in_g = !in_g;
                 }
@@ -1964,16 +2101,31 @@ macro_rules! plan3_impl {
                 let (a, b) = self.plan.stage.as_mut().expect("stage");
                 let ap = a.ptr_mut();
                 let bp = b.ptr_mut();
-                let in_a = dispatch!(isa, V => {
+                // Ping-pong `t` DLT steps; returns whether the result is
+                // in `a` (named fn for `dispatch_elem!`).
+                #[allow(clippy::too_many_arguments)]
+                unsafe fn steps<V: Vector, S: $bound>(
+                    ap: *mut V::Elem,
+                    bp: *mut V::Elem,
+                    rs: usize,
+                    ps: usize,
+                    nx: usize,
+                    ny: usize,
+                    nz: usize,
+                    t: usize,
+                    s: &S,
+                ) -> bool {
                     let mut in_a = true;
                     for _ in 0..t {
                         let (sp, dp) =
-                            if in_a { (ap as *const f64, bp) } else { (bp as *const f64, ap) };
-                        dlt::$dlt_k::<V, S>(sp, dp, rs, ps, nx, ny, 0, nz, &s);
+                            if in_a { (ap.cast_const(), bp) } else { (bp.cast_const(), ap) };
+                        dlt::$dlt_k::<V, S>(sp, dp, rs, ps, nx, ny, 0, nz, s);
                         in_a = !in_a;
                     }
                     in_a
-                });
+                }
+                let in_a =
+                    dispatch_elem!(isa, T, steps::<V, S>(ap, bp, rs, ps, nx, ny, nz, t, &s));
                 if !in_a {
                     std::mem::swap(a, b);
                 }
@@ -2019,7 +2171,7 @@ macro_rules! plan3_impl {
             }
         }
 
-        impl<S: $bound> Drop for $Session<'_, S> {
+        impl<S: $bound, T: Elem> Drop for $Session<'_, S, T> {
             fn drop(&mut self) {
                 let isa = self.plan.cfg.isa;
                 match self.plan.cfg.layout() {

@@ -38,7 +38,7 @@
 //! read halo cells.
 
 use rayon::prelude::*;
-use stencil_simd::{dispatch, Isa};
+use stencil_simd::{dispatch_elem, Elem, Isa};
 
 use super::halo::{self, Boundary, RowMap};
 use super::tess::{step1, step2_box, step2_star, step3_box, step3_star, SyncPtr};
@@ -68,10 +68,10 @@ pub(crate) fn bands(n: usize, k: usize) -> Vec<(usize, usize)> {
 /// step-`t` result lands in `bufs[t % 2]` — the caller owns the parity
 /// swap.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn drive1<S: Star1>(
+pub(crate) fn drive1<T: Elem, S: Star1>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     n: usize,
     t: usize,
     s: &S,
@@ -80,7 +80,7 @@ pub(crate) fn drive1<S: Star1>(
     b: Boundary,
 ) {
     let bands = bands(n, nthreads);
-    let map = RowMap::for_method(method, isa, n);
+    let map = RowMap::for_method::<T>(method, isa, n);
     pool.install(|| {
         for time in 0..t {
             bands.clone().into_par_iter().for_each(|(lo, hi)| {
@@ -108,9 +108,9 @@ enum DltItem {
 /// `geo.cols > 2·R` (the plan falls back to sequential stepping below
 /// that). The step-`t` result lands in `bufs[t % 2]`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn drive1_dlt<S: Star1>(
+pub(crate) fn drive1_dlt<T: Elem, S: Star1>(
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     geo: &DltGeo,
     t: usize,
     s: &S,
@@ -128,11 +128,11 @@ pub(crate) fn drive1_dlt<S: Star1>(
     pool.install(|| {
         for time in 0..t {
             items.clone().into_par_iter().for_each(|item| unsafe {
-                let src = bufs[time % 2].0 as *const f64;
+                let src = bufs[time % 2].0.cast_const();
                 let dst = bufs[(time + 1) % 2].0;
                 match item {
                     DltItem::Cols(j0, j1) => {
-                        dispatch!(isa, V => dlt::star1_dlt_cols::<V, S>(src, dst, j0, j1, s));
+                        dispatch_elem!(isa, T, dlt::star1_dlt_cols::<V, S>(src, dst, j0, j1, s));
                     }
                     DltItem::Edges => {
                         // The interior Cols items are seam-free and never
@@ -155,10 +155,10 @@ macro_rules! drive2_impl {
         /// plans step full DLT rows inside each band. The step-`t` result
         /// lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             method: Method,
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             nx: usize,
             ny: usize,
@@ -169,7 +169,7 @@ macro_rules! drive2_impl {
             b: Boundary,
         ) {
             let bands = bands(ny, nthreads);
-            let map = RowMap::for_method(method, isa, nx);
+            let map = RowMap::for_method::<T>(method, isa, nx);
             pool.install(|| {
                 for time in 0..t {
                     bands.clone().into_par_iter().for_each(|(y0, y1)| {
@@ -177,16 +177,16 @@ macro_rules! drive2_impl {
                         // reads (no-op under Dirichlet); seam overlaps
                         // write identical bits from the shared source.
                         unsafe {
-                            halo::refresh2_band(
-                                bufs[time % 2].0, rs, nx, ny, S::R, b, &map, y0, y1,
-                            )
+                            halo::refresh2_band(bufs[time % 2].0, rs, nx, ny, S::R, b, &map, y0, y1)
                         };
                         if method == Method::Dlt {
-                            let src = bufs[time % 2].0 as *const f64;
+                            let src = bufs[time % 2].0.cast_const();
                             let dst = bufs[(time + 1) % 2].0;
-                            dispatch!(isa, V => unsafe {
+                            dispatch_elem!(
+                                isa,
+                                T,
                                 dlt::$dlt_k::<V, S>(src, dst, rs, nx, y0, y1, s)
-                            });
+                            );
                         } else {
                             $step(method, isa, bufs, rs, nx, (y0, y1), (0, nx), time, s);
                         }
@@ -207,10 +207,10 @@ macro_rules! drive3_impl {
         /// plans step full DLT rows inside each band. The step-`t` result
         /// lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             method: Method,
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             ps: usize,
             nx: usize,
@@ -223,7 +223,7 @@ macro_rules! drive3_impl {
             b: Boundary,
         ) {
             let bands = bands(nz, nthreads);
-            let map = RowMap::for_method(method, isa, nx);
+            let map = RowMap::for_method::<T>(method, isa, nx);
             pool.install(|| {
                 for time in 0..t {
                     bands.clone().into_par_iter().for_each(|(z0, z1)| {
@@ -232,15 +232,27 @@ macro_rules! drive3_impl {
                         // overlaps write identical bits.
                         unsafe {
                             halo::refresh3_band(
-                                bufs[time % 2].0, rs, ps, nx, ny, nz, S::R, b, &map, z0, z1,
+                                bufs[time % 2].0,
+                                rs,
+                                ps,
+                                nx,
+                                ny,
+                                nz,
+                                S::R,
+                                b,
+                                &map,
+                                z0,
+                                z1,
                             )
                         };
                         if method == Method::Dlt {
-                            let src = bufs[time % 2].0 as *const f64;
+                            let src = bufs[time % 2].0.cast_const();
                             let dst = bufs[(time + 1) % 2].0;
-                            dispatch!(isa, V => unsafe {
+                            dispatch_elem!(
+                                isa,
+                                T,
                                 dlt::$dlt_k::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s)
-                            });
+                            );
                         } else {
                             $step(
                                 method,

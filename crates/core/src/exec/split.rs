@@ -35,7 +35,7 @@
 //! whole halo-row builds read each other's rows under periodic folds —
 //! need fusing into an edge group.
 
-use stencil_simd::{dispatch, Isa};
+use stencil_simd::{dispatch_elem, Elem, Isa};
 
 use super::halo::{self, Boundary, RowMap};
 use super::tess::{reach1, Shape, SyncPtr};
@@ -49,9 +49,9 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 ///
 /// # Safety
 /// Standard row contracts; used for seam-adjacent column fragments.
-unsafe fn dlt_cols_scalar<S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
+unsafe fn dlt_cols_scalar<T: Elem, S: Star1>(
+    src: *const T,
+    dst: *mut T,
     geo: &DltGeo,
     j0: usize,
     j1: usize,
@@ -67,9 +67,9 @@ unsafe fn dlt_cols_scalar<S: Star1>(
 /// vector core over seam-free columns, scalar mapped access at the seam
 /// fringes.
 #[allow(clippy::too_many_arguments)]
-fn col_step1<S: Star1>(
+fn col_step1<T: Elem, S: Star1>(
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     geo: &DltGeo,
     j_lo: usize,
     j_hi: usize,
@@ -79,7 +79,7 @@ fn col_step1<S: Star1>(
     if j_lo >= j_hi {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     let r = S::R;
     let v_lo = j_lo.max(r);
@@ -87,7 +87,7 @@ fn col_step1<S: Star1>(
     unsafe {
         dlt_cols_scalar(src, dst, geo, j_lo, v_lo.min(j_hi), s);
         if v_lo < v_hi {
-            dispatch!(isa, V => dlt::star1_dlt_cols::<V, S>(src, dst, v_lo, v_hi, s));
+            dispatch_elem!(isa, T, dlt::star1_dlt_cols::<V, S>(src, dst, v_lo, v_hi, s));
             dlt_cols_scalar(src, dst, geo, v_hi, j_hi, s);
         } else {
             dlt_cols_scalar(src, dst, geo, v_lo.max(j_lo).min(j_hi), j_hi, s);
@@ -99,8 +99,8 @@ fn col_step1<S: Star1>(
 /// `lam·cols`, scalar via the index map); the rightmost seam also owns the
 /// natural tail strip, which advances every step.
 #[allow(clippy::too_many_arguments)]
-fn seam_step1<S: Star1>(
-    bufs: [SyncPtr; 2],
+fn seam_step1<T: Elem, S: Star1>(
+    bufs: [SyncPtr<T>; 2],
     geo: &DltGeo,
     n: usize,
     lam: usize,
@@ -119,7 +119,7 @@ fn seam_step1<S: Star1>(
     if lo >= hi {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe { dlt::star1_dlt_scalar(src, dst, lo, hi, geo, s) };
 }
@@ -139,10 +139,10 @@ enum Piece1 {
 impl Piece1 {
     /// Run chunk step `ss` of this piece (absolute time `tau + ss`).
     #[allow(clippy::too_many_arguments)]
-    fn step<S: Star1>(
+    fn step<T: Elem, S: Star1>(
         self,
         isa: Isa,
-        bufs: [SyncPtr; 2],
+        bufs: [SyncPtr<T>; 2],
         geo: &DltGeo,
         n: usize,
         d: &DimTiling,
@@ -201,9 +201,9 @@ fn lane_boxes(geo: &DltGeo, jlo: usize, jhi: usize, r: usize) -> Vec<FootBox> {
 /// height `h`), wavefront-scheduled on `pool`. The step-`t` result lands
 /// in `bufs[t % 2]`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn drive1<S: Star1>(
+pub(crate) fn drive1<T: Elem, S: Star1>(
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     geo: &DltGeo,
     n: usize,
     d: &DimTiling,
@@ -361,9 +361,9 @@ macro_rules! drive2_impl {
         /// benign-race contract of [`super::par`]. The step-`t` result
         /// lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             nx: usize,
             d: &DimTiling,
@@ -374,19 +374,19 @@ macro_rules! drive2_impl {
             b: Boundary,
         ) {
             let ny = d.n;
-            let map = RowMap::for_method(crate::api::Method::Dlt, isa, nx);
+            let map = RowMap::for_method::<T>(crate::api::Method::Dlt, isa, nx);
             let run_piece = |shape: &Shape, tau: usize, ss: usize| {
                 let (y0, y1) = shape.range(d, ss);
                 if y0 >= y1 {
                     return;
                 }
                 let time = tau + ss;
-                let src = bufs[time % 2].0 as *const f64;
+                let src = bufs[time % 2].0.cast_const();
                 let dst = bufs[(time + 1) % 2].0;
                 unsafe {
                     halo::refresh2_band(bufs[time % 2].0, rs, nx, ny, S::R, b, &map, y0, y1);
                 }
-                dispatch!(isa, V => unsafe { dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s) });
+                dispatch_elem!(isa, T, dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s));
             };
             let wave = hybrid_wave(d, t, h, S::R, b);
             wave.run(pool, pool.current_num_threads(), |node| match node {
@@ -418,9 +418,9 @@ macro_rules! drive3_impl {
         /// per-band halo refresh fused into every tile (see the 2D
         /// drivers). The step-`t` result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             ps: usize,
             nx: usize,
@@ -433,14 +433,14 @@ macro_rules! drive3_impl {
             b: Boundary,
         ) {
             let nz = d.n;
-            let map = RowMap::for_method(crate::api::Method::Dlt, isa, nx);
+            let map = RowMap::for_method::<T>(crate::api::Method::Dlt, isa, nx);
             let run_piece = |shape: &Shape, tau: usize, ss: usize| {
                 let (z0, z1) = shape.range(d, ss);
                 if z0 >= z1 {
                     return;
                 }
                 let time = tau + ss;
-                let src = bufs[time % 2].0 as *const f64;
+                let src = bufs[time % 2].0.cast_const();
                 let dst = bufs[(time + 1) % 2].0;
                 unsafe {
                     halo::refresh3_band(
@@ -457,9 +457,11 @@ macro_rules! drive3_impl {
                         z1,
                     );
                 }
-                dispatch!(isa, V => unsafe {
+                dispatch_elem!(
+                    isa,
+                    T,
                     dlt::$kernel::<V, S>(src, dst, rs, ps, nx, ny, z0, z1, s)
-                });
+                );
             };
             let wave = hybrid_wave(d, t, h, S::R, b);
             wave.run(pool, pool.current_num_threads(), |node| match node {

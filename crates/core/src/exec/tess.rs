@@ -38,7 +38,7 @@
 //! allocation, and final parity swaps live in [`super`]'s `Plan`/`Session`
 //! engine, so none of them recur in a steady-state hot loop.
 
-use stencil_simd::{dispatch, Isa};
+use stencil_simd::{dispatch_elem, Elem, Isa};
 
 use super::halo::{self, Boundary, RowMap};
 use super::tile::DimTiling;
@@ -50,10 +50,15 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 
 /// Raw pointer that may cross threads; tile disjointness (see module docs)
 /// makes the concurrent accesses race-free.
-#[derive(Copy, Clone)]
-pub(crate) struct SyncPtr(pub *mut f64);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
+pub(crate) struct SyncPtr<T = f64>(pub *mut T);
+impl<T> Copy for SyncPtr<T> {}
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
 
 /// Build a worker pool for tiled execution (used by `Plan` construction).
 pub(crate) fn make_pool(threads: usize) -> rayon::ThreadPool {
@@ -118,10 +123,10 @@ pub(crate) fn reach1(d: &DimTiling, shape: Shape, hh: usize, r: usize) -> (i64, 
 /// One intra-tile step of a 1D stencil at chunk step `ss` (absolute time
 /// `tau + ss`), on the method's layout.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn step1<S: Star1>(
+pub(crate) fn step1<T: Elem, S: Star1>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     n: usize,
     lo: usize,
     hi: usize,
@@ -131,19 +136,19 @@ pub(crate) fn step1<S: Star1>(
     if lo >= hi {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe {
         match method {
             Method::Scalar => scalar::star1_range(src, dst, lo, hi, s),
             Method::MultiLoad => {
-                dispatch!(isa, V => orig::star1_orig::<V, S, false>(src, dst, lo, hi, s))
+                dispatch_elem!(isa, T, orig::star1_orig::<V, S, false>(src, dst, lo, hi, s))
             }
             Method::Reorg => {
-                dispatch!(isa, V => orig::star1_orig::<V, S, true>(src, dst, lo, hi, s))
+                dispatch_elem!(isa, T, orig::star1_orig::<V, S, true>(src, dst, lo, hi, s))
             }
             Method::TransLayout | Method::TransLayout2 => {
-                crate::kernels::isa_entry::star1_tl::<S>(isa, src, dst, n, lo, hi, s)
+                crate::kernels::isa_entry::star1_tl(isa, src, dst, n, lo, hi, s)
             }
             Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
         }
@@ -154,9 +159,9 @@ pub(crate) fn step1<S: Star1>(
 /// register pipeline over the interior sets, k=1 margins for the
 /// boundary cells of the shrinking/expanding tile.
 #[allow(clippy::too_many_arguments)]
-fn pair1<S: Star1>(
+fn pair1<T: Elem, S: Star1>(
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     n: usize,
     shape: Shape,
     d: &DimTiling,
@@ -166,11 +171,12 @@ fn pair1<S: Star1>(
 ) {
     let (lo0, hi0) = shape.range(d, ss);
     let (lo1, hi1) = shape.range(d, ss + 1);
-    let bs = isa.lanes() * isa.lanes();
+    let l = isa.lanes_for::<T>();
+    let bs = l * l;
     let lo = lo0.max(lo1);
     let hi = hi0.min(hi1).max(lo);
     let sa = lo.div_ceil(bs);
-    let sb = (hi / bs).min(SetGeo::new(n, isa.lanes()).nsets);
+    let sb = (hi / bs).min(SetGeo::new(n, l).nsets);
     if sb < sa + 2 {
         // Tile fragment too small for the pipeline — two plain steps.
         step1(Method::TransLayout2, isa, bufs, n, lo0, hi0, tau + ss, s);
@@ -198,7 +204,7 @@ fn pair1<S: Star1>(
     // Routed through the explicit #[target_feature] entry: the pipeline is
     // too large for the dispatch! closure to inline reliably (DESIGN.md §5).
     unsafe {
-        crate::kernels::isa_entry::star1_tl2_range::<S>(isa, buf_a, buf_b, n, sa, sb, s);
+        crate::kernels::isa_entry::star1_tl2_range(isa, buf_a, buf_b, n, sa, sb, s);
     }
     // step ss+1 margins (t+1 → t+2)
     step1(Method::TransLayout2, isa, bufs, n, lo1, a, time + 1, s);
@@ -206,10 +212,10 @@ fn pair1<S: Star1>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_tile1<S: Star1>(
+fn run_tile1<T: Elem, S: Star1>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     n: usize,
     d: &DimTiling,
     shape: Shape,
@@ -255,10 +261,10 @@ enum Node1 {
 /// `bufs[0]` holds the step-0 data; the step-`t` result lands in
 /// `bufs[t % 2]` — the caller owns the final parity swap.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn drive1<S: Star1>(
+pub(crate) fn drive1<T: Elem, S: Star1>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     n: usize,
     d: &DimTiling,
     t: usize,
@@ -267,7 +273,7 @@ pub(crate) fn drive1<S: Star1>(
     pool: &rayon::ThreadPool,
     b: Boundary,
 ) {
-    let map = RowMap::for_method(method, isa, n);
+    let map = RowMap::for_method::<T>(method, isa, n);
     let mut wave = Wave::new();
     let (mut tau, mut chunk) = (0usize, 0usize);
     while tau < t {
@@ -322,10 +328,10 @@ pub(crate) fn drive1<S: Star1>(
 // ---------------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn step2_star<S: Star2>(
+pub(crate) fn step2_star<T: Elem, S: Star2>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     rs: usize,
     nx: usize,
     yr: (usize, usize),
@@ -337,19 +343,27 @@ pub(crate) fn step2_star<S: Star2>(
     if y0 >= y1 || x0 >= x1 {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe {
         match method {
             Method::Scalar => scalar::star2_range(src, dst, rs, y0, y1, x0, x1, s),
             Method::MultiLoad => {
-                dispatch!(isa, V => orig::star2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::star2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s)
+                )
             }
             Method::Reorg => {
-                dispatch!(isa, V => orig::star2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::star2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s)
+                )
             }
             Method::TransLayout | Method::TransLayout2 => {
-                crate::kernels::isa_entry::star2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
+                crate::kernels::isa_entry::star2_tl(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
             }
             Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
         }
@@ -357,10 +371,10 @@ pub(crate) fn step2_star<S: Star2>(
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn step2_box<S: Box2>(
+pub(crate) fn step2_box<T: Elem, S: Box2>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     rs: usize,
     nx: usize,
     yr: (usize, usize),
@@ -372,19 +386,27 @@ pub(crate) fn step2_box<S: Box2>(
     if y0 >= y1 || x0 >= x1 {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe {
         match method {
             Method::Scalar => scalar::box2_range(src, dst, rs, y0, y1, x0, x1, s),
             Method::MultiLoad => {
-                dispatch!(isa, V => orig::box2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::box2_orig::<V, S, false>(src, dst, rs, y0, y1, x0, x1, s)
+                )
             }
             Method::Reorg => {
-                dispatch!(isa, V => orig::box2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::box2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s)
+                )
             }
             Method::TransLayout | Method::TransLayout2 => {
-                crate::kernels::isa_entry::box2_tl::<S>(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
+                crate::kernels::isa_entry::box2_tl(isa, src, dst, rs, nx, y0, y1, x0, x1, s)
             }
             Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
         }
@@ -417,10 +439,10 @@ macro_rules! drive2_impl {
         /// group per chunk under non-Dirichlet boundaries. The step-`t`
         /// result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             method: Method,
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             nx: usize,
             dx: &DimTiling,
@@ -432,7 +454,7 @@ macro_rules! drive2_impl {
             b: Boundary,
         ) {
             let ny = dy.n;
-            let map = RowMap::for_method(method, isa, nx);
+            let map = RowMap::for_method::<T>(method, isa, nx);
             let mut wave = Wave::new();
             let (mut tau, mut chunk) = (0usize, 0usize);
             while tau < t {
@@ -510,10 +532,10 @@ drive2_impl!(drive2_box, Box2, step2_box);
 // ---------------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn step3_star<S: Star3>(
+pub(crate) fn step3_star<T: Elem, S: Star3>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     rs: usize,
     ps: usize,
     nx: usize,
@@ -527,18 +549,26 @@ pub(crate) fn step3_star<S: Star3>(
     if z0 >= z1 || y0 >= y1 || x0 >= x1 {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe {
         match method {
             Method::Scalar => scalar::star3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
             Method::MultiLoad => {
-                dispatch!(isa, V => orig::star3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::star3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s)
+                )
             }
             Method::Reorg => {
-                dispatch!(isa, V => orig::star3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::star3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s)
+                )
             }
-            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::star3_tl::<S>(
+            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::star3_tl(
                 isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
             ),
             Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
@@ -547,10 +577,10 @@ pub(crate) fn step3_star<S: Star3>(
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn step3_box<S: Box3>(
+pub(crate) fn step3_box<T: Elem, S: Box3>(
     method: Method,
     isa: Isa,
-    bufs: [SyncPtr; 2],
+    bufs: [SyncPtr<T>; 2],
     rs: usize,
     ps: usize,
     nx: usize,
@@ -564,18 +594,26 @@ pub(crate) fn step3_box<S: Box3>(
     if z0 >= z1 || y0 >= y1 || x0 >= x1 {
         return;
     }
-    let src = bufs[time % 2].0 as *const f64;
+    let src = bufs[time % 2].0.cast_const();
     let dst = bufs[(time + 1) % 2].0;
     unsafe {
         match method {
             Method::Scalar => scalar::box3_range(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s),
             Method::MultiLoad => {
-                dispatch!(isa, V => orig::box3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::box3_orig::<V, S, false>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s)
+                )
             }
             Method::Reorg => {
-                dispatch!(isa, V => orig::box3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s))
+                dispatch_elem!(
+                    isa,
+                    T,
+                    orig::box3_orig::<V, S, true>(src, dst, rs, ps, z0, z1, y0, y1, x0, x1, s)
+                )
             }
-            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::box3_tl::<S>(
+            Method::TransLayout | Method::TransLayout2 => crate::kernels::isa_entry::box3_tl(
                 isa, src, dst, rs, ps, nx, z0, z1, y0, y1, x0, x1, s,
             ),
             Method::Dlt => unreachable!("DLT tiles run under the split-tiling driver"),
@@ -609,10 +647,10 @@ macro_rules! drive3_impl {
         /// edge group per chunk under non-Dirichlet boundaries). The
         /// step-`t` result lands in `bufs[t % 2]`.
         #[allow(clippy::too_many_arguments)]
-        pub(crate) fn $name<S: $bound>(
+        pub(crate) fn $name<T: Elem, S: $bound>(
             method: Method,
             isa: Isa,
-            bufs: [SyncPtr; 2],
+            bufs: [SyncPtr<T>; 2],
             rs: usize,
             ps: usize,
             nx: usize,
@@ -626,7 +664,7 @@ macro_rules! drive3_impl {
             b: Boundary,
         ) {
             let (ny, nz) = (dy.n, dz.n);
-            let map = RowMap::for_method(method, isa, nx);
+            let map = RowMap::for_method::<T>(method, isa, nx);
             let mut wave = Wave::new();
             let (mut tau, mut chunk) = (0usize, 0usize);
             while tau < t {

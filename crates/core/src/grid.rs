@@ -2,52 +2,61 @@
 //!
 //! Geometry conventions shared by every kernel in this workspace:
 //!
-//! * the **interior** of each row starts `HALO_PAD = 8` doubles into the
-//!   row, i.e. on a 64-byte boundary, and row strides are multiples of 8 —
-//!   so every vector-set load/store is aligned for both AVX2 and AVX-512;
+//! * the **interior** of each row starts `T::PAD` elements into the
+//!   row — 8 doubles or 16 floats, i.e. 64 bytes either way, so it sits
+//!   on a 64-byte boundary — and row strides are multiples of `T::PAD`,
+//!   so every vector-set load/store is aligned for both AVX2 and
+//!   AVX-512 at both element widths;
 //! * halo cells of width `r` sit immediately left/right of the interior
 //!   (and as whole rows/planes above/below in 2D/3D); they are *never
 //!   updated* — they carry the boundary condition, which is what makes
 //!   temporal tiling and the k=2 in-register pipeline well defined;
 //! * kernels receive raw pointers to the interior origin and may index
 //!   negatively into the halo.
+//!
+//! The containers are generic over the element ([`Elem`]) with `f64` as
+//! the default parameter, so all pre-existing f64 call sites compile
+//! unchanged; `Grid2<f32>` etc. carry single precision at twice the
+//! SIMD lane width.
 
-use stencil_simd::AlignedBuf;
+use stencil_simd::{AlignedBuf, Dtype, Elem};
 
 use crate::exec::{Boundary, Shape};
 use crate::spec::StencilSpec;
 
-/// Doubles of padding on each side of a row interior. Must be ≥ the widest
-/// vector (8) so the `reorg` method's aligned previous-vector load of the
-/// first interior vector stays in bounds, and ≥ [`crate::stencil::MAX_R`].
+/// Doubles of padding on each side of a row interior **in the f64
+/// grids** (64 bytes). Element-generic code must use [`Elem::PAD`],
+/// which is this constant's per-element generalization (8 f64 / 16 f32
+/// — always one full 64-byte line, and ≥ [`crate::stencil::MAX_R`]).
 pub const HALO_PAD: usize = 8;
 
+/// Round `x` up to a whole number of pads (= 64-byte lines) of `T`.
 #[inline]
-fn round_up8(x: usize) -> usize {
-    x.div_ceil(8) * 8
+fn round_up_pad<T: Elem>(x: usize) -> usize {
+    x.div_ceil(T::PAD) * T::PAD
 }
 
 /// 1D grid: `n` interior points plus constant halos.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Grid1 {
-    buf: AlignedBuf,
+pub struct Grid1<T: Elem = f64> {
+    buf: AlignedBuf<T>,
     n: usize,
 }
 
-impl Grid1 {
+impl<T: Elem> Grid1<T> {
     /// Create a grid with every cell (halo included) set to `fill`.
-    pub fn filled(n: usize, fill: f64) -> Self {
+    pub fn filled(n: usize, fill: T) -> Self {
         assert!(n > 0, "empty interior");
-        let mut buf = AlignedBuf::zeroed(HALO_PAD + round_up8(n + HALO_PAD));
+        let mut buf = AlignedBuf::zeroed(T::PAD + round_up_pad::<T>(n + T::PAD));
         buf.fill(fill);
         Grid1 { buf, n }
     }
 
     /// Create a grid whose interior is `f(i)` and whose halo is `halo`.
-    pub fn from_fn(n: usize, halo: f64, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(n: usize, halo: T, mut f: impl FnMut(usize) -> T) -> Self {
         let mut g = Self::filled(n, halo);
         for i in 0..n {
-            g.buf[HALO_PAD + i] = f(i);
+            g.buf[T::PAD + i] = f(i);
         }
         g
     }
@@ -59,23 +68,23 @@ impl Grid1 {
     }
 
     /// Pointer to interior cell 0; halo readable at negative offsets down
-    /// to `-HALO_PAD`.
+    /// to `-T::PAD`.
     #[inline]
-    pub fn ptr(&self) -> *const f64 {
-        // SAFETY: HALO_PAD < buf.len() by construction.
-        unsafe { self.buf.as_ptr().add(HALO_PAD) }
+    pub fn ptr(&self) -> *const T {
+        // SAFETY: T::PAD < buf.len() by construction.
+        unsafe { self.buf.as_ptr().add(T::PAD) }
     }
 
     /// Mutable pointer to interior cell 0.
     #[inline]
-    pub fn ptr_mut(&mut self) -> *mut f64 {
-        unsafe { self.buf.as_mut_ptr().add(HALO_PAD) }
+    pub fn ptr_mut(&mut self) -> *mut T {
+        unsafe { self.buf.as_mut_ptr().add(T::PAD) }
     }
 
-    /// Read cell `i`; `i` may range over `[-HALO_PAD, n + HALO_PAD)`.
+    /// Read cell `i`; `i` may range over `[-T::PAD, n + T::PAD)`.
     #[inline]
-    pub fn get(&self, i: isize) -> f64 {
-        let idx = HALO_PAD as isize + i;
+    pub fn get(&self, i: isize) -> T {
+        let idx = T::PAD as isize + i;
         assert!(
             idx >= 0 && (idx as usize) < self.buf.len(),
             "index {i} out of range"
@@ -85,8 +94,8 @@ impl Grid1 {
 
     /// Write cell `i` (same range as [`Grid1::get`]).
     #[inline]
-    pub fn set(&mut self, i: isize, v: f64) {
-        let idx = HALO_PAD as isize + i;
+    pub fn set(&mut self, i: isize, v: T) {
+        let idx = T::PAD as isize + i;
         assert!(
             idx >= 0 && (idx as usize) < self.buf.len(),
             "index {i} out of range"
@@ -96,19 +105,19 @@ impl Grid1 {
 
     /// Interior as a slice.
     #[inline]
-    pub fn interior(&self) -> &[f64] {
-        &self.buf[HALO_PAD..HALO_PAD + self.n]
+    pub fn interior(&self) -> &[T] {
+        &self.buf[T::PAD..T::PAD + self.n]
     }
 
     /// Interior as a mutable slice.
     #[inline]
-    pub fn interior_mut(&mut self) -> &mut [f64] {
-        &mut self.buf[HALO_PAD..HALO_PAD + self.n]
+    pub fn interior_mut(&mut self) -> &mut [T] {
+        &mut self.buf[T::PAD..T::PAD + self.n]
     }
 
     /// Overwrite every cell (halos included) with `src`'s, without
     /// reallocating. Panics if the geometries differ.
-    pub fn copy_from(&mut self, src: &Grid1) {
+    pub fn copy_from(&mut self, src: &Grid1<T>) {
         assert_eq!(self.n, src.n, "Grid1::copy_from geometry mismatch");
         self.buf.copy_from(&src.buf);
     }
@@ -116,22 +125,22 @@ impl Grid1 {
 
 /// 2D grid: `ny × nx` interior, row-major, with halo rows and columns.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Grid2 {
-    buf: AlignedBuf,
+pub struct Grid2<T: Elem = f64> {
+    buf: AlignedBuf<T>,
     nx: usize,
     ny: usize,
     /// Halo row count above/below the interior (= max radius supported).
     ry: usize,
-    /// Row stride in doubles (multiple of 8).
+    /// Row stride in elements (multiple of `T::PAD`).
     rs: usize,
 }
 
-impl Grid2 {
+impl<T: Elem> Grid2<T> {
     /// Create with all cells (halos included) set to `fill`. `ry` is the
     /// number of halo rows kept above and below (pass the stencil radius).
-    pub fn filled(nx: usize, ny: usize, ry: usize, fill: f64) -> Self {
+    pub fn filled(nx: usize, ny: usize, ry: usize, fill: T) -> Self {
         assert!(nx > 0 && ny > 0, "empty interior");
-        let rs = HALO_PAD + round_up8(nx + HALO_PAD);
+        let rs = T::PAD + round_up_pad::<T>(nx + T::PAD);
         let rows = ny + 2 * ry;
         let mut buf = AlignedBuf::zeroed(rs * rows);
         buf.fill(fill);
@@ -149,13 +158,13 @@ impl Grid2 {
         nx: usize,
         ny: usize,
         ry: usize,
-        halo: f64,
-        mut f: impl FnMut(usize, usize) -> f64,
+        halo: T,
+        mut f: impl FnMut(usize, usize) -> T,
     ) -> Self {
         let mut g = Self::filled(nx, ny, ry, halo);
         for y in 0..ny {
             for x in 0..nx {
-                let idx = (g.ry + y) * g.rs + HALO_PAD + x;
+                let idx = (g.ry + y) * g.rs + T::PAD + x;
                 g.buf[idx] = f(y, x);
             }
         }
@@ -174,7 +183,7 @@ impl Grid2 {
         self.ny
     }
 
-    /// Row stride in doubles.
+    /// Row stride in elements.
     #[inline]
     pub fn row_stride(&self) -> usize {
         self.rs
@@ -188,20 +197,20 @@ impl Grid2 {
 
     /// Pointer to interior cell (0, 0).
     #[inline]
-    pub fn ptr(&self) -> *const f64 {
-        unsafe { self.buf.as_ptr().add(self.ry * self.rs + HALO_PAD) }
+    pub fn ptr(&self) -> *const T {
+        unsafe { self.buf.as_ptr().add(self.ry * self.rs + T::PAD) }
     }
 
     /// Mutable pointer to interior cell (0, 0).
     #[inline]
-    pub fn ptr_mut(&mut self) -> *mut f64 {
-        unsafe { self.buf.as_mut_ptr().add(self.ry * self.rs + HALO_PAD) }
+    pub fn ptr_mut(&mut self) -> *mut T {
+        unsafe { self.buf.as_mut_ptr().add(self.ry * self.rs + T::PAD) }
     }
 
     #[inline]
     fn idx(&self, y: isize, x: isize) -> usize {
         let iy = self.ry as isize + y;
-        let ix = HALO_PAD as isize + x;
+        let ix = T::PAD as isize + x;
         assert!(
             iy >= 0 && (iy as usize) < self.ny + 2 * self.ry,
             "y={y} out of range"
@@ -213,27 +222,27 @@ impl Grid2 {
     /// Read cell `(y, x)`; halo addressable with negative / overshooting
     /// indices.
     #[inline]
-    pub fn get(&self, y: isize, x: isize) -> f64 {
+    pub fn get(&self, y: isize, x: isize) -> T {
         self.buf[self.idx(y, x)]
     }
 
     /// Write cell `(y, x)`.
     #[inline]
-    pub fn set(&mut self, y: isize, x: isize, v: f64) {
+    pub fn set(&mut self, y: isize, x: isize, v: T) {
         let i = self.idx(y, x);
         self.buf[i] = v;
     }
 
     /// Interior row `y` as a slice.
     #[inline]
-    pub fn row(&self, y: usize) -> &[f64] {
-        let start = (self.ry + y) * self.rs + HALO_PAD;
+    pub fn row(&self, y: usize) -> &[T] {
+        let start = (self.ry + y) * self.rs + T::PAD;
         &self.buf[start..start + self.nx]
     }
 
     /// Overwrite every cell (halos included) with `src`'s, without
     /// reallocating. Panics if the geometries differ.
-    pub fn copy_from(&mut self, src: &Grid2) {
+    pub fn copy_from(&mut self, src: &Grid2<T>) {
         assert_eq!(
             (self.nx, self.ny, self.ry),
             (src.nx, src.ny, src.ry),
@@ -245,23 +254,23 @@ impl Grid2 {
 
 /// 3D grid: `nz × ny × nx` interior with halo planes/rows/columns.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Grid3 {
-    buf: AlignedBuf,
+pub struct Grid3<T: Elem = f64> {
+    buf: AlignedBuf<T>,
     nx: usize,
     ny: usize,
     nz: usize,
     /// Halo row/plane count (= max radius supported in y and z).
     r: usize,
     rs: usize,
-    /// Plane stride in doubles.
+    /// Plane stride in elements.
     ps: usize,
 }
 
-impl Grid3 {
+impl<T: Elem> Grid3<T> {
     /// Create with all cells (halos included) set to `fill`.
-    pub fn filled(nx: usize, ny: usize, nz: usize, r: usize, fill: f64) -> Self {
+    pub fn filled(nx: usize, ny: usize, nz: usize, r: usize, fill: T) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "empty interior");
-        let rs = HALO_PAD + round_up8(nx + HALO_PAD);
+        let rs = T::PAD + round_up_pad::<T>(nx + T::PAD);
         let ps = rs * (ny + 2 * r);
         let mut buf = AlignedBuf::zeroed(ps * (nz + 2 * r));
         buf.fill(fill);
@@ -282,14 +291,14 @@ impl Grid3 {
         ny: usize,
         nz: usize,
         r: usize,
-        halo: f64,
-        mut f: impl FnMut(usize, usize, usize) -> f64,
+        halo: T,
+        mut f: impl FnMut(usize, usize, usize) -> T,
     ) -> Self {
         let mut g = Self::filled(nx, ny, nz, r, halo);
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let idx = (g.r + z) * g.ps + (g.r + y) * g.rs + HALO_PAD + x;
+                    let idx = (g.r + z) * g.ps + (g.r + y) * g.rs + T::PAD + x;
                     g.buf[idx] = f(z, y, x);
                 }
             }
@@ -315,13 +324,13 @@ impl Grid3 {
         self.nz
     }
 
-    /// Row stride in doubles.
+    /// Row stride in elements.
     #[inline]
     pub fn row_stride(&self) -> usize {
         self.rs
     }
 
-    /// Plane stride in doubles.
+    /// Plane stride in elements.
     #[inline]
     pub fn plane_stride(&self) -> usize {
         self.ps
@@ -335,21 +344,21 @@ impl Grid3 {
 
     /// Pointer to interior cell (0, 0, 0).
     #[inline]
-    pub fn ptr(&self) -> *const f64 {
+    pub fn ptr(&self) -> *const T {
         unsafe {
             self.buf
                 .as_ptr()
-                .add(self.r * self.ps + self.r * self.rs + HALO_PAD)
+                .add(self.r * self.ps + self.r * self.rs + T::PAD)
         }
     }
 
     /// Mutable pointer to interior cell (0, 0, 0).
     #[inline]
-    pub fn ptr_mut(&mut self) -> *mut f64 {
+    pub fn ptr_mut(&mut self) -> *mut T {
         unsafe {
             self.buf
                 .as_mut_ptr()
-                .add(self.r * self.ps + self.r * self.rs + HALO_PAD)
+                .add(self.r * self.ps + self.r * self.rs + T::PAD)
         }
     }
 
@@ -357,7 +366,7 @@ impl Grid3 {
     fn idx(&self, z: isize, y: isize, x: isize) -> usize {
         let iz = self.r as isize + z;
         let iy = self.r as isize + y;
-        let ix = HALO_PAD as isize + x;
+        let ix = T::PAD as isize + x;
         assert!(
             iz >= 0 && (iz as usize) < self.nz + 2 * self.r,
             "z={z} out of range"
@@ -372,20 +381,20 @@ impl Grid3 {
 
     /// Read cell `(z, y, x)`; halo addressable.
     #[inline]
-    pub fn get(&self, z: isize, y: isize, x: isize) -> f64 {
+    pub fn get(&self, z: isize, y: isize, x: isize) -> T {
         self.buf[self.idx(z, y, x)]
     }
 
     /// Write cell `(z, y, x)`.
     #[inline]
-    pub fn set(&mut self, z: isize, y: isize, x: isize, v: f64) {
+    pub fn set(&mut self, z: isize, y: isize, x: isize, v: T) {
         let i = self.idx(z, y, x);
         self.buf[i] = v;
     }
 
     /// Overwrite every cell (halos included) with `src`'s, without
     /// reallocating. Panics if the geometries differ.
-    pub fn copy_from(&mut self, src: &Grid3) {
+    pub fn copy_from(&mut self, src: &Grid3<T>) {
         assert_eq!(
             (self.nx, self.ny, self.nz, self.r),
             (src.nx, src.ny, src.nz, src.r),
@@ -396,7 +405,7 @@ impl Grid3 {
 }
 
 // ---------------------------------------------------------------------------
-// AnyGrid: dimensionality as data
+// AnyGrid: dimensionality (and element width) as data
 // ---------------------------------------------------------------------------
 
 /// Why an [`AnyGrid`] could not be constructed from runtime data.
@@ -417,6 +426,15 @@ pub enum GridDataError {
         shape: usize,
         /// Dimensions of the stencil spec.
         spec: usize,
+    },
+    /// The element type of the data does not match the spec's
+    /// [`StencilSpec::dtype`] (e.g. `Vec<f64>` handed to
+    /// [`AnyGrid::from_vec_spec`] for a `2d5p@f32` spec).
+    Dtype {
+        /// The element type the spec asks for.
+        spec: Dtype,
+        /// The element type the data carries.
+        data: Dtype,
     },
     /// The shape is incompatible with the spec's boundary condition:
     /// the wrap/mirror halo folds of a non-Dirichlet [`Boundary`] need
@@ -443,6 +461,10 @@ impl std::fmt::Display for GridDataError {
             GridDataError::Ndim { shape, spec } => {
                 write!(f, "shape is {shape}D but the stencil spec is {spec}D")
             }
+            GridDataError::Dtype { spec, data } => write!(
+                f,
+                "grid data is {data} but the stencil spec asks for {spec}"
+            ),
             GridDataError::BoundaryExtent {
                 axis,
                 extent,
@@ -459,8 +481,9 @@ impl std::fmt::Display for GridDataError {
 
 impl std::error::Error for GridDataError {}
 
-/// A grid whose dimensionality is a runtime value — the container side
-/// of the erased API (see [`crate::exec::DynPlan`]).
+/// A grid whose dimensionality **and element width** are runtime values
+/// — the container side of the erased API (see
+/// [`crate::exec::DynPlan`]).
 ///
 /// Construction is shape-checked: [`AnyGrid::from_vec`] rejects data
 /// that doesn't cover the interior, and the dimensionality always comes
@@ -478,23 +501,36 @@ impl std::error::Error for GridDataError {}
 /// assert!(AnyGrid::from_vec(shape, 1, 0.0, vec![0.0; 7]).is_err());
 /// ```
 ///
+/// The spec-aware constructors honour the spec's
+/// [`dtype`](StencilSpec::dtype): a `"2d5p@f32"` spec yields the
+/// `*F32` variants, which [`crate::exec::DynPlan`] runs through the f32
+/// kernels at twice the SIMD lane width. [`AnyGrid::to_vec`] widens f32
+/// interiors to `f64` losslessly; [`AnyGrid::to_vec_f32`] hands back
+/// the native single-precision data.
+///
 /// The typed grids convert in via `From`, and [`AnyGrid::as_grid2`]-style
 /// accessors hand the typed view back for rendering or verification.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AnyGrid {
-    /// A 1D grid.
+    /// A 1D f64 grid.
     D1(Grid1),
-    /// A 2D grid.
+    /// A 2D f64 grid.
     D2(Grid2),
-    /// A 3D grid.
+    /// A 3D f64 grid.
     D3(Grid3),
+    /// A 1D f32 grid.
+    D1F32(Grid1<f32>),
+    /// A 2D f32 grid.
+    D2F32(Grid2<f32>),
+    /// A 3D f32 grid.
+    D3F32(Grid3<f32>),
 }
 
 impl AnyGrid {
     /// Create a grid of the given shape with every cell (halo included)
     /// set to `fill`. `halo_r` is the halo width in rows/planes kept for
     /// 2D/3D grids (pass the stencil radius; ignored for 1D, whose halo
-    /// is always [`HALO_PAD`] wide).
+    /// is always [`Elem::PAD`] wide).
     pub fn filled(shape: Shape, halo_r: usize, fill: f64) -> AnyGrid {
         let [nx, ny, nz] = shape.dims();
         match shape.ndim() {
@@ -521,6 +557,32 @@ impl AnyGrid {
         }
     }
 
+    /// f32 twin of [`AnyGrid::from_fn`]: same geometry rules, `*F32`
+    /// variants out.
+    pub fn from_fn_f32(
+        shape: Shape,
+        halo_r: usize,
+        halo: f32,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> AnyGrid {
+        let [nx, ny, nz] = shape.dims();
+        match shape.ndim() {
+            1 => AnyGrid::D1F32(Grid1::from_fn(nx, halo, |x| f(0, 0, x))),
+            2 => AnyGrid::D2F32(Grid2::from_fn(nx, ny, halo_r, halo, |y, x| f(0, y, x))),
+            _ => AnyGrid::D3F32(Grid3::from_fn(nx, ny, nz, halo_r, halo, f)),
+        }
+    }
+
+    /// Interior cell count of `shape`.
+    fn interior_len(shape: Shape) -> usize {
+        let [nx, ny, nz] = shape.dims();
+        match shape.ndim() {
+            1 => nx,
+            2 => nx * ny,
+            _ => nx * ny * nz,
+        }
+    }
+
     /// Create a grid whose interior is `data` in row-major order (x
     /// fastest), rejecting data that does not cover the interior
     /// exactly. See [`AnyGrid::filled`] for `halo_r`.
@@ -530,19 +592,35 @@ impl AnyGrid {
         halo: f64,
         data: Vec<f64>,
     ) -> Result<AnyGrid, GridDataError> {
-        let [nx, ny, nz] = shape.dims();
-        let expected = match shape.ndim() {
-            1 => nx,
-            2 => nx * ny,
-            _ => nx * ny * nz,
-        };
+        let expected = Self::interior_len(shape);
         if data.len() != expected {
             return Err(GridDataError::Len {
                 expected,
                 got: data.len(),
             });
         }
+        let [nx, ny, _] = shape.dims();
         Ok(Self::from_fn(shape, halo_r, halo, |z, y, x| {
+            data[(z * ny + y) * nx + x]
+        }))
+    }
+
+    /// f32 twin of [`AnyGrid::from_vec`].
+    pub fn from_vec_f32(
+        shape: Shape,
+        halo_r: usize,
+        halo: f32,
+        data: Vec<f32>,
+    ) -> Result<AnyGrid, GridDataError> {
+        let expected = Self::interior_len(shape);
+        if data.len() != expected {
+            return Err(GridDataError::Len {
+                expected,
+                got: data.len(),
+            });
+        }
+        let [nx, ny, _] = shape.dims();
+        Ok(Self::from_fn_f32(shape, halo_r, halo, |z, y, x| {
             data[(z * ny + y) * nx + x]
         }))
     }
@@ -571,6 +649,17 @@ impl AnyGrid {
         Ok(())
     }
 
+    /// Check that the element width of runtime data matches the spec's.
+    fn check_dtype(spec: &StencilSpec, data: Dtype) -> Result<(), GridDataError> {
+        if spec.dtype() != data {
+            return Err(GridDataError::Dtype {
+                spec: spec.dtype(),
+                data,
+            });
+        }
+        Ok(())
+    }
+
     /// The halo width (rows/planes per side) a spec-derived grid is
     /// allocated with: the stencil radius under Dirichlet, and **twice**
     /// the radius for the refreshed (periodic/reflect) modes — the outer
@@ -585,14 +674,15 @@ impl AnyGrid {
         }
     }
 
-    /// Halo-aware [`AnyGrid::from_fn`]: derive the halo geometry and fill
-    /// from a [`StencilSpec`] instead of hand-passing them — the halo is
-    /// `spec.radius()` rows/planes wide under Dirichlet (twice that for
-    /// the refreshed boundary modes, whose fused fast path stages the
-    /// next time level there), filled with the boundary's constant
-    /// ([`Boundary::halo_fill`]), and the shape is checked against the
-    /// spec (dimensionality, and extents ≥ radius for the folded
-    /// boundary modes).
+    /// Halo-aware [`AnyGrid::from_fn`]: derive the halo geometry, fill,
+    /// **and element type** from a [`StencilSpec`] instead of
+    /// hand-passing them — the halo is `spec.radius()` rows/planes wide
+    /// under Dirichlet (twice that for the refreshed boundary modes,
+    /// whose fused fast path stages the next time level there), filled
+    /// with the boundary's constant ([`Boundary::halo_fill`]), and the
+    /// shape is checked against the spec (dimensionality, and extents ≥
+    /// radius for the folded boundary modes). For an `@f32` spec, `f`'s
+    /// values are rounded to `f32` once, on the way in.
     ///
     /// ```
     /// use stencil_core::exec::{Boundary, Shape};
@@ -614,25 +704,32 @@ impl AnyGrid {
     pub fn from_fn_spec(
         shape: Shape,
         spec: &StencilSpec,
-        f: impl FnMut(usize, usize, usize) -> f64,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
     ) -> Result<AnyGrid, GridDataError> {
         Self::check_spec(shape, spec)?;
-        Ok(Self::from_fn(
-            shape,
-            Self::spec_halo_r(spec),
-            spec.boundary().halo_fill(),
-            f,
-        ))
+        let halo_r = Self::spec_halo_r(spec);
+        let fill = spec.boundary().halo_fill();
+        Ok(match spec.dtype() {
+            Dtype::F64 => Self::from_fn(shape, halo_r, fill, f),
+            Dtype::F32 => {
+                Self::from_fn_f32(shape, halo_r, fill as f32, |z, y, x| f(z, y, x) as f32)
+            }
+        })
     }
 
     /// Halo-aware [`AnyGrid::from_vec`] (see [`AnyGrid::from_fn_spec`]):
     /// row-major interior data plus a [`StencilSpec`] that supplies the
-    /// halo geometry, fill value, and shape checks.
+    /// halo geometry, fill value, and shape checks. The data's element
+    /// type must match the spec's [`dtype`](StencilSpec::dtype) — a
+    /// `Vec<f64>` handed to an `@f32` spec is a
+    /// [`GridDataError::Dtype`] error (use
+    /// [`AnyGrid::from_vec_spec_f32`]), never a silent conversion.
     pub fn from_vec_spec(
         shape: Shape,
         spec: &StencilSpec,
         data: Vec<f64>,
     ) -> Result<AnyGrid, GridDataError> {
+        Self::check_dtype(spec, Dtype::F64)?;
         Self::check_spec(shape, spec)?;
         Self::from_vec(
             shape,
@@ -642,12 +739,38 @@ impl AnyGrid {
         )
     }
 
+    /// f32 twin of [`AnyGrid::from_vec_spec`]: native single-precision
+    /// interior data for an `@f32` spec. Handing it to an f64 spec is a
+    /// [`GridDataError::Dtype`] error.
+    pub fn from_vec_spec_f32(
+        shape: Shape,
+        spec: &StencilSpec,
+        data: Vec<f32>,
+    ) -> Result<AnyGrid, GridDataError> {
+        Self::check_dtype(spec, Dtype::F32)?;
+        Self::check_spec(shape, spec)?;
+        Self::from_vec_f32(
+            shape,
+            Self::spec_halo_r(spec),
+            spec.boundary().halo_fill() as f32,
+            data,
+        )
+    }
+
     /// Number of spatial dimensions (1–3).
     pub fn ndim(&self) -> usize {
         match self {
-            AnyGrid::D1(_) => 1,
-            AnyGrid::D2(_) => 2,
-            AnyGrid::D3(_) => 3,
+            AnyGrid::D1(_) | AnyGrid::D1F32(_) => 1,
+            AnyGrid::D2(_) | AnyGrid::D2F32(_) => 2,
+            AnyGrid::D3(_) | AnyGrid::D3F32(_) => 3,
+        }
+    }
+
+    /// The element type the grid carries.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            AnyGrid::D1(_) | AnyGrid::D2(_) | AnyGrid::D3(_) => Dtype::F64,
+            AnyGrid::D1F32(_) | AnyGrid::D2F32(_) | AnyGrid::D3F32(_) => Dtype::F32,
         }
     }
 
@@ -655,38 +778,63 @@ impl AnyGrid {
     pub fn shape(&self) -> Shape {
         match self {
             AnyGrid::D1(g) => Shape::d1(g.n()),
+            AnyGrid::D1F32(g) => Shape::d1(g.n()),
             AnyGrid::D2(g) => Shape::d2(g.nx(), g.ny()),
+            AnyGrid::D2F32(g) => Shape::d2(g.nx(), g.ny()),
             AnyGrid::D3(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
+            AnyGrid::D3F32(g) => Shape::d3(g.nx(), g.ny(), g.nz()),
         }
+    }
+
+    /// Interior of a 2D grid in row-major order, via a per-element map.
+    fn collect2<T: Elem, U>(g: &Grid2<T>, mut m: impl FnMut(T) -> U) -> Vec<U> {
+        let mut v = Vec::with_capacity(g.nx() * g.ny());
+        for y in 0..g.ny() {
+            v.extend(g.row(y).iter().map(|&x| m(x)));
+        }
+        v
+    }
+
+    /// Interior of a 3D grid in row-major order, via a per-element map.
+    fn collect3<T: Elem, U>(g: &Grid3<T>, mut m: impl FnMut(T) -> U) -> Vec<U> {
+        let mut v = Vec::with_capacity(g.nx() * g.ny() * g.nz());
+        for z in 0..g.nz() {
+            for y in 0..g.ny() {
+                for x in 0..g.nx() {
+                    v.push(m(g.get(z as isize, y as isize, x as isize)));
+                }
+            }
+        }
+        v
     }
 
     /// The interior in row-major order (x fastest) — the inverse of
-    /// [`AnyGrid::from_vec`].
+    /// [`AnyGrid::from_vec`]. f32 interiors widen to `f64` losslessly;
+    /// use [`AnyGrid::to_vec_f32`] for the native data.
     pub fn to_vec(&self) -> Vec<f64> {
         match self {
             AnyGrid::D1(g) => g.interior().to_vec(),
-            AnyGrid::D2(g) => {
-                let mut v = Vec::with_capacity(g.nx() * g.ny());
-                for y in 0..g.ny() {
-                    v.extend_from_slice(g.row(y));
-                }
-                v
-            }
-            AnyGrid::D3(g) => {
-                let mut v = Vec::with_capacity(g.nx() * g.ny() * g.nz());
-                for z in 0..g.nz() {
-                    for y in 0..g.ny() {
-                        for x in 0..g.nx() {
-                            v.push(g.get(z as isize, y as isize, x as isize));
-                        }
-                    }
-                }
-                v
-            }
+            AnyGrid::D1F32(g) => g.interior().iter().map(|&x| x as f64).collect(),
+            AnyGrid::D2(g) => Self::collect2(g, |x| x),
+            AnyGrid::D2F32(g) => Self::collect2(g, |x| x as f64),
+            AnyGrid::D3(g) => Self::collect3(g, |x| x),
+            AnyGrid::D3F32(g) => Self::collect3(g, |x| x as f64),
         }
     }
 
-    /// The typed 1D view, if this is a 1D grid.
+    /// The interior of an f32 grid in row-major order; `None` for f64
+    /// grids (narrowing f64 data would silently round — widen with
+    /// [`AnyGrid::to_vec`] instead).
+    pub fn to_vec_f32(&self) -> Option<Vec<f32>> {
+        match self {
+            AnyGrid::D1F32(g) => Some(g.interior().to_vec()),
+            AnyGrid::D2F32(g) => Some(Self::collect2(g, |x| x)),
+            AnyGrid::D3F32(g) => Some(Self::collect3(g, |x| x)),
+            _ => None,
+        }
+    }
+
+    /// The typed 1D view, if this is a 1D f64 grid.
     pub fn as_grid1(&self) -> Option<&Grid1> {
         match self {
             AnyGrid::D1(g) => Some(g),
@@ -694,7 +842,7 @@ impl AnyGrid {
         }
     }
 
-    /// The typed 2D view, if this is a 2D grid.
+    /// The typed 2D view, if this is a 2D f64 grid.
     pub fn as_grid2(&self) -> Option<&Grid2> {
         match self {
             AnyGrid::D2(g) => Some(g),
@@ -702,10 +850,34 @@ impl AnyGrid {
         }
     }
 
-    /// The typed 3D view, if this is a 3D grid.
+    /// The typed 3D view, if this is a 3D f64 grid.
     pub fn as_grid3(&self) -> Option<&Grid3> {
         match self {
             AnyGrid::D3(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The typed 1D view, if this is a 1D f32 grid.
+    pub fn as_grid1_f32(&self) -> Option<&Grid1<f32>> {
+        match self {
+            AnyGrid::D1F32(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The typed 2D view, if this is a 2D f32 grid.
+    pub fn as_grid2_f32(&self) -> Option<&Grid2<f32>> {
+        match self {
+            AnyGrid::D2F32(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The typed 3D view, if this is a 3D f32 grid.
+    pub fn as_grid3_f32(&self) -> Option<&Grid3<f32>> {
+        match self {
+            AnyGrid::D3F32(g) => Some(g),
             _ => None,
         }
     }
@@ -726,6 +898,24 @@ impl From<Grid2> for AnyGrid {
 impl From<Grid3> for AnyGrid {
     fn from(g: Grid3) -> AnyGrid {
         AnyGrid::D3(g)
+    }
+}
+
+impl From<Grid1<f32>> for AnyGrid {
+    fn from(g: Grid1<f32>) -> AnyGrid {
+        AnyGrid::D1F32(g)
+    }
+}
+
+impl From<Grid2<f32>> for AnyGrid {
+    fn from(g: Grid2<f32>) -> AnyGrid {
+        AnyGrid::D2F32(g)
+    }
+}
+
+impl From<Grid3<f32>> for AnyGrid {
+    fn from(g: Grid3<f32>) -> AnyGrid {
+        AnyGrid::D3F32(g)
     }
 }
 
@@ -762,6 +952,24 @@ mod tests {
     }
 
     #[test]
+    fn grid2_geometry_f32() {
+        // The f32 pad is 16 elements = 64 bytes: interior origins and
+        // row starts keep the same byte alignment as f64 grids, with
+        // twice the elements per line.
+        let g = Grid2::<f32>::from_fn(13, 5, 2, -3.0, |y, x| (y * 100 + x) as f32);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(4, 12), 412.0);
+        assert_eq!(g.get(-1, 0), -3.0);
+        assert_eq!(g.get(2, -2), -3.0);
+        assert_eq!(g.ptr() as usize % 64, 0);
+        assert_eq!(g.row_stride() % 16, 0);
+        let p = unsafe { g.ptr().add(g.row_stride()) };
+        assert_eq!(p as usize % 64, 0);
+        // Halo readable out to the full f32 pad width.
+        assert_eq!(g.get(0, -(f32::PAD as isize)), -3.0);
+    }
+
+    #[test]
     fn grid3_geometry() {
         let g = Grid3::from_fn(9, 4, 3, 1, 9.5, |z, y, x| (z * 10000 + y * 100 + x) as f64);
         assert_eq!(g.get(0, 0, 0), 0.0);
@@ -794,6 +1002,36 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn any_grid_round_trips_f32() {
+        let shape = Shape::d2(5, 3);
+        let data: Vec<f32> = (0..15).map(|i| i as f32 * 0.5).collect();
+        let g = AnyGrid::from_vec_f32(shape, 1, 0.0, data.clone()).unwrap();
+        assert_eq!(g.ndim(), 2);
+        assert_eq!(g.dtype(), Dtype::F32);
+        assert_eq!(g.shape(), shape);
+        assert_eq!(g.to_vec_f32().unwrap(), data);
+        // to_vec widens losslessly.
+        let wide = g.to_vec();
+        assert!(wide.iter().zip(&data).all(|(&a, &b)| a == b as f64));
+        // Typed accessors pick the right width.
+        assert!(g.as_grid2().is_none());
+        assert_eq!(g.as_grid2_f32().unwrap().get(1, 2), 3.5);
+        // f64 grids have no f32 view.
+        let g64 = AnyGrid::filled(shape, 1, 0.0);
+        assert_eq!(g64.dtype(), Dtype::F64);
+        assert!(g64.to_vec_f32().is_none());
+        assert!(g64.as_grid2_f32().is_none());
+
+        assert!(matches!(
+            AnyGrid::from_vec_f32(shape, 1, 0.0, vec![0.0; 2]),
+            Err(GridDataError::Len {
+                expected: 15,
+                got: 2
+            })
+        ));
     }
 
     #[test]
@@ -851,6 +1089,51 @@ mod tests {
                 expected: 16,
                 got: 3
             })
+        ));
+    }
+
+    #[test]
+    fn spec_aware_constructors_check_dtype() {
+        let f32_spec: StencilSpec = "2d5p@f32".parse().unwrap();
+        let f64_spec: StencilSpec = "2d5p".parse().unwrap();
+        let shape = Shape::d2(4, 4);
+
+        // from_fn_spec follows the spec's dtype.
+        let g = AnyGrid::from_fn_spec(shape, &f32_spec, |_, y, x| (y + x) as f64).unwrap();
+        assert_eq!(g.dtype(), Dtype::F32);
+        assert_eq!(g.as_grid2_f32().unwrap().get(1, 2), 3.0);
+
+        // from_vec_spec demands matching data width, both ways.
+        assert_eq!(
+            AnyGrid::from_vec_spec(shape, &f32_spec, vec![0.0; 16]).unwrap_err(),
+            GridDataError::Dtype {
+                spec: Dtype::F32,
+                data: Dtype::F64
+            }
+        );
+        assert_eq!(
+            AnyGrid::from_vec_spec_f32(shape, &f64_spec, vec![0.0f32; 16]).unwrap_err(),
+            GridDataError::Dtype {
+                spec: Dtype::F64,
+                data: Dtype::F32
+            }
+        );
+        let err = AnyGrid::from_vec_spec(shape, &f32_spec, vec![0.0; 16]).unwrap_err();
+        assert!(err.to_string().contains("f32"), "{err}");
+
+        // Happy path: f32 data for an f32 spec, shape checks intact.
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let g = AnyGrid::from_vec_spec_f32(shape, &f32_spec, data.clone()).unwrap();
+        assert_eq!(g.to_vec_f32().unwrap(), data);
+        assert!(matches!(
+            AnyGrid::from_vec_spec_f32(shape, &f32_spec, vec![0.0f32; 3]),
+            Err(GridDataError::Len { .. })
+        ));
+        // Boundary-extent checks still run for f32 specs.
+        let folded: StencilSpec = "1d5p@reflect@f32".parse().unwrap();
+        assert!(matches!(
+            AnyGrid::from_vec_spec_f32(Shape::d1(1), &folded, vec![0.0f32; 1]),
+            Err(GridDataError::BoundaryExtent { .. })
         ));
     }
 

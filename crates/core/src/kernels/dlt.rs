@@ -10,7 +10,7 @@
 //! columns at the ends of the column range need cross-lane values, which
 //! we process scalar through the index map.
 
-use stencil_simd::SimdF64;
+use stencil_simd::{Elem, Vector};
 
 use super::orig::splat_w;
 use crate::layout::{dlt_read, DltGeo};
@@ -21,21 +21,22 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 /// # Safety
 /// Row pointers valid with halos; `lo ≤ hi ≤ n`.
 #[inline(always)]
-pub unsafe fn star1_dlt_scalar<S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star1_dlt_scalar<T: Elem, S: Star1>(
+    src: *const T,
+    dst: *mut T,
     lo: usize,
     hi: usize,
     geo: &DltGeo,
     s: &S,
 ) {
     let w = s.w();
+    let cv = T::from_f64;
     let r = S::R as isize;
     for i in lo..hi {
         let ii = i as isize;
-        let mut acc = w[0] * dlt_read(src, ii - r, geo);
+        let mut acc = cv(w[0]) * dlt_read(src, ii - r, geo);
         for o in 1..=2 * S::R {
-            acc = dlt_read(src, ii - r + o as isize, geo).mul_add(w[o], acc);
+            acc = dlt_read(src, ii - r + o as isize, geo).mul_add(cv(w[o]), acc);
         }
         *dst.add(geo.map(i)) = acc;
     }
@@ -47,9 +48,9 @@ pub unsafe fn star1_dlt_scalar<S: Star1>(
 /// Caller must guarantee `R ≤ j0` and `j1 ≤ cols - R` (no seam columns)
 /// and the usual pointer/feature contracts.
 #[inline(always)]
-pub unsafe fn star1_dlt_cols<V: SimdF64, S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star1_dlt_cols<V: Vector, S: Star1>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     j0: usize,
     j1: usize,
     s: &S,
@@ -74,7 +75,7 @@ pub unsafe fn star1_dlt_cols<V: SimdF64, S: Star1>(
 /// # Safety
 /// Row pointers valid with halos.
 #[inline(always)]
-pub unsafe fn star1_dlt_seams<S: Star1>(src: *const f64, dst: *mut f64, geo: &DltGeo, s: &S) {
+pub unsafe fn star1_dlt_seams<T: Elem, S: Star1>(src: *const T, dst: *mut T, geo: &DltGeo, s: &S) {
     let r = S::R;
     let cols = geo.cols;
     for lane in 0..geo.vl {
@@ -89,7 +90,12 @@ pub unsafe fn star1_dlt_seams<S: Star1>(src: *const f64, dst: *mut f64, geo: &Dl
 /// # Safety
 /// Row pointers valid with halos; `src != dst`.
 #[inline(always)]
-pub unsafe fn star1_dlt<V: SimdF64, S: Star1>(src: *const f64, dst: *mut f64, n: usize, s: &S) {
+pub unsafe fn star1_dlt<V: Vector, S: Star1>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
+    n: usize,
+    s: &S,
+) {
     let l = V::LANES;
     let r = S::R;
     let geo = DltGeo::new(n, l);
@@ -108,9 +114,9 @@ pub unsafe fn star1_dlt<V: SimdF64, S: Star1>(src: *const f64, dst: *mut f64, n:
 /// # Safety
 /// Rows `y0-R..y1+R` addressable; `src != dst`.
 #[inline(always)]
-pub unsafe fn star2_dlt<V: SimdF64, S: Star2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star2_dlt<V: Vector, S: Star2>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     nx: usize,
     y0: usize,
@@ -129,17 +135,18 @@ pub unsafe fn star2_dlt<V: SimdF64, S: Star2>(
         let scalar_cells = |lo: usize, hi: usize| {
             let wx = s.wx();
             let wy = s.wy();
+            let cv = <V::Elem as Elem>::from_f64;
             let ri = r as isize;
             for i in lo..hi {
                 let ii = i as isize;
-                let mut acc = wx[0] * dlt_read(c, ii - ri, &geo);
+                let mut acc = cv(wx[0]) * dlt_read(c, ii - ri, &geo);
                 for o in 1..=2 * r {
-                    acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                    acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(cv(wx[o]), acc);
                 }
                 for dd in 1..=r {
                     acc = dlt_read(c.offset(-((dd * rs) as isize)), ii, &geo)
-                        .mul_add(wy[r - dd], acc);
-                    acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(wy[r + dd], acc);
+                        .mul_add(cv(wy[r - dd]), acc);
+                    acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(cv(wy[r + dd]), acc);
                 }
                 *d.add(geo.map(i)) = acc;
             }
@@ -177,9 +184,9 @@ pub unsafe fn star2_dlt<V: SimdF64, S: Star2>(
 /// # Safety
 /// Rows `y0-R..y1+R` addressable; `src != dst`.
 #[inline(always)]
-pub unsafe fn box2_dlt<V: SimdF64, S: Box2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box2_dlt<V: Vector, S: Box2>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     nx: usize,
     y0: usize,
@@ -195,19 +202,20 @@ pub unsafe fn box2_dlt<V: SimdF64, S: Box2>(
         let d = dst.add(y * rs);
         let scalar_cells = |lo: usize, hi: usize| {
             let w = s.w();
+            let cv = <V::Elem as Elem>::from_f64;
             let ri = r as isize;
             for i in lo..hi {
                 let ii = i as isize;
-                let mut acc = 0.0;
+                let mut acc = <V::Elem as Elem>::ZERO;
                 let mut k = 0usize;
                 for dy in -ri..=ri {
                     let row = c.offset(dy * rs as isize);
                     for dx in -ri..=ri {
                         let val = dlt_read(row, ii + dx, &geo);
                         if k == 0 {
-                            acc = w[0] * val;
+                            acc = cv(w[0]) * val;
                         } else {
-                            acc = val.mul_add(w[k], acc);
+                            acc = val.mul_add(cv(w[k]), acc);
                         }
                         k += 1;
                     }
@@ -227,7 +235,7 @@ pub unsafe fn box2_dlt<V: SimdF64, S: Box2>(
         scalar_cells(geo.region, nx);
         for j in r..geo.cols - r {
             let base = j * l;
-            let mut acc = V::splat(0.0);
+            let mut acc = V::zero();
             let mut k = 0usize;
             for dy in -(r as isize)..=r as isize {
                 let row = c.offset(dy * rs as isize);
@@ -253,9 +261,9 @@ pub unsafe fn box2_dlt<V: SimdF64, S: Box2>(
 /// Planes/rows within radius addressable; `src != dst`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_dlt<V: SimdF64, S: Star3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star3_dlt<V: Vector, S: Star3>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
@@ -276,22 +284,23 @@ pub unsafe fn star3_dlt<V: SimdF64, S: Star3>(
             let d = dst.add(z * ps + y * rs);
             let scalar_cells = |lo: usize, hi: usize| {
                 let (wx, wy, wz) = (s.wx(), s.wy(), s.wz());
+                let cv = <V::Elem as Elem>::from_f64;
                 let ri = r as isize;
                 for i in lo..hi {
                     let ii = i as isize;
-                    let mut acc = wx[0] * dlt_read(c, ii - ri, &geo);
+                    let mut acc = cv(wx[0]) * dlt_read(c, ii - ri, &geo);
                     for o in 1..=2 * r {
-                        acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                        acc = dlt_read(c, ii - ri + o as isize, &geo).mul_add(cv(wx[o]), acc);
                     }
                     for dd in 1..=r {
                         acc = dlt_read(c.offset(-((dd * rs) as isize)), ii, &geo)
-                            .mul_add(wy[r - dd], acc);
-                        acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(wy[r + dd], acc);
+                            .mul_add(cv(wy[r - dd]), acc);
+                        acc = dlt_read(c.add(dd * rs), ii, &geo).mul_add(cv(wy[r + dd]), acc);
                     }
                     for dd in 1..=r {
                         acc = dlt_read(c.offset(-((dd * ps) as isize)), ii, &geo)
-                            .mul_add(wz[r - dd], acc);
-                        acc = dlt_read(c.add(dd * ps), ii, &geo).mul_add(wz[r + dd], acc);
+                            .mul_add(cv(wz[r - dd]), acc);
+                        acc = dlt_read(c.add(dd * ps), ii, &geo).mul_add(cv(wz[r + dd]), acc);
                     }
                     *d.add(geo.map(i)) = acc;
                 }
@@ -334,9 +343,9 @@ pub unsafe fn star3_dlt<V: SimdF64, S: Star3>(
 /// Planes/rows within radius addressable; `src != dst`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_dlt<V: SimdF64, S: Box3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box3_dlt<V: Vector, S: Box3>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
@@ -355,10 +364,11 @@ pub unsafe fn box3_dlt<V: SimdF64, S: Box3>(
             let d = dst.add(z * ps + y * rs);
             let scalar_cells = |lo: usize, hi: usize| {
                 let w = s.w();
+                let cv = <V::Elem as Elem>::from_f64;
                 let ri = r as isize;
                 for i in lo..hi {
                     let ii = i as isize;
-                    let mut acc = 0.0;
+                    let mut acc = <V::Elem as Elem>::ZERO;
                     let mut k = 0usize;
                     for dz in -ri..=ri {
                         for dy in -ri..=ri {
@@ -366,9 +376,9 @@ pub unsafe fn box3_dlt<V: SimdF64, S: Box3>(
                             for dx in -ri..=ri {
                                 let val = dlt_read(row, ii + dx, &geo);
                                 if k == 0 {
-                                    acc = w[0] * val;
+                                    acc = cv(w[0]) * val;
                                 } else {
-                                    acc = val.mul_add(w[k], acc);
+                                    acc = val.mul_add(cv(w[k]), acc);
                                 }
                                 k += 1;
                             }
@@ -389,7 +399,7 @@ pub unsafe fn box3_dlt<V: SimdF64, S: Box3>(
             scalar_cells(geo.region, nx);
             for j in r..geo.cols - r {
                 let base = j * l;
-                let mut acc = V::splat(0.0);
+                let mut acc = V::zero();
                 let mut k = 0usize;
                 for dz in -(r as isize)..=r as isize {
                     for dy in -(r as isize)..=r as isize {

@@ -8,12 +8,12 @@
 //! lowers to a libm call (a measured 39× slowdown; see DESIGN.md §5).
 //!
 //! `#[target_feature]` is legal on generic functions, so each big kernel
-//! gets an explicit per-ISA monomorphic entry here. Portable ISAs call
-//! the kernel directly (no feature context needed).
+//! gets an explicit per-ISA entry here, generic over the element type
+//! ([`Elem`]): the entry resolves `T`'s native vector for the register
+//! width (`T::V256` / `T::V512`). Portable ISAs call the kernel directly
+//! (no feature context needed).
 
-use stencil_simd::Isa;
-#[cfg(target_arch = "x86_64")]
-use stencil_simd::{F64x4, F64x8};
+use stencil_simd::{Elem, Isa};
 
 use super::{tl, tl2};
 use crate::exec::halo::{Boundary, RowMap};
@@ -28,31 +28,31 @@ macro_rules! isa_entry {
         /// Same contract as the underlying kernel; `isa` must be
         /// available on this CPU (checked).
         #[allow(clippy::too_many_arguments)]
-        pub unsafe fn $name<S: $bound>(isa: Isa, $($arg: $ty),*) {
+        pub unsafe fn $name<T: Elem, S: $bound>(isa: Isa, $($arg: $ty),*) {
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx2,fma")]
-            unsafe fn avx2<S: $bound>($($arg: $ty),*) {
-                $km::$kf::<F64x4, S>($($arg),*)
+            unsafe fn avx2<T: Elem, S: $bound>($($arg: $ty),*) {
+                $km::$kf::<<T as Elem>::V256, S>($($arg),*)
             }
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx512f")]
-            unsafe fn avx512<S: $bound>($($arg: $ty),*) {
-                $km::$kf::<F64x8, S>($($arg),*)
+            unsafe fn avx512<T: Elem, S: $bound>($($arg: $ty),*) {
+                $km::$kf::<<T as Elem>::V512, S>($($arg),*)
             }
             match isa {
                 #[cfg(target_arch = "x86_64")]
                 Isa::Avx2 => {
                     assert!(isa.is_available());
-                    avx2::<S>($($arg),*)
+                    avx2::<T, S>($($arg),*)
                 }
                 #[cfg(target_arch = "x86_64")]
                 Isa::Avx512 => {
                     assert!(isa.is_available());
-                    avx512::<S>($($arg),*)
+                    avx512::<T, S>($($arg),*)
                 }
-                _ => match isa.lanes() {
-                    4 => $km::$kf::<stencil_simd::P4, S>($($arg),*),
-                    _ => $km::$kf::<stencil_simd::P8, S>($($arg),*),
+                _ => match isa.width_bytes() {
+                    32 => $km::$kf::<<T as Elem>::P256, S>($($arg),*),
+                    _ => $km::$kf::<<T as Elem>::P512, S>($($arg),*),
                 },
             }
         }
@@ -62,92 +62,92 @@ macro_rules! isa_entry {
 isa_entry!(
     /// [`tl::star1_tl`] behind a per-ISA feature entry.
     star1_tl, Star1, tl::star1_tl,
-    fn(src: *const f64, dst: *mut f64, n: usize, x0: usize, x1: usize, s: &S)
+    fn(src: *const T, dst: *mut T, n: usize, x0: usize, x1: usize, s: &S)
 );
 isa_entry!(
     /// [`tl::star2_tl`] behind a per-ISA feature entry.
     star2_tl, Star2, tl::star2_tl,
-    fn(src: *const f64, dst: *mut f64, rs: usize, nx: usize,
+    fn(src: *const T, dst: *mut T, rs: usize, nx: usize,
        y0: usize, y1: usize, x0: usize, x1: usize, s: &S)
 );
 isa_entry!(
     /// [`tl::box2_tl`] behind a per-ISA feature entry.
     box2_tl, Box2, tl::box2_tl,
-    fn(src: *const f64, dst: *mut f64, rs: usize, nx: usize,
+    fn(src: *const T, dst: *mut T, rs: usize, nx: usize,
        y0: usize, y1: usize, x0: usize, x1: usize, s: &S)
 );
 isa_entry!(
     /// [`tl::star3_tl`] behind a per-ISA feature entry.
     star3_tl, Star3, tl::star3_tl,
-    fn(src: *const f64, dst: *mut f64, rs: usize, ps: usize, nx: usize,
+    fn(src: *const T, dst: *mut T, rs: usize, ps: usize, nx: usize,
        z0: usize, z1: usize, y0: usize, y1: usize, x0: usize, x1: usize, s: &S)
 );
 isa_entry!(
     /// [`tl::box3_tl`] behind a per-ISA feature entry.
     box3_tl, Box3, tl::box3_tl,
-    fn(src: *const f64, dst: *mut f64, rs: usize, ps: usize, nx: usize,
+    fn(src: *const T, dst: *mut T, rs: usize, ps: usize, nx: usize,
        z0: usize, z1: usize, y0: usize, y1: usize, x0: usize, x1: usize, s: &S)
 );
 isa_entry!(
     /// [`tl2::star1_tl2`] behind a per-ISA feature entry.
     star1_tl2, Star1, tl2::star1_tl2,
-    fn(buf: *mut f64, n: usize, s: &S)
+    fn(buf: *mut T, n: usize, s: &S)
 );
 isa_entry!(
     /// [`tl2::star1_tl2_range`] behind a per-ISA feature entry.
     star1_tl2_range, Star1, tl2::star1_tl2_range,
-    fn(buf_a: *mut f64, buf_b: *mut f64, n: usize, sa: usize, sb: usize, s: &S)
+    fn(buf_a: *mut T, buf_b: *mut T, n: usize, sa: usize, sb: usize, s: &S)
 );
 isa_entry!(
     /// [`tl2::star2_tl2`] behind a per-ISA feature entry.
     star2_tl2, Star2, tl2::star2_tl2,
-    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64, s: &S)
+    fn(buf: *mut T, rs: usize, nx: usize, ny: usize, ring: *mut T, s: &S)
 );
 isa_entry!(
     /// [`tl2::box2_tl2`] behind a per-ISA feature entry.
     box2_tl2, Box2, tl2::box2_tl2,
-    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64, s: &S)
+    fn(buf: *mut T, rs: usize, nx: usize, ny: usize, ring: *mut T, s: &S)
 );
 isa_entry!(
     /// [`tl2::star3_tl2`] behind a per-ISA feature entry.
     star3_tl2, Star3, tl2::star3_tl2,
-    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
-       ring: *mut f64, s: &S)
+    fn(buf: *mut T, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut T, s: &S)
 );
 isa_entry!(
     /// [`tl2::box3_tl2`] behind a per-ISA feature entry.
     box3_tl2, Box3, tl2::box3_tl2,
-    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
-       ring: *mut f64, s: &S)
+    fn(buf: *mut T, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut T, s: &S)
 );
 isa_entry!(
     /// [`tl2::star1_tl2_wide`] behind a per-ISA feature entry.
     star1_tl2_wide, Star1, tl2::star1_tl2_wide,
-    fn(buf: *mut f64, n: usize, b: Boundary, s: &S)
+    fn(buf: *mut T, n: usize, b: Boundary, s: &S)
 );
 isa_entry!(
     /// [`tl2::star2_tl2_wide`] behind a per-ISA feature entry.
     star2_tl2_wide, Star2, tl2::star2_tl2_wide,
-    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64,
+    fn(buf: *mut T, rs: usize, nx: usize, ny: usize, ring: *mut T,
        b: Boundary, map: &RowMap, s: &S)
 );
 isa_entry!(
     /// [`tl2::box2_tl2_wide`] behind a per-ISA feature entry.
     box2_tl2_wide, Box2, tl2::box2_tl2_wide,
-    fn(buf: *mut f64, rs: usize, nx: usize, ny: usize, ring: *mut f64,
+    fn(buf: *mut T, rs: usize, nx: usize, ny: usize, ring: *mut T,
        b: Boundary, map: &RowMap, s: &S)
 );
 isa_entry!(
     /// [`tl2::star3_tl2_wide`] behind a per-ISA feature entry.
     star3_tl2_wide, Star3, tl2::star3_tl2_wide,
-    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
-       ring: *mut f64, b: Boundary, map: &RowMap, s: &S)
+    fn(buf: *mut T, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut T, b: Boundary, map: &RowMap, s: &S)
 );
 isa_entry!(
     /// [`tl2::box3_tl2_wide`] behind a per-ISA feature entry.
     box3_tl2_wide, Box3, tl2::box3_tl2_wide,
-    fn(buf: *mut f64, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
-       ring: *mut f64, b: Boundary, map: &RowMap, s: &S)
+    fn(buf: *mut T, rs: usize, ps: usize, nx: usize, ny: usize, nz: usize,
+       ring: *mut T, b: Boundary, map: &RowMap, s: &S)
 );
 
 /// Sanity: the macro's portable fallback uses lane width to pick the
@@ -168,9 +168,25 @@ mod tests {
             tl_grid1(&mut g, isa);
             let mut d = g.clone();
             let (sp, dp) = (g.ptr(), d.ptr_mut());
-            unsafe { star1_tl::<S1d3p>(isa, sp, dp, n, 0, n, &s) };
+            unsafe { star1_tl::<f64, S1d3p>(isa, sp, dp, n, 0, n, &s) };
             let gp = d.ptr_mut();
-            unsafe { star1_tl2::<S1d3p>(isa, gp, n, &s) };
+            unsafe { star1_tl2::<f64, S1d3p>(isa, gp, n, &s) };
+        }
+    }
+
+    #[test]
+    fn entries_run_on_every_available_isa_f32() {
+        let s = S1d3p::heat();
+        for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+            let l = isa.lanes_for::<f32>();
+            let n = 4 * l * l;
+            let mut g = Grid1::<f32>::from_fn(n, 0.0, |i| i as f32);
+            tl_grid1(&mut g, isa);
+            let mut d = g.clone();
+            let (sp, dp) = (g.ptr(), d.ptr_mut());
+            unsafe { star1_tl::<f32, S1d3p>(isa, sp, dp, n, 0, n, &s) };
+            let gp = d.ptr_mut();
+            unsafe { star1_tl2::<f32, S1d3p>(isa, gp, n, &s) };
         }
     }
 }

@@ -16,17 +16,17 @@
 //! vector fall back to the scalar reference, preserving bit-identical
 //! results.
 
-use stencil_simd::SimdF64;
+use stencil_simd::Vector;
 
 use super::scalar;
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 
 /// Splat the first `w.len()` weights into vector registers.
 #[inline(always)]
-pub(crate) unsafe fn splat_w<V: SimdF64, const N: usize>(w: &[f64]) -> [V; N] {
-    let mut wv = [V::splat(0.0); N];
+pub(crate) unsafe fn splat_w<V: Vector, const N: usize>(w: &[f64]) -> [V; N] {
+    let mut wv = [V::zero(); N];
     for o in 0..w.len() {
-        wv[o] = V::splat(w[o]);
+        wv[o] = V::splat_f64(w[o]);
     }
     wv
 }
@@ -37,7 +37,7 @@ pub(crate) unsafe fn splat_w<V: SimdF64, const N: usize>(w: &[f64]) -> [V; N] {
 /// Aligned loads at `i ± LANES` must be in bounds (grid halo pads
 /// guarantee this for `|d| ≤ R ≤ LANES`).
 #[inline(always)]
-unsafe fn xvec<V: SimdF64, const REORG: bool>(row: *const f64, i: usize, d: isize) -> V {
+unsafe fn xvec<V: Vector, const REORG: bool>(row: *const V::Elem, i: usize, d: isize) -> V {
     if REORG {
         let l = V::LANES as isize;
         if d == 0 {
@@ -72,9 +72,9 @@ fn vrange(lo: usize, hi: usize, lanes: usize) -> (usize, usize) {
 /// # Safety
 /// Pointers valid over the range plus halo pads; `src != dst`.
 #[inline(always)]
-pub unsafe fn star1_orig<V: SimdF64, S: Star1, const REORG: bool>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star1_orig<V: Vector, S: Star1, const REORG: bool>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     lo: usize,
     hi: usize,
     s: &S,
@@ -108,9 +108,9 @@ pub unsafe fn star1_orig<V: SimdF64, S: Star1, const REORG: bool>(
 /// Pointers valid over the range plus halo (rows `y ± R` addressable).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star2_orig<V: SimdF64, S: Star2, const REORG: bool>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star2_orig<V: Vector, S: Star2, const REORG: bool>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     y0: usize,
     y1: usize,
@@ -157,9 +157,9 @@ pub unsafe fn star2_orig<V: SimdF64, S: Star2, const REORG: bool>(
 /// Pointers valid over the range plus halo.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box2_orig<V: SimdF64, S: Box2, const REORG: bool>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box2_orig<V: Vector, S: Box2, const REORG: bool>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     y0: usize,
     y1: usize,
@@ -178,7 +178,7 @@ pub unsafe fn box2_orig<V: SimdF64, S: Box2, const REORG: bool>(
         if vlo < vhi {
             let mut i = vlo;
             while i < vhi {
-                let mut acc = V::splat(0.0);
+                let mut acc = V::zero();
                 let mut k = 0usize;
                 for dy in -(r as isize)..=r as isize {
                     let row = src.offset((y as isize + dy) * rs as isize);
@@ -209,9 +209,9 @@ pub unsafe fn box2_orig<V: SimdF64, S: Box2, const REORG: bool>(
 /// Pointers valid over the range plus halo.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_orig<V: SimdF64, S: Star3, const REORG: bool>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star3_orig<V: Vector, S: Star3, const REORG: bool>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     z0: usize,
@@ -281,9 +281,9 @@ pub unsafe fn star3_orig<V: SimdF64, S: Star3, const REORG: bool>(
 /// Pointers valid over the range plus halo.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_orig<V: SimdF64, S: Box3, const REORG: bool>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box3_orig<V: Vector, S: Box3, const REORG: bool>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     z0: usize,
@@ -306,7 +306,7 @@ pub unsafe fn box3_orig<V: SimdF64, S: Box3, const REORG: bool>(
             if vlo < vhi {
                 let mut i = vlo;
                 while i < vhi {
-                    let mut acc = V::splat(0.0);
+                    let mut acc = V::zero();
                     let mut k = 0usize;
                     for dz in -(r as isize)..=r as isize {
                         for dy in -(r as isize)..=r as isize {

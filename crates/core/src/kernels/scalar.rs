@@ -2,12 +2,21 @@
 //! method.
 //!
 //! Each kernel accumulates in the family's canonical order (see
-//! [`crate::stencil`]) using `f64::mul_add`, so a vectorized kernel that
-//! follows the same order produces **bit-identical** results.
+//! [`crate::stencil`]) using the element's fused `mul_add`, so a
+//! vectorized kernel that follows the same order produces
+//! **bit-identical** results. The kernels are generic over the element
+//! type ([`Elem`]): weights live in the stencil traits as `f64` and are
+//! rounded to the element type exactly once per use via
+//! [`Elem::from_f64`] — the identity for `f64`, and the same rounding
+//! the SIMD paths apply when they splat weights into `f32` registers,
+//! which is what keeps the f32 oracle and the f32 vector kernels
+//! bit-identical to each other.
 //!
 //! All kernels are range-based over raw pointers so the tiling substrate
 //! can reuse them on tile sub-ranges; safe full-grid wrappers live in
 //! [`crate::api`].
+
+use stencil_simd::Elem;
 
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 
@@ -16,12 +25,12 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3};
 /// # Safety
 /// `src` must be valid at `i ± R` (halo included).
 #[inline(always)]
-pub unsafe fn acc_star1<S: Star1>(src: *const f64, i: isize, s: &S) -> f64 {
+pub unsafe fn acc_star1<T: Elem, S: Star1>(src: *const T, i: isize, s: &S) -> T {
     let w = s.w();
     let r = S::R as isize;
-    let mut acc = w[0] * *src.offset(i - r);
+    let mut acc = T::from_f64(w[0]) * *src.offset(i - r);
     for o in 1..=2 * S::R {
-        acc = (*src.offset(i - r + o as isize)).mul_add(w[o], acc);
+        acc = (*src.offset(i - r + o as isize)).mul_add(T::from_f64(w[o]), acc);
     }
     acc
 }
@@ -31,18 +40,24 @@ pub unsafe fn acc_star1<S: Star1>(src: *const f64, i: isize, s: &S) -> f64 {
 /// # Safety
 /// `src` must be valid at `(y ± R, x ± R)`.
 #[inline(always)]
-pub unsafe fn acc_star2<S: Star2>(src: *const f64, rs: usize, y: isize, x: isize, s: &S) -> f64 {
+pub unsafe fn acc_star2<T: Elem, S: Star2>(
+    src: *const T,
+    rs: usize,
+    y: isize,
+    x: isize,
+    s: &S,
+) -> T {
     let (wx, wy) = (s.wx(), s.wy());
     let r = S::R as isize;
     let row = src.offset(y * rs as isize);
-    let mut acc = wx[0] * *row.offset(x - r);
+    let mut acc = T::from_f64(wx[0]) * *row.offset(x - r);
     for o in 1..=2 * S::R {
-        acc = (*row.offset(x - r + o as isize)).mul_add(wx[o], acc);
+        acc = (*row.offset(x - r + o as isize)).mul_add(T::from_f64(wx[o]), acc);
     }
     for d in 1..=S::R {
         let di = d as isize;
-        acc = (*src.offset((y - di) * rs as isize + x)).mul_add(wy[S::R - d], acc);
-        acc = (*src.offset((y + di) * rs as isize + x)).mul_add(wy[S::R + d], acc);
+        acc = (*src.offset((y - di) * rs as isize + x)).mul_add(T::from_f64(wy[S::R - d]), acc);
+        acc = (*src.offset((y + di) * rs as isize + x)).mul_add(T::from_f64(wy[S::R + d]), acc);
     }
     acc
 }
@@ -52,17 +67,17 @@ pub unsafe fn acc_star2<S: Star2>(src: *const f64, rs: usize, y: isize, x: isize
 /// # Safety
 /// `src` must be valid at `(y ± R, x ± R)`.
 #[inline(always)]
-pub unsafe fn acc_box2<S: Box2>(src: *const f64, rs: usize, y: isize, x: isize, s: &S) -> f64 {
+pub unsafe fn acc_box2<T: Elem, S: Box2>(src: *const T, rs: usize, y: isize, x: isize, s: &S) -> T {
     let w = s.w();
     let r = S::R as isize;
     let width = 2 * S::R + 1;
-    let mut acc = w[0] * *src.offset((y - r) * rs as isize + x - r);
+    let mut acc = T::from_f64(w[0]) * *src.offset((y - r) * rs as isize + x - r);
     let mut k = 1usize;
     for dy in -r..=r {
         let row = src.offset((y + dy) * rs as isize);
         let dx0 = if dy == -r { -r + 1 } else { -r };
         for dx in dx0..=r {
-            acc = (*row.offset(x + dx)).mul_add(w[k], acc);
+            acc = (*row.offset(x + dx)).mul_add(T::from_f64(w[k]), acc);
             k += 1;
         }
     }
@@ -75,35 +90,35 @@ pub unsafe fn acc_box2<S: Box2>(src: *const f64, rs: usize, y: isize, x: isize, 
 /// # Safety
 /// `src` must be valid at `(z ± R, y ± R, x ± R)`.
 #[inline(always)]
-pub unsafe fn acc_star3<S: Star3>(
-    src: *const f64,
+pub unsafe fn acc_star3<T: Elem, S: Star3>(
+    src: *const T,
     rs: usize,
     ps: usize,
     z: isize,
     y: isize,
     x: isize,
     s: &S,
-) -> f64 {
+) -> T {
     let (wx, wy, wz) = (s.wx(), s.wy(), s.wz());
     let r = S::R as isize;
     let row = src.offset(z * ps as isize + y * rs as isize);
-    let mut acc = wx[0] * *row.offset(x - r);
+    let mut acc = T::from_f64(wx[0]) * *row.offset(x - r);
     for o in 1..=2 * S::R {
-        acc = (*row.offset(x - r + o as isize)).mul_add(wx[o], acc);
+        acc = (*row.offset(x - r + o as isize)).mul_add(T::from_f64(wx[o]), acc);
     }
     for d in 1..=S::R {
         let di = d as isize;
-        acc =
-            (*src.offset(z * ps as isize + (y - di) * rs as isize + x)).mul_add(wy[S::R - d], acc);
-        acc =
-            (*src.offset(z * ps as isize + (y + di) * rs as isize + x)).mul_add(wy[S::R + d], acc);
+        acc = (*src.offset(z * ps as isize + (y - di) * rs as isize + x))
+            .mul_add(T::from_f64(wy[S::R - d]), acc);
+        acc = (*src.offset(z * ps as isize + (y + di) * rs as isize + x))
+            .mul_add(T::from_f64(wy[S::R + d]), acc);
     }
     for d in 1..=S::R {
         let di = d as isize;
-        acc =
-            (*src.offset((z - di) * ps as isize + y * rs as isize + x)).mul_add(wz[S::R - d], acc);
-        acc =
-            (*src.offset((z + di) * ps as isize + y * rs as isize + x)).mul_add(wz[S::R + d], acc);
+        acc = (*src.offset((z - di) * ps as isize + y * rs as isize + x))
+            .mul_add(T::from_f64(wz[S::R - d]), acc);
+        acc = (*src.offset((z + di) * ps as isize + y * rs as isize + x))
+            .mul_add(T::from_f64(wz[S::R + d]), acc);
     }
     acc
 }
@@ -113,18 +128,19 @@ pub unsafe fn acc_star3<S: Star3>(
 /// # Safety
 /// `src` must be valid at `(z ± R, y ± R, x ± R)`.
 #[inline(always)]
-pub unsafe fn acc_box3<S: Box3>(
-    src: *const f64,
+pub unsafe fn acc_box3<T: Elem, S: Box3>(
+    src: *const T,
     rs: usize,
     ps: usize,
     z: isize,
     y: isize,
     x: isize,
     s: &S,
-) -> f64 {
+) -> T {
     let w = s.w();
     let r = S::R as isize;
-    let mut acc = w[0] * *src.offset((z - r) * ps as isize + (y - r) * rs as isize + x - r);
+    let mut acc =
+        T::from_f64(w[0]) * *src.offset((z - r) * ps as isize + (y - r) * rs as isize + x - r);
     let mut k = 1usize;
     let mut first = true;
     for dz in -r..=r {
@@ -135,7 +151,7 @@ pub unsafe fn acc_box3<S: Box3>(
                     first = false;
                     continue; // already in acc
                 }
-                acc = (*row.offset(x + dx)).mul_add(w[k], acc);
+                acc = (*row.offset(x + dx)).mul_add(T::from_f64(w[k]), acc);
                 k += 1;
             }
         }
@@ -147,7 +163,13 @@ pub unsafe fn acc_box3<S: Box3>(
 ///
 /// # Safety
 /// Pointers valid over the range plus radius-`R` halo; `src != dst`.
-pub unsafe fn star1_range<S: Star1>(src: *const f64, dst: *mut f64, lo: usize, hi: usize, s: &S) {
+pub unsafe fn star1_range<T: Elem, S: Star1>(
+    src: *const T,
+    dst: *mut T,
+    lo: usize,
+    hi: usize,
+    s: &S,
+) {
     for i in lo..hi {
         *dst.add(i) = acc_star1(src, i as isize, s);
     }
@@ -158,9 +180,9 @@ pub unsafe fn star1_range<S: Star1>(src: *const f64, dst: *mut f64, lo: usize, h
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star2_range<S: Star2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star2_range<T: Elem, S: Star2>(
+    src: *const T,
+    dst: *mut T,
     rs: usize,
     y0: usize,
     y1: usize,
@@ -180,9 +202,9 @@ pub unsafe fn star2_range<S: Star2>(
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box2_range<S: Box2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box2_range<T: Elem, S: Box2>(
+    src: *const T,
+    dst: *mut T,
     rs: usize,
     y0: usize,
     y1: usize,
@@ -202,9 +224,9 @@ pub unsafe fn box2_range<S: Box2>(
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_range<S: Star3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star3_range<T: Elem, S: Star3>(
+    src: *const T,
+    dst: *mut T,
     rs: usize,
     ps: usize,
     z0: usize,
@@ -230,9 +252,9 @@ pub unsafe fn star3_range<S: Star3>(
 /// # Safety
 /// Pointers valid over the range plus halo; `src != dst`.
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_range<S: Box3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box3_range<T: Elem, S: Box3>(
+    src: *const T,
+    dst: *mut T,
     rs: usize,
     ps: usize,
     z0: usize,
@@ -270,6 +292,17 @@ mod tests {
         // cell 3: 1*2 + 2*3 + 4*4 = 24
         assert_eq!(out.get(3), 24.0);
         // cell 7: 1*6 + 2*7 + 4*halo(10) = 60
+        assert_eq!(out.get(7), 60.0);
+    }
+
+    #[test]
+    fn star1_weighted_sum_f32() {
+        let g = Grid1::<f32>::from_fn(8, 10.0, |i| i as f32);
+        let mut out = Grid1::<f32>::filled(8, 10.0);
+        let s = S1d3p { w: [1.0, 2.0, 4.0] };
+        unsafe { star1_range(g.ptr(), out.ptr_mut(), 0, 8, &s) };
+        assert_eq!(out.get(0), 14.0);
+        assert_eq!(out.get(3), 24.0);
         assert_eq!(out.get(7), 60.0);
     }
 

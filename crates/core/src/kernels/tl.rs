@@ -18,7 +18,7 @@
 //! "simple data reorganization method" the paper prescribes for boundary
 //! sets (Fig. 5d).
 
-use stencil_simd::SimdF64;
+use stencil_simd::{Elem, Vector};
 
 use super::orig::splat_w;
 use crate::layout::{tl_read, tl_write, SetGeo};
@@ -36,19 +36,20 @@ use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 /// # Safety
 /// Feature context for `V`; `r = S::R ≤ V::LANES`.
 #[inline(always)]
-pub(crate) unsafe fn xpart_set<V: SimdF64>(
-    v: &[V; 8],
+pub(crate) unsafe fn xpart_set<V: Vector>(
+    v: &[V; 16],
     prev_last: &[V; MAX_R],
     next_first: &[V; MAX_R],
     wv: &[V; 2 * MAX_R + 1],
     r: usize,
-    out: &mut [V; 8],
+    out: &mut [V; 16],
 ) {
     let l = V::LANES;
     // Extended window: [left_r .. left_1 | v_0 .. v_{l-1} | right_1 .. right_r]
     // so position p of the stencil maps to ext[r + p] with no lane-select
     // branches — the whole window stays in registers after unrolling.
-    let mut ext = [V::splat(0.0); 8 + 2 * MAX_R];
+    // Sized for the widest register file: 16 lanes (f32 AVX-512).
+    let mut ext = [V::zero(); 16 + 2 * MAX_R];
     for o in 1..=r {
         ext[r - o] = V::assemble_left(prev_last[r - o], v[l - o]);
         ext[r + l + o - 1] = V::assemble_right(v[o - 1], next_first[o - 1]);
@@ -67,10 +68,10 @@ pub(crate) unsafe fn xpart_set<V: SimdF64>(
 
 /// Load the `vl` vectors of set `set` from a transposed row.
 #[inline(always)]
-unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
+unsafe fn load_set<V: Vector>(row: *const V::Elem, set: usize) -> [V; 16] {
     let l = V::LANES;
     let base = set * l * l;
-    let mut v = [V::splat(0.0); 8];
+    let mut v = [V::zero(); 16];
     for j in 0..l {
         v[j] = V::load(row.add(base + j * l));
     }
@@ -80,10 +81,14 @@ unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
 /// The previous set's last `r` vectors for `set` (register-free variant:
 /// loaded from memory; at the domain edge, splats of halo cells).
 #[inline(always)]
-pub(crate) unsafe fn prev_last_of<V: SimdF64>(row: *const f64, set: usize, r: usize) -> [V; MAX_R] {
+pub(crate) unsafe fn prev_last_of<V: Vector>(
+    row: *const V::Elem,
+    set: usize,
+    r: usize,
+) -> [V; MAX_R] {
     let l = V::LANES;
     let bs = l * l;
-    let mut p = [V::splat(0.0); MAX_R];
+    let mut p = [V::zero(); MAX_R];
     if set == 0 {
         for q in 0..r {
             // lane l-1 must be the halo cell A[-(r-q)]; a splat suffices.
@@ -100,8 +105,8 @@ pub(crate) unsafe fn prev_last_of<V: SimdF64>(row: *const f64, set: usize, r: us
 /// The next set's first `r` vectors for `set` (at the last set, splats of
 /// the natural-layout cells just past the transposed region).
 #[inline(always)]
-pub(crate) unsafe fn next_first_of<V: SimdF64>(
-    row: *const f64,
+pub(crate) unsafe fn next_first_of<V: Vector>(
+    row: *const V::Elem,
     set: usize,
     nsets: usize,
     r: usize,
@@ -109,7 +114,7 @@ pub(crate) unsafe fn next_first_of<V: SimdF64>(
     let l = V::LANES;
     let bs = l * l;
     let base = set * bs;
-    let mut nf = [V::splat(0.0); MAX_R];
+    let mut nf = [V::zero(); MAX_R];
     for q in 0..r {
         nf[q] = if set + 1 < nsets {
             V::load(row.add(base + bs + q * l))
@@ -139,21 +144,22 @@ fn set_split(geo: &SetGeo, x0: usize, x1: usize) -> (usize, usize) {
 /// # Safety
 /// Row pointers valid with halo; `lo ≤ hi ≤ n`.
 #[inline(always)]
-unsafe fn star1_tl_scalar<S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
+unsafe fn star1_tl_scalar<T: Elem, S: Star1>(
+    src: *const T,
+    dst: *mut T,
     lo: usize,
     hi: usize,
     geo: &SetGeo,
     s: &S,
 ) {
     let w = s.w();
+    let cv = T::from_f64;
     let r = S::R as isize;
     for i in lo..hi {
         let ii = i as isize;
-        let mut acc = w[0] * tl_read(src, ii - r, geo);
+        let mut acc = cv(w[0]) * tl_read(src, ii - r, geo);
         for o in 1..=2 * S::R {
-            acc = tl_read(src, ii - r + o as isize, geo).mul_add(w[o], acc);
+            acc = tl_read(src, ii - r + o as isize, geo).mul_add(cv(w[o]), acc);
         }
         tl_write(dst, i, acc, geo);
     }
@@ -166,9 +172,9 @@ unsafe fn star1_tl_scalar<S: Star1>(
 /// `src`/`dst` point at interior origins of rows in transpose layout with
 /// halos addressable; `src != dst`; `S::R ≤ V::LANES`.
 #[inline(always)]
-pub unsafe fn star1_tl<V: SimdF64, S: Star1>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star1_tl<V: Vector, S: Star1>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     n: usize,
     x0: usize,
     x1: usize,
@@ -190,7 +196,7 @@ pub unsafe fn star1_tl<V: SimdF64, S: Star1>(
     // Carry the previous set's last r vectors in registers across the
     // sweep (the vrl of Algorithm 1) instead of reloading them.
     let mut carry = prev_last_of::<V>(src, s0, r);
-    let mut out = [V::splat(0.0); 8];
+    let mut out = [V::zero(); 16];
     for set in s0..s1 {
         let v = load_set::<V>(src, set);
         let nf = next_first_of::<V>(src, set, geo.nsets, r);
@@ -220,11 +226,11 @@ pub unsafe fn star1_tl<V: SimdF64, S: Star1>(
 /// All row pointers valid with halos; `dst` disjoint from every source row.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star2_row_tl<V: SimdF64, S: Star2>(
-    c: *const f64,
-    ym: &[*const f64; MAX_R],
-    yp: &[*const f64; MAX_R],
-    dst: *mut f64,
+pub unsafe fn star2_row_tl<V: Vector, S: Star2>(
+    c: *const V::Elem,
+    ym: &[*const V::Elem; MAX_R],
+    yp: &[*const V::Elem; MAX_R],
+    dst: *mut V::Elem,
     n: usize,
     x0: usize,
     x1: usize,
@@ -239,16 +245,17 @@ pub unsafe fn star2_row_tl<V: SimdF64, S: Star2>(
     let scalar_part = |lo: usize, hi: usize| {
         let wx = s.wx();
         let wy = s.wy();
+        let cv = <V::Elem as Elem>::from_f64;
         let ri = r as isize;
         for i in lo..hi {
             let ii = i as isize;
-            let mut acc = wx[0] * tl_read(c, ii - ri, &geo);
+            let mut acc = cv(wx[0]) * tl_read(c, ii - ri, &geo);
             for o in 1..=2 * r {
-                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(cv(wx[o]), acc);
             }
             for d in 1..=r {
-                acc = tl_read(ym[d - 1], ii, &geo).mul_add(wy[r - d], acc);
-                acc = tl_read(yp[d - 1], ii, &geo).mul_add(wy[r + d], acc);
+                acc = tl_read(ym[d - 1], ii, &geo).mul_add(cv(wy[r - d]), acc);
+                acc = tl_read(yp[d - 1], ii, &geo).mul_add(cv(wy[r + d]), acc);
             }
             tl_write(dst, i, acc, &geo);
         }
@@ -263,7 +270,7 @@ pub unsafe fn star2_row_tl<V: SimdF64, S: Star2>(
     let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
     let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
     let mut carry = prev_last_of::<V>(c, s0, r);
-    let mut out = [V::splat(0.0); 8];
+    let mut out = [V::zero(); 16];
     for set in s0..s1 {
         let v = load_set::<V>(c, set);
         let nf = next_first_of::<V>(c, set, geo.nsets, r);
@@ -290,9 +297,9 @@ pub unsafe fn star2_row_tl<V: SimdF64, S: Star2>(
 /// As [`star2_row_tl`], with rows `y0-R .. y1+R` addressable in `src`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star2_tl<V: SimdF64, S: Star2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star2_tl<V: Vector, S: Star2>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     nx: usize,
     y0: usize,
@@ -303,18 +310,18 @@ pub unsafe fn star2_tl<V: SimdF64, S: Star2>(
 ) {
     for y in y0..y1 {
         let c = src.add(y * rs);
-        let (ym, yp) = row_nbrs::<MAX_R>(c, rs, S::R);
+        let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, S::R);
         star2_row_tl::<V, S>(c, &ym, &yp, dst.add(y * rs), nx, x0, x1, s);
     }
 }
 
 /// Neighbour-row pointer pairs `(y-d, y+d)` for `d = 1..=r`.
 #[inline(always)]
-pub(crate) unsafe fn row_nbrs<const N: usize>(
-    c: *const f64,
+pub(crate) unsafe fn row_nbrs<T, const N: usize>(
+    c: *const T,
     stride: usize,
     r: usize,
-) -> ([*const f64; N], [*const f64; N]) {
+) -> ([*const T; N], [*const T; N]) {
     let mut ym = [c; N];
     let mut yp = [c; N];
     for d in 1..=r {
@@ -335,9 +342,9 @@ pub(crate) unsafe fn row_nbrs<const N: usize>(
 /// # Safety
 /// All row pointers valid with halos; `dst` disjoint from sources.
 #[inline(always)]
-pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
-    rows: &[*const f64; 5],
-    dst: *mut f64,
+pub unsafe fn box2_row_tl<V: Vector, S: Box2>(
+    rows: &[*const V::Elem; 5],
+    dst: *mut V::Elem,
     n: usize,
     x0: usize,
     x1: usize,
@@ -352,18 +359,19 @@ pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
 
     let scalar_part = |lo: usize, hi: usize| {
         let w = s.w();
+        let cv = <V::Elem as Elem>::from_f64;
         let ri = r as isize;
         for i in lo..hi {
             let ii = i as isize;
-            let mut acc = 0.0f64;
+            let mut acc = <V::Elem as Elem>::ZERO;
             let mut k = 0usize;
             for row in rows.iter().take(nrows) {
                 for dx in -ri..=ri {
                     let val = tl_read(*row, ii + dx, &geo);
                     if k == 0 {
-                        acc = w[0] * val;
+                        acc = cv(w[0]) * val;
                     } else {
-                        acc = val.mul_add(w[k], acc);
+                        acc = val.mul_add(cv(w[k]), acc);
                     }
                     k += 1;
                 }
@@ -383,8 +391,8 @@ pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
         let base = set * geo.bs;
         // Per neighbour row: assembled overhangs (2r assembles per row per
         // set — still vl× cheaper than per-vector reorganization).
-        let mut left = [[V::splat(0.0); MAX_R]; 5];
-        let mut right = [[V::splat(0.0); MAX_R]; 5];
+        let mut left = [[V::zero(); MAX_R]; 5];
+        let mut right = [[V::zero(); MAX_R]; 5];
         for (k, row) in rows.iter().enumerate().take(nrows) {
             let pl = prev_last_of::<V>(*row, set, r);
             let nf = next_first_of::<V>(*row, set, geo.nsets, r);
@@ -395,7 +403,7 @@ pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
             }
         }
         for j in 0..l {
-            let mut acc = V::splat(0.0);
+            let mut acc = V::zero();
             let mut k = 0usize;
             for (rowk, row) in rows.iter().enumerate().take(nrows) {
                 for dx in -(r as isize)..=r as isize {
@@ -427,9 +435,9 @@ pub unsafe fn box2_row_tl<V: SimdF64, S: Box2>(
 /// As [`box2_row_tl`] with rows `y0-R..y1+R` addressable.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box2_tl<V: SimdF64, S: Box2>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box2_tl<V: Vector, S: Box2>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     nx: usize,
     y0: usize,
@@ -459,13 +467,13 @@ pub unsafe fn box2_tl<V: SimdF64, S: Box2>(
 /// All row pointers valid with halos; `dst` disjoint from sources.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_row_tl<V: SimdF64, S: Star3>(
-    c: *const f64,
-    ym: &[*const f64; MAX_R],
-    yp: &[*const f64; MAX_R],
-    zm: &[*const f64; MAX_R],
-    zp: &[*const f64; MAX_R],
-    dst: *mut f64,
+pub unsafe fn star3_row_tl<V: Vector, S: Star3>(
+    c: *const V::Elem,
+    ym: &[*const V::Elem; MAX_R],
+    yp: &[*const V::Elem; MAX_R],
+    zm: &[*const V::Elem; MAX_R],
+    zp: &[*const V::Elem; MAX_R],
+    dst: *mut V::Elem,
     n: usize,
     x0: usize,
     x1: usize,
@@ -480,20 +488,21 @@ pub unsafe fn star3_row_tl<V: SimdF64, S: Star3>(
         let wx = s.wx();
         let wy = s.wy();
         let wz = s.wz();
+        let cv = <V::Elem as Elem>::from_f64;
         let ri = r as isize;
         for i in lo..hi {
             let ii = i as isize;
-            let mut acc = wx[0] * tl_read(c, ii - ri, &geo);
+            let mut acc = cv(wx[0]) * tl_read(c, ii - ri, &geo);
             for o in 1..=2 * r {
-                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(wx[o], acc);
+                acc = tl_read(c, ii - ri + o as isize, &geo).mul_add(cv(wx[o]), acc);
             }
             for d in 1..=r {
-                acc = tl_read(ym[d - 1], ii, &geo).mul_add(wy[r - d], acc);
-                acc = tl_read(yp[d - 1], ii, &geo).mul_add(wy[r + d], acc);
+                acc = tl_read(ym[d - 1], ii, &geo).mul_add(cv(wy[r - d]), acc);
+                acc = tl_read(yp[d - 1], ii, &geo).mul_add(cv(wy[r + d]), acc);
             }
             for d in 1..=r {
-                acc = tl_read(zm[d - 1], ii, &geo).mul_add(wz[r - d], acc);
-                acc = tl_read(zp[d - 1], ii, &geo).mul_add(wz[r + d], acc);
+                acc = tl_read(zm[d - 1], ii, &geo).mul_add(cv(wz[r - d]), acc);
+                acc = tl_read(zp[d - 1], ii, &geo).mul_add(cv(wz[r + d]), acc);
             }
             tl_write(dst, i, acc, &geo);
         }
@@ -509,7 +518,7 @@ pub unsafe fn star3_row_tl<V: SimdF64, S: Star3>(
     let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
     let wzv: [V; 2 * MAX_R + 1] = splat_w(s.wz());
     let mut carry = prev_last_of::<V>(c, s0, r);
-    let mut out = [V::splat(0.0); 8];
+    let mut out = [V::zero(); 16];
     for set in s0..s1 {
         let v = load_set::<V>(c, set);
         let nf = next_first_of::<V>(c, set, geo.nsets, r);
@@ -540,9 +549,9 @@ pub unsafe fn star3_row_tl<V: SimdF64, S: Star3>(
 /// Rows/planes within radius addressable; `src != dst`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_tl<V: SimdF64, S: Star3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn star3_tl<V: Vector, S: Star3>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
@@ -557,8 +566,8 @@ pub unsafe fn star3_tl<V: SimdF64, S: Star3>(
     for z in z0..z1 {
         for y in y0..y1 {
             let c = src.add(z * ps + y * rs);
-            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, S::R);
-            let (zm, zp) = row_nbrs::<MAX_R>(c, ps, S::R);
+            let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, S::R);
+            let (zm, zp) = row_nbrs::<_, MAX_R>(c, ps, S::R);
             star3_row_tl::<V, S>(
                 c,
                 &ym,
@@ -586,9 +595,9 @@ pub unsafe fn star3_tl<V: SimdF64, S: Star3>(
 /// # Safety
 /// All row pointers valid with halos; `dst` disjoint from sources.
 #[inline(always)]
-pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
-    rows: &[*const f64; 9],
-    dst: *mut f64,
+pub unsafe fn box3_row_tl<V: Vector, S: Box3>(
+    rows: &[*const V::Elem; 9],
+    dst: *mut V::Elem,
     n: usize,
     x0: usize,
     x1: usize,
@@ -603,18 +612,19 @@ pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
 
     let scalar_part = |lo: usize, hi: usize| {
         let w = s.w();
+        let cv = <V::Elem as Elem>::from_f64;
         let ri = r as isize;
         for i in lo..hi {
             let ii = i as isize;
-            let mut acc = 0.0f64;
+            let mut acc = <V::Elem as Elem>::ZERO;
             let mut k = 0usize;
             for row in rows.iter().take(nrows) {
                 for dx in -ri..=ri {
                     let val = tl_read(*row, ii + dx, &geo);
                     if k == 0 {
-                        acc = w[0] * val;
+                        acc = cv(w[0]) * val;
                     } else {
-                        acc = val.mul_add(w[k], acc);
+                        acc = val.mul_add(cv(w[k]), acc);
                     }
                     k += 1;
                 }
@@ -632,8 +642,8 @@ pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
     let wv: [V; 27] = splat_w(s.w());
     for set in s0..s1 {
         let base = set * geo.bs;
-        let mut left = [[V::splat(0.0); MAX_R]; 9];
-        let mut right = [[V::splat(0.0); MAX_R]; 9];
+        let mut left = [[V::zero(); MAX_R]; 9];
+        let mut right = [[V::zero(); MAX_R]; 9];
         for (k, row) in rows.iter().enumerate().take(nrows) {
             let pl = prev_last_of::<V>(*row, set, r);
             let nf = next_first_of::<V>(*row, set, geo.nsets, r);
@@ -644,7 +654,7 @@ pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
             }
         }
         for j in 0..l {
-            let mut acc = V::splat(0.0);
+            let mut acc = V::zero();
             let mut k = 0usize;
             for (rowk, row) in rows.iter().enumerate().take(nrows) {
                 for dx in -(r as isize)..=r as isize {
@@ -671,14 +681,14 @@ pub unsafe fn box3_row_tl<V: SimdF64, S: Box3>(
 
 /// Collect the 9 neighbour-row pointers of `(z, y)` for a 3D box stencil.
 #[inline(always)]
-pub(crate) unsafe fn box3_rows(
-    src: *const f64,
+pub(crate) unsafe fn box3_rows<T>(
+    src: *const T,
     rs: usize,
     ps: usize,
     z: isize,
     y: isize,
     r: usize,
-) -> [*const f64; 9] {
+) -> [*const T; 9] {
     let mut rows = [src; 9];
     let w = 2 * r + 1;
     for dz in 0..w {
@@ -699,9 +709,9 @@ pub(crate) unsafe fn box3_rows(
 /// Rows/planes within radius addressable; `src != dst`.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_tl<V: SimdF64, S: Box3>(
-    src: *const f64,
-    dst: *mut f64,
+pub unsafe fn box3_tl<V: Vector, S: Box3>(
+    src: *const V::Elem,
+    dst: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,

@@ -20,22 +20,25 @@
 //! while the ring stays cache-hot. This substitution is documented in
 //! DESIGN.md.
 
-use stencil_simd::SimdF64;
+use stencil_simd::{Elem, Vector};
 
 use super::orig::splat_w;
 use super::tl::{
     box2_row_tl, box3_row_tl, box3_rows, row_nbrs, star2_row_tl, star3_row_tl, xpart_set,
 };
 use crate::exec::halo::{fold_src, refresh2, refresh_row, Boundary, RowMap};
-use crate::grid::HALO_PAD;
 use crate::layout::{tl_read, SetGeo};
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 
+/// Scalar tail scratch, sized for the widest vector set: 16 f32 lanes give
+/// a `vl² = 256`-cell set block, plus an `R`-cell margin on both sides.
+const TAIL_BUF: usize = 16 * 16 + 2 * MAX_R;
+
 #[inline(always)]
-unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
+unsafe fn load_set<V: Vector>(row: *const V::Elem, set: usize) -> [V; 16] {
     let l = V::LANES;
     let base = set * l * l;
-    let mut v = [V::splat(0.0); 8];
+    let mut v = [V::zero(); 16];
     for j in 0..l {
         v[j] = V::load(row.add(base + j * l));
     }
@@ -43,7 +46,7 @@ unsafe fn load_set<V: SimdF64>(row: *const f64, set: usize) -> [V; 8] {
 }
 
 #[inline(always)]
-unsafe fn store_set<V: SimdF64>(row: *mut f64, set: usize, v: &[V; 8]) {
+unsafe fn store_set<V: Vector>(row: *mut V::Elem, set: usize, v: &[V; 16]) {
     let l = V::LANES;
     let base = set * l * l;
     for j in 0..l {
@@ -52,14 +55,14 @@ unsafe fn store_set<V: SimdF64>(row: *mut f64, set: usize, v: &[V; 8]) {
 }
 
 #[inline(always)]
-fn first_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
+fn first_r<V: Vector>(v: &[V; 16], r: usize) -> [V; MAX_R] {
     let mut f = [v[0]; MAX_R];
     f[..r].copy_from_slice(&v[..r]);
     f
 }
 
 #[inline(always)]
-fn last_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
+fn last_r<V: Vector>(v: &[V; 16], r: usize) -> [V; MAX_R] {
     let l = V::LANES;
     let mut f = [v[0]; MAX_R];
     for q in 0..r {
@@ -70,14 +73,14 @@ fn last_r<V: SimdF64>(v: &[V; 8], r: usize) -> [V; MAX_R] {
 
 /// Algorithm 1's `Compute`: update a set in place by one time step.
 #[inline(always)]
-unsafe fn update_set<V: SimdF64>(
-    v: &mut [V; 8],
+unsafe fn update_set<V: Vector>(
+    v: &mut [V; 16],
     prev_last: &[V; MAX_R],
     next_first: &[V; MAX_R],
     wv: &[V; 2 * MAX_R + 1],
     r: usize,
 ) {
-    let mut out = [V::splat(0.0); 8];
+    let mut out = [V::zero(); 16];
     xpart_set::<V>(v, prev_last, next_first, wv, r, &mut out);
     *v = out;
 }
@@ -90,13 +93,13 @@ unsafe fn update_set<V: SimdF64>(
 /// halos addressable; `SetGeo::new(n, V::LANES).nsets >= 2` (callers fall
 /// back to two k=1 steps below that); `S::R ≤ V::LANES`.
 #[inline(always)]
-pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
+pub unsafe fn star1_tl2<V: Vector, S: Star1>(buf: *mut V::Elem, n: usize, s: &S) {
     // Dirichlet halos are time-invariant: the halo cells' values in
     // memory serve as their own t+1 level.
     let r = S::R;
-    let cbuf = buf as *const f64;
-    let mut lt1 = [0.0f64; MAX_R];
-    let mut rt1 = [0.0f64; MAX_R];
+    let cbuf = buf.cast_const();
+    let mut lt1 = [<V::Elem as Elem>::ZERO; MAX_R];
+    let mut rt1 = [<V::Elem as Elem>::ZERO; MAX_R];
     for q in 0..r {
         lt1[q] = *cbuf.offset(q as isize - r as isize);
         rt1[q] = *cbuf.add(n + q);
@@ -115,11 +118,11 @@ pub unsafe fn star1_tl2<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, s: &S) {
 /// # Safety
 /// As [`star1_tl2`].
 #[inline(always)]
-pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
-    buf: *mut f64,
+pub unsafe fn star1_tl2_edges<V: Vector, S: Star1>(
+    buf: *mut V::Elem,
     n: usize,
-    lt1: &[f64; MAX_R],
-    rt1: &[f64; MAX_R],
+    lt1: &[V::Elem; MAX_R],
+    rt1: &[V::Elem; MAX_R],
     s: &S,
 ) {
     let l = V::LANES;
@@ -129,11 +132,12 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
     debug_assert!(nsets >= 2);
     debug_assert!(r <= l);
     let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
-    let cbuf = buf as *const f64;
+    let cbuf = buf.cast_const();
     let w = s.w();
+    let cv = <V::Elem as Elem>::from_f64;
 
     // Virtual "set -1 last vectors" @ t: lane l-1 = halo cell A[-(r-q)].
-    let mut halo_virt = [V::splat(0.0); MAX_R];
+    let mut halo_virt = [V::zero(); MAX_R];
     for q in 0..r {
         halo_virt[q] = V::splat(*cbuf.offset(q as isize - r as isize));
     }
@@ -143,7 +147,7 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
     let mut vs2 = load_set::<V>(cbuf, 1);
     let mut vrl1 = last_r(&vs1, r); // set 0 @ t
     update_set(&mut vs1, &halo_virt, &first_r(&vs2, r), &wv, r); // set 0 → t+1
-    let mut vrl0 = [V::splat(0.0); MAX_R]; // "set -1" @ t+1
+    let mut vrl0 = [V::zero(); MAX_R]; // "set -1" @ t+1
     for q in 0..r {
         vrl0[q] = V::splat(lt1[q]);
     }
@@ -167,15 +171,15 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
     // of both sets and of the tail still holds time-t values.
     let ts = geo.tail_start;
     let tail_len = n - ts;
-    debug_assert!(tail_len + 2 * r < 80);
+    debug_assert!(tail_len + 2 * r < TAIL_BUF);
 
     // Right-dependent cells of the last set @ t (tail or halo, natural).
-    let mut rt_t = [V::splat(0.0); MAX_R];
+    let mut rt_t = [V::zero(); MAX_R];
     for q in 0..r {
         rt_t[q] = V::splat(*cbuf.add(ts + q));
     }
     // Extended tail window @ t: [left r | tail | right halo r].
-    let mut ext_t = [0.0f64; 80];
+    let mut ext_t = [<V::Elem as Elem>::ZERO; TAIL_BUF];
     for q in 0..r {
         ext_t[q] = tl_read(cbuf, (ts + q) as isize - r as isize, &geo);
     }
@@ -190,18 +194,18 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
     update_set(&mut vs2, &vrl1, &rt_t, &wv, r);
 
     // Tail's left neighbours @ t+1, extracted from the updated registers.
-    let mut left_t1 = [0.0f64; MAX_R];
+    let mut left_t1 = [<V::Elem as Elem>::ZERO; MAX_R];
     for q in 1..=r {
         let p = bs - q; // block position of logical cell ts - q
         left_t1[r - q] = vs2[p % l].lane(p / l);
     }
 
     // Tail @ t+1 into scratch.
-    let mut tail_t1 = [0.0f64; 80];
+    let mut tail_t1 = [<V::Elem as Elem>::ZERO; TAIL_BUF];
     for i in 0..tail_len {
-        let mut acc = w[0] * ext_t[i];
+        let mut acc = cv(w[0]) * ext_t[i];
         for o in 1..=2 * r {
-            acc = ext_t[i + o].mul_add(w[o], acc);
+            acc = ext_t[i + o].mul_add(cv(w[o]), acc);
         }
         tail_t1[i] = acc;
     }
@@ -212,7 +216,7 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
     store_set(buf, nsets - 2, &vs1);
 
     // Set nsets-1 → t+2 (right deps @ t+1 from the tail scratch / halo).
-    let mut rt_t1 = [V::splat(0.0); MAX_R];
+    let mut rt_t1 = [V::zero(); MAX_R];
     for q in 0..r {
         rt_t1[q] = V::splat(if q < tail_len {
             tail_t1[q]
@@ -225,16 +229,16 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
 
     // Tail → t+2 written back.
     if tail_len > 0 {
-        let mut ext_t1 = [0.0f64; 80];
+        let mut ext_t1 = [<V::Elem as Elem>::ZERO; TAIL_BUF];
         ext_t1[..r].copy_from_slice(&left_t1[..r]);
         ext_t1[r..r + tail_len].copy_from_slice(&tail_t1[..tail_len]);
         for q in 0..r {
             ext_t1[r + tail_len + q] = rt1[q];
         }
         for i in 0..tail_len {
-            let mut acc = w[0] * ext_t1[i];
+            let mut acc = cv(w[0]) * ext_t1[i];
             for o in 1..=2 * r {
-                acc = ext_t1[i + o].mul_add(w[o], acc);
+                acc = ext_t1[i + o].mul_add(cv(w[o]), acc);
             }
             *buf.add(ts + i) = acc;
         }
@@ -259,9 +263,9 @@ pub unsafe fn star1_tl2_edges<V: SimdF64, S: Star1>(
 /// cells `[a-r, a)` and `[b, b+r)` hold valid `t` / `t+1` values in
 /// `buf_a` / `buf_b` respectively.
 #[inline(always)]
-pub unsafe fn star1_tl2_range<V: SimdF64, S: Star1>(
-    buf_a: *mut f64,
-    buf_b: *mut f64,
+pub unsafe fn star1_tl2_range<V: Vector, S: Star1>(
+    buf_a: *mut V::Elem,
+    buf_b: *mut V::Elem,
     n: usize,
     sa: usize,
     sb: usize,
@@ -274,13 +278,13 @@ pub unsafe fn star1_tl2_range<V: SimdF64, S: Star1>(
     let bs = geo.bs;
     let (a, b) = (sa * bs, sb * bs);
     let wv: [V; 2 * MAX_R + 1] = splat_w(s.w());
-    let ca = buf_a as *const f64;
-    let cb = buf_b as *const f64;
+    let ca = buf_a.cast_const();
+    let cb = buf_b.cast_const();
 
     // Left margin dependence vectors at both time levels (lane l-1 = cell
     // a - (r-q); scalar reads through the index map).
-    let mut virt_t = [V::splat(0.0); MAX_R];
-    let mut virt_t1 = [V::splat(0.0); MAX_R];
+    let mut virt_t = [V::zero(); MAX_R];
+    let mut virt_t1 = [V::zero(); MAX_R];
     for q in 0..r {
         let i = a as isize + q as isize - r as isize;
         virt_t[q] = V::splat(tl_read(ca, i, &geo));
@@ -309,8 +313,8 @@ pub unsafe fn star1_tl2_range<V: SimdF64, S: Star1>(
     }
 
     // Epilogue: right margin dependences from the two parities.
-    let mut rt_t = [V::splat(0.0); MAX_R];
-    let mut rt_t1 = [V::splat(0.0); MAX_R];
+    let mut rt_t = [V::zero(); MAX_R];
+    let mut rt_t1 = [V::zero(); MAX_R];
     for q in 0..r {
         rt_t[q] = V::splat(tl_read(ca, (b + q) as isize, &geo));
         rt_t1[q] = V::splat(tl_read(cb, (b + q) as isize, &geo));
@@ -326,13 +330,13 @@ pub unsafe fn star1_tl2_range<V: SimdF64, S: Star1>(
 
 /// Copy a row's left/right pad regions (halo cells and alignment padding).
 #[inline(always)]
-unsafe fn copy_pads(src_row: *const f64, dst_row: *mut f64, nx: usize) {
+unsafe fn copy_pads<T: Elem>(src_row: *const T, dst_row: *mut T, nx: usize) {
     std::ptr::copy_nonoverlapping(
-        src_row.offset(-(HALO_PAD as isize)),
-        dst_row.offset(-(HALO_PAD as isize)),
-        HALO_PAD,
+        src_row.offset(-(T::PAD as isize)),
+        dst_row.offset(-(T::PAD as isize)),
+        T::PAD,
     );
-    std::ptr::copy_nonoverlapping(src_row.add(nx), dst_row.add(nx), HALO_PAD);
+    std::ptr::copy_nonoverlapping(src_row.add(nx), dst_row.add(nx), T::PAD);
 }
 
 /// Advance a 2D star stencil two steps in place via the row-ring pipeline.
@@ -344,12 +348,12 @@ unsafe fn copy_pads(src_row: *const f64, dst_row: *mut f64, nx: usize) {
 /// `buf` is a transposed 2D grid interior origin (halos addressable);
 /// `ring` valid for `2R+1` rows of `rs` doubles with pads.
 #[inline(always)]
-pub unsafe fn star2_tl2<V: SimdF64, S: Star2>(
-    buf: *mut f64,
+pub unsafe fn star2_tl2<V: Vector, S: Star2>(
+    buf: *mut V::Elem,
     rs: usize,
     nx: usize,
     ny: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     s: &S,
 ) {
     let r = S::R;
@@ -357,30 +361,30 @@ pub unsafe fn star2_tl2<V: SimdF64, S: Star2>(
     for y in 0..ny + r {
         if y < ny {
             // ring[y] = row y @ t+1 from main rows y-R..y+R @ t
-            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let c = buf.offset(y as isize * rs as isize).cast_const();
             let dstrow = ring.add((y % nr) * rs);
             copy_pads(c, dstrow, nx);
-            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
             star2_row_tl::<V, S>(c, &ym, &yp, dstrow, nx, 0, nx, s);
         }
         if y >= r {
             // main[ty] = row ty @ t+2 from t+1 rows (ring or constant halo)
             let ty = y - r;
-            let c = ring.add((ty % nr) * rs) as *const f64;
+            let c = ring.add((ty % nr) * rs).cast_const();
             let mut ym = [c; MAX_R];
             let mut yp = [c; MAX_R];
             for d in 1..=r {
                 let up = ty as isize - d as isize;
                 ym[d - 1] = if up < 0 {
-                    buf.offset(up * rs as isize) as *const f64
+                    buf.offset(up * rs as isize).cast_const()
                 } else {
-                    ring.add((up as usize % nr) * rs) as *const f64
+                    ring.add((up as usize % nr) * rs).cast_const()
                 };
                 let dn = ty + d;
                 yp[d - 1] = if dn >= ny {
-                    buf.add(dn * rs) as *const f64
+                    buf.add(dn * rs).cast_const()
                 } else {
-                    ring.add((dn % nr) * rs) as *const f64
+                    ring.add((dn % nr) * rs).cast_const()
                 };
             }
             star2_row_tl::<V, S>(c, &ym, &yp, buf.add(ty * rs), nx, 0, nx, s);
@@ -393,19 +397,19 @@ pub unsafe fn star2_tl2<V: SimdF64, S: Star2>(
 /// # Safety
 /// As [`star2_tl2`].
 #[inline(always)]
-pub unsafe fn box2_tl2<V: SimdF64, S: Box2>(
-    buf: *mut f64,
+pub unsafe fn box2_tl2<V: Vector, S: Box2>(
+    buf: *mut V::Elem,
     rs: usize,
     nx: usize,
     ny: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     s: &S,
 ) {
     let r = S::R;
     let nr = 2 * r + 1;
     for y in 0..ny + r {
         if y < ny {
-            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let c = buf.offset(y as isize * rs as isize).cast_const();
             let dstrow = ring.add((y % nr) * rs);
             copy_pads(c, dstrow, nx);
             let mut rows = [c; 5];
@@ -416,13 +420,13 @@ pub unsafe fn box2_tl2<V: SimdF64, S: Box2>(
         }
         if y >= r {
             let ty = y - r;
-            let mut rows = [ring as *const f64; 5];
+            let mut rows = [ring.cast_const(); 5];
             for (k, row) in rows.iter_mut().enumerate().take(nr) {
                 let yy = ty as isize + k as isize - r as isize;
                 *row = if yy < 0 || yy >= ny as isize {
-                    buf.offset(yy * rs as isize) as *const f64 // constant halo row
+                    buf.offset(yy * rs as isize).cast_const() // constant halo row
                 } else {
-                    ring.add((yy as usize % nr) * rs) as *const f64
+                    ring.add((yy as usize % nr) * rs).cast_const()
                 };
             }
             box2_row_tl::<V, S>(&rows, buf.add(ty * rs), nx, 0, nx, s);
@@ -440,14 +444,14 @@ pub unsafe fn box2_tl2<V: SimdF64, S: Box2>(
 /// planes of `ps` doubles.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_tl2<V: SimdF64, S: Star3>(
-    buf: *mut f64,
+pub unsafe fn star3_tl2<V: Vector, S: Star3>(
+    buf: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
     ny: usize,
     nz: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     s: &S,
 ) {
     let r = S::R;
@@ -455,50 +459,47 @@ pub unsafe fn star3_tl2<V: SimdF64, S: Star3>(
     for z in 0..nz + r {
         if z < nz {
             // ring[z] = plane z @ t+1
-            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let cp = buf.offset(z as isize * ps as isize).cast_const();
             let rp = ring.add((z % nr) * ps);
             // constant halo rows of the plane (full stride rows)
+            let pad = <V::Elem as Elem>::PAD as isize;
             for d in 1..=r as isize {
                 std::ptr::copy_nonoverlapping(
-                    cp.offset(-d * rs as isize - HALO_PAD as isize),
-                    rp.offset(-d * rs as isize - HALO_PAD as isize),
+                    cp.offset(-d * rs as isize - pad),
+                    rp.offset(-d * rs as isize - pad),
                     rs,
                 );
                 let dn = (ny as isize + d - 1) * rs as isize;
-                std::ptr::copy_nonoverlapping(
-                    cp.offset(dn - (HALO_PAD as isize)),
-                    rp.offset(dn - (HALO_PAD as isize)),
-                    rs,
-                );
+                std::ptr::copy_nonoverlapping(cp.offset(dn - pad), rp.offset(dn - pad), rs);
             }
             for y in 0..ny {
                 let c = cp.add(y * rs);
                 copy_pads(c, rp.add(y * rs), nx);
-                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
-                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<_, MAX_R>(c, ps, r);
                 star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, rp.add(y * rs), nx, 0, nx, s);
             }
         }
         if z >= r {
             let tz = z - r;
-            let cp = ring.add((tz % nr) * ps) as *const f64;
+            let cp = ring.add((tz % nr) * ps).cast_const();
             for y in 0..ny {
                 let c = cp.add(y * rs);
-                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
                 let mut zm = [c; MAX_R];
                 let mut zp = [c; MAX_R];
                 for d in 1..=r {
                     let up = tz as isize - d as isize;
                     zm[d - 1] = if up < 0 {
-                        buf.offset(up * ps as isize).add(y * rs) as *const f64
+                        buf.offset(up * ps as isize).add(y * rs).cast_const()
                     } else {
-                        ring.add((up as usize % nr) * ps + y * rs) as *const f64
+                        ring.add((up as usize % nr) * ps + y * rs).cast_const()
                     };
                     let dn = tz + d;
                     zp[d - 1] = if dn >= nz {
-                        buf.add(dn * ps + y * rs) as *const f64
+                        buf.add(dn * ps + y * rs).cast_const()
                     } else {
-                        ring.add((dn % nr) * ps + y * rs) as *const f64
+                        ring.add((dn % nr) * ps + y * rs).cast_const()
                     };
                 }
                 star3_row_tl::<V, S>(
@@ -525,34 +526,31 @@ pub unsafe fn star3_tl2<V: SimdF64, S: Star3>(
 /// As [`star3_tl2`].
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_tl2<V: SimdF64, S: Box3>(
-    buf: *mut f64,
+pub unsafe fn box3_tl2<V: Vector, S: Box3>(
+    buf: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
     ny: usize,
     nz: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     s: &S,
 ) {
     let r = S::R;
     let nr = 2 * r + 1;
     for z in 0..nz + r {
         if z < nz {
-            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let cp = buf.offset(z as isize * ps as isize).cast_const();
             let rp = ring.add((z % nr) * ps);
+            let pad = <V::Elem as Elem>::PAD as isize;
             for d in 1..=r as isize {
                 std::ptr::copy_nonoverlapping(
-                    cp.offset(-d * rs as isize - HALO_PAD as isize),
-                    rp.offset(-d * rs as isize - HALO_PAD as isize),
+                    cp.offset(-d * rs as isize - pad),
+                    rp.offset(-d * rs as isize - pad),
                     rs,
                 );
                 let dn = (ny as isize + d - 1) * rs as isize;
-                std::ptr::copy_nonoverlapping(
-                    cp.offset(dn - (HALO_PAD as isize)),
-                    rp.offset(dn - (HALO_PAD as isize)),
-                    rs,
-                );
+                std::ptr::copy_nonoverlapping(cp.offset(dn - pad), rp.offset(dn - pad), rs);
             }
             for y in 0..ny {
                 let c = cp.add(y * rs);
@@ -564,14 +562,14 @@ pub unsafe fn box3_tl2<V: SimdF64, S: Box3>(
         if z >= r {
             let tz = z - r;
             for y in 0..ny {
-                let mut rows = [ring as *const f64; 9];
+                let mut rows = [ring.cast_const(); 9];
                 let w = 2 * r + 1;
                 for dz in 0..w {
                     let zz = tz as isize + dz as isize - r as isize;
                     let plane = if zz < 0 || zz >= nz as isize {
-                        buf.offset(zz * ps as isize) as *const f64 // constant halo plane
+                        buf.offset(zz * ps as isize).cast_const() // constant halo plane
                     } else {
-                        ring.add((zz as usize % nr) * ps) as *const f64
+                        ring.add((zz as usize % nr) * ps).cast_const()
                     };
                     for dy in 0..w {
                         let yy = y as isize + dy as isize - r as isize;
@@ -620,23 +618,24 @@ pub unsafe fn box3_tl2<V: SimdF64, S: Box3>(
 /// As [`star1_tl2`]; additionally the halo cells hold time-`t` values
 /// (caller refreshed them) and `b` is not Dirichlet.
 #[inline(always)]
-pub unsafe fn star1_tl2_wide<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, b: Boundary, s: &S) {
+pub unsafe fn star1_tl2_wide<V: Vector, S: Star1>(buf: *mut V::Elem, n: usize, b: Boundary, s: &S) {
     let r = S::R;
     let geo = SetGeo::new(n, V::LANES);
-    let cbuf = buf as *const f64;
+    let cbuf = buf.cast_const();
     let w = s.w();
+    let cv = <V::Elem as Elem>::from_f64;
     // Edge-interior cells at t+1, scalar in the canonical accumulation
     // order — bit-identical to the value the vector pipeline stores.
-    let cell_t1 = |i: usize| -> f64 {
+    let cell_t1 = |i: usize| -> V::Elem {
         let base = i as isize - r as isize;
-        let mut acc = w[0] * tl_read(cbuf, base, &geo);
+        let mut acc = cv(w[0]) * tl_read(cbuf, base, &geo);
         for o in 1..=2 * r {
-            acc = tl_read(cbuf, base + o as isize, &geo).mul_add(w[o], acc);
+            acc = tl_read(cbuf, base + o as isize, &geo).mul_add(cv(w[o]), acc);
         }
         acc
     };
-    let mut lo_t1 = [0.0f64; MAX_R]; // cells 0..r @ t+1
-    let mut hi_t1 = [0.0f64; MAX_R]; // cells n-r..n @ t+1
+    let mut lo_t1 = [<V::Elem as Elem>::ZERO; MAX_R]; // cells 0..r @ t+1
+    let mut hi_t1 = [<V::Elem as Elem>::ZERO; MAX_R]; // cells n-r..n @ t+1
     for m in 0..r {
         lo_t1[m] = cell_t1(m);
         hi_t1[m] = cell_t1(n - r + m);
@@ -650,8 +649,8 @@ pub unsafe fn star1_tl2_wide<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, b: B
             hi_t1[src - (n - r)]
         }
     };
-    let mut lt1 = [0.0f64; MAX_R];
-    let mut rt1 = [0.0f64; MAX_R];
+    let mut lt1 = [<V::Elem as Elem>::ZERO; MAX_R];
+    let mut rt1 = [<V::Elem as Elem>::ZERO; MAX_R];
     for k in 1..=r {
         lt1[r - k] = edge(fold_src(n, k, true, b));
         rt1[k - 1] = edge(fold_src(n, k, false, b));
@@ -670,12 +669,12 @@ pub unsafe fn star1_tl2_wide<V: SimdF64, S: Star1>(buf: *mut f64, n: usize, b: B
 /// `b` is not Dirichlet; `map` matches the row layout.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star2_tl2_wide<V: SimdF64, S: Star2>(
-    buf: *mut f64,
+pub unsafe fn star2_tl2_wide<V: Vector, S: Star2>(
+    buf: *mut V::Elem,
     rs: usize,
     nx: usize,
     ny: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     b: Boundary,
     map: &RowMap,
     s: &S,
@@ -694,9 +693,9 @@ pub unsafe fn star2_tl2_wide<V: SimdF64, S: Star2>(
             } else {
                 (ny - 1 + r + k) as isize
             };
-            let c = buf.offset(sy * rs as isize) as *const f64;
+            let c = buf.offset(sy * rs as isize).cast_const();
             let dst = buf.offset(dy * rs as isize);
-            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
             star2_row_tl::<V, S>(c, &ym, &yp, dst, nx, 0, nx, s);
             refresh_row(dst, nx, r, b, map);
         }
@@ -705,30 +704,30 @@ pub unsafe fn star2_tl2_wide<V: SimdF64, S: Star2>(
         if y < ny {
             // ring[y] = row y @ t+1; its x halos are folds of its own
             // just-computed interior (not copies of the t-level pads).
-            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let c = buf.offset(y as isize * rs as isize).cast_const();
             let dstrow = ring.add((y % nr) * rs);
-            let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+            let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
             star2_row_tl::<V, S>(c, &ym, &yp, dstrow, nx, 0, nx, s);
             refresh_row(dstrow, nx, r, b, map);
         }
         if y >= r {
             // main[ty] = row ty @ t+2 from t+1 rows (ring or staged halo)
             let ty = y - r;
-            let c = ring.add((ty % nr) * rs) as *const f64;
+            let c = ring.add((ty % nr) * rs).cast_const();
             let mut ym = [c; MAX_R];
             let mut yp = [c; MAX_R];
             for d in 1..=r {
                 let up = ty as isize - d as isize;
                 ym[d - 1] = if up < 0 {
-                    buf.offset((up - r as isize) * rs as isize) as *const f64
+                    buf.offset((up - r as isize) * rs as isize).cast_const()
                 } else {
-                    ring.add((up as usize % nr) * rs) as *const f64
+                    ring.add((up as usize % nr) * rs).cast_const()
                 };
                 let dn = ty + d;
                 yp[d - 1] = if dn >= ny {
-                    buf.add((dn + r) * rs) as *const f64
+                    buf.add((dn + r) * rs).cast_const()
                 } else {
-                    ring.add((dn % nr) * rs) as *const f64
+                    ring.add((dn % nr) * rs).cast_const()
                 };
             }
             star2_row_tl::<V, S>(c, &ym, &yp, buf.add(ty * rs), nx, 0, nx, s);
@@ -742,12 +741,12 @@ pub unsafe fn star2_tl2_wide<V: SimdF64, S: Star2>(
 /// As [`star2_tl2_wide`].
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
-    buf: *mut f64,
+pub unsafe fn box2_tl2_wide<V: Vector, S: Box2>(
+    buf: *mut V::Elem,
     rs: usize,
     nx: usize,
     ny: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     b: Boundary,
     map: &RowMap,
     s: &S,
@@ -763,7 +762,7 @@ pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
                 (ny - 1 + r + k) as isize
             };
             let dst = buf.offset(dy * rs as isize);
-            let mut rows = [buf as *const f64; 5];
+            let mut rows = [buf.cast_const(); 5];
             for (j, row) in rows.iter_mut().enumerate().take(nr) {
                 *row = buf.offset((sy + j as isize - r as isize) * rs as isize);
             }
@@ -773,7 +772,7 @@ pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
     }
     for y in 0..ny + r {
         if y < ny {
-            let c = buf.offset(y as isize * rs as isize) as *const f64;
+            let c = buf.offset(y as isize * rs as isize).cast_const();
             let dstrow = ring.add((y % nr) * rs);
             let mut rows = [c; 5];
             for (j, row) in rows.iter_mut().enumerate().take(nr) {
@@ -784,15 +783,15 @@ pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
         }
         if y >= r {
             let ty = y - r;
-            let mut rows = [ring as *const f64; 5];
+            let mut rows = [ring.cast_const(); 5];
             for (j, row) in rows.iter_mut().enumerate().take(nr) {
                 let yy = ty as isize + j as isize - r as isize;
                 *row = if yy < 0 {
-                    buf.offset((yy - r as isize) * rs as isize) as *const f64
+                    buf.offset((yy - r as isize) * rs as isize).cast_const()
                 } else if yy >= ny as isize {
-                    buf.offset((yy + r as isize) * rs as isize) as *const f64
+                    buf.offset((yy + r as isize) * rs as isize).cast_const()
                 } else {
-                    ring.add((yy as usize % nr) * rs) as *const f64
+                    ring.add((yy as usize % nr) * rs).cast_const()
                 };
             }
             box2_row_tl::<V, S>(&rows, buf.add(ty * rs), nx, 0, nx, s);
@@ -811,14 +810,14 @@ pub unsafe fn box2_tl2_wide<V: SimdF64, S: Box2>(
 /// ran `refresh3`); `b` is not Dirichlet; `map` matches the row layout.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn star3_tl2_wide<V: SimdF64, S: Star3>(
-    buf: *mut f64,
+pub unsafe fn star3_tl2_wide<V: Vector, S: Star3>(
+    buf: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
     ny: usize,
     nz: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     b: Boundary,
     map: &RowMap,
     s: &S,
@@ -833,12 +832,12 @@ pub unsafe fn star3_tl2_wide<V: SimdF64, S: Star3>(
             } else {
                 (nz - 1 + r + k) as isize
             };
-            let cp = buf.offset(sz * ps as isize) as *const f64;
+            let cp = buf.offset(sz * ps as isize).cast_const();
             let dp = buf.offset(dz * ps as isize);
             for y in 0..ny {
                 let c = cp.add(y * rs);
-                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
-                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<_, MAX_R>(c, ps, r);
                 star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, dp.add(y * rs), nx, 0, nx, s);
             }
             // The staged plane's own 2D halo frame at t+1, folded from
@@ -848,36 +847,38 @@ pub unsafe fn star3_tl2_wide<V: SimdF64, S: Star3>(
     }
     for z in 0..nz + r {
         if z < nz {
-            let cp = buf.offset(z as isize * ps as isize) as *const f64;
+            let cp = buf.offset(z as isize * ps as isize).cast_const();
             let rp = ring.add((z % nr) * ps);
             for y in 0..ny {
                 let c = cp.add(y * rs);
-                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
-                let (zm, zp) = row_nbrs::<MAX_R>(c, ps, r);
+                let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
+                let (zm, zp) = row_nbrs::<_, MAX_R>(c, ps, r);
                 star3_row_tl::<V, S>(c, &ym, &yp, &zm, &zp, rp.add(y * rs), nx, 0, nx, s);
             }
             refresh2(rp, rs, nx, ny, r, b, map);
         }
         if z >= r {
             let tz = z - r;
-            let cp = ring.add((tz % nr) * ps) as *const f64;
+            let cp = ring.add((tz % nr) * ps).cast_const();
             for y in 0..ny {
                 let c = cp.add(y * rs);
-                let (ym, yp) = row_nbrs::<MAX_R>(c, rs, r);
+                let (ym, yp) = row_nbrs::<_, MAX_R>(c, rs, r);
                 let mut zm = [c; MAX_R];
                 let mut zp = [c; MAX_R];
                 for d in 1..=r {
                     let up = tz as isize - d as isize;
                     zm[d - 1] = if up < 0 {
-                        buf.offset((up - r as isize) * ps as isize).add(y * rs) as *const f64
+                        buf.offset((up - r as isize) * ps as isize)
+                            .add(y * rs)
+                            .cast_const()
                     } else {
-                        ring.add((up as usize % nr) * ps + y * rs) as *const f64
+                        ring.add((up as usize % nr) * ps + y * rs).cast_const()
                     };
                     let dn = tz + d;
                     zp[d - 1] = if dn >= nz {
-                        buf.add((dn + r) * ps + y * rs) as *const f64
+                        buf.add((dn + r) * ps + y * rs).cast_const()
                     } else {
-                        ring.add((dn % nr) * ps + y * rs) as *const f64
+                        ring.add((dn % nr) * ps + y * rs).cast_const()
                     };
                 }
                 star3_row_tl::<V, S>(
@@ -903,14 +904,14 @@ pub unsafe fn star3_tl2_wide<V: SimdF64, S: Star3>(
 /// As [`star3_tl2_wide`].
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-pub unsafe fn box3_tl2_wide<V: SimdF64, S: Box3>(
-    buf: *mut f64,
+pub unsafe fn box3_tl2_wide<V: Vector, S: Box3>(
+    buf: *mut V::Elem,
     rs: usize,
     ps: usize,
     nx: usize,
     ny: usize,
     nz: usize,
-    ring: *mut f64,
+    ring: *mut V::Elem,
     b: Boundary,
     map: &RowMap,
     s: &S,
@@ -946,15 +947,15 @@ pub unsafe fn box3_tl2_wide<V: SimdF64, S: Box3>(
             let tz = z - r;
             let w = 2 * r + 1;
             for y in 0..ny {
-                let mut rows = [ring as *const f64; 9];
+                let mut rows = [ring.cast_const(); 9];
                 for dz in 0..w {
                     let zz = tz as isize + dz as isize - r as isize;
                     let plane = if zz < 0 {
-                        buf.offset((zz - r as isize) * ps as isize) as *const f64
+                        buf.offset((zz - r as isize) * ps as isize).cast_const()
                     } else if zz >= nz as isize {
-                        buf.offset((zz + r as isize) * ps as isize) as *const f64
+                        buf.offset((zz + r as isize) * ps as isize).cast_const()
                     } else {
-                        ring.add((zz as usize % nr) * ps) as *const f64
+                        ring.add((zz as usize % nr) * ps).cast_const()
                     };
                     for dy in 0..w {
                         let yy = y as isize + dy as isize - r as isize;

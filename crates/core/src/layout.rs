@@ -20,7 +20,7 @@
 //! Both transforms come with index maps used by the scalar boundary/tail
 //! paths and by tests.
 
-use stencil_simd::{dispatch, Isa, SimdF64};
+use stencil_simd::{dispatch_elem, Elem, Isa, Vector};
 
 use crate::grid::{Grid1, Grid2, Grid3};
 
@@ -79,7 +79,7 @@ impl SetGeo {
 /// `ptr` must point at the row's interior origin with the full halo
 /// addressable, and `i` must stay within `[-HALO_PAD, n + HALO_PAD)`.
 #[inline(always)]
-pub unsafe fn tl_read(ptr: *const f64, i: isize, g: &SetGeo) -> f64 {
+pub unsafe fn tl_read<T: Elem>(ptr: *const T, i: isize, g: &SetGeo) -> T {
     if i < 0 || i as usize >= g.tail_start {
         *ptr.offset(i)
     } else {
@@ -92,7 +92,7 @@ pub unsafe fn tl_read(ptr: *const f64, i: isize, g: &SetGeo) -> f64 {
 /// # Safety
 /// Same addressability contract as [`tl_read`].
 #[inline(always)]
-pub unsafe fn tl_write(ptr: *mut f64, i: usize, v: f64, g: &SetGeo) {
+pub unsafe fn tl_write<T: Elem>(ptr: *mut T, i: usize, v: T, g: &SetGeo) {
     if i >= g.tail_start {
         *ptr.add(i) = v;
     } else {
@@ -109,11 +109,12 @@ pub unsafe fn tl_write(ptr: *mut f64, i: usize, v: f64, g: &SetGeo) {
 /// valid for `n` reads/writes and aligned so that each block start is a
 /// `vl`-vector boundary (guaranteed by [`crate::grid`] geometry).
 #[inline(always)]
-pub unsafe fn tl_transform_row<V: SimdF64>(ptr: *mut f64, n: usize) {
+pub unsafe fn tl_transform_row<V: Vector>(ptr: *mut V::Elem, n: usize) {
     let l = V::LANES;
     let bs = l * l;
-    let zero = V::splat(0.0);
-    let mut m = [zero; 8];
+    let zero = V::zero();
+    // Sized for the widest register file: 16 lanes (f32 AVX-512).
+    let mut m = [zero; 16];
     for b in 0..n / bs {
         let base = b * bs;
         for j in 0..l {
@@ -132,11 +133,12 @@ pub unsafe fn tl_transform_row<V: SimdF64>(ptr: *mut f64, n: usize) {
 /// # Safety
 /// Same contract as [`tl_transform_row`].
 #[inline(always)]
-pub unsafe fn tl_transform_row_baseline<V: SimdF64>(ptr: *mut f64, n: usize) {
+pub unsafe fn tl_transform_row_baseline<V: Vector>(ptr: *mut V::Elem, n: usize) {
     let l = V::LANES;
     let bs = l * l;
-    let zero = V::splat(0.0);
-    let mut m = [zero; 8];
+    let zero = V::zero();
+    // Sized for the widest register file: 16 lanes (f32 AVX-512).
+    let mut m = [zero; 16];
     for b in 0..n / bs {
         let base = b * bs;
         for j in 0..l {
@@ -202,7 +204,7 @@ impl DltGeo {
 /// # Safety
 /// Same addressability contract as [`tl_read`].
 #[inline(always)]
-pub unsafe fn dlt_read(ptr: *const f64, i: isize, g: &DltGeo) -> f64 {
+pub unsafe fn dlt_read<T: Elem>(ptr: *const T, i: isize, g: &DltGeo) -> T {
     if i < 0 || i as usize >= g.region {
         *ptr.offset(i)
     } else {
@@ -219,13 +221,14 @@ pub unsafe fn dlt_read(ptr: *const f64, i: isize, g: &DltGeo) -> f64 {
 /// # Safety
 /// Feature context for `V`; both pointers valid for `n` cells; `src != dst`.
 #[inline(always)]
-pub unsafe fn dlt_transform_row<V: SimdF64>(src: *const f64, dst: *mut f64, n: usize) {
+pub unsafe fn dlt_transform_row<V: Vector>(src: *const V::Elem, dst: *mut V::Elem, n: usize) {
     let l = V::LANES;
     let g = DltGeo::new(n, l);
     let cols = g.cols;
     let chunked = cols / l * l;
-    let zero = V::splat(0.0);
-    let mut m = [zero; 8];
+    let zero = V::zero();
+    // Sized for the widest register file: 16 lanes (f32 AVX-512).
+    let mut m = [zero; 16];
     for j0 in (0..chunked).step_by(l) {
         for lane in 0..l {
             m[lane] = V::loadu(src.add(lane * cols + j0));
@@ -250,13 +253,14 @@ pub unsafe fn dlt_transform_row<V: SimdF64>(src: *const f64, dst: *mut f64, n: u
 /// # Safety
 /// Same contract as [`dlt_transform_row`].
 #[inline(always)]
-pub unsafe fn dlt_inverse_row<V: SimdF64>(src: *const f64, dst: *mut f64, n: usize) {
+pub unsafe fn dlt_inverse_row<V: Vector>(src: *const V::Elem, dst: *mut V::Elem, n: usize) {
     let l = V::LANES;
     let g = DltGeo::new(n, l);
     let cols = g.cols;
     let chunked = cols / l * l;
-    let zero = V::splat(0.0);
-    let mut m = [zero; 8];
+    let zero = V::zero();
+    // Sized for the widest register file: 16 lanes (f32 AVX-512).
+    let mut m = [zero; 16];
     for j0 in (0..chunked).step_by(l) {
         for q in 0..l {
             m[q] = V::load(src.add((j0 + q) * l));
@@ -278,29 +282,116 @@ pub unsafe fn dlt_inverse_row<V: SimdF64>(src: *const f64, dst: *mut f64, n: usi
 
 // ---------------------------------------------------------------------------
 // Safe, ISA-dispatched grid-level wrappers.
+//
+// `dispatch_elem!` is call-shaped (a single generic call per ISA arm), so
+// the multi-row loops live in named generic helpers rather than in the
+// macro bodies.
 // ---------------------------------------------------------------------------
 
+/// [`tl_transform_row`] over rows `[-ry, ny + ry)` of a 2D interior.
+///
+/// # Safety
+/// Same contract as [`tl_transform_row`] for every row in the range.
+unsafe fn tl_rows2<V: Vector>(p: *mut V::Elem, nx: usize, ny: usize, ry: usize, rs: usize) {
+    for y in -(ry as isize)..(ny + ry) as isize {
+        tl_transform_row::<V>(p.offset(y * rs as isize), nx);
+    }
+}
+
+/// [`tl_transform_row`] over every row (halos included) of a 3D interior.
+///
+/// # Safety
+/// Same contract as [`tl_transform_row`] for every row in the range.
+#[allow(clippy::too_many_arguments)]
+unsafe fn tl_rows3<V: Vector>(
+    p: *mut V::Elem,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    r: usize,
+    rs: usize,
+    ps: usize,
+) {
+    for z in -(r as isize)..(nz + r) as isize {
+        for y in -(r as isize)..(ny + r) as isize {
+            tl_transform_row::<V>(p.offset(z * ps as isize + y * rs as isize), nx);
+        }
+    }
+}
+
+/// One row of DLT (or inverse) transform, selected at runtime.
+///
+/// # Safety
+/// Same contract as [`dlt_transform_row`].
+unsafe fn dlt_row<V: Vector>(sp: *const V::Elem, dp: *mut V::Elem, n: usize, inverse: bool) {
+    if inverse {
+        dlt_inverse_row::<V>(sp, dp, n)
+    } else {
+        dlt_transform_row::<V>(sp, dp, n)
+    }
+}
+
+/// [`dlt_row`] over rows `[-ry, ny + ry)` of a 2D interior.
+///
+/// # Safety
+/// Same contract as [`dlt_transform_row`] for every row in the range.
+#[allow(clippy::too_many_arguments)]
+unsafe fn dlt_rows2<V: Vector>(
+    sp: *const V::Elem,
+    dp: *mut V::Elem,
+    nx: usize,
+    ny: usize,
+    ry: usize,
+    rs: usize,
+    inverse: bool,
+) {
+    for y in -(ry as isize)..(ny + ry) as isize {
+        let off = y * rs as isize;
+        dlt_row::<V>(sp.offset(off), dp.offset(off), nx, inverse);
+    }
+}
+
+/// [`dlt_row`] over every row (halos included) of a 3D interior.
+///
+/// # Safety
+/// Same contract as [`dlt_transform_row`] for every row in the range.
+#[allow(clippy::too_many_arguments)]
+unsafe fn dlt_rows3<V: Vector>(
+    sp: *const V::Elem,
+    dp: *mut V::Elem,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    r: usize,
+    rs: usize,
+    ps: usize,
+    inverse: bool,
+) {
+    for z in -(r as isize)..(nz + r) as isize {
+        for y in -(r as isize)..(ny + r) as isize {
+            let off = z * ps as isize + y * rs as isize;
+            dlt_row::<V>(sp.offset(off), dp.offset(off), nx, inverse);
+        }
+    }
+}
+
 /// Toggle a 1D grid between natural and local-transpose layout, in place.
-pub fn tl_grid1(g: &mut Grid1, isa: Isa) {
+pub fn tl_grid1<T: Elem>(g: &mut Grid1<T>, isa: Isa) {
     let n = g.n();
     let p = g.ptr_mut();
-    dispatch!(isa, V => tl_transform_row::<V>(p, n));
+    dispatch_elem!(isa, T, tl_transform_row::<V>(p, n));
 }
 
 /// Toggle every row (halo rows included, so vertical neighbour loads see
 /// the same layout) of a 2D grid between natural and transpose layout.
-pub fn tl_grid2(g: &mut Grid2, isa: Isa) {
+pub fn tl_grid2<T: Elem>(g: &mut Grid2<T>, isa: Isa) {
     let (nx, ny, ry, rs) = (g.nx(), g.ny(), g.ry(), g.row_stride());
     let p = g.ptr_mut();
-    dispatch!(isa, V => {
-        for y in -(ry as isize)..(ny + ry) as isize {
-            tl_transform_row::<V>(p.offset(y * rs as isize), nx);
-        }
-    });
+    dispatch_elem!(isa, T, tl_rows2::<V>(p, nx, ny, ry, rs));
 }
 
 /// Toggle every row of a 3D grid (halo rows/planes included).
-pub fn tl_grid3(g: &mut Grid3, isa: Isa) {
+pub fn tl_grid3<T: Elem>(g: &mut Grid3<T>, isa: Isa) {
     let (nx, ny, nz, r, rs, ps) = (
         g.nx(),
         g.ny(),
@@ -310,53 +401,31 @@ pub fn tl_grid3(g: &mut Grid3, isa: Isa) {
         g.plane_stride(),
     );
     let p = g.ptr_mut();
-    dispatch!(isa, V => {
-        for z in -(r as isize)..(nz + r) as isize {
-            for y in -(r as isize)..(ny + r) as isize {
-                tl_transform_row::<V>(p.offset(z * ps as isize + y * rs as isize), nx);
-            }
-        }
-    });
+    dispatch_elem!(isa, T, tl_rows3::<V>(p, nx, ny, nz, r, rs, ps));
 }
 
 /// DLT-transform (or invert) a 1D grid out of place. `dst` must have the
 /// same geometry as `src` (clone it first so halos carry over).
-pub fn dlt_grid1(src: &Grid1, dst: &mut Grid1, isa: Isa, inverse: bool) {
+pub fn dlt_grid1<T: Elem>(src: &Grid1<T>, dst: &mut Grid1<T>, isa: Isa, inverse: bool) {
     assert_eq!(src.n(), dst.n());
     let n = src.n();
     let (sp, dp) = (src.ptr(), dst.ptr_mut());
-    dispatch!(isa, V => {
-        if inverse {
-            dlt_inverse_row::<V>(sp, dp, n)
-        } else {
-            dlt_transform_row::<V>(sp, dp, n)
-        }
-    });
+    dispatch_elem!(isa, T, dlt_row::<V>(sp, dp, n, inverse));
 }
 
 /// DLT-transform (or invert) every row of a 2D grid, halo rows included.
-pub fn dlt_grid2(src: &Grid2, dst: &mut Grid2, isa: Isa, inverse: bool) {
+pub fn dlt_grid2<T: Elem>(src: &Grid2<T>, dst: &mut Grid2<T>, isa: Isa, inverse: bool) {
     assert_eq!(
         (src.nx(), src.ny(), src.ry()),
         (dst.nx(), dst.ny(), dst.ry())
     );
     let (nx, ny, ry, rs) = (src.nx(), src.ny(), src.ry(), src.row_stride());
     let (sp, dp) = (src.ptr(), dst.ptr_mut());
-    dispatch!(isa, V => {
-        for y in -(ry as isize)..(ny + ry) as isize {
-            let s = sp.offset(y * rs as isize);
-            let d = dp.offset(y * rs as isize);
-            if inverse {
-                dlt_inverse_row::<V>(s, d, nx)
-            } else {
-                dlt_transform_row::<V>(s, d, nx)
-            }
-        }
-    });
+    dispatch_elem!(isa, T, dlt_rows2::<V>(sp, dp, nx, ny, ry, rs, inverse));
 }
 
 /// DLT-transform (or invert) every row of a 3D grid, halos included.
-pub fn dlt_grid3(src: &Grid3, dst: &mut Grid3, isa: Isa, inverse: bool) {
+pub fn dlt_grid3<T: Elem>(src: &Grid3<T>, dst: &mut Grid3<T>, isa: Isa, inverse: bool) {
     assert_eq!(
         (src.nx(), src.ny(), src.nz(), src.r()),
         (dst.nx(), dst.ny(), dst.nz(), dst.r())
@@ -370,18 +439,11 @@ pub fn dlt_grid3(src: &Grid3, dst: &mut Grid3, isa: Isa, inverse: bool) {
         src.plane_stride(),
     );
     let (sp, dp) = (src.ptr(), dst.ptr_mut());
-    dispatch!(isa, V => {
-        for z in -(r as isize)..(nz + r) as isize {
-            for y in -(r as isize)..(ny + r) as isize {
-                let off = z * ps as isize + y * rs as isize;
-                if inverse {
-                    dlt_inverse_row::<V>(sp.offset(off), dp.offset(off), nx)
-                } else {
-                    dlt_transform_row::<V>(sp.offset(off), dp.offset(off), nx)
-                }
-            }
-        }
-    });
+    dispatch_elem!(
+        isa,
+        T,
+        dlt_rows3::<V>(sp, dp, nx, ny, nz, r, rs, ps, inverse)
+    );
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@
 //! assert_eq!(custom.to_string(), "1d5p");
 //! ```
 
+use stencil_simd::Dtype;
+
 use crate::exec::Boundary;
 use crate::stencil::{Box2, Box3, Star1, Star2, Star3, MAX_R};
 
@@ -152,6 +154,11 @@ pub struct StencilSpec {
     /// The boundary condition the workload asks for (default
     /// `Dirichlet(0.0)`); see [`Boundary`] and [`StencilSpec::with_boundary`].
     boundary: Boundary,
+    /// The element type the grid carries (default [`Dtype::F64`]); see
+    /// [`StencilSpec::with_dtype`]. Weights always stay `f64` in the
+    /// spec — they are rounded to the element type exactly once, when a
+    /// kernel splats them into vector registers.
+    dtype: Dtype,
 }
 
 /// Infer the radius from a per-axis weight slice of length `2r+1`.
@@ -223,6 +230,7 @@ impl StencilSpec {
             r,
             w: w.to_vec(),
             boundary: Boundary::default(),
+            dtype: Dtype::default(),
         })
     }
 
@@ -242,6 +250,7 @@ impl StencilSpec {
             r,
             w,
             boundary: Boundary::default(),
+            dtype: Dtype::default(),
         })
     }
 
@@ -263,6 +272,7 @@ impl StencilSpec {
             r,
             w,
             boundary: Boundary::default(),
+            dtype: Dtype::default(),
         })
     }
 
@@ -275,6 +285,7 @@ impl StencilSpec {
             r,
             w: w.to_vec(),
             boundary: Boundary::default(),
+            dtype: Dtype::default(),
         })
     }
 
@@ -288,6 +299,7 @@ impl StencilSpec {
             r,
             w: w.to_vec(),
             boundary: Boundary::default(),
+            dtype: Dtype::default(),
         })
     }
 
@@ -355,6 +367,35 @@ impl StencilSpec {
         self.boundary
     }
 
+    /// The same stencil over a different element type.
+    ///
+    /// The dtype rides along into
+    /// [`Plan::stencil`](crate::exec::Plan::stencil) — an f32 spec
+    /// compiles to a plan whose grids, layouts, and kernels all carry
+    /// `f32` at twice the SIMD lane width — and is part of the printed
+    /// name, composing with the boundary suffix:
+    ///
+    /// ```
+    /// use stencil_core::spec::StencilSpec;
+    /// use stencil_simd::Dtype;
+    ///
+    /// let spec = StencilSpec::heat_2d5p().with_dtype(Dtype::F32);
+    /// assert_eq!(spec.to_string(), "2d5p@f32");
+    /// assert_eq!("2d5p@f32".parse::<StencilSpec>().unwrap(), spec);
+    /// // Suffixes compose in either order.
+    /// let both: StencilSpec = "2d5p@periodic@f32".parse().unwrap();
+    /// assert_eq!("2d5p@f32@periodic".parse::<StencilSpec>().unwrap(), both);
+    /// ```
+    pub fn with_dtype(mut self, dtype: Dtype) -> StencilSpec {
+        self.dtype = dtype;
+        self
+    }
+
+    /// The element type this spec asks for (default [`Dtype::F64`]).
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
+    }
+
     /// Number of spatial dimensions (1–3).
     pub fn ndim(&self) -> usize {
         self.ndim
@@ -414,13 +455,17 @@ impl StencilSpec {
 impl std::fmt::Display for StencilSpec {
     /// The paper-style name `<ndim>d<points>p` (e.g. "2d9p"), with an
     /// `@<boundary>` suffix when the boundary is not the default
-    /// `Dirichlet(0.0)` (e.g. "2d9p@reflect"). For the six paper
-    /// stencils this round-trips through `FromStr`; other geometries
-    /// print the same scheme ("1d9p", "3d125p", …).
+    /// `Dirichlet(0.0)` (e.g. "2d9p@reflect") and an `@f32` suffix when
+    /// the element type is not `f64` (e.g. "2d9p@reflect@f32"). For the
+    /// six paper stencils this round-trips through `FromStr`; other
+    /// geometries print the same scheme ("1d9p", "3d125p", …).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}d{}p", self.ndim, self.points())?;
         if self.boundary != Boundary::default() {
             write!(f, "@{}", self.boundary)?;
+        }
+        if self.dtype != Dtype::default() {
+            write!(f, "@{}", self.dtype)?;
         }
         Ok(())
     }
@@ -432,12 +477,20 @@ impl std::str::FromStr for StencilSpec {
     /// Parse one of the six paper-stencil names (see
     /// [`StencilSpec::NAMES`]), yielding that stencil with the paper's
     /// weights, optionally suffixed with `@<boundary>` (e.g.
-    /// `"3d7p@periodic"` — see [`Boundary`]).
+    /// `"3d7p@periodic"` — see [`Boundary`]) and/or `@<dtype>` (e.g.
+    /// `"3d7p@f32"`, `"3d7p@periodic@f32"`), in either order.
     fn from_str(s: &str) -> Result<StencilSpec, SpecError> {
-        let (name, boundary) = match s.split_once('@') {
-            Some((name, label)) => (name, label.parse::<Boundary>()?),
-            None => (s, Boundary::default()),
-        };
+        let mut parts = s.split('@');
+        let name = parts.next().unwrap_or("");
+        let mut boundary = Boundary::default();
+        let mut dtype = Dtype::default();
+        for label in parts {
+            if let Ok(d) = label.parse::<Dtype>() {
+                dtype = d;
+            } else {
+                boundary = label.parse::<Boundary>()?;
+            }
+        }
         let spec = match name {
             "1d3p" => Self::heat_1d3p(),
             "1d5p" => Self::heat_1d5p(),
@@ -447,7 +500,7 @@ impl std::str::FromStr for StencilSpec {
             "3d27p" => Self::blur_3d27p(),
             other => return Err(SpecError::UnknownName(other.to_string())),
         };
-        Ok(spec.with_boundary(boundary))
+        Ok(spec.with_boundary(boundary).with_dtype(dtype))
     }
 }
 
@@ -635,6 +688,30 @@ mod tests {
         ));
         let e = "2d5p@torus".parse::<StencilSpec>().unwrap_err();
         assert!(e.to_string().contains("torus"), "{e}");
+    }
+
+    #[test]
+    fn dtype_suffix_round_trips() {
+        let spec: StencilSpec = "2d5p@f32".parse().unwrap();
+        assert_eq!(spec.dtype(), Dtype::F32);
+        assert_eq!(spec.boundary(), Boundary::default());
+        assert_eq!(spec.to_string(), "2d5p@f32");
+        // Composes with the boundary suffix, in either order; printing
+        // normalizes to boundary-then-dtype.
+        for name in ["3d7p@periodic@f32", "3d7p@f32@periodic"] {
+            let spec: StencilSpec = name.parse().unwrap();
+            assert_eq!(spec.dtype(), Dtype::F32);
+            assert_eq!(spec.boundary(), Boundary::Periodic);
+            assert_eq!(spec.to_string(), "3d7p@periodic@f32", "{name}");
+        }
+        // An explicit default dtype parses but prints without the suffix.
+        let spec: StencilSpec = "1d3p@f64".parse().unwrap();
+        assert_eq!(spec, StencilSpec::heat_1d3p());
+        assert_eq!(spec.to_string(), "1d3p");
+        assert!(matches!(
+            "2d5p@f16".parse::<StencilSpec>(),
+            Err(SpecError::UnknownBoundary(_))
+        ));
     }
 
     #[test]

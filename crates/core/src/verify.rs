@@ -1,39 +1,42 @@
 //! Grid comparison utilities used by tests, examples, and the benchmark
 //! harness's self-checks.
 
+use stencil_simd::Elem;
+
 use crate::grid::{AnyGrid, Grid1, Grid2, Grid3};
 
-/// Maximum absolute difference over the interiors of two 1D grids.
-pub fn max_abs_diff1(a: &Grid1, b: &Grid1) -> f64 {
+/// Maximum absolute difference over the interiors of two 1D grids
+/// (any element type; differences are accumulated in `f64`).
+pub fn max_abs_diff1<T: Elem>(a: &Grid1<T>, b: &Grid1<T>) -> f64 {
     assert_eq!(a.n(), b.n());
     a.interior()
         .iter()
         .zip(b.interior())
-        .map(|(x, y)| (x - y).abs())
+        .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
         .fold(0.0, f64::max)
 }
 
 /// Maximum absolute difference over the interiors of two 2D grids.
-pub fn max_abs_diff2(a: &Grid2, b: &Grid2) -> f64 {
+pub fn max_abs_diff2<T: Elem>(a: &Grid2<T>, b: &Grid2<T>) -> f64 {
     assert_eq!((a.nx(), a.ny()), (b.nx(), b.ny()));
     let mut m = 0.0f64;
     for y in 0..a.ny() {
         for (x, y2) in a.row(y).iter().zip(b.row(y)) {
-            m = m.max((x - y2).abs());
+            m = m.max((x.to_f64() - y2.to_f64()).abs());
         }
     }
     m
 }
 
 /// Maximum absolute difference over the interiors of two 3D grids.
-pub fn max_abs_diff3(a: &Grid3, b: &Grid3) -> f64 {
+pub fn max_abs_diff3<T: Elem>(a: &Grid3<T>, b: &Grid3<T>) -> f64 {
     assert_eq!((a.nx(), a.ny(), a.nz()), (b.nx(), b.ny(), b.nz()));
     let mut m = 0.0f64;
     for z in 0..a.nz() {
         for y in 0..a.ny() {
             for x in 0..a.nx() {
                 let (zi, yi, xi) = (z as isize, y as isize, x as isize);
-                m = m.max((a.get(zi, yi, xi) - b.get(zi, yi, xi)).abs());
+                m = m.max((a.get(zi, yi, xi).to_f64() - b.get(zi, yi, xi).to_f64()).abs());
             }
         }
     }
@@ -41,16 +44,21 @@ pub fn max_abs_diff3(a: &Grid3, b: &Grid3) -> f64 {
 }
 
 /// Maximum absolute difference over the interiors of two [`AnyGrid`]s
-/// (erased API). Panics if the dimensionalities differ.
+/// (erased API). Panics if the dimensionalities or element types differ.
 pub fn max_abs_diff_any(a: &AnyGrid, b: &AnyGrid) -> f64 {
     match (a, b) {
         (AnyGrid::D1(a), AnyGrid::D1(b)) => max_abs_diff1(a, b),
         (AnyGrid::D2(a), AnyGrid::D2(b)) => max_abs_diff2(a, b),
         (AnyGrid::D3(a), AnyGrid::D3(b)) => max_abs_diff3(a, b),
+        (AnyGrid::D1F32(a), AnyGrid::D1F32(b)) => max_abs_diff1(a, b),
+        (AnyGrid::D2F32(a), AnyGrid::D2F32(b)) => max_abs_diff2(a, b),
+        (AnyGrid::D3F32(a), AnyGrid::D3F32(b)) => max_abs_diff3(a, b),
         _ => panic!(
-            "cannot compare a {}D grid with a {}D grid",
+            "cannot compare a {}D {} grid with a {}D {} grid",
             a.ndim(),
-            b.ndim()
+            a.dtype(),
+            b.ndim(),
+            b.dtype()
         ),
     }
 }
@@ -73,13 +81,15 @@ pub fn max_abs_diff_ref(a: &AnyGrid, reference: &[f64]) -> f64 {
 }
 
 /// Largest interior magnitude of a 1D grid (scale for relative tolerances).
-pub fn max_abs1(a: &Grid1) -> f64 {
-    a.interior().iter().fold(0.0f64, |m, x| m.max(x.abs()))
+pub fn max_abs1<T: Elem>(a: &Grid1<T>) -> f64 {
+    a.interior()
+        .iter()
+        .fold(0.0f64, |m, x| m.max(x.to_f64().abs()))
 }
 
 /// Panic with a helpful message unless two 1D grids agree within
 /// `tol` (absolute, relative to the larger grid's scale).
-pub fn assert_close1(a: &Grid1, b: &Grid1, tol: f64, ctx: &str) {
+pub fn assert_close1<T: Elem>(a: &Grid1<T>, b: &Grid1<T>, tol: f64, ctx: &str) {
     let scale = max_abs1(a).max(max_abs1(b)).max(1.0);
     let d = max_abs_diff1(a, b);
     assert!(
@@ -89,11 +99,11 @@ pub fn assert_close1(a: &Grid1, b: &Grid1, tol: f64, ctx: &str) {
 }
 
 /// Panic unless two 2D grids agree within `tol` (scaled).
-pub fn assert_close2(a: &Grid2, b: &Grid2, tol: f64, ctx: &str) {
+pub fn assert_close2<T: Elem>(a: &Grid2<T>, b: &Grid2<T>, tol: f64, ctx: &str) {
     let mut scale = 1.0f64;
     for y in 0..a.ny() {
         for x in a.row(y) {
-            scale = scale.max(x.abs());
+            scale = scale.max(x.to_f64().abs());
         }
     }
     let d = max_abs_diff2(a, b);
@@ -104,13 +114,13 @@ pub fn assert_close2(a: &Grid2, b: &Grid2, tol: f64, ctx: &str) {
 }
 
 /// Panic unless two 3D grids agree within `tol` (scaled).
-pub fn assert_close3(a: &Grid3, b: &Grid3, tol: f64, ctx: &str) {
+pub fn assert_close3<T: Elem>(a: &Grid3<T>, b: &Grid3<T>, tol: f64, ctx: &str) {
     let d = max_abs_diff3(a, b);
     let mut scale = 1.0f64;
     for z in 0..a.nz() {
         for y in 0..a.ny() {
             for x in 0..a.nx() {
-                scale = scale.max(a.get(z as isize, y as isize, x as isize).abs());
+                scale = scale.max(a.get(z as isize, y as isize, x as isize).to_f64().abs());
             }
         }
     }

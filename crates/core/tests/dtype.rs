@@ -1,0 +1,413 @@
+//! Single-precision oracle suite.
+//!
+//! The element-generic engine promises that `@f32` plans are verified
+//! the same way the f64 engine is: a naive scalar reference computes
+//! every step **natively in f32** — per-axis boundary folds into a flat
+//! vector, weights rounded from their `f64` spec values exactly once
+//! per use (the same single rounding point `Elem::from_f64` /
+//! `Vector::splat_f64` give the engine), `mul_add` accumulation in the
+//! family's canonical order — and every `Method × stencil × boundary ×
+//! threads` combination must match it to 0 ULP. Widening f32 to f64 is
+//! lossless, so the comparisons go through the same
+//! [`max_abs_diff_ref`] used by the f64 suites with an exact-zero
+//! assertion: any deviation is a bug, not rounding.
+//!
+//! Plus the cross-precision contracts: f32 results track their f64
+//! siblings within single-precision rounding (bounded relative drift,
+//! NOT bit equality), and the typed `star1_elem::<f32>` terminal is
+//! bit-identical to the erased `@f32` spec path.
+
+use stencil_core::exec::{Boundary, Parallelism, Plan, Shape};
+use stencil_core::grid::AnyGrid;
+use stencil_core::spec::{StencilShape, StencilSpec};
+use stencil_core::verify::max_abs_diff_ref;
+use stencil_core::{Grid1, Method, S1d3p};
+use stencil_simd::{Dtype, Isa};
+
+// ---------------------------------------------------------------------------
+// The naive f32 reference
+// ---------------------------------------------------------------------------
+
+/// Fold one axis index into `[0, n)` per the boundary, or `None` for a
+/// Dirichlet read outside the interior (same folds as tests/boundary.rs).
+fn fold(i: isize, n: usize, b: Boundary) -> Option<usize> {
+    let n_i = n as isize;
+    if (0..n_i).contains(&i) {
+        return Some(i as usize);
+    }
+    match b {
+        Boundary::Dirichlet(_) => None,
+        Boundary::Periodic => Some((i.rem_euclid(n_i)) as usize),
+        Boundary::Reflect => Some(if i < 0 {
+            (-i - 1) as usize
+        } else {
+            (2 * n_i - 1 - i) as usize
+        }),
+    }
+}
+
+/// Flat-vector f32 state with direct boundary folding. Arithmetic is
+/// native `f32`: each `f64` spec weight is rounded at the point of use
+/// (`w as f32` ≡ `Elem::from_f64`), accumulation is `f32::mul_add` in
+/// the canonical kernel order, so the engine's f32 kernels must agree
+/// bit for bit.
+struct NaiveF32 {
+    spec: StencilSpec,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl NaiveF32 {
+    fn new(spec: &StencilSpec, shape: Shape) -> NaiveF32 {
+        let [nx, ny, nz] = shape.dims();
+        NaiveF32 {
+            spec: spec.clone(),
+            nx,
+            ny: ny.max(1),
+            nz: nz.max(1),
+        }
+    }
+
+    fn at(&self, src: &[f32], z: isize, y: isize, x: isize) -> f32 {
+        let b = self.spec.boundary();
+        match (
+            fold(x, self.nx, b),
+            fold(y, self.ny, b),
+            fold(z, self.nz, b),
+        ) {
+            (Some(x), Some(y), Some(z)) => src[(z * self.ny + y) * self.nx + x],
+            _ => b.halo_fill() as f32,
+        }
+    }
+
+    // Index loops mirror the canonical kernel order — same stance as the
+    // crate-level allow in stencil-core.
+    #[allow(clippy::needless_range_loop)]
+    fn step(&self, src: &[f32]) -> Vec<f32> {
+        let r = self.spec.radius() as isize;
+        let mut dst = vec![0.0f32; src.len()];
+        for z in 0..self.nz as isize {
+            for y in 0..self.ny as isize {
+                for x in 0..self.nx as isize {
+                    let acc = match (self.spec.shape(), self.spec.ndim()) {
+                        (StencilShape::Star, nd) => {
+                            let wx = self.spec.axis_weights(0).unwrap();
+                            let mut acc = (wx[0] as f32) * self.at(src, z, y, x - r);
+                            for o in 1..wx.len() {
+                                acc = self
+                                    .at(src, z, y, x - r + o as isize)
+                                    .mul_add(wx[o] as f32, acc);
+                            }
+                            if nd >= 2 {
+                                let wy = self.spec.axis_weights(1).unwrap();
+                                for d in 1..=r {
+                                    let du = d as usize;
+                                    acc = self
+                                        .at(src, z, y - d, x)
+                                        .mul_add(wy[r as usize - du] as f32, acc);
+                                    acc = self
+                                        .at(src, z, y + d, x)
+                                        .mul_add(wy[r as usize + du] as f32, acc);
+                                }
+                            }
+                            if nd == 3 {
+                                let wz = self.spec.axis_weights(2).unwrap();
+                                for d in 1..=r {
+                                    let du = d as usize;
+                                    acc = self
+                                        .at(src, z - d, y, x)
+                                        .mul_add(wz[r as usize - du] as f32, acc);
+                                    acc = self
+                                        .at(src, z + d, y, x)
+                                        .mul_add(wz[r as usize + du] as f32, acc);
+                                }
+                            }
+                            acc
+                        }
+                        (StencilShape::Box, 2) => {
+                            let w = self.spec.box_weights().unwrap();
+                            let mut acc = (w[0] as f32) * self.at(src, z, y - r, x - r);
+                            let mut k = 1;
+                            for dy in -r..=r {
+                                let dx0 = if dy == -r { -r + 1 } else { -r };
+                                for dx in dx0..=r {
+                                    acc = self.at(src, z, y + dy, x + dx).mul_add(w[k] as f32, acc);
+                                    k += 1;
+                                }
+                            }
+                            acc
+                        }
+                        (StencilShape::Box, _) => {
+                            let w = self.spec.box_weights().unwrap();
+                            let mut acc = (w[0] as f32) * self.at(src, z - r, y - r, x - r);
+                            let mut k = 1;
+                            let mut first = true;
+                            for dz in -r..=r {
+                                for dy in -r..=r {
+                                    for dx in -r..=r {
+                                        if first {
+                                            first = false;
+                                            continue;
+                                        }
+                                        acc = self
+                                            .at(src, z + dz, y + dy, x + dx)
+                                            .mul_add(w[k] as f32, acc);
+                                        k += 1;
+                                    }
+                                }
+                            }
+                            acc
+                        }
+                    };
+                    dst[((z * self.ny as isize + y) * self.nx as isize + x) as usize] = acc;
+                }
+            }
+        }
+        dst
+    }
+
+    fn run(&self, mut state: Vec<f32>, t: usize) -> Vec<f32> {
+        for _ in 0..t {
+            state = self.step(&state);
+        }
+        state
+    }
+}
+
+/// Deterministic pseudo-random f32 interior (seeded-`StdRng` idiom of
+/// the sibling suites, drawn natively in f32).
+fn seeded_f32(shape: Shape, seed: u64) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let [nx, ny, nz] = shape.dims();
+    let cells = nx * ny.max(1) * nz.max(1);
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..cells)
+        .map(|_| r.random_range(0.0..1.0) as f32)
+        .collect()
+}
+
+fn shape_for(spec: &StencilSpec) -> Shape {
+    // x extents cover whole vector sets plus a tail for every ISA —
+    // f32 doubles the lane width, so the 1D extent covers 16-lane
+    // AVX-512 sets (block size 256) plus a ragged tail, and still
+    // splits unevenly over 7 threads.
+    match spec.ndim() {
+        1 => Shape::d1(273),
+        2 => Shape::d2(81, 13),
+        _ => Shape::d3(72, 10, 7),
+    }
+}
+
+/// The full engine matrix against the naive f32 reference, exact
+/// equality (widening f32→f64 on both sides is lossless).
+fn check_matrix_f32(base: &StencilSpec, boundaries: &[Boundary], methods: &[Method], isa: Isa) {
+    let t = 5; // odd: covers the final parity swap
+    for &b in boundaries {
+        let spec = base.clone().with_boundary(b).with_dtype(Dtype::F32);
+        let shape = shape_for(&spec);
+        let init = seeded_f32(shape, 0xF32F32 ^ spec.points() as u64);
+        let naive = NaiveF32::new(&spec, shape);
+        let want: Vec<f64> = naive
+            .run(init.clone(), t)
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        for &method in methods {
+            for par in [
+                Parallelism::Off,
+                Parallelism::Threads(2),
+                Parallelism::Threads(7),
+            ] {
+                let mut plan = Plan::new(shape)
+                    .method(method)
+                    .isa(isa)
+                    .parallelism(par)
+                    .stencil(&spec)
+                    .unwrap_or_else(|e| panic!("{spec} {method} {par:?}: {e}"));
+                let mut g = AnyGrid::from_vec_spec_f32(shape, &spec, init.clone()).unwrap();
+                plan.run(&mut g, t);
+                assert_eq!(
+                    max_abs_diff_ref(&g, &want),
+                    0.0,
+                    "{spec} {method} {isa} {par:?}"
+                );
+            }
+        }
+    }
+}
+
+const ALL_BOUNDARIES: [Boundary; 3] = [
+    Boundary::Dirichlet(0.25),
+    Boundary::Periodic,
+    Boundary::Reflect,
+];
+
+#[test]
+fn oracle_1d_f32_paper_stencils() {
+    let isa = Isa::detect_best();
+    for name in ["1d3p", "1d5p"] {
+        check_matrix_f32(&name.parse().unwrap(), &ALL_BOUNDARIES, &Method::ALL, isa);
+    }
+}
+
+#[test]
+fn oracle_2d_f32_paper_stencils() {
+    let isa = Isa::detect_best();
+    for name in ["2d5p", "2d9p"] {
+        check_matrix_f32(&name.parse().unwrap(), &ALL_BOUNDARIES, &Method::ALL, isa);
+    }
+}
+
+#[test]
+fn oracle_3d_f32_paper_stencils() {
+    let isa = Isa::detect_best();
+    for name in ["3d7p", "3d27p"] {
+        check_matrix_f32(&name.parse().unwrap(), &ALL_BOUNDARIES, &Method::ALL, isa);
+    }
+}
+
+#[test]
+fn oracle_f32_across_isas() {
+    // Every available ISA at its f32 lane width (portable 1, AVX2 8,
+    // AVX-512 16) must agree with the naive f32 reference — the layout
+    // maps, set geometry, and halo refresh all derive from
+    // `lanes_for::<f32>`, so a stale f64 lane count anywhere shows up
+    // here as a wrong answer, not a perf bug.
+    let methods = [Method::Reorg, Method::Dlt, Method::TransLayout2];
+    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+        check_matrix_f32(
+            &"2d5p".parse().unwrap(),
+            &[Boundary::Periodic],
+            &methods,
+            isa,
+        );
+        check_matrix_f32(
+            &"1d5p".parse().unwrap(),
+            &[Boundary::Reflect],
+            &methods,
+            isa,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-precision contracts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn f32_tracks_f64_within_single_precision() {
+    // The same diffusion, run natively in each precision from a shared
+    // initial state (f32 values widen losslessly, so both runs start
+    // from identical data). Results must agree to single-precision
+    // rounding scaled by step count — close enough that the f32 path is
+    // clearly computing the same stencil, loose enough to absorb the
+    // legitimate drift. Exact equality is NOT expected here.
+    let t = 10;
+    for name in ["1d3p", "2d5p", "2d9p", "3d7p"] {
+        let spec64: StencilSpec = format!("{name}@periodic").parse().unwrap();
+        let spec32 = spec64.clone().with_dtype(Dtype::F32);
+        let shape = shape_for(&spec64);
+        let init32 = seeded_f32(shape, 0xD81F7 ^ spec64.points() as u64);
+        let init64: Vec<f64> = init32.iter().map(|&x| f64::from(x)).collect();
+
+        let mut g64 = AnyGrid::from_vec_spec(shape, &spec64, init64).unwrap();
+        Plan::new(shape).stencil(&spec64).unwrap().run(&mut g64, t);
+        let mut g32 = AnyGrid::from_vec_spec_f32(shape, &spec32, init32).unwrap();
+        Plan::new(shape).stencil(&spec32).unwrap().run(&mut g32, t);
+
+        let want = g64.to_vec();
+        let scale = want.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+        let drift = max_abs_diff_ref(&g32, &want);
+        let bound = scale * (f32::EPSILON as f64) * 8.0 * t as f64;
+        assert!(
+            drift <= bound,
+            "{name}: f32 drifted {drift:e} from f64 (bound {bound:e})"
+        );
+        // And the drift is genuine rounding, not a frozen grid.
+        assert!(drift > 0.0, "{name}: suspiciously exact");
+    }
+}
+
+#[test]
+fn typed_f32_terminal_matches_erased_spec_path() {
+    // `star1_elem::<f32>` and the erased `@f32` spec route dispatch into
+    // the same monomorphized kernels — bit-identical results, whichever
+    // door you walk through.
+    let n = 273;
+    let t = 6;
+    let spec: StencilSpec = "1d3p@f32".parse().unwrap();
+    let init = seeded_f32(Shape::d1(n), 42);
+
+    let mut typed = Grid1::<f32>::from_fn(n, 0.0, |i| init[i]);
+    let mut plan = Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .star1_elem::<f32, _>(S1d3p::heat())
+        .unwrap();
+    plan.run(&mut typed, t);
+
+    let mut erased = AnyGrid::from_vec_spec_f32(Shape::d1(n), &spec, init).unwrap();
+    let mut eplan = Plan::new(Shape::d1(n))
+        .method(Method::TransLayout2)
+        .stencil(&spec)
+        .unwrap();
+    eplan.run(&mut erased, t);
+
+    let want: Vec<f64> = typed.interior().iter().map(|&x| f64::from(x)).collect();
+    assert_eq!(max_abs_diff_ref(&erased, &want), 0.0);
+}
+
+#[test]
+fn dtype_mismatch_is_rejected_loudly() {
+    // An f64 grid handed to an f32 plan (or vice versa) must fail at
+    // the validated constructors, not silently reinterpret memory.
+    let spec32: StencilSpec = "1d3p@f32".parse().unwrap();
+    let spec64: StencilSpec = "1d3p".parse().unwrap();
+    let shape = Shape::d1(64);
+    assert!(AnyGrid::from_vec_spec(shape, &spec32, vec![0.0f64; 64]).is_err());
+    assert!(AnyGrid::from_vec_spec_f32(shape, &spec64, vec![0.0f32; 64]).is_err());
+}
+
+#[test]
+fn short_rows_narrow_the_isa_instead_of_running_scalar() {
+    // A TransLayout set spans vl² cells along x. At f32's 16 lanes on
+    // a 512-bit ISA that is 256 cells — on a 64-wide grid every cell
+    // would land in the scalar tail, so the builder steps down one
+    // register class (portable8 → portable4 here, avx512 → avx2 on
+    // hardware) where a 64-cell set fits exactly.
+    use stencil_core::S3d7p;
+
+    let shape = Shape::d3(64, 64, 64);
+    let narrowed = Plan::new(shape)
+        .method(Method::TransLayout)
+        .isa(Isa::Portable8)
+        .star3_elem::<f32, _>(S3d7p::heat())
+        .unwrap();
+    assert_eq!(narrowed.isa(), Isa::Portable4);
+
+    // f64 at 8 lanes needs exactly 64 cells per set: no narrowing.
+    let f64_plan = Plan::new(shape)
+        .method(Method::TransLayout)
+        .isa(Isa::Portable8)
+        .star3_elem::<f64, _>(S3d7p::heat())
+        .unwrap();
+    assert_eq!(f64_plan.isa(), Isa::Portable8);
+
+    // MultiLoad has per-vector (not per-set) geometry: no narrowing.
+    let ml_plan = Plan::new(shape)
+        .method(Method::MultiLoad)
+        .isa(Isa::Portable8)
+        .star3_elem::<f32, _>(S3d7p::heat())
+        .unwrap();
+    assert_eq!(ml_plan.isa(), Isa::Portable8);
+
+    // Once narrowed past the bottom of the ladder the plan keeps the
+    // 256-bit class and lets the tail handle what's left.
+    let tiny = Plan::new(Shape::d1(12))
+        .method(Method::TransLayout)
+        .isa(Isa::Portable8)
+        .star1_elem::<f32, _>(S1d3p::heat())
+        .unwrap();
+    assert_eq!(tiny.isa(), Isa::Portable4);
+}

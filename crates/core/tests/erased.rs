@@ -392,7 +392,7 @@ fn legacy_free_fns_report_spec_errors() {
 }
 
 #[test]
-#[should_panic(expected = "1D stencil but the grid is 2D")]
+#[should_panic(expected = "1D f64 stencil but the grid is 2D f64")]
 fn dyn_plan_panics_on_grid_dim_mismatch() {
     let spec = StencilSpec::heat_1d3p();
     let mut plan = Plan::new(Shape::d1(64)).stencil(&spec).unwrap();

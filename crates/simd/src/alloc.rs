@@ -1,56 +1,63 @@
-//! 64-byte aligned `f64` buffers.
+//! 64-byte aligned element buffers.
 //!
 //! Vector sets must sit on vector-register-width boundaries (the paper
 //! aligns them to 32 bytes for AVX2; we use 64 bytes so the same buffer
-//! serves AVX-512 and avoids cache-line splits).
+//! serves AVX-512 and avoids cache-line splits). The buffer is generic
+//! over the element type — `AlignedBuf` (the `f64` default) and
+//! `AlignedBuf<f32>` share one implementation; 64 is a multiple of both
+//! element sizes, and the byte size is rounded up to a whole number of
+//! 64-byte lines, so full-width vector stores at the tail stay in bounds
+//! for 4-byte elements exactly as they did for 8-byte ones.
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
 use std::ptr::NonNull;
 
-/// Allocation alignment in bytes (one cache line, one `__m512d`).
+use crate::elem::Elem;
+
+/// Allocation alignment in bytes (one cache line, one 512-bit register).
 pub const ALIGN: usize = 64;
 
-/// A heap buffer of `f64` guaranteed to start on a 64-byte boundary.
+/// A heap buffer of elements guaranteed to start on a 64-byte boundary.
 ///
-/// Derefs to `[f64]`. The length is fixed at construction.
-pub struct AlignedBuf {
-    ptr: NonNull<f64>,
+/// Derefs to `[T]`. The length is fixed at construction.
+pub struct AlignedBuf<T: Elem = f64> {
+    ptr: NonNull<T>,
     len: usize,
 }
 
-// SAFETY: AlignedBuf owns its allocation exclusively, like Vec<f64>.
-unsafe impl Send for AlignedBuf {}
-unsafe impl Sync for AlignedBuf {}
+// SAFETY: AlignedBuf owns its allocation exclusively, like Vec<T>.
+unsafe impl<T: Elem> Send for AlignedBuf<T> {}
+unsafe impl<T: Elem> Sync for AlignedBuf<T> {}
 
-impl AlignedBuf {
+impl<T: Elem> AlignedBuf<T> {
     fn layout(len: usize) -> Layout {
         // Round the byte size up to a multiple of ALIGN so reallocation-free
         // full-cache-line stores at the tail stay in bounds of the layout.
-        let bytes = len.max(1) * std::mem::size_of::<f64>();
+        let bytes = len.max(1) * std::mem::size_of::<T>();
         let bytes = bytes.div_ceil(ALIGN) * ALIGN;
         Layout::from_size_align(bytes, ALIGN).expect("invalid layout")
     }
 
-    /// Allocate a zero-filled buffer of `len` doubles.
+    /// Allocate a zero-filled buffer of `len` elements.
     pub fn zeroed(len: usize) -> Self {
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len.max(1)).
         let raw = unsafe { alloc_zeroed(layout) };
-        let Some(ptr) = NonNull::new(raw as *mut f64) else {
+        let Some(ptr) = NonNull::new(raw as *mut T) else {
             handle_alloc_error(layout);
         };
         AlignedBuf { ptr, len }
     }
 
     /// Allocate a buffer holding a copy of `src`.
-    pub fn from_slice(src: &[f64]) -> Self {
+    pub fn from_slice(src: &[T]) -> Self {
         let mut buf = Self::zeroed(src.len());
         buf.as_mut_slice().copy_from_slice(src);
         buf
     }
 
-    /// Number of doubles in the buffer.
+    /// Number of elements in the buffer.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -64,78 +71,78 @@ impl AlignedBuf {
 
     /// Immutable view of the contents.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         // SAFETY: ptr is valid for len reads by construction.
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
 
     /// Mutable view of the contents.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         // SAFETY: ptr is valid for len writes; &mut self gives exclusivity.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
     }
 
     /// Raw base pointer (64-byte aligned).
     #[inline]
-    pub fn as_ptr(&self) -> *const f64 {
+    pub fn as_ptr(&self) -> *const T {
         self.ptr.as_ptr()
     }
 
     /// Raw mutable base pointer (64-byte aligned).
     #[inline]
-    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+    pub fn as_mut_ptr(&mut self) -> *mut T {
         self.ptr.as_ptr()
     }
 
     /// Fill with a constant.
-    pub fn fill(&mut self, x: f64) {
+    pub fn fill(&mut self, x: T) {
         self.as_mut_slice().fill(x);
     }
 
     /// Overwrite the contents with `src`'s, without reallocating.
     /// Panics if the lengths differ.
-    pub fn copy_from(&mut self, src: &AlignedBuf) {
+    pub fn copy_from(&mut self, src: &AlignedBuf<T>) {
         assert_eq!(self.len, src.len, "AlignedBuf::copy_from length mismatch");
         self.as_mut_slice().copy_from_slice(src.as_slice());
     }
 }
 
-impl Drop for AlignedBuf {
+impl<T: Elem> Drop for AlignedBuf<T> {
     fn drop(&mut self) {
         // SAFETY: allocated with the identical layout in `zeroed`.
         unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) }
     }
 }
 
-impl Deref for AlignedBuf {
-    type Target = [f64];
+impl<T: Elem> Deref for AlignedBuf<T> {
+    type Target = [T];
     #[inline]
-    fn deref(&self) -> &[f64] {
+    fn deref(&self) -> &[T] {
         self.as_slice()
     }
 }
 
-impl DerefMut for AlignedBuf {
+impl<T: Elem> DerefMut for AlignedBuf<T> {
     #[inline]
-    fn deref_mut(&mut self) -> &mut [f64] {
+    fn deref_mut(&mut self) -> &mut [T] {
         self.as_mut_slice()
     }
 }
 
-impl Clone for AlignedBuf {
+impl<T: Elem> Clone for AlignedBuf<T> {
     fn clone(&self) -> Self {
         Self::from_slice(self.as_slice())
     }
 }
 
-impl std::fmt::Debug for AlignedBuf {
+impl<T: Elem> std::fmt::Debug for AlignedBuf<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AlignedBuf(len={})", self.len)
+        write!(f, "AlignedBuf<{}>(len={})", T::DTYPE, self.len)
     }
 }
 
-impl PartialEq for AlignedBuf {
+impl<T: Elem> PartialEq for AlignedBuf<T> {
     fn eq(&self, other: &Self) -> bool {
         self.as_slice() == other.as_slice()
     }
@@ -148,10 +155,26 @@ mod tests {
     #[test]
     fn alignment_is_64() {
         for len in [1usize, 7, 16, 1000, 4096] {
-            let b = AlignedBuf::zeroed(len);
+            let b = AlignedBuf::<f64>::zeroed(len);
             assert_eq!(b.as_ptr() as usize % ALIGN, 0, "len={len}");
             assert_eq!(b.len(), len);
             assert!(b.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn alignment_is_64_for_f32() {
+        // 4-byte elements: odd lengths must still produce 64-byte-aligned
+        // storage whose layout covers a whole trailing cache line, so a
+        // full 16-lane store at the last aligned slot is in bounds.
+        for len in [1usize, 7, 15, 16, 17, 1000, 4095] {
+            let b = AlignedBuf::<f32>::zeroed(len);
+            assert_eq!(b.as_ptr() as usize % ALIGN, 0, "len={len}");
+            assert_eq!(b.len(), len);
+            assert!(b.iter().all(|&x| x == 0.0));
+            let bytes = AlignedBuf::<f32>::layout(len).size();
+            assert_eq!(bytes % ALIGN, 0, "len={len}");
+            assert!(bytes >= len * 4, "len={len}");
         }
     }
 
@@ -165,15 +188,24 @@ mod tests {
     }
 
     #[test]
+    fn from_slice_roundtrip_f32() {
+        let v: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b = AlignedBuf::from_slice(&v);
+        assert_eq!(b.as_slice(), &v[..]);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
     fn zero_len_is_ok() {
-        let b = AlignedBuf::zeroed(0);
+        let b = AlignedBuf::<f64>::zeroed(0);
         assert!(b.is_empty());
         assert_eq!(b.as_slice().len(), 0);
     }
 
     #[test]
     fn fill_overwrites() {
-        let mut b = AlignedBuf::zeroed(10);
+        let mut b = AlignedBuf::<f64>::zeroed(10);
         b.fill(3.5);
         assert!(b.iter().all(|&x| x == 3.5));
     }

@@ -1,19 +1,22 @@
-//! AVX2 + FMA implementation of [`SimdF64`]: 4 × f64 in a `__m256d`.
+//! AVX2 + FMA implementations of [`Vector`]: 4 × f64 in a `__m256d` and
+//! 8 × f32 in a `__m256` (twice the lane width, same register width).
 //!
 //! The `Assemble` operation (paper Fig. 3) is two instructions:
-//! `vblendpd` + `vpermpd`, exactly as in Algorithm 1 lines 1–5
-//! (`_mm256_blend_pd` followed by `_mm256_permute4x64_pd`).
+//! `vblendpd` + `vpermpd` for f64, exactly as in Algorithm 1 lines 1–5
+//! (`_mm256_blend_pd` followed by `_mm256_permute4x64_pd`); the f32 form
+//! is the same shape at 8 lanes — `vblendps` + one lane-crossing
+//! `vpermps` (`_mm256_permutevar8x32_ps` with a constant index vector).
 //!
-//! The 4×4 transpose (paper §3.5, Fig. 6) is `vl·log(vl) = 8` shuffles.
-//! The paper's schedule issues the four 3-cycle lane-crossing
-//! `vperm2f128` first and hides their latency under the four 1-cycle
-//! in-lane `vunpcklpd`/`vunpckhpd`; the conventional schedule (ablation
-//! baseline) does the unpacks first and exposes the `vperm2f128` latency
-//! at the end of the dependency chain.
+//! The `vl × vl` transpose (paper §3.5, Fig. 6) is `vl·log(vl)` shuffles:
+//! 8 for f64, 24 for f32. The paper's schedule issues the 3-cycle
+//! lane-crossing `vperm2f128` first and hides their latency under the
+//! 1-cycle in-lane unpacks/shuffles; the conventional schedule (ablation
+//! baseline) does the in-lane work first and exposes the `vperm2f128`
+//! latency at the end of the dependency chain.
 
 use core::arch::x86_64::*;
 
-use crate::vector::SimdF64;
+use crate::vector::Vector;
 
 /// 4 × f64 AVX2 vector.
 #[derive(Copy, Clone)]
@@ -29,7 +32,8 @@ impl std::fmt::Debug for F64x4 {
     }
 }
 
-impl SimdF64 for F64x4 {
+impl Vector for F64x4 {
+    type Elem = f64;
     const LANES: usize = 4;
     const NAME: &'static str = "avx2";
 
@@ -138,5 +142,180 @@ impl SimdF64 for F64x4 {
         m[1] = F64x4(_mm256_permute2f128_pd(s1, s3, 0x20)); // (a1,b1,c1,d1)
         m[2] = F64x4(_mm256_permute2f128_pd(s0, s2, 0x31)); // (a2,b2,c2,d2)
         m[3] = F64x4(_mm256_permute2f128_pd(s1, s3, 0x31)); // (a3,b3,c3,d3)
+    }
+}
+
+/// 8 × f32 AVX2 vector — the f64 sibling's register at twice the lanes.
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x8(pub __m256);
+
+impl std::fmt::Debug for F32x8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = [0.0f32; 8];
+        // SAFETY: a value of this type only exists where AVX is available.
+        unsafe { _mm256_storeu_ps(a.as_mut_ptr(), self.0) };
+        write!(f, "F32x8({a:?})")
+    }
+}
+
+/// One f32 `alignr` arm: blend the `o` low lanes from `hi` over `lo`
+/// (selecting `combined[j] = if j < o { hi[j] } else { lo[j] }`), then
+/// rotate left by `o` with one lane-crossing `vpermps` — the same
+/// two-instruction Assemble cost as the f64 blend+permute sequence.
+macro_rules! alignr_ps {
+    ($hi:expr, $lo:expr, $o:literal) => {{
+        let t = _mm256_blend_ps($lo, $hi, (1u32 << $o) as i32 - 1);
+        let idx = _mm256_setr_epi32(
+            ($o) % 8,
+            (1 + $o) % 8,
+            (2 + $o) % 8,
+            (3 + $o) % 8,
+            (4 + $o) % 8,
+            (5 + $o) % 8,
+            (6 + $o) % 8,
+            (7 + $o) % 8,
+        );
+        F32x8(_mm256_permutevar8x32_ps(t, idx))
+    }};
+}
+
+impl Vector for F32x8 {
+    type Elem = f32;
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx2";
+
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self {
+        F32x8(_mm256_set1_ps(x))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        debug_assert_eq!(ptr as usize % 32, 0, "unaligned aligned-load");
+        F32x8(_mm256_load_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(ptr: *const f32) -> Self {
+        F32x8(_mm256_loadu_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        debug_assert_eq!(ptr as usize % 32, 0, "unaligned aligned-store");
+        _mm256_store_ps(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(self, ptr: *mut f32) {
+        _mm256_storeu_ps(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F32x8(_mm256_add_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F32x8(_mm256_sub_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F32x8(_mm256_mul_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+        F32x8(_mm256_fmadd_ps(self.0, a.0, b.0))
+    }
+
+    #[inline(always)]
+    unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
+        match o {
+            0 => lo,
+            1 => alignr_ps!(hi.0, lo.0, 1),
+            2 => alignr_ps!(hi.0, lo.0, 2),
+            3 => alignr_ps!(hi.0, lo.0, 3),
+            // o=4 is a half-register swap: a single vperm2f128.
+            4 => F32x8(_mm256_permute2f128_ps(lo.0, hi.0, 0x21)),
+            5 => alignr_ps!(hi.0, lo.0, 5),
+            6 => alignr_ps!(hi.0, lo.0, 6),
+            7 => alignr_ps!(hi.0, lo.0, 7),
+            8 => hi,
+            _ => unreachable!("alignr shift out of range"),
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn transpose(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 8);
+        let r: [__m256; 8] = [
+            m[0].0, m[1].0, m[2].0, m[3].0, m[4].0, m[5].0, m[6].0, m[7].0,
+        ];
+        // Stage 1: all eight lane-crossing vperm2f128 first. s[k] holds
+        // lanes 0-3 of rows k and k+4; s[k+4] holds their lanes 4-7.
+        let s0 = _mm256_permute2f128_ps(r[0], r[4], 0x20);
+        let s1 = _mm256_permute2f128_ps(r[1], r[5], 0x20);
+        let s2 = _mm256_permute2f128_ps(r[2], r[6], 0x20);
+        let s3 = _mm256_permute2f128_ps(r[3], r[7], 0x20);
+        let s4 = _mm256_permute2f128_ps(r[0], r[4], 0x31);
+        let s5 = _mm256_permute2f128_ps(r[1], r[5], 0x31);
+        let s6 = _mm256_permute2f128_ps(r[2], r[6], 0x31);
+        let s7 = _mm256_permute2f128_ps(r[3], r[7], 0x31);
+        // Stage 2+3: in-lane unpacks and shuffles (latency 1) transpose
+        // each 4×4 sub-block while stage 1 drains.
+        let t0 = _mm256_unpacklo_ps(s0, s1); // (a0,b0,a1,b1 | e0,f0,e1,f1)
+        let t1 = _mm256_unpacklo_ps(s2, s3); // (c0,d0,c1,d1 | g0,h0,g1,h1)
+        let t2 = _mm256_unpackhi_ps(s0, s1); // (a2,b2,a3,b3 | ...)
+        let t3 = _mm256_unpackhi_ps(s2, s3);
+        m[0] = F32x8(_mm256_shuffle_ps(t0, t1, 0x44)); // column 0
+        m[1] = F32x8(_mm256_shuffle_ps(t0, t1, 0xEE)); // column 1
+        m[2] = F32x8(_mm256_shuffle_ps(t2, t3, 0x44)); // column 2
+        m[3] = F32x8(_mm256_shuffle_ps(t2, t3, 0xEE)); // column 3
+        let t4 = _mm256_unpacklo_ps(s4, s5);
+        let t5 = _mm256_unpacklo_ps(s6, s7);
+        let t6 = _mm256_unpackhi_ps(s4, s5);
+        let t7 = _mm256_unpackhi_ps(s6, s7);
+        m[4] = F32x8(_mm256_shuffle_ps(t4, t5, 0x44)); // column 4
+        m[5] = F32x8(_mm256_shuffle_ps(t4, t5, 0xEE)); // column 5
+        m[6] = F32x8(_mm256_shuffle_ps(t6, t7, 0x44)); // column 6
+        m[7] = F32x8(_mm256_shuffle_ps(t6, t7, 0xEE)); // column 7
+    }
+
+    #[inline(always)]
+    unsafe fn transpose_baseline(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 8);
+        let r: [__m256; 8] = [
+            m[0].0, m[1].0, m[2].0, m[3].0, m[4].0, m[5].0, m[6].0, m[7].0,
+        ];
+        // Conventional order: in-lane 4×4 transposes first, lane-crossing
+        // vperm2f128 last — latency exposed on the critical path.
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t2 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let u0 = _mm256_shuffle_ps(t0, t1, 0x44); // cols 0|4 of rows 0-3
+        let u1 = _mm256_shuffle_ps(t0, t1, 0xEE); // cols 1|5
+        let u2 = _mm256_shuffle_ps(t2, t3, 0x44); // cols 2|6
+        let u3 = _mm256_shuffle_ps(t2, t3, 0xEE); // cols 3|7
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t6 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let u4 = _mm256_shuffle_ps(t4, t5, 0x44); // cols 0|4 of rows 4-7
+        let u5 = _mm256_shuffle_ps(t4, t5, 0xEE);
+        let u6 = _mm256_shuffle_ps(t6, t7, 0x44);
+        let u7 = _mm256_shuffle_ps(t6, t7, 0xEE);
+        m[0] = F32x8(_mm256_permute2f128_ps(u0, u4, 0x20));
+        m[1] = F32x8(_mm256_permute2f128_ps(u1, u5, 0x20));
+        m[2] = F32x8(_mm256_permute2f128_ps(u2, u6, 0x20));
+        m[3] = F32x8(_mm256_permute2f128_ps(u3, u7, 0x20));
+        m[4] = F32x8(_mm256_permute2f128_ps(u0, u4, 0x31));
+        m[5] = F32x8(_mm256_permute2f128_ps(u1, u5, 0x31));
+        m[6] = F32x8(_mm256_permute2f128_ps(u2, u6, 0x31));
+        m[7] = F32x8(_mm256_permute2f128_ps(u3, u7, 0x31));
     }
 }

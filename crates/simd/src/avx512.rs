@@ -1,18 +1,20 @@
-//! AVX-512F implementation of [`SimdF64`]: 8 × f64 in a `__m512d`.
+//! AVX-512F implementations of [`Vector`]: 8 × f64 in a `__m512d` and
+//! 16 × f32 in a `__m512` (twice the lane width, same register width).
 //!
-//! `alignr` is a single `valignq` for every shift, so each assembled
-//! dependent vector costs one instruction (even cheaper than the paper's
-//! two-instruction AVX2 sequence).
+//! `alignr` is a single `valignq` (f64) / `valignd` (f32) for every
+//! shift, so each assembled dependent vector costs one instruction (even
+//! cheaper than the paper's two-instruction AVX2 sequence).
 //!
-//! The 8×8 transpose is `vl·log(vl) = 24` shuffles in three stages. In the
-//! paper's schedule (§3.5) the two lane-crossing stages (`vshuff64x2`)
-//! come first and the final stage is in-lane `vunpcklpd`/`vunpckhpd`,
-//! hiding the lane-crossing latency; the baseline schedule is the
-//! conventional unpack-first order with a lane-crossing final stage.
+//! The `vl × vl` transpose is `vl·log(vl)` shuffles: 24 for f64 in three
+//! stages, 64 for f32 in four. In the paper's schedule (§3.5) the
+//! lane-crossing stages (`vshuff64x2`/`vshuff32x4`) come first and the
+//! in-lane `vunpck*`/`vshufps` finish, hiding the lane-crossing latency;
+//! the baseline schedule is the conventional in-lane-first order with
+//! lane-crossing final stages.
 
 use core::arch::x86_64::*;
 
-use crate::vector::SimdF64;
+use crate::vector::Vector;
 
 /// 8 × f64 AVX-512 vector.
 #[derive(Copy, Clone)]
@@ -28,7 +30,8 @@ impl std::fmt::Debug for F64x8 {
     }
 }
 
-impl SimdF64 for F64x8 {
+impl Vector for F64x8 {
+    type Elem = f64;
     const LANES: usize = 8;
     const NAME: &'static str = "avx512";
 
@@ -169,5 +172,171 @@ impl SimdF64 for F64x8 {
         m[5] = F64x8(_mm512_shuffle_f64x2(u1, u5, 0xDD));
         m[6] = F64x8(_mm512_shuffle_f64x2(u2, u6, 0xDD));
         m[7] = F64x8(_mm512_shuffle_f64x2(u3, u7, 0xDD));
+    }
+}
+
+/// 16 × f32 AVX-512 vector — the f64 sibling's register at twice the lanes.
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x16(pub __m512);
+
+impl std::fmt::Debug for F32x16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = [0.0f32; 16];
+        // SAFETY: a value of this type only exists where AVX-512F is available.
+        unsafe { _mm512_storeu_ps(a.as_mut_ptr(), self.0) };
+        write!(f, "F32x16({a:?})")
+    }
+}
+
+impl Vector for F32x16 {
+    type Elem = f32;
+    const LANES: usize = 16;
+    const NAME: &'static str = "avx512";
+
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self {
+        F32x16(_mm512_set1_ps(x))
+    }
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const f32) -> Self {
+        debug_assert_eq!(ptr as usize % 64, 0, "unaligned aligned-load");
+        F32x16(_mm512_load_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn loadu(ptr: *const f32) -> Self {
+        F32x16(_mm512_loadu_ps(ptr))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f32) {
+        debug_assert_eq!(ptr as usize % 64, 0, "unaligned aligned-store");
+        _mm512_store_ps(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(self, ptr: *mut f32) {
+        _mm512_storeu_ps(ptr, self.0)
+    }
+
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F32x16(_mm512_add_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F32x16(_mm512_sub_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F32x16(_mm512_mul_ps(self.0, o.0))
+    }
+
+    #[inline(always)]
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self {
+        F32x16(_mm512_fmadd_ps(self.0, a.0, b.0))
+    }
+
+    #[inline(always)]
+    unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
+        // valignd concatenates hi:lo and shifts right by `o` dwords —
+        // one instruction per shift, same as the f64 valignq.
+        let (a, b) = (_mm512_castps_si512(hi.0), _mm512_castps_si512(lo.0));
+        let r = match o {
+            0 => return lo,
+            1 => _mm512_alignr_epi32(a, b, 1),
+            2 => _mm512_alignr_epi32(a, b, 2),
+            3 => _mm512_alignr_epi32(a, b, 3),
+            4 => _mm512_alignr_epi32(a, b, 4),
+            5 => _mm512_alignr_epi32(a, b, 5),
+            6 => _mm512_alignr_epi32(a, b, 6),
+            7 => _mm512_alignr_epi32(a, b, 7),
+            8 => _mm512_alignr_epi32(a, b, 8),
+            9 => _mm512_alignr_epi32(a, b, 9),
+            10 => _mm512_alignr_epi32(a, b, 10),
+            11 => _mm512_alignr_epi32(a, b, 11),
+            12 => _mm512_alignr_epi32(a, b, 12),
+            13 => _mm512_alignr_epi32(a, b, 13),
+            14 => _mm512_alignr_epi32(a, b, 14),
+            15 => _mm512_alignr_epi32(a, b, 15),
+            16 => return hi,
+            _ => unreachable!("alignr shift out of range"),
+        };
+        F32x16(_mm512_castsi512_ps(r))
+    }
+
+    #[inline(always)]
+    unsafe fn transpose(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 16);
+        let r: [__m512; 16] = std::array::from_fn(|i| m[i].0);
+        // Stage 1 (lane-crossing, distance 4): pair rows (k, k+4); imm
+        // 0x44 keeps both sources' low two 128-bit chunks, 0xEE the high.
+        let mut a = [_mm512_setzero_ps(); 4]; // chunks 0,1 of rows k,k+4
+        let mut b = [_mm512_setzero_ps(); 4]; // chunks 2,3 of rows k,k+4
+        let mut c = [_mm512_setzero_ps(); 4]; // chunks 0,1 of rows k+8,k+12
+        let mut d = [_mm512_setzero_ps(); 4]; // chunks 2,3 of rows k+8,k+12
+        for k in 0..4 {
+            a[k] = _mm512_shuffle_f32x4(r[k], r[k + 4], 0x44);
+            b[k] = _mm512_shuffle_f32x4(r[k], r[k + 4], 0xEE);
+            c[k] = _mm512_shuffle_f32x4(r[k + 8], r[k + 12], 0x44);
+            d[k] = _mm512_shuffle_f32x4(r[k + 8], r[k + 12], 0xEE);
+        }
+        // Stage 2 (lane-crossing, distance 8): imm 0x88 picks chunks 0,2
+        // of each source, 0xDD picks 1,3. h[i][k] now has chunk J equal to
+        // row (4J + k)'s 128-bit chunk i.
+        let mut h = [[_mm512_setzero_ps(); 4]; 4];
+        for k in 0..4 {
+            h[0][k] = _mm512_shuffle_f32x4(a[k], c[k], 0x88);
+            h[1][k] = _mm512_shuffle_f32x4(a[k], c[k], 0xDD);
+            h[2][k] = _mm512_shuffle_f32x4(b[k], d[k], 0x88);
+            h[3][k] = _mm512_shuffle_f32x4(b[k], d[k], 0xDD);
+        }
+        // Stages 3+4 (in-lane, single-cycle): 4×4 transpose within every
+        // 128-bit chunk while the lane-crossing stages drain.
+        for i in 0..4 {
+            let t0 = _mm512_unpacklo_ps(h[i][0], h[i][1]);
+            let t1 = _mm512_unpacklo_ps(h[i][2], h[i][3]);
+            let t2 = _mm512_unpackhi_ps(h[i][0], h[i][1]);
+            let t3 = _mm512_unpackhi_ps(h[i][2], h[i][3]);
+            m[4 * i] = F32x16(_mm512_shuffle_ps(t0, t1, 0x44));
+            m[4 * i + 1] = F32x16(_mm512_shuffle_ps(t0, t1, 0xEE));
+            m[4 * i + 2] = F32x16(_mm512_shuffle_ps(t2, t3, 0x44));
+            m[4 * i + 3] = F32x16(_mm512_shuffle_ps(t2, t3, 0xEE));
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn transpose_baseline(m: &mut [Self]) {
+        debug_assert_eq!(m.len(), 16);
+        let r: [__m512; 16] = std::array::from_fn(|i| m[i].0);
+        // Conventional order: in-lane 4×4 transposes first. u[4q + p] has
+        // chunk C equal to column (4C + p) of row quad q.
+        let mut u = [_mm512_setzero_ps(); 16];
+        for q in 0..4 {
+            let t0 = _mm512_unpacklo_ps(r[4 * q], r[4 * q + 1]);
+            let t1 = _mm512_unpacklo_ps(r[4 * q + 2], r[4 * q + 3]);
+            let t2 = _mm512_unpackhi_ps(r[4 * q], r[4 * q + 1]);
+            let t3 = _mm512_unpackhi_ps(r[4 * q + 2], r[4 * q + 3]);
+            u[4 * q] = _mm512_shuffle_ps(t0, t1, 0x44);
+            u[4 * q + 1] = _mm512_shuffle_ps(t0, t1, 0xEE);
+            u[4 * q + 2] = _mm512_shuffle_ps(t2, t3, 0x44);
+            u[4 * q + 3] = _mm512_shuffle_ps(t2, t3, 0xEE);
+        }
+        // ...then two lane-crossing stages gather chunk I of u[4J+p]
+        // across J, leaving vshuff32x4 latency exposed at the end.
+        for p in 0..4 {
+            let w0 = _mm512_shuffle_f32x4(u[p], u[4 + p], 0x44);
+            let w1 = _mm512_shuffle_f32x4(u[8 + p], u[12 + p], 0x44);
+            let w2 = _mm512_shuffle_f32x4(u[p], u[4 + p], 0xEE);
+            let w3 = _mm512_shuffle_f32x4(u[8 + p], u[12 + p], 0xEE);
+            m[p] = F32x16(_mm512_shuffle_f32x4(w0, w1, 0x88));
+            m[4 + p] = F32x16(_mm512_shuffle_f32x4(w0, w1, 0xDD));
+            m[8 + p] = F32x16(_mm512_shuffle_f32x4(w2, w3, 0x88));
+            m[12 + p] = F32x16(_mm512_shuffle_f32x4(w2, w3, 0xDD));
+        }
     }
 }

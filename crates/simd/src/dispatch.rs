@@ -1,20 +1,28 @@
 //! Runtime ISA selection and kernel dispatch.
 
+use crate::elem::{Dtype, Elem};
+
 /// Instruction-set architecture a kernel is monomorphized for.
 ///
-/// `Portable4`/`Portable8` run everywhere and mirror the AVX2/AVX-512 lane
-/// widths; they serve as fallbacks and as test oracles. The benchmark
-/// harness selects `Avx2` and `Avx512` explicitly to reproduce the paper's
-/// two instruction-set columns on one machine.
+/// An `Isa` names a **register-width class**, not a lane count: `Avx2` /
+/// `Portable4` are the 256-bit class (4 × f64 or 8 × f32 lanes), `Avx512` /
+/// `Portable8` the 512-bit class (8 × f64 or 16 × f32). Use
+/// [`Isa::lanes_for`] / [`Isa::lanes_of`] for the element-dependent lane
+/// count; the legacy [`Isa::lanes`] keeps its original f64 meaning.
+///
+/// `Portable4`/`Portable8` run everywhere and mirror the AVX2/AVX-512
+/// register widths; they serve as fallbacks and as test oracles. The
+/// benchmark harness selects `Avx2` and `Avx512` explicitly to reproduce
+/// the paper's two instruction-set columns on one machine.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Isa {
-    /// Portable 4-lane implementation (no special CPU features).
+    /// Portable 256-bit-class implementation (no special CPU features).
     Portable4,
-    /// Portable 8-lane implementation (no special CPU features).
+    /// Portable 512-bit-class implementation (no special CPU features).
     Portable8,
-    /// AVX2 + FMA, 4 × f64.
+    /// AVX2 + FMA: 4 × f64 / 8 × f32.
     Avx2,
-    /// AVX-512F, 8 × f64.
+    /// AVX-512F: 8 × f64 / 16 × f32.
     Avx512,
 }
 
@@ -46,11 +54,42 @@ impl Isa {
         }
     }
 
-    /// Vector length in f64 lanes (the paper's `vl`).
-    pub fn lanes(self) -> usize {
+    /// Vector register width in bytes (32 for the AVX2 class, 64 for the
+    /// AVX-512 class).
+    pub fn width_bytes(self) -> usize {
         match self {
-            Isa::Portable4 | Isa::Avx2 => 4,
-            Isa::Portable8 | Isa::Avx512 => 8,
+            Isa::Portable4 | Isa::Avx2 => 32,
+            Isa::Portable8 | Isa::Avx512 => 64,
+        }
+    }
+
+    /// Vector length in **f64** lanes (the paper's `vl` in its f64
+    /// setting). Kept for the f64-only call sites; element-generic code
+    /// must use [`Isa::lanes_for`].
+    pub fn lanes(self) -> usize {
+        self.width_bytes() / 8
+    }
+
+    /// Vector length in lanes of element `T` (the paper's `vl`): twice
+    /// [`Isa::lanes`] for f32.
+    pub fn lanes_for<T: Elem>(self) -> usize {
+        self.width_bytes() / std::mem::size_of::<T>()
+    }
+
+    /// Vector length in lanes of a runtime [`Dtype`].
+    pub fn lanes_of(self, dtype: Dtype) -> usize {
+        self.width_bytes() / dtype.size()
+    }
+
+    /// The next-narrower register class with the same portability
+    /// (AVX-512 → AVX2, portable-8 → portable-4), or `None` from the
+    /// 256-bit class. Plan building steps down this ladder when a grid
+    /// row is too short to hold one full `vl²` vector set.
+    pub fn narrower(self) -> Option<Isa> {
+        match self {
+            Isa::Avx512 => Some(Isa::Avx2),
+            Isa::Portable8 => Some(Isa::Portable4),
+            Isa::Avx2 | Isa::Portable4 => None,
         }
     }
 
@@ -84,20 +123,26 @@ impl std::str::FromStr for Isa {
     }
 }
 
-/// Dispatch a generic kernel over a runtime [`Isa`].
+/// Dispatch a generic kernel over a runtime [`Isa`] (f64 form).
 ///
 /// `dispatch!(isa, V => expr)` expands to a `match` whose AVX arms evaluate
 /// `expr` inside a `#[target_feature]`-annotated entry function, with the
-/// type alias `V` bound to the ISA's vector type. `expr` is evaluated in an
-/// `unsafe`, feature-enabled context; the expression (typically a call to a
-/// generic kernel monomorphized on `V`) must be `#[inline(always)]` all the
-/// way down so the feature context reaches the intrinsics.
+/// type alias `V` bound to the ISA's **f64** vector type. `expr` is
+/// evaluated in an `unsafe`, feature-enabled context; the expression
+/// (typically a call to a generic kernel monomorphized on `V`) must be
+/// `#[inline(always)]` all the way down so the feature context reaches the
+/// intrinsics.
 ///
 /// The macro asserts availability at runtime before entering an AVX arm, so
 /// executing the feature-gated code is sound. On non-x86 targets the AVX
-/// arms compile to the portable vector of the same lane width instead, so
-/// the same generic code builds and runs everywhere (the portable types
+/// arms compile to the portable vector of the same register width instead,
+/// so the same generic code builds and runs everywhere (the portable types
 /// are also the test oracles — numerics are identical).
+///
+/// This form binds `V` with a local `type` alias, which a function generic
+/// over an element type `T` cannot do (type aliases cannot capture outer
+/// generics) — element-generic call sites use
+/// [`dispatch_elem!`](crate::dispatch_elem) instead.
 #[macro_export]
 macro_rules! dispatch {
     ($isa:expr, $V:ident => $e:expr) => {{
@@ -153,7 +198,7 @@ macro_rules! dispatch {
             // On non-x86 targets the AVX ISAs are never available
             // (`is_available` is false, `detect_best` skips them); if a
             // caller dispatches one anyway, fall back to the portable
-            // vector of the same lane width so generic code keeps
+            // vector of the same register width so generic code keeps
             // working — same numerics, no UB, just no intrinsics.
             #[cfg(not(target_arch = "x86_64"))]
             $crate::Isa::Avx2 => {
@@ -169,6 +214,94 @@ macro_rules! dispatch {
                 #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
                 unsafe {
                     $e
+                }
+            }
+        }
+    }};
+}
+
+/// Dispatch one generic kernel **call** over a runtime [`Isa`] for any
+/// element type `T: Elem` — the element-generic sibling of
+/// [`dispatch!`](crate::dispatch).
+///
+/// Because a `type V = <T as Elem>::V256;` alias inside a `T`-generic
+/// function is rejected by the compiler (type aliases cannot capture outer
+/// generics), this form takes a single *call expression* whose first
+/// generic argument is the literal ident `V`, and substitutes the ISA's
+/// vector type for `V` in expression position (where outer generics are
+/// allowed):
+///
+/// ```ignore
+/// dispatch_elem!(isa, T, orig::star2_orig::<V, S, true>(src, dst, rs, y0, y1, x0, x1, s))
+/// ```
+///
+/// expands to `orig::star2_orig::<<T as Elem>::V256, S, true>(...)` in the
+/// AVX2 arm (inside the `#[target_feature]` entry point), and likewise per
+/// arm. Multi-statement bodies must be hoisted into a named generic
+/// function first — which also guarantees the feature context propagates.
+#[macro_export]
+macro_rules! dispatch_elem {
+    ($isa:expr, $T:ty, $($p:ident)::+ ::<V $(, $g:tt)*>($($arg:expr),* $(,)?)) => {{
+        match $isa {
+            $crate::Isa::Portable4 => {
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $($p)::+::<<$T as $crate::Elem>::P256 $(, $g)*>($($arg),*)
+                }
+            }
+            $crate::Isa::Portable8 => {
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $($p)::+::<<$T as $crate::Elem>::P512 $(, $g)*>($($arg),*)
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            $crate::Isa::Avx2 => {
+                assert!(
+                    $crate::Isa::Avx2.is_available(),
+                    "AVX2+FMA not available on this CPU"
+                );
+                #[target_feature(enable = "avx2,fma")]
+                unsafe fn __avx2_entry<R, F: FnOnce() -> R>(f: F) -> R {
+                    f()
+                }
+                // SAFETY: availability asserted above.
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    __avx2_entry(|| $($p)::+::<<$T as $crate::Elem>::V256 $(, $g)*>($($arg),*))
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            $crate::Isa::Avx512 => {
+                assert!(
+                    $crate::Isa::Avx512.is_available(),
+                    "AVX-512F not available on this CPU"
+                );
+                #[target_feature(enable = "avx512f")]
+                unsafe fn __avx512_entry<R, F: FnOnce() -> R>(f: F) -> R {
+                    f()
+                }
+                // SAFETY: availability asserted above.
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    __avx512_entry(|| $($p)::+::<<$T as $crate::Elem>::V512 $(, $g)*>($($arg),*))
+                }
+            }
+            // Non-x86: the Elem associated types V256/V512 already point at
+            // the portable vectors, so the AVX arms compile to the same
+            // fallback without any feature gate.
+            #[cfg(not(target_arch = "x86_64"))]
+            $crate::Isa::Avx2 => {
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $($p)::+::<<$T as $crate::Elem>::V256 $(, $g)*>($($arg),*)
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            $crate::Isa::Avx512 => {
+                #[allow(unused_unsafe, clippy::macro_metavars_in_unsafe)]
+                unsafe {
+                    $($p)::+::<<$T as $crate::Elem>::V512 $(, $g)*>($($arg),*)
                 }
             }
         }
@@ -194,6 +327,17 @@ mod tests {
     }
 
     #[test]
+    fn lanes_for_doubles_at_f32() {
+        for isa in Isa::ALL {
+            assert_eq!(isa.lanes_for::<f64>(), isa.lanes(), "{isa}");
+            assert_eq!(isa.lanes_for::<f32>(), 2 * isa.lanes(), "{isa}");
+            assert_eq!(isa.lanes_of(Dtype::F64), isa.lanes_for::<f64>(), "{isa}");
+            assert_eq!(isa.lanes_of(Dtype::F32), isa.lanes_for::<f32>(), "{isa}");
+            assert_eq!(isa.width_bytes() % 32, 0, "{isa}");
+        }
+    }
+
+    #[test]
     fn parse_roundtrip() {
         for isa in Isa::ALL {
             let s = isa.name();
@@ -206,6 +350,16 @@ mod tests {
     fn portable_always_available() {
         assert!(Isa::Portable4.is_available());
         assert!(Isa::Portable8.is_available());
+    }
+
+    /// A tiny generic "kernel" used to prove `dispatch_elem!` substitutes
+    /// the right vector type from inside a `T`-generic function.
+    unsafe fn lane_count<V: crate::Vector>() -> usize {
+        V::LANES
+    }
+
+    fn lanes_via_dispatch_elem<T: crate::Elem>(isa: Isa) -> usize {
+        crate::dispatch_elem!(isa, T, lane_count::<V>())
     }
 
     /// Cfg-matrix portability check (stands in for a cross-compile when
@@ -227,18 +381,33 @@ mod tests {
         }
 
         // Every available ISA must round a value through dispatch with
-        // the right lane count.
+        // the right lane count, at both element widths.
         for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
-            let lanes = crate::dispatch!(isa, V => <V as crate::SimdF64>::LANES);
+            let lanes = crate::dispatch!(isa, V => <V as crate::Vector>::LANES);
             assert_eq!(lanes, isa.lanes(), "{isa}");
+            assert_eq!(
+                lanes_via_dispatch_elem::<f64>(isa),
+                isa.lanes(),
+                "{isa} f64"
+            );
+            assert_eq!(
+                lanes_via_dispatch_elem::<f32>(isa),
+                isa.lanes_for::<f32>(),
+                "{isa} f32"
+            );
         }
 
         // On non-x86, dispatching an AVX ISA anyway must cleanly fall
-        // back to the portable vector of the same width (F64xP).
+        // back to the portable vector of the same width.
         #[cfg(not(target_arch = "x86_64"))]
         for isa in [Isa::Avx2, Isa::Avx512] {
-            let lanes = crate::dispatch!(isa, V => <V as crate::SimdF64>::LANES);
+            let lanes = crate::dispatch!(isa, V => <V as crate::Vector>::LANES);
             assert_eq!(lanes, isa.lanes(), "{isa} portable fallback");
+            assert_eq!(
+                lanes_via_dispatch_elem::<f32>(isa),
+                isa.lanes_for::<f32>(),
+                "{isa} f32 portable fallback"
+            );
         }
     }
 }

@@ -1,0 +1,237 @@
+//! The [`Elem`] trait: the element type as a first-class parameter of
+//! the SIMD substrate.
+//!
+//! Every layer of the stencil pipeline — vectors, buffers, grids,
+//! kernels, plans — is generic over one scalar element type `T: Elem`.
+//! Two instantiations exist: `f64` (the paper's setting, and the default
+//! type parameter everywhere so existing code is unchanged) and `f32`,
+//! which runs at **twice the lane width** for the same register width
+//! (AVX2: 8 lanes, AVX-512: 16, portable fallbacks included).
+//!
+//! The trait carries three things:
+//!
+//! * scalar arithmetic (`mul_add`, `abs`, conversions) so the scalar
+//!   oracle kernels stay generic and bit-compatible with the vector
+//!   paths of the same element type;
+//! * the per-ISA vector family (one [`Vector`] type per register-width
+//!   class) so [`dispatch!`](crate::dispatch) can monomorphize a generic
+//!   kernel for `(element, ISA)` pairs;
+//! * layout constants ([`Elem::PAD`]) so grid geometry keeps every
+//!   vector access 64-byte aligned regardless of element width.
+//!
+//! Stencil *weights* remain `f64` end to end; they are converted to the
+//! element type once, at splat/setup time ([`Elem::from_f64`], identity
+//! for `f64`), so the scalar and vector paths of an element type round
+//! weights identically.
+
+use crate::vector::Vector;
+
+/// Runtime tag for an element type — the erased-API counterpart of the
+/// `T: Elem` parameter (what `StencilSpec`'s `dtype` field and
+/// `AnyGrid` variants carry).
+///
+/// Parses from and prints as the Rust type name:
+///
+/// ```
+/// use stencil_simd::Dtype;
+/// assert_eq!("f32".parse::<Dtype>().unwrap(), Dtype::F32);
+/// assert_eq!(Dtype::F64.to_string(), "f64");
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 64-bit IEEE-754 (the paper's setting, and the default).
+    #[default]
+    F64,
+    /// 32-bit IEEE-754, at twice the lane width.
+    F32,
+}
+
+impl Dtype {
+    /// Element size in bytes (8 or 4).
+    #[inline]
+    pub fn size(self) -> usize {
+        match self {
+            Dtype::F64 => 8,
+            Dtype::F32 => 4,
+        }
+    }
+
+    /// Short name ("f64" / "f32").
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F64 => "f64",
+            Dtype::F32 => "f32",
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dtype {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f64" => Ok(Dtype::F64),
+            "f32" => Ok(Dtype::F32),
+            _ => Err(format!("unknown dtype '{s}'")),
+        }
+    }
+}
+
+/// A scalar element type the whole pipeline can be instantiated at.
+///
+/// Implemented for `f64` and `f32`. The arithmetic super-traits let
+/// generic scalar kernels use ordinary operators; [`Elem::mul_add`] is
+/// the fused accumulation primitive that keeps the scalar oracle
+/// bit-compatible with the FMA vector paths of the same element type.
+pub trait Elem:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + Default
+    + 'static
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The runtime tag for this element type.
+    const DTYPE: Dtype;
+    /// Halo pad and row-stride quantum in **elements**: 64 bytes' worth
+    /// (8 for `f64`, 16 for `f32`), which is simultaneously one cache
+    /// line, the widest vector of this element type, and ≥ `MAX_R` —
+    /// so interiors stay 64-byte aligned at every element width.
+    const PAD: usize;
+
+    /// The 256-bit native vector (AVX2 + FMA on x86-64; the narrow
+    /// portable vector elsewhere).
+    type V256: Vector<Elem = Self>;
+    /// The 512-bit native vector (AVX-512F on x86-64; the wide portable
+    /// vector elsewhere).
+    type V512: Vector<Elem = Self>;
+    /// The 256-bit-class portable vector (always available; oracle).
+    type P256: Vector<Elem = Self>;
+    /// The 512-bit-class portable vector (always available; oracle).
+    type P512: Vector<Elem = Self>;
+
+    /// Convert an `f64` (the weight storage type) into this element —
+    /// identity for `f64`, one rounding for `f32`. This is the single
+    /// conversion point for stencil weights, so every kernel of one
+    /// element type sees identical weight bits.
+    fn from_f64(x: f64) -> Self;
+
+    /// Widen to `f64` (exact for both instantiations).
+    fn to_f64(self) -> f64;
+
+    /// Fused multiply-add `self * a + b` with a single rounding.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// IEEE maximum of two values.
+    fn max(self, o: Self) -> Self;
+}
+
+impl Elem for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: Dtype = Dtype::F64;
+    const PAD: usize = 8;
+
+    #[cfg(target_arch = "x86_64")]
+    type V256 = crate::F64x4;
+    #[cfg(not(target_arch = "x86_64"))]
+    type V256 = crate::P4;
+    #[cfg(target_arch = "x86_64")]
+    type V512 = crate::F64x8;
+    #[cfg(not(target_arch = "x86_64"))]
+    type V512 = crate::P8;
+    type P256 = crate::P4;
+    type P512 = crate::P8;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        f64::max(self, o)
+    }
+}
+
+impl Elem for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: Dtype = Dtype::F32;
+    const PAD: usize = 16;
+
+    #[cfg(target_arch = "x86_64")]
+    type V256 = crate::F32x8;
+    #[cfg(not(target_arch = "x86_64"))]
+    type V256 = crate::P8f;
+    #[cfg(target_arch = "x86_64")]
+    type V512 = crate::F32x16;
+    #[cfg(not(target_arch = "x86_64"))]
+    type V512 = crate::P16f;
+    type P256 = crate::P8f;
+    type P512 = crate::P16f;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        f32::max(self, o)
+    }
+}

@@ -5,11 +5,17 @@
 //! IPDPS 2022).
 //!
 //! This crate provides everything the stencil kernels need from the ISA,
-//! behind one trait ([`SimdF64`]) with three implementations:
+//! behind one element-generic trait ([`Vector`]) with per-element per-ISA
+//! implementations (the element types are described by [`Elem`], with
+//! `f64` and `f32` instantiations — f32 at **twice the lane width** for
+//! the same register width):
 //!
-//! * [`F64x4`] — AVX2 + FMA, 4 × f64 lanes (`__m256d`),
-//! * [`F64x8`] — AVX-512F, 8 × f64 lanes (`__m512d`),
-//! * [`F64xP`] — portable const-generic fallback (also the test oracle).
+//! * [`F64x4`] / [`F32x8`] — AVX2 + FMA, one 256-bit register
+//!   (`__m256d` / `__m256`), 4 × f64 or 8 × f32 lanes,
+//! * [`F64x8`] / [`F32x16`] — AVX-512F, one 512-bit register
+//!   (`__m512d` / `__m512`), 8 × f64 or 16 × f32 lanes,
+//! * [`Pvec`] — portable const-generic fallback for every (element,
+//!   width) pair (also the test oracle).
 //!
 //! The paper-specific primitives live here too:
 //!
@@ -21,12 +27,16 @@
 //! * the **`Assemble`** operation (Fig. 3 / Algorithm 1): building the
 //!   left/right dependent vector of a vector set from two aligned vectors
 //!   with one blend and one lane rotation (exposed as the more general
-//!   [`SimdF64::alignr`]);
+//!   [`Vector::alignr`]);
 //! * 64-byte [`AlignedBuf`] allocation so every vector-set load/store is an
 //!   aligned access (the paper aligns vector sets to 32-byte boundaries;
-//!   we use 64 to cover AVX-512 as well);
-//! * runtime [`Isa`] detection and a dispatch macro that monomorphizes a
-//!   generic kernel for each ISA behind `#[target_feature]` entry points.
+//!   we use 64 to cover AVX-512 as well — and 64 divides evenly into both
+//!   element sizes);
+//! * runtime [`Isa`] detection and dispatch macros that monomorphize a
+//!   generic kernel for each (ISA, element) pair behind `#[target_feature]`
+//!   entry points ([`dispatch!`](crate::dispatch) for the f64 default,
+//!   [`dispatch_elem!`](crate::dispatch_elem) for element-generic call
+//!   sites).
 //!
 //! ## Safety model
 //!
@@ -34,7 +44,7 @@
 //! a CPU without that feature is undefined behaviour. The contract is that a
 //! value of an ISA-specific vector type is only *created and used* inside a
 //! function annotated with the matching `#[target_feature]`, which the
-//! [`dispatch!`](crate::dispatch) macro guarantees by construction (it checks
+//! dispatch macros guarantee by construction (they check
 //! [`Isa::is_available`] before entering the feature-gated entry point).
 //! Every call chain below the entry point is `#[inline(always)]` so the
 //! feature context propagates to the intrinsics.
@@ -47,7 +57,7 @@
 // Every `unsafe fn` in this crate shares the single safety contract spelled
 // out in the module docs above (callers must be inside the matching
 // `#[target_feature]` context; pointers valid per the kernel geometry).
-// Repeating a one-line `# Safety` section on all 17 trait methods adds
+// Repeating a one-line `# Safety` section on all trait methods adds
 // noise, not information.
 #![allow(clippy::missing_safety_doc)]
 
@@ -57,17 +67,19 @@ mod avx2;
 #[cfg(target_arch = "x86_64")]
 mod avx512;
 mod dispatch;
+mod elem;
 mod portable;
 mod vector;
 
 pub use alloc::{AlignedBuf, ALIGN};
 #[cfg(target_arch = "x86_64")]
-pub use avx2::F64x4;
+pub use avx2::{F32x8, F64x4};
 #[cfg(target_arch = "x86_64")]
-pub use avx512::F64x8;
+pub use avx512::{F32x16, F64x8};
 pub use dispatch::Isa;
-pub use portable::{F64xP, P4, P8};
-pub use vector::SimdF64;
+pub use elem::{Dtype, Elem};
+pub use portable::{F64xP, P16f, P8f, Pvec, P4, P8};
+pub use vector::Vector;
 
 #[cfg(test)]
 mod tests;

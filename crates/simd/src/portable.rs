@@ -1,50 +1,63 @@
-//! Portable const-generic implementation of [`SimdF64`].
+//! Portable const-generic implementation of [`Vector`].
 //!
 //! This is both the fallback for non-x86 targets and the oracle the
 //! property tests compare the intrinsic implementations against. Its
-//! `mul_add` uses `f64::mul_add`, so accumulation is bit-identical to the
-//! FMA hardware paths for the same evaluation order.
+//! `mul_add` uses the element's scalar `mul_add`, so accumulation is
+//! bit-identical to the FMA hardware paths for the same evaluation order.
+//!
+//! One generic `Pvec<T, L>` covers every (element, width) pair; the
+//! aliases below pin the four register-width-class instantiations.
 
-use crate::vector::SimdF64;
+use crate::elem::Elem;
+use crate::vector::Vector;
 
-/// Portable vector of `L` f64 lanes backed by a plain array.
+/// Portable vector of `L` lanes of element `T`, backed by a plain array.
 #[derive(Copy, Clone, Debug, PartialEq)]
 #[repr(C, align(32))]
-pub struct F64xP<const L: usize>(pub [f64; L]);
+pub struct Pvec<T, const L: usize>(pub [T; L]);
 
-/// Portable 4-lane vector (AVX2-width oracle).
-pub type P4 = F64xP<4>;
-/// Portable 8-lane vector (AVX-512-width oracle).
-pub type P8 = F64xP<8>;
+/// Portable f64 vector of `L` lanes (legacy name, kept for the paper-era
+/// f64 call sites and tests).
+pub type F64xP<const L: usize> = Pvec<f64, L>;
 
-impl<const L: usize> SimdF64 for F64xP<L> {
+/// Portable 4 × f64 vector (AVX2-width oracle).
+pub type P4 = Pvec<f64, 4>;
+/// Portable 8 × f64 vector (AVX-512-width oracle).
+pub type P8 = Pvec<f64, 8>;
+/// Portable 8 × f32 vector (AVX2-width oracle, twice the f64 lane count).
+pub type P8f = Pvec<f32, 8>;
+/// Portable 16 × f32 vector (AVX-512-width oracle, twice the f64 lane count).
+pub type P16f = Pvec<f32, 16>;
+
+impl<T: Elem, const L: usize> Vector for Pvec<T, L> {
+    type Elem = T;
     const LANES: usize = L;
     const NAME: &'static str = "portable";
 
     #[inline(always)]
-    unsafe fn splat(x: f64) -> Self {
-        F64xP([x; L])
+    unsafe fn splat(x: T) -> Self {
+        Pvec([x; L])
     }
 
     #[inline(always)]
-    unsafe fn load(ptr: *const f64) -> Self {
+    unsafe fn load(ptr: *const T) -> Self {
         Self::loadu(ptr)
     }
 
     #[inline(always)]
-    unsafe fn loadu(ptr: *const f64) -> Self {
-        let mut a = [0.0; L];
+    unsafe fn loadu(ptr: *const T) -> Self {
+        let mut a = [T::ZERO; L];
         std::ptr::copy_nonoverlapping(ptr, a.as_mut_ptr(), L);
-        F64xP(a)
+        Pvec(a)
     }
 
     #[inline(always)]
-    unsafe fn store(self, ptr: *mut f64) {
+    unsafe fn store(self, ptr: *mut T) {
         self.storeu(ptr)
     }
 
     #[inline(always)]
-    unsafe fn storeu(self, ptr: *mut f64) {
+    unsafe fn storeu(self, ptr: *mut T) {
         std::ptr::copy_nonoverlapping(self.0.as_ptr(), ptr, L);
     }
 
@@ -54,7 +67,7 @@ impl<const L: usize> SimdF64 for F64xP<L> {
         for i in 0..L {
             a[i] += o.0[i];
         }
-        F64xP(a)
+        Pvec(a)
     }
 
     #[inline(always)]
@@ -63,7 +76,7 @@ impl<const L: usize> SimdF64 for F64xP<L> {
         for i in 0..L {
             a[i] -= o.0[i];
         }
-        F64xP(a)
+        Pvec(a)
     }
 
     #[inline(always)]
@@ -72,22 +85,22 @@ impl<const L: usize> SimdF64 for F64xP<L> {
         for i in 0..L {
             a[i] *= o.0[i];
         }
-        F64xP(a)
+        Pvec(a)
     }
 
     #[inline(always)]
     unsafe fn mul_add(self, a: Self, b: Self) -> Self {
-        let mut r = [0.0; L];
+        let mut r = [T::ZERO; L];
         for i in 0..L {
             r[i] = self.0[i].mul_add(a.0[i], b.0[i]);
         }
-        F64xP(r)
+        Pvec(r)
     }
 
     #[inline(always)]
     unsafe fn alignr(hi: Self, lo: Self, o: usize) -> Self {
         debug_assert!(o <= L);
-        let mut r = [0.0; L];
+        let mut r = [T::ZERO; L];
         for i in 0..L {
             r[i] = if i + o < L {
                 lo.0[i + o]
@@ -95,7 +108,7 @@ impl<const L: usize> SimdF64 for F64xP<L> {
                 hi.0[i + o - L]
             };
         }
-        F64xP(r)
+        Pvec(r)
     }
 
     #[inline(always)]
@@ -123,8 +136,8 @@ mod tests {
     #[test]
     fn alignr_matches_definition() {
         unsafe {
-            let lo = F64xP([0.0, 1.0, 2.0, 3.0]);
-            let hi = F64xP([4.0, 5.0, 6.0, 7.0]);
+            let lo = Pvec([0.0, 1.0, 2.0, 3.0]);
+            let hi = Pvec([4.0, 5.0, 6.0, 7.0]);
             for o in 0..=4 {
                 let r = P4::alignr(hi, lo, o);
                 for i in 0..4 {
@@ -136,11 +149,25 @@ mod tests {
     }
 
     #[test]
+    fn alignr_matches_definition_f32x8() {
+        unsafe {
+            let lo = Pvec(std::array::from_fn::<f32, 8, _>(|i| i as f32));
+            let hi = Pvec(std::array::from_fn::<f32, 8, _>(|i| (i + 8) as f32));
+            for o in 0..=8 {
+                let r = P8f::alignr(hi, lo, o);
+                for i in 0..8 {
+                    assert_eq!(r.0[i], (i + o) as f32, "o={o} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn assemble_left_right() {
         unsafe {
-            let prev = F64xP([10.0, 11.0, 12.0, 13.0]);
-            let cur = F64xP([0.0, 1.0, 2.0, 3.0]);
-            let next = F64xP([20.0, 21.0, 22.0, 23.0]);
+            let prev = Pvec([10.0, 11.0, 12.0, 13.0]);
+            let cur = Pvec([0.0, 1.0, 2.0, 3.0]);
+            let next = Pvec([20.0, 21.0, 22.0, 23.0]);
             assert_eq!(P4::assemble_left(prev, cur).0, [13.0, 0.0, 1.0, 2.0]);
             assert_eq!(P4::assemble_right(cur, next).0, [1.0, 2.0, 3.0, 20.0]);
         }
@@ -150,16 +177,30 @@ mod tests {
     fn transpose_4x4() {
         unsafe {
             let mut m = [
-                F64xP([0.0, 1.0, 2.0, 3.0]),
-                F64xP([4.0, 5.0, 6.0, 7.0]),
-                F64xP([8.0, 9.0, 10.0, 11.0]),
-                F64xP([12.0, 13.0, 14.0, 15.0]),
+                Pvec([0.0, 1.0, 2.0, 3.0]),
+                Pvec([4.0, 5.0, 6.0, 7.0]),
+                Pvec([8.0, 9.0, 10.0, 11.0]),
+                Pvec([12.0, 13.0, 14.0, 15.0]),
             ];
             P4::transpose(&mut m);
             assert_eq!(m[0].0, [0.0, 4.0, 8.0, 12.0]);
             assert_eq!(m[1].0, [1.0, 5.0, 9.0, 13.0]);
             assert_eq!(m[2].0, [2.0, 6.0, 10.0, 14.0]);
             assert_eq!(m[3].0, [3.0, 7.0, 11.0, 15.0]);
+        }
+    }
+
+    #[test]
+    fn transpose_16x16_f32() {
+        unsafe {
+            let mut m: [P16f; 16] =
+                std::array::from_fn(|r| Pvec(std::array::from_fn(|c| (r * 16 + c) as f32)));
+            P16f::transpose(&mut m);
+            for r in 0..16 {
+                for c in 0..16 {
+                    assert_eq!(m[r].0[c], (c * 16 + r) as f32, "r={r} c={c}");
+                }
+            }
         }
     }
 
@@ -172,6 +213,18 @@ mod tests {
             let c = P4::splat(-1.0);
             let r = P4::mul_add(a, b, c);
             let expect = (1.0 + 2f64.powi(-30)).mul_add(1.0 + 2f64.powi(-30), -1.0);
+            assert_eq!(r.0[0], expect);
+        }
+    }
+
+    #[test]
+    fn mul_add_is_fused_f32() {
+        unsafe {
+            let a = P8f::splat(1.0 + 2f32.powi(-15));
+            let b = P8f::splat(1.0 + 2f32.powi(-15));
+            let c = P8f::splat(-1.0);
+            let r = P8f::mul_add(a, b, c);
+            let expect = (1.0 + 2f32.powi(-15)).mul_add(1.0 + 2f32.powi(-15), -1.0);
             assert_eq!(r.0[0], expect);
         }
     }

@@ -1,66 +1,74 @@
 //! Cross-ISA tests: every intrinsic implementation must agree with the
-//! portable oracle for every operation, shift, and transpose schedule.
+//! portable oracle for every operation, shift, and transpose schedule —
+//! at both element widths (f64 and f32).
 
-use crate::{dispatch, AlignedBuf, Isa, SimdF64};
+use crate::{dispatch_elem, AlignedBuf, Elem, Isa, Vector};
+
+unsafe fn go_alignr<V: Vector>(
+    lo: *const V::Elem,
+    hi: *const V::Elem,
+    o: usize,
+    out: *mut V::Elem,
+) {
+    let lo = V::loadu(lo);
+    let hi = V::loadu(hi);
+    V::alignr(hi, lo, o).storeu(out);
+}
 
 /// Run `alignr(hi, lo, o)` for one ISA and return the lanes.
-fn alignr_via(isa: Isa, lo: &[f64], hi: &[f64], o: usize) -> Vec<f64> {
-    let l = isa.lanes();
+fn alignr_via<T: Elem>(isa: Isa, lo: &[T], hi: &[T], o: usize) -> Vec<T> {
+    let l = isa.lanes_for::<T>();
     assert_eq!(lo.len(), l);
     assert_eq!(hi.len(), l);
-    let mut out = vec![0.0; l];
-    dispatch!(isa, V => {
-        #[inline(always)]
-        unsafe fn go<V: SimdF64>(lo: &[f64], hi: &[f64], o: usize, out: &mut [f64]) {
-            let lo = V::read_from(lo);
-            let hi = V::read_from(hi);
-            V::alignr(hi, lo, o).write_to(out);
-        }
-        go::<V>(lo, hi, o, &mut out)
-    });
+    let mut out = vec![T::ZERO; l];
+    let (lp, hp, op) = (lo.as_ptr(), hi.as_ptr(), out.as_mut_ptr());
+    dispatch_elem!(isa, T, go_alignr::<V>(lp, hp, o, op));
     out
 }
 
+unsafe fn go_transpose<V: Vector>(src: *const V::Elem, dst: *mut V::Elem, baseline: bool) {
+    let l = V::LANES;
+    let mut m: Vec<V> = (0..l).map(|i| V::load(src.add(i * l))).collect();
+    if baseline {
+        V::transpose_baseline(&mut m);
+    } else {
+        V::transpose(&mut m);
+    }
+    for (i, v) in m.into_iter().enumerate() {
+        v.store(dst.add(i * l));
+    }
+}
+
 /// Transpose an `l*l` matrix (row-major) in-register for one ISA.
-fn transpose_via(isa: Isa, data: &[f64], baseline: bool) -> Vec<f64> {
-    let l = isa.lanes();
+fn transpose_via<T: Elem>(isa: Isa, data: &[T], baseline: bool) -> Vec<T> {
+    let l = isa.lanes_for::<T>();
     assert_eq!(data.len(), l * l);
     let src = AlignedBuf::from_slice(data);
     let mut dst = AlignedBuf::zeroed(l * l);
-    dispatch!(isa, V => {
-        #[inline(always)]
-        unsafe fn go<V: SimdF64>(src: &[f64], dst: &mut [f64], baseline: bool) {
-            let l = V::LANES;
-            let mut m: Vec<V> = (0..l).map(|i| V::load(src.as_ptr().add(i * l))).collect();
-            if baseline {
-                V::transpose_baseline(&mut m);
-            } else {
-                V::transpose(&mut m);
-            }
-            for (i, v) in m.into_iter().enumerate() {
-                v.store(dst.as_mut_ptr().add(i * l));
-            }
-        }
-        go::<V>(&src, &mut dst, baseline)
-    });
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    dispatch_elem!(isa, T, go_transpose::<V>(sp, dp, baseline));
     dst.as_slice().to_vec()
 }
 
-fn arith_via(isa: Isa, a: &[f64], b: &[f64], c: &[f64]) -> Vec<f64> {
-    let l = isa.lanes();
-    let mut out = vec![0.0; 4 * l];
-    dispatch!(isa, V => {
-        #[inline(always)]
-        unsafe fn go<V: SimdF64>(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
-            let l = V::LANES;
-            let (a, b, c) = (V::read_from(a), V::read_from(b), V::read_from(c));
-            V::add(a, b).write_to(&mut out[..l]);
-            V::sub(a, b).write_to(&mut out[l..2 * l]);
-            V::mul(a, b).write_to(&mut out[2 * l..3 * l]);
-            V::mul_add(a, b, c).write_to(&mut out[3 * l..4 * l]);
-        }
-        go::<V>(a, b, c, &mut out)
-    });
+unsafe fn go_arith<V: Vector>(
+    a: *const V::Elem,
+    b: *const V::Elem,
+    c: *const V::Elem,
+    out: *mut V::Elem,
+) {
+    let l = V::LANES;
+    let (a, b, c) = (V::loadu(a), V::loadu(b), V::loadu(c));
+    V::add(a, b).storeu(out);
+    V::sub(a, b).storeu(out.add(l));
+    V::mul(a, b).storeu(out.add(2 * l));
+    V::mul_add(a, b, c).storeu(out.add(3 * l));
+}
+
+fn arith_via<T: Elem>(isa: Isa, a: &[T], b: &[T], c: &[T]) -> Vec<T> {
+    let l = isa.lanes_for::<T>();
+    let mut out = vec![T::ZERO; 4 * l];
+    let (ap, bp, cp, op) = (a.as_ptr(), b.as_ptr(), c.as_ptr(), out.as_mut_ptr());
+    dispatch_elem!(isa, T, go_arith::<V>(ap, bp, cp, op));
     out
 }
 
@@ -86,18 +94,23 @@ fn intrinsic_isas_available_on_ci_host() {
     );
 }
 
-#[test]
-fn alignr_matches_oracle_all_shifts() {
+fn check_alignr_all_shifts<T: Elem>() {
     for (isa, oracle) in available_pairs() {
-        let l = isa.lanes();
-        let lo: Vec<f64> = (0..l).map(|i| i as f64).collect();
-        let hi: Vec<f64> = (0..l).map(|i| 100.0 + i as f64).collect();
+        let l = isa.lanes_for::<T>();
+        let lo: Vec<T> = (0..l).map(|i| T::from_f64(i as f64)).collect();
+        let hi: Vec<T> = (0..l).map(|i| T::from_f64(100.0 + i as f64)).collect();
         for o in 0..=l {
             let got = alignr_via(isa, &lo, &hi, o);
             let want = alignr_via(oracle, &lo, &hi, o);
-            assert_eq!(got, want, "isa={isa} o={o}");
+            assert_eq!(got, want, "{} isa={isa} o={o}", T::DTYPE);
         }
     }
+}
+
+#[test]
+fn alignr_matches_oracle_all_shifts() {
+    check_alignr_all_shifts::<f64>();
+    check_alignr_all_shifts::<f32>();
 }
 
 #[test]
@@ -109,19 +122,20 @@ fn assemble_matches_paper_figure3() {
     }
     let prev = [0.0, 0.0, 0.0, 26.0]; // (*,*,*,Z)
     let cur = [4.0, 8.0, 12.0, 16.0]; // (D,H,L,P)
-    let got = alignr_via(Isa::Avx2, &prev, &cur, 3); // assemble_left = alignr(hi=cur, lo=prev, L-1)
+    let got = alignr_via::<f64>(Isa::Avx2, &prev, &cur, 3); // assemble_left = alignr(hi=cur, lo=prev, L-1)
     assert_eq!(got, vec![26.0, 4.0, 8.0, 12.0]); // (Z,D,H,L)
 }
 
-#[test]
-fn transpose_matches_oracle() {
+fn check_transpose<T: Elem>() {
     for (isa, oracle) in available_pairs() {
-        let l = isa.lanes();
-        let data: Vec<f64> = (0..l * l).map(|i| i as f64 * 1.25 - 7.0).collect();
+        let l = isa.lanes_for::<T>();
+        let data: Vec<T> = (0..l * l)
+            .map(|i| T::from_f64(i as f64 * 1.25 - 7.0))
+            .collect();
         let want = transpose_via(oracle, &data, false);
         for baseline in [false, true] {
             let got = transpose_via(isa, &data, baseline);
-            assert_eq!(got, want, "isa={isa} baseline={baseline}");
+            assert_eq!(got, want, "{} isa={isa} baseline={baseline}", T::DTYPE);
         }
         // And it really is the mathematical transpose.
         for r in 0..l {
@@ -133,48 +147,98 @@ fn transpose_matches_oracle() {
 }
 
 #[test]
-fn transpose_is_involution() {
+fn transpose_matches_oracle() {
+    check_transpose::<f64>();
+    check_transpose::<f32>();
+}
+
+fn check_involution<T: Elem>() {
     for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
-        let l = isa.lanes();
-        let data: Vec<f64> = (0..l * l).map(|i| (i as f64).sin()).collect();
+        let l = isa.lanes_for::<T>();
+        let data: Vec<T> = (0..l * l).map(|i| T::from_f64((i as f64).sin())).collect();
         let twice = transpose_via(isa, &transpose_via(isa, &data, false), false);
-        assert_eq!(twice, data, "isa={isa}");
+        assert_eq!(twice, data, "{} isa={isa}", T::DTYPE);
+    }
+}
+
+#[test]
+fn transpose_is_involution() {
+    check_involution::<f64>();
+    check_involution::<f32>();
+}
+
+fn check_arith<T: Elem>() {
+    for (isa, oracle) in available_pairs() {
+        let l = isa.lanes_for::<T>();
+        let a: Vec<T> = (0..l)
+            .map(|i| T::from_f64(1.0 + (i as f64) * 1e-7))
+            .collect();
+        let b: Vec<T> = (0..l)
+            .map(|i| T::from_f64(-3.0 + (i as f64) * 0.33))
+            .collect();
+        let c: Vec<T> = (0..l).map(|i| T::from_f64(1e-12 + i as f64)).collect();
+        let got = arith_via(isa, &a, &b, &c);
+        let want = arith_via(oracle, &a, &b, &c);
+        // mul_add must match bitwise: both sides use a fused operation.
+        assert_eq!(got, want, "{} isa={isa}", T::DTYPE);
     }
 }
 
 #[test]
 fn arithmetic_matches_oracle_bitwise() {
-    for (isa, oracle) in available_pairs() {
-        let l = isa.lanes();
-        let a: Vec<f64> = (0..l).map(|i| 1.0 + (i as f64) * 1e-7).collect();
-        let b: Vec<f64> = (0..l).map(|i| -3.0 + (i as f64) * 0.33).collect();
-        let c: Vec<f64> = (0..l).map(|i| 1e-12 + i as f64).collect();
-        let got = arith_via(isa, &a, &b, &c);
-        let want = arith_via(oracle, &a, &b, &c);
-        // mul_add must match bitwise: both sides use a fused operation.
-        assert_eq!(got, want, "isa={isa}");
+    check_arith::<f64>();
+    check_arith::<f32>();
+}
+
+unsafe fn go_roundtrip<V: Vector>(src: *const V::Elem, dst: *mut V::Elem) {
+    let a = V::load(src);
+    let b = V::loadu(src.add(1));
+    a.store(dst);
+    b.storeu(dst.add(V::LANES));
+}
+
+fn check_roundtrip<T: Elem>() {
+    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+        let l = isa.lanes_for::<T>();
+        let src = AlignedBuf::from_slice(
+            &(0..2 * l)
+                .map(|i| T::from_f64(i as f64))
+                .collect::<Vec<_>>(),
+        );
+        let mut dst = AlignedBuf::zeroed(2 * l);
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        dispatch_elem!(isa, T, go_roundtrip::<V>(sp, dp));
+        assert_eq!(&dst[..l], &src[..l], "{} isa={isa}", T::DTYPE);
+        assert_eq!(&dst[l..2 * l], &src[1..l + 1], "{} isa={isa}", T::DTYPE);
     }
 }
 
 #[test]
 fn aligned_load_store_roundtrip() {
-    for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
-        let l = isa.lanes();
-        let src = AlignedBuf::from_slice(&(0..2 * l).map(|i| i as f64).collect::<Vec<_>>());
-        let mut dst = AlignedBuf::zeroed(2 * l);
-        dispatch!(isa, V => {
-            #[inline(always)]
-            unsafe fn go<V: SimdF64>(src: &[f64], dst: &mut [f64]) {
-                let a = V::load(src.as_ptr());
-                let b = V::loadu(src.as_ptr().add(1));
-                a.store(dst.as_mut_ptr());
-                b.storeu(dst.as_mut_ptr().add(V::LANES));
+    check_roundtrip::<f64>();
+    check_roundtrip::<f32>();
+}
+
+#[test]
+fn lane_extraction_matches_storeu() {
+    fn check<T: Elem>() {
+        unsafe fn go<V: Vector>(src: *const V::Elem, out: *mut V::Elem) {
+            let v = V::loadu(src);
+            for i in 0..V::LANES {
+                *out.add(i) = v.lane(i);
             }
-            go::<V>(&src, &mut dst)
-        });
-        assert_eq!(&dst[..l], &src[..l], "isa={isa}");
-        assert_eq!(&dst[l..2 * l], &src[1..l + 1], "isa={isa}");
+        }
+        for isa in Isa::ALL.into_iter().filter(|i| i.is_available()) {
+            let l = isa.lanes_for::<T>();
+            let src: Vec<T> = (0..l).map(|i| T::from_f64(i as f64 * 0.5 - 3.0)).collect();
+            let mut out = vec![T::ZERO; l];
+            let (sp, op) = (src.as_ptr(), out.as_mut_ptr());
+            dispatch_elem!(isa, T, go::<V>(sp, op));
+            assert_eq!(out, src, "{} isa={isa}", T::DTYPE);
+        }
     }
+    check::<f64>();
+    check::<f32>();
 }
 
 /// Randomized cross-checks (deterministic seeds; formerly proptest-based,
@@ -184,56 +248,78 @@ mod randomized {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn vec_in(r: &mut StdRng, len: usize, range: std::ops::Range<f64>) -> Vec<f64> {
-        (0..len).map(|_| r.random_range(range.clone())).collect()
+    fn vec_in<T: Elem>(r: &mut StdRng, len: usize, range: std::ops::Range<f64>) -> Vec<T> {
+        (0..len)
+            .map(|_| T::from_f64(r.random_range(range.clone())))
+            .collect()
     }
 
-    #[test]
-    fn alignr_oracle_randomized() {
-        let mut r = StdRng::seed_from_u64(0xA11C);
+    fn alignr_randomized<T: Elem>(seed: u64) {
+        let mut r = StdRng::seed_from_u64(seed);
         for case in 0..64 {
-            let lo = vec_in(&mut r, 8, -1e6..1e6);
-            let hi = vec_in(&mut r, 8, -1e6..1e6);
+            let lo: Vec<T> = vec_in(&mut r, 16, -1e6..1e6);
+            let hi: Vec<T> = vec_in(&mut r, 16, -1e6..1e6);
             for (isa, oracle) in available_pairs() {
-                let l = isa.lanes();
+                let l = isa.lanes_for::<T>();
                 for o in 0..=l {
                     let got = alignr_via(isa, &lo[..l], &hi[..l], o);
                     let want = alignr_via(oracle, &lo[..l], &hi[..l], o);
-                    assert_eq!(got, want, "case={case} isa={isa} o={o}");
+                    assert_eq!(got, want, "{} case={case} isa={isa} o={o}", T::DTYPE);
                 }
             }
         }
     }
 
     #[test]
-    fn transpose_oracle_randomized() {
-        let mut r = StdRng::seed_from_u64(0x7A05);
+    fn alignr_oracle_randomized() {
+        alignr_randomized::<f64>(0xA11C);
+        alignr_randomized::<f32>(0xA11C + 1);
+    }
+
+    fn transpose_randomized<T: Elem>(seed: u64) {
+        let mut r = StdRng::seed_from_u64(seed);
         for case in 0..64 {
-            let data = vec_in(&mut r, 64, -1e9..1e9);
+            let data: Vec<T> = vec_in(&mut r, 256, -1e9..1e9);
             for (isa, oracle) in available_pairs() {
-                let l = isa.lanes();
+                let l = isa.lanes_for::<T>();
                 let got = transpose_via(isa, &data[..l * l], false);
                 let base = transpose_via(isa, &data[..l * l], true);
                 let want = transpose_via(oracle, &data[..l * l], false);
-                assert_eq!(got, want, "case={case} isa={isa}");
-                assert_eq!(base, want, "case={case} isa={isa} (baseline schedule)");
+                assert_eq!(got, want, "{} case={case} isa={isa}", T::DTYPE);
+                assert_eq!(
+                    base,
+                    want,
+                    "{} case={case} isa={isa} (baseline schedule)",
+                    T::DTYPE
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_oracle_randomized() {
+        transpose_randomized::<f64>(0x7A05);
+        transpose_randomized::<f32>(0x7A05 + 1);
+    }
+
+    fn fma_randomized<T: Elem>(seed: u64) {
+        let mut r = StdRng::seed_from_u64(seed);
+        for case in 0..64 {
+            let a: Vec<T> = vec_in(&mut r, 16, -1e3..1e3);
+            let b: Vec<T> = vec_in(&mut r, 16, -1e3..1e3);
+            let c: Vec<T> = vec_in(&mut r, 16, -1e3..1e3);
+            for (isa, oracle) in available_pairs() {
+                let l = isa.lanes_for::<T>();
+                let got = arith_via(isa, &a[..l], &b[..l], &c[..l]);
+                let want = arith_via(oracle, &a[..l], &b[..l], &c[..l]);
+                assert_eq!(got, want, "{} case={case} isa={isa}", T::DTYPE);
             }
         }
     }
 
     #[test]
     fn fma_oracle_randomized() {
-        let mut r = StdRng::seed_from_u64(0xF3A);
-        for case in 0..64 {
-            let a = vec_in(&mut r, 8, -1e3..1e3);
-            let b = vec_in(&mut r, 8, -1e3..1e3);
-            let c = vec_in(&mut r, 8, -1e3..1e3);
-            for (isa, oracle) in available_pairs() {
-                let l = isa.lanes();
-                let got = arith_via(isa, &a[..l], &b[..l], &c[..l]);
-                let want = arith_via(oracle, &a[..l], &b[..l], &c[..l]);
-                assert_eq!(got, want, "case={case} isa={isa}");
-            }
-        }
+        fma_randomized::<f64>(0xF3A);
+        fma_randomized::<f32>(0xF3B);
     }
 }
