@@ -162,8 +162,12 @@ trait ErasedPlan: Send {
     fn plan_boundary(&self) -> Boundary;
 }
 
-/// Object-safe face of the five typed session types.
-trait ErasedSession {
+/// Object-safe face of the five typed session types. `Send` is a
+/// supertrait (like [`ErasedPlan`]'s) so [`DynSession`] stays movable
+/// across threads — the service layer in `stencil-server` runs sessions
+/// on dispatcher threads, and `crates/core/tests/auto_traits.rs` pins
+/// the guarantee at compile time.
+trait ErasedSession: Send {
     fn run_steps(&mut self, t: usize);
 }
 

@@ -143,7 +143,22 @@ impl std::error::Error for SpecError {}
 /// one `2r+1` slice per axis (index `r+o` for offset `o`; the y/z center
 /// entries are ignored), box specs carry one row-major
 /// `(2r+1)^ndim` slice (x fastest).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// # Equality and hashing
+///
+/// `StencilSpec` is `Eq + Hash` so it can key a plan cache (see the
+/// `stencil-server` crate). Weights — and the Dirichlet boundary value —
+/// compare **bitwise** (`f64::to_bits`), not by float semantics: two
+/// specs are equal exactly when they would compile byte-identical plans.
+/// The differences from IEEE `==` are deliberate:
+///
+/// * a NaN weight equals itself, so a pathological spec still makes a
+///   retrievable cache key instead of missing forever and poisoning the
+///   cache with one dead entry per lookup;
+/// * `-0.0` and `+0.0` weights are *different* keys (they are different
+///   bit patterns splatted into the kernels), so they cannot silently
+///   alias to one cached plan.
+#[derive(Clone, Debug)]
 pub struct StencilSpec {
     ndim: usize,
     shape: StencilShape,
@@ -471,6 +486,52 @@ impl std::fmt::Display for StencilSpec {
     }
 }
 
+/// The [`Boundary`] reduced to a hash/equality key: discriminant plus the
+/// Dirichlet value's bit pattern (`0` for the refreshed modes). Bitwise so
+/// `Dirichlet(-0.0)` and `Dirichlet(0.0)` stay distinct cache keys and
+/// `Dirichlet(NaN)` equals itself (see the [`StencilSpec`] docs).
+fn boundary_bits(b: Boundary) -> (u8, u64) {
+    match b {
+        Boundary::Dirichlet(v) => (0, v.to_bits()),
+        Boundary::Periodic => (1, 0),
+        Boundary::Reflect => (2, 0),
+    }
+}
+
+impl PartialEq for StencilSpec {
+    fn eq(&self, other: &StencilSpec) -> bool {
+        self.ndim == other.ndim
+            && self.shape == other.shape
+            && self.r == other.r
+            && self.dtype == other.dtype
+            && boundary_bits(self.boundary) == boundary_bits(other.boundary)
+            && self.w.len() == other.w.len()
+            && self
+                .w
+                .iter()
+                .zip(&other.w)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+// Lawful because the bitwise comparison above is reflexive even for NaN
+// weights (same bits ⇒ equal), unlike IEEE `==`.
+impl Eq for StencilSpec {}
+
+impl std::hash::Hash for StencilSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ndim.hash(state);
+        self.shape.hash(state);
+        self.r.hash(state);
+        self.dtype.hash(state);
+        boundary_bits(self.boundary).hash(state);
+        self.w.len().hash(state);
+        for w in &self.w {
+            w.to_bits().hash(state);
+        }
+    }
+}
+
 impl std::str::FromStr for StencilSpec {
     type Err = SpecError;
 
@@ -792,6 +853,66 @@ mod tests {
         // Errors display something useful.
         let e = StencilSpec::star1(&[0.1; 11]).unwrap_err();
         assert!(e.to_string().contains("radius 5"));
+    }
+
+    #[test]
+    fn hash_eq_round_trips_through_a_map() {
+        use std::collections::HashMap;
+        // Every paper name (plus boundary/dtype variants) must land on
+        // and retrieve from the same map slot — the plan-cache contract.
+        let mut map: HashMap<StencilSpec, usize> = HashMap::new();
+        let variants: Vec<StencilSpec> = StencilSpec::NAMES
+            .iter()
+            .flat_map(|name| {
+                ["", "@periodic", "@reflect", "@f32", "@periodic@f32"]
+                    .into_iter()
+                    .map(move |suffix| format!("{name}{suffix}").parse().unwrap())
+            })
+            .collect();
+        for (i, spec) in variants.iter().enumerate() {
+            assert_eq!(map.insert(spec.clone(), i), None, "{spec} collided");
+        }
+        assert_eq!(map.len(), variants.len());
+        for (i, spec) in variants.iter().enumerate() {
+            // Re-parse so the lookup key is a fresh value, not the clone.
+            let reparsed: StencilSpec = spec.to_string().parse().unwrap();
+            assert_eq!(map.get(&reparsed), Some(&i), "{spec}");
+        }
+    }
+
+    #[test]
+    fn weight_equality_is_bitwise() {
+        // NaN weights: IEEE == would make the spec unequal to itself and
+        // unfindable in a cache; bitwise equality keeps it retrievable.
+        let nan = StencilSpec::star1(&[0.25, f64::NAN, 0.25]).unwrap();
+        assert_eq!(nan, nan.clone());
+        let mut set = std::collections::HashSet::new();
+        set.insert(nan.clone());
+        assert!(set.contains(&nan));
+
+        // -0.0 vs 0.0: same under IEEE ==, different bit patterns — and
+        // therefore different cache keys (kernels splat the raw bits).
+        let pos = StencilSpec::star1(&[0.25, 0.5, 0.0]).unwrap();
+        let neg = StencilSpec::star1(&[0.25, 0.5, -0.0]).unwrap();
+        assert_ne!(pos, neg);
+        set.insert(pos.clone());
+        assert!(!set.contains(&neg));
+
+        // Same rule for the Dirichlet boundary value.
+        let d0 = StencilSpec::heat_1d3p().with_boundary(Boundary::Dirichlet(0.0));
+        let dneg0 = StencilSpec::heat_1d3p().with_boundary(Boundary::Dirichlet(-0.0));
+        assert_ne!(d0, dneg0);
+        assert_eq!(d0, StencilSpec::heat_1d3p());
+
+        // Hash must agree with Eq on equal values.
+        fn hash_of(s: &StencilSpec) -> u64 {
+            use std::hash::{BuildHasher, RandomState};
+            use std::sync::OnceLock;
+            static STATE: OnceLock<RandomState> = OnceLock::new();
+            STATE.get_or_init(RandomState::new).hash_one(s)
+        }
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+        assert_eq!(hash_of(&d0), hash_of(&StencilSpec::heat_1d3p()));
     }
 
     #[test]

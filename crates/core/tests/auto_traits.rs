@@ -1,0 +1,58 @@
+//! Compile-time auto-trait assertions for the execution engine.
+//!
+//! The service layer (`stencil-server`) moves plans, sessions, and grids
+//! onto dispatcher threads, so `Send` is part of the public contract of
+//! these types — not an accident of their current fields. If a future
+//! change smuggles an `Rc`, a non-`Send` raw pointer, or a thread-bound
+//! handle into any of them, this file stops compiling in CI instead of
+//! breaking a downstream user at link- or run-time.
+
+use stencil_core::exec::{DynPlan, DynSession, Plan, Plan1, Session1, Shape};
+use stencil_core::{AnyGrid, Grid1, Grid2, Grid3, S1d3p, StencilSpec};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn engine_types_are_send() {
+    // The plan builder and both plan surfaces (typed + erased).
+    assert_send::<Plan>();
+    assert_send::<Plan1<S1d3p>>();
+    assert_send::<DynPlan>();
+    // Sessions borrow the plan and the grid mutably; they are Send iff
+    // both are, which is exactly what a dispatcher thread needs.
+    assert_send::<Session1<'static, S1d3p>>();
+    assert_send::<DynSession<'static>>();
+    // Grids (the job payload the service layer ships between threads).
+    assert_send::<Grid1>();
+    assert_send::<Grid2<f32>>();
+    assert_send::<Grid3>();
+    assert_send::<AnyGrid>();
+    // The cache key.
+    assert_send::<StencilSpec>();
+    assert_sync::<StencilSpec>();
+}
+
+#[test]
+fn a_dyn_plan_actually_crosses_a_thread() {
+    // The static assertion above plus one dynamic smoke test: build a
+    // plan on this thread, run it on another, hand the grid back.
+    let spec: StencilSpec = "1d3p".parse().unwrap();
+    let n = 64;
+    let mut plan = Plan::new(Shape::d1(n)).stencil(&spec).unwrap();
+    let mut grid = AnyGrid::from_fn(Shape::d1(n), spec.radius(), 0.0, |_, _, x| x as f64);
+    let mut expect = AnyGrid::from_fn(Shape::d1(n), spec.radius(), 0.0, |_, _, x| x as f64);
+    let grid = std::thread::spawn(move || {
+        plan.run(&mut grid, 3);
+        grid
+    })
+    .join()
+    .unwrap();
+    Plan::new(Shape::d1(n))
+        .stencil(&spec)
+        .unwrap()
+        .run(&mut expect, 3);
+    let (a, b) = (grid.to_vec(), expect.to_vec());
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+}

@@ -6,7 +6,13 @@
 //! per-call transform — the steady-state hot loop is kernels only), and
 //! (d) the same session through the type-erased `DynPlan` — whose
 //! `run` must stay within ~2% of the typed session, since the only
-//! added cost is one virtual call per invocation.
+//! added cost is one virtual call per invocation — and (e) the same
+//! workload submitted as jobs through the `stencil-server` service
+//! layer with its plan cache off (`cold_plan`: every job pays builder
+//! validation + scratch allocation) vs on (`cached_plan`: the compile
+//! is paid once and every later job checks a ready plan out of the
+//! LRU). The cold/cached ratio is the service layer's reason to exist;
+//! at L1 sizes the cached path should be several times faster.
 //!
 //! ```sh
 //! cargo run --release --bin plan_reuse [-- --save-json] [--smoke] [--threads=N]
@@ -22,6 +28,7 @@ use stencil_bench::save::{Row, Value};
 use stencil_bench::{gflops, grid1, storage_level, Cli, Scale};
 use stencil_core::exec::{Boundary, Parallelism, Plan, Shape};
 use stencil_core::{run1_star1, AnyGrid, Method, S1d3p, StencilSpec};
+use stencil_server::{JobSpec, Server, ServerConfig};
 use stencil_simd::Isa;
 
 /// Best-of-3 wall time for `calls` invocations of `f`.
@@ -79,6 +86,18 @@ fn main() {
     };
     let threads = cli.threads().unwrap_or(1);
     let mut rows: Vec<Row> = Vec::new();
+
+    // Service-layer servers for the cold_plan / cached_plan rows: one
+    // with caching disabled (every job compiles), one with the default
+    // LRU (each size's plan compiles once, then every job hits). Both
+    // live across the whole sweep; the queue bound just needs to admit
+    // one rep's pipelined submissions.
+    let cold_server = Server::new(
+        ServerConfig::default()
+            .cache_capacity(0)
+            .queue_capacity(256),
+    );
+    let warm_server = Server::new(ServerConfig::default().queue_capacity(256));
 
     println!(
         "\n{:<10} {:<6} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12}  {:>9} {:>9}",
@@ -364,11 +383,104 @@ fn main() {
                 ),
             ]);
         }
+
+        // (f) the service layer: the same stencil submitted as jobs.
+        // The jobs request a 4-thread plan (or `--threads=N` if given):
+        // that is the configuration a multi-tenant service actually
+        // runs, and it is where plan compilation has real weight — a
+        // parallel plan's builder spawns its persistent worker pool, so
+        // a cold job pays thread spawn + join on top of validation and
+        // scratch allocation, all of which the cache elides. Small
+        // per-job step counts keep the sweep cheap relative to that
+        // setup; the JobSpecs (grids included) are built outside the
+        // timed region and the whole batch is submitted pipelined
+        // before the first wait, so the measured interval is dispatcher
+        // work, not submit/wake round-trips.
+        let chunk_srv = 2;
+        let calls_srv = calls.min(200);
+        let threads_srv = cli.threads().unwrap_or(4).max(2);
+        let mk_jobs = || -> Vec<JobSpec> {
+            (0..calls_srv)
+                .map(|_| {
+                    let grid =
+                        AnyGrid::from_vec_spec(Shape::d1(n), &spec, init.interior().to_vec())
+                            .expect("valid grid");
+                    JobSpec::new("bench", spec.clone(), grid, chunk_srv)
+                        .method(method)
+                        .parallelism(Parallelism::Threads(threads_srv))
+                })
+                .collect()
+        };
+        let time_server = |server: &Server| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let jobs = mk_jobs();
+                let t0 = Instant::now();
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|j| server.submit(j).expect("queue has room"))
+                    .collect();
+                for h in handles {
+                    h.wait().expect("job ran");
+                }
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let cold_s = time_server(&cold_server);
+        // Warm the cache (one untimed compile), then measure all-hits.
+        for j in mk_jobs().into_iter().take(1) {
+            warm_server
+                .submit(j)
+                .expect("queue has room")
+                .wait()
+                .expect("job ran");
+        }
+        let cached_s = time_server(&warm_server);
+        println!(
+            "{:<10} {:<6} {:>7} {:>6} {:>9} server           {:>9.2} ms {:>9.2} ms  {:>8.2}x cold/cached",
+            n,
+            level,
+            chunk_srv,
+            calls_srv,
+            "",
+            cold_s * 1e3,
+            cached_s * 1e3,
+            cold_s / cached_s,
+        );
+        for (variant, secs) in [("cold_plan", cold_s), ("cached_plan", cached_s)] {
+            rows.push(vec![
+                ("n", Value::from(n)),
+                ("level", Value::from(level)),
+                ("threads", Value::from(threads_srv)),
+                ("chunk", Value::from(chunk_srv)),
+                ("calls", Value::from(calls_srv)),
+                ("variant", Value::from(variant)),
+                ("seconds", Value::from(secs)),
+                (
+                    "gflops",
+                    Value::from(gflops(
+                        n,
+                        chunk_srv * calls_srv,
+                        spec.flops_per_point(),
+                        secs,
+                    )),
+                ),
+            ]);
+        }
     }
     println!(
         "\n(free_fn clones + transforms every call; plan.run reuses buffers; session \
          additionally stays layout-resident; dyn_session is the erased API over the \
-         same session — dyn/sess is the erasure overhead)"
+         same session — dyn/sess is the erasure overhead; cold_plan/cached_plan run \
+         the workload as stencil-server jobs with the plan cache off/on)"
+    );
+    let warm_stats = warm_server.cache_stats();
+    println!(
+        "(server plan cache: {} hits / {} misses, {:.0}% hit rate across the sweep)",
+        warm_stats.hits,
+        warm_stats.misses,
+        100.0 * warm_stats.hit_rate(),
     );
     stencil_bench::save::maybe_save("plan_reuse", &rows);
 }

@@ -11,7 +11,9 @@
 //!   baseline vectorization methods, and the [`Plan`](core::exec::Plan)
 //!   execution engine (including both temporal-tiling frameworks);
 //! * [`tiling`] — legacy tessellate/split entry points (thin wrappers
-//!   over `Plan`).
+//!   over `Plan`);
+//! * [`server`] — the multi-tenant service layer: plan cache, fair
+//!   job queue, and structured run traces over the erased plan API.
 //!
 //! ```
 //! use stencil_lab::prelude::*;
@@ -26,6 +28,7 @@
 //! ```
 
 pub use stencil_core as core;
+pub use stencil_server as server;
 pub use stencil_simd as simd;
 pub use stencil_tiling as tiling;
 
