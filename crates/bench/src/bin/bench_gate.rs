@@ -22,6 +22,12 @@
 //! ratio exceeds 1.10× — the fused halo fast path's contract. Same
 //! advisory rule across host classes.
 //!
+//! A **tess-parity check** pairs every `…+tess(tl2)` scaling row with
+//! the `…+tess` MultiLoad row sharing its tile geometry and remaining
+//! identity: the tile-resident staging path owes the natural-layout
+//! schedule a wall-time ratio within 2.5× (the pre-staging gap was
+//! ~18×). Same advisory rule across host classes.
+//!
 //! A **dtype-speedup check** runs the same way: every f32 row (one
 //! carrying a `dtype` field) is paired with the f64 row sharing its
 //! remaining identity, and when the current host has a SIMD ISA the
@@ -170,6 +176,44 @@ fn main() {
         true
     };
 
+    // Tess parity: within the current snapshots, every staged
+    // transpose-layout tessellation row must stay within the allowance
+    // of the MultiLoad row running the identical tile geometry.
+    const TESS_PARITY: f64 = 2.5;
+    let mut tess_pairs = 0usize;
+    let mut tess_over: Vec<String> = Vec::new();
+    for name in &names {
+        if let Ok(pairs) = gate::tess_parity(name, &current) {
+            for p in pairs {
+                tess_pairs += 1;
+                if p.ratio > TESS_PARITY {
+                    tess_over.push(format!("{name}: {:.2}x vs [{}]", p.ratio, p.key));
+                }
+            }
+        }
+    }
+    if tess_pairs > 0 {
+        println!(
+            "tess parity: {tess_pairs} tl2/MultiLoad pair(s) checked, {} over the \
+             {TESS_PARITY}x allowance",
+            tess_over.len()
+        );
+        for line in &tess_over {
+            println!("    {line}");
+        }
+    }
+    let tess_failed = |advisory: bool| {
+        if tess_over.is_empty() || advisory {
+            return false;
+        }
+        eprintln!(
+            "bench_gate: FAIL — {} tessellated tl2 row(s) exceed the {TESS_PARITY}x \
+             MultiLoad parity allowance",
+            tess_over.len()
+        );
+        true
+    };
+
     // Dtype speedup: within the current snapshots, f32 rows owe a
     // geomean ≥ DTYPE_SPEEDUP× over their f64 siblings when the host
     // has a SIMD ISA (portable-only hosts get an informational line —
@@ -218,7 +262,7 @@ fn main() {
         // every current row new, and silently passing that would turn
         // the gate off; keep it a hard failure.
         if new_total > 0 && missing_total == 0 {
-            if parity_failed(advisory) || dtype_failed(advisory) {
+            if parity_failed(advisory) || dtype_failed(advisory) || tess_failed(advisory) {
                 std::process::exit(1);
             }
             println!(
@@ -254,7 +298,7 @@ fn main() {
         eprintln!("bench_gate: FAIL — geomean regression {pct:+.1}% exceeds {threshold:.0}%");
         std::process::exit(1);
     }
-    if parity_failed(advisory) || dtype_failed(advisory) {
+    if parity_failed(advisory) || dtype_failed(advisory) || tess_failed(advisory) {
         std::process::exit(1);
     }
     if new_total > 0 {

@@ -13,11 +13,18 @@
 //! bug, not a result (the process exits non-zero on any mismatch).
 //!
 //! ```sh
-//! cargo run --release --bin scaling [-- --smoke] [--threads=4] [--save-json]
+//! cargo run --release --bin scaling [-- --smoke] [--threads=4] [--save-json] [--phases]
 //! ```
 //!
 //! `--threads=N` restricts the axis to `{1, N}`; the default axis is
-//! 1, 2, 4, ... up to every available core.
+//! 1, 2, 4, ... up to every available core. `--phases` prints the
+//! staged tiled drivers' phase breakdown (stage-in / compute /
+//! stage-out / halo) for each tiled cell — all zeros for untiled and
+//! natural-layout tiled rows, which never enter the staging arena.
+//! Cells whose thread count exceeds the host's available parallelism
+//! (the boundary family's fixed {2, 7} axis on a small host) carry a
+//! `"saturated": true` field in the saved rows, so trajectory tooling
+//! can discount oversubscribed measurements.
 
 use stencil_bench::save::{Row, Value};
 use stencil_bench::{any_grid_dtype, best_of, gflops, Cli, Scale};
@@ -58,6 +65,9 @@ struct Cell {
     /// sharing the rest of its identity.
     dtype: Option<&'static str>,
     threads: usize, // 0 encodes Parallelism::Off
+    /// Thread count exceeds the host's available parallelism — the
+    /// measurement is oversubscribed and saved with `"saturated": true`.
+    saturated: bool,
     secs: f64,
     gf: f64,
 }
@@ -93,6 +103,9 @@ fn report(cells: &[Cell], rows: &mut Vec<Row>) {
         if let Some(d) = c.dtype {
             row.push(("dtype", Value::from(d)));
         }
+        if c.saturated {
+            row.push(("saturated", Value::from(true)));
+        }
         row.extend([
             ("seconds", Value::from(c.secs)),
             ("gflops", Value::from(c.gf)),
@@ -108,6 +121,10 @@ fn main() {
     let isa = Isa::detect_best();
     let smoke = cli.scale() == Scale::Smoke;
     let axis = thread_axis(&cli);
+    let phases = cli.flag("--phases");
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let reps = if smoke { 2 } else { 3 };
     let mut rows: Vec<Row> = Vec::new();
     let mut bit_failures = 0usize;
@@ -168,15 +185,27 @@ fn main() {
     // smoke): tiled-parallel must beat tiled-sequential at 2 threads.
     // Tile geometry follows fig9's tuning direction: wide tiles and a
     // tall time chunk, so the per-tile scheduling cost amortizes over
-    // real temporal reuse while still leaving a 4x4 tile grid for the
-    // wavefront to distribute. The `2d5p+tess(tl2)` row tracks the
-    // known TL2-under-tessellation gap (ROADMAP follow-up): TL2's k = 2
-    // fused pass re-enters the transpose layout at every tile boundary,
-    // so its tessellated schedule trails the MultiLoad row sharing the
-    // same tile geometry — the row keeps that gap visible in the perf
-    // trajectory until the layout-resident tile pipeline closes it.
+    // real temporal reuse while still leaving a tile grid for the
+    // wavefront to distribute. The tess-paired `2d5p` rows use
+    // 256-wide tiles: the staged transpose layout partitions each row
+    // into vl^2-cell sets, and a 128-wide tile holds exactly two f64
+    // AVX-512 sets — every set an edge set, the worst case for the
+    // `(tl2)` side of the pair — while 256 leaves interior sets the
+    // way a production tile size would. The `2d5p+tess(tl2)` row
+    // tracks the TL-under-tessellation gap through the tile-resident
+    // staging arena; the tess-parity gate check pins it within 2.5x of
+    // the MultiLoad row sharing the same tile geometry.
+    // The `3d7p+tess(tl2)` / `+tess` pair extends the same tracking to
+    // 3D, and `2d5p+tess(tl2)@f32` to the narrow element type; the gate
+    // pairs each `(tl2)` row with the MultiLoad row of identical tile
+    // geometry (see `gate::tess_parity`).
     let tess = |wx: usize, wy: usize, h: usize| Tiling::Tessellate {
         w: [wx, wy, 0],
+        h,
+        threads: 1,
+    };
+    let tess3 = |wx: usize, wy: usize, wz: usize, h: usize| Tiling::Tessellate {
+        w: [wx, wy, wz],
         h,
         threads: 1,
     };
@@ -189,7 +218,7 @@ fn main() {
                 10,
                 46,
                 Method::MultiLoad,
-                tess(128, 64, 10),
+                tess(256, 64, 10),
             ),
             (
                 "2d5p@periodic+tess",
@@ -213,7 +242,31 @@ fn main() {
                 10,
                 46,
                 Method::TransLayout2,
-                tess(128, 64, 10),
+                tess(256, 64, 10),
+            ),
+            (
+                "2d5p@f32+tess(tl2)",
+                Shape::d2(512, 256),
+                10,
+                46,
+                Method::TransLayout2,
+                tess(256, 64, 10),
+            ),
+            (
+                "3d7p+tess",
+                Shape::d3(64, 64, 64),
+                6,
+                49,
+                Method::MultiLoad,
+                tess3(32, 16, 16, 4),
+            ),
+            (
+                "3d7p+tess(tl2)",
+                Shape::d3(64, 64, 64),
+                6,
+                49,
+                Method::TransLayout2,
+                tess3(32, 16, 16, 4),
             ),
         ]
     } else {
@@ -249,6 +302,30 @@ fn main() {
                 46,
                 Method::TransLayout2,
                 tess(200, 200, 40),
+            ),
+            (
+                "2d5p@f32+tess(tl2)",
+                Shape::d2(2_000, 1_000),
+                40,
+                46,
+                Method::TransLayout2,
+                tess(200, 200, 40),
+            ),
+            (
+                "3d7p+tess",
+                Shape::d3(192, 192, 192),
+                10,
+                49,
+                Method::MultiLoad,
+                tess3(64, 48, 48, 10),
+            ),
+            (
+                "3d7p+tess(tl2)",
+                Shape::d3(192, 192, 192),
+                10,
+                49,
+                Method::TransLayout2,
+                tess3(64, 48, 48, 10),
             ),
         ]
     };
@@ -300,15 +377,36 @@ fn main() {
                 plan.run(&mut g, t);
                 std::hint::black_box(&g);
             });
+            plan.reset_phase_totals();
             plan.run(&mut g, t);
             if max_abs_diff_any(&g, &oracle) != 0.0 {
                 eprintln!("BIT MISMATCH: {name} {par:?}");
                 bit_failures += 1;
             }
+            if phases {
+                // Totals from the verification run just above: CPU time
+                // summed across workers, so shares are meaningful even
+                // when the wall time is divided over a pool.
+                let p = plan.phase_totals();
+                let tot = p.stage_in_ns + p.compute_ns + p.stage_out_ns + p.halo_ns;
+                if tot > 0 {
+                    let pct = |ns: u64| ns as f64 / tot as f64 * 100.0;
+                    println!(
+                        "  phases {name} {par:?}: stage-in {:.1}% compute {:.1}% \
+                         stage-out {:.1}% halo {:.1}% ({:.2} ms cpu)",
+                        pct(p.stage_in_ns),
+                        pct(p.compute_ns),
+                        pct(p.stage_out_ns),
+                        pct(p.halo_ns),
+                        tot as f64 / 1e6,
+                    );
+                }
+            }
             cells.push(Cell {
                 workload: name.replace("@f32", ""),
                 dtype: (spec.dtype() == stencil_simd::Dtype::F32).then_some("f32"),
                 threads: if i == 0 { 0 } else { k },
+                saturated: i > 0 && k > host,
                 secs,
                 gf: gflops(cells_n, t, spec.flops_per_point(), secs),
             });

@@ -25,8 +25,17 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// Fields that hold measurements rather than identity.
-pub const METRIC_FIELDS: [&str; 4] = ["seconds", "gflops", "speedup_vs_off", "host_threads"];
+/// Fields that hold measurements rather than identity. `saturated`
+/// (thread count above the host's parallelism) is host-dependent like
+/// `host_threads`: treating it as identity would unmatch every
+/// oversubscribed row between hosts of different core counts.
+pub const METRIC_FIELDS: [&str; 5] = [
+    "seconds",
+    "gflops",
+    "speedup_vs_off",
+    "host_threads",
+    "saturated",
+];
 
 /// A parsed JSON value (owned, order-preserving objects).
 #[derive(Clone, Debug, PartialEq)]
@@ -451,6 +460,75 @@ pub fn boundary_parity(name: &str, dir: &Path) -> Result<Vec<ParityPair>, String
 }
 
 // ---------------------------------------------------------------------------
+// Tessellated transpose-layout parity
+// ---------------------------------------------------------------------------
+
+/// A `…+tess(tl2)` scaling row paired with the `…+tess` (MultiLoad)
+/// row sharing the same tile geometry and every other identity field —
+/// both from the **same** snapshot, like [`boundary_parity`].
+#[derive(Debug)]
+pub struct TessPair {
+    /// Identity of the MultiLoad sibling row.
+    pub key: String,
+    /// Wall-time ratio tl2 / MultiLoad (> 1 means the staged
+    /// transpose-layout schedule trails the natural-layout one).
+    pub ratio: f64,
+}
+
+/// The identity the `…+tess` MultiLoad sibling of `row` would have —
+/// `None` unless the row's workload ends in `+tess(tl2)`. An f32 `(tl2)`
+/// row keeps its `dtype` field, so it only pairs with an f32 MultiLoad
+/// sibling (none today: such rows are skipped, not compared cross-dtype).
+fn tess_sibling(row: &Json) -> Option<String> {
+    let Json::Obj(fields) = row else { return None };
+    let Some(Json::Str(w)) = row.get("workload") else {
+        return None;
+    };
+    let base = w.strip_suffix("+tess(tl2)")?;
+    let sibling = format!("{base}+tess");
+    let rest: Vec<(String, Json)> = fields
+        .iter()
+        .map(|(k, v)| {
+            if k == "workload" {
+                (k.clone(), Json::Str(sibling.clone()))
+            } else {
+                (k.clone(), v.clone())
+            }
+        })
+        .collect();
+    Some(row_key(&Json::Obj(rest)))
+}
+
+/// Pair every `…+tess(tl2)` row of `BENCH_<name>.json` under `dir` with
+/// the `…+tess` MultiLoad row sharing its remaining identity and return
+/// the wall-time ratios. The tile-resident staging path owes MultiLoad
+/// the same tessellated schedule within a small factor; rows without a
+/// sibling (e.g. the f32 family) are skipped.
+pub fn tess_parity(name: &str, dir: &Path) -> Result<Vec<TessPair>, String> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err(format!("{}: no rows array", path.display()));
+    };
+    let by_key: BTreeMap<String, &Json> = rows.iter().map(|r| (row_key(r), r)).collect();
+    let mut pairs = Vec::new();
+    for row in rows {
+        let Some(key) = tess_sibling(row) else {
+            continue;
+        };
+        let Some(sibling) = by_key.get(&key) else {
+            continue;
+        };
+        if let Some(ratio) = row_ratio(sibling, row) {
+            pairs.push(TessPair { key, ratio });
+        }
+    }
+    Ok(pairs)
+}
+
+// ---------------------------------------------------------------------------
 // Dtype speedup
 // ---------------------------------------------------------------------------
 
@@ -710,6 +788,44 @@ mod tests {
         assert!((got[0].1 - 1.05).abs() < 1e-12);
         assert_eq!(got[1].0, "reflect");
         assert!((got[1].1 - 1.5).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tess_parity_pairs_tl2_rows_with_multiload_siblings() {
+        let dir = std::env::temp_dir().join(format!("gate_tess_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = vec![
+            vec![
+                ("workload", crate::save::Value::from("2d5p+tess")),
+                ("threads", crate::save::Value::from("2")),
+                ("seconds", crate::save::Value::from(1.0)),
+            ],
+            vec![
+                ("workload", crate::save::Value::from("2d5p+tess(tl2)")),
+                ("threads", crate::save::Value::from("2")),
+                ("seconds", crate::save::Value::from(2.0)),
+            ],
+            // An f32 (tl2) row keeps its dtype field: no f32 MultiLoad
+            // sibling exists, so it is skipped, not paired cross-dtype.
+            vec![
+                ("workload", crate::save::Value::from("2d5p+tess(tl2)")),
+                ("threads", crate::save::Value::from("2")),
+                ("dtype", crate::save::Value::from("f32")),
+                ("seconds", crate::save::Value::from(0.9)),
+            ],
+            // A (tl2) row at a thread count the sibling never ran is
+            // skipped, not an error.
+            vec![
+                ("workload", crate::save::Value::from("2d5p+tess(tl2)")),
+                ("threads", crate::save::Value::from("7")),
+                ("seconds", crate::save::Value::from(9.9)),
+            ],
+        ];
+        crate::save::write_json(&dir, "tess", &rows).unwrap();
+        let pairs = tess_parity("tess", &dir).unwrap();
+        assert_eq!(pairs.len(), 1, "{pairs:?}");
+        assert!((pairs[0].ratio - 2.0).abs() < 1e-12, "{}", pairs[0].ratio);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -30,6 +30,8 @@ pub enum Value {
     Num(f64),
     /// An integer.
     Int(i64),
+    /// A boolean.
+    Bool(bool),
     /// A string (escaped per the JSON grammar on output).
     Str(String),
 }
@@ -52,12 +54,19 @@ impl From<&str> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
 impl Value {
     fn render(&self) -> String {
         match self {
             Value::Num(v) if v.is_finite() => format!("{v}"),
             Value::Num(_) => "null".to_string(),
             Value::Int(v) => v.to_string(),
+            Value::Bool(v) => v.to_string(),
             Value::Str(s) => json_string(s),
         }
     }

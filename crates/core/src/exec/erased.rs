@@ -39,8 +39,9 @@
 use stencil_simd::{Dtype, Elem, Isa};
 
 use super::{
-    Boundary, Method, Parallelism, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box, Plan3Star,
-    PlanError, Session1, Session2Box, Session2Star, Session3Box, Session3Star, Shape, Tiling,
+    Boundary, Method, Parallelism, PhaseTotals, Plan, Plan1, Plan2Box, Plan2Star, Plan3Box,
+    Plan3Star, PlanError, Session1, Session2Box, Session2Star, Session3Box, Session3Star, Shape,
+    Tiling,
 };
 use crate::grid::{AnyGrid, Grid1, Grid2, Grid3};
 use crate::spec::{DynBox2, DynBox3, DynStar1, DynStar2, DynStar3, StencilShape, StencilSpec};
@@ -160,6 +161,8 @@ trait ErasedPlan: Send {
     fn plan_threads(&self) -> usize;
     fn plan_shape(&self) -> Shape;
     fn plan_boundary(&self) -> Boundary;
+    fn plan_phase_totals(&self) -> PhaseTotals;
+    fn plan_reset_phase_totals(&self);
 }
 
 /// Object-safe face of the five typed session types. `Send` is a
@@ -220,6 +223,12 @@ macro_rules! erased_impl {
             }
             fn plan_boundary(&self) -> Boundary {
                 self.boundary()
+            }
+            fn plan_phase_totals(&self) -> PhaseTotals {
+                self.phase_totals()
+            }
+            fn plan_reset_phase_totals(&self) {
+                self.reset_phase_totals()
             }
         }
 
@@ -339,6 +348,17 @@ impl DynPlan {
     /// knob overrode it).
     pub fn boundary(&self) -> Boundary {
         self.inner.plan_boundary()
+    }
+
+    /// Accumulated per-phase wall time for the tiled (staged) drivers;
+    /// all-zero for plans that never enter a staged tessellation path.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.inner.plan_phase_totals()
+    }
+
+    /// Zero the per-phase counters (e.g. between measured repetitions).
+    pub fn reset_phase_totals(&self) {
+        self.inner.plan_reset_phase_totals()
     }
 }
 

@@ -57,12 +57,14 @@ pub mod erased;
 pub mod halo;
 pub(crate) mod par;
 pub(crate) mod split;
+pub(crate) mod stage;
 pub(crate) mod tess;
 pub mod tile;
 pub(crate) mod wave;
 
 pub use erased::{AnyGridMut, DynPlan, DynSession};
 pub use halo::Boundary;
+pub use stage::PhaseTotals;
 
 use stencil_simd::{dispatch_elem, AlignedBuf, Elem, Isa, Vector};
 
@@ -393,7 +395,15 @@ impl Cfg {
     fn layout(&self) -> Layout {
         match self.method {
             Method::Scalar | Method::MultiLoad | Method::Reorg => Layout::Natural,
-            Method::TransLayout | Method::TransLayout2 => Layout::Transpose,
+            // Under tessellate tiling the transpose methods keep the
+            // global grid natural: each wavefront tile transposes its
+            // footprint into the plan's staging arena for the chunk and
+            // writes natural layout back (see [`stage`]), so no global
+            // round-trip happens at session open/close.
+            Method::TransLayout | Method::TransLayout2 => match self.tiling {
+                Tiling::Tessellate { .. } => Layout::Natural,
+                _ => Layout::Transpose,
+            },
             Method::Dlt => Layout::Dlt,
         }
     }
@@ -671,11 +681,25 @@ impl Plan {
     /// is reached; other methods (per-vector geometry, no `vl²` sets)
     /// keep the configured ISA, and f64 plans only narrow below 64
     /// cells where the tail dominated anyway.
-    fn narrowed_isa<T: Elem>(&self) -> Isa {
+    ///
+    /// Under tessellate tiling the extent that matters is the **tile**
+    /// x-footprint, not the grid: staged tiles step `vl²` sets of the
+    /// staged width `w + 2r`, so that width is what must hold two full
+    /// sets — one is enough for a transposed region, but a single-set
+    /// row is all edge work (see [`Self::tess_isa`]). Partial edge
+    /// sets ride the vector pipeline — see `kernels::tl` — so they no
+    /// longer push the choice narrower on their own.
+    fn narrowed_isa<T: Elem>(&self, r: usize) -> Isa {
         if !matches!(self.method, Method::TransLayout | Method::TransLayout2) {
             return self.isa;
         }
         let nx = self.shape.dims[0];
+        if let Tiling::Tessellate { w, .. } = self.tiling {
+            // Typical staged triangle width: the tile base plus the
+            // radius-extended reach on both sides.
+            let wt = w[0].max(1).min(nx) + 2 * r;
+            return Self::tess_isa::<T>(self.isa, wt);
+        }
         let mut isa = self.isa;
         loop {
             let vl = isa.lanes_for::<T>();
@@ -689,6 +713,52 @@ impl Plan {
         }
     }
 
+    /// Register class for staged tess tiles of staged x-extent `w`:
+    /// step down the `narrower()` ladder until two full `vl²` sets fit
+    /// (`w ≥ 2·vl²`). One set is the floor for having a transposed
+    /// region at all, but a row that holds only a single set is all
+    /// edge — every step pays the partial-set snapshot/restore and the
+    /// prev/next overhang assembly on its one set — so the class is
+    /// kept only when at least one *interior* set can exist. Partial
+    /// edge sets ride the vector pipeline either way.
+    fn tess_isa<T: Elem>(top: Isa, w: usize) -> Isa {
+        let mut isa = top;
+        loop {
+            if w >= 2 * isa.lanes_for::<T>().pow(2) {
+                return isa;
+            }
+            match isa.narrower().filter(|i| i.is_available()) {
+                Some(n) => isa = n,
+                None => return isa,
+            }
+        }
+    }
+
+    /// Build the per-worker staging arena for tessellate + transpose
+    /// plans (see [`stage::TileArena`]); `None` for every other
+    /// configuration.
+    fn tess_arena<T: Elem>(
+        &self,
+        ndim: usize,
+        r: usize,
+        pool: Option<&rayon::ThreadPool>,
+    ) -> Option<stage::TileArena<T>> {
+        let Tiling::Tessellate { w, h, .. } = self.tiling else {
+            return None;
+        };
+        if !matches!(self.method, Method::TransLayout | Method::TransLayout2) {
+            return None;
+        }
+        let dims: Vec<DimTiling> = (0..ndim)
+            .map(|a| {
+                let n = self.shape.dims[a];
+                DimTiling::new(n, w[a].min(n), r, true)
+            })
+            .collect();
+        let workers = pool.map(|p| p.current_num_threads()).unwrap_or(1);
+        Some(stage::TileArena::for_tess(&dims, h, r, workers))
+    }
+
     /// Compile the plan for a 1D star stencil (over `f64`).
     pub fn star1<S: Star1>(self, stencil: S) -> Result<Plan1<S>, PlanError> {
         self.star1_elem(stencil)
@@ -696,15 +766,18 @@ impl Plan {
 
     /// Compile the plan for a 1D star stencil over element type `T`.
     pub fn star1_elem<T: Elem, S: Star1>(mut self, stencil: S) -> Result<Plan1<S, T>, PlanError> {
-        self.isa = self.narrowed_isa::<T>();
+        self.isa = self.narrowed_isa::<T>(S::R);
         let boundary = self.resolved_boundary();
         let (threads, pool) = self.validate(1, S::R, boundary, self.isa.lanes_for::<T>())?;
+        let arena = self.tess_arena::<T>(1, S::R, pool.as_ref());
         Ok(Plan1 {
             cfg: self.cfg(threads, boundary),
             n: self.shape.dims[0],
             stencil,
             scratch: None,
             stage: None,
+            arena,
+            phases: stage::PhaseCounters::new(),
             pool,
         })
     }
@@ -719,9 +792,10 @@ impl Plan {
         mut self,
         stencil: S,
     ) -> Result<Plan2Star<S, T>, PlanError> {
-        self.isa = self.narrowed_isa::<T>();
+        self.isa = self.narrowed_isa::<T>(S::R);
         let boundary = self.resolved_boundary();
         let (threads, pool) = self.validate(2, S::R, boundary, self.isa.lanes_for::<T>())?;
+        let arena = self.tess_arena::<T>(2, S::R, pool.as_ref());
         Ok(Plan2Star {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -730,6 +804,8 @@ impl Plan {
             scratch: None,
             stage: None,
             ring: None,
+            arena,
+            phases: stage::PhaseCounters::new(),
             pool,
         })
     }
@@ -741,9 +817,10 @@ impl Plan {
 
     /// Compile the plan for a 2D box stencil over element type `T`.
     pub fn box2_elem<T: Elem, S: Box2>(mut self, stencil: S) -> Result<Plan2Box<S, T>, PlanError> {
-        self.isa = self.narrowed_isa::<T>();
+        self.isa = self.narrowed_isa::<T>(S::R);
         let boundary = self.resolved_boundary();
         let (threads, pool) = self.validate(2, S::R, boundary, self.isa.lanes_for::<T>())?;
+        let arena = self.tess_arena::<T>(2, S::R, pool.as_ref());
         Ok(Plan2Box {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -752,6 +829,8 @@ impl Plan {
             scratch: None,
             stage: None,
             ring: None,
+            arena,
+            phases: stage::PhaseCounters::new(),
             pool,
         })
     }
@@ -766,9 +845,10 @@ impl Plan {
         mut self,
         stencil: S,
     ) -> Result<Plan3Star<S, T>, PlanError> {
-        self.isa = self.narrowed_isa::<T>();
+        self.isa = self.narrowed_isa::<T>(S::R);
         let boundary = self.resolved_boundary();
         let (threads, pool) = self.validate(3, S::R, boundary, self.isa.lanes_for::<T>())?;
+        let arena = self.tess_arena::<T>(3, S::R, pool.as_ref());
         Ok(Plan3Star {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -778,6 +858,8 @@ impl Plan {
             scratch: None,
             stage: None,
             ring: None,
+            arena,
+            phases: stage::PhaseCounters::new(),
             pool,
         })
     }
@@ -789,9 +871,10 @@ impl Plan {
 
     /// Compile the plan for a 3D box stencil over element type `T`.
     pub fn box3_elem<T: Elem, S: Box3>(mut self, stencil: S) -> Result<Plan3Box<S, T>, PlanError> {
-        self.isa = self.narrowed_isa::<T>();
+        self.isa = self.narrowed_isa::<T>(S::R);
         let boundary = self.resolved_boundary();
         let (threads, pool) = self.validate(3, S::R, boundary, self.isa.lanes_for::<T>())?;
+        let arena = self.tess_arena::<T>(3, S::R, pool.as_ref());
         Ok(Plan3Box {
             cfg: self.cfg(threads, boundary),
             nx: self.shape.dims[0],
@@ -801,6 +884,8 @@ impl Plan {
             scratch: None,
             stage: None,
             ring: None,
+            arena,
+            phases: stage::PhaseCounters::new(),
             pool,
         })
     }
@@ -835,6 +920,8 @@ pub struct Plan1<S: Star1, T: Elem = f64> {
     stencil: S,
     scratch: Option<Grid1<T>>,
     stage: Option<(Grid1<T>, Grid1<T>)>,
+    arena: Option<stage::TileArena<T>>,
+    phases: stage::PhaseCounters,
     pool: Option<rayon::ThreadPool>,
 }
 
@@ -876,6 +963,17 @@ impl<S: Star1, T: Elem> Plan1<S, T> {
     /// The shape the plan was compiled for.
     pub fn shape(&self) -> Shape {
         Shape::d1(self.n)
+    }
+
+    /// Cumulative wall-time phase totals recorded by the tiled drivers
+    /// (all zero for untiled plans); see [`PhaseTotals`].
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.phases.totals()
+    }
+
+    /// Reset the phase totals to zero.
+    pub fn reset_phase_totals(&self) {
+        self.phases.reset()
     }
 
     fn ensure_scratch(&mut self, g: &Grid1<T>) {
@@ -1203,7 +1301,20 @@ impl<S: Star1, T: Elem> Session1<'_, S, T> {
         let other = self.plan.scratch.as_mut().expect("scratch");
         let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
         let pool = self.plan.pool.as_ref().expect("pool");
-        tess::drive1(method, isa, bufs, n, &d, t, h, &s, pool, boundary);
+        tess::drive1(
+            method,
+            isa,
+            bufs,
+            n,
+            &d,
+            t,
+            h,
+            &s,
+            pool,
+            boundary,
+            self.plan.arena.as_ref(),
+            &self.plan.phases,
+        );
         if t % 2 == 1 {
             std::mem::swap(self.g, other);
         }
@@ -1273,6 +1384,8 @@ macro_rules! plan2_impl {
             scratch: Option<Grid2<T>>,
             stage: Option<(Grid2<T>, Grid2<T>)>,
             ring: Option<AlignedBuf<T>>,
+            arena: Option<stage::TileArena<T>>,
+            phases: stage::PhaseCounters,
             pool: Option<rayon::ThreadPool>,
         }
 
@@ -1315,6 +1428,18 @@ macro_rules! plan2_impl {
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d2(self.nx, self.ny)
+            }
+
+            /// Cumulative wall-time phase totals recorded by the tiled
+            /// drivers (all zero for untiled plans); see
+            /// [`PhaseTotals`].
+            pub fn phase_totals(&self) -> PhaseTotals {
+                self.phases.totals()
+            }
+
+            /// Reset the phase totals to zero.
+            pub fn reset_phase_totals(&self) {
+                self.phases.reset()
             }
 
             fn ensure_scratch(&mut self, g: &Grid2<T>) {
@@ -1658,7 +1783,20 @@ macro_rules! plan2_impl {
                 let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
                 tess::$tess_drive(
-                    method, isa, bufs, rs, nx, &dx, &dy, t, h, &s, pool, boundary,
+                    method,
+                    isa,
+                    bufs,
+                    rs,
+                    nx,
+                    &dx,
+                    &dy,
+                    t,
+                    h,
+                    &s,
+                    pool,
+                    boundary,
+                    self.plan.arena.as_ref(),
+                    &self.plan.phases,
                 );
                 if t % 2 == 1 {
                     std::mem::swap(self.g, other);
@@ -1731,6 +1869,8 @@ macro_rules! plan3_impl {
             scratch: Option<Grid3<T>>,
             stage: Option<(Grid3<T>, Grid3<T>)>,
             ring: Option<AlignedBuf<T>>,
+            arena: Option<stage::TileArena<T>>,
+            phases: stage::PhaseCounters,
             pool: Option<rayon::ThreadPool>,
         }
 
@@ -1773,6 +1913,18 @@ macro_rules! plan3_impl {
             /// The shape the plan was compiled for.
             pub fn shape(&self) -> Shape {
                 Shape::d3(self.nx, self.ny, self.nz)
+            }
+
+            /// Cumulative wall-time phase totals recorded by the tiled
+            /// drivers (all zero for untiled plans); see
+            /// [`PhaseTotals`].
+            pub fn phase_totals(&self) -> PhaseTotals {
+                self.phases.totals()
+            }
+
+            /// Reset the phase totals to zero.
+            pub fn reset_phase_totals(&self) {
+                self.phases.reset()
             }
 
             fn ensure_scratch(&mut self, g: &Grid3<T>) {
@@ -2148,7 +2300,22 @@ macro_rules! plan3_impl {
                 let bufs = [SyncPtr(self.g.ptr_mut()), SyncPtr(other.ptr_mut())];
                 let pool = self.plan.pool.as_ref().expect("pool");
                 tess::$tess_drive(
-                    method, isa, bufs, rs, ps, nx, &dx, &dy, &dz, t, h, &s, pool, boundary,
+                    method,
+                    isa,
+                    bufs,
+                    rs,
+                    ps,
+                    nx,
+                    &dx,
+                    &dy,
+                    &dz,
+                    t,
+                    h,
+                    &s,
+                    pool,
+                    boundary,
+                    self.plan.arena.as_ref(),
+                    &self.plan.phases,
                 );
                 if t % 2 == 1 {
                     std::mem::swap(self.g, other);

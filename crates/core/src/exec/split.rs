@@ -280,7 +280,7 @@ pub(crate) fn drive1<T: Elem, S: Star1>(
         tau += hh;
         chunk += 1;
     }
-    wave.run(pool, pool.current_num_threads(), |node| match node {
+    wave.run(pool, pool.current_num_threads(), |_w, node| match node {
         SNode1::Tile { piece, tau, hh } => {
             for ss in 0..*hh {
                 piece.step(isa, bufs, geo, n, d, ss, *tau, s);
@@ -389,7 +389,7 @@ macro_rules! drive2_impl {
                 dispatch_elem!(isa, T, dlt::$kernel::<V, S>(src, dst, rs, nx, y0, y1, s));
             };
             let wave = hybrid_wave(d, t, h, S::R, b);
-            wave.run(pool, pool.current_num_threads(), |node| match node {
+            wave.run(pool, pool.current_num_threads(), |_w, node| match node {
                 HNode::Tile { shape, tau, hh } => {
                     for ss in 0..*hh {
                         run_piece(shape, *tau, ss);
@@ -464,7 +464,7 @@ macro_rules! drive3_impl {
                 );
             };
             let wave = hybrid_wave(d, t, h, S::R, b);
-            wave.run(pool, pool.current_num_threads(), |node| match node {
+            wave.run(pool, pool.current_num_threads(), |_w, node| match node {
                 HNode::Tile { shape, tau, hh } => {
                     for ss in 0..*hh {
                         run_piece(shape, *tau, ss);

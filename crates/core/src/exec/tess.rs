@@ -38,9 +38,12 @@
 //! allocation, and final parity swaps live in [`super`]'s `Plan`/`Session`
 //! engine, so none of them recur in a steady-state hot loop.
 
+use std::time::Instant;
+
 use stencil_simd::{dispatch_elem, Elem, Isa};
 
 use super::halo::{self, Boundary, RowMap};
+use super::stage::{self, PhaseCounters, TileArena};
 use super::tile::DimTiling;
 use super::wave::{box1, box2, box3, FootBox, Wave};
 use crate::api::Method;
@@ -116,6 +119,77 @@ pub(crate) fn reach1(d: &DimTiling, shape: Shape, hh: usize, r: usize) -> (i64, 
     (lo - r as i64, hi + r as i64)
 }
 
+/// Grow interval `e` to cover `[lo, hi)`.
+#[inline]
+fn grow(e: &mut (i64, i64), lo: i64, hi: i64) {
+    e.0 = e.0.min(lo);
+    e.1 = e.1.max(hi);
+}
+
+/// Per-parity staged bounding intervals along one dimension of a tile
+/// chunk: for each global time parity `p`, everything the tile *reads*
+/// from that parity (`± r` around steps whose source level has parity
+/// `p`) or *writes / covers on write-back* (steps whose destination
+/// level has parity `p`). Staging exactly these intervals — rather
+/// than the full reach box — is what keeps stage-in race-free: the
+/// interval is disjoint, per parity, from every same-stage neighbor's
+/// write-back span by the same slope argument that makes the unstaged
+/// reads safe.
+///
+/// `step_range(ss)` returns this dimension's range when the tile's full
+/// product range at step `ss` is non-empty, `None` otherwise. Both
+/// intervals are unions of nested members of one slope chain, so the
+/// `(min, max)` accumulation below is exact (no holes).
+fn parity_boxes1(
+    tau: usize,
+    hh: usize,
+    r: usize,
+    step_range: impl Fn(usize) -> Option<(usize, usize)>,
+) -> [(i64, i64); 2] {
+    let mut pb = [(i64::MAX, i64::MIN); 2];
+    for ss in 0..hh {
+        let Some((a, b)) = step_range(ss) else {
+            continue;
+        };
+        let q = (tau + ss) % 2;
+        grow(&mut pb[q], a as i64 - r as i64, b as i64 + r as i64);
+        grow(&mut pb[1 - q], a as i64, b as i64);
+    }
+    pb
+}
+
+/// Whether the chunk's *destination* parity `(tau + 1) % 2` must be
+/// staged in at all. Every odd step sources that parity; if each odd
+/// step's read box (`± r`) nests inside the previous step's written
+/// range — exactly the shrinking, non-inverted tile shapes — then every
+/// cell of that parity the chunk reads or writes back is produced by an
+/// earlier in-chunk step, and its stage-in (copy + transpose of nearly
+/// the full footprint) is pure waste. Inverted shapes grow into
+/// neighbor-owned cells of that parity and keep the stage-in. Out-of-
+/// contract lanes of partial sets may then see stale arena data, which
+/// is fine: they are snapshot-restored and never feed a kept lane.
+fn dest_prestage_needed<const D: usize>(
+    hh: usize,
+    r: usize,
+    step_box: impl Fn(usize) -> Option<[(usize, usize); D]>,
+) -> bool {
+    let mut ss = 1;
+    while ss < hh {
+        if let Some(cur) = step_box(ss) {
+            let Some(prev) = step_box(ss - 1) else {
+                return true;
+            };
+            for d in 0..D {
+                if cur[d].0 < prev[d].0 + r || cur[d].1 + r > prev[d].1 {
+                    return true;
+                }
+            }
+        }
+        ss += 2;
+    }
+    false
+}
+
 // ---------------------------------------------------------------------------
 // 1D
 // ---------------------------------------------------------------------------
@@ -155,22 +229,22 @@ pub(crate) fn step1<T: Elem, S: Star1>(
     }
 }
 
-/// Fused pair of steps (ss, ss+1) for the 1D `TransLayout2` tiles:
-/// register pipeline over the interior sets, k=1 margins for the
-/// boundary cells of the shrinking/expanding tile.
+/// Fused pair of steps at absolute times (time, time+1) for the 1D
+/// `TransLayout2` tiles: register pipeline over the interior sets, k=1
+/// margins for the boundary cells of the shrinking/expanding tile.
+/// `r0`/`r1` are the two steps' update ranges in the coordinates of
+/// `bufs` (grid-global, or tile-local when staged).
 #[allow(clippy::too_many_arguments)]
 fn pair1<T: Elem, S: Star1>(
     isa: Isa,
     bufs: [SyncPtr<T>; 2],
     n: usize,
-    shape: Shape,
-    d: &DimTiling,
-    ss: usize,
-    tau: usize,
+    r0: (usize, usize),
+    r1: (usize, usize),
+    time: usize,
     s: &S,
 ) {
-    let (lo0, hi0) = shape.range(d, ss);
-    let (lo1, hi1) = shape.range(d, ss + 1);
+    let ((lo0, hi0), (lo1, hi1)) = (r0, r1);
     let l = isa.lanes_for::<T>();
     let bs = l * l;
     let lo = lo0.max(lo1);
@@ -179,21 +253,11 @@ fn pair1<T: Elem, S: Star1>(
     let sb = (hi / bs).min(SetGeo::new(n, l).nsets);
     if sb < sa + 2 {
         // Tile fragment too small for the pipeline — two plain steps.
-        step1(Method::TransLayout2, isa, bufs, n, lo0, hi0, tau + ss, s);
-        step1(
-            Method::TransLayout2,
-            isa,
-            bufs,
-            n,
-            lo1,
-            hi1,
-            tau + ss + 1,
-            s,
-        );
+        step1(Method::TransLayout2, isa, bufs, n, lo0, hi0, time, s);
+        step1(Method::TransLayout2, isa, bufs, n, lo1, hi1, time + 1, s);
         return;
     }
     let (a, b) = (sa * bs, sb * bs);
-    let time = tau + ss;
     let buf_a = bufs[time % 2].0;
     let buf_b = bufs[(time + 1) % 2].0;
 
@@ -226,7 +290,9 @@ fn run_tile1<T: Elem, S: Star1>(
     if method == Method::TransLayout2 {
         let mut ss = 0;
         while ss + 1 < hh {
-            pair1(isa, bufs, n, shape, d, ss, tau, s);
+            let r0 = shape.range(d, ss);
+            let r1 = shape.range(d, ss + 1);
+            pair1(isa, bufs, n, r0, r1, tau + ss, s);
             ss += 2;
         }
         if ss < hh {
@@ -239,6 +305,133 @@ fn run_tile1<T: Elem, S: Star1>(
             step1(method, isa, bufs, n, lo, hi, tau + ss, s);
         }
     }
+}
+
+/// Run one interior tile's chunk against a staged, tile-local
+/// transposed copy of its footprint: stage in the per-parity bounding
+/// intervals, step all `hh` levels with tile-local set geometry (fused
+/// pairs under TL2), and write the owned per-parity spans back to the
+/// natural global grid. See [`super::stage`] for the coherence
+/// argument.
+#[allow(clippy::too_many_arguments)]
+fn run_tile1_staged<T: Elem, S: Star1>(
+    method: Method,
+    isa: Isa,
+    bufs: [SyncPtr<T>; 2],
+    d: &DimTiling,
+    shape: Shape,
+    tau: usize,
+    hh: usize,
+    s: &S,
+    arena: &TileArena<T>,
+    w: usize,
+    phases: &PhaseCounters,
+) {
+    let nonempty = |ss: usize| {
+        let (a, b) = shape.range(d, ss);
+        (a < b).then_some((a, b))
+    };
+    if !(0..hh).any(|ss| nonempty(ss).is_some()) {
+        return;
+    }
+    let (rlo, rhi) = reach1(d, shape, hh, S::R);
+    let wx = (rhi - rlo) as usize;
+    let loc = |x: usize| (x as i64 - rlo) as usize;
+    let pbx = parity_boxes1(tau, hh, S::R, nonempty);
+    let need_dest = dest_prestage_needed(hh, S::R, |ss| nonempty(ss).map(|x| [x]));
+
+    let t0 = Instant::now();
+    let mut slot = arena.slot(w);
+    let slot = &mut *slot;
+    for (p, pb) in pbx.iter().enumerate() {
+        if pb.0 >= pb.1 || (p == (tau + 1) % 2 && !need_dest) {
+            continue;
+        }
+        let cx = ((pb.0 - rlo) as usize, (pb.1 - rlo) as usize);
+        unsafe {
+            stage::stage_in::<T>(
+                isa,
+                bufs[p].0.offset(rlo as isize),
+                0,
+                0,
+                slot.origin(p),
+                arena.sxs,
+                0,
+                wx,
+                cx,
+                (0, 1),
+                (0, 1),
+            );
+        }
+    }
+    phases.add_stage_in(t0);
+
+    let ab = [SyncPtr(slot.origin(0)), SyncPtr(slot.origin(1))];
+    let t1 = Instant::now();
+    if method == Method::TransLayout2 {
+        let mut ss = 0;
+        while ss + 1 < hh {
+            let (a0, b0) = shape.range(d, ss);
+            let (a1, b1) = shape.range(d, ss + 1);
+            pair1(
+                isa,
+                ab,
+                wx,
+                (loc(a0), loc(b0).max(loc(a0))),
+                (loc(a1), loc(b1).max(loc(a1))),
+                tau + ss,
+                s,
+            );
+            ss += 2;
+        }
+        if ss < hh {
+            if let Some((a, b)) = nonempty(ss) {
+                step1(method, isa, ab, wx, loc(a), loc(b), tau + ss, s);
+            }
+        }
+    } else {
+        for ss in 0..hh {
+            if let Some((a, b)) = nonempty(ss) {
+                step1(method, isa, ab, wx, loc(a), loc(b), tau + ss, s);
+            }
+        }
+    }
+    phases.add_compute(t1);
+
+    let t2 = Instant::now();
+    for p in 0..2 {
+        // Owned write-back span at parity p: the union (= widest
+        // member, the ranges are a nested chain) of the tile's step
+        // ranges whose destination level has parity p.
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for ss in 0..hh {
+            if (tau + ss + 1) % 2 != p {
+                continue;
+            }
+            if let Some((a, b)) = nonempty(ss) {
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+        }
+        if lo >= hi {
+            continue;
+        }
+        unsafe {
+            stage::unstage::<T>(
+                isa,
+                slot.origin(p),
+                arena.sxs,
+                0,
+                bufs[p].0.offset(rlo as isize),
+                0,
+                0,
+                wx,
+                1,
+                &[(loc(lo) as u32, loc(hi) as u32)],
+            );
+        }
+    }
+    phases.add_stage_out(t2);
 }
 
 /// One wavefront node of the 1D driver.
@@ -272,8 +465,18 @@ pub(crate) fn drive1<T: Elem, S: Star1>(
     s: &S,
     pool: &rayon::ThreadPool,
     b: Boundary,
+    arena: Option<&TileArena<T>>,
+    phases: &PhaseCounters,
 ) {
-    let map = RowMap::for_method::<T>(method, isa, n);
+    // With a staging arena the global grid stays natural: interior
+    // tiles run transposed inside their arena slots, and the edge
+    // group (plus its halo refresh) steps the natural grid directly.
+    let emethod = if arena.is_some() {
+        Method::MultiLoad
+    } else {
+        method
+    };
+    let map = RowMap::for_method::<T>(emethod, isa, n);
     let mut wave = Wave::new();
     let (mut tau, mut chunk) = (0usize, 0usize);
     while tau < t {
@@ -301,9 +504,13 @@ pub(crate) fn drive1<T: Elem, S: Star1>(
         tau += hh;
         chunk += 1;
     }
-    wave.run(pool, pool.current_num_threads(), |node| match node {
+    wave.run(pool, pool.current_num_threads(), |w, node| match node {
         Node1::Tile { shape, tau, hh } => {
-            run_tile1(method, isa, bufs, n, d, *shape, *tau, *hh, s);
+            if let Some(ar) = arena {
+                run_tile1_staged(method, isa, bufs, d, *shape, *tau, *hh, s, ar, w, phases);
+            } else {
+                run_tile1(method, isa, bufs, n, d, *shape, *tau, *hh, s);
+            }
         }
         Node1::Edge { members, tau, hh } => {
             for ss in 0..*hh {
@@ -311,13 +518,17 @@ pub(crate) fn drive1<T: Elem, S: Star1>(
                 // cells owned by this group's own members, which step in
                 // lockstep — the refresh reads exactly the values the
                 // members' halo reads need.
+                let t0 = Instant::now();
                 unsafe { halo::refresh1(bufs[(tau + ss) % 2].0, n, S::R, b, &map) };
+                phases.add_halo(t0);
+                let t1 = Instant::now();
                 for &shape in members {
                     let (lo, hi) = shape.range(d, ss);
                     // Single-step even under TL2: the fused step-pair
                     // kernel cannot interleave the per-step refresh.
-                    step1(method, isa, bufs, n, lo, hi, tau + ss, s);
+                    step1(emethod, isa, bufs, n, lo, hi, tau + ss, s);
                 }
+                phases.add_compute(t1);
             }
         }
     });
@@ -452,9 +663,17 @@ macro_rules! drive2_impl {
             s: &S,
             pool: &rayon::ThreadPool,
             b: Boundary,
+            arena: Option<&TileArena<T>>,
+            phases: &PhaseCounters,
         ) {
             let ny = dy.n;
-            let map = RowMap::for_method::<T>(method, isa, nx);
+            // See `drive1`: staged tiles keep the global grid natural.
+            let emethod = if arena.is_some() {
+                Method::MultiLoad
+            } else {
+                method
+            };
+            let map = RowMap::for_method::<T>(emethod, isa, nx);
             let mut wave = Wave::new();
             let (mut tau, mut chunk) = (0usize, 0usize);
             while tau < t {
@@ -496,27 +715,129 @@ macro_rules! drive2_impl {
                 tau += hh;
                 chunk += 1;
             }
-            wave.run(pool, pool.current_num_threads(), |node| match node {
+            wave.run(pool, pool.current_num_threads(), |w, node| match node {
                 Node2::Tile { sx, sy, tau, hh } => {
-                    for ss in 0..*hh {
-                        let xr = sx.range(dx, ss);
-                        let yr = sy.range(dy, ss);
-                        $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
+                    let Some(ar) = arena else {
+                        for ss in 0..*hh {
+                            let xr = sx.range(dx, ss);
+                            let yr = sy.range(dy, ss);
+                            $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
+                        }
+                        return;
+                    };
+                    // Staged chunk: stage the per-parity footprint in,
+                    // run every step tile-locally, write owned spans
+                    // back (see `run_tile1_staged` / `super::stage`).
+                    let nonempty = |ss: usize| {
+                        let (xa, xb) = sx.range(dx, ss);
+                        let (ya, yb) = sy.range(dy, ss);
+                        (xa < xb && ya < yb).then_some(((xa, xb), (ya, yb)))
+                    };
+                    if !(0..*hh).any(|ss| nonempty(ss).is_some()) {
+                        return;
                     }
+                    let (xlo, xhi) = reach1(dx, *sx, *hh, S::R);
+                    let (ylo, yhi) = reach1(dy, *sy, *hh, S::R);
+                    let wx = (xhi - xlo) as usize;
+                    let hy = (yhi - ylo) as usize;
+                    let base = (ylo * rs as i64 + xlo) as isize;
+                    let pbx = parity_boxes1(*tau, *hh, S::R, |ss| nonempty(ss).map(|r| r.0));
+                    let pby = parity_boxes1(*tau, *hh, S::R, |ss| nonempty(ss).map(|r| r.1));
+                    let need_dest =
+                        dest_prestage_needed(*hh, S::R, |ss| nonempty(ss).map(|(x, y)| [x, y]));
+
+                    let t0 = Instant::now();
+                    let mut slot = ar.slot(w);
+                    let slot = &mut *slot;
+                    for p in 0..2 {
+                        if pbx[p].0 >= pbx[p].1 || (p == (tau + 1) % 2 && !need_dest) {
+                            continue;
+                        }
+                        let cx = ((pbx[p].0 - xlo) as usize, (pbx[p].1 - xlo) as usize);
+                        let cy = ((pby[p].0 - ylo) as usize, (pby[p].1 - ylo) as usize);
+                        unsafe {
+                            stage::stage_in::<T>(
+                                isa,
+                                bufs[p].0.offset(base),
+                                rs,
+                                0,
+                                slot.origin(p),
+                                ar.sxs,
+                                0,
+                                wx,
+                                cx,
+                                cy,
+                                (0, 1),
+                            );
+                        }
+                    }
+                    phases.add_stage_in(t0);
+
+                    let ab = [SyncPtr(slot.origin(0)), SyncPtr(slot.origin(1))];
+                    let t1 = Instant::now();
+                    for ss in 0..*hh {
+                        let Some(((xa, xb), (ya, yb))) = nonempty(ss) else {
+                            continue;
+                        };
+                        let xr = ((xa as i64 - xlo) as usize, (xb as i64 - xlo) as usize);
+                        let yr = ((ya as i64 - ylo) as usize, (yb as i64 - ylo) as usize);
+                        $step(method, isa, ab, ar.sxs, wx, yr, xr, tau + ss, s);
+                    }
+                    phases.add_compute(t1);
+
+                    let t2 = Instant::now();
+                    for p in 0..2 {
+                        slot.spans.clear();
+                        slot.spans.resize(hy, (u32::MAX, 0));
+                        for ss in 0..*hh {
+                            if (tau + ss + 1) % 2 != p {
+                                continue;
+                            }
+                            let Some(((xa, xb), (ya, yb))) = nonempty(ss) else {
+                                continue;
+                            };
+                            let la = (xa as i64 - xlo) as u32;
+                            let lb = (xb as i64 - xlo) as u32;
+                            for y in ya..yb {
+                                let e = &mut slot.spans[(y as i64 - ylo) as usize];
+                                e.0 = e.0.min(la);
+                                e.1 = e.1.max(lb);
+                            }
+                        }
+                        unsafe {
+                            stage::unstage::<T>(
+                                isa,
+                                slot.origin(p),
+                                ar.sxs,
+                                0,
+                                bufs[p].0.offset(base),
+                                rs,
+                                0,
+                                wx,
+                                hy,
+                                &slot.spans,
+                            );
+                        }
+                    }
+                    phases.add_stage_out(t2);
                 }
                 Node2::Edge { members, tau, hh } => {
                     for ss in 0..*hh {
                         // Whole-grid refresh: every fold source is an
                         // edge-frame cell owned by this group's members,
                         // all at level `tau + ss` in lockstep.
+                        let t0 = Instant::now();
                         unsafe {
                             halo::refresh2(bufs[(tau + ss) % 2].0, rs, nx, ny, S::R, b, &map)
                         };
+                        phases.add_halo(t0);
+                        let t1 = Instant::now();
                         for &(sx, sy) in members {
                             let xr = sx.range(dx, ss);
                             let yr = sy.range(dy, ss);
-                            $step(method, isa, bufs, rs, nx, yr, xr, tau + ss, s);
+                            $step(emethod, isa, bufs, rs, nx, yr, xr, tau + ss, s);
                         }
+                        phases.add_compute(t1);
                     }
                 }
             });
@@ -662,9 +983,17 @@ macro_rules! drive3_impl {
             s: &S,
             pool: &rayon::ThreadPool,
             b: Boundary,
+            arena: Option<&TileArena<T>>,
+            phases: &PhaseCounters,
         ) {
             let (ny, nz) = (dy.n, dz.n);
-            let map = RowMap::for_method::<T>(method, isa, nx);
+            // See `drive1`: staged tiles keep the global grid natural.
+            let emethod = if arena.is_some() {
+                Method::MultiLoad
+            } else {
+                method
+            };
+            let map = RowMap::for_method::<T>(emethod, isa, nx);
             let mut wave = Wave::new();
             let (mut tau, mut chunk) = (0usize, 0usize);
             while tau < t {
@@ -730,7 +1059,7 @@ macro_rules! drive3_impl {
                 tau += hh;
                 chunk += 1;
             }
-            wave.run(pool, pool.current_num_threads(), |node| match node {
+            wave.run(pool, pool.current_num_threads(), |w, node| match node {
                 Node3::Tile {
                     sx,
                     sy,
@@ -738,18 +1067,125 @@ macro_rules! drive3_impl {
                     tau,
                     hh,
                 } => {
-                    for ss in 0..*hh {
-                        let xr = sx.range(dx, ss);
-                        let yr = sy.range(dy, ss);
-                        let zr = sz.range(dz, ss);
-                        $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
+                    let Some(ar) = arena else {
+                        for ss in 0..*hh {
+                            let xr = sx.range(dx, ss);
+                            let yr = sy.range(dy, ss);
+                            let zr = sz.range(dz, ss);
+                            $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
+                        }
+                        return;
+                    };
+                    // Staged chunk; see the 2D driver's `Tile` arm.
+                    let nonempty = |ss: usize| {
+                        let (xa, xb) = sx.range(dx, ss);
+                        let (ya, yb) = sy.range(dy, ss);
+                        let (za, zb) = sz.range(dz, ss);
+                        (xa < xb && ya < yb && za < zb).then_some(((xa, xb), (ya, yb), (za, zb)))
+                    };
+                    if !(0..*hh).any(|ss| nonempty(ss).is_some()) {
+                        return;
                     }
+                    let (xlo, xhi) = reach1(dx, *sx, *hh, S::R);
+                    let (ylo, yhi) = reach1(dy, *sy, *hh, S::R);
+                    let (zlo, zhi) = reach1(dz, *sz, *hh, S::R);
+                    let wx = (xhi - xlo) as usize;
+                    let hy = (yhi - ylo) as usize;
+                    let hz = (zhi - zlo) as usize;
+                    let base = (zlo * ps as i64 + ylo * rs as i64 + xlo) as isize;
+                    let pbx = parity_boxes1(*tau, *hh, S::R, |ss| nonempty(ss).map(|r| r.0));
+                    let pby = parity_boxes1(*tau, *hh, S::R, |ss| nonempty(ss).map(|r| r.1));
+                    let pbz = parity_boxes1(*tau, *hh, S::R, |ss| nonempty(ss).map(|r| r.2));
+                    let need_dest = dest_prestage_needed(*hh, S::R, |ss| {
+                        nonempty(ss).map(|(x, y, z)| [x, y, z])
+                    });
+
+                    let t0 = Instant::now();
+                    let mut slot = ar.slot(w);
+                    let slot = &mut *slot;
+                    for p in 0..2 {
+                        if pbx[p].0 >= pbx[p].1 || (p == (tau + 1) % 2 && !need_dest) {
+                            continue;
+                        }
+                        let cx = ((pbx[p].0 - xlo) as usize, (pbx[p].1 - xlo) as usize);
+                        let cy = ((pby[p].0 - ylo) as usize, (pby[p].1 - ylo) as usize);
+                        let cz = ((pbz[p].0 - zlo) as usize, (pbz[p].1 - zlo) as usize);
+                        unsafe {
+                            stage::stage_in::<T>(
+                                isa,
+                                bufs[p].0.offset(base),
+                                rs,
+                                ps,
+                                slot.origin(p),
+                                ar.sxs,
+                                ar.sys,
+                                wx,
+                                cx,
+                                cy,
+                                cz,
+                            );
+                        }
+                    }
+                    phases.add_stage_in(t0);
+
+                    let ab = [SyncPtr(slot.origin(0)), SyncPtr(slot.origin(1))];
+                    let t1 = Instant::now();
+                    for ss in 0..*hh {
+                        let Some(((xa, xb), (ya, yb), (za, zb))) = nonempty(ss) else {
+                            continue;
+                        };
+                        let xr = ((xa as i64 - xlo) as usize, (xb as i64 - xlo) as usize);
+                        let yr = ((ya as i64 - ylo) as usize, (yb as i64 - ylo) as usize);
+                        let zr = ((za as i64 - zlo) as usize, (zb as i64 - zlo) as usize);
+                        $step(method, isa, ab, ar.sxs, ar.sys, wx, zr, yr, xr, tau + ss, s);
+                    }
+                    phases.add_compute(t1);
+
+                    let t2 = Instant::now();
+                    for p in 0..2 {
+                        slot.spans.clear();
+                        slot.spans.resize(hy * hz, (u32::MAX, 0));
+                        for ss in 0..*hh {
+                            if (tau + ss + 1) % 2 != p {
+                                continue;
+                            }
+                            let Some(((xa, xb), (ya, yb), (za, zb))) = nonempty(ss) else {
+                                continue;
+                            };
+                            let la = (xa as i64 - xlo) as u32;
+                            let lb = (xb as i64 - xlo) as u32;
+                            for z in za..zb {
+                                let zoff = (z as i64 - zlo) as usize * hy;
+                                for y in ya..yb {
+                                    let e = &mut slot.spans[zoff + (y as i64 - ylo) as usize];
+                                    e.0 = e.0.min(la);
+                                    e.1 = e.1.max(lb);
+                                }
+                            }
+                        }
+                        unsafe {
+                            stage::unstage::<T>(
+                                isa,
+                                slot.origin(p),
+                                ar.sxs,
+                                ar.sys,
+                                bufs[p].0.offset(base),
+                                rs,
+                                ps,
+                                wx,
+                                hy,
+                                &slot.spans,
+                            );
+                        }
+                    }
+                    phases.add_stage_out(t2);
                 }
                 Node3::Edge { members, tau, hh } => {
                     for ss in 0..*hh {
                         // Whole-grid refresh: every fold source is an
                         // edge-frame cell owned by this group's members,
                         // all at level `tau + ss` in lockstep.
+                        let t0 = Instant::now();
                         unsafe {
                             halo::refresh3(
                                 bufs[(tau + ss) % 2].0,
@@ -763,12 +1199,15 @@ macro_rules! drive3_impl {
                                 &map,
                             )
                         };
+                        phases.add_halo(t0);
+                        let t1 = Instant::now();
                         for &(sx, sy, sz) in members {
                             let xr = sx.range(dx, ss);
                             let yr = sy.range(dy, ss);
                             let zr = sz.range(dz, ss);
-                            $step(method, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
+                            $step(emethod, isa, bufs, rs, ps, nx, zr, yr, xr, tau + ss, s);
                         }
+                        phases.add_compute(t1);
                     }
                 }
             });

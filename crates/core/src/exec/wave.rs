@@ -9,10 +9,23 @@
 //! tiles, *barrier*, next chunk). This module keeps the exact same tiles
 //! but schedules them by their true data dependences: each node carries an
 //! atomic count of unfinished predecessors, a worker that retires a node
-//! decrements its successors and pushes any that hit zero onto a shared
-//! ready stack, and the pool drains the stack until every node has run —
-//! no barrier anywhere, so a fast thread advances into the next stage or
-//! time chunk while a slow one finishes the previous.
+//! decrements its successors and pushes any that hit zero onto its own
+//! ready queue, and the workers drain the queues (stealing from each other
+//! when their own runs dry) until every node has run — no barrier
+//! anywhere, so a fast thread advances into the next stage or time chunk
+//! while a slow one finishes the previous.
+//!
+//! # Ready queues
+//!
+//! Each worker owns a small mutex-protected deque. A worker pushes nodes
+//! it unlocks onto the **back** of its own deque and pops its own work
+//! from the back (LIFO — the node it just unlocked is the one whose
+//! inputs are hottest in its cache). When its own deque is empty it
+//! scans the other workers' deques and steals from the **front** (FIFO —
+//! the oldest, coldest work, farthest from what the victim is about to
+//! pop). Roots are seeded round-robin across workers in push order, so
+//! the initial stage-0 tiles spread across the pool without contention
+//! on a single shared stack.
 //!
 //! # Graph construction
 //!
@@ -50,10 +63,11 @@
 //!
 //! A retiring worker's grid writes happen-before its `fetch_sub(AcqRel)`
 //! on each successor's counter; the final decrementer's RMW reads the
-//! whole release sequence, and the ready-stack mutex hands the node to
-//! its executor with acquire/release — so a node always observes every
-//! predecessor's writes.
+//! whole release sequence, and the per-worker deque mutexes hand the node
+//! to its executor (locally popped or stolen) with acquire/release — so a
+//! node always observes every predecessor's writes.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -157,37 +171,70 @@ impl<P: Sync> Wave<P> {
     /// Execute every node. `threads == 1` runs the nodes in push order on
     /// the calling thread — the sequential tiled schedule. Otherwise the
     /// dependence graph is built and drained by `threads` workers on
-    /// `pool` via per-node atomic predecessor counters and a shared ready
-    /// stack; see the module docs for why any admitted order is
-    /// bit-identical to the sequential one.
-    pub(crate) fn run(&self, pool: &rayon::ThreadPool, threads: usize, exec: impl Fn(&P) + Sync) {
+    /// `pool` via per-node atomic predecessor counters and per-worker
+    /// LIFO/steal-FIFO ready queues; see the module docs for why any
+    /// admitted order is bit-identical to the sequential one.
+    ///
+    /// `exec` receives the worker index (`0..threads`; always 0 on the
+    /// sequential path) so executors can keep per-worker scratch without
+    /// thread-local lookups.
+    pub(crate) fn run(
+        &self,
+        pool: &rayon::ThreadPool,
+        threads: usize,
+        exec: impl Fn(usize, &P) + Sync,
+    ) {
         let total = self.nodes.len();
         if threads <= 1 || total <= 1 {
             for node in &self.nodes {
-                exec(&node.payload);
+                exec(0, &node.payload);
             }
             return;
         }
         let (succs, preds) = self.edges();
         let remaining: Vec<AtomicU32> = preds.iter().map(|&c| AtomicU32::new(c)).collect();
-        let roots: Vec<u32> = (0..total as u32)
+        let queues: Vec<Mutex<VecDeque<u32>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Seed roots round-robin in push (= stage) order: worker w starts
+        // on the w-th root, so the initial wave spreads without everyone
+        // hammering one queue.
+        for (at, i) in (0..total as u32)
             .filter(|&i| preds[i as usize] == 0)
-            .collect();
-        let ready = Mutex::new(roots);
+            .enumerate()
+        {
+            queues[at % threads]
+                .lock()
+                .expect("wavefront ready queue")
+                .push_back(i);
+        }
         let done = AtomicUsize::new(0);
         pool.install(|| {
             (0..threads)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .for_each(|_| loop {
-                    let next = ready.lock().expect("wavefront ready stack").pop();
+                .for_each(|w| loop {
+                    // Own queue first, newest node (LIFO: hottest inputs).
+                    let mut next = queues[w].lock().expect("wavefront ready queue").pop_back();
+                    if next.is_none() {
+                        // Steal the oldest (FIFO) node from another worker,
+                        // scanning from our right neighbor.
+                        for v in (1..threads).map(|d| (w + d) % threads) {
+                            next = queues[v].lock().expect("wavefront ready queue").pop_front();
+                            if next.is_some() {
+                                break;
+                            }
+                        }
+                    }
                     match next {
                         Some(i) => {
-                            exec(&self.nodes[i as usize].payload);
+                            exec(w, &self.nodes[i as usize].payload);
                             done.fetch_add(1, Ordering::Release);
                             for &s in &succs[i as usize] {
                                 if remaining[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    ready.lock().expect("wavefront ready stack").push(s);
+                                    queues[w]
+                                        .lock()
+                                        .expect("wavefront ready queue")
+                                        .push_back(s);
                                 }
                             }
                         }
@@ -236,7 +283,8 @@ mod tests {
             .num_threads(threads)
             .build()
             .unwrap();
-        wave.run(&pool, threads, |&p| {
+        wave.run(&pool, threads, |w, &p| {
+            assert!(w < threads.max(1), "worker index {w} out of range");
             order.lock().unwrap().push(p);
         });
         let order = order.into_inner().unwrap();

@@ -13,10 +13,21 @@
 //! neighbouring rows, so they are single aligned loads — the layout only
 //! affects the unit-stride dimension (§3.4).
 //!
-//! Cells outside full sets (a tile edge or the row tail) are updated by a
+//! Cells past the transposed region (the row tail) are updated by a
 //! scalar path through the [`crate::layout::SetGeo`] index map, the
 //! "simple data reorganization method" the paper prescribes for boundary
-//! sets (Fig. 5d).
+//! sets (Fig. 5d). Sets only *partially* covered by the requested range
+//! — the common case for staged tiles, whose update range shifts by `r`
+//! every chunk step — still ride the full vector pipeline in the 2D/3D
+//! row helpers: the set's output block is snapshotted, all `vl` vectors
+//! are stored, and the out-of-range cells get their snapshot back.
+//! Lane-wise vector math never mixes lanes, so the kept cells consume
+//! only in-contract reads and stay bit-identical to the scalar path;
+//! the 1D kernel keeps the scalar edges because parallel 1D runs split
+//! the one row along x, where a store-all/restore would race. Both set
+//! ends of every covered row need `±r` raw halo cells addressable (grid
+//! halos, or the staging arena's pad) since the edge-set overhangs are
+//! always fetched.
 
 use stencil_simd::{Elem, Vector};
 
@@ -135,6 +146,79 @@ fn set_split(geo: &SetGeo, x0: usize, x1: usize) -> (usize, usize) {
     (s0, s1)
 }
 
+/// Split `[x0, x1)` into the covered-set range `[sa, sb)` (every set
+/// overlapping the transposed portion, partially or fully) and the
+/// natural-tail start `ve`: the 2D/3D row helpers run *every* covered
+/// set through the full vector pipeline — saving and restoring the
+/// out-of-range cells of partial edge sets — so only the natural tail
+/// stays scalar. (The staged tiled path shifts its range by `r` each
+/// chunk step, so nearly every row-step ends in two partial sets; the
+/// scalar `tl_read` path there used to dominate the whole kernel.)
+#[inline(always)]
+fn set_cover(geo: &SetGeo, x0: usize, x1: usize) -> (usize, usize, usize) {
+    let ve = x1.min(geo.tail_start);
+    if x0 >= ve {
+        return (0, 0, ve);
+    }
+    (x0 / geo.bs, ve.div_ceil(geo.bs), ve)
+}
+
+/// Largest `vl²` block any register class produces (16 lanes, f32
+/// AVX-512) — sizes the partial-set save buffer. The buffer stays
+/// uninitialized (a zeroed 2 KiB stack array per row call would cost
+/// more than the partial sets it serves): `save_outside` writes
+/// exactly the slots `restore_outside` reads.
+const MAX_BS: usize = 256;
+
+/// Snapshot the cells of the set block at `base` whose *logical* index
+/// falls outside `[lo, hi)` — only those get restored after the
+/// partial-set store, so only those are saved (typically ~`r` per
+/// range end per step, far cheaper than copying the whole `vl²`
+/// block).
+///
+/// # Safety
+/// `dst[base .. base + geo.bs)` addressable; `geo.bs ≤ MAX_BS`.
+#[inline(always)]
+unsafe fn save_outside<T: Elem>(
+    dst: *const T,
+    geo: &SetGeo,
+    base: usize,
+    lo: usize,
+    hi: usize,
+    saved: &mut [std::mem::MaybeUninit<T>; MAX_BS],
+) {
+    for i in (base..lo).chain(hi..base + geo.bs) {
+        let p = geo.map(i);
+        saved[p - base].write(*dst.add(p));
+    }
+}
+
+/// Undo a partial set's out-of-range stores: every cell of the block at
+/// `base` whose *logical* index falls outside `[lo, hi)` gets its saved
+/// value back. The kept lanes are untouched — they were computed from
+/// in-contract reads only (lane-wise vector math never mixes lanes), so
+/// the net effect of store-all + restore is exactly the scalar path's
+/// masked update, at vector speed.
+///
+/// # Safety
+/// Same block addressability as [`save_outside`], which must have run
+/// with the same `(base, lo, hi)` before the stores (that is what
+/// initializes every slot read here).
+#[inline(always)]
+unsafe fn restore_outside<T: Elem>(
+    dst: *mut T,
+    geo: &SetGeo,
+    base: usize,
+    lo: usize,
+    hi: usize,
+    saved: &[std::mem::MaybeUninit<T>; MAX_BS],
+) {
+    for i in (base..lo).chain(hi..base + geo.bs) {
+        let p = geo.map(i);
+        *dst.add(p) = saved[p - base].assume_init();
+    }
+}
+
 // ---------------------------------------------------------------------------
 // 1D star
 // ---------------------------------------------------------------------------
@@ -239,9 +323,8 @@ pub unsafe fn star2_row_tl<V: Vector, S: Star2>(
     let l = V::LANES;
     let r = S::R;
     let geo = SetGeo::new(n, l);
-    let (s0, s1) = set_split(&geo, x0, x1);
 
-    // scalar partials through the index map
+    // scalar partials through the index map (natural tail only)
     let scalar_part = |lo: usize, hi: usize| {
         let wx = s.wx();
         let wy = s.wy();
@@ -260,22 +343,28 @@ pub unsafe fn star2_row_tl<V: Vector, S: Star2>(
             tl_write(dst, i, acc, &geo);
         }
     };
-    if s0 >= s1 {
+    let (sa, sb, ve) = set_cover(&geo, x0, x1);
+    if sa >= sb {
         scalar_part(x0, x1);
         return;
     }
-    scalar_part(x0, s0 * geo.bs);
-    scalar_part(s1 * geo.bs, x1);
+    scalar_part(ve, x1);
 
     let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
     let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
-    let mut carry = prev_last_of::<V>(c, s0, r);
+    let mut carry = prev_last_of::<V>(c, sa, r);
     let mut out = [V::zero(); 16];
-    for set in s0..s1 {
+    let mut saved = [std::mem::MaybeUninit::<V::Elem>::uninit(); MAX_BS];
+    for set in sa..sb {
+        let base = set * geo.bs;
+        let (lo, hi) = (x0.max(base), ve.min(base + geo.bs));
+        let partial = (lo, hi) != (base, base + geo.bs);
+        if partial {
+            save_outside(dst, &geo, base, lo, hi, &mut saved);
+        }
         let v = load_set::<V>(c, set);
         let nf = next_first_of::<V>(c, set, geo.nsets, r);
         xpart_set::<V>(&v, &carry, &nf, &wxv, r, &mut out);
-        let base = set * geo.bs;
         for j in 0..l {
             let mut acc = out[j];
             for d in 1..=r {
@@ -286,6 +375,9 @@ pub unsafe fn star2_row_tl<V: Vector, S: Star2>(
         }
         for q in 0..r {
             carry[q] = v[l - r + q];
+        }
+        if partial {
+            restore_outside(dst, &geo, base, lo, hi, &saved);
         }
     }
 }
@@ -354,7 +446,6 @@ pub unsafe fn box2_row_tl<V: Vector, S: Box2>(
     let r = S::R;
     debug_assert!(r <= 2);
     let geo = SetGeo::new(n, l);
-    let (s0, s1) = set_split(&geo, x0, x1);
     let nrows = 2 * r + 1;
 
     let scalar_part = |lo: usize, hi: usize| {
@@ -379,16 +470,22 @@ pub unsafe fn box2_row_tl<V: Vector, S: Box2>(
             tl_write(dst, i, acc, &geo);
         }
     };
-    if s0 >= s1 {
+    let (sa, sb, ve) = set_cover(&geo, x0, x1);
+    if sa >= sb {
         scalar_part(x0, x1);
         return;
     }
-    scalar_part(x0, s0 * geo.bs);
-    scalar_part(s1 * geo.bs, x1);
+    scalar_part(ve, x1);
 
     let wv: [V; 25] = splat_w(s.w());
-    for set in s0..s1 {
+    let mut saved = [std::mem::MaybeUninit::<V::Elem>::uninit(); MAX_BS];
+    for set in sa..sb {
         let base = set * geo.bs;
+        let (lo, hi) = (x0.max(base), ve.min(base + geo.bs));
+        let partial = (lo, hi) != (base, base + geo.bs);
+        if partial {
+            save_outside(dst, &geo, base, lo, hi, &mut saved);
+        }
         // Per neighbour row: assembled overhangs (2r assembles per row per
         // set — still vl× cheaper than per-vector reorganization).
         let mut left = [[V::zero(); MAX_R]; 5];
@@ -424,6 +521,9 @@ pub unsafe fn box2_row_tl<V: Vector, S: Box2>(
                 }
             }
             acc.store(dst.add(base + j * l));
+        }
+        if partial {
+            restore_outside(dst, &geo, base, lo, hi, &saved);
         }
     }
 }
@@ -482,7 +582,6 @@ pub unsafe fn star3_row_tl<V: Vector, S: Star3>(
     let l = V::LANES;
     let r = S::R;
     let geo = SetGeo::new(n, l);
-    let (s0, s1) = set_split(&geo, x0, x1);
 
     let scalar_part = |lo: usize, hi: usize| {
         let wx = s.wx();
@@ -507,23 +606,29 @@ pub unsafe fn star3_row_tl<V: Vector, S: Star3>(
             tl_write(dst, i, acc, &geo);
         }
     };
-    if s0 >= s1 {
+    let (sa, sb, ve) = set_cover(&geo, x0, x1);
+    if sa >= sb {
         scalar_part(x0, x1);
         return;
     }
-    scalar_part(x0, s0 * geo.bs);
-    scalar_part(s1 * geo.bs, x1);
+    scalar_part(ve, x1);
 
     let wxv: [V; 2 * MAX_R + 1] = splat_w(s.wx());
     let wyv: [V; 2 * MAX_R + 1] = splat_w(s.wy());
     let wzv: [V; 2 * MAX_R + 1] = splat_w(s.wz());
-    let mut carry = prev_last_of::<V>(c, s0, r);
+    let mut carry = prev_last_of::<V>(c, sa, r);
     let mut out = [V::zero(); 16];
-    for set in s0..s1 {
+    let mut saved = [std::mem::MaybeUninit::<V::Elem>::uninit(); MAX_BS];
+    for set in sa..sb {
+        let base = set * geo.bs;
+        let (lo, hi) = (x0.max(base), ve.min(base + geo.bs));
+        let partial = (lo, hi) != (base, base + geo.bs);
+        if partial {
+            save_outside(dst, &geo, base, lo, hi, &mut saved);
+        }
         let v = load_set::<V>(c, set);
         let nf = next_first_of::<V>(c, set, geo.nsets, r);
         xpart_set::<V>(&v, &carry, &nf, &wxv, r, &mut out);
-        let base = set * geo.bs;
         for j in 0..l {
             let mut acc = out[j];
             for d in 1..=r {
@@ -538,6 +643,9 @@ pub unsafe fn star3_row_tl<V: Vector, S: Star3>(
         }
         for q in 0..r {
             carry[q] = v[l - r + q];
+        }
+        if partial {
+            restore_outside(dst, &geo, base, lo, hi, &saved);
         }
     }
 }
@@ -607,7 +715,6 @@ pub unsafe fn box3_row_tl<V: Vector, S: Box3>(
     let r = S::R;
     debug_assert!(r <= 1, "box3 kernels sized for R<=1");
     let geo = SetGeo::new(n, l);
-    let (s0, s1) = set_split(&geo, x0, x1);
     let nrows = (2 * r + 1) * (2 * r + 1);
 
     let scalar_part = |lo: usize, hi: usize| {
@@ -632,16 +739,22 @@ pub unsafe fn box3_row_tl<V: Vector, S: Box3>(
             tl_write(dst, i, acc, &geo);
         }
     };
-    if s0 >= s1 {
+    let (sa, sb, ve) = set_cover(&geo, x0, x1);
+    if sa >= sb {
         scalar_part(x0, x1);
         return;
     }
-    scalar_part(x0, s0 * geo.bs);
-    scalar_part(s1 * geo.bs, x1);
+    scalar_part(ve, x1);
 
     let wv: [V; 27] = splat_w(s.w());
-    for set in s0..s1 {
+    let mut saved = [std::mem::MaybeUninit::<V::Elem>::uninit(); MAX_BS];
+    for set in sa..sb {
         let base = set * geo.bs;
+        let (lo, hi) = (x0.max(base), ve.min(base + geo.bs));
+        let partial = (lo, hi) != (base, base + geo.bs);
+        if partial {
+            save_outside(dst, &geo, base, lo, hi, &mut saved);
+        }
         let mut left = [[V::zero(); MAX_R]; 9];
         let mut right = [[V::zero(); MAX_R]; 9];
         for (k, row) in rows.iter().enumerate().take(nrows) {
@@ -675,6 +788,9 @@ pub unsafe fn box3_row_tl<V: Vector, S: Box3>(
                 }
             }
             acc.store(dst.add(base + j * l));
+        }
+        if partial {
+            restore_outside(dst, &geo, base, lo, hi, &saved);
         }
     }
 }

@@ -46,8 +46,10 @@ fn shape_for(ndim: usize) -> Shape {
 }
 
 /// The tiled configurations under test for one dimensionality:
-/// tessellation over a natural-layout method and the fused
-/// transpose-layout method, split over DLT (its required layout).
+/// tessellation over a natural-layout method and both transpose-layout
+/// methods (which run the tile-resident staging arena — every tile
+/// transposes its footprint in, computes the chunk, and writes natural
+/// layout back), split over DLT (its required layout).
 fn tilings(ndim: usize) -> Vec<(Method, Tiling)> {
     let tess = match ndim {
         1 => Tiling::Tessellate {
@@ -73,6 +75,7 @@ fn tilings(ndim: usize) -> Vec<(Method, Tiling)> {
     };
     vec![
         (Method::MultiLoad, tess),
+        (Method::TransLayout, tess),
         (Method::TransLayout2, tess),
         (Method::Dlt, split),
     ]
@@ -85,9 +88,10 @@ const ALL_BOUNDARIES: [Boundary; 3] = [
 ];
 
 /// One stencil through the full boundary × tiling × threads matrix:
-/// the untiled sequential run of the same method is the oracle, the
-/// tiled sequential schedule must match it exactly, and every parallel
-/// wavefront schedule must match the tiled sequential one exactly.
+/// the untiled sequential run of the same method is the oracle (itself
+/// pinned to the scalar oracle below), the tiled sequential schedule
+/// must match it exactly, and every parallel wavefront schedule must
+/// match the tiled sequential one exactly.
 fn check(name: &str) {
     let isa = Isa::detect_best();
     let t = 5; // odd (covers the final parity swap), > h (crosses chunks)
@@ -95,21 +99,26 @@ fn check(name: &str) {
         let spec = name.parse::<StencilSpec>().unwrap().with_boundary(b);
         let shape = shape_for(spec.ndim());
         let init = seeded(shape, 0x57A7E ^ spec.points() as u64);
+        let run_with = |method: Method, tiling: Option<Tiling>, par: Parallelism| -> Vec<f64> {
+            let mut plan = Plan::new(shape).method(method).isa(isa);
+            if let Some(tl) = tiling {
+                plan = plan.tiling(tl);
+            }
+            let mut plan = plan
+                .parallelism(par)
+                .stencil(&spec)
+                .unwrap_or_else(|e| panic!("{spec} {method} {par:?}: {e}"));
+            let mut g = AnyGrid::from_vec_spec(shape, &spec, init.clone()).unwrap();
+            plan.run(&mut g, t);
+            g.to_vec()
+        };
+        let scalar = run_with(Method::Scalar, None, Parallelism::Off);
         for (method, tiling) in tilings(spec.ndim()) {
             let run = |tiling: Option<Tiling>, par: Parallelism| -> Vec<f64> {
-                let mut plan = Plan::new(shape).method(method).isa(isa);
-                if let Some(tl) = tiling {
-                    plan = plan.tiling(tl);
-                }
-                let mut plan = plan
-                    .parallelism(par)
-                    .stencil(&spec)
-                    .unwrap_or_else(|e| panic!("{spec} {method} {par:?}: {e}"));
-                let mut g = AnyGrid::from_vec_spec(shape, &spec, init.clone()).unwrap();
-                plan.run(&mut g, t);
-                g.to_vec()
+                run_with(method, tiling, par)
             };
             let untiled = run(None, Parallelism::Off);
+            assert_eq!(untiled, scalar, "untiled vs scalar oracle: {spec} {method}");
             let seq = run(Some(tiling), Parallelism::Off);
             assert_eq!(
                 seq, untiled,
@@ -142,6 +151,37 @@ fn wavefront_2d_paper_stencils() {
 fn wavefront_3d_paper_stencils() {
     check("3d7p");
     check("3d27p");
+}
+
+#[test]
+fn tess_narrowing_keys_off_tile_extent() {
+    // Under tessellation the transpose methods stage tile footprints,
+    // so the extent that picks the register class is the staged tile
+    // width (w + 2r), not the grid's. Portable8's vl²-cell sets span
+    // 64 cells: a 30-wide tile stages 32-cell rows that cannot hold
+    // even one set (let alone the two the rule asks for, so an
+    // interior set exists), so the plan steps down to Portable4 —
+    // while the untiled plan over the same 4096-cell grid and a
+    // wide-tiled plan both keep the configured class.
+    let shape = Shape::d1(4096);
+    let spec: StencilSpec = "1d3p".parse().unwrap();
+    let plan = |tiling: Option<Tiling>| {
+        let mut p = Plan::new(shape)
+            .method(Method::TransLayout)
+            .isa(Isa::Portable8);
+        if let Some(tl) = tiling {
+            p = p.tiling(tl);
+        }
+        p.stencil(&spec).unwrap()
+    };
+    let tess = |w: usize| Tiling::Tessellate {
+        w: [w, 0, 0],
+        h: 2,
+        threads: 1,
+    };
+    assert_eq!(plan(Some(tess(30))).isa(), Isa::Portable4);
+    assert_eq!(plan(None).isa(), Isa::Portable8);
+    assert_eq!(plan(Some(tess(2048))).isa(), Isa::Portable8);
 }
 
 #[test]
